@@ -1,0 +1,60 @@
+"""EXP-T5: compositions slow to the slowest sub-topology, no
+equalization needed.
+
+Paper: "The most general topology is a feed-forward combination of
+self-interacting loops.  It is possible to prove that the slowest
+subtopology ... will force the system to slow down to its speed.  The
+protocol itself will adapt to such a speed without any need for path
+equalization."
+"""
+
+from fractions import Fraction
+
+from repro.analysis import min_cycle_ratio_throughput, static_system_throughput
+from repro.bench.runner import run_composition
+from repro.graph import composed, loop_with_tail
+from repro.skeleton import system_throughput
+
+
+def test_bench_composition_table(benchmark, emit):
+    table, rows = benchmark(run_composition)
+    emit("EXP-T5-composition", table)
+    assert all(row[-1] for row in rows)
+
+
+def test_bench_slowest_subtopology_wins(benchmark):
+    graph = composed(reconv_imbalance=2, loop_relays=2)
+
+    def run():
+        return system_throughput(graph)
+
+    rate = benchmark(run)
+    # Reconvergence alone allows 2/3; the loop forces 1/3.
+    assert rate == Fraction(1, 3)
+    assert static_system_throughput(graph) == Fraction(1, 3)
+
+
+def test_bench_protocol_adapts_without_equalization(benchmark):
+    """The unbalanced reconvergence costs nothing once the loop is the
+    bottleneck — equalizing it would not raise system throughput."""
+    from repro.graph import equalize
+
+    graph = composed(reconv_imbalance=2, loop_relays=2)
+
+    def run():
+        balanced = equalize(graph)
+        return system_throughput(balanced)
+
+    balanced_rate = benchmark(run)
+    assert balanced_rate == system_throughput(graph) == Fraction(1, 3)
+
+
+def test_bench_tail_runs_at_loop_speed(benchmark):
+    graph = loop_with_tail(loop_shells=2, loop_relays=3)
+
+    def run():
+        return min_cycle_ratio_throughput(graph)
+
+    result = benchmark(run)
+    assert result.throughput == Fraction(2, 5)
+    assert result.critical_cycle  # the loop is the binding cycle

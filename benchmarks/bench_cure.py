@@ -1,0 +1,60 @@
+"""EXP-C1: curing deadlocks with low-intrusive relay substitutions.
+
+Paper: "the cases that inject deadlocks can be 'cured' by low intrusive
+changes (adding/substituting few relay stations)."
+"""
+
+import pytest
+
+from repro.bench.runner import run_cure
+from repro.graph import promote_half_relays, ring
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import check_deadlock
+
+
+def test_bench_cure_table(benchmark, emit):
+    table, rows = benchmark.pedantic(run_cure, rounds=1, iterations=1)
+    emit("EXP-C1-cure", table)
+    for _system, before, promoted, after in rows:
+        assert before == "deadlock" and after == "live"
+        assert promoted <= 2  # "few relay stations"
+
+
+def test_bench_promotion_transform(benchmark):
+    graph = ring(3, relays_per_arc=[["half"], ["half"], ["full"]])
+
+    def run():
+        return promote_half_relays(graph, only_loops=True)
+
+    cured = benchmark(run)
+    assert cured.relay_count("half") == 0
+
+
+def test_bench_cure_end_to_end(benchmark):
+    """Detect -> cure -> re-verify, timed as one flow."""
+    graph = ring(2, relays_per_arc=[["half"], ["full"]])
+
+    def flow():
+        before = check_deadlock(graph, variant=ProtocolVariant.CARLONI)
+        cured = promote_half_relays(graph, only_loops=True)
+        after = check_deadlock(cured, variant=ProtocolVariant.CARLONI)
+        return before, after
+
+    before, after = benchmark(flow)
+    assert before.deadlocked and after.live
+
+
+def test_bench_cure_preserves_throughput(benchmark):
+    """The cure does not change steady throughput: a half and a full
+    relay station occupy one pipeline slot each."""
+    from repro.skeleton import system_throughput
+
+    hazard = ring(2, relays_per_arc=[["half"], ["full"]])
+    cured = promote_half_relays(hazard, only_loops=True)
+
+    def measure():
+        return (system_throughput(hazard),
+                system_throughput(cured))
+
+    before_rate, after_rate = benchmark(measure)
+    assert before_rate == after_rate

@@ -1,0 +1,39 @@
+"""EXP-T3: path equalization restores throughput 1.
+
+Paper: "To get the maximum T from a feedforward arrangement, it is
+necessary to insert enough spare relay stations to make all converging
+paths of the same length (path equalization)."
+"""
+
+from fractions import Fraction
+
+from repro.bench.runner import run_equalization
+from repro.graph import equalization_plan, equalize, figure1, reconvergent
+from repro.skeleton import system_throughput
+
+
+def test_bench_equalization_table(benchmark, emit):
+    table, rows = benchmark(run_equalization)
+    emit("EXP-T3-equalization", table)
+    assert all(row[-1] for row in rows)  # every system reaches T=1
+
+
+def test_bench_equalize_transform(benchmark):
+    graph = reconvergent(long_relays=(3, 2), short_relays=1)
+
+    def run():
+        return equalize(graph)
+
+    balanced = benchmark(run)
+    assert system_throughput(balanced) == Fraction(1)
+
+
+def test_bench_plan_computation(benchmark):
+    graph = figure1()
+
+    def run():
+        return equalization_plan(graph)
+
+    plan = benchmark(run)
+    ((edge, extra),) = plan
+    assert extra == 1 and (edge.src, edge.dst) == ("A", "C")

@@ -1,0 +1,48 @@
+"""EXP-F1: regenerate the paper's Figure 1 (feed-forward evolution).
+
+The paper's Figure 1 walks a reconvergent 3-shell system cycle by
+cycle: after the transient, the output utters one invalid datum every 5
+cycles, for a throughput of 4/5 (i = 1 unbalanced relay station, m = 5
+storage positions on the implicit loop).  The bench regenerates the
+evolution table, checks the exact published numbers, and times both the
+skeleton and the full data-carrying simulation of the figure's system.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.runner import run_figure1
+from repro.graph import figure1
+from repro.skeleton import SkeletonSim
+
+
+def test_bench_figure1_table(benchmark, emit):
+    table, rows = benchmark(run_figure1, 40)
+    emit("EXP-F1-evolution", table)
+    # Steady regime: exactly one 'N' in any five consecutive outputs.
+    steady = [row[-1] for row in rows[20:40]]
+    assert steady.count("N") == 4
+    assert "predicted T=4/5" in table
+    assert "simulated T=4/5" in table
+
+
+def test_bench_figure1_skeleton(benchmark):
+    def run():
+        return SkeletonSim(figure1()).run()
+
+    result = benchmark(run)
+    assert result.throughput("out") == Fraction(4, 5)
+    assert result.period == 5
+    assert result.transient == 2
+
+
+def test_bench_figure1_full_simulation(benchmark):
+    def run():
+        system = figure1().elaborate()
+        system.run(200)
+        return system
+
+    system = benchmark(run)
+    sink = system.sinks["out"]
+    assert sink.steady_throughput(50, 200) == pytest.approx(0.8)

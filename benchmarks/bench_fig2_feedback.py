@@ -1,0 +1,43 @@
+"""EXP-F2: regenerate the paper's Figure 2 (feedback-loop evolution).
+
+Figure 2 evolves a two-shell loop with relay stations: at most S valid
+data circulate among S+R positions, so throughput is S/(S+R) — 1/2 for
+the figure's instance.  The bench regenerates the sweep table across
+relay counts and times the loop simulation.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.runner import run_figure2
+from repro.graph import figure2
+from repro.skeleton import SkeletonSim
+
+
+def test_bench_figure2_table(benchmark, emit):
+    table, rows = benchmark(run_figure2, 4)
+    emit("EXP-F2-feedback", table)
+    assert all(row[4] for row in rows)  # predicted == simulated
+    # The figure's own instance: S=2, R=2, T=1/2.
+    s, r, predicted, simulated, match, _t, _p = rows[0]
+    assert (s, r, predicted, simulated) == (2, 2, "1/2", "1/2")
+
+
+def test_bench_figure2_skeleton(benchmark):
+    def run():
+        return SkeletonSim(figure2()).run()
+
+    result = benchmark(run)
+    assert result.min_shell_throughput() == Fraction(1, 2)
+
+
+def test_bench_figure2_full_simulation(benchmark):
+    def run():
+        system = figure2().elaborate()
+        system.run(150)
+        return system
+
+    system = benchmark(run)
+    assert system.sinks["out"].steady_throughput(30, 150) == \
+        pytest.approx(0.5)

@@ -1,0 +1,81 @@
+"""EXP-A2 (extension): floorplan-driven relay insertion.
+
+The paper's motivating scenario, quantified: place a design on a die,
+let wire lengths force relay stations, and measure what each process
+shrink (shorter per-cycle reach) costs.  Feed-forward fabric re-balances
+to full rate; loops pay S/(S+R) — so the cost of scaling is exactly the
+loop content of the design.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.graph import (
+    Placement,
+    apply_floorplan,
+    figure2,
+    layered_placement,
+    shrink_sweep,
+    tree,
+)
+
+
+def test_bench_shrink_sweep_table(benchmark, emit):
+    graph = tree(3)
+    placement = layered_placement(graph, row_pitch=2.0,
+                                  column_pitch=3.0)
+
+    def run():
+        return shrink_sweep(graph, placement, [6.0, 3.0, 1.5, 0.75])
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ("reach (units/cycle)", "relay stations", "throughput"),
+        [(reach, count, str(rate)) for reach, count, rate in rows],
+        title="Process shrink on a balanced tree: stations multiply, "
+              "throughput stays 1 (EXP-A2)",
+    )
+    emit("EXP-A2-floorplan-tree", table)
+    counts = [count for _r, count, _t in rows]
+    assert counts == sorted(counts)
+    assert all(rate == 1 for _r, _c, rate in rows)
+
+
+def test_bench_loop_pays_for_distance(benchmark, emit):
+    graph = figure2()
+
+    def run():
+        rows = []
+        for distance in (1, 2, 4, 8):
+            placement = Placement({
+                "S0": (0, 0), "S1": (distance, 0),
+                "out": (distance + 1, 0),
+            })
+            report = apply_floorplan(graph, placement, reach=1.0)
+            rows.append((distance, report.graph.relay_count(),
+                         str(report.throughput)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ("loop span (units)", "relay stations", "throughput"),
+        rows,
+        title="Stretching a feedback loop across the die: "
+              "T = S/(S+R) prices every unit of distance (EXP-A2)",
+    )
+    emit("EXP-A2-floorplan-loop", table)
+    rates = [Fraction(rate) for _d, _c, rate in rows]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_bench_floorplan_application_speed(benchmark):
+    graph = tree(3, relays_per_hop=1)
+    placement = layered_placement(graph)
+
+    def run():
+        return apply_floorplan(graph, placement, reach=0.5)
+
+    report = benchmark(run)
+    assert report.throughput == 1

@@ -1,0 +1,46 @@
+"""EXP-T4: the feedback-loop formula T = S/(S+R).
+
+Paper: "A maximum of S valid data can be present at a time, out of S+R
+positions ... This justifies the number S/(S+R) for the maximum
+throughput.  This result is fundamentally the same discussed by Carloni
+in [5]."
+"""
+
+from fractions import Fraction
+
+from repro.bench.runner import run_loop_formula
+from repro.graph import ring
+from repro.skeleton import SkeletonSim, system_throughput
+
+
+def test_bench_loop_table(benchmark, emit):
+    table, rows = benchmark(run_loop_formula)
+    emit("EXP-T4-loops", table)
+    assert all(row[-1] for row in rows)
+
+
+def test_bench_large_ring(benchmark):
+    graph = ring(shells=6, relays_per_arc=2)
+
+    def run():
+        return system_throughput(graph)
+
+    rate = benchmark(run)
+    assert rate == Fraction(6, 18)
+
+
+def test_bench_token_conservation(benchmark):
+    """S tokens circulate forever — the mechanism behind the formula."""
+    graph = ring(shells=3, relays_per_arc=1, tap_sink=False)
+
+    def run():
+        sim = SkeletonSim(graph)
+        counts = set()
+        for _ in range(120):
+            sim.step()
+            counts.add(sum(sim.shell_reg) + sum(sim.rs_main)
+                       + sum(sim.rs_aux))
+        return counts
+
+    counts = benchmark(run)
+    assert counts == {3}

@@ -1,0 +1,66 @@
+"""EXP-T2: the reconvergent feed-forward formula T = (m - i)/m.
+
+Paper: "The number of invalid data is the difference of relay stations
+i between the 'feedforward' branches ... The general formula
+T = (m-i)/m, where m is the total number of relay stations in the loop,
+plus the number of shells on the path with the highest number of relay
+stations."
+"""
+
+from fractions import Fraction
+
+from repro.analysis import analyze_reconvergence, min_cycle_ratio_throughput
+from repro.bench.runner import run_reconvergent
+from repro.graph import reconvergent
+from repro.skeleton import system_throughput
+
+
+def test_bench_reconvergent_table(benchmark, emit):
+    table, rows = benchmark(run_reconvergent)
+    emit("EXP-T2-reconvergent", table)
+    assert all(row[-1] for row in rows)  # formula == mcr == simulated
+
+
+def test_bench_reconvergent_formula_evaluation(benchmark):
+    graph = reconvergent(long_relays=(2, 2), short_relays=1)
+
+    def run():
+        return analyze_reconvergence(graph, "A", "C")
+
+    i, m, rate = benchmark(run)
+    assert rate == Fraction(m - i, m)
+    assert rate == system_throughput(graph)
+
+
+def test_bench_reconvergent_mcr(benchmark):
+    graph = reconvergent(long_relays=(3, 1), short_relays=1)
+
+    def run():
+        return min_cycle_ratio_throughput(graph)
+
+    result = benchmark(run)
+    assert result.throughput == system_throughput(graph)
+
+
+def test_bench_imbalance_sweep(benchmark, emit):
+    """Voids per period grow linearly with the imbalance i."""
+    from repro.bench.tables import format_table
+
+    def sweep():
+        rows = []
+        for extra in range(4):
+            graph = reconvergent(long_relays=(1 + extra, 1),
+                                 short_relays=1)
+            i, m, rate = analyze_reconvergence(graph, "A", "C")
+            simulated = system_throughput(graph)
+            rows.append((extra, i, m, str(rate), str(simulated),
+                         rate == simulated))
+        return rows
+
+    rows = benchmark(sweep)
+    table = format_table(
+        ("extra RS", "i", "m", "(m-i)/m", "simulated", "match"), rows,
+        title="Imbalance sweep: each spare relay station costs one "
+              "void per period")
+    emit("EXP-T2-imbalance-sweep", table)
+    assert all(row[-1] for row in rows)

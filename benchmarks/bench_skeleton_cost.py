@@ -1,0 +1,106 @@
+"""EXP-D2: skeleton simulation cost vs full simulation.
+
+Paper: "we are allowed to simulate just the skeleton of the system
+consisting of stop and valid signals, thus the simulation cost is
+absolutely negligible."
+"""
+
+import pytest
+
+from repro.bench.runner import run_skeleton_cost
+from repro.graph import pipeline
+from repro.skeleton import SkeletonSim
+
+
+def test_bench_cost_table(benchmark, emit):
+    table, rows = benchmark.pedantic(run_skeleton_cost, rounds=1,
+                                     iterations=1, args=(800,))
+    emit("EXP-D2-skeleton-cost", table)
+    # The skeleton must beat the full simulation on every size.
+    for _name, _cycles, _sk, _full, speedup in rows:
+        assert float(speedup.rstrip("x")) > 1.0
+
+
+@pytest.mark.parametrize("stages", [4, 16, 64])
+def test_bench_skeleton_cycles(benchmark, stages):
+    """Raw skeleton stepping rate across system sizes."""
+    graph = pipeline(stages, relays_per_hop=2)
+    sim = SkeletonSim(graph, detect_ambiguity=False)
+
+    def run():
+        for _ in range(100):
+            sim.step()
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("stages", [4, 16])
+def test_bench_full_sim_cycles(benchmark, stages):
+    """Raw full-simulation stepping rate for the same systems."""
+    graph = pipeline(stages, relays_per_hop=2)
+    system = graph.elaborate()
+    system.finalize(strict=False)
+    system.sim.reset()
+
+    def run():
+        system.sim.step(100)
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("batch", [8, 64])
+def test_bench_batch_skeleton(benchmark, batch):
+    """Vectorized batch sweeps: per-instance cost drops with width."""
+    from repro.skeleton import BatchSkeletonSim
+
+    graph = pipeline(8, relays_per_hop=2)
+    patterns = [
+        {"out": tuple((i >> b) & 1 == 1 for b in range(4))}
+        for i in range(batch)
+    ]
+    sim = BatchSkeletonSim(graph, patterns)
+
+    def run():
+        sim.run(50)
+
+    benchmark(run)
+
+
+def test_bench_batch_amortization(benchmark, emit):
+    """The figure-style series: scalar vs batch cost per instance."""
+    import time
+
+    from repro.bench.tables import format_table
+    from repro.skeleton import BatchSkeletonSim
+
+    graph = pipeline(8, relays_per_hop=2)
+    cycles = 300
+
+    def measure():
+        rows = []
+        start = time.perf_counter()
+        scalar = SkeletonSim(graph, detect_ambiguity=False)
+        for _ in range(cycles):
+            scalar.step()
+        scalar_s = time.perf_counter() - start
+        for width in (1, 8, 64):
+            patterns = [{} for _ in range(width)]
+            batch = BatchSkeletonSim(graph, patterns)
+            start = time.perf_counter()
+            batch.run(cycles)
+            elapsed = time.perf_counter() - start
+            rows.append((width, f"{elapsed * 1e3:.1f} ms",
+                         f"{elapsed / width * 1e3:.2f} ms",
+                         f"{scalar_s / (elapsed / width):.1f}x"))
+        return rows, scalar_s
+
+    (rows, scalar_s) = benchmark.pedantic(measure, rounds=1,
+                                          iterations=1)
+    table = format_table(
+        ("batch width", "total", "per instance",
+         "speedup vs scalar"),
+        rows,
+        title=f"Batch skeleton amortization ({cycles} cycles; scalar "
+              f"baseline {scalar_s * 1e3:.1f} ms)",
+    )
+    emit("EXP-D2-batch-amortization", table)

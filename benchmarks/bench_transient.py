@@ -1,0 +1,50 @@
+"""EXP-D3: transient length is predictable up front.
+
+Paper: "the transient length is related to the number of relay stations
+and shells, and can be predicted upfront" — which is what makes the
+simulate-to-extinction deadlock strategy cheap and terminating.
+"""
+
+import pytest
+
+from repro.bench.runner import run_transients
+from repro.graph import pipeline, reconvergent, ring, tree
+from repro.skeleton import transient_and_period, transient_bound
+
+
+def test_bench_transient_table(benchmark, emit):
+    table, rows = benchmark.pedantic(run_transients, rounds=1,
+                                     iterations=1)
+    emit("EXP-D3-transients", table)
+    assert all(row[-1] for row in rows)  # every measurement within bound
+
+
+@pytest.mark.parametrize("graph,label", [
+    (tree(3), "tree"),
+    (figure := reconvergent(long_relays=(2, 2), short_relays=1),
+     "reconvergent"),
+    (ring(3, relays_per_arc=2), "ring"),
+    (pipeline(6, relays_per_hop=2), "pipeline"),
+])
+def test_bench_periodicity_detection(benchmark, graph, label):
+    def run():
+        return transient_and_period(graph)
+
+    transient, period = benchmark(run)
+    assert period >= 1
+    assert transient <= transient_bound(graph)
+
+
+def test_bench_transient_grows_with_storage(benchmark):
+    """More relay stations -> longer drain -> longer transient."""
+
+    def sweep():
+        measured = []
+        for relays in (1, 2, 4):
+            graph = pipeline(3, relays_per_hop=relays)
+            transient, _period = transient_and_period(graph)
+            measured.append(transient)
+        return measured
+
+    measured = benchmark(sweep)
+    assert measured == sorted(measured)

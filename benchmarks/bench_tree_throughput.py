@@ -1,0 +1,41 @@
+"""EXP-T1: trees run at throughput 1 with transient <= longest path.
+
+Paper: "The simplest topology is a tree.  The throughput of each node
+... is 1.  However ... the initial latency for each node before firing
+at full speed can be as much as the longest path in the tree."
+"""
+
+import pytest
+
+from repro.analysis import first_full_speed_cycle, longest_register_path
+from repro.bench.runner import run_tree
+from repro.graph import tree
+from repro.skeleton import SkeletonSim
+
+
+def test_bench_tree_table(benchmark, emit):
+    table, rows = benchmark(run_tree)
+    emit("EXP-T1-trees", table)
+    assert all(row[3] == "1" for row in rows)      # throughput 1
+    assert all(row[-1] for row in rows)            # within bound
+
+
+@pytest.mark.parametrize("depth", [2, 3, 4])
+def test_bench_tree_scaling(benchmark, depth):
+    graph = tree(depth)
+
+    def run():
+        return SkeletonSim(graph).run()
+
+    result = benchmark(run)
+    assert result.min_shell_throughput() == 1
+
+
+def test_bench_tree_latency_bound(benchmark):
+    graph = tree(3, relays_per_hop=2)
+
+    def run():
+        return first_full_speed_cycle(graph)
+
+    full_speed = benchmark(run)
+    assert full_speed <= longest_register_path(graph)

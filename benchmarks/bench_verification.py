@@ -1,0 +1,122 @@
+"""EXP-V1: the formal-verification campaign (SMV substitute).
+
+Paper: safety checked per block with SMV — shells elaborate coherent
+data, produce outputs in order, skip no valid output; relay stations
+produce outputs in order, skip no valid output, hold their output on
+asserted stops — each under the stated environment assumption.
+"""
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify import (
+    check_progress,
+    results_table,
+    verify_all,
+    verify_relay_station,
+    verify_shell,
+)
+
+
+def test_bench_full_campaign(benchmark, emit):
+    rows = benchmark.pedantic(verify_all, rounds=1, iterations=1)
+    emit("EXP-V1-verification", results_table(rows))
+    assert all(r.holds for r in rows)
+    assert len(rows) >= 17
+
+
+def test_bench_shell_2x2(benchmark):
+    def run():
+        return verify_shell(2, 2)
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert all(r.holds for r in rows)
+
+
+def test_bench_full_relay_station(benchmark):
+    def run():
+        return verify_relay_station("full")
+
+    rows = benchmark(run)
+    assert all(r.holds for r in rows)
+
+
+def test_bench_half_relay_station(benchmark):
+    def run():
+        return verify_relay_station("half")
+
+    rows = benchmark(run)
+    assert all(r.holds for r in rows)
+
+
+def test_bench_carloni_variant_also_safe(benchmark):
+    """The original protocol is slower, not unsafe: all block-level
+    safety properties hold for it too."""
+
+    def run():
+        rows = []
+        rows += verify_shell(1, 1, ProtocolVariant.CARLONI)
+        rows += verify_relay_station("full", ProtocolVariant.CARLONI)
+        rows += verify_relay_station("half", ProtocolVariant.CARLONI)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(r.holds for r in rows)
+
+
+def test_bench_progress_checks(benchmark):
+    def run():
+        return [check_progress(kind)
+                for kind in ("full", "half", "half-registered")]
+
+    results = benchmark(run)
+    assert all(r.holds for r in results)
+
+
+def test_bench_refinement_stack(benchmark, emit):
+    """Spec <-> behavioural <-> gate level, co-simulated in lockstep."""
+    from repro.bench.tables import format_table
+    from repro.verify import check_refinement_stack
+
+    def run():
+        return check_refinement_stack(seeds=(0, 1), cycles=250)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (r.block, r.levels,
+         "EQUIVALENT" if r.equivalent else "DIVERGED", r.cycles)
+        for r in results
+    ]
+    emit("EXP-V1-refinement", format_table(
+        ("block", "levels", "verdict", "cycles"), rows,
+        title="Refinement stack: one behaviour at three abstraction "
+              "levels"))
+    assert all(r.equivalent for r in results)
+
+
+def test_bench_compositional_chains(benchmark, emit):
+    """Every relay chain up to length 3, plus shell-headed chains."""
+    import itertools
+
+    from repro.bench.tables import format_table
+    from repro.verify import verify_all_chains, verify_shell_chain
+
+    def run():
+        chain_results = verify_all_chains(max_length=3)
+        shell_results = []
+        for combo in itertools.product(("full", "half"), repeat=2):
+            shell_results.append(
+                (("shell",) + combo, verify_shell_chain(combo)))
+        return chain_results + shell_results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (" -> ".join(combo), "PASS" if res.holds else "FAIL",
+         res.states_explored)
+        for combo, res in results
+    ]
+    emit("EXP-V1-chains", format_table(
+        ("composition", "verdict", "states"), rows,
+        title="Compositional verification: chains and shell-headed "
+              "chains, end-to-end contracts"))
+    assert all(res.holds for _combo, res in results)

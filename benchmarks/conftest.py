@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one paper artifact (DESIGN.md §5).  Tables are
+written to ``benchmarks/results/`` so a ``pytest benchmarks/
+--benchmark-only`` run leaves the full reproduction on disk, and also
+echoed to the terminal when ``-s`` is passed.
+"""
+
+import os
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Write (and echo) a regenerated table."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(experiment_id: str, table: str) -> None:
+        path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(table + "\n")
+        print(f"\n[{experiment_id}]\n{table}")
+
+    return _emit

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Deadlock analysis and cure, the paper's way.
+
+Half relay stations save area (one register instead of two) but the
+paper warns: "Any LID with full and half relay stations has potential
+deadlocks iff half relay stations are present in loops."  The remedy is
+cheap: "simulate just the skeleton of the system consisting of stop and
+valid signals ... either the deadlock will show, or will be forever
+avoided", and cure offenders by "adding/substituting few relay
+stations".
+
+This example walks that exact methodology on a DSP feedback loop.
+
+Run:  python examples/deadlock_cure.py
+"""
+
+from repro import pearls
+from repro.graph import SystemGraph, half_relays_on_loops, promote_half_relays
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import check_deadlock, is_deadlock_free_class
+
+
+def build_feedback_filter(loop_relays) -> SystemGraph:
+    """A recursive filter: the output is fed back around the loop."""
+    graph = SystemGraph("feedback_filter")
+    graph.add_source("samples")
+    graph.add_shell("mix", lambda: pearls.Fibonacci(seed=0))
+    graph.add_sink("filtered")
+    graph.add_edge("samples", "mix", dst_port="ext")
+    graph.add_edge("mix", "mix", relays=loop_relays,
+                   src_port="out", dst_port="loop_in")
+    graph.add_edge("mix", "filtered", src_port="out")
+    return graph
+
+
+def report(title, graph, variant):
+    verdict = check_deadlock(graph, variant=variant)
+    status = "DEADLOCK" if verdict.deadlocked else (
+        "potential deadlock" if verdict.potential else "live")
+    print(f"  {title}: {status}")
+    print(f"    skeleton verdict after transient={verdict.transient}, "
+          f"period={verdict.period}: {verdict.detail}")
+    return verdict
+
+
+def main() -> None:
+    # An area-optimized designer used a half relay station in the loop,
+    # right at the consumer side of the feedback wire.
+    risky = build_feedback_filter(loop_relays=["full", "half"])
+    print("step 1 — static classification")
+    rule = is_deadlock_free_class(risky)
+    hazards = half_relays_on_loops(risky)
+    print(f"  deadlock-free rule matched: {rule!r}")
+    print(f"  half relay stations on loops: {hazards}")
+    print("  -> no static guarantee; fall back to skeleton simulation\n")
+
+    print("step 2 — skeleton simulation to transient extinction")
+    print(" (original protocol, stops back-propagated regardless of "
+          "validity)")
+    verdict = report("risky loop", risky, ProtocolVariant.CARLONI)
+    assert verdict.deadlocked
+
+    print("\n (refined protocol, stops on voids discarded)")
+    refined = report("risky loop", risky, ProtocolVariant.CASU)
+    assert not refined.deadlocked
+    print("  -> the paper's refinement alone already avoids the "
+          "injection here\n")
+
+    print("step 3 — the low-intrusive cure: promote loop halves to full")
+    cured = promote_half_relays(risky, only_loops=True)
+    print(f"  relay census before: {risky.relay_count('half')} half / "
+          f"{risky.relay_count('full')} full")
+    print(f"  relay census after:  {cured.relay_count('half')} half / "
+          f"{cured.relay_count('full')} full")
+    verdict = report("cured loop", cured, ProtocolVariant.CARLONI)
+    assert verdict.live
+    print(f"  static rule now: {is_deadlock_free_class(cured)!r}")
+
+    print("\nstep 4 — confirm with full data simulation")
+    system = cured.elaborate(variant=ProtocolVariant.CARLONI)
+    system.run(60)
+    fired = {name: shell.fire_count for name, shell in
+             system.shells.items()}
+    print(f"  shell firings over 60 cycles: {fired}")
+    assert all(count > 10 for count in fired.values())
+    print("  cured system streams freely under the original protocol "
+          "too.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The whole verification stack, on one page.
+
+The paper verified safety per block with SMV and admitted liveness
+"couldn't be verified formally ... as such".  This example runs the
+reproduction's four verification layers end to end:
+
+1. per-block safety (the paper's six properties, exhaustively);
+2. compositional chains (relay stations and shell-headed chains);
+3. temporal-logic checks (hold-on-stop as G(p -> X q), recurrence of
+   emission as G F p);
+4. exhaustive system-level liveness over ALL environment behaviours —
+   the check the paper could not do.
+
+Run:  python examples/exhaustive_verification.py
+"""
+
+from repro.graph import figure1, figure2, ring
+from repro.lid.variant import ProtocolVariant
+from repro.verify import (
+    eventually_emits,
+    held_token_reappears,
+    results_table,
+    verify_all,
+    verify_all_chains,
+    verify_shell_chain,
+    verify_system_liveness,
+)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("LAYER 1 - block safety (the paper's SMV campaign)")
+    print("=" * 72)
+    rows = verify_all()
+    print(results_table(rows))
+    assert all(r.holds for r in rows)
+
+    print()
+    print("=" * 72)
+    print("LAYER 2 - composition (chains keep the contract end to end)")
+    print("=" * 72)
+    chains = verify_all_chains(max_length=3)
+    states = sum(r.states_explored for _c, r in chains)
+    print(f"{len(chains)} relay chains up to length 3: all "
+          f"{'PASS' if all(r.holds for _c, r in chains) else 'FAIL'} "
+          f"({states} product states)")
+    shell_chain = verify_shell_chain(["full", "half"])
+    print(f"shell -> full -> half chain: "
+          f"{'PASS' if shell_chain.holds else 'FAIL'} "
+          f"({shell_chain.states_explored} states)")
+    assert shell_chain.holds
+
+    print()
+    print("=" * 72)
+    print("LAYER 3 - temporal logic")
+    print("=" * 72)
+    for kind in ("full", "half", "half-registered"):
+        hold = held_token_reappears(kind)
+        emit = eventually_emits(kind)
+        print(f"{kind:16s} {hold.formula}: "
+              f"{'PASS' if hold.holds else 'FAIL'}   "
+              f"G F emits: {'PASS' if emit.holds else 'FAIL'}")
+        assert hold.holds and emit.holds
+
+    print()
+    print("=" * 72)
+    print("LAYER 4 - exhaustive liveness (all environments)")
+    print("=" * 72)
+    cases = [
+        ("figure 1", figure1(), ProtocolVariant.CASU),
+        ("figure 2", figure2(), ProtocolVariant.CASU),
+        ("half-station loop, refined protocol",
+         ring(2, relays_per_arc=[["half"], ["full"]]),
+         ProtocolVariant.CASU),
+        ("half-station loop, original protocol",
+         ring(2, relays_per_arc=[["half"], ["full"]]),
+         ProtocolVariant.CARLONI),
+    ]
+    for label, graph, variant in cases:
+        result = verify_system_liveness(graph, variant=variant)
+        verdict = ("LIVE for all environments"
+                   if result.live else "reachable STUCK state")
+        print(f"{label:42s} {verdict} "
+              f"({result.reachable_states} states, "
+              f"{result.ambiguous_states} ambiguous)")
+    print()
+    print("the half-station loop is the paper's hazard class: the")
+    print("refined protocol is PROVED immune (token conservation keeps")
+    print("the stop cycle from ever self-sustaining), while the")
+    print("original stop discipline wedges immediately — which is why")
+    print("the paper pairs half relay stations with its refinement.")
+
+
+if __name__ == "__main__":
+    main()

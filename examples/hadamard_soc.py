@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""An 8-point Walsh–Hadamard transform network, latency insensitive.
+
+Twelve butterfly modules in three stages, with every inter-stage wire
+pipelined by relay stations — the classic "butterflies scattered across
+the die" scenario.  The network has massive reconvergence (every output
+depends on every input through 8 distinct paths), which makes it a
+strong stress test for the protocol: any skipped, duplicated or
+reordered token anywhere corrupts the transform visibly.
+
+We check three things:
+
+1. the streamed outputs equal the zero-latency reference (latency
+   equivalence at scale);
+2. the transform the network computes is a genuine Hadamard matrix
+   (entries ±1, ``W @ W.T = 8·I``);
+3. balanced relay insertion keeps throughput at 1 even though every
+   path crosses three pipelined stages.
+
+Run:  python examples/hadamard_soc.py
+"""
+
+import numpy as np
+
+from repro.graph import butterfly_network
+from repro.lid.reference import is_prefix
+from repro.lid.token import Token
+from repro.skeleton import system_throughput
+
+N = 8
+
+
+def build_wht(relays_per_hop: int = 1):
+    return butterfly_network(lanes=N, relays_per_hop=relays_per_hop)
+
+
+def main() -> None:
+    graph = build_wht(relays_per_hop=1)
+    print(f"network: {len(graph.shells())} butterflies, "
+          f"{graph.relay_count()} relay stations, "
+          f"{len(graph.edges)} channels")
+
+    rate = system_throughput(graph)
+    print(f"static throughput: {rate} (balanced butterfly stages "
+          f"reconverge with zero imbalance)")
+    assert str(rate) == "1"
+
+    # Drive each input lane with its own recognizable stream.
+    for lane in range(N):
+        graph.nodes[f"in{lane}"].stream_factory = (
+            lambda lane=lane: iter(
+                Token((lane + 1) * 100 + t) for t in range(500))
+        )
+
+    system = graph.elaborate()
+    cycles = 60
+    system.run(cycles)
+    reference = system.reference_outputs(cycles)
+
+    delivered = 0
+    for lane in range(N):
+        sink = system.sinks[f"out{lane}"]
+        assert is_prefix(sink.payloads, reference[f"out{lane}"]), lane
+        delivered += len(sink.payloads)
+    print(f"latency equivalence holds on all {N} outputs "
+          f"({delivered} tokens checked)")
+
+    # Recover the transform matrix W from the reference semantics:
+    # time step t mixes in[lane][t] = (lane+1)*100 + t across lanes, so
+    # feeding impulses instead isolates the columns.  We rebuild W by
+    # linearity from two probe vectors per column.
+    W = np.zeros((N, N), dtype=int)
+    for col in range(N):
+        probe = build_wht(relays_per_hop=1)
+        for lane in range(N):
+            value = 1 if lane == col else 0
+            probe.nodes[f"in{lane}"].stream_factory = (
+                lambda value=value: iter(
+                    Token(value) for _ in range(60))
+            )
+        probe_system = probe.elaborate()
+        ref = probe_system.reference_outputs(20)
+        for row in range(N):
+            # Skip the initial-register artifacts: take a settled value.
+            W[row, col] = ref[f"out{row}"][-1]
+
+    print("\nrecovered transform matrix W:")
+    print(W)
+    assert set(np.unique(W)) == {-1, 1}
+    assert np.array_equal(W @ W.T, N * np.eye(N, dtype=int))
+    print(f"\nW has +/-1 entries and W @ W.T = {N}*I: the network "
+          f"computes a true 8-point Hadamard transform, token-perfectly,"
+          f"\nacross {graph.relay_count()} pipelined wire segments.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Quickstart: wrap modules in shells, connect them over slow wires,
+and watch the protocol keep the computation correct.
+
+The scenario is the paper's premise: a design that worked with
+zero-delay connections must now cross interconnect that takes several
+clock cycles.  We wrap each module in a shell, put relay stations on
+the long wires, and verify that the stream of results is exactly what
+the ideal zero-latency system would have produced.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LidSystem, pearls
+from repro.lid.reference import is_prefix
+
+
+def main() -> None:
+    # A tiny datapath: numbers flow into an accumulator, whose running
+    # sums are doubled by a scaler before reaching the output.
+    system = LidSystem("quickstart")
+    source = system.add_source("stimulus")            # 0, 1, 2, 3, ...
+    acc = system.add_shell("accumulate", pearls.Accumulator())
+    scale = system.add_shell("double", pearls.Scaler(gain=2))
+    sink = system.add_sink("result")
+
+    # The accumulator sits next to the source; the scaler is far away:
+    # the wire between them needs THREE clock cycles, i.e. three relay
+    # stations.  The scaler-to-output wire needs one.
+    system.connect(source, acc, consumer_port="a")
+    system.connect(acc, scale, consumer_port="a", relays=3)
+    system.connect(scale, sink, relays=1)
+
+    cycles = 30
+    system.run(cycles)
+
+    print("LID output stream: ", sink.payloads)
+    reference = system.reference_outputs(cycles)["result"]
+    print("ideal (zero-delay):", reference[: len(sink.payloads) + 3], "...")
+    assert is_prefix(sink.payloads, reference), "latency equivalence broken!"
+    print()
+    print(f"latency equivalence holds over {cycles} cycles: the slow "
+          f"wires delayed results but never corrupted or reordered them.")
+    print(f"steady throughput: {sink.steady_throughput(8, cycles):.2f} "
+          f"results/cycle (feed-forward pipelines run at full speed)")
+    print(f"shell firings: accumulate={acc.fire_count}, "
+          f"double={scale.fire_count}")
+
+
+if __name__ == "__main__":
+    main()

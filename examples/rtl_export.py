@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""From protocol blocks to gates: netlists, register budgets, VHDL.
+
+The paper implements relay stations and shells as RTL FSMs and
+validates them "using a VHDL description of all blocks".  This example
+elaborates the gate-level versions shipped with this package, compares
+their register budgets (the minimum-memory argument in numbers),
+co-simulates a netlist against the behavioural model, and emits VHDL.
+
+Run:  python examples/rtl_export.py [output_dir]
+"""
+
+import sys
+
+from repro.lid.variant import ProtocolVariant
+from repro.rtl import (
+    NetlistSimulator,
+    emit_vhdl,
+    full_relay_station_netlist,
+    half_relay_station_netlist,
+    identity_shell_netlist,
+    write_vhdl,
+)
+
+
+def main() -> None:
+    width = 8
+    blocks = {
+        "full relay station": full_relay_station_netlist(width),
+        "half relay station": half_relay_station_netlist(width),
+        "identity shell": identity_shell_netlist(width),
+    }
+
+    print(f"gate-level inventory (data width {width}):")
+    for label, netlist in blocks.items():
+        print(f"  {label:20s} {netlist.register_count():3d} register "
+              f"bits, {netlist.gate_count():3d} gates")
+    full_bits = blocks["full relay station"].register_count()
+    half_bits = blocks["half relay station"].register_count()
+    print(f"\nminimum-memory argument: the full station needs "
+          f"{full_bits} register bits (two data slots + flags) so its "
+          f"registered stop can absorb the in-flight token; the half "
+          f"station gets away with {half_bits} by passing the stop "
+          f"through combinationally.")
+
+    # Drive the full station through a stop event and narrate the FSM.
+    print("\nco-simulation: full relay station through a stop event")
+    sim = NetlistSimulator(full_relay_station_netlist(width))
+    script = [
+        (10, 1, 0, "token 10 arrives"),
+        (11, 1, 1, "token 11 arrives as the downstream stops"),
+        (0, 0, 1, "stop persists"),
+        (0, 0, 0, "downstream relents"),
+        (0, 0, 0, "pipeline drains"),
+        (0, 0, 0, "empty again"),
+    ]
+    for in_data, in_valid, stop_in, note in script:
+        outs = sim.settle({"in_data": in_data, "in_valid": in_valid,
+                           "stop_in": stop_in})
+        state = (f"out={'N' if not outs['out_valid'] else outs['out_data']}"
+                 f" stop_out={outs['stop_out']}")
+        print(f"  {note:45s} -> {state}")
+        sim.tick()
+
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    for filename, netlist in (
+        ("relay_station.vhd", blocks["full relay station"]),
+        ("half_relay_station.vhd", blocks["half relay station"]),
+        ("identity_shell.vhd", blocks["identity shell"]),
+    ):
+        path = f"{out_dir}/{filename}"
+        write_vhdl(netlist, path)
+        print(f"\nwrote {path} "
+              f"({len(emit_vhdl(netlist).splitlines())} lines of VHDL)")
+
+    carloni_half = half_relay_station_netlist(
+        width, variant=ProtocolVariant.CARLONI)
+    print(f"\n(the original-protocol half station differs in exactly "
+          f"one gate: stop_out <= stop_in instead of "
+          f"stop_in and main_valid — {carloni_half.gate_count()} vs "
+          f"{blocks['half relay station'].gate_count()} gates)")
+
+    # The paper's FSM documentation, extracted mechanically.
+    from repro.rtl import extract_full_rs_fsm, format_fsm_table, fsm_to_dot
+
+    rows = extract_full_rs_fsm()
+    print()
+    print(format_fsm_table(
+        rows, title="Full relay station as an FSM (extracted from the "
+        "verified spec; the paper's EMPTY/HALF/FULL machine)"))
+    dot_path = f"{out_dir}/relay_station_fsm.dot"
+    with open(dot_path, "w", encoding="utf-8") as fh:
+        fh.write(fsm_to_dot(rows, name="relay_station_fsm"))
+    print(f"\nwrote {dot_path} (render with: dot -Tpng)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Original protocol vs the paper's refinement, head to head.
+
+"In previous works the stop signal is back-propagated regardless of the
+signals validity, in our implementation stops on invalid signals are
+discarded.  The overall computation can get a significant speedup."
+
+We replay the same workloads — bursty sources, impatient sinks, and an
+area-optimized chain of half relay stations — under both disciplines
+and count delivered tokens.
+
+Run:  python examples/variant_comparison.py
+"""
+
+from repro.bench.tables import format_table
+from repro.graph import figure1, pipeline, reconvergent
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import SkeletonSim
+
+
+def delivered(graph, variant, cycles, sinks=None, sources=None):
+    sim = SkeletonSim(graph, variant=variant, sink_patterns=sinks,
+                      source_patterns=sources, detect_ambiguity=False)
+    total = 0
+    for _ in range(cycles):
+        _fires, accepts = sim.step()
+        total += sum(accepts)
+    return total
+
+
+def half_relay_chain(stages):
+    graph = pipeline(stages)
+    for edge in graph.edges:
+        if edge.relays:
+            edge.relays = ("half",) * len(edge.relays)
+    graph.name = f"half_chain_{stages}"
+    return graph
+
+
+def main() -> None:
+    cycles = 300
+    bursty_sink = {"out": (False, False, True, True)}
+    gappy_source = {"src": (True, True, False)}
+
+    scenarios = [
+        ("figure-1 system, smooth traffic", figure1(), None, None),
+        ("figure-1 system, sink stops 1 in 4",
+         figure1(), {"out": (False, False, False, True)}, None),
+        ("unbalanced reconvergence, bursty ends",
+         reconvergent(long_relays=(2, 1), short_relays=1),
+         bursty_sink, gappy_source),
+        ("half-relay chain, impatient sink",
+         half_relay_chain(3), bursty_sink, None),
+    ]
+
+    rows = []
+    for label, graph, sinks, sources in scenarios:
+        original = delivered(graph, ProtocolVariant.CARLONI, cycles,
+                             sinks, sources)
+        refined = delivered(graph, ProtocolVariant.CASU, cycles,
+                            sinks, sources)
+        gain = refined / original if original else float("inf")
+        rows.append((label, original, refined, f"{gain:.2f}x"))
+
+    print(format_table(
+        ("scenario", "original", "refined", "speedup"), rows,
+        title=f"Tokens delivered in {cycles} cycles"))
+
+    print()
+    print("Reading the table:")
+    print(" - on clean steady traffic the two protocols tie: the")
+    print("   refinement is about stop/void interactions, which only")
+    print("   occur during transients and under back pressure;")
+    print(" - discarding stops on voids wins whenever voids and stops")
+    print("   coexist (bursty rows);")
+    print(" - one-register (half) relay stations *require* the refined")
+    print("   rule: under the original discipline a waiting consumer's")
+    print("   stop freezes the empty station and the chain wedges —")
+    print("   the paper's minimum-memory argument seen live.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — reproduction of Casu & Macchiarulo, *Issues in Implementing
+Latency Insensitive Protocols* (DATE 2004).
+
+A latency-insensitive design (LID) toolkit: protocol blocks (shells,
+full and half relay stations), a cycle-accurate simulation kernel, a
+topology/analysis layer implementing the paper's throughput and
+transient formulas, a skeleton (valid/stop-only) simulator for deadlock
+prediction, and an explicit-state model checker for the paper's safety
+properties.
+
+Quickstart::
+
+    from repro import LidSystem, pearls
+
+    sys_ = LidSystem("pipe")
+    src = sys_.add_source("src")
+    a = sys_.add_shell("A", pearls.Identity())
+    sink = sys_.add_sink("out")
+    sys_.connect(src, a)
+    sys_.connect(a, sink, relays=2)   # a 2-cycle interconnect
+    sys_.run(20)
+    print(sink.payloads)
+"""
+
+from . import pearls
+from ._version import __version__
+from .errors import (
+    AnalysisError,
+    CombinationalLoopError,
+    ConvergenceError,
+    DeadlockError,
+    ElaborationError,
+    ProtocolViolationError,
+    ReproError,
+    StructuralError,
+    VerificationError,
+)
+from .kernel import Simulator, Trace
+from .lid import (
+    VOID,
+    Channel,
+    HalfRelayStation,
+    LidSystem,
+    ProtocolVariant,
+    RelayStation,
+    Shell,
+    Sink,
+    Source,
+    Token,
+)
+
+__all__ = [
+    "AnalysisError",
+    "Channel",
+    "CombinationalLoopError",
+    "ConvergenceError",
+    "DeadlockError",
+    "ElaborationError",
+    "HalfRelayStation",
+    "LidSystem",
+    "ProtocolVariant",
+    "ProtocolViolationError",
+    "RelayStation",
+    "ReproError",
+    "Shell",
+    "Simulator",
+    "Sink",
+    "Source",
+    "StructuralError",
+    "Token",
+    "Trace",
+    "VOID",
+    "VerificationError",
+    "__version__",
+    "pearls",
+]

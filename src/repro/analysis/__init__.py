@@ -1,0 +1,65 @@
+"""Static performance analysis: the paper's formulas and their
+minimum-cycle-ratio generalization."""
+
+from .mcr import McrResult, min_cycle_ratio_throughput
+from .optimize import (
+    free_slack,
+    insertion_plan,
+    max_relays_at_rate,
+    pareto_relay_throughput,
+)
+from .report import SystemReport, analyze, classify
+from .sweep import (
+    SERIES_GENERATORS,
+    Series,
+    imbalance_series,
+    loop_series,
+    stop_activity_series,
+    transient_series,
+)
+from .throughput import (
+    analyze_loops,
+    analyze_reconvergence,
+    effective_throughput,
+    loop_throughput,
+    reconvergence_pairs,
+    reconvergent_throughput,
+    static_system_throughput,
+    tree_throughput,
+)
+from .transient import (
+    TransientReport,
+    analyze_transient,
+    first_full_speed_cycle,
+    longest_register_path,
+)
+
+__all__ = [
+    "McrResult",
+    "SERIES_GENERATORS",
+    "Series",
+    "SystemReport",
+    "TransientReport",
+    "analyze",
+    "analyze_loops",
+    "analyze_reconvergence",
+    "analyze_transient",
+    "classify",
+    "effective_throughput",
+    "first_full_speed_cycle",
+    "free_slack",
+    "imbalance_series",
+    "insertion_plan",
+    "longest_register_path",
+    "loop_series",
+    "loop_throughput",
+    "max_relays_at_rate",
+    "min_cycle_ratio_throughput",
+    "pareto_relay_throughput",
+    "reconvergence_pairs",
+    "reconvergent_throughput",
+    "static_system_throughput",
+    "stop_activity_series",
+    "transient_series",
+    "tree_throughput",
+]

@@ -1,0 +1,131 @@
+"""Relay-station budgeting: where may pipelining go for free?
+
+Path equalization (:mod:`repro.graph.equalize`) balances an existing
+design.  This module answers the designer's converse questions:
+
+* :func:`free_slack` — how many relay stations can each edge absorb
+  **without lowering system throughput**?  Interconnect that needs
+  pipelining should be routed over high-slack edges.
+* :func:`max_relays_at_rate` — the largest relay chain a given edge
+  tolerates while the system stays at/above a target rate.
+* :func:`insertion_plan` — given per-edge *required* relay counts (from
+  wire lengths), top them up so the design is balanced and meets the
+  best achievable throughput, returning the annotated graph.
+
+All answers are computed with the minimum-cycle-ratio analyzer, so they
+are exact and need no simulation; the tests cross-check them by
+skeleton simulation anyway.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AnalysisError
+from ..graph.equalize import equalize
+from ..graph.model import SystemGraph
+from .mcr import min_cycle_ratio_throughput
+
+
+def _with_relays(graph: SystemGraph, edge_index: int,
+                 count: int) -> SystemGraph:
+    modified = graph.copy(f"{graph.name}_probe")
+    edge = modified.edges[edge_index]
+    edge.relays = ("full",) * count
+    return modified
+
+
+def max_relays_at_rate(
+    graph: SystemGraph,
+    edge_index: int,
+    target: Optional[Fraction] = None,
+    limit: int = 64,
+) -> int:
+    """Largest full-relay chain on edge *edge_index* keeping T >= target.
+
+    *target* defaults to the graph's current throughput.  Monotonicity
+    (more relay stations never raise throughput) lets us binary search.
+    Returns *limit* when the edge never becomes binding within it.
+    """
+    if not 0 <= edge_index < len(graph.edges):
+        raise AnalysisError(f"no edge index {edge_index}")
+    if target is None:
+        target = min_cycle_ratio_throughput(graph).throughput
+
+    def ok(count: int) -> bool:
+        probe = _with_relays(graph, edge_index, count)
+        return min_cycle_ratio_throughput(probe).throughput >= target
+
+    base = len(graph.edges[edge_index].relays)
+    if not ok(base):
+        raise AnalysisError(
+            "graph is below the target rate before any insertion"
+        )
+    lo, hi = base, limit
+    if ok(hi):
+        return hi
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if ok(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo
+
+
+def free_slack(graph: SystemGraph,
+               limit: int = 64) -> Dict[Tuple[str, str], int]:
+    """Extra relay stations each edge absorbs at unchanged throughput.
+
+    Keys are (src, dst); for parallel edges the first occurrence wins
+    (probe by index if you need finer control).
+    """
+    baseline = min_cycle_ratio_throughput(graph).throughput
+    slack: Dict[Tuple[str, str], int] = {}
+    for index, edge in enumerate(graph.edges):
+        key = (edge.src, edge.dst)
+        if key in slack:
+            continue
+        best = max_relays_at_rate(graph, index, target=baseline,
+                                  limit=limit)
+        slack[key] = best - len(edge.relays)
+    return slack
+
+
+def insertion_plan(
+    graph: SystemGraph,
+    required: Dict[Tuple[str, str], int],
+    name: Optional[str] = None,
+) -> Tuple[SystemGraph, Fraction]:
+    """Meet per-edge relay requirements, then rebalance.
+
+    *required* maps (src, dst) to the minimum relay count physical wire
+    length demands.  The plan (1) raises every edge to its requirement,
+    (2) runs path equalization so the feed-forward part stays at full
+    rate, and returns the annotated graph plus its exact throughput.
+    """
+    staged = graph.copy(name or f"{graph.name}_planned")
+    for edge in staged.edges:
+        need = required.get((edge.src, edge.dst))
+        if need is not None and need > len(edge.relays):
+            edge.relays = edge.relays + ("full",) * (
+                need - len(edge.relays))
+    balanced = equalize(staged, name or f"{graph.name}_planned")
+    rate = min_cycle_ratio_throughput(balanced).throughput
+    return balanced, rate
+
+
+def pareto_relay_throughput(
+    graph: SystemGraph,
+    edge_index: int,
+    max_relays: int = 8,
+) -> List[Tuple[int, Fraction]]:
+    """(relay count, throughput) curve for one edge — the figure-style
+    series showing where an edge starts costing bandwidth."""
+    curve: List[Tuple[int, Fraction]] = []
+    for count in range(max_relays + 1):
+        probe = _with_relays(graph, edge_index, count)
+        curve.append(
+            (count, min_cycle_ratio_throughput(probe).throughput))
+    return curve

@@ -1,0 +1,200 @@
+"""Closed-form throughput formulas from the paper.
+
+Three results, each implemented and cross-validated against skeleton
+simulation by the EXP-T benches:
+
+* **Trees** — throughput 1 (every node fires every cycle after the
+  transient).
+* **Reconvergent feed-forward** — ``T = (m - i)/m`` where ``i`` is the
+  relay-station imbalance between the reconvergent branches and ``m`` is
+  the total number of relay stations in the implicit loop (closed by
+  the short branch's back pressure) plus the number of shells on the
+  branch with the most relay stations.  In slot terms, ``m`` counts the
+  storage positions around the implicit loop: the relay stations of
+  both branches plus the output registers of the shells feeding the
+  long branch (divergence node included, join node excluded) — for the
+  paper's Figure 1, m = 3 + 2 = 5 and i = 1, giving T = 4/5.
+* **Feedback loops** — ``T = S/(S+R)``: at most S valid tokens circulate
+  among S+R storage positions.
+
+The general case (arbitrary compositions) is handled by
+:mod:`repro.analysis.mcr`; the formulas here are the fast paths and the
+paper-faithful statements.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import AnalysisError
+from ..graph.model import SystemGraph
+
+
+def loop_throughput(shells: int, relays: int) -> Fraction:
+    """T = S/(S+R) for a feedback loop (paper / Carloni DAC'00)."""
+    if shells < 1:
+        raise AnalysisError("a loop needs at least one shell")
+    if relays < 0:
+        raise AnalysisError("negative relay count")
+    return Fraction(shells, shells + relays)
+
+
+def reconvergent_throughput(imbalance: int, loop_positions: int) -> Fraction:
+    """T = (m - i)/m for a reconvergent feed-forward pair."""
+    if loop_positions < 1:
+        raise AnalysisError("m must be positive")
+    if imbalance < 0 or imbalance > loop_positions:
+        raise AnalysisError(f"imbalance {imbalance} out of range for m={loop_positions}")
+    return Fraction(loop_positions - imbalance, loop_positions)
+
+
+def tree_throughput(graph: SystemGraph) -> Fraction:
+    """Throughput 1 — after checking the graph really is a tree.
+
+    A tree here means: acyclic and no reconvergence (at most one simple
+    path between any ordered node pair).
+    """
+    if not graph.is_feedforward():
+        raise AnalysisError(f"{graph.name} has loops; not a tree")
+    if reconvergence_pairs(graph):
+        raise AnalysisError(f"{graph.name} has reconvergent paths; not a tree")
+    return Fraction(1)
+
+
+# -- reconvergence extraction ---------------------------------------------
+
+
+def reconvergence_pairs(graph: SystemGraph) -> List[Tuple[str, str]]:
+    """(divergence, join) node pairs with >= 2 disjoint directed paths.
+
+    Only shells/sources qualify as divergence points and only shells as
+    joins (a sink has a single input channel).
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes)
+    for edge in graph.edges:
+        g.add_edge(edge.src, edge.dst)
+    pairs: List[Tuple[str, str]] = []
+    for div in graph.nodes:
+        if graph.nodes[div].kind == "sink":
+            continue
+        for join in graph.nodes:
+            if join == div or graph.nodes[join].kind != "shell":
+                continue
+            if len(graph.in_edges(join)) < 2:
+                continue
+            try:
+                paths = list(nx.node_disjoint_paths(g, div, join))
+            except nx.NetworkXNoPath:
+                continue
+            if len(paths) >= 2:
+                pairs.append((div, join))
+    return pairs
+
+
+def _path_relay_count(graph: SystemGraph, path: Sequence[str]) -> int:
+    total = 0
+    for a, b in zip(path, path[1:]):
+        candidates = [e.relay_count for e in graph.edges
+                      if e.src == a and e.dst == b]
+        if not candidates:
+            raise AnalysisError(f"no edge {a!r}->{b!r} on path")
+        total += min(candidates)
+    return total
+
+
+def analyze_reconvergence(
+    graph: SystemGraph,
+    divergence: str,
+    join: str,
+) -> Tuple[int, int, Fraction]:
+    """Apply the paper's formula to one reconvergent pair.
+
+    Returns ``(i, m, T)``.  The two branches are taken as a pair of
+    node-disjoint paths between *divergence* and *join*; with more than
+    two branches the extreme pair (most vs fewest relay stations)
+    determines the throughput.
+    """
+    g = nx.DiGraph()
+    g.add_nodes_from(graph.nodes)
+    for edge in graph.edges:
+        g.add_edge(edge.src, edge.dst)
+    try:
+        paths = list(nx.node_disjoint_paths(g, divergence, join))
+    except nx.NetworkXNoPath:
+        raise AnalysisError(f"no path {divergence!r} -> {join!r}") from None
+    if len(paths) < 2:
+        raise AnalysisError(
+            f"{divergence!r} -> {join!r} is not reconvergent "
+            f"(only {len(paths)} disjoint path)"
+        )
+    counted = [( _path_relay_count(graph, p), p) for p in paths]
+    # Tie-break equal relay counts by path length so the branch with
+    # more shells is treated as the long one (m is well defined; T is
+    # unaffected since i = 0 on ties).
+    counted.sort(key=lambda pair: (pair[0], len(pair[1])))
+    short_relays, _short_path = counted[0]
+    long_relays, long_path = counted[-1]
+    imbalance = long_relays - short_relays
+    # Storage positions on the implicit loop: all relay stations of both
+    # branches, plus the output registers of the shells feeding the long
+    # branch (divergence node included when it is a shell, join excluded).
+    shells_on_long = sum(
+        1 for name in long_path[:-1] if graph.nodes[name].kind == "shell"
+    )
+    m = long_relays + short_relays + shells_on_long
+    return imbalance, m, reconvergent_throughput(imbalance, m)
+
+
+def analyze_loops(graph: SystemGraph) -> Dict[Tuple[str, ...], Fraction]:
+    """S/(S+R) for every simple cycle of the block graph."""
+    result: Dict[Tuple[str, ...], Fraction] = {}
+    for cycle in graph.shell_cycles():
+        shells, relays = graph.loop_census(cycle)
+        result[tuple(cycle)] = loop_throughput(shells, relays)
+    return result
+
+
+def effective_throughput(
+    graph: SystemGraph,
+    source_rates: Optional[Dict[str, Fraction]] = None,
+    sink_rates: Optional[Dict[str, Fraction]] = None,
+) -> Fraction:
+    """System throughput under rate-limited endpoints.
+
+    The protocol adapts to whatever is slowest: a source that offers
+    tokens at rate p, a sink that accepts at rate q, or the topology's
+    own ceiling.  For the single-rate systems of the paper the bound
+    composes by min() — verified against skeleton simulation in
+    ``tests/analysis/test_throughput.py``.
+    """
+    bound = static_system_throughput(graph)
+    for rate in (source_rates or {}).values():
+        bound = min(bound, Fraction(rate))
+    for rate in (sink_rates or {}).values():
+        bound = min(bound, Fraction(rate))
+    return bound
+
+
+def static_system_throughput(graph: SystemGraph) -> Fraction:
+    """Best static estimate from the paper's closed-form results.
+
+    The minimum over all feedback loops and all reconvergent pairs,
+    capped at 1.  (The exact general answer — including interactions
+    between sub-topologies — comes from :func:`repro.analysis.mcr.
+    min_cycle_ratio_throughput`; the paper proves the slowest
+    sub-topology dominates, which the EXP-T5 bench verifies.)
+    """
+    best = Fraction(1)
+    for _cycle, rate in analyze_loops(graph).items():
+        best = min(best, rate)
+    for div, join in reconvergence_pairs(graph):
+        try:
+            _i, _m, rate = analyze_reconvergence(graph, div, join)
+        except AnalysisError:
+            continue
+        best = min(best, rate)
+    return best

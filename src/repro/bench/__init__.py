@@ -1,0 +1,6 @@
+"""Benchmark harness: workloads, experiment runners and table rendering."""
+
+from .runner import EXPERIMENTS, run_all
+from .tables import format_table
+
+__all__ = ["EXPERIMENTS", "format_table", "run_all"]

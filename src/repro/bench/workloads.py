@@ -1,0 +1,158 @@
+"""Canonical workloads for the experiment benches.
+
+One builder per experiment family (see DESIGN.md §5); every
+``benchmarks/bench_*.py`` file pulls its systems from here so the
+parameters that define each paper artifact live in exactly one place.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..graph import (
+    SystemGraph,
+    figure1,
+    figure2,
+    loop_with_tail,
+    pipeline,
+    reconvergent,
+    ring,
+    tree,
+)
+
+#: Back-pressure scripts used by several experiments: name -> pattern.
+SINK_PATTERNS: Dict[str, Tuple[bool, ...]] = {
+    "none": (False,),
+    "light": (False, False, False, True),
+    "heavy": (False, True, True),
+    "bursty": (False, False, True, True, True, False),
+}
+
+#: Source availability scripts (True = token offered that cycle).
+SOURCE_PATTERNS: Dict[str, Tuple[bool, ...]] = {
+    "steady": (True,),
+    "gappy": (True, True, False),
+    "bursty": (True, True, True, False, False),
+}
+
+
+def figure1_workload() -> SystemGraph:
+    """EXP-F1: the exact Figure 1 system (i=1, m=5, T=4/5)."""
+    return figure1()
+
+
+def figure2_workload(relays_per_arc: int = 1) -> SystemGraph:
+    """EXP-F2: the Figure 2 two-shell loop."""
+    return figure2(relays_per_arc)
+
+
+def ring_sweep() -> List[Tuple[int, int, SystemGraph]]:
+    """EXP-T4: (S, R, graph) instances covering the S/(S+R) formula."""
+    cases: List[Tuple[int, int, SystemGraph]] = []
+    for shells, total_relays in [
+        (1, 1), (1, 2), (1, 4),
+        (2, 2), (2, 3), (2, 4), (2, 6),
+        (3, 3), (3, 4), (3, 5),
+        (4, 4), (4, 6),
+    ]:
+        per_arc = [
+            total_relays // shells + (1 if i < total_relays % shells else 0)
+            for i in range(shells)
+        ]
+        if shells == 1:
+            graph = ring(1, relays_per_arc=[per_arc[0]])
+        else:
+            graph = ring(shells, relays_per_arc=per_arc)
+        graph.name = f"ring_S{shells}_R{total_relays}"
+        cases.append((shells, total_relays, graph))
+    return cases
+
+
+def reconvergent_sweep() -> List[Tuple[int, int, SystemGraph]]:
+    """EXP-T2: (i, m, graph) instances for the (m-i)/m formula."""
+    cases: List[Tuple[int, int, SystemGraph]] = []
+    settings = [
+        # (long relay chain per hop, short relays)
+        ((1, 1), 1),   # figure 1: i=1, m=5
+        ((2, 1), 1),   # i=2, m=6
+        ((1, 1), 2),   # balanced: i=0
+        ((2, 2), 1),   # i=3, m=7
+        ((1, 1, 1), 1),  # longer branch with 2 intermediate shells
+        ((3, 1), 2),   # i=2, m=8
+    ]
+    for long_relays, short_relays in settings:
+        graph = reconvergent(long_relays=long_relays,
+                             short_relays=short_relays)
+        long_total = sum(long_relays)
+        imbalance = long_total - short_relays
+        shells_on_long = len(long_relays)  # divergence + intermediates
+        m = long_total + short_relays + shells_on_long
+        graph.name = f"reconv_i{imbalance}_m{m}"
+        cases.append((imbalance, m, graph))
+    return cases
+
+
+def tree_sweep() -> List[Tuple[int, int, SystemGraph]]:
+    """EXP-T1: (depth, relays/hop, graph) tree instances."""
+    cases = []
+    for depth in (1, 2, 3):
+        for relays in (1, 2):
+            graph = tree(depth, relays_per_hop=relays)
+            graph.name = f"tree_d{depth}_r{relays}"
+            cases.append((depth, relays, graph))
+    return cases
+
+
+def composition_cases() -> List[Tuple[str, SystemGraph]]:
+    """EXP-T5: composed systems where the slowest sub-topology wins."""
+    from ..graph import composed
+
+    return [
+        ("loop(1/3) after reconv(2/3)", composed(reconv_imbalance=2,
+                                                 loop_relays=2)),
+        ("loop(1/2) after reconv(2/3)", composed(reconv_imbalance=2,
+                                                 loop_relays=1)),
+        ("loop(1/2) tail pipeline", loop_with_tail(loop_shells=2,
+                                                   loop_relays=2)),
+        ("loop(2/5) tail pipeline", loop_with_tail(loop_shells=2,
+                                                   loop_relays=3)),
+    ]
+
+
+def deadlock_suite() -> List[Tuple[str, str, SystemGraph]]:
+    """EXP-D1: (class, expectation, graph) liveness study instances.
+
+    Expectation values: "live" or "hazard" (potential deadlock class,
+    i.e. half relay stations on loops — lint rejects these, so they
+    elaborate with ``strict=False`` only).
+    """
+    suite: List[Tuple[str, str, SystemGraph]] = []
+    suite.append(("feed-forward", "live", figure1()))
+    suite.append(("feed-forward", "live", tree(3)))
+    suite.append(("feed-forward", "live",
+                  pipeline(4, relays_per_hop=2)))
+    ff_half = pipeline(3, relays_per_hop=1)
+    for edge in ff_half.edges:
+        if edge.relays:
+            edge.relays = ("half",) * len(edge.relays)
+    ff_half.name = "pipeline_half"
+    suite.append(("feed-forward + half RS", "live", ff_half))
+    suite.append(("loop, full RS only", "live", figure2()))
+    suite.append(("loop, full RS only", "live", ring(3, relays_per_arc=2)))
+    mixed = ring(2, relays_per_arc=[["half"], ["full"]])
+    mixed.name = "ring_half_full"
+    suite.append(("loop with half RS", "hazard", mixed))
+    allhalf = ring(2, relays_per_arc=[["half"], ["half"]])
+    allhalf.name = "ring_all_half"
+    suite.append(("loop with half RS", "hazard", allhalf))
+    return suite
+
+
+def pipeline_scaling(sizes: Sequence[int] = (4, 16, 64)) -> List[SystemGraph]:
+    """EXP-D2: pipelines of growing size for the cost comparison."""
+    graphs = []
+    for stages in sizes:
+        graph = pipeline(stages, relays_per_hop=2)
+        graph.name = f"pipeline{stages}"
+        graphs.append(graph)
+    return graphs

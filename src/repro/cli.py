@@ -1,0 +1,259 @@
+"""Command-line interface: ``repro-lid``.
+
+Subcommands:
+
+* ``analyze``   — static + dynamic analysis of a named topology;
+* ``verify``    — run the safety-property campaign;
+* ``reproduce`` — regenerate every paper artifact (tables to stdout);
+* ``figure1`` / ``figure2`` — print the evolution traces of the paper's
+  two figures;
+* ``deadlock``  — skeleton liveness check of a named topology;
+* ``export``    — emit a topology as DOT or JSON, or a protocol block
+  as VHDL.
+
+Topology arguments take the form ``name[:key=value,...]``, e.g.
+``ring:shells=3,relays=2`` or ``reconvergent:long=2+1,short=1``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict
+
+from .analysis import analyze
+from .bench.runner import EXPERIMENTS, run_all, run_figure1, run_figure2
+from .graph import SystemGraph, figure1, figure2, pipeline, reconvergent, ring, tree
+from .lid.variant import ProtocolVariant
+from .skeleton import check_deadlock
+
+
+def _parse_topology(spec: str) -> SystemGraph:
+    name, _sep, args_text = spec.partition(":")
+    params: Dict[str, str] = {}
+    if args_text:
+        for item in args_text.split(","):
+            key, _eq, value = item.partition("=")
+            params[key.strip()] = value.strip()
+    if name == "figure1":
+        return figure1()
+    if name == "figure2":
+        return figure2(int(params.get("relays", 1)))
+    if name == "ring":
+        return ring(int(params.get("shells", 2)),
+                    relays_per_arc=int(params.get("relays", 1)))
+    if name == "tree":
+        return tree(int(params.get("depth", 3)),
+                    relays_per_hop=int(params.get("relays", 1)))
+    if name == "pipeline":
+        return pipeline(int(params.get("stages", 3)),
+                        relays_per_hop=int(params.get("relays", 1)))
+    if name == "reconvergent":
+        long_relays = tuple(
+            int(x) for x in params.get("long", "1+1").split("+"))
+        return reconvergent(long_relays=long_relays,
+                            short_relays=int(params.get("short", 1)))
+    if name == "composed":
+        from .graph import composed
+
+        return composed(
+            reconv_imbalance=int(params.get("imbalance", 1)),
+            loop_relays=int(params.get("loop_relays", 2)))
+    if name == "self_loop":
+        from .graph import self_loop
+
+        return self_loop(relays=int(params.get("relays", 1)))
+    if name == "butterfly":
+        from .graph import butterfly_network
+
+        return butterfly_network(
+            lanes=int(params.get("lanes", 8)),
+            relays_per_hop=int(params.get("relays", 1)))
+    raise SystemExit(
+        f"unknown topology {name!r} (choices: figure1, figure2, ring, "
+        f"tree, pipeline, reconvergent, composed, self_loop, butterfly)"
+    )
+
+
+def _variant(text: str) -> ProtocolVariant:
+    return ProtocolVariant(text)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lid",
+        description="Latency-insensitive protocol toolkit "
+                    "(Casu & Macchiarulo, DATE 2004 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_analyze = sub.add_parser("analyze", help="analyze a topology")
+    p_analyze.add_argument("topology")
+    p_analyze.add_argument("--variant", type=_variant,
+                           default=ProtocolVariant.CASU,
+                           choices=list(ProtocolVariant))
+
+    sub.add_parser("verify", help="run the safety-property campaign")
+
+    p_repro = sub.add_parser("reproduce",
+                             help="regenerate all paper artifacts")
+    p_repro.add_argument("--experiment", choices=sorted(EXPERIMENTS),
+                         help="run a single experiment id")
+    p_repro.add_argument("--output", "-o", default=None,
+                         help="write one table file per experiment "
+                              "into this directory")
+
+    sub.add_parser("figure1", help="print the Figure 1 evolution")
+    sub.add_parser("figure2", help="print the Figure 2 sweep")
+
+    p_dead = sub.add_parser("deadlock", help="skeleton liveness check")
+    p_dead.add_argument("topology")
+    p_dead.add_argument("--variant", type=_variant,
+                        default=ProtocolVariant.CASU,
+                        choices=list(ProtocolVariant))
+
+    p_live = sub.add_parser(
+        "liveness",
+        help="exhaustive liveness proof over all environments")
+    p_live.add_argument("topology")
+    p_live.add_argument("--variant", type=_variant,
+                        default=ProtocolVariant.CASU,
+                        choices=list(ProtocolVariant))
+    p_live.add_argument("--max-states", type=int, default=100_000)
+
+    p_stats = sub.add_parser(
+        "stats", help="simulate a topology and print run statistics")
+    p_stats.add_argument("topology")
+    p_stats.add_argument("--cycles", type=int, default=200)
+    p_stats.add_argument("--variant", type=_variant,
+                         default=ProtocolVariant.CASU,
+                         choices=list(ProtocolVariant))
+
+    p_series = sub.add_parser(
+        "series", help="emit a figure-style data series as CSV")
+    from .analysis.sweep import SERIES_GENERATORS
+
+    p_series.add_argument("which", choices=sorted(SERIES_GENERATORS))
+    p_series.add_argument("--output", "-o", default=None)
+
+    p_export = sub.add_parser("export", help="export artifacts")
+    p_export.add_argument(
+        "what",
+        choices=["dot", "json", "relay-vhdl", "half-relay-vhdl",
+                 "shell-vhdl"],
+    )
+    p_export.add_argument("--topology",
+                          help="for dot/json: topology to export")
+    p_export.add_argument("--width", type=int, default=8,
+                          help="for vhdl: data width")
+    p_export.add_argument("--output", "-o", default=None,
+                          help="output file (default: stdout)")
+
+    args = parser.parse_args(argv)
+
+    if args.command == "analyze":
+        graph = _parse_topology(args.topology)
+        print(analyze(graph, variant=args.variant).render())
+    elif args.command == "verify":
+        from .verify import results_table, verify_all
+
+        print(results_table(verify_all()))
+    elif args.command == "reproduce":
+        if args.output:
+            from .bench.runner import write_results
+
+            for path in write_results(args.output):
+                print(f"wrote {path}")
+        elif args.experiment:
+            description, runner = EXPERIMENTS[args.experiment]
+            table, _rows = runner()
+            print(f"[{args.experiment}] {description}\n")
+            print(table)
+        else:
+            print(run_all())
+    elif args.command == "figure1":
+        table, _rows = run_figure1()
+        print(table)
+    elif args.command == "figure2":
+        table, _rows = run_figure2()
+        print(table)
+    elif args.command == "deadlock":
+        graph = _parse_topology(args.topology)
+        verdict = check_deadlock(graph, variant=args.variant)
+        print(verdict.detail)
+        return 0 if verdict.live else 1
+    elif args.command == "stats":
+        import json as _json
+
+        graph = _parse_topology(args.topology)
+        system = graph.elaborate(variant=args.variant)
+        system.run(args.cycles)
+        print(_json.dumps(system.stats(), indent=2, sort_keys=True))
+    elif args.command == "liveness":
+        from .verify import verify_system_liveness
+
+        graph = _parse_topology(args.topology)
+        result = verify_system_liveness(graph, variant=args.variant,
+                                        max_states=args.max_states)
+        if result.live:
+            print(f"LIVE for all environments: "
+                  f"{result.reachable_states} reachable states, "
+                  f"{result.transitions} transitions explored, "
+                  f"{result.ambiguous_states} with ambiguous stop "
+                  f"fixpoints")
+        else:
+            print(f"STUCK STATE reachable after exploring "
+                  f"{result.reachable_states} states: "
+                  f"{result.stuck_state}")
+        return 0 if result.live else 1
+    elif args.command == "series":
+        from .analysis.sweep import SERIES_GENERATORS
+
+        series = SERIES_GENERATORS[args.which]()
+        text = series.to_csv()
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        else:
+            print(text, end="")
+    elif args.command == "export":
+        text = _export(args)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text)
+        else:
+            print(text)
+    return 0
+
+
+def _export(args) -> str:
+    if args.what in ("dot", "json"):
+        if not args.topology:
+            raise SystemExit("--topology required for dot/json export")
+        graph = _parse_topology(args.topology)
+        if args.what == "dot":
+            from .graph import to_dot
+
+            return to_dot(graph)
+        import json as _json
+
+        from .graph import to_dict
+
+        return _json.dumps(to_dict(graph), indent=2, sort_keys=True)
+    from .rtl import (
+        emit_vhdl,
+        full_relay_station_netlist,
+        half_relay_station_netlist,
+        identity_shell_netlist,
+    )
+
+    builders = {
+        "relay-vhdl": full_relay_station_netlist,
+        "half-relay-vhdl": half_relay_station_netlist,
+        "shell-vhdl": identity_shell_netlist,
+    }
+    return emit_vhdl(builders[args.what](args.width))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

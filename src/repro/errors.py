@@ -1,0 +1,79 @@
+"""Exception hierarchy for the LIP reproduction toolkit.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch the whole family with a single ``except`` clause while
+still being able to distinguish structural problems (bad netlists), protocol
+violations observed at simulation time, and verification failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class StructuralError(ReproError):
+    """A netlist or system graph is malformed.
+
+    Raised by builders and by :mod:`repro.lid.lint` — e.g. a channel with two
+    drivers, a shell port left unconnected, or two shells connected without an
+    intervening relay station (which the paper forbids because the shell does
+    not register incoming stop signals).
+    """
+
+
+class CombinationalLoopError(StructuralError):
+    """The backward stop network contains a true combinational cycle.
+
+    This happens when a directed cycle of the system graph contains only
+    shells and half relay stations: every block on the cycle propagates the
+    stop signal combinationally, so the stop would feed back into itself
+    within a single clock cycle.  The paper's remedy is to place at least one
+    full relay station (registered stop) on every cycle.
+    """
+
+
+class ConvergenceError(ReproError):
+    """The combinational settle phase failed to reach a fixpoint.
+
+    With the monotone stop semantics used by this package this indicates an
+    internal error or a user-written component whose combinational function
+    is not monotone/idempotent.
+    """
+
+
+class ProtocolViolationError(ReproError):
+    """A protocol invariant was violated during simulation.
+
+    Examples: a token was overwritten before being consumed, or a block
+    changed a held output while its stop input was asserted.  These checks
+    are the runtime counterparts of the paper's SMV safety properties.
+    """
+
+
+class DeadlockError(ReproError):
+    """Simulation detected a deadlock (no block can ever fire again)."""
+
+
+class VerificationError(ReproError):
+    """A formal verification run found a property violation.
+
+    The exception carries the counterexample trace when available.
+    """
+
+    def __init__(self, message: str, counterexample=None):
+        super().__init__(message)
+        self.counterexample = counterexample
+
+
+class AnalysisError(ReproError):
+    """A static analysis could not be performed on the given graph.
+
+    E.g. asking for the reconvergent-topology formula on a graph that is not
+    a reconvergent feed-forward topology.
+    """
+
+
+class ElaborationError(ReproError):
+    """RTL elaboration failed (unbound port, width mismatch, bad primitive)."""

@@ -1,0 +1,76 @@
+"""Topology layer: system graphs, builders, equalization and cures."""
+
+from .dot import to_dot, write_dot
+from .equalize import equalization_plan, equalize, imbalance, relay_depths
+from .floorplan import (
+    FloorplanReport,
+    Placement,
+    apply_floorplan,
+    layered_placement,
+    required_relays,
+    shrink_sweep,
+)
+from .io import PEARL_REGISTRY, from_dict, load_graph, pearl_spec, save_graph, to_dict
+from .model import Edge, Node, SystemGraph
+from .random_gen import random_dag, random_loopy, random_suite
+from .topologies import (
+    butterfly_network,
+    composed,
+    figure1,
+    figure2,
+    loop_with_tail,
+    pipeline,
+    reconvergent,
+    ring,
+    self_loop,
+    tree,
+)
+from .transform import (
+    cure_deadlock,
+    desugar_queues,
+    half_relays_on_loops,
+    insert_relay,
+    promote_half_relays,
+)
+
+__all__ = [
+    "Edge",
+    "FloorplanReport",
+    "Node",
+    "PEARL_REGISTRY",
+    "Placement",
+    "SystemGraph",
+    "apply_floorplan",
+    "butterfly_network",
+    "composed",
+    "cure_deadlock",
+    "desugar_queues",
+    "equalization_plan",
+    "equalize",
+    "figure1",
+    "figure2",
+    "from_dict",
+    "half_relays_on_loops",
+    "imbalance",
+    "insert_relay",
+    "layered_placement",
+    "load_graph",
+    "loop_with_tail",
+    "pearl_spec",
+    "pipeline",
+    "promote_half_relays",
+    "random_dag",
+    "random_loopy",
+    "random_suite",
+    "reconvergent",
+    "relay_depths",
+    "required_relays",
+    "ring",
+    "save_graph",
+    "self_loop",
+    "shrink_sweep",
+    "to_dict",
+    "to_dot",
+    "tree",
+    "write_dot",
+]

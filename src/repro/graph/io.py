@@ -1,0 +1,160 @@
+"""JSON (de)serialization of system graphs.
+
+Topologies are experiment specifications; being able to check them into
+a repository, diff them and reload them matters for reproducibility.
+Structure round-trips exactly; behaviour round-trips for the built-in
+pearls (stored by registered name + constructor kwargs).  Custom pearl
+factories serialize with a placeholder and must be re-registered on
+load via the *registry* argument.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from ..errors import StructuralError
+from ..pearls import (
+    Accumulator,
+    Adder,
+    Alu,
+    Butterfly,
+    Counter,
+    Decimator,
+    Delay,
+    Fibonacci,
+    FirFilter,
+    Identity,
+    IirFilter,
+    Mac,
+    Maximum,
+    MovingAverage,
+    Multiplier,
+    Scaler,
+    Subtractor,
+    Toggle,
+)
+from .model import SystemGraph
+
+#: Built-in pearls addressable by name in serialized graphs.
+PEARL_REGISTRY: Dict[str, Callable] = {
+    cls.__name__: cls
+    for cls in (
+        Accumulator, Adder, Alu, Butterfly, Counter, Decimator, Delay,
+        Fibonacci, FirFilter, Identity, IirFilter, Mac, Maximum,
+        MovingAverage, Multiplier, Scaler, Subtractor, Toggle,
+    )
+}
+
+
+def pearl_spec(name: str, **kwargs) -> Callable:
+    """A serializable pearl factory: built-in class name + kwargs.
+
+    Use these in graphs you intend to save::
+
+        graph.add_shell("fir", pearl_spec("FirFilter", taps=(1, 2, 1)))
+    """
+    if name not in PEARL_REGISTRY:
+        raise StructuralError(
+            f"unknown pearl {name!r}; registered: "
+            f"{sorted(PEARL_REGISTRY)}"
+        )
+    cls = PEARL_REGISTRY[name]
+
+    def factory():
+        return cls(**kwargs)
+
+    factory.pearl_name = name
+    factory.pearl_kwargs = dict(kwargs)
+    return factory
+
+
+def to_dict(graph: SystemGraph) -> Dict[str, Any]:
+    """Serialize *graph* to a JSON-compatible dictionary."""
+    nodes = []
+    for node in graph.nodes.values():
+        entry: Dict[str, Any] = {"name": node.name, "kind": node.kind}
+        if node.queue_depth is not None:
+            entry["queue_depth"] = node.queue_depth
+        if node.kind == "shell":
+            factory = node.pearl_factory
+            name = getattr(factory, "pearl_name", None)
+            if name is None and isinstance(factory, type) \
+                    and factory.__name__ in PEARL_REGISTRY:
+                name = factory.__name__
+            if name is not None:
+                entry["pearl"] = name
+                entry["pearl_kwargs"] = getattr(
+                    factory, "pearl_kwargs", {})
+            else:
+                entry["pearl"] = None  # custom factory: re-register
+        nodes.append(entry)
+    edges = [
+        {
+            "src": e.src, "dst": e.dst,
+            "src_port": e.src_port, "dst_port": e.dst_port,
+            "relays": list(e.relays),
+        }
+        for e in graph.edges
+    ]
+    return {"name": graph.name, "nodes": nodes, "edges": edges}
+
+
+def from_dict(data: Dict[str, Any],
+              registry: Optional[Dict[str, Callable]] = None
+              ) -> SystemGraph:
+    """Rebuild a graph from :func:`to_dict` output.
+
+    *registry* maps custom pearl names (or node names, checked second)
+    to factories for shells that serialized with ``pearl: null``.
+    """
+    registry = registry or {}
+    graph = SystemGraph(data.get("name", "loaded"))
+    for node in data["nodes"]:
+        kind = node["kind"]
+        if kind == "source":
+            graph.add_source(node["name"])
+        elif kind == "sink":
+            graph.add_sink(node["name"])
+        elif kind == "shell":
+            pearl = node.get("pearl")
+            if pearl is not None:
+                factory = pearl_spec(pearl, **node.get("pearl_kwargs",
+                                                       {}))
+            elif node["name"] in registry:
+                factory = registry[node["name"]]
+            else:
+                raise StructuralError(
+                    f"shell {node['name']!r} used a custom pearl; pass "
+                    f"a factory for it in `registry`"
+                )
+            depth = node.get("queue_depth")
+            if depth is not None:
+                graph.add_queued_shell(node["name"], factory,
+                                       queue_depth=depth)
+            else:
+                graph.add_shell(node["name"], factory)
+        else:
+            raise StructuralError(f"unknown node kind {kind!r}")
+    for edge in data["edges"]:
+        graph.add_edge(
+            edge["src"], edge["dst"],
+            relays=tuple(edge.get("relays", ())),
+            src_port=edge.get("src_port"),
+            dst_port=edge.get("dst_port"),
+        )
+    return graph
+
+
+def save_graph(graph: SystemGraph, path: str) -> None:
+    """Write *graph* to *path* as JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_dict(graph), fh, indent=2, sort_keys=True)
+
+
+def load_graph(path: str,
+               registry: Optional[Dict[str, Callable]] = None
+               ) -> SystemGraph:
+    """Load a graph saved by :func:`save_graph`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return from_dict(json.load(fh), registry=registry)

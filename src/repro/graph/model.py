@@ -1,0 +1,313 @@
+"""Abstract system graphs: simulator-independent topology descriptions.
+
+The paper reasons about LID systems as *"a direct, possibly cyclic graph
+associated to a system of interconnected synchronous processes"*.  A
+:class:`SystemGraph` captures exactly that: shells (with pearl
+factories), sources, sinks, and edges annotated with relay-station
+chains.  The same graph object feeds
+
+* :meth:`SystemGraph.elaborate` — builds a live
+  :class:`~repro.lid.system.LidSystem` for full simulation;
+* :mod:`repro.skeleton` — the valid/stop-only fast simulator;
+* :mod:`repro.analysis` — the closed-form and minimum-cycle-ratio
+  throughput analyses;
+* :mod:`repro.graph.transform` — path equalization and deadlock cures.
+
+Pearls are stored as zero-argument *factories* so a graph can be
+elaborated many times (different variants, before/after transforms)
+with fresh pearl state each time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..errors import StructuralError
+
+#: Relay chain entry: "full", "half", or "half-registered".
+RelaySpec = str
+
+VALID_RELAY_SPECS = ("full", "half", "half-registered")
+
+
+@dataclasses.dataclass
+class Node:
+    """One block of the system graph.
+
+    ``queue_depth`` marks a shell as a queued shell (input FIFOs with
+    registered stop, see :class:`repro.lid.queued_shell.QueuedShell`);
+    ``None`` means the paper's plain shell.
+    """
+
+    name: str
+    kind: str  # "shell" | "source" | "sink"
+    pearl_factory: Optional[Callable[[], Any]] = None
+    stream_factory: Optional[Callable[[], Any]] = None
+    stop_script: Optional[Callable[[int], bool]] = None
+    queue_depth: Optional[int] = None
+
+    def __post_init__(self):
+        if self.kind not in ("shell", "source", "sink"):
+            raise StructuralError(f"unknown node kind {self.kind!r}")
+        if self.kind == "shell" and self.pearl_factory is None:
+            raise StructuralError(f"shell {self.name!r} needs a pearl factory")
+        if self.queue_depth is not None:
+            if self.kind != "shell":
+                raise StructuralError(
+                    f"{self.name!r}: only shells can be queued")
+            if self.queue_depth < 1:
+                raise StructuralError(
+                    f"{self.name!r}: queue_depth must be >= 1")
+
+
+@dataclasses.dataclass
+class Edge:
+    """One connection, with its relay-station chain."""
+
+    src: str
+    dst: str
+    src_port: Optional[str] = None
+    dst_port: Optional[str] = None
+    relays: Tuple[RelaySpec, ...] = ()
+
+    def __post_init__(self):
+        self.relays = tuple(self.relays)
+        for spec in self.relays:
+            if spec not in VALID_RELAY_SPECS:
+                raise StructuralError(f"unknown relay spec {spec!r}")
+
+    @property
+    def relay_count(self) -> int:
+        return len(self.relays)
+
+    def key(self) -> Tuple[str, Optional[str], str, Optional[str]]:
+        return (self.src, self.src_port, self.dst, self.dst_port)
+
+
+class SystemGraph:
+    """A buildable, analyzable description of a LID system."""
+
+    def __init__(self, name: str = "system"):
+        self.name = name
+        self.nodes: Dict[str, Node] = {}
+        self.edges: List[Edge] = []
+
+    # -- construction ------------------------------------------------------
+
+    def add_shell(self, name: str, pearl_factory: Callable[[], Any]) -> Node:
+        return self._add_node(Node(name, "shell", pearl_factory=pearl_factory))
+
+    def add_queued_shell(self, name: str,
+                         pearl_factory: Callable[[], Any],
+                         queue_depth: int = 2) -> Node:
+        return self._add_node(Node(name, "shell",
+                                   pearl_factory=pearl_factory,
+                                   queue_depth=queue_depth))
+
+    def add_source(self, name: str, stream_factory=None) -> Node:
+        return self._add_node(Node(name, "source", stream_factory=stream_factory))
+
+    def add_sink(self, name: str, stop_script=None) -> Node:
+        return self._add_node(Node(name, "sink", stop_script=stop_script))
+
+    def _add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise StructuralError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        return node
+
+    def add_edge(
+        self,
+        src: str,
+        dst: str,
+        relays: Iterable[RelaySpec] | int = (),
+        src_port: Optional[str] = None,
+        dst_port: Optional[str] = None,
+    ) -> Edge:
+        """Connect *src* to *dst* with the given relay chain.
+
+        *relays* may be an integer (that many full relay stations) or an
+        explicit spec sequence, producer side first.
+        """
+        for name in (src, dst):
+            if name not in self.nodes:
+                raise StructuralError(f"unknown node {name!r}")
+        if self.nodes[src].kind == "sink":
+            raise StructuralError(f"sink {src!r} cannot produce")
+        if self.nodes[dst].kind == "source":
+            raise StructuralError(f"source {dst!r} cannot consume")
+        if isinstance(relays, int):
+            relays = ("full",) * relays
+        edge = Edge(src, dst, src_port, dst_port, tuple(relays))
+        self.edges.append(edge)
+        return edge
+
+    # -- queries ---------------------------------------------------------
+
+    def shells(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.kind == "shell"]
+
+    def sources(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.kind == "source"]
+
+    def sinks(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.kind == "sink"]
+
+    def out_edges(self, name: str) -> List[Edge]:
+        return [e for e in self.edges if e.src == name]
+
+    def in_edges(self, name: str) -> List[Edge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def relay_count(self, kind: Optional[str] = None) -> int:
+        """Total relay stations, optionally of one spec kind."""
+        total = 0
+        for edge in self.edges:
+            if kind is None:
+                total += len(edge.relays)
+            else:
+                total += sum(1 for s in edge.relays if s == kind)
+        return total
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Block-level multigraph (edge data: the :class:`Edge`)."""
+        g = nx.MultiDiGraph(name=self.name)
+        for node in self.nodes.values():
+            g.add_node(node.name, kind=node.kind)
+        for edge in self.edges:
+            g.add_edge(edge.src, edge.dst, edge=edge)
+        return g
+
+    def shell_cycles(self) -> List[List[str]]:
+        """Simple cycles of the block graph (each a list of node names).
+
+        These are the paper's "loops of shells and relay stations"; the
+        feedback-throughput formula and the deadlock criteria quantify
+        over them.
+        """
+        return [list(c) for c in nx.simple_cycles(nx.DiGraph(
+            (e.src, e.dst) for e in self.edges))]
+
+    def is_feedforward(self) -> bool:
+        """True when the block graph is acyclic (tree or reconvergent)."""
+        return not self.shell_cycles()
+
+    def loop_census(self, cycle: Sequence[str]) -> Tuple[int, int]:
+        """``(S, R)`` for one cycle: shells and relay stations on it.
+
+        *cycle* is a list of node names forming a directed cycle.  When
+        parallel edges exist between consecutive nodes, the one with the
+        fewest relay stations is counted (the protocol's tokens can take
+        any of them; the analysis formulas use per-loop counts).
+        """
+        shells = sum(1 for n in cycle if self.nodes[n].kind == "shell")
+        relays = 0
+        for i, name in enumerate(cycle):
+            nxt = cycle[(i + 1) % len(cycle)]
+            candidates = [
+                e.relay_count for e in self.edges
+                if e.src == name and e.dst == nxt
+            ]
+            if not candidates:
+                raise StructuralError(
+                    f"no edge {name!r} -> {nxt!r} along claimed cycle"
+                )
+            relays += min(candidates)
+        return shells, relays
+
+    def validate(self) -> None:
+        """Structural sanity: ports exist, shells fully connected."""
+        for edge in self.edges:
+            self._check_port(edge.src, edge.src_port, output=True)
+            self._check_port(edge.dst, edge.dst_port, output=False)
+        for node in self.shells():
+            pearl = node.pearl_factory()
+            in_ports = {e.dst_port or self._only_port(pearl, False)
+                        for e in self.in_edges(node.name)}
+            out_ports = {e.src_port or self._only_port(pearl, True)
+                         for e in self.out_edges(node.name)}
+            missing_in = set(pearl.input_ports) - in_ports
+            missing_out = set(pearl.output_ports) - out_ports
+            if missing_in or missing_out:
+                raise StructuralError(
+                    f"shell {node.name!r}: unconnected ports "
+                    f"(inputs {sorted(missing_in)}, outputs {sorted(missing_out)})"
+                )
+
+    def _check_port(self, name: str, port: Optional[str], output: bool) -> None:
+        node = self.nodes[name]
+        if node.kind != "shell":
+            return
+        pearl = node.pearl_factory()
+        ports = pearl.output_ports if output else pearl.input_ports
+        if port is None:
+            if len(ports) != 1:
+                raise StructuralError(
+                    f"{name!r}: port name required (choices: {list(ports)})"
+                )
+        elif port not in ports:
+            raise StructuralError(
+                f"{name!r}: no {'output' if output else 'input'} port {port!r}"
+            )
+
+    @staticmethod
+    def _only_port(pearl, output: bool) -> str:
+        ports = pearl.output_ports if output else pearl.input_ports
+        return ports[0]
+
+    # -- elaboration -----------------------------------------------------
+
+    def elaborate(self, variant=None, strict: bool = True):
+        """Build a runnable :class:`~repro.lid.system.LidSystem`.
+
+        Every call produces a fresh system with fresh pearls, so graphs
+        double as reusable experiment specifications.
+        """
+        from ..lid.system import LidSystem
+        from ..lid.variant import DEFAULT_VARIANT
+
+        system = LidSystem(self.name, variant=variant or DEFAULT_VARIANT)
+        built: Dict[str, Any] = {}
+        for node in self.nodes.values():
+            if node.kind == "shell":
+                if node.queue_depth is not None:
+                    built[node.name] = system.add_queued_shell(
+                        node.name, node.pearl_factory(),
+                        queue_depth=node.queue_depth)
+                else:
+                    built[node.name] = system.add_shell(
+                        node.name, node.pearl_factory())
+            elif node.kind == "source":
+                stream = node.stream_factory if node.stream_factory else None
+                built[node.name] = system.add_source(node.name, stream=stream)
+            else:
+                built[node.name] = system.add_sink(
+                    node.name, stop_script=node.stop_script)
+        for edge in self.edges:
+            system.connect(
+                built[edge.src],
+                built[edge.dst],
+                producer_port=edge.src_port,
+                consumer_port=edge.dst_port,
+                relays=list(edge.relays),
+            )
+        system.finalize(strict=strict)
+        return system
+
+    def copy(self, name: Optional[str] = None) -> "SystemGraph":
+        """Shallow-copy the topology (factories are shared)."""
+        dup = SystemGraph(name or self.name)
+        for node in self.nodes.values():
+            dup._add_node(dataclasses.replace(node))
+        for edge in self.edges:
+            dup.edges.append(dataclasses.replace(edge))
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SystemGraph({self.name!r}, nodes={len(self.nodes)}, "
+            f"edges={len(self.edges)}, relays={self.relay_count()})"
+        )

@@ -1,0 +1,143 @@
+"""Randomized topology generation for fuzzing and property-based tests.
+
+The paper validates its protocol on "many proof-of-concept examples that
+comprise various combinations of feedforward and feedback topologies".
+This module is the generator of such examples: seeded, reproducible
+random DAGs and loopy graphs with configurable relay mixes.  The
+latency-equivalence property tests and the deadlock study sweep over
+these.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence
+
+from ..pearls.arithmetic import Adder, Identity, Maximum
+from .model import SystemGraph
+
+_JOIN_FACTORIES = (Adder, Maximum)
+
+
+def random_dag(
+    seed: int,
+    shells: int = 6,
+    max_fanin: int = 2,
+    max_relays: int = 3,
+    half_probability: float = 0.0,
+) -> SystemGraph:
+    """A random layered feed-forward system.
+
+    Every shell draws 1..``max_fanin`` inputs from strictly earlier
+    shells or fresh sources, each through 1..``max_relays`` relay
+    stations (half with probability *half_probability*); every shell
+    with no consumer feeds the sink through a join tree... more simply,
+    each dangling output gets its own sink.  The graph is therefore
+    always legal (acyclic, relay station on every shell-shell channel).
+    """
+    rng = random.Random(seed)
+    g = SystemGraph(f"dag_seed{seed}")
+    names: List[str] = []
+    consumed = set()
+    source_count = 0
+    for index in range(shells):
+        fanin = rng.randint(1, max_fanin)
+        pearl = Identity if fanin == 1 else rng.choice(_JOIN_FACTORIES)
+        name = f"S{index}"
+        g.add_shell(name, pearl)
+        ports = ("a",) if fanin == 1 else ("a", "b")
+        for port in ports:
+            use_shell = names and rng.random() < 0.6
+            chain = _random_chain(rng, 1, max_relays, half_probability)
+            if use_shell:
+                src = rng.choice(names)
+                g.add_edge(src, name, relays=chain, dst_port=port)
+                consumed.add(src)
+            else:
+                src = f"src{source_count}"
+                source_count += 1
+                g.add_source(src)
+                g.add_edge(src, name, relays=chain, dst_port=port)
+        names.append(name)
+    sink_count = 0
+    for name in names:
+        if name not in consumed:
+            sink = f"out{sink_count}"
+            sink_count += 1
+            g.add_sink(sink)
+            g.add_edge(name, sink)
+    return g
+
+
+def random_loopy(
+    seed: int,
+    shells: int = 5,
+    extra_back_edges: int = 1,
+    max_relays: int = 2,
+    half_probability: float = 0.0,
+    ensure_full_on_loops: bool = True,
+) -> SystemGraph:
+    """A random strongly-connected-ish system with feedback.
+
+    Builds a ring through all shells (guaranteeing at least one loop),
+    then adds *extra_back_edges* random chords.  Join shells get their
+    second input from the loop; singletons use Identity.  When
+    *ensure_full_on_loops* is set every arc carries at least one full
+    relay station, keeping the stop network cycle-free (the legal
+    regime); switch it off to generate the hazardous half-in-loop
+    systems the deadlock study needs.
+    """
+    rng = random.Random(seed)
+    g = SystemGraph(f"loopy_seed{seed}")
+    names = [f"S{i}" for i in range(shells)]
+    # Ring arcs: every shell takes its 'a' input from its predecessor.
+    for name in names:
+        g.add_shell(name, Adder)
+    for i, name in enumerate(names):
+        chain = _random_chain(rng, 1, max_relays, half_probability)
+        if ensure_full_on_loops:
+            # The paper's hazard criterion flags ANY half relay station
+            # on a loop, so the legal regime keeps loop arcs all-full.
+            chain = ("full",) * len(chain)
+        g.add_edge(name, names[(i + 1) % shells], relays=chain, dst_port="a")
+    # Each shell's 'b' input: a chord from a random shell or a source.
+    chord_budget = extra_back_edges
+    for i, name in enumerate(names):
+        if chord_budget > 0 and rng.random() < 0.5:
+            src = rng.choice(names)
+            chain = _random_chain(rng, 1, max_relays, half_probability)
+            if ensure_full_on_loops:
+                chain = ("full",) * len(chain)
+            g.add_edge(src, name, relays=chain, dst_port="b")
+            chord_budget -= 1
+        else:
+            src = f"src{i}"
+            g.add_source(src)
+            g.add_edge(src, name, relays=(), dst_port="b")
+    g.add_sink("out")
+    g.add_edge(names[0], "out")
+    return g
+
+
+def _random_chain(
+    rng: random.Random,
+    min_relays: int,
+    max_relays: int,
+    half_probability: float,
+) -> tuple:
+    count = rng.randint(min_relays, max_relays)
+    chain = tuple(
+        "half" if rng.random() < half_probability else "full"
+        for _ in range(count)
+    )
+    return chain
+
+
+def random_suite(
+    seeds: Sequence[int],
+    loopy: bool = False,
+    **kwargs,
+) -> List[SystemGraph]:
+    """A list of random graphs, one per seed (convenience for sweeps)."""
+    builder = random_loopy if loopy else random_dag
+    return [builder(seed, **kwargs) for seed in seeds]

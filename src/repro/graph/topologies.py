@@ -1,0 +1,312 @@
+"""Parametric builders for the paper's representative topologies.
+
+The paper's performance theory is organized around four graph classes —
+trees, reconvergent feed-forward graphs, feedback loops, and
+feed-forward combinations of self-interacting loops.  Each builder here
+returns a :class:`~repro.graph.model.SystemGraph` ready to elaborate,
+analyze or skeleton-simulate, plus canonical instances of the paper's
+Figure 1 and Figure 2 systems.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..errors import StructuralError
+from ..pearls.arithmetic import Adder, Identity
+from .model import RelaySpec, SystemGraph
+
+
+def _fulls(n: int) -> tuple:
+    return ("full",) * n
+
+
+def pipeline(
+    stages: int,
+    relays_per_hop: int = 1,
+    pearl_factory: Callable = Identity,
+) -> SystemGraph:
+    """A linear chain: source -> S0 -> ... -> S(n-1) -> sink."""
+    if stages < 1:
+        raise StructuralError("pipeline needs at least one stage")
+    g = SystemGraph(f"pipeline{stages}x{relays_per_hop}")
+    g.add_source("src")
+    for i in range(stages):
+        g.add_shell(f"S{i}", pearl_factory)
+    g.add_sink("out")
+    g.add_edge("src", "S0")
+    for i in range(stages - 1):
+        g.add_edge(f"S{i}", f"S{i+1}", relays=relays_per_hop)
+    g.add_edge(f"S{stages-1}", "out")
+    return g
+
+
+def tree(
+    depth: int,
+    branching: int = 2,
+    relays_per_hop: int = 1,
+) -> SystemGraph:
+    """A reduction tree of adders fed by one source per leaf.
+
+    Throughput 1 with an initial transient bounded by the longest
+    source-to-sink path (paper's tree claim, EXP-T1).  ``depth`` is the
+    number of adder levels; level 0 is the root feeding the sink.
+    """
+    if depth < 1:
+        raise StructuralError("tree needs depth >= 1")
+    if branching != 2:
+        raise StructuralError("binary trees only (adders are 2-input)")
+    g = SystemGraph(f"tree_d{depth}")
+    g.add_sink("out")
+
+    def build(level: int, index: int) -> str:
+        name = f"n{level}_{index}"
+        g.add_shell(name, Adder)
+        for child, port in ((2 * index, "a"), (2 * index + 1, "b")):
+            if level + 1 < depth:
+                child_name = build(level + 1, child)
+                g.add_edge(child_name, name, relays=relays_per_hop,
+                           dst_port=port)
+            else:
+                leaf = f"src{child}"
+                g.add_source(leaf)
+                g.add_edge(leaf, name, relays=relays_per_hop, dst_port=port)
+        return name
+
+    root = build(0, 0)
+    g.add_edge(root, "out")
+    return g
+
+
+def reconvergent(
+    long_relays: Sequence[int] = (1, 1),
+    short_relays: int = 1,
+    pearl_factory: Callable = Identity,
+    join_factory: Callable = Adder,
+) -> SystemGraph:
+    """The paper's "reconvergent inputs" topology.
+
+    ``src -> A``, then two branches from ``A`` to the join shell ``C``:
+
+    * the **long** branch passes through ``len(long_relays) - 1``
+      intermediate shells, with ``long_relays[k]`` full relay stations
+      on its k-th hop;
+    * the **short** branch goes straight to ``C`` with *short_relays*
+      full relay stations.
+
+    The relay imbalance ``i = sum(long_relays) - short_relays`` forces
+    the long branch to inject voids, and the implicit loop closed by the
+    short branch's back pressure limits throughput to ``(m - i)/m``
+    (paper formula; EXP-T2).  The default arguments build exactly the
+    Figure 1 instance: m = 5, i = 1, T = 4/5.
+    """
+    if len(long_relays) < 1:
+        raise StructuralError("long branch needs at least one hop")
+    g = SystemGraph("reconvergent")
+    g.add_source("src")
+    g.add_shell("A", pearl_factory)
+    g.add_shell("C", join_factory)
+    g.add_sink("out")
+    g.add_edge("src", "A")
+
+    # Long branch: A -> B0 -> B1 -> ... -> C.
+    prev = "A"
+    for k, relays in enumerate(long_relays[:-1]):
+        name = f"B{k}"
+        g.add_shell(name, pearl_factory)
+        g.add_edge(prev, name, relays=relays)
+        prev = name
+    g.add_edge(prev, "C", relays=long_relays[-1], dst_port="a")
+
+    # Short branch: A -> C.
+    g.add_edge("A", "C", relays=short_relays, dst_port="b")
+    g.add_edge("C", "out")
+    return g
+
+
+def figure1() -> SystemGraph:
+    """The exact system of the paper's Figure 1.
+
+    Three shells A, B, C; the long branch A->B->C carries one relay
+    station per hop, the short branch A->C carries one.  Imbalance
+    i = 1; m = (relay stations in the implicit loop) + (shells whose
+    output registers lie on the long path) = 3 + 2 = 5; the output
+    utters one invalid datum every 5 cycles and T = 4/5.
+    """
+    g = reconvergent(long_relays=(1, 1), short_relays=1)
+    g.name = "figure1"
+    return g
+
+
+def ring(
+    shells: int = 2,
+    relays_per_arc: Iterable[RelaySpec] | int = 1,
+    pearl_factory: Optional[Callable] = None,
+    tap_sink: bool = True,
+) -> SystemGraph:
+    """A feedback loop of *shells* shells (paper's Figure 2 topology).
+
+    *relays_per_arc* is either an int (full relay stations per arc) or a
+    list with one relay-spec sequence per arc.  Maximum throughput is
+    S/(S+R) where R counts all relay stations on the loop (EXP-T4).
+    """
+    if shells < 1:
+        raise StructuralError("ring needs at least one shell")
+    if pearl_factory is None:
+        pearl_factory = Identity
+    g = SystemGraph(f"ring{shells}")
+    names = [f"S{i}" for i in range(shells)]
+    for name in names:
+        g.add_shell(name, pearl_factory)
+    if isinstance(relays_per_arc, int):
+        arcs: List[tuple] = [_fulls(relays_per_arc)] * shells
+    else:
+        arcs = [
+            _fulls(a) if isinstance(a, int) else tuple(a)
+            for a in relays_per_arc
+        ]
+        if len(arcs) != shells:
+            raise StructuralError(
+                f"need {shells} arc specs, got {len(arcs)}"
+            )
+    for i, name in enumerate(names):
+        g.add_edge(name, names[(i + 1) % shells], relays=arcs[i])
+    if tap_sink:
+        g.add_sink("out")
+        g.add_edge(names[0], "out")
+    return g
+
+
+def figure2(relays_per_arc: int = 1) -> SystemGraph:
+    """The paper's Figure 2: a two-shell feedback loop (A and B).
+
+    With one relay station per arc, S = 2 and R = 2: at most S valid
+    data circulate among S + R positions, so T = S/(S+R) = 1/2.
+    """
+    g = ring(shells=2, relays_per_arc=relays_per_arc)
+    g.name = "figure2"
+    return g
+
+
+def self_loop(relays: int = 1, pearl_factory: Callable = None) -> SystemGraph:
+    """A single shell feeding itself (S = 1): T = 1/(1+R)."""
+    from ..pearls.state import Fibonacci
+
+    g = SystemGraph(f"selfloop_r{relays}")
+    factory = pearl_factory or (lambda: Fibonacci())
+    g.add_shell("A", factory)
+    g.add_source("src")
+    g.add_sink("out")
+    g.add_edge("A", "A", relays=relays, src_port="out", dst_port="loop_in")
+    g.add_edge("src", "A", dst_port="ext")
+    g.add_edge("A", "out", src_port="out")
+    return g
+
+
+def loop_with_tail(
+    loop_shells: int = 2,
+    loop_relays: int = 2,
+    tail_shells: int = 2,
+    tail_relays: int = 1,
+) -> SystemGraph:
+    """A feedback loop whose output feeds a feed-forward tail.
+
+    The paper's "most general topology": a feed-forward combination of
+    self-interacting loops.  The loop is the slowest sub-topology and
+    drags the tail down to S/(S+R) — without any path equalization
+    (EXP-T5).
+    """
+    g = ring(shells=loop_shells, relays_per_arc=1, tap_sink=False)
+    g.name = f"loop{loop_shells}_tail{tail_shells}"
+    extra = loop_relays - loop_shells
+    if extra < 0:
+        raise StructuralError("loop_relays must be >= loop_shells (lint rule)")
+    if extra:
+        # Pile the surplus relay stations on the closing arc.
+        for edge in g.edges:
+            if edge.dst == "S0":
+                edge.relays = edge.relays + _fulls(extra)
+                break
+    prev = "S0"
+    for i in range(tail_shells):
+        name = f"T{i}"
+        g.add_shell(name, Identity)
+        g.add_edge(prev, name, relays=tail_relays)
+        prev = name
+    g.add_sink("out")
+    g.add_edge(prev, "out")
+    return g
+
+
+def butterfly_network(
+    lanes: int = 8,
+    relays_per_hop: int = 1,
+) -> SystemGraph:
+    """A radix-2 butterfly (Walsh–Hadamard) network over *lanes* lanes.
+
+    ``log2(lanes)`` stages of :class:`~repro.pearls.dsp.Butterfly`
+    shells; stage s pairs lanes differing in bit s, the ``sum`` output
+    staying on the low lane.  Each lane has its own source (``in<k>``)
+    and sink (``out<k>``).  Every reconvergent path carries the same
+    relay count, so the network runs at throughput 1 — the densest
+    balanced-reconvergence stress test in the suite.
+    """
+    from ..pearls.dsp import Butterfly
+
+    if lanes < 2 or lanes & (lanes - 1):
+        raise StructuralError("lanes must be a power of two >= 2")
+    stages = lanes.bit_length() - 1
+    g = SystemGraph(f"butterfly{lanes}")
+    for lane in range(lanes):
+        g.add_source(f"in{lane}")
+        g.add_sink(f"out{lane}")
+
+    lane_driver = {lane: (f"in{lane}", None) for lane in range(lanes)}
+    for stage in range(stages):
+        bit = 1 << stage
+        for lane in range(lanes):
+            if lane & bit:
+                continue
+            partner = lane | bit
+            name = f"bf{stage}_{lane}"
+            g.add_shell(name, Butterfly)
+            for port, src_lane in (("a", lane), ("b", partner)):
+                src, src_port = lane_driver[src_lane]
+                g.add_edge(src, name, relays=relays_per_hop,
+                           src_port=src_port, dst_port=port)
+            lane_driver[lane] = (name, "sum")
+            lane_driver[partner] = (name, "diff")
+    for lane in range(lanes):
+        src, src_port = lane_driver[lane]
+        g.add_edge(src, f"out{lane}", src_port=src_port)
+    return g
+
+
+def composed(
+    reconv_imbalance: int = 1,
+    loop_relays: int = 2,
+) -> SystemGraph:
+    """Reconvergence feeding a feedback loop feeding a sink.
+
+    Used by the composition bench: the system settles at the minimum of
+    the two sub-topology throughputs.
+    """
+    g = SystemGraph("composed")
+    g.add_source("src")
+    g.add_shell("A", Identity)
+    g.add_shell("B", Identity)
+    g.add_shell("C", Adder)
+    g.add_sink("out")
+    g.add_edge("src", "A")
+    g.add_edge("A", "B", relays=1 + reconv_imbalance)
+    g.add_edge("B", "C", relays=1, dst_port="a")
+    g.add_edge("A", "C", relays=1, dst_port="b")
+    # Loop stage: C feeds an accumulating loop shell L with self arc.
+    from ..pearls.state import Fibonacci
+
+    g.add_shell("L", lambda: Fibonacci())
+    g.add_edge("C", "L", relays=1, dst_port="ext")
+    g.add_edge("L", "L", relays=loop_relays, src_port="out",
+               dst_port="loop_in")
+    g.add_edge("L", "out", src_port="out")
+    return g

@@ -1,0 +1,23 @@
+"""Cycle-accurate synchronous simulation kernel.
+
+This is the substrate that replaces the VHDL + event-driven simulator the
+paper used (DESIGN.md §2): a two-phase (settle / edge) single-clock RTL
+simulator with monotone combinational fixpoint for the backward ``stop``
+network, waveform tracing and VCD export.
+"""
+
+from .component import Component
+from .scheduler import Simulator
+from .signal import Signal, SignalBundle
+from .trace import Trace
+from .vcd import dumps_vcd, write_vcd
+
+__all__ = [
+    "Component",
+    "Signal",
+    "SignalBundle",
+    "Simulator",
+    "Trace",
+    "dumps_vcd",
+    "write_vcd",
+]

@@ -1,0 +1,78 @@
+"""Component base class for the cycle-accurate kernel.
+
+A component is a synchronous block with:
+
+* **registers** — internal state updated only on the clock edge;
+* **Moore outputs** — signals driven from registers, constant within a
+  cycle (published once at the start of the settle phase);
+* **Mealy outputs** — signals computed combinationally from the
+  component's inputs during the settle phase (in this package only the
+  backward ``stop`` wires are Mealy, and they are monotone).
+
+The scheduler drives the protocol::
+
+    component.reset()                  # once, before cycle 0
+    # each cycle:
+    component.publish()                # Moore outputs from current state
+    while not fixpoint:
+        component.settle()             # Mealy outputs from inputs
+    component.tick()                   # sample inputs, update registers
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+
+class Component:
+    """Base class for all simulatable blocks.
+
+    Subclasses override :meth:`reset`, :meth:`publish`, :meth:`settle`
+    and :meth:`tick`.  A purely Moore component (no combinational
+    outputs) only needs :meth:`reset`, :meth:`publish` and :meth:`tick`.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._sim: "Simulator | None" = None
+
+    # -- lifecycle hooks -------------------------------------------------
+
+    def attached(self, sim: "Simulator") -> None:
+        """Called when the component is added to a simulator."""
+        self._sim = sim
+
+    def reset(self) -> None:
+        """Initialize registers to their reset values."""
+
+    def publish(self) -> None:
+        """Drive Moore outputs from the current register state.
+
+        Called exactly once per cycle, before any :meth:`settle` pass.
+        """
+
+    def settle(self) -> None:
+        """Drive Mealy (combinational) outputs from current input values.
+
+        May be called several times per cycle until the kernel reaches a
+        fixpoint; implementations must be idempotent and, for backward
+        stop logic, monotone (asserting a stop never deasserts another).
+        """
+
+    def tick(self) -> None:
+        """Clock edge: sample settled inputs and update registers."""
+
+    # -- conveniences ----------------------------------------------------
+
+    @property
+    def cycle(self) -> int:
+        """Current cycle number (0 before the first tick)."""
+        if self._sim is None:
+            return 0
+        return self._sim.cycle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

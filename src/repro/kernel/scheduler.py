@@ -1,0 +1,156 @@
+"""Two-phase synchronous simulation scheduler.
+
+The kernel models single-clock RTL with a *settle / edge* discipline:
+
+1. **Publish** — every component drives its Moore outputs (register
+   contents).  These are constant for the rest of the cycle.
+2. **Settle** — components' combinational (Mealy) functions are evaluated
+   repeatedly until no signal changes.  In a latency-insensitive design
+   the only Mealy nets are the backward ``stop`` wires, whose equations
+   are monotone; the fixpoint therefore exists and is reached in at most
+   ``len(components)`` passes.  Failure to converge within the bound
+   raises :class:`~repro.errors.ConvergenceError`.
+3. **Edge** — every component samples the settled values and updates its
+   registers simultaneously.
+
+This discipline is semantics-preserving for the VHDL/event-driven
+simulation the paper used, because all the paper's blocks are synchronous
+FSMs on one clock (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ConvergenceError
+from .component import Component
+from .signal import Signal
+
+
+class Simulator:
+    """Owns signals and components and advances time cycle by cycle."""
+
+    def __init__(self, name: str = "sim"):
+        self.name = name
+        self.cycle = 0
+        self._components: List[Component] = []
+        self._signals: List[Signal] = []
+        self._signal_index: Dict[str, Signal] = {}
+        self._cycle_hooks: List[Callable[["Simulator"], None]] = []
+        self._was_reset = False
+        self.settle_passes_total = 0
+
+    # -- construction ----------------------------------------------------
+
+    def add_component(self, component: Component) -> Component:
+        """Register a component; returns it for chaining."""
+        self._components.append(component)
+        component.attached(self)
+        return component
+
+    def signal(self, name: str, default=None, sticky: bool = False) -> Signal:
+        """Create (or fetch, if it exists) a named signal."""
+        existing = self._signal_index.get(name)
+        if existing is not None:
+            return existing
+        sig = Signal(name, default=default, sticky=sticky)
+        self._signals.append(sig)
+        self._signal_index[name] = sig
+        return sig
+
+    def find_signal(self, name: str) -> Optional[Signal]:
+        """Look up a signal by exact name, or ``None``."""
+        return self._signal_index.get(name)
+
+    def add_cycle_hook(self, hook: Callable[["Simulator"], None]) -> None:
+        """Run *hook(sim)* after the settle phase of every cycle.
+
+        Hooks see fully settled signal values before the clock edge; this
+        is where traces and runtime protocol monitors sample.
+        """
+        self._cycle_hooks.append(hook)
+
+    # -- execution -------------------------------------------------------
+
+    def reset(self) -> None:
+        """Reset all components; must be called before :meth:`step`."""
+        self.cycle = 0
+        for comp in self._components:
+            comp.reset()
+        self._was_reset = True
+
+    def _settle(self) -> None:
+        for sig in self._signals:
+            sig.reset_for_settle()
+        for comp in self._components:
+            comp.publish()
+        # Publishing counts as the initial assignment; clear change flags
+        # so the fixpoint loop measures only Mealy activity.
+        for sig in self._signals:
+            sig.consume_changed()
+        max_passes = len(self._components) + 2
+        for _ in range(max_passes):
+            for comp in self._components:
+                comp.settle()
+            self.settle_passes_total += 1
+            if not any(sig.consume_changed() for sig in self._signals):
+                return
+        raise ConvergenceError(
+            f"settle phase did not converge within {max_passes} passes at "
+            f"cycle {self.cycle}; a combinational function is not monotone "
+            f"or a combinational loop escaped the structural lint"
+        )
+
+    def step(self, cycles: int = 1) -> None:
+        """Advance the simulation by *cycles* clock cycles."""
+        if not self._was_reset:
+            self.reset()
+        for _ in range(cycles):
+            self._settle()
+            for hook in self._cycle_hooks:
+                hook(self)
+            for comp in self._components:
+                comp.tick()
+            self.cycle += 1
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulator"], bool],
+        max_cycles: int = 100_000,
+    ) -> int:
+        """Step until *predicate(sim)* is true after a settle phase.
+
+        Returns the cycle number at which the predicate first held.
+        Raises ``TimeoutError`` if *max_cycles* elapse first.
+        """
+        if not self._was_reset:
+            self.reset()
+        for _ in range(max_cycles):
+            self._settle()
+            for hook in self._cycle_hooks:
+                hook(self)
+            hit = predicate(self)
+            for comp in self._components:
+                comp.tick()
+            self.cycle += 1
+            if hit:
+                return self.cycle - 1
+        raise TimeoutError(
+            f"predicate not satisfied within {max_cycles} cycles of {self.name}"
+        )
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def components(self) -> List[Component]:
+        return list(self._components)
+
+    @property
+    def signals(self) -> List[Signal]:
+        return list(self._signals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator({self.name!r}, cycle={self.cycle}, "
+            f"components={len(self._components)}, signals={len(self._signals)})"
+        )

@@ -1,0 +1,111 @@
+"""Waveform tracing for the simulation kernel.
+
+A :class:`Trace` samples a chosen set of signals at the end of every
+settle phase (i.e. the stable value for that cycle) and stores them in
+memory.  Traces are the raw material for the figure-regeneration benches
+(the paper's Figures 1 and 2 are cycle-by-cycle evolution tables) and
+can be exported to VCD via :mod:`repro.kernel.vcd`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .scheduler import Simulator
+from .signal import Signal
+
+
+class Trace:
+    """Record per-cycle values of selected signals.
+
+    Parameters
+    ----------
+    sim:
+        The simulator to attach to.  The trace registers itself as a
+        cycle hook; every subsequent ``sim.step()`` appends one sample.
+    signals:
+        Signals (or names of signals already created on *sim*) to record.
+    """
+
+    def __init__(self, sim: Simulator, signals: Iterable):
+        self._signals: List[Signal] = []
+        for sig in signals:
+            if isinstance(sig, str):
+                found = sim.find_signal(sig)
+                if found is None:
+                    raise KeyError(f"no signal named {sig!r} in {sim.name}")
+                sig = found
+            self._signals.append(sig)
+        self._rows: List[List[Any]] = []
+        self._cycles: List[int] = []
+        sim.add_cycle_hook(self._sample)
+
+    def _sample(self, sim: Simulator) -> None:
+        self._cycles.append(sim.cycle)
+        self._rows.append([sig.value for sig in self._signals])
+
+    # -- access ----------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return [sig.name for sig in self._signals]
+
+    @property
+    def cycles(self) -> List[int]:
+        return list(self._cycles)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All recorded values of one signal, oldest first."""
+        try:
+            idx = self.names.index(name)
+        except ValueError:
+            raise KeyError(f"signal {name!r} is not traced") from None
+        return [row[idx] for row in self._rows]
+
+    def row(self, cycle: int) -> Dict[str, Any]:
+        """Mapping of signal name to value at the given cycle."""
+        try:
+            idx = self._cycles.index(cycle)
+        except ValueError:
+            raise KeyError(f"cycle {cycle} was not traced") from None
+        return dict(zip(self.names, self._rows[idx]))
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """All samples as a list of name->value dictionaries."""
+        return [dict(zip(self.names, row)) for row in self._rows]
+
+    # -- pretty printing ---------------------------------------------------
+
+    def format_table(self, max_rows: int | None = None) -> str:
+        """Render the trace as an aligned text table (cycles as rows)."""
+        header = ["cycle"] + self.names
+        body: List[Sequence[str]] = []
+        rows = list(zip(self._cycles, self._rows))
+        if max_rows is not None:
+            rows = rows[:max_rows]
+        for cyc, row in rows:
+            body.append([str(cyc)] + [_fmt(v) for v in row])
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "."
+    if value is True:
+        return "1"
+    if value is False:
+        return "0"
+    return str(value)

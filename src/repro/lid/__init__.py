@@ -1,0 +1,56 @@
+"""Core latency-insensitive protocol implementation (the paper's contribution).
+
+Public surface:
+
+* :class:`Token` / :data:`VOID` — the data-validation layer;
+* :class:`ProtocolVariant` — Carloni's original protocol vs. the paper's
+  stop-on-void-discarding refinement;
+* :class:`Channel` — data/valid/stop wire bundles;
+* :class:`Shell` — the pearl wrapper (validation, back pressure, gating);
+* :class:`RelayStation` / :class:`HalfRelayStation` — full (2-register,
+  registered stop) and half (1-register, transparent stop) repeaters;
+* :class:`Source` / :class:`Sink` — primary I/O with scripted streams
+  and back-pressure;
+* :class:`LidSystem` — construction, lint, simulation, metrics and the
+  zero-latency reference model for latency-equivalence checks.
+"""
+
+from .channel import Channel
+from .endpoints import Sink, Source, counting_stream, scripted_stream
+from .lint import check_combinational_stop_cycles, check_shell_to_shell, lint_system
+from .monitor import ChannelMonitor, StreamMonitor, watch_system
+from .queued_shell import QueuedShell
+from .reference import POISON, is_prefix, run_reference
+from .relay import HalfRelayStation, RelayStation
+from .shell import Shell
+from .system import LidSystem
+from .token import Token, VOID, payloads, valid_stream
+from .variant import DEFAULT_VARIANT, ProtocolVariant
+
+__all__ = [
+    "Channel",
+    "ChannelMonitor",
+    "DEFAULT_VARIANT",
+    "HalfRelayStation",
+    "LidSystem",
+    "POISON",
+    "ProtocolVariant",
+    "QueuedShell",
+    "RelayStation",
+    "Shell",
+    "Sink",
+    "Source",
+    "StreamMonitor",
+    "Token",
+    "VOID",
+    "check_combinational_stop_cycles",
+    "check_shell_to_shell",
+    "counting_stream",
+    "is_prefix",
+    "lint_system",
+    "payloads",
+    "run_reference",
+    "scripted_stream",
+    "valid_stream",
+    "watch_system",
+]

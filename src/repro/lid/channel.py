@@ -1,0 +1,104 @@
+"""Point-to-point LID channels.
+
+A channel is the wire bundle the paper adds to every connection:
+
+* ``data``  — forward payload (don't-care when invalid);
+* ``valid`` — forward validity flag (the complement of the papers' "void");
+* ``stop``  — backward back-pressure flag.
+
+A channel has exactly one producer port and one consumer port; fan-out is
+expressed with one channel per sink (the shell replicates its output
+token onto each of them), which matches the RTL the paper describes and
+keeps the single-driver discipline trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..kernel.scheduler import Simulator
+from ..kernel.signal import Signal
+from .token import Token, VOID
+
+
+class Channel:
+    """A data/valid/stop wire bundle between two LID blocks.
+
+    Create channels through :meth:`Channel.create` so the underlying
+    signals are registered with the simulator (and therefore participate
+    in the settle fixpoint and in traces).
+    """
+
+    def __init__(self, name: str, data: Signal, valid: Signal, stop: Signal):
+        self.name = name
+        self.data = data
+        self.valid = valid
+        self.stop = stop
+        self.producer: Optional[str] = None
+        self.consumer: Optional[str] = None
+
+    @classmethod
+    def create(cls, sim: Simulator, name: str) -> "Channel":
+        """Instantiate the three signals on *sim* and wrap them."""
+        data = sim.signal(f"{name}.data", default=None)
+        valid = sim.signal(f"{name}.valid", default=False)
+        stop = sim.signal(f"{name}.stop", default=False)
+        return cls(name, data, valid, stop)
+
+    # -- producer side ---------------------------------------------------
+
+    def drive(self, token: Token) -> None:
+        """Publish *token* on the forward wires (producer, Moore)."""
+        if token.valid:
+            self.data.set(token.value)
+            self.valid.set(True)
+        else:
+            self.data.set(None)
+            self.valid.set(False)
+
+    def stop_asserted(self) -> bool:
+        """Settled value of the backward stop wire (producer reads)."""
+        return bool(self.stop.value)
+
+    # -- consumer side ---------------------------------------------------
+
+    def read(self) -> Token:
+        """Current forward token (consumer, after publish phase)."""
+        if self.valid.value:
+            return Token(self.data.value)
+        return VOID
+
+    def set_stop(self, value: bool) -> None:
+        """Drive the backward stop wire (consumer).
+
+        Combinational consumers call this during settle; registered
+        consumers (full relay stations) call it during publish.
+        """
+        self.stop.set(bool(value))
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def bind_producer(self, block_name: str) -> None:
+        if self.producer is not None and self.producer != block_name:
+            from ..errors import StructuralError
+
+            raise StructuralError(
+                f"channel {self.name!r} already driven by {self.producer!r}; "
+                f"cannot also be driven by {block_name!r}"
+            )
+        self.producer = block_name
+
+    def bind_consumer(self, block_name: str) -> None:
+        if self.consumer is not None and self.consumer != block_name:
+            from ..errors import StructuralError
+
+            raise StructuralError(
+                f"channel {self.name!r} already consumed by {self.consumer!r}; "
+                f"cannot also feed {block_name!r}"
+            )
+        self.consumer = block_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Channel({self.name!r}, {self.producer!r} -> {self.consumer!r})"
+        )

@@ -1,0 +1,132 @@
+"""Structural lint for LID systems.
+
+Two rules from the paper are enforced here:
+
+1. **Relay station between shells.**  The simplified shell does not save
+   incoming stop signals, so *"we need to add at least one half or one
+   full relay station between two shells"*.  A channel that directly
+   connects two shells violates the minimum-memory requirement and is
+   rejected.
+
+2. **No combinational stop cycles.**  Shells and half relay stations
+   propagate the stop combinationally (downstream stop in, upstream stop
+   out within the same cycle); only full relay stations register it.  A
+   directed cycle of the system graph containing no full relay station
+   would therefore close a combinational loop on the stop network — the
+   structural reason a loop needs at least one full relay station.  The
+   lint walks the backward stop-propagation graph and rejects cycles.
+
+Both are raised as exceptions so that a system that elaborates cleanly
+is correct by construction with respect to the paper's implementation
+rules; experiments that deliberately explore illegal structures can run
+``finalize(strict=False)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..errors import CombinationalLoopError, StructuralError
+from .relay import HalfRelayStation, RelayStation
+
+
+def lint_system(system) -> None:
+    """Run all structural checks; raises on the first violation."""
+    check_shell_to_shell(system)
+    check_combinational_stop_cycles(system)
+
+
+def check_shell_to_shell(system) -> None:
+    """Reject channels that connect two shells with no relay station.
+
+    Queued shells register their own stop (the memory element lives in
+    their input FIFO), so a channel *into* a queued shell is exempt —
+    that is precisely the design alternative they exist to express.
+    """
+    from .queued_shell import QueuedShell
+
+    shell_names = set(system.shells)
+    for chan in system.channels:
+        if chan.producer in shell_names and chan.consumer in shell_names:
+            consumer = system.shells[chan.consumer]
+            if isinstance(consumer, QueuedShell):
+                continue
+            raise StructuralError(
+                f"channel {chan.name!r} connects shells "
+                f"{chan.producer!r} -> {chan.consumer!r} directly; the "
+                f"simplified shell does not register stops, so at least "
+                f"one (half or full) relay station is required between "
+                f"two shells (paper, §1)"
+            )
+
+
+def _stop_edges(system) -> Dict[str, List[str]]:
+    """Backward stop-propagation edges between blocks.
+
+    An edge ``a -> b`` means: a stop asserted *to* block ``a`` appears,
+    within the same cycle, on a channel consumed by block ``b``
+    (i.e. ``a`` propagates stop combinationally to its upstream ``b``...
+    more precisely to the producer of its input channels).  Full relay
+    stations emit no edge — their stop output is registered.
+    """
+    edges: Dict[str, List[str]] = {}
+
+    def add(src: str, dst: str) -> None:
+        edges.setdefault(src, []).append(dst)
+
+    from .queued_shell import QueuedShell
+
+    for name, shell in system.shells.items():
+        # A stop on any shell output can stall the shell, which then
+        # asserts stop on every input channel — combinationally.
+        # Queued shells break the chain: their stop is registered.
+        if isinstance(shell, QueuedShell):
+            continue
+        for chan in shell.input_channels.values():
+            if chan.producer is not None:
+                add(name, chan.producer)
+    for name, relay in system.relays.items():
+        if isinstance(relay, HalfRelayStation) and not relay.registered_stop:
+            if relay.input is not None and relay.input.producer is not None:
+                add(name, relay.input.producer)
+        # Full relay stations (and registered-stop half stations) break
+        # the chain: no edge.
+    return edges
+
+
+def check_combinational_stop_cycles(system) -> None:
+    """Reject cycles in the combinational stop-propagation graph."""
+    edges = _stop_edges(system)
+    WHITE, GREY, BLACK = 0, 1, 2
+    color: Dict[str, int] = {}
+
+    def visit(node: str, path: List[str]) -> None:
+        color[node] = GREY
+        path.append(node)
+        for nxt in edges.get(node, ()):  # noqa: B905 - plain adjacency
+            state = color.get(nxt, WHITE)
+            if state == GREY:
+                cycle = path[path.index(nxt):] + [nxt]
+                raise CombinationalLoopError(
+                    "combinational stop cycle through "
+                    + " -> ".join(cycle)
+                    + "; every loop needs at least one full relay station "
+                    "(registered stop) to break the chain"
+                )
+            if state == WHITE:
+                visit(nxt, path)
+        path.pop()
+        color[node] = BLACK
+
+    for node in list(edges):
+        if color.get(node, WHITE) == WHITE:
+            visit(node, [])
+
+
+def relay_census(system) -> Tuple[int, int]:
+    """Return ``(full, half)`` relay-station counts — handy in reports."""
+    full = sum(1 for r in system.relays.values() if isinstance(r, RelayStation))
+    half = sum(
+        1 for r in system.relays.values() if isinstance(r, HalfRelayStation)
+    )
+    return full, half

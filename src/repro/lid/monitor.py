@@ -1,0 +1,129 @@
+"""Runtime protocol monitors: hardware assertions for live simulations.
+
+The model checker (:mod:`repro.verify`) proves the block *specs* safe;
+these monitors watch the *running* system and raise
+:class:`~repro.errors.ProtocolViolationError` the moment any channel
+breaks a protocol invariant — the simulation counterpart of SVA
+assertions bound to every channel:
+
+* **hold**: a valid token presented under an asserted stop must be
+  presented unchanged in the next cycle;
+* **no-phantom-drop**: a valid token may only disappear in a cycle in
+  which it was consumable (no stop);
+* **stop-shape** (optional, strict): stop must never be asserted on a
+  channel whose token is void when the consumer follows the refined
+  protocol.
+
+Attach with :func:`watch_system` (every channel) or by constructing
+:class:`ChannelMonitor` for specific channels.  Monitors are pure
+observers — they never drive signals — so they cannot perturb the run.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ProtocolViolationError
+from ..kernel.scheduler import Simulator
+from .channel import Channel
+from .token import Token
+from .variant import ProtocolVariant
+
+
+class ChannelMonitor:
+    """Observer asserting per-channel protocol invariants every cycle."""
+
+    def __init__(self, channel: Channel, strict_stop_shape: bool = False,
+                 variant: Optional[ProtocolVariant] = None):
+        self.channel = channel
+        self.strict_stop_shape = strict_stop_shape
+        self.variant = variant
+        self._prev_token: Optional[Token] = None
+        self._prev_stop = False
+        self.cycles_observed = 0
+        self.tokens_seen = 0
+
+    def attach(self, sim: Simulator) -> "ChannelMonitor":
+        sim.add_cycle_hook(self._sample)
+        return self
+
+    def _sample(self, sim: Simulator) -> None:
+        token = self.channel.read()
+        stop = self.channel.stop_asserted()
+
+        if self._prev_token is not None:
+            held = self._prev_token.valid and self._prev_stop
+            if held and token != self._prev_token:
+                raise ProtocolViolationError(
+                    f"channel {self.channel.name!r}: token "
+                    f"{self._prev_token} was stopped at cycle "
+                    f"{sim.cycle - 1} but cycle {sim.cycle} presents "
+                    f"{token} — hold violated"
+                )
+
+        if self.strict_stop_shape and stop and not token.valid \
+                and self.variant is ProtocolVariant.CASU:
+            raise ProtocolViolationError(
+                f"channel {self.channel.name!r}: stop asserted on a void "
+                f"token at cycle {sim.cycle}; the refined protocol "
+                f"discards stops on invalid signals"
+            )
+
+        if token.valid:
+            self.tokens_seen += 1
+        self._prev_token = token
+        self._prev_stop = stop
+        self.cycles_observed += 1
+
+
+class StreamMonitor:
+    """Observer asserting that a channel's consumed payloads are fresh.
+
+    Detects duplication: the same (consumed) token appearing in two
+    consecutive consumable cycles.  Legitimate repeats under stop are
+    fine — only back-to-back consumption of an identical token with no
+    intervening hold is flagged when ``forbid_repeats`` is set (useful
+    for counting streams, where payloads are strictly increasing).
+    """
+
+    def __init__(self, channel: Channel, forbid_repeats: bool = False):
+        self.channel = channel
+        self.forbid_repeats = forbid_repeats
+        self.consumed: List = []
+
+    def attach(self, sim: Simulator) -> "StreamMonitor":
+        sim.add_cycle_hook(self._sample)
+        return self
+
+    def _sample(self, sim: Simulator) -> None:
+        token = self.channel.read()
+        stop = self.channel.stop_asserted()
+        if token.valid and not stop:
+            if (self.forbid_repeats and self.consumed
+                    and self.consumed[-1] == token.value):
+                raise ProtocolViolationError(
+                    f"channel {self.channel.name!r}: payload "
+                    f"{token.value!r} consumed twice in a row at cycle "
+                    f"{sim.cycle}"
+                )
+            self.consumed.append(token.value)
+
+
+def watch_system(system, strict_stop_shape: bool = False
+                 ) -> List[ChannelMonitor]:
+    """Attach a :class:`ChannelMonitor` to every channel of *system*.
+
+    Call before :meth:`~repro.lid.system.LidSystem.run`; returns the
+    monitors (their counters are handy in tests).  The system's variant
+    governs the optional stop-shape check.
+    """
+    monitors = []
+    for channel in system.channels:
+        monitor = ChannelMonitor(
+            channel,
+            strict_stop_shape=strict_stop_shape,
+            variant=system.variant,
+        )
+        monitor.attach(system.sim)
+        monitors.append(monitor)
+    return monitors

@@ -1,0 +1,163 @@
+"""Zero-latency reference model for latency-equivalence checking.
+
+The paper's safety notion: a LIP implementation is safe iff any
+composition of blocks *"behaves in a latency insensitive sense exactly
+as an equally connected system without shells and non-pipelined
+connections"*.  This module builds that equally connected system from a
+:class:`~repro.lid.system.LidSystem`'s recorded wiring: relay stations
+collapse to ideal zero-delay wires, every pearl fires every cycle, and
+each sink records one payload per cycle.
+
+Equivalence is then checked on *projections*: the sequence of valid
+payloads a LID sink accepts must be a prefix of the reference sink's
+payload sequence (the LID run may simply not have progressed as far in
+the same number of clock cycles).
+
+Sources whose scripts run out are handled with **poison** values: an
+exhausted source emits :data:`POISON`, any pearl with a poisoned input
+forwards poison without stepping, and sinks stop recording at the first
+poison — giving per-sink well-defined reference prefixes even in graphs
+where sources exhaust at different times.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+
+class _Poison:
+    """Sentinel for 'no more reference data on this path'."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "POISON"
+
+
+POISON = _Poison()
+
+
+def _ultimate_producer(system, channel) -> Tuple[str, Any, Any]:
+    """Walk a channel backwards through relay stations to its real driver.
+
+    Returns ``("source", source, None)`` or ``("shell", shell, port)``.
+    """
+    seen = set()
+    while True:
+        name = channel.producer
+        if name is None:
+            from ..errors import StructuralError
+
+            raise StructuralError(f"channel {channel.name!r} has no producer")
+        if name in seen:
+            from ..errors import StructuralError
+
+            raise StructuralError(
+                f"relay chain starting at {channel.name!r} is cyclic"
+            )
+        seen.add(name)
+        if name in system.relays:
+            channel = system.relays[name].input
+            continue
+        if name in system.sources:
+            return ("source", system.sources[name], None)
+        shell = system.shells[name]
+        for port, chans in shell.output_channels.items():
+            if channel in chans:
+                return ("shell", shell, port)
+        from ..errors import StructuralError
+
+        raise StructuralError(
+            f"block {name!r} drives {channel.name!r} on no known port"
+        )
+
+
+def run_reference(system, cycles: int) -> Dict[str, List[Any]]:
+    """Simulate the zero-latency reference; return sink payload streams.
+
+    The pearls of *system* are reused (they are ``reset()`` first), so
+    do not interleave this with a live LID simulation of the same
+    system.
+    """
+    shells = list(system.shells.values())
+    sinks = list(system.sinks.items())
+
+    # Resolve, once, where every shell input port and every sink reads from.
+    shell_feeds: Dict[str, Dict[str, Tuple[str, Any, Any]]] = {}
+    for shell in shells:
+        shell_feeds[shell.name] = {
+            port: _ultimate_producer(system, chan)
+            for port, chan in shell.input_channels.items()
+        }
+    sink_feeds = {
+        name: _ultimate_producer(system, sink.input) for name, sink in sinks
+    }
+
+    # Initial Moore outputs.
+    out_regs: Dict[str, Dict[str, Any]] = {}
+    for shell in shells:
+        out_regs[shell.name] = dict(shell.pearl.reset())
+
+    # Source projections: the valid payloads only, one per cycle.
+    source_streams: Dict[str, List[Any]] = {}
+    for name, source in system.sources.items():
+        stream = source._make_stream()
+        payloads: List[Any] = []
+        for _ in range(cycles + 1):
+            token = next(stream, None)
+            if token is None:
+                break
+            if token.valid:
+                payloads.append(token.value)
+        source_streams[name] = payloads
+    source_pos = {name: 0 for name in source_streams}
+
+    results: Dict[str, List[Any]] = {name: [] for name, _ in sinks}
+
+    def read_feed(feed) -> Any:
+        kind, block, port = feed
+        if kind == "source":
+            pos = source_pos[block.name]
+            stream = source_streams[block.name]
+            if pos >= len(stream):
+                return POISON
+            return stream[pos]
+        return out_regs[block.name][port]
+
+    for _cycle in range(cycles):
+        # Sinks sample the current Moore outputs.
+        for name, _sink in sinks:
+            value = read_feed(sink_feeds[name])
+            if value is POISON:
+                continue
+            results[name].append(value)
+
+        # All shells fire simultaneously on the current values.
+        new_regs: Dict[str, Dict[str, Any]] = {}
+        for shell in shells:
+            inputs = {
+                port: read_feed(feed)
+                for port, feed in shell_feeds[shell.name].items()
+            }
+            if any(v is POISON for v in inputs.values()):
+                new_regs[shell.name] = {
+                    port: POISON for port in shell.pearl.output_ports
+                }
+            elif any(v is POISON for v in out_regs[shell.name].values()):
+                # Once poisoned, a pearl stays poisoned: its internal
+                # state stopped advancing when poison first arrived.
+                new_regs[shell.name] = out_regs[shell.name]
+            else:
+                new_regs[shell.name] = dict(shell.pearl.step(inputs))
+        out_regs = new_regs
+
+        # Sources advance by one payload per cycle.
+        for name in source_pos:
+            source_pos[name] += 1
+
+    return results
+
+
+def is_prefix(shorter: List[Any], longer: List[Any]) -> bool:
+    """True iff *shorter* is an elementwise prefix of *longer*."""
+    if len(shorter) > len(longer):
+        return False
+    return all(a == b for a, b in zip(shorter, longer))

@@ -1,0 +1,200 @@
+"""Relay stations: pipelined channel repeaters.
+
+Relay stations are the paper's answer to multi-cycle wires: internally
+pipelined blocks inserted on long channels that comply with the protocol
+(*produce outputs in order, skip no valid output, hold their output on
+asserted stop*).  Two flavours are implemented:
+
+**Full relay station** (:class:`RelayStation`) — two data registers
+(``main`` presented at the output, ``aux`` as the skid slot) and a
+*registered* stop output.  When a downstream stop is first seen there is
+always one token legitimately in flight (the upstream only learns of the
+stop one cycle later, through the registered stop); the ``aux`` register
+absorbs exactly that token.  This is the minimum-memory argument the
+paper makes: a registered stop requires two registers.
+
+**Half relay station** (:class:`HalfRelayStation`) — a single data
+register and a *combinationally transparent* stop
+(``stop_out = stop_in AND occupied``; under the original Carloni variant
+simply ``stop_out = stop_in``).  It is safe and full-throughput, but it
+extends the combinational stop chain, so it cannot break stop cycles —
+which is why the paper finds potential deadlock exactly when half relay
+stations sit in loops.  The ``registered_stop=True`` ablation shows the
+alternative: registering the stop of a one-register stage is safe only
+if the station advertises stop whenever occupied, halving its peak
+throughput (bench EXP-T6/ablation; see DESIGN.md §7).
+
+Both flavours reset with **void** contents (paper: relay stations are
+initialized with non-valid outputs that drain toward the primary
+outputs during the transient).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import StructuralError
+from ..kernel.component import Component
+from .channel import Channel
+from .token import Token, VOID
+from .variant import DEFAULT_VARIANT, ProtocolVariant
+
+
+class _RelayBase(Component):
+    """Shared wiring and accounting for relay station flavours."""
+
+    def __init__(self, name: str, variant: ProtocolVariant = DEFAULT_VARIANT):
+        super().__init__(name)
+        self.variant = variant
+        self.input: Optional[Channel] = None
+        self.output: Optional[Channel] = None
+        self.valid_out_cycles: List[int] = []
+
+    def connect(self, input_channel: Channel, output_channel: Channel) -> None:
+        """Wire the station between *input_channel* and *output_channel*."""
+        if self.input is not None or self.output is not None:
+            raise StructuralError(f"{self.name}: already connected")
+        input_channel.bind_consumer(self.name)
+        output_channel.bind_producer(self.name)
+        self.input = input_channel
+        self.output = output_channel
+
+    def check_wiring(self) -> None:
+        if self.input is None or self.output is None:
+            raise StructuralError(f"{self.name}: relay station not connected")
+
+    def throughput(self, cycles: int) -> float:
+        """Fraction of the first *cycles* cycles with a valid output."""
+        if cycles <= 0:
+            return 0.0
+        return sum(1 for c in self.valid_out_cycles if c < cycles) / cycles
+
+    @property
+    def registers(self) -> int:
+        """Number of data registers (2 for full, 1 for half)."""
+        raise NotImplementedError
+
+
+class RelayStation(_RelayBase):
+    """Full relay station: two registers, registered stop output."""
+
+    def __init__(self, name: str, variant: ProtocolVariant = DEFAULT_VARIANT):
+        super().__init__(name, variant)
+        self._main: Token = VOID
+        self._aux: Token = VOID
+        self._stop_reg: bool = False
+
+    @property
+    def registers(self) -> int:
+        return 2
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid tokens currently buffered (0, 1 or 2)."""
+        return int(self._main.valid) + int(self._aux.valid)
+
+    def reset(self) -> None:
+        self._main = VOID
+        self._aux = VOID
+        self._stop_reg = False
+        self.valid_out_cycles = []
+
+    def publish(self) -> None:
+        self.output.drive(self._main)
+        if self._stop_reg:
+            self.input.set_stop(True)
+
+    def tick(self) -> None:
+        stop_in = self.output.stop_asserted()
+        if self._main.valid and not stop_in:
+            # A token actually departs this cycle (valid and unstopped).
+            self.valid_out_cycles.append(self.cycle)
+        incoming = self.input.read()
+        accepted = incoming.valid and not self._stop_reg
+        consumed = self.variant.slot_consumed(self._main.valid, stop_in)
+
+        if self._aux.valid:
+            # FULL: the registered stop guarantees nothing arrives now.
+            if consumed:
+                self._main = self._aux
+                self._aux = VOID
+                self._stop_reg = False
+            # else hold both; stop stays asserted.
+        elif consumed:
+            self._main = incoming if accepted else VOID
+            self._stop_reg = False
+        else:
+            # main is blocked; a token arriving right now is the one
+            # in-flight datum the aux register exists to absorb.
+            if accepted:
+                self._aux = incoming
+                self._stop_reg = True
+            # else keep waiting with one buffered token, stop low.
+
+
+class HalfRelayStation(_RelayBase):
+    """Half relay station: one register, combinationally transparent stop.
+
+    Parameters
+    ----------
+    registered_stop:
+        If true, use the ablation design whose stop output is a register
+        asserted whenever the station is occupied.  Safe, but at most one
+        token every two cycles can cross it (DESIGN.md §7 explains why
+        this illustrates the two-register minimum of the full station).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        variant: ProtocolVariant = DEFAULT_VARIANT,
+        registered_stop: bool = False,
+    ):
+        super().__init__(name, variant)
+        self.registered_stop = registered_stop
+        self._main: Token = VOID
+
+    @property
+    def registers(self) -> int:
+        return 1
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid tokens currently buffered (0 or 1)."""
+        return int(self._main.valid)
+
+    def reset(self) -> None:
+        self._main = VOID
+        self.valid_out_cycles = []
+
+    def publish(self) -> None:
+        self.output.drive(self._main)
+        if self.registered_stop and self._main.valid:
+            # Conservative registered stop: advertise whenever occupied.
+            self.input.set_stop(True)
+
+    def settle(self) -> None:
+        if self.registered_stop:
+            return
+        stop_in = self.output.stop_asserted()
+        if self.variant is ProtocolVariant.CASU:
+            stop_out = stop_in and self._main.valid
+        else:
+            # Original protocol: stop back-propagated regardless of
+            # the validity of the datum it lands on.
+            stop_out = stop_in
+        if stop_out:
+            self.input.set_stop(True)
+
+    def tick(self) -> None:
+        stop_in = self.output.stop_asserted()
+        if self._main.valid and not stop_in:
+            self.valid_out_cycles.append(self.cycle)
+        incoming = self.input.read()
+        consumed = self.variant.slot_consumed(self._main.valid, stop_in)
+        accepted = incoming.valid and not self.input.stop.value
+
+        if consumed:
+            self._main = incoming if accepted else VOID
+        # else: hold; the transparent (or occupied-registered) stop has
+        # already told the upstream to hold as well, so nothing is lost.

@@ -1,0 +1,39 @@
+"""Pearl library: stallable synchronous cores for shells to wrap.
+
+The paper's methodology takes an existing design "that works under the
+assumption of zero-delay connections" and encapsulates its modules.
+This package provides such modules: pure-function datapaths
+(:mod:`~repro.pearls.arithmetic`), stateful cores
+(:mod:`~repro.pearls.state`) and DSP blocks (:mod:`~repro.pearls.dsp`),
+plus the generic :class:`FunctionPearl` escape hatch.
+"""
+
+from .arithmetic import Adder, Alu, Identity, Maximum, Multiplier, Scaler, Subtractor
+from .base import FunctionPearl, MultiOutputPearl, Pearl
+from .dsp import Butterfly, Decimator, FirFilter, IirFilter, Mac, MovingAverage
+from .state import Accumulator, Counter, Delay, Fibonacci, History, Toggle
+
+__all__ = [
+    "Accumulator",
+    "Adder",
+    "Alu",
+    "Butterfly",
+    "Counter",
+    "Decimator",
+    "Delay",
+    "Fibonacci",
+    "FirFilter",
+    "FunctionPearl",
+    "History",
+    "Identity",
+    "IirFilter",
+    "Mac",
+    "Maximum",
+    "MovingAverage",
+    "MultiOutputPearl",
+    "Multiplier",
+    "Pearl",
+    "Scaler",
+    "Subtractor",
+    "Toggle",
+]

@@ -1,0 +1,147 @@
+"""Arithmetic pearls: the combinational-datapath staples.
+
+These model the kind of functional modules a System-on-Chip floorplan
+would scatter across long interconnect: adders, multipliers, ALUs.
+Each is a Moore machine whose output register holds the result of the
+previous firing (initial value configurable).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .base import Pearl
+
+
+class Identity(Pearl):
+    """Forward the input payload unchanged (a named wire with a register).
+
+    Used heavily in the figure-regeneration benches, where the paper's
+    traces show raw token indices flowing through the system.
+    """
+
+    input_ports = ("a",)
+    output_ports = ("out",)
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+
+    def reset(self) -> Dict[str, Any]:
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {"out": inputs["a"]}
+
+
+class Adder(Pearl):
+    """out = a + b."""
+
+    input_ports = ("a", "b")
+    output_ports = ("out",)
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+
+    def reset(self) -> Dict[str, Any]:
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {"out": inputs["a"] + inputs["b"]}
+
+
+class Subtractor(Pearl):
+    """out = a - b."""
+
+    input_ports = ("a", "b")
+    output_ports = ("out",)
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+
+    def reset(self) -> Dict[str, Any]:
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {"out": inputs["a"] - inputs["b"]}
+
+
+class Multiplier(Pearl):
+    """out = a * b."""
+
+    input_ports = ("a", "b")
+    output_ports = ("out",)
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+
+    def reset(self) -> Dict[str, Any]:
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {"out": inputs["a"] * inputs["b"]}
+
+
+class Scaler(Pearl):
+    """out = gain * a  (one-input constant multiplier)."""
+
+    input_ports = ("a",)
+    output_ports = ("out",)
+
+    def __init__(self, gain: Any, initial: Any = 0):
+        self.gain = gain
+        self.initial = initial
+
+    def reset(self) -> Dict[str, Any]:
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {"out": self.gain * inputs["a"]}
+
+
+class Maximum(Pearl):
+    """out = max(a, b) — a comparator datapath."""
+
+    input_ports = ("a", "b")
+    output_ports = ("out",)
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+
+    def reset(self) -> Dict[str, Any]:
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {"out": max(inputs["a"], inputs["b"])}
+
+
+class Alu(Pearl):
+    """A small ALU: ``op`` selects among add/sub/mul/min/max.
+
+    Demonstrates a pearl with a control input; the shell treats all
+    inputs uniformly (single-rate firing), as the LID theory requires.
+    """
+
+    input_ports = ("op", "a", "b")
+    output_ports = ("out",)
+
+    _OPS = {
+        "add": lambda a, b: a + b,
+        "sub": lambda a, b: a - b,
+        "mul": lambda a, b: a * b,
+        "min": min,
+        "max": max,
+    }
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+
+    def reset(self) -> Dict[str, Any]:
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        op = inputs["op"]
+        try:
+            fn = self._OPS[op]
+        except KeyError:
+            raise ValueError(f"Alu: unknown op {op!r}") from None
+        return {"out": fn(inputs["a"], inputs["b"])}

@@ -1,0 +1,161 @@
+"""DSP pearls: the workloads the paper's motivation implies.
+
+Latency-insensitive design targets large SoCs whose functional blocks —
+filters, MACs, decimators — sit far apart on the die.  These pearls
+provide realistic multi-tap datapaths for the examples and the
+integration tests; their numerically checkable outputs make end-to-end
+verification easy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from .base import Pearl
+
+
+class Mac(Pearl):
+    """Multiply-accumulate: acc += a * b; out = acc."""
+
+    input_ports = ("a", "b")
+    output_ports = ("out",)
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+        self._acc = initial
+
+    def reset(self) -> Dict[str, Any]:
+        self._acc = self.initial
+        return {"out": self._acc}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self._acc = self._acc + inputs["a"] * inputs["b"]
+        return {"out": self._acc}
+
+
+class FirFilter(Pearl):
+    """Direct-form FIR filter: out[n] = sum(taps[k] * a[n-k]).
+
+    The tap delay line freezes with the shell's clock gating, so the
+    filter output under any stop/void pattern matches the zero-latency
+    reference exactly — a strong latency-equivalence witness.
+    """
+
+    input_ports = ("a",)
+    output_ports = ("out",)
+
+    def __init__(self, taps: Sequence[float], initial: Any = 0):
+        if not taps:
+            raise ValueError("FirFilter needs at least one tap")
+        self.taps = tuple(taps)
+        self.initial = initial
+        self._line: List[Any] = []
+
+    def reset(self) -> Dict[str, Any]:
+        self._line = [0] * len(self.taps)
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self._line.insert(0, inputs["a"])
+        self._line.pop()
+        out = sum(t * x for t, x in zip(self.taps, self._line))
+        return {"out": out}
+
+
+class IirFilter(Pearl):
+    """One-pole IIR: y[n] = a * y[n-1] + b * x[n]."""
+
+    input_ports = ("x",)
+    output_ports = ("out",)
+
+    def __init__(self, a: float = 0.5, b: float = 0.5, initial: float = 0.0):
+        self.a = a
+        self.b = b
+        self.initial = initial
+        self._y = initial
+
+    def reset(self) -> Dict[str, Any]:
+        self._y = self.initial
+        return {"out": self._y}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self._y = self.a * self._y + self.b * inputs["x"]
+        return {"out": self._y}
+
+
+class MovingAverage(Pearl):
+    """Sliding-window mean over the last *window* samples."""
+
+    input_ports = ("a",)
+    output_ports = ("out",)
+
+    def __init__(self, window: int = 4, initial: Any = 0):
+        if window < 1:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.initial = initial
+        self._samples: List[Any] = []
+
+    def reset(self) -> Dict[str, Any]:
+        self._samples = []
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self._samples.append(inputs["a"])
+        if len(self._samples) > self.window:
+            self._samples.pop(0)
+        return {"out": sum(self._samples) / len(self._samples)}
+
+
+class Butterfly(Pearl):
+    """Radix-2 butterfly: (a, b) -> (a + b, a - b).
+
+    A two-output pearl; exercises shell multicast and multi-channel
+    output-register handling.
+    """
+
+    input_ports = ("a", "b")
+    output_ports = ("sum", "diff")
+
+    def __init__(self, initial_sum: Any = 0, initial_diff: Any = 0):
+        self.initial = {"sum": initial_sum, "diff": initial_diff}
+
+    def reset(self) -> Dict[str, Any]:
+        return dict(self.initial)
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "sum": inputs["a"] + inputs["b"],
+            "diff": inputs["a"] - inputs["b"],
+        }
+
+
+class Decimator(Pearl):
+    """Keep every *factor*-th sample's value, repeating it in between.
+
+    (A true down-sampler changes token rates, which single-rate LID
+    forbids; this rate-preserving variant keeps the protocol single
+    rate while still exercising decimation-style state.)
+    """
+
+    input_ports = ("a",)
+    output_ports = ("out",)
+
+    def __init__(self, factor: int = 2, initial: Any = 0):
+        if factor < 1:
+            raise ValueError("factor must be positive")
+        self.factor = factor
+        self.initial = initial
+        self._held = initial
+        self._phase = 0
+
+    def reset(self) -> Dict[str, Any]:
+        self._held = self.initial
+        self._phase = 0
+        return {"out": self._held}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        if self._phase == 0:
+            self._held = inputs["a"]
+        self._phase = (self._phase + 1) % self.factor
+        return {"out": self._held}

@@ -1,0 +1,152 @@
+"""Stateful pearls: modules whose next output depends on history.
+
+These exercise the clock-gating half of the shell contract: when the
+shell stalls, the pearl's state must freeze.  The latency-equivalence
+property tests lean on these pearls because any spurious or skipped
+firing corrupts their state visibly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .base import Pearl
+
+
+class Counter(Pearl):
+    """Free-running counter; the input is consumed but only gates firing.
+
+    ``out`` is the number of firings so far — which makes every skipped
+    or duplicated firing observable downstream.
+    """
+
+    input_ports = ("en",)
+    output_ports = ("out",)
+
+    def __init__(self, start: int = 0, stride: int = 1):
+        self.start = start
+        self.stride = stride
+        self._count = start
+
+    def reset(self) -> Dict[str, Any]:
+        self._count = self.start
+        return {"out": self._count}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self._count += self.stride
+        return {"out": self._count}
+
+
+class Accumulator(Pearl):
+    """Running sum of the input stream: out[n] = sum(a[0..n])."""
+
+    input_ports = ("a",)
+    output_ports = ("out",)
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+        self._acc = initial
+
+    def reset(self) -> Dict[str, Any]:
+        self._acc = self.initial
+        return {"out": self._acc}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self._acc = self._acc + inputs["a"]
+        return {"out": self._acc}
+
+
+class Delay(Pearl):
+    """A k-stage register pipeline inside the pearl (out[n] = a[n-k]).
+
+    Distinct from relay stations: this latency belongs to the *module's
+    function*, so it is present identically in the zero-latency
+    reference system.
+    """
+
+    input_ports = ("a",)
+    output_ports = ("out",)
+
+    def __init__(self, stages: int = 1, fill: Any = 0):
+        if stages < 1:
+            raise ValueError("Delay needs at least one stage")
+        self.stages = stages
+        self.fill = fill
+        self._pipe: List[Any] = []
+
+    def reset(self) -> Dict[str, Any]:
+        self._pipe = [self.fill] * self.stages
+        return {"out": self._pipe[-1]}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self._pipe.insert(0, inputs["a"])
+        out = self._pipe.pop()
+        return {"out": out}
+
+
+class Toggle(Pearl):
+    """Alternates its output payload between two values per firing."""
+
+    input_ports = ("en",)
+    output_ports = ("out",)
+
+    def __init__(self, first: Any = 0, second: Any = 1):
+        self.values = (first, second)
+        self._phase = 0
+
+    def reset(self) -> Dict[str, Any]:
+        self._phase = 0
+        return {"out": self.values[0]}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self._phase ^= 1
+        return {"out": self.values[self._phase]}
+
+
+class History(Pearl):
+    """Records every consumed payload — an observation pearl for tests.
+
+    ``out`` echoes the input; ``seen`` lists all payloads consumed since
+    reset in firing order.  Tests use it to assert the coherence
+    property (shells elaborate inputs in order without skips).
+    """
+
+    input_ports = ("a",)
+    output_ports = ("out",)
+
+    def __init__(self, initial: Any = 0):
+        self.initial = initial
+        self.seen: List[Any] = []
+
+    def reset(self) -> Dict[str, Any]:
+        self.seen = []
+        return {"out": self.initial}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        self.seen.append(inputs["a"])
+        return {"out": inputs["a"]}
+
+
+class Fibonacci(Pearl):
+    """Self-feeding pair generator used in the feedback-loop benches.
+
+    Consumes its previous output (through the loop channel) and adds an
+    external increment; with increment 0 the loop simply circulates a
+    recognizable sequence.
+    """
+
+    input_ports = ("loop_in", "ext")
+    output_ports = ("out",)
+
+    def __init__(self, seed: int = 1):
+        self.seed = seed
+        self._prev = seed
+
+    def reset(self) -> Dict[str, Any]:
+        self._prev = self.seed
+        return {"out": self._prev}
+
+    def step(self, inputs: Dict[str, Any]) -> Dict[str, Any]:
+        value = inputs["loop_in"] + inputs["ext"] + self._prev
+        self._prev = inputs["loop_in"]
+        return {"out": value}

@@ -1,0 +1,42 @@
+"""Gate-level views: netlists, relay-station FSMs, shells, VHDL export."""
+
+from .elaborate import NetlistRelayStation, transplant_netlist_station
+from .fsm_view import (
+    FsmTransition,
+    extract_full_rs_fsm,
+    extract_half_rs_fsm,
+    format_fsm_table,
+    fsm_to_dot,
+)
+from .netlist import CELL_TYPES, Cell, Net, Netlist, NetlistSimulator
+from .relay_fsm import (
+    RS_INPUTS,
+    RS_OUTPUTS,
+    full_relay_station_netlist,
+    half_relay_station_netlist,
+)
+from .shell_rtl import identity_shell_netlist, shell_netlist
+from .vhdl import emit_vhdl, write_vhdl
+
+__all__ = [
+    "CELL_TYPES",
+    "Cell",
+    "FsmTransition",
+    "Net",
+    "Netlist",
+    "NetlistRelayStation",
+    "NetlistSimulator",
+    "RS_INPUTS",
+    "RS_OUTPUTS",
+    "emit_vhdl",
+    "extract_full_rs_fsm",
+    "extract_half_rs_fsm",
+    "format_fsm_table",
+    "fsm_to_dot",
+    "full_relay_station_netlist",
+    "half_relay_station_netlist",
+    "identity_shell_netlist",
+    "shell_netlist",
+    "transplant_netlist_station",
+    "write_vhdl",
+]

@@ -1,0 +1,290 @@
+"""Structural netlists and their cycle-accurate evaluation.
+
+The paper implements its blocks as RTL FSMs (the details live in the
+authors' FMGALS'03 companion paper).  This module provides the netlist
+substrate: typed cells (registers, muxes, gates), named nets, a
+topological combinational evaluator and synchronous register updates —
+enough to express the relay stations and shells structurally and to
+*prove them equivalent* to the behavioural models by co-simulation
+(``tests/rtl/test_conformance.py``).
+
+Nets carry Python ints; width is metadata used by the VHDL emitter
+(1-bit nets are ``std_logic``, wider nets are ``unsigned`` vectors).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import ElaborationError
+
+#: Supported cell types and their port signatures (inputs, outputs).
+CELL_TYPES = {
+    "REG":   (("d", "en"), ("q",)),   # enable-gated register
+    "MUX2":  (("a", "b", "sel"), ("y",)),  # y = sel ? b : a
+    "AND2":  (("a", "b"), ("y",)),
+    "OR2":   (("a", "b"), ("y",)),
+    "XOR2":  (("a", "b"), ("y",)),
+    "NOT":   (("a",), ("y",)),
+    "CONST": ((), ("y",)),
+    "BUF":   (("a",), ("y",)),
+}
+
+
+@dataclasses.dataclass
+class Net:
+    """A named wire with a bit width."""
+
+    name: str
+    width: int = 1
+    driver: Optional[str] = None  # cell.port or "input"
+
+
+@dataclasses.dataclass
+class Cell:
+    """One instantiated primitive."""
+
+    name: str
+    kind: str
+    pins: Dict[str, str]           # port -> net name
+    params: Dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+class Netlist:
+    """A flat structural netlist with primary ports."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nets: Dict[str, Net] = {}
+        self.cells: Dict[str, Cell] = {}
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+
+    # -- construction ------------------------------------------------------
+
+    def net(self, name: str, width: int = 1) -> str:
+        """Declare (or fetch) a net; returns its name for chaining."""
+        if name in self.nets:
+            if self.nets[name].width != width:
+                raise ElaborationError(
+                    f"net {name!r} redeclared with width {width} "
+                    f"(was {self.nets[name].width})"
+                )
+            return name
+        self.nets[name] = Net(name, width)
+        return name
+
+    def add_input(self, name: str, width: int = 1) -> str:
+        self.net(name, width)
+        self.nets[name].driver = "input"
+        self.inputs.append(name)
+        return name
+
+    def add_output(self, name: str, width: int = 1) -> str:
+        self.net(name, width)
+        self.outputs.append(name)
+        return name
+
+    def cell(self, kind: str, name: str, **pins: str) -> Cell:
+        """Instantiate a primitive; pins map port names to net names."""
+        if kind not in CELL_TYPES:
+            raise ElaborationError(f"unknown cell type {kind!r}")
+        if name in self.cells:
+            raise ElaborationError(f"duplicate cell name {name!r}")
+        params = {}
+        for meta in ("width", "init", "value"):
+            if meta in pins:
+                params[meta] = pins.pop(meta)
+        in_ports, out_ports = CELL_TYPES[kind]
+        expected = set(in_ports) | set(out_ports)
+        if kind == "REG" and "en" not in pins:
+            pins["en"] = self._const_net(1)
+        if set(pins) != expected:
+            raise ElaborationError(
+                f"{kind} cell {name!r}: pins {sorted(pins)} != "
+                f"expected {sorted(expected)}"
+            )
+        for port, net_name in pins.items():
+            if net_name not in self.nets:
+                self.net(net_name, width=params.get("width", 1)
+                         if port not in ("en", "sel") else 1)
+        for port in out_ports:
+            target = self.nets[pins[port]]
+            if target.driver is not None:
+                raise ElaborationError(
+                    f"net {pins[port]!r} has two drivers "
+                    f"({target.driver} and {name}.{port})"
+                )
+            target.driver = f"{name}.{port}"
+        cell = Cell(name, kind, dict(pins), params)
+        self.cells[name] = cell
+        return cell
+
+    def _const_net(self, value: int) -> str:
+        name = f"const_{value}"
+        if name not in self.nets:
+            self.net(name)
+            self.cell("CONST", f"c{value}", y=name, value=value)
+        return name
+
+    # -- convenience builders -------------------------------------------------
+
+    _gensym = 0
+
+    def _fresh(self, prefix: str) -> str:
+        Netlist._gensym += 1
+        return f"{prefix}_{Netlist._gensym}"
+
+    def g_and(self, a: str, b: str, y: Optional[str] = None) -> str:
+        y = self.net(y or self._fresh("and"))
+        self.cell("AND2", self._fresh("u_and"), a=a, b=b, y=y)
+        return y
+
+    def g_or(self, a: str, b: str, y: Optional[str] = None) -> str:
+        y = self.net(y or self._fresh("or"))
+        self.cell("OR2", self._fresh("u_or"), a=a, b=b, y=y)
+        return y
+
+    def g_not(self, a: str, y: Optional[str] = None) -> str:
+        y = self.net(y or self._fresh("not"))
+        self.cell("NOT", self._fresh("u_not"), a=a, y=y)
+        return y
+
+    def g_mux(self, a: str, b: str, sel: str, y: Optional[str] = None,
+              width: int = 1) -> str:
+        y = self.net(y or self._fresh("mux"), width)
+        self.cell("MUX2", self._fresh("u_mux"), a=a, b=b, sel=sel, y=y,
+                  width=width)
+        return y
+
+    def g_reg(self, d: str, q: str, en: Optional[str] = None,
+              init: int = 0, width: int = 1) -> str:
+        q = self.net(q, width)
+        pins = {"d": d, "q": q}
+        if en is not None:
+            pins["en"] = en
+        self.cell("REG", self._fresh("u_reg"), width=width, init=init, **pins)
+        return q
+
+    # -- statistics ------------------------------------------------------------
+
+    def register_count(self) -> int:
+        """Total register *bits* (the paper's memory-requirement metric)."""
+        return sum(
+            c.params.get("width", 1)
+            for c in self.cells.values() if c.kind == "REG"
+        )
+
+    def gate_count(self) -> int:
+        return sum(1 for c in self.cells.values() if c.kind != "REG")
+
+    def validate(self) -> None:
+        """Every net must be driven; every input pin must exist."""
+        for net in self.nets.values():
+            if net.driver is None:
+                raise ElaborationError(f"net {net.name!r} is undriven")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Netlist({self.name!r}, cells={len(self.cells)}, "
+            f"nets={len(self.nets)}, regs={self.register_count()}b)"
+        )
+
+
+class NetlistSimulator:
+    """Two-phase evaluation of a netlist (combinational settle + edge)."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._order = self._topological_order()
+        self.values: Dict[str, int] = {}
+        self.reset()
+
+    def _topological_order(self) -> List[Cell]:
+        """Combinational cells sorted so drivers precede readers."""
+        comb = [c for c in self.netlist.cells.values() if c.kind != "REG"]
+        produced_by: Dict[str, Cell] = {}
+        for cell in comb:
+            _ins, outs = CELL_TYPES[cell.kind]
+            for port in outs:
+                produced_by[cell.pins[port]] = cell
+        order: List[Cell] = []
+        state: Dict[str, int] = {}
+
+        def visit(cell: Cell, stack: Tuple[str, ...]) -> None:
+            if state.get(cell.name) == 2:
+                return
+            if state.get(cell.name) == 1:
+                raise ElaborationError(
+                    f"combinational loop through {cell.name!r} "
+                    f"(path {' -> '.join(stack)})"
+                )
+            state[cell.name] = 1
+            in_ports, _outs = CELL_TYPES[cell.kind]
+            for port in in_ports:
+                net = cell.pins[port]
+                upstream = produced_by.get(net)
+                if upstream is not None:
+                    visit(upstream, stack + (cell.name,))
+            state[cell.name] = 2
+            order.append(cell)
+
+        for cell in comb:
+            visit(cell, ())
+        return order
+
+    def reset(self) -> None:
+        self.values = {name: 0 for name in self.netlist.nets}
+        for cell in self.netlist.cells.values():
+            if cell.kind == "REG":
+                self.values[cell.pins["q"]] = cell.params.get("init", 0)
+            elif cell.kind == "CONST":
+                self.values[cell.pins["y"]] = cell.params.get("value", 0)
+
+    def settle(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """Evaluate combinational logic for the given primary inputs."""
+        unknown = set(inputs) - set(self.netlist.inputs)
+        if unknown:
+            raise ElaborationError(f"not primary inputs: {sorted(unknown)}")
+        for name, value in inputs.items():
+            self.values[name] = value
+        for cell in self._order:
+            self._eval(cell)
+        return {name: self.values[name] for name in self.netlist.outputs}
+
+    def _eval(self, cell: Cell) -> None:
+        v = self.values
+        p = cell.pins
+        if cell.kind == "AND2":
+            v[p["y"]] = int(bool(v[p["a"]]) and bool(v[p["b"]]))
+        elif cell.kind == "OR2":
+            v[p["y"]] = int(bool(v[p["a"]]) or bool(v[p["b"]]))
+        elif cell.kind == "XOR2":
+            v[p["y"]] = int(bool(v[p["a"]]) != bool(v[p["b"]]))
+        elif cell.kind == "NOT":
+            v[p["y"]] = int(not v[p["a"]])
+        elif cell.kind == "BUF":
+            v[p["y"]] = v[p["a"]]
+        elif cell.kind == "MUX2":
+            v[p["y"]] = v[p["b"]] if v[p["sel"]] else v[p["a"]]
+        elif cell.kind == "CONST":
+            v[p["y"]] = cell.params.get("value", 0)
+
+    def tick(self) -> None:
+        """Clock edge: all registers sample their (settled) D pins."""
+        updates = []
+        for cell in self.netlist.cells.values():
+            if cell.kind != "REG":
+                continue
+            if self.values[cell.pins["en"]]:
+                updates.append((cell.pins["q"], self.values[cell.pins["d"]]))
+        for q, value in updates:
+            self.values[q] = value
+
+    def step(self, inputs: Dict[str, int]) -> Dict[str, int]:
+        """settle + tick; returns the pre-edge primary outputs."""
+        outputs = self.settle(inputs)
+        self.tick()
+        return outputs

@@ -1,0 +1,134 @@
+"""Gate-level relay stations, as the paper implements them.
+
+Structural netlists of the full and half relay stations, matching the
+behavioural semantics of :mod:`repro.lid.relay` gate for gate:
+
+**Full relay station** — datapath: ``main`` and ``aux`` data registers
+with their valid bits; control: the equivalent of the paper's FSM with
+states EMPTY / HALF (one token) / FULL (two tokens), encoded one-hot in
+``(main_valid, aux_valid)``; the registered stop output is exactly the
+``aux_valid`` bit (the station pushes back precisely while its skid
+slot is in use — the two-register minimum made visible in gates).
+
+**Half relay station** — one data register and the combinationally
+transparent stop (``stop_out = stop_in AND main_valid`` under the
+refined protocol, ``stop_out = stop_in`` under the original).
+
+``tests/rtl`` co-simulate these netlists against the behavioural spec
+FSMs over exhaustive input sequences.
+"""
+
+from __future__ import annotations
+
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .netlist import Netlist
+
+#: Primary port names shared by both stations.
+RS_INPUTS = ("in_data", "in_valid", "stop_in")
+RS_OUTPUTS = ("out_data", "out_valid", "stop_out")
+
+
+def full_relay_station_netlist(width: int = 8,
+                               name: str = "relay_station") -> Netlist:
+    """Structural full relay station (2 data registers, registered stop)."""
+    nl = Netlist(name)
+    in_data = nl.add_input("in_data", width)
+    in_valid = nl.add_input("in_valid")
+    stop_in = nl.add_input("stop_in")
+    out_data = nl.add_output("out_data", width)
+    out_valid = nl.add_output("out_valid")
+    stop_out = nl.add_output("stop_out")
+
+    # State registers (declared first so control can reference them).
+    main_v = nl.net("main_valid")
+    aux_v = nl.net("aux_valid")
+    main_d = nl.net("main_data", width)
+    aux_d = nl.net("aux_data", width)
+
+    # Control equations -----------------------------------------------------
+    # free: the main slot may be (over)written this cycle.
+    blocked = nl.g_and(main_v, stop_in, "blocked")
+    free = nl.g_not(blocked, "free")
+    # acc: a token is taken from the input wires this cycle.
+    n_stop_reg = nl.g_not(aux_v, "n_stop_reg")
+    acc = nl.g_and(in_valid, n_stop_reg, "acc")
+
+    # main <= aux when the skid slot drains into a freed main slot.
+    sel_aux = nl.g_and(aux_v, free, "sel_aux")
+    # main <= in when main is free, no skid token waits, and input flows.
+    n_aux = nl.g_not(aux_v, "n_aux")
+    free_direct = nl.g_and(n_aux, free, "free_direct")
+    sel_in = nl.g_and(free_direct, acc, "sel_in")
+
+    hold_main = nl.g_not(free, "hold_main")
+    kept = nl.g_and(hold_main, main_v, "kept")
+    main_v_next = nl.g_or(nl.g_or(sel_aux, sel_in), kept, "main_valid_next")
+
+    # Datapath: main mux tree (hold -> in -> aux priority encoded).
+    after_in = nl.g_mux(main_d, in_data, sel_in, "main_after_in", width)
+    main_d_next = nl.g_mux(after_in, aux_d, sel_aux, "main_data_next", width)
+
+    # aux fills with the in-flight token when main is blocked.
+    aux_set = nl.g_and(free_direct_not := nl.g_and(n_aux, hold_main,
+                                                   "aux_room_blocked"),
+                       acc, "aux_set")
+    aux_keep = nl.g_and(aux_v, hold_main, "aux_keep")
+    aux_v_next = nl.g_or(aux_set, aux_keep, "aux_valid_next")
+    aux_d_next = nl.g_mux(aux_d, in_data, aux_set, "aux_data_next", width)
+
+    # Registers ---------------------------------------------------------------
+    nl.g_reg("main_valid_next", main_v, init=0)
+    nl.g_reg("aux_valid_next", aux_v, init=0)
+    nl.g_reg("main_data_next", main_d, width=width)
+    nl.g_reg("aux_data_next", aux_d, width=width)
+
+    # Outputs -------------------------------------------------------------------
+    nl.cell("BUF", "u_outd", a=main_d, y=out_data, width=width)
+    nl.cell("BUF", "u_outv", a=main_v, y=out_valid)
+    # The registered stop is exactly the skid-slot occupancy.
+    nl.cell("BUF", "u_stop", a=aux_v, y=stop_out)
+    nl.validate()
+    return nl
+
+
+def half_relay_station_netlist(
+    width: int = 8,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    name: str = "half_relay_station",
+) -> Netlist:
+    """Structural half relay station (1 register, transparent stop)."""
+    nl = Netlist(name)
+    in_data = nl.add_input("in_data", width)
+    in_valid = nl.add_input("in_valid")
+    stop_in = nl.add_input("stop_in")
+    out_data = nl.add_output("out_data", width)
+    out_valid = nl.add_output("out_valid")
+    stop_out = nl.add_output("stop_out")
+
+    main_v = nl.net("main_valid")
+    main_d = nl.net("main_data", width)
+
+    blocked = nl.g_and(main_v, stop_in, "blocked")
+    if variant is ProtocolVariant.CASU:
+        # Stops landing on a void register are discarded.
+        nl.cell("BUF", "u_stop", a=blocked, y=stop_out)
+    else:
+        # Original protocol: the stop passes through regardless.
+        nl.cell("BUF", "u_stop", a=stop_in, y=stop_out)
+
+    free = nl.g_not(blocked, "free")
+    n_stop_out = nl.g_not(stop_out, "n_stop_out")
+    acc = nl.g_and(in_valid, n_stop_out, "acc")
+    load = nl.g_and(free, acc, "load")
+
+    kept = nl.g_and(nl.g_not(free, "hold"), main_v, "kept")
+    main_v_next = nl.g_or(load, kept, "main_valid_next")
+    main_d_next = nl.g_mux(main_d, in_data, load, "main_data_next", width)
+
+    nl.g_reg("main_valid_next", main_v, init=0)
+    nl.g_reg("main_data_next", main_d, width=width)
+
+    nl.cell("BUF", "u_outd", a=main_d, y=out_data, width=width)
+    nl.cell("BUF", "u_outv", a=main_v, y=out_valid)
+    nl.validate()
+    return nl

@@ -1,0 +1,148 @@
+"""Gate-level shell wrapper.
+
+The structural counterpart of :class:`repro.lid.shell.Shell` for a
+pearl with N inputs and M output channels.  The pearl itself is kept
+abstract: the netlist exposes ``pearl_out_<j>`` input ports (what the
+pearl would produce this cycle) and a ``fire`` output (the clock-enable
+the shell would hand to the pearl) so any datapath can be bolted on;
+for self-contained simulation :func:`identity_shell_netlist` wires
+pearl output 0 straight to input 0.
+
+Control equations (refined protocol):
+
+* ``fire = AND_k(in_valid_k) AND NOT OR_j(stop_j AND out_valid_j)``
+* ``stop_to_input_k = NOT fire AND in_valid_k``
+* per output channel: ``out_valid' = fire OR (out_valid AND stop)``,
+  ``out_data' = fire ? pearl_out : out_data``
+
+Under the original protocol the two validity qualifications drop away.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .netlist import Netlist
+
+
+def shell_netlist(
+    n_inputs: int = 1,
+    n_outputs: int = 1,
+    width: int = 8,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    init_valid: bool = True,
+    name: str = "shell",
+) -> Netlist:
+    """Structural shell control + output registers (pearl abstract)."""
+    nl = Netlist(name)
+    in_valids: List[str] = []
+    for k in range(n_inputs):
+        nl.add_input(f"in_data_{k}", width)
+        in_valids.append(nl.add_input(f"in_valid_{k}"))
+    stops: List[str] = [nl.add_input(f"stop_{j}") for j in range(n_outputs)]
+    pearl_outs: List[str] = [
+        nl.add_input(f"pearl_out_{j}", width) for j in range(n_outputs)
+    ]
+    fire = nl.add_output("fire")
+    for k in range(n_inputs):
+        nl.add_output(f"stop_to_input_{k}")
+    for j in range(n_outputs):
+        nl.add_output(f"out_data_{j}", width)
+        nl.add_output(f"out_valid_{j}")
+
+    # all_valid = AND over input valids
+    acc = in_valids[0]
+    for k, valid in enumerate(in_valids[1:], start=1):
+        acc = nl.g_and(acc, valid, f"valid_and_{k}")
+    all_valid = nl.cell("BUF", "u_allv", a=acc, y=nl.net("all_valid")) \
+        .pins["y"]
+
+    # blocked = OR over output channels of the variant's blocking term
+    blocked = None
+    for j in range(n_outputs):
+        out_valid_q = nl.net(f"out_valid_q_{j}")
+        if variant is ProtocolVariant.CASU:
+            term = nl.g_and(stops[j], out_valid_q, f"block_{j}")
+        else:
+            term = nl.g_or(stops[j], stops[j], f"block_{j}")  # plain stop
+        blocked = term if blocked is None else nl.g_or(
+            blocked, term, f"block_acc_{j}")
+    not_blocked = nl.g_not(blocked, "not_blocked")
+    nl.g_and(all_valid, not_blocked, "fire_net")
+    nl.cell("BUF", "u_fire", a="fire_net", y=fire)
+
+    stalled = nl.g_not("fire_net", "stalled")
+    for k in range(n_inputs):
+        if variant is ProtocolVariant.CASU:
+            nl.g_and(stalled, in_valids[k], f"stop_to_input_{k}_net")
+        else:
+            nl.cell("BUF", f"u_stopin_{k}", a=stalled,
+                    y=nl.net(f"stop_to_input_{k}_net"))
+        nl.cell("BUF", f"u_stopout_{k}", a=f"stop_to_input_{k}_net",
+                y=f"stop_to_input_{k}")
+
+    for j in range(n_outputs):
+        out_valid_q = f"out_valid_q_{j}"
+        out_data_q = nl.net(f"out_data_q_{j}", width)
+        held = nl.g_and(out_valid_q, stops[j], f"held_{j}")
+        valid_next = nl.g_or("fire_net", held, f"out_valid_next_{j}")
+        nl.g_reg(valid_next, out_valid_q, init=int(init_valid))
+        data_next = nl.g_mux(out_data_q, pearl_outs[j], "fire_net",
+                             f"out_data_next_{j}", width)
+        nl.g_reg(data_next, out_data_q, width=width)
+        nl.cell("BUF", f"u_odata_{j}", a=out_data_q, y=f"out_data_{j}",
+                width=width)
+        nl.cell("BUF", f"u_ovalid_{j}", a=out_valid_q, y=f"out_valid_{j}")
+
+    nl.validate()
+    return nl
+
+
+def identity_shell_netlist(
+    width: int = 8,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    name: str = "identity_shell",
+) -> Netlist:
+    """A 1-in/1-out shell whose pearl is the identity function.
+
+    Self-contained: ``pearl_out_0`` is driven internally from
+    ``in_data_0``, so the netlist simulates with just the channel wires.
+    """
+    nl = Netlist(name)
+    in_data = nl.add_input("in_data_0", width)
+    in_valid = nl.add_input("in_valid_0")
+    stop = nl.add_input("stop_0")
+    nl.add_output("fire")
+    nl.add_output("stop_to_input_0")
+    nl.add_output("out_data_0", width)
+    nl.add_output("out_valid_0")
+
+    out_valid_q = nl.net("out_valid_q")
+    out_data_q = nl.net("out_data_q", width)
+
+    if variant is ProtocolVariant.CASU:
+        blocked = nl.g_and(stop, out_valid_q, "blocked")
+    else:
+        blocked = nl.cell("BUF", "u_blk", a=stop, y=nl.net("blocked")) \
+            .pins["y"]
+    not_blocked = nl.g_not(blocked, "not_blocked")
+    fire = nl.g_and(in_valid, not_blocked, "fire_net")
+    nl.cell("BUF", "u_fire", a=fire, y="fire")
+
+    stalled = nl.g_not(fire, "stalled")
+    if variant is ProtocolVariant.CASU:
+        nl.g_and(stalled, in_valid, "stop_up")
+    else:
+        nl.cell("BUF", "u_stup", a=stalled, y=nl.net("stop_up"))
+    nl.cell("BUF", "u_stupo", a="stop_up", y="stop_to_input_0")
+
+    held = nl.g_and(out_valid_q, stop, "held")
+    valid_next = nl.g_or(fire, held, "out_valid_next")
+    nl.g_reg(valid_next, out_valid_q, init=1)
+    data_next = nl.g_mux(out_data_q, in_data, fire, "out_data_next", width)
+    nl.g_reg(data_next, out_data_q, width=width)
+    nl.cell("BUF", "u_od", a=out_data_q, y="out_data_0", width=width)
+    nl.cell("BUF", "u_ov", a=out_valid_q, y="out_valid_0")
+    nl.validate()
+    return nl

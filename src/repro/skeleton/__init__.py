@@ -1,0 +1,29 @@
+"""Skeleton (valid/stop-only) simulation, periodicity and deadlock tools."""
+
+from .deadlock import DeadlockVerdict, check_deadlock, is_deadlock_free_class
+from .fast import CostComparison, compare_cost, measure_throughput, system_throughput
+from .periodicity import (
+    detect_period,
+    transient_and_period,
+    transient_bound,
+    transient_estimate,
+)
+from .sim import SkeletonResult, SkeletonSim
+from .vectorized import BatchSkeletonSim
+
+__all__ = [
+    "BatchSkeletonSim",
+    "CostComparison",
+    "DeadlockVerdict",
+    "SkeletonResult",
+    "SkeletonSim",
+    "check_deadlock",
+    "compare_cost",
+    "detect_period",
+    "is_deadlock_free_class",
+    "measure_throughput",
+    "system_throughput",
+    "transient_and_period",
+    "transient_bound",
+    "transient_estimate",
+]

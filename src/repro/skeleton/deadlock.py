@@ -1,0 +1,130 @@
+"""Deadlock checking via skeleton simulation.
+
+The paper's liveness strategy: liveness is topology dependent, so
+instead of verifying the protocol globally, *"simulate the system up to
+the transient's extinction; either the deadlock will show, or will be
+forever avoided"* — on the cheap valid/stop skeleton.
+
+Two failure modes are distinguished:
+
+* **hard deadlock** — under the optimistic (least-fixpoint) resolution
+  of the stop network, the periodic regime contains zero shell firings:
+  no block will ever fire again;
+* **potential deadlock** — the stop equations admit more than one
+  fixpoint in some reachable cycle (only possible when a combinational
+  stop cycle exists, i.e. half relay stations — or direct shell-shell
+  wires — on loops), or the pessimistic (greatest-fixpoint) resolution
+  stalls even though the optimistic one runs.  Real gates could settle
+  either way, so the design is hazardous: this is the paper's
+  *"potential deadlocks iff half relay stations are present in loops"*.
+
+Because simulation runs until state periodicity, the verdict is exact
+for the given source/sink scripts — the paper's "forever avoided"
+guarantee.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional, Sequence
+
+from ..graph.model import SystemGraph
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .sim import SkeletonResult, SkeletonSim
+
+
+@dataclasses.dataclass
+class DeadlockVerdict:
+    """Outcome of :func:`check_deadlock`."""
+
+    deadlocked: bool
+    potential: bool
+    transient: int
+    period: int
+    detail: str
+    optimistic: SkeletonResult
+    pessimistic: Optional[SkeletonResult] = None
+
+    @property
+    def live(self) -> bool:
+        """Fully live: neither hard nor potential deadlock."""
+        return not self.deadlocked and not self.potential
+
+
+def check_deadlock(
+    graph: SystemGraph,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    max_cycles: int = 10_000,
+    source_patterns: Optional[Dict[str, Sequence[bool]]] = None,
+    sink_patterns: Optional[Dict[str, Sequence[bool]]] = None,
+) -> DeadlockVerdict:
+    """Simulate the skeleton until periodicity and classify liveness."""
+    optimistic_sim = SkeletonSim(
+        graph,
+        variant=variant,
+        fixpoint="least",
+        source_patterns=source_patterns,
+        sink_patterns=sink_patterns,
+    )
+    optimistic = optimistic_sim.run(max_cycles=max_cycles)
+
+    pessimistic = None
+    potential = optimistic.potential
+    detail = ""
+    if optimistic.deadlocked:
+        detail = (
+            f"hard deadlock: periodic window of {optimistic.period} cycles "
+            f"after cycle {optimistic.transient} contains no shell firing"
+        )
+    elif potential:
+        detail = (
+            f"stop network ambiguous from cycle "
+            f"{optimistic.potential_deadlock_cycle}: least and greatest "
+            f"fixpoints disagree (combinational stop cycle is active)"
+        )
+    if optimistic_sim._may_be_ambiguous and not optimistic.deadlocked:
+        pessimistic_sim = SkeletonSim(
+            graph,
+            variant=variant,
+            fixpoint="greatest",
+            source_patterns=source_patterns,
+            sink_patterns=sink_patterns,
+        )
+        pessimistic = pessimistic_sim.run(max_cycles=max_cycles)
+        if pessimistic.deadlocked and not potential:
+            potential = True
+            detail = (
+                "pessimistic stop resolution deadlocks although the "
+                "optimistic one runs: hazardous combinational stop cycle"
+            )
+
+    return DeadlockVerdict(
+        deadlocked=optimistic.deadlocked,
+        potential=potential,
+        transient=optimistic.transient,
+        period=optimistic.period,
+        detail=detail or "live: periodic regime fires every shell",
+        optimistic=optimistic,
+        pessimistic=pessimistic,
+    )
+
+
+def is_deadlock_free_class(graph: SystemGraph) -> Optional[str]:
+    """Static sufficient conditions for deadlock freedom (paper's list).
+
+    Returns the name of the first matching rule, or ``None`` when no
+    static rule applies (the system then needs the skeleton check):
+
+    * ``"feed-forward"`` — the block graph is acyclic (possibly with
+      reconvergence);
+    * ``"all-full-relay-stations"`` — every relay station is full.
+    """
+    if graph.is_feedforward():
+        return "feed-forward"
+    if graph.relay_count() == graph.relay_count("full"):
+        return "all-full-relay-stations"
+    from .. import graph as _graph_pkg  # local import to avoid a cycle
+
+    if not _graph_pkg.half_relays_on_loops(graph):
+        return "no-half-relay-stations-on-loops"
+    return None

@@ -1,0 +1,569 @@
+"""Skeleton simulation: valid/stop dynamics without data.
+
+Paper: *"we are allowed to simulate just the skeleton of the system
+consisting of stop and valid signals, thus the simulation cost is
+absolutely negligible"*.  The skeleton simulator runs the exact control
+semantics of the LID blocks (DESIGN.md §4) on bare bits — no payloads,
+no pearls — directly from a :class:`~repro.graph.model.SystemGraph`.
+
+It is the workhorse behind:
+
+* throughput measurement (fires per period, exact rationals);
+* transient/period extraction (state-hash periodicity detection);
+* deadlock checking (a period with zero firings), including the
+  *potential* deadlock of half-relay-stations-in-loops, detected as an
+  ambiguous stop network: the monotone stop equations admitting more
+  than one fixpoint in a reachable state (least = optimistic hardware,
+  greatest = latch-up; real gates could settle on either).
+
+Source availability and sink back pressure are modelled as repeating
+bit patterns so that the composite state is finite and periodicity is
+guaranteed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graph.model import SystemGraph
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+
+# Element kind tags (kept as small ints for compact state tuples).
+_SRC, _SHELL, _SINK, _RS_FULL, _RS_HALF, _RS_HALF_REG = range(6)
+
+_RS_KIND = {
+    "full": _RS_FULL,
+    "half": _RS_HALF,
+    "half-registered": _RS_HALF_REG,
+}
+
+
+@dataclasses.dataclass
+class _Hop:
+    """One producer->consumer wire segment of an expanded channel."""
+
+    producer_kind: int
+    producer_id: int      # index into the kind-specific table
+    producer_edge: int    # for shells: which out-register (edge index)
+    consumer_kind: int
+    consumer_id: int
+
+
+@dataclasses.dataclass
+class SkeletonResult:
+    """Outcome of a skeleton run (see :class:`SkeletonSim.run`)."""
+
+    transient: int
+    period: int
+    shell_fires: Dict[str, int]
+    sink_accepts: Dict[str, int]
+    cycles_run: int
+    deadlocked: bool
+    potential_deadlock_cycle: Optional[int]
+
+    @property
+    def potential(self) -> bool:
+        return self.potential_deadlock_cycle is not None
+
+    def throughput(self, name: str) -> Fraction:
+        """Steady-state firings (or acceptances) per cycle for a block."""
+        if self.period == 0:
+            return Fraction(0)
+        if name in self.shell_fires:
+            return Fraction(self.shell_fires[name], self.period)
+        if name in self.sink_accepts:
+            return Fraction(self.sink_accepts[name], self.period)
+        raise KeyError(f"no shell or sink named {name!r}")
+
+    def min_shell_throughput(self) -> Fraction:
+        if not self.shell_fires or self.period == 0:
+            return Fraction(0)
+        return min(
+            Fraction(f, self.period) for f in self.shell_fires.values()
+        )
+
+
+class SkeletonSim:
+    """Bit-level simulator of a system graph's valid/stop skeleton."""
+
+    def __init__(
+        self,
+        graph: SystemGraph,
+        variant: ProtocolVariant = DEFAULT_VARIANT,
+        fixpoint: str = "least",
+        source_patterns: Optional[Dict[str, Sequence[bool]]] = None,
+        sink_patterns: Optional[Dict[str, Sequence[bool]]] = None,
+        detect_ambiguity: bool = True,
+    ):
+        if fixpoint not in ("least", "greatest"):
+            raise ValueError("fixpoint must be 'least' or 'greatest'")
+        if any(n.queue_depth is not None for n in graph.nodes.values()):
+            # Queued shells are modelled via their relay-station
+            # desugaring (see repro.graph.transform.desugar_queues).
+            from ..graph.transform import desugar_queues
+
+            graph = desugar_queues(graph)
+        self.graph = graph
+        self.variant = variant
+        self.fixpoint = fixpoint
+        self.detect_ambiguity = detect_ambiguity
+        self._build(source_patterns or {}, sink_patterns or {})
+        self.reset()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self, source_patterns, sink_patterns) -> None:
+        g = self.graph
+        self.shell_names = [n.name for n in g.shells()]
+        self.source_names = [n.name for n in g.sources()]
+        self.sink_names = [n.name for n in g.sinks()]
+        shell_index = {n: i for i, n in enumerate(self.shell_names)}
+        source_index = {n: i for i, n in enumerate(self.source_names)}
+        sink_index = {n: i for i, n in enumerate(self.sink_names)}
+
+        self.src_pattern: List[Tuple[bool, ...]] = [
+            tuple(bool(b) for b in source_patterns.get(n, (True,)))
+            for n in self.source_names
+        ]
+        self.sink_pattern: List[Tuple[bool, ...]] = [
+            tuple(bool(b) for b in sink_patterns.get(n, (False,)))
+            for n in self.sink_names
+        ]
+        lengths = [len(p) for p in self.sink_pattern] or [1]
+        self.sink_phase_mod = math.lcm(*lengths)
+
+        self.rs_kinds: List[int] = []
+        self.rs_names: List[str] = []
+        self.hops: List[_Hop] = []
+        # Per shell: list of input hop ids / output hop ids (with their
+        # owning out-register edge index).
+        self.shell_in_hops: List[List[int]] = [[] for _ in self.shell_names]
+        self.shell_out_hops: List[List[int]] = [[] for _ in self.shell_names]
+        self.src_out_hops: List[List[int]] = [[] for _ in self.source_names]
+        self.sink_in_hop: List[Optional[int]] = [None] * len(self.sink_names)
+        self.rs_in_hop: List[int] = []
+        self.rs_out_hop: List[int] = []
+        # Shell out registers: one bit per edge; register id -> shell id.
+        self.shell_reg_owner: List[int] = []
+
+        def _attach_producer(ref, hop_id: int) -> None:
+            kind, ident = ref
+            if kind == _SRC:
+                self.src_out_hops[ident].append(hop_id)
+            elif kind == _SHELL:
+                self.shell_out_hops[ident].append(hop_id)
+            else:
+                self.rs_out_hop[ident] = hop_id
+
+        def _attach_consumer(ref, hop_id: int) -> None:
+            kind, ident = ref
+            if kind == _SHELL:
+                self.shell_in_hops[ident].append(hop_id)
+            elif kind == _SINK:
+                self.sink_in_hop[ident] = hop_id
+            else:
+                self.rs_in_hop[ident] = hop_id
+
+        for edge in g.edges:
+            src_node = g.nodes[edge.src]
+            dst_node = g.nodes[edge.dst]
+            if src_node.kind == "shell":
+                reg_id = len(self.shell_reg_owner)
+                self.shell_reg_owner.append(shell_index[edge.src])
+                producer_ref = (_SHELL, shell_index[edge.src])
+                producer_edge = reg_id
+            else:
+                producer_ref = (_SRC, source_index[edge.src])
+                producer_edge = -1
+
+            chain: List[int] = []
+            for pos, spec in enumerate(edge.relays):
+                rs_id = len(self.rs_kinds)
+                self.rs_kinds.append(_RS_KIND[spec])
+                self.rs_names.append(f"{edge.src}->{edge.dst}.rs{pos}")
+                self.rs_in_hop.append(-1)
+                self.rs_out_hop.append(-1)
+                chain.append(rs_id)
+
+            if dst_node.kind == "shell":
+                dst_ref = (_SHELL, shell_index[edge.dst])
+            else:
+                dst_ref = (_SINK, sink_index[edge.dst])
+
+            producers = [producer_ref] + [
+                (self.rs_kinds[rs], rs) for rs in chain
+            ]
+            consumers = [(self.rs_kinds[rs], rs) for rs in chain] + [dst_ref]
+            for seg, (p_ref, c_ref) in enumerate(zip(producers, consumers)):
+                hop_id = len(self.hops)
+                edge_reg = producer_edge if seg == 0 else -1
+                self.hops.append(
+                    _Hop(p_ref[0], p_ref[1], edge_reg, c_ref[0], c_ref[1])
+                )
+                _attach_producer(p_ref, hop_id)
+                _attach_consumer(c_ref, hop_id)
+
+        # The stop network can only have multiple fixpoints when a
+        # combinational cycle exists, which requires a transparent half
+        # relay station or a direct shell-to-shell hop somewhere.
+        self._may_be_ambiguous = any(
+            k == _RS_HALF for k in self.rs_kinds
+        ) or any(
+            h.producer_kind == _SHELL and h.consumer_kind == _SHELL
+            for h in self.hops
+        )
+
+        # Flat dispatch tables for the hot per-cycle loops.
+        self._src_hops: List[Tuple[int, int]] = []
+        self._shellreg_hops: List[Tuple[int, int]] = []
+        self._rs_hops: List[Tuple[int, int]] = []
+        for hop_id, hop in enumerate(self.hops):
+            if hop.producer_kind == _SRC:
+                self._src_hops.append((hop_id, hop.producer_id))
+            elif hop.producer_kind == _SHELL:
+                self._shellreg_hops.append((hop_id, hop.producer_edge))
+            else:
+                self._rs_hops.append((hop_id, hop.producer_id))
+        self._transparent_half_ids = [
+            rs_id for rs_id, kind in enumerate(self.rs_kinds)
+            if kind == _RS_HALF
+        ]
+
+    # -- state ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.cycle = 0
+        self._src_override: Optional[Sequence[bool]] = None
+        self._sink_override: Optional[Sequence[bool]] = None
+        # Shell out registers start VALID (paper footnote 1).
+        self.shell_reg = [True] * len(self.shell_reg_owner)
+        # Relay stations start VOID.
+        self.rs_main = [False] * len(self.rs_kinds)
+        self.rs_aux = [False] * len(self.rs_kinds)
+        self.rs_stop_reg = [False] * len(self.rs_kinds)
+        self.src_phase = [0] * len(self.source_names)
+        self.fire_history: List[Tuple[bool, ...]] = []
+        self.accept_history: List[Tuple[bool, ...]] = []
+        self.ambiguous_cycles: List[int] = []
+        # Paper claim instrumentation ("higher locality of management
+        # of void/stop signals"): how many stop wires are asserted, how
+        # many land on void tokens, and how many of those void-landing
+        # stops were generated *combinationally by the protocol* (by a
+        # shell or a transparent half station).  Scripted sink stops
+        # and registered full-station credits are validity-blind by
+        # nature and excluded from the internal count.
+        self.stop_assertions_total = 0
+        self.stops_on_voids_total = 0
+        self.internal_stops_on_voids_total = 0
+
+    def state(self) -> Tuple:
+        """Hashable snapshot of all registers and script phases."""
+        return (
+            tuple(self.shell_reg),
+            tuple(self.rs_main),
+            tuple(self.rs_aux),
+            tuple(self.rs_stop_reg),
+            tuple(self.src_phase),
+            self.cycle % self.sink_phase_mod,
+        )
+
+    def register_state(self) -> Tuple:
+        """Snapshot of the protocol registers only (no script phases).
+
+        Used by the exhaustive system-liveness explorer, which supplies
+        the environment externally per transition.
+        """
+        return (
+            tuple(self.shell_reg),
+            tuple(self.rs_main),
+            tuple(self.rs_aux),
+            tuple(self.rs_stop_reg),
+        )
+
+    def set_register_state(self, state: Tuple) -> None:
+        """Restore a snapshot produced by :meth:`register_state`."""
+        shell_reg, rs_main, rs_aux, rs_stop = state
+        self.shell_reg = list(shell_reg)
+        self.rs_main = list(rs_main)
+        self.rs_aux = list(rs_aux)
+        self.rs_stop_reg = list(rs_stop)
+
+    # -- per-cycle evaluation ----------------------------------------------
+
+    def _forward_valids(self) -> List[bool]:
+        valid = [False] * len(self.hops)
+        if self._src_override is not None:
+            for hop_id, src_id in self._src_hops:
+                valid[hop_id] = self._src_override[src_id]
+        else:
+            for hop_id, src_id in self._src_hops:
+                pattern = self.src_pattern[src_id]
+                valid[hop_id] = pattern[self.src_phase[src_id]
+                                        % len(pattern)]
+        shell_reg = self.shell_reg
+        for hop_id, reg in self._shellreg_hops:
+            valid[hop_id] = shell_reg[reg]
+        rs_main = self.rs_main
+        for hop_id, rs_id in self._rs_hops:
+            valid[hop_id] = rs_main[rs_id]
+        return valid
+
+    def _settle_stops(self, valid: List[bool], mode: str) -> List[bool]:
+        """Fixpoint of the monotone stop equations (least or greatest)."""
+        pessimistic = mode == "greatest"
+        stop = [pessimistic] * len(self.hops)
+        # Registered / scripted stops are fixed regardless of mode.
+        fixed = [False] * len(self.hops)
+        for rs_id, kind in enumerate(self.rs_kinds):
+            hop_in = self.rs_in_hop[rs_id]
+            if kind == _RS_FULL:
+                stop[hop_in] = self.rs_stop_reg[rs_id]
+                fixed[hop_in] = True
+            elif kind == _RS_HALF_REG:
+                stop[hop_in] = self.rs_main[rs_id]
+                fixed[hop_in] = True
+        for sink_id, hop_in in enumerate(self.sink_in_hop):
+            if hop_in is None:
+                continue
+            if self._sink_override is not None:
+                stop[hop_in] = self._sink_override[sink_id]
+            else:
+                pattern = self.sink_pattern[sink_id]
+                stop[hop_in] = pattern[self.cycle % len(pattern)]
+            fixed[hop_in] = True
+
+        changed = True
+        guard = len(self.hops) + len(self.shell_names) + 2
+        is_casu = self.variant is ProtocolVariant.CASU
+        half_ids = self._transparent_half_ids
+        n_shells = len(self.shell_names)
+        while changed and guard > 0:
+            changed = False
+            guard -= 1
+            # Transparent half relay stations.
+            for rs_id in half_ids:
+                hop_in = self.rs_in_hop[rs_id]
+                hop_out = self.rs_out_hop[rs_id]
+                if is_casu:
+                    value = stop[hop_out] and self.rs_main[rs_id]
+                else:
+                    value = stop[hop_out]
+                if stop[hop_in] != value and not fixed[hop_in]:
+                    stop[hop_in] = value
+                    changed = True
+            # Shells: stall propagates from outputs to all inputs.
+            for shell_id in range(n_shells):
+                fire = self._shell_fire(shell_id, valid, stop)
+                stalled = not fire
+                for hop_in in self.shell_in_hops[shell_id]:
+                    value = stalled and (valid[hop_in] or not is_casu)
+                    if stop[hop_in] != value and not fixed[hop_in]:
+                        stop[hop_in] = value
+                        changed = True
+        return stop
+
+    def _shell_fire(self, shell_id: int, valid, stop) -> bool:
+        for hop_in in self.shell_in_hops[shell_id]:
+            if not valid[hop_in]:
+                return False
+        is_casu = self.variant is ProtocolVariant.CASU
+        shell_reg = self.shell_reg
+        hops = self.hops
+        for hop_out in self.shell_out_hops[shell_id]:
+            if stop[hop_out] and (
+                    shell_reg[hops[hop_out].producer_edge]
+                    or not is_casu):
+                return False
+        return True
+
+    def _apply_edge(self, valid: List[bool], stop: List[bool],
+                    fires: Tuple[bool, ...]) -> None:
+        """Register updates (mirror repro.lid semantics exactly)."""
+        new_shell_reg = list(self.shell_reg)
+        for shell_id, fired in enumerate(fires):
+            for hop_out in self.shell_out_hops[shell_id]:
+                reg = self.hops[hop_out].producer_edge
+                if fired:
+                    new_shell_reg[reg] = True
+                else:
+                    held = self.shell_reg[reg] and stop[hop_out]
+                    new_shell_reg[reg] = held
+
+        new_main = list(self.rs_main)
+        new_aux = list(self.rs_aux)
+        new_stop_reg = list(self.rs_stop_reg)
+        for rs_id, kind in enumerate(self.rs_kinds):
+            hop_in = self.rs_in_hop[rs_id]
+            hop_out = self.rs_out_hop[rs_id]
+            stop_in = stop[hop_out]
+            incoming = valid[hop_in]
+            if kind == _RS_FULL:
+                accepted = incoming and not self.rs_stop_reg[rs_id]
+                consumed = self.variant.slot_consumed(
+                    self.rs_main[rs_id], stop_in)
+                if self.rs_aux[rs_id]:
+                    if consumed:
+                        new_main[rs_id] = self.rs_aux[rs_id]
+                        new_aux[rs_id] = False
+                        new_stop_reg[rs_id] = False
+                elif consumed:
+                    new_main[rs_id] = accepted
+                    new_stop_reg[rs_id] = False
+                elif accepted:
+                    new_aux[rs_id] = True
+                    new_stop_reg[rs_id] = True
+            else:  # half variants share the single-register update
+                consumed = self.variant.slot_consumed(
+                    self.rs_main[rs_id], stop_in)
+                accepted = incoming and not stop[hop_in]
+                if consumed:
+                    new_main[rs_id] = accepted
+        self.shell_reg = new_shell_reg
+        self.rs_main = new_main
+        self.rs_aux = new_aux
+        self.rs_stop_reg = new_stop_reg
+
+    def step(self) -> Tuple[Tuple[bool, ...], Tuple[bool, ...]]:
+        """Advance one cycle; returns (shell fires, sink accepts)."""
+        valid = self._forward_valids()
+        stop = self._settle_stops(valid, self.fixpoint)
+        if self.detect_ambiguity and self._may_be_ambiguous:
+            other = "greatest" if self.fixpoint == "least" else "least"
+            alt = self._settle_stops(valid, other)
+            if alt != stop:
+                self.ambiguous_cycles.append(self.cycle)
+
+        for hop_id, asserted in enumerate(stop):
+            if asserted:
+                self.stop_assertions_total += 1
+                if not valid[hop_id]:
+                    self.stops_on_voids_total += 1
+                    if self.hops[hop_id].consumer_kind in (_SHELL,
+                                                           _RS_HALF):
+                        self.internal_stops_on_voids_total += 1
+
+        fires = tuple(
+            self._shell_fire(i, valid, stop)
+            for i in range(len(self.shell_names))
+        )
+        accepts = tuple(
+            hop is not None and valid[hop] and not stop[hop]
+            for hop, _pattern in zip(self.sink_in_hop, self.sink_pattern)
+        )
+
+        self._apply_edge(valid, stop, fires)
+
+        for src_id in range(len(self.source_names)):
+            pattern = self.src_pattern[src_id]
+            presented = pattern[self.src_phase[src_id] % len(pattern)]
+            held = False
+            if presented:
+                held = any(
+                    stop[h] for h in self.src_out_hops[src_id]
+                )
+            if not held:
+                self.src_phase[src_id] = (
+                    (self.src_phase[src_id] + 1) % len(pattern)
+                )
+
+        self.fire_history.append(fires)
+        self.accept_history.append(accepts)
+        self.cycle += 1
+        return fires, accepts
+
+    def external_step(
+        self,
+        src_valid: Sequence[bool],
+        sink_stop: Sequence[bool],
+    ) -> Tuple[Tuple[bool, ...], Tuple[bool, ...], Tuple[bool, ...]]:
+        """One cycle with the environment supplied explicitly.
+
+        *src_valid* gives the validity presented by each source this
+        cycle; *sink_stop* the stop each sink asserts.  Script patterns
+        and phases are bypassed (and phases left untouched), so the
+        caller fully owns the environment — this is the hook the
+        exhaustive liveness explorer drives.  Returns
+        ``(shell fires, sink accepts, source stops)`` where the last
+        tuple tells the caller which presented tokens were held (the
+        environment contract: a held token must be re-presented).
+        """
+        if len(src_valid) != len(self.source_names):
+            raise ValueError("need one validity bit per source")
+        if len(sink_stop) != len(self.sink_names):
+            raise ValueError("need one stop bit per sink")
+        self._src_override = list(src_valid)
+        self._sink_override = list(sink_stop)
+        try:
+            valid = self._forward_valids()
+            stop = self._settle_stops(valid, self.fixpoint)
+            fires = tuple(
+                self._shell_fire(i, valid, stop)
+                for i in range(len(self.shell_names))
+            )
+            accepts = tuple(
+                hop is not None and valid[hop] and not stop[hop]
+                for hop in self.sink_in_hop
+            )
+            src_stops = tuple(
+                any(stop[h] for h in self.src_out_hops[src_id])
+                for src_id in range(len(self.source_names))
+            )
+            self._apply_edge(valid, stop, fires)
+        finally:
+            self._src_override = None
+            self._sink_override = None
+        self.cycle += 1
+        return fires, accepts, src_stops
+
+    # -- analysis-level driver ------------------------------------------------
+
+    def run(self, max_cycles: int = 10_000) -> SkeletonResult:
+        """Simulate until the state becomes periodic (or *max_cycles*).
+
+        The paper's key observation — after a system-dependent transient
+        every part of the system behaves periodically — guarantees
+        termination: the composite register state is finite, so a state
+        must repeat.
+        """
+        seen: Dict[Tuple, int] = {self.state(): 0}
+        transient = period = None
+        for _ in range(max_cycles):
+            self.step()
+            snapshot = self.state()
+            if snapshot in seen:
+                transient = seen[snapshot]
+                period = self.cycle - transient
+                break
+            seen[snapshot] = self.cycle
+        if period is None:
+            raise TimeoutError(
+                f"{self.graph.name}: no periodicity within {max_cycles} "
+                f"cycles (state space larger than expected)"
+            )
+
+        window = self.fire_history[transient:transient + period]
+        shell_fires = {
+            name: sum(1 for fires in window if fires[i])
+            for i, name in enumerate(self.shell_names)
+        }
+        accept_window = self.accept_history[transient:transient + period]
+        sink_accepts = {
+            name: sum(1 for acc in accept_window if acc[i])
+            for i, name in enumerate(self.sink_names)
+        }
+        deadlocked = bool(self.shell_names) and all(
+            count == 0 for count in shell_fires.values()
+        )
+        potential = self.ambiguous_cycles[0] if self.ambiguous_cycles else None
+        return SkeletonResult(
+            transient=transient,
+            period=period,
+            shell_fires=shell_fires,
+            sink_accepts=sink_accepts,
+            cycles_run=self.cycle,
+            deadlocked=deadlocked,
+            potential_deadlock_cycle=potential,
+        )

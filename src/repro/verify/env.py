@@ -1,0 +1,80 @@
+"""Nondeterministic environment automata for block verification.
+
+The paper verifies each block *"provided the [block] works in an
+appropriate environment"*: upstreams keep their values on asserted
+stops and send ordered valid data; downstreams may stop arbitrarily.
+These classes model exactly those assumptions, with every remaining
+choice left nondeterministic so the BFS explores all of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+#: Modulus for abstract payloads (data independence; must exceed the
+#: largest number of in-flight tokens any single block can hold + 2).
+PAYLOAD_MODULUS = 8
+
+
+@dataclasses.dataclass(frozen=True)
+class UpstreamState:
+    """A law-abiding producer: ordered tokens, holds on stop.
+
+    ``k`` is the sequence number of the token currently on offer;
+    ``committed`` is true when the previous cycle presented ``k`` and
+    was stopped — the environment assumption then *requires* the same
+    token to stay on the wires.
+    """
+
+    k: int = 0
+    committed: bool = False
+
+    def choices(self) -> List[Optional[int]]:
+        """Tokens the upstream may legally present this cycle."""
+        if self.committed:
+            return [self.k]
+        return [None, self.k]
+
+    def after(self, presented: Optional[int], stop_out: bool) -> "UpstreamState":
+        """Advance given what was presented and the settled stop."""
+        if presented is None:
+            return UpstreamState(k=self.k, committed=False)
+        if stop_out:
+            return UpstreamState(k=self.k, committed=True)
+        return UpstreamState(k=(self.k + 1) % PAYLOAD_MODULUS,
+                             committed=False)
+
+
+@dataclasses.dataclass(frozen=True)
+class DownstreamState:
+    """An arbitrary consumer: stops whenever it pleases (stateless)."""
+
+    @staticmethod
+    def choices() -> Tuple[bool, bool]:
+        return (False, True)
+
+
+@dataclasses.dataclass(frozen=True)
+class CooperativeDownstream:
+    """A consumer that never stops — used for progress/liveness checks."""
+
+    @staticmethod
+    def choices() -> Tuple[bool]:
+        return (False,)
+
+
+@dataclasses.dataclass(frozen=True)
+class EagerUpstream:
+    """A producer that always has data — used for progress checks."""
+
+    k: int = 0
+    committed: bool = False
+
+    def choices(self) -> List[Optional[int]]:
+        return [self.k]
+
+    def after(self, presented: Optional[int], stop_out: bool) -> "EagerUpstream":
+        if presented is not None and not stop_out:
+            return EagerUpstream(k=(self.k + 1) % PAYLOAD_MODULUS)
+        return EagerUpstream(k=self.k, committed=presented is not None)

@@ -1,0 +1,275 @@
+"""A small LTL layer over the explicit-state engine.
+
+The paper phrases its obligations informally ("any relay station keeps
+its output on asserted stops").  This module lets such properties be
+written as temporal-logic formulas and checked over the *lasso* paths
+of a finite transition system — the standard semantics for
+finite-state LTL model checking:
+
+* safety formulas (``G p``, ``G (p -> X q)``) are checked over every
+  reachable transition;
+* liveness formulas (``G F p``) are checked over every reachable cycle
+  (a cycle in which ``p`` never holds is a counterexample lasso).
+
+Formulas are built from atoms (named predicates over states) with
+``Not / And / Or / Implies / X / G / F / GF``.  The checker supports
+the fragment that covers the paper's properties: invariants, one-step
+implications (next), and recurrence — not full LTL-to-Büchi
+translation, which the block-sized state spaces here do not warrant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Hashable, Iterable, List, Optional
+
+Atom = Callable[[Hashable], bool]
+
+
+@dataclasses.dataclass(frozen=True)
+class Prop:
+    """Atomic proposition: a named predicate over states."""
+
+    name: str
+    test: Atom
+
+    def __call__(self, state) -> bool:
+        return bool(self.test(state))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def Not(p):      # noqa: N802 - logic-style constructor names
+    return Prop(f"!{p!r}", lambda s: not p(s))
+
+
+def And(p, q):   # noqa: N802
+    return Prop(f"({p!r} & {q!r})", lambda s: p(s) and q(s))
+
+
+def Or(p, q):    # noqa: N802
+    return Prop(f"({p!r} | {q!r})", lambda s: p(s) or q(s))
+
+
+def Implies(p, q):  # noqa: N802
+    return Prop(f"({p!r} -> {q!r})", lambda s: (not p(s)) or q(s))
+
+
+@dataclasses.dataclass
+class LtlResult:
+    """Verdict of an LTL check."""
+
+    holds: bool
+    formula: str
+    states_explored: int
+    witness: Optional[List[Hashable]] = None
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class TransitionSystem:
+    """A finite transition system: initial states + successor function."""
+
+    def __init__(self, initial_states: Iterable[Hashable],
+                 successors: Callable[[Hashable], Iterable[Hashable]]):
+        self.initial_states = list(initial_states)
+        self.successors = successors
+
+    def _explore(self, max_states: int) -> Dict[Hashable, List[Hashable]]:
+        graph: Dict[Hashable, List[Hashable]] = {}
+        stack = list(self.initial_states)
+        while stack:
+            state = stack.pop()
+            if state in graph:
+                continue
+            if len(graph) >= max_states:
+                raise MemoryError(f"more than {max_states} states")
+            nxt = list(self.successors(state))
+            graph[state] = nxt
+            stack.extend(nxt)
+        return graph
+
+    # -- checkers ---------------------------------------------------------
+
+    def check_G(self, p: Prop, max_states: int = 200_000) -> LtlResult:
+        """G p — *p* holds in every reachable state."""
+        graph = self._explore(max_states)
+        for state in graph:
+            if not p(state):
+                return LtlResult(False, f"G {p!r}", len(graph),
+                                 witness=[state])
+        return LtlResult(True, f"G {p!r}", len(graph))
+
+    def check_G_implies_X(self, p: Prop, q: Prop,
+                          max_states: int = 200_000) -> LtlResult:
+        """G (p -> X q) — after any *p*-state, every successor satisfies
+        *q*.  This is the shape of the paper's hold-on-stop property."""
+        graph = self._explore(max_states)
+        formula = f"G ({p!r} -> X {q!r})"
+        for state, succs in graph.items():
+            if p(state):
+                for nxt in succs:
+                    if not q(nxt):
+                        return LtlResult(False, formula, len(graph),
+                                         witness=[state, nxt])
+        return LtlResult(True, formula, len(graph))
+
+    def check_GF(self, p: Prop, max_states: int = 200_000) -> LtlResult:
+        """G F p — *p* holds infinitely often on every infinite path.
+
+        Violated iff some reachable cycle contains no *p*-state: we
+        remove all *p*-states and look for a cycle in the remainder.
+        """
+        graph = self._explore(max_states)
+        formula = f"G F {p!r}"
+        allowed = {s for s in graph if not p(s)}
+        WHITE, GREY, BLACK = 0, 1, 2
+        color: Dict[Hashable, int] = {}
+
+        def find_cycle(node, path):
+            color[node] = GREY
+            path.append(node)
+            for nxt in graph[node]:
+                if nxt not in allowed:
+                    continue
+                state = color.get(nxt, WHITE)
+                if state == GREY:
+                    return path[path.index(nxt):] + [nxt]
+                if state == WHITE:
+                    found = find_cycle(nxt, path)
+                    if found is not None:
+                        return found
+            path.pop()
+            color[node] = BLACK
+            return None
+
+        for node in allowed:
+            if color.get(node, WHITE) == WHITE:
+                lasso = find_cycle(node, [])
+                if lasso is not None:
+                    return LtlResult(False, formula, len(graph),
+                                     witness=lasso)
+        return LtlResult(True, formula, len(graph))
+
+
+def block_transition_system(kind: str, variant=None) -> TransitionSystem:
+    """Transition system of one relay station under its legal environment.
+
+    States are ``(block_state, upstream_state, last_io)`` where
+    ``last_io = (out_token, stop_in, stop_out)`` records the observable
+    I/O of the transition that *led here* — so atoms can speak about
+    both state and signals.
+    """
+    from ..lid.variant import DEFAULT_VARIANT
+    from . import fsm
+    from .env import DownstreamState, UpstreamState
+
+    variant = variant or DEFAULT_VARIANT
+    registered = kind == "half-registered"
+    is_full = kind == "full"
+
+    if is_full:
+        initial = (fsm.FullRsState(), UpstreamState(), None)
+    else:
+        initial = (fsm.HalfRsState(), UpstreamState(), None)
+
+    def successors(state):
+        rs, up, _last = state
+        for present in up.choices():
+            for stop_in in DownstreamState.choices():
+                if is_full:
+                    out_tok, stop_out = fsm.full_rs_outputs(rs)
+                    next_rs = fsm.full_rs_step(rs, present, stop_in,
+                                               variant)
+                else:
+                    out_tok = rs.main
+                    stop_out = fsm.half_rs_stop_out(rs, stop_in, variant,
+                                                    registered)
+                    next_rs = fsm.half_rs_step(rs, present, stop_in,
+                                               variant, registered)
+                next_up = up.after(present, stop_out)
+                yield (next_rs, next_up, (out_tok, stop_in, stop_out))
+
+    return TransitionSystem([initial], successors)
+
+
+# -- the paper's properties as LTL atoms --------------------------------------
+
+
+def _io(state):
+    return state[2]
+
+
+OUTPUT_STOPPED = Prop(
+    "valid_out & stop_in",
+    lambda s: _io(s) is not None and _io(s)[0] is not None and _io(s)[1],
+)
+
+
+def held_token_reappears(kind: str, variant=None) -> LtlResult:
+    """G (valid_out & stop_in -> X same_out): hold-on-stop, in LTL.
+
+    The successor's ``last_io`` records the output *presented after*
+    the stopped cycle, which must carry the same payload.
+    """
+    ts = block_transition_system(kind, variant)
+
+    graph = ts._explore(200_000)
+    formula = "G (valid_out & stop_in -> X out_unchanged)"
+    for state, succs in graph.items():
+        io = _io(state)
+        if io is None or io[0] is None or not io[1]:
+            continue
+        held_payload = io[0]
+        for nxt in succs:
+            nxt_io = _io(nxt)
+            if nxt_io is None or nxt_io[0] != held_payload:
+                return LtlResult(False, formula, len(graph),
+                                 witness=[state, nxt])
+    return LtlResult(True, formula, len(graph))
+
+
+def eventually_emits(kind: str, variant=None) -> LtlResult:
+    """G F (output consumable): on every infinite run, tokens keep
+    getting through — the recurrence reading of liveness.
+
+    True for the environment that includes stop-forever paths only if
+    we restrict to *fair* paths; here we check the weaker but still
+    informative statement on the cooperative-downstream system.
+    """
+    from ..lid.variant import DEFAULT_VARIANT
+    from . import fsm
+    from .env import EagerUpstream
+
+    variant = variant or DEFAULT_VARIANT
+    registered = kind == "half-registered"
+    is_full = kind == "full"
+
+    if is_full:
+        initial = (fsm.FullRsState(), EagerUpstream(), None)
+    else:
+        initial = (fsm.HalfRsState(), EagerUpstream(), None)
+
+    def successors(state):
+        rs, up, _last = state
+        present = up.choices()[0]
+        stop_in = False
+        if is_full:
+            out_tok, stop_out = fsm.full_rs_outputs(rs)
+            next_rs = fsm.full_rs_step(rs, present, stop_in, variant)
+        else:
+            out_tok = rs.main
+            stop_out = fsm.half_rs_stop_out(rs, stop_in, variant,
+                                            registered)
+            next_rs = fsm.half_rs_step(rs, present, stop_in, variant,
+                                       registered)
+        yield (next_rs, up.after(present, stop_out),
+               (out_tok, stop_in, stop_out))
+
+    ts = TransitionSystem([initial], successors)
+    emits = Prop("emits",
+                 lambda s: _io(s) is not None and _io(s)[0] is not None
+                 and not _io(s)[1])
+    return ts.check_GF(emits)

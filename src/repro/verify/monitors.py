@@ -1,0 +1,117 @@
+"""Safety monitors: the paper's six properties as observer automata.
+
+Each monitor is an immutable automaton advanced once per cycle with the
+signals it watches; it either returns its next state or raises
+:class:`Violation` with a human-readable reason.  Monitors compose with
+the block and environment states into the product the BFS explores.
+
+Paper properties covered:
+
+=======================  =========================================
+Shell                    Relay station
+=======================  =========================================
+elaborates coherent data produces outputs in the correct order
+outputs in correct order does not skip any valid output
+does not skip outputs    keeps its output on asserted stops
+=======================  =========================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+from .env import PAYLOAD_MODULUS
+
+
+class Violation(Exception):
+    """A safety property failed; the message explains how."""
+
+
+@dataclasses.dataclass(frozen=True)
+class OrderMonitor:
+    """Checks order + no-skip + no-duplicate on consumed outputs.
+
+    A token is *consumed* in a cycle where the output is valid and the
+    downstream does not stop.  Consumed payloads must be exactly
+    ``expected, expected+1, ...`` modulo the payload alphabet; any skip,
+    duplicate or reorder breaks the arithmetic and is caught within one
+    alphabet revolution (the alphabet exceeds total block capacity).
+    """
+
+    expected: int = 0
+
+    def advance(self, out_tok: Optional[int], stop_in: bool) -> "OrderMonitor":
+        if out_tok is None or stop_in:
+            return self
+        if out_tok != self.expected:
+            raise Violation(
+                f"out-of-order output: consumed {out_tok}, "
+                f"expected {self.expected}"
+            )
+        return OrderMonitor(expected=(self.expected + 1) % PAYLOAD_MODULUS)
+
+
+@dataclasses.dataclass(frozen=True)
+class HoldMonitor:
+    """"Keeps its output on asserted stops."
+
+    If the output was valid and stopped in cycle *t*, the same token
+    must still be presented in cycle *t+1*.
+    """
+
+    held: Optional[int] = None  # token that must reappear, or None
+
+    def advance(self, out_tok: Optional[int], stop_in: bool) -> "HoldMonitor":
+        if self.held is not None and out_tok != self.held:
+            raise Violation(
+                f"output not held under stop: had {self.held}, "
+                f"now {out_tok}"
+            )
+        if out_tok is not None and stop_in:
+            return HoldMonitor(held=out_tok)
+        return HoldMonitor(held=None)
+
+
+@dataclasses.dataclass(frozen=True)
+class CoherenceMonitor:
+    """Shell-specific: inputs are consumed in lockstep (single rate).
+
+    A shell that fired must have consumed exactly one token from every
+    input; the upstream sequence counters therefore stay equal forever.
+    Divergent counters mean the shell skipped or double-consumed an
+    input — incoherent elaboration.
+    """
+
+    def advance(self, upstream_ks: Tuple[int, ...]) -> "CoherenceMonitor":
+        if len(set(upstream_ks)) > 1:
+            raise Violation(
+                f"inputs consumed out of lockstep: counters {upstream_ks}"
+            )
+        return self
+
+
+@dataclasses.dataclass(frozen=True)
+class NoSpuriousValidMonitor:
+    """The block never emits more tokens than it has consumed.
+
+    Guards against a block inventing data: the number of consumed
+    outputs can never exceed the number of accepted inputs plus the
+    block's initial tokens.  Counters are kept exactly (bounded by the
+    block capacity + 1 thanks to a saturation margin).
+    """
+
+    balance: int = 0       # accepted inputs + initial - emitted outputs
+    limit: int = 4         # block capacity bound
+
+    def advance(self, accepted_input: bool, emitted_output: bool
+                ) -> "NoSpuriousValidMonitor":
+        balance = self.balance + int(accepted_input) - int(emitted_output)
+        if balance < 0:
+            raise Violation("output emitted with no corresponding input")
+        if balance > self.limit:
+            raise Violation(
+                f"block buffered {balance} tokens, beyond its capacity "
+                f"{self.limit}: a token was duplicated or never emitted"
+            )
+        return NoSpuriousValidMonitor(balance=balance, limit=self.limit)

@@ -1,0 +1,163 @@
+"""Exhaustive system-level liveness: the claim the paper could not check.
+
+Paper: *"Since liveness is topology dependent, we couldn't verify
+formally the protocol as such"* — they fell back to skeleton simulation
+of specific input scripts.  For concrete (small) topologies we can do
+better: explore the skeleton's register state space under **every**
+environment behaviour — each cycle every source nondeterministically
+offers or withholds a token (honouring the hold-on-stop contract) and
+every sink nondeterministically stops or accepts — and check that no
+reachable state is a trap.
+
+Liveness notion (weak fairness, the standard one for back-pressured
+systems): a state is **stuck** if, even with a fully cooperative
+environment from then on (all sources offering, no sink stopping),
+no shell ever fires again.  A hostile environment can always *pause* a
+finite-buffer system, so demanding progress under hostility would be
+vacuous; demanding recovery once the hostility ends is exactly
+deadlock-freedom.
+
+``verify_system_liveness(graph)`` returns a verdict with the reachable
+state count and, on failure, a stuck state reachable by some
+environment — upgrading the paper's per-script simulation into a proof
+over all environments for that topology.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import List, Optional, Set, Tuple
+
+from ..graph.model import SystemGraph
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from ..skeleton.sim import SkeletonSim
+
+#: Explorer state: (register snapshot, per-source committed flags).
+_State = Tuple[Tuple, Tuple[bool, ...]]
+
+
+@dataclasses.dataclass
+class SystemLivenessResult:
+    """Outcome of an exhaustive liveness exploration.
+
+    ``ambiguous_states`` counts reachable states in which some
+    environment choice makes the combinational stop network admit more
+    than one fixpoint — the paper's *potential* deadlock, here checked
+    over every reachable state instead of along one simulated script.
+    """
+
+    live: bool
+    reachable_states: int
+    transitions: int
+    stuck_state: Optional[_State] = None
+    ambiguous_states: int = 0
+
+    @property
+    def potential_deadlock_free(self) -> bool:
+        return self.live and self.ambiguous_states == 0
+
+    def __bool__(self) -> bool:
+        return self.live
+
+
+def verify_system_liveness(
+    graph: SystemGraph,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    max_states: int = 100_000,
+    recovery_bound: Optional[int] = None,
+) -> SystemLivenessResult:
+    """Prove (or refute) deadlock-freedom over all environments.
+
+    *recovery_bound* limits how many cooperative cycles a state gets to
+    produce a firing before being declared stuck; the default is twice
+    the system's storage count plus two, which covers any drain.
+    """
+    sim = SkeletonSim(graph, variant=variant, detect_ambiguity=False)
+    n_src = len(sim.source_names)
+    n_sink = len(sim.sink_names)
+    has_shells = bool(sim.shell_names)
+    if recovery_bound is None:
+        storage = (len(sim.shell_reg) + 2 * len(sim.rs_kinds)
+                   + len(sim.rs_kinds))
+        recovery_bound = 2 * storage + 2
+
+    all_offers = list(itertools.product((False, True), repeat=n_src))
+    all_stops = list(itertools.product((False, True), repeat=n_sink))
+    may_be_ambiguous = sim._may_be_ambiguous
+    ambiguous: Set[_State] = set()
+
+    def successors(state: _State):
+        regs, committed = state
+        for offers in all_offers:
+            # The environment contract: a source stopped while offering
+            # must keep offering the same token.
+            if any(c and not o for c, o in zip(committed, offers)):
+                continue
+            for stops in all_stops:
+                if may_be_ambiguous and state not in ambiguous:
+                    # Probe both stop fixpoints before stepping.
+                    sim.set_register_state(regs)
+                    sim._src_override = list(offers)
+                    sim._sink_override = list(stops)
+                    valid = sim._forward_valids()
+                    least = sim._settle_stops(valid, "least")
+                    greatest = sim._settle_stops(valid, "greatest")
+                    sim._src_override = None
+                    sim._sink_override = None
+                    if least != greatest:
+                        ambiguous.add(state)
+                sim.set_register_state(regs)
+                _fires, _accepts, src_stops = sim.external_step(
+                    offers, stops)
+                next_committed = tuple(
+                    o and s for o, s in zip(offers, src_stops))
+                yield (sim.register_state(), next_committed)
+
+    def recovers(state: _State) -> bool:
+        """Cooperative closure: does any shell fire within the bound?"""
+        if not has_shells:
+            return True
+        regs, _committed = state
+        sim.set_register_state(regs)
+        offers = (True,) * n_src
+        stops = (False,) * n_sink
+        for _ in range(recovery_bound):
+            fires, _accepts, _src_stops = sim.external_step(offers, stops)
+            if any(fires):
+                return True
+        return False
+
+    initial_regs = SkeletonSim(graph, variant=variant,
+                               detect_ambiguity=False).register_state()
+    initial: _State = (initial_regs, (False,) * n_src)
+
+    seen: Set[_State] = {initial}
+    frontier: List[_State] = [initial]
+    transitions = 0
+    while frontier:
+        state = frontier.pop()
+        if not recovers(state):
+            return SystemLivenessResult(
+                live=False,
+                reachable_states=len(seen),
+                transitions=transitions,
+                stuck_state=state,
+                ambiguous_states=len(ambiguous),
+            )
+        for nxt in successors(state):
+            transitions += 1
+            if nxt not in seen:
+                if len(seen) >= max_states:
+                    raise MemoryError(
+                        f"{graph.name}: more than {max_states} reachable "
+                        f"states; shrink the topology or raise the budget"
+                    )
+                seen.add(nxt)
+                frontier.append(nxt)
+    return SystemLivenessResult(
+        live=True,
+        reachable_states=len(seen),
+        transitions=transitions,
+        ambiguous_states=len(ambiguous),
+    )

@@ -1,0 +1,84 @@
+"""Tests for the minimum-cycle-ratio analyzer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import min_cycle_ratio_throughput
+from repro.analysis.mcr import _best_fraction_between
+from repro.graph import (
+    composed,
+    figure1,
+    figure2,
+    loop_with_tail,
+    pipeline,
+    random_dag,
+    random_loopy,
+    reconvergent,
+    ring,
+    tree,
+)
+from repro.skeleton import system_throughput
+
+
+class TestKnownTopologies:
+    @pytest.mark.parametrize("graph,expected", [
+        (pipeline(3), Fraction(1)),
+        (tree(2), Fraction(1)),
+        (figure1(), Fraction(4, 5)),
+        (figure2(), Fraction(1, 2)),
+        (ring(2, relays_per_arc=2), Fraction(1, 3)),
+        (reconvergent(long_relays=(2, 1), short_relays=1), Fraction(2, 3)),
+        (loop_with_tail(), Fraction(1, 2)),
+        (composed(), Fraction(1, 3)),
+    ])
+    def test_throughput(self, graph, expected):
+        assert min_cycle_ratio_throughput(graph).throughput == expected
+
+    def test_critical_cycle_names_loop(self):
+        result = min_cycle_ratio_throughput(figure2())
+        assert result.critical_cycle  # non-empty on a binding loop
+        assert any("S0" in n or "S1" in n or "rs" in n
+                   for n in result.critical_cycle)
+
+    def test_unbound_system_has_empty_cycle(self):
+        result = min_cycle_ratio_throughput(pipeline(4))
+        assert result.critical_cycle == []
+
+
+class TestAgainstSimulation:
+    """MCR must agree with skeleton simulation on random topologies."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_dags(self, seed):
+        graph = random_dag(seed, shells=5)
+        assert min_cycle_ratio_throughput(graph).throughput == \
+            system_throughput(graph)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_loopy(self, seed):
+        graph = random_loopy(seed, shells=4)
+        assert min_cycle_ratio_throughput(graph).throughput == \
+            system_throughput(graph)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_dags_with_half_relays(self, seed):
+        graph = random_dag(seed, shells=5, half_probability=0.5)
+        assert min_cycle_ratio_throughput(graph).throughput == \
+            system_throughput(graph)
+
+
+class TestSternBrocot:
+    def test_finds_simple_fraction(self):
+        assert _best_fraction_between(
+            Fraction(3, 10), Fraction(2, 5), 10) == Fraction(1, 3)
+
+    def test_exact_lower_bound_included(self):
+        assert _best_fraction_between(
+            Fraction(1, 2), Fraction(51, 100), 10) == Fraction(1, 2)
+
+    def test_narrow_interval(self):
+        target = Fraction(4, 5)
+        lo = target - Fraction(1, 1000)
+        hi = target + Fraction(1, 1000)
+        assert _best_fraction_between(lo, hi, 20) == target

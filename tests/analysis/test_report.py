@@ -1,0 +1,56 @@
+"""Tests for the combined analysis report."""
+
+import pytest
+
+from repro.analysis import analyze, classify
+from repro.graph import composed, figure1, figure2, pipeline, tree
+
+
+class TestClassify:
+    def test_tree(self):
+        assert classify(tree(2)) == "tree / pipeline (feed-forward)"
+
+    def test_pipeline(self):
+        assert classify(pipeline(3)) == "tree / pipeline (feed-forward)"
+
+    def test_reconvergent(self):
+        assert classify(figure1()) == "reconvergent feed-forward"
+
+    def test_feedback(self):
+        assert classify(figure2()) == "feedback"
+
+    def test_composed(self):
+        assert classify(composed()) == \
+            "feed-forward combination of self-interacting loops"
+
+
+class TestAnalyze:
+    def test_figure1_report(self):
+        report = analyze(figure1())
+        assert report.formulas_agree
+        assert report.shells == 3
+        assert report.relays_full == 3
+        assert str(report.simulated_throughput) == "4/5"
+        assert report.period == 5
+
+    def test_figure2_report(self):
+        report = analyze(figure2())
+        assert report.formulas_agree
+        assert len(report.loops) == 1
+        assert report.critical_cycle
+
+    def test_render_mentions_key_facts(self):
+        text = analyze(figure1()).render()
+        assert "4/5" in text
+        assert "i=1" in text and "m=5" in text
+        assert "live" in text
+
+    def test_render_disagreement_would_be_flagged(self):
+        report = analyze(pipeline(2))
+        assert "[agree]" in report.render()
+
+    def test_variant_named_in_report(self):
+        from repro.lid.variant import ProtocolVariant
+
+        report = analyze(pipeline(2), variant=ProtocolVariant.CARLONI)
+        assert report.variant == "carloni"

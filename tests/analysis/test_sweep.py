@@ -1,0 +1,106 @@
+"""Tests for the data-series generators."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.sweep import (
+    SERIES_GENERATORS,
+    Series,
+    imbalance_series,
+    loop_series,
+    stop_activity_series,
+    transient_series,
+)
+from repro.lid.variant import ProtocolVariant
+
+
+class TestSeriesContainer:
+    def test_axes_and_points(self):
+        series = Series("s", "x", "y", [(1, 2), (3, 4)])
+        assert series.xs() == [1, 3]
+        assert series.ys() == [2, 4]
+        assert len(series) == 2
+
+    def test_csv_rendering(self):
+        series = Series("s", "x", "y", [(1, Fraction(1, 2))])
+        csv = series.to_csv()
+        assert csv.splitlines() == ["x,y", "1,1/2"]
+
+
+class TestLoopSeries:
+    def test_matches_formula(self):
+        series = loop_series(shells=2, max_relays=6)
+        for relays, rate in series.points:
+            assert rate == Fraction(2, 2 + relays)
+
+    def test_monotone_decreasing(self):
+        ys = loop_series(shells=3, max_relays=7).ys()
+        assert ys == sorted(ys, reverse=True)
+
+
+class TestImbalanceSeries:
+    def test_matches_formula(self):
+        series = imbalance_series(max_extra=4)
+        for extra, rate in series.points:
+            # long = 1+extra+1 stations, short = 1 -> i = extra + 1 ...
+            # except extra=0 where the default instance has i=1, m=5.
+            from repro.analysis import analyze_reconvergence
+            from repro.graph import reconvergent
+
+            graph = reconvergent(long_relays=(1 + extra, 1),
+                                 short_relays=1)
+            _i, _m, predicted = analyze_reconvergence(graph, "A", "C")
+            assert rate == predicted
+
+    def test_starts_at_figure1_value(self):
+        series = imbalance_series(max_extra=1)
+        assert series.points[0][1] == Fraction(4, 5)
+
+
+class TestTransientSeries:
+    def test_monotone_increasing(self):
+        ys = transient_series(max_relays_per_hop=4).ys()
+        assert ys == sorted(ys)
+
+    def test_positive(self):
+        assert all(y > 0 for y in transient_series(3).ys())
+
+
+class TestStopActivitySeries:
+    def test_zero_duty_low_activity(self):
+        series = stop_activity_series(duty_steps=4)
+        duty0 = series.points[0][1]
+        duty_full = series.points[-1][1]
+        assert duty_full > duty0
+
+    def test_variant_parametrized(self):
+        refined = stop_activity_series(ProtocolVariant.CASU,
+                                       duty_steps=2)
+        original = stop_activity_series(ProtocolVariant.CARLONI,
+                                        duty_steps=2)
+        assert refined.name != original.name
+
+
+class TestRegistry:
+    def test_all_generators_runnable(self):
+        for name, generator in SERIES_GENERATORS.items():
+            series = generator()
+            assert len(series) > 0, name
+            assert series.to_csv().count("\n") == len(series) + 1
+
+
+class TestCli:
+    def test_series_command(self, capsys):
+        from repro.cli import main
+
+        assert main(["series", "loop"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("relay stations R,throughput")
+
+    def test_series_to_file(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "s.csv"
+        assert main(["series", "imbalance", "-o", str(path)]) == 0
+        assert path.read_text().startswith("extra relay stations")

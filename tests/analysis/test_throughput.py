@@ -1,0 +1,161 @@
+"""Tests for the closed-form throughput formulas."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    analyze_loops,
+    analyze_reconvergence,
+    loop_throughput,
+    reconvergence_pairs,
+    reconvergent_throughput,
+    static_system_throughput,
+    tree_throughput,
+)
+from repro.errors import AnalysisError
+from repro.graph import composed, figure1, figure2, pipeline, reconvergent, ring, tree
+from repro.skeleton import system_throughput
+
+
+class TestLoopFormula:
+    @pytest.mark.parametrize("s,r,expected", [
+        (1, 1, Fraction(1, 2)),
+        (2, 2, Fraction(1, 2)),
+        (2, 3, Fraction(2, 5)),
+        (3, 4, Fraction(3, 7)),
+        (5, 0, Fraction(1)),
+    ])
+    def test_values(self, s, r, expected):
+        assert loop_throughput(s, r) == expected
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AnalysisError):
+            loop_throughput(0, 1)
+        with pytest.raises(AnalysisError):
+            loop_throughput(1, -1)
+
+
+class TestReconvergentFormula:
+    @pytest.mark.parametrize("i,m,expected", [
+        (1, 5, Fraction(4, 5)),   # figure 1
+        (0, 6, Fraction(1)),
+        (2, 6, Fraction(2, 3)),
+    ])
+    def test_values(self, i, m, expected):
+        assert reconvergent_throughput(i, m) == expected
+
+    def test_invalid(self):
+        with pytest.raises(AnalysisError):
+            reconvergent_throughput(1, 0)
+        with pytest.raises(AnalysisError):
+            reconvergent_throughput(7, 5)
+
+
+class TestTreeThroughput:
+    def test_tree_is_one(self):
+        assert tree_throughput(tree(2)) == 1
+
+    def test_loopy_rejected(self):
+        with pytest.raises(AnalysisError):
+            tree_throughput(figure2())
+
+    def test_reconvergent_rejected(self):
+        with pytest.raises(AnalysisError):
+            tree_throughput(figure1())
+
+
+class TestReconvergenceExtraction:
+    def test_figure1_pair_found(self):
+        pairs = reconvergence_pairs(figure1())
+        assert ("A", "C") in pairs
+
+    def test_tree_has_no_pairs(self):
+        assert reconvergence_pairs(tree(2)) == []
+
+    def test_figure1_parameters(self):
+        i, m, rate = analyze_reconvergence(figure1(), "A", "C")
+        assert (i, m, rate) == (1, 5, Fraction(4, 5))
+
+    def test_non_reconvergent_pair_rejected(self):
+        with pytest.raises(AnalysisError):
+            analyze_reconvergence(pipeline(3), "S0", "S2")
+
+    @pytest.mark.parametrize("long_relays,short,expect_i", [
+        ((2, 1), 1, 2),
+        ((1, 1, 1), 1, 2),
+        ((3, 1), 2, 2),
+    ])
+    def test_formula_matches_simulation(self, long_relays, short, expect_i):
+        graph = reconvergent(long_relays=long_relays, short_relays=short)
+        i, m, rate = analyze_reconvergence(graph, "A", "C")
+        assert i == expect_i
+        assert rate == system_throughput(graph)
+
+
+class TestAnalyzeLoops:
+    def test_figure2_loop(self):
+        loops = analyze_loops(figure2())
+        assert list(loops.values()) == [Fraction(1, 2)]
+
+    def test_feedforward_empty(self):
+        assert analyze_loops(figure1()) == {}
+
+    def test_multi_arc_ring(self):
+        loops = analyze_loops(ring(3, relays_per_arc=[2, 1, 1]))
+        assert list(loops.values()) == [Fraction(3, 7)]
+
+
+class TestStaticSystemThroughput:
+    @pytest.mark.parametrize("graph", [
+        figure1(), figure2(), tree(2), pipeline(3), composed(),
+        reconvergent(long_relays=(2, 2), short_relays=1),
+    ])
+    def test_matches_simulation(self, graph):
+        assert static_system_throughput(graph) == system_throughput(graph)
+
+
+class TestEffectiveThroughput:
+    def test_topology_bound_when_endpoints_fast(self):
+        from repro.analysis import effective_throughput
+
+        assert effective_throughput(figure1()) == Fraction(4, 5)
+
+    def test_slow_source_binds(self):
+        from repro.analysis import effective_throughput
+
+        rate = effective_throughput(
+            figure1(), source_rates={"src": Fraction(1, 2)})
+        assert rate == Fraction(1, 2)
+
+    def test_slow_sink_binds(self):
+        from repro.analysis import effective_throughput
+
+        rate = effective_throughput(
+            pipeline(2), sink_rates={"out": Fraction(2, 3)})
+        assert rate == Fraction(2, 3)
+
+    @pytest.mark.parametrize("src_pattern,sink_pattern", [
+        ((True, False), (False,)),
+        ((True,), (False, True)),
+        ((True, True, False), (False, False, True)),
+    ])
+    def test_min_composition_matches_simulation(self, src_pattern,
+                                                sink_pattern):
+        """min(source rate, sink rate, topology) equals the measured
+        rate — the composition law the helper encodes."""
+        from repro.analysis import effective_throughput
+
+        graph = pipeline(2, relays_per_hop=1)
+        src_rate = Fraction(sum(src_pattern), len(src_pattern))
+        sink_rate = Fraction(
+            sum(1 for s in sink_pattern if not s), len(sink_pattern))
+        predicted = effective_throughput(
+            graph, source_rates={"src": src_rate},
+            sink_rates={"out": sink_rate})
+        measured = system_throughput(
+            graph,
+            source_patterns={"src": src_pattern},
+            sink_patterns={"out": sink_pattern},
+        )
+        assert measured == predicted

@@ -1,0 +1,70 @@
+"""Tests for transient analysis."""
+
+import pytest
+
+from repro.analysis import (
+    analyze_transient,
+    first_full_speed_cycle,
+    longest_register_path,
+)
+from repro.errors import AnalysisError
+from repro.graph import figure1, figure2, pipeline, tree
+
+
+class TestLongestPath:
+    def test_pipeline(self):
+        # src(1 reg) -> S0 -> 1 rs+reg... weights: relays+1 per hop.
+        g = pipeline(3, relays_per_hop=1)
+        assert longest_register_path(g) == 1 + 2 + 2 + 1
+
+    def test_tree_depth(self):
+        assert longest_register_path(tree(1)) < \
+            longest_register_path(tree(3))
+
+    def test_cyclic_rejected(self):
+        with pytest.raises(AnalysisError):
+            longest_register_path(figure2())
+
+
+class TestAnalyzeTransient:
+    def test_within_bound(self):
+        report = analyze_transient(figure1())
+        assert report.within_bound
+        assert report.measured_transient == 2
+        assert report.period == 5
+
+    def test_cyclic_longest_path_flagged(self):
+        report = analyze_transient(figure2())
+        assert report.longest_path == -1
+
+
+class TestFullSpeed:
+    def test_tree_reaches_full_speed_within_longest_path(self):
+        for depth in (1, 2, 3):
+            g = tree(depth)
+            assert first_full_speed_cycle(g) <= longest_register_path(g)
+
+    def test_pipeline_full_speed(self):
+        g = pipeline(2, relays_per_hop=3)
+        cycle = first_full_speed_cycle(g)
+        assert cycle > 0
+
+    def test_throttled_system_rejected(self):
+        with pytest.raises(AnalysisError, match="full speed"):
+            first_full_speed_cycle(figure1())
+
+    def test_multi_sink_requires_name(self):
+        from repro.graph import SystemGraph
+        from repro.pearls import Identity
+
+        g = SystemGraph()
+        g.add_source("src")
+        g.add_shell("A", Identity)
+        g.add_sink("o1")
+        g.add_sink("o2")
+        g.add_edge("src", "A")
+        g.add_edge("A", "o1")
+        g.add_edge("A", "o2")
+        with pytest.raises(AnalysisError, match="specify the sink"):
+            first_full_speed_cycle(g)
+        assert first_full_speed_cycle(g, sink="o1") >= 0

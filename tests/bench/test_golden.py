@@ -1,0 +1,73 @@
+"""Golden-file regression over the whole reproduction campaign.
+
+Every experiment here is cycle-deterministic, so its regenerated table
+must match the checked-in golden byte for byte.  Any semantic change to
+the protocol, the analyses or the workloads shows up as a diff — the
+cheapest possible guard that the reproduced numbers stay reproduced.
+
+Regenerate (after an *intentional* change) with::
+
+    python -c "import tests.bench.test_golden as g; g.regenerate()"
+"""
+
+import os
+
+import pytest
+
+from repro.bench.runner import EXPERIMENTS
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "..", "golden",
+                           "campaign.txt")
+
+#: Experiments excluded from the golden file (wall-clock dependent).
+NON_DETERMINISTIC = {"EXP-D2"}
+
+
+def render_campaign() -> str:
+    chunks = []
+    for exp_id, (description, runner) in EXPERIMENTS.items():
+        if exp_id in NON_DETERMINISTIC:
+            continue
+        table, _rows = runner()
+        chunks.append(f"[{exp_id}] {description}\n\n{table}\n")
+    return "\n".join(chunks)
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        fh.write(render_campaign())
+
+
+class TestGoldenCampaign:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        return render_campaign()
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+            return fh.read()
+
+    def test_campaign_matches_golden(self, rendered, golden):
+        if rendered != golden:
+            # Produce a compact, reviewable diff on failure.
+            import difflib
+
+            diff = "\n".join(difflib.unified_diff(
+                golden.splitlines(), rendered.splitlines(),
+                fromfile="golden", tofile="current", lineterm="", n=2))
+            pytest.fail(
+                "campaign output drifted from the golden file:\n" + diff
+            )
+
+    def test_golden_contains_headline_numbers(self, golden):
+        for marker in ("predicted T=4/5", "S/(S+R)", "(m-i)/m",
+                       "PASS", "deadlock", "live"):
+            assert marker in golden
+
+    def test_golden_covers_all_deterministic_experiments(self, golden):
+        for exp_id in EXPERIMENTS:
+            if exp_id in NON_DETERMINISTIC:
+                assert f"[{exp_id}]" not in golden
+            else:
+                assert f"[{exp_id}]" in golden

@@ -1,0 +1,33 @@
+"""Tests for the table formatter."""
+
+from repro.bench.tables import format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "bb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len({line.index("  ") for line in lines if "  " in line})
+
+    def test_title_underlined(self):
+        text = format_table(("x",), [(1,)], title="My Table")
+        lines = text.splitlines()
+        assert lines[0] == "My Table"
+        assert lines[1] == "=" * len("My Table")
+
+    def test_float_formatting(self):
+        text = format_table(("v",), [(0.123456,)])
+        assert "0.1235" in text
+
+    def test_bool_formatting(self):
+        text = format_table(("ok",), [(True,), (False,)])
+        assert "yes" in text and "no" in text
+
+    def test_empty_rows(self):
+        text = format_table(("a", "b"), [])
+        assert "a" in text and "b" in text
+
+    def test_column_count_consistent(self):
+        text = format_table(("a", "b", "c"), [(1, 2, 3)])
+        header, sep, row = text.splitlines()
+        assert header.count("  ") >= 2

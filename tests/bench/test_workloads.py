@@ -1,0 +1,56 @@
+"""Tests for the benchmark workload builders."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.bench import workloads
+from repro.skeleton import system_throughput
+
+
+class TestSweeps:
+    def test_ring_sweep_is_legal_and_correct(self):
+        for shells, relays, graph in workloads.ring_sweep():
+            assert system_throughput(graph) == \
+                Fraction(shells, shells + relays)
+
+    def test_reconvergent_sweep_parameters_match(self):
+        from repro.analysis import analyze_reconvergence
+
+        for i, m, graph in workloads.reconvergent_sweep():
+            got_i, got_m, _rate = analyze_reconvergence(graph, "A", "C")
+            assert (got_i, got_m) == (i, m), graph.name
+
+    def test_tree_sweep_all_full_rate(self):
+        for _depth, _relays, graph in workloads.tree_sweep():
+            assert system_throughput(graph) == 1
+
+    def test_figure_workloads(self):
+        assert system_throughput(workloads.figure1_workload()) == \
+            Fraction(4, 5)
+        assert system_throughput(workloads.figure2_workload()) == \
+            Fraction(1, 2)
+
+
+class TestDeadlockSuite:
+    def test_expectations_cover_both_classes(self):
+        suite = workloads.deadlock_suite()
+        expectations = {e for _f, e, _g in suite}
+        assert expectations == {"live", "hazard"}
+
+    def test_hazard_entries_really_have_loop_halves(self):
+        from repro.graph import half_relays_on_loops
+
+        for _family, expectation, graph in workloads.deadlock_suite():
+            hazards = half_relays_on_loops(graph)
+            assert bool(hazards) == (expectation == "hazard"), graph.name
+
+
+class TestPatterns:
+    def test_sink_patterns_shapes(self):
+        assert workloads.SINK_PATTERNS["none"] == (False,)
+        assert any(workloads.SINK_PATTERNS["heavy"])
+
+    def test_pipeline_scaling_sizes(self):
+        graphs = workloads.pipeline_scaling((3, 5))
+        assert [len(g.shells()) for g in graphs] == [3, 5]

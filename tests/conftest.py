@@ -1,0 +1,44 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import LidSystem, pearls
+from repro.lid.reference import is_prefix
+
+
+def build_pipeline(stages=2, relays=1, pearl_factory=pearls.Identity,
+                   stop_script=None, stream=None):
+    """source -> stages x (shell + relays) -> sink, fully wired."""
+    system = LidSystem("pipe")
+    src = system.add_source("src", stream=stream)
+    shells = [
+        system.add_shell(f"S{i}", pearl_factory()) for i in range(stages)
+    ]
+    sink = system.add_sink("out", stop_script=stop_script)
+    system.connect(src, shells[0])
+    for a, b in zip(shells, shells[1:]):
+        system.connect(a, b, relays=relays)
+    system.connect(shells[-1], sink)
+    return system, sink
+
+
+def assert_latency_equivalent(system, cycles, sinks=None):
+    """The central oracle: every sink's payload stream must be a prefix
+    of the zero-latency reference stream."""
+    reference = system.reference_outputs(cycles)
+    names = sinks or list(system.sinks)
+    for name in names:
+        lid_stream = system.sinks[name].payloads
+        ref_stream = reference[name]
+        assert is_prefix(lid_stream, ref_stream), (
+            f"sink {name}: {lid_stream[:10]} not a prefix of "
+            f"{ref_stream[:10]}"
+        )
+
+
+@pytest.fixture
+def pipe():
+    """A small ready-made pipeline system (not yet run)."""
+    return build_pipeline()

@@ -1,0 +1,34 @@
+"""Tests for DOT export."""
+
+from repro.graph import figure1, ring, to_dot, write_dot
+
+
+class TestToDot:
+    def test_contains_all_nodes(self):
+        text = to_dot(figure1())
+        for name in ("src", "A", "B0", "C", "out"):
+            assert f'"{name}"' in text
+
+    def test_relay_labels(self):
+        text = to_dot(figure1())
+        assert 'label="1F"' in text
+
+    def test_mixed_chain_label(self):
+        g = ring(2, relays_per_arc=[["full", "half"], ["full"]])
+        text = to_dot(g)
+        assert "1F+1H" in text
+
+    def test_valid_digraph_syntax(self):
+        text = to_dot(figure1())
+        assert text.startswith('digraph "figure1" {')
+        assert text.rstrip().endswith("}")
+
+    def test_shapes_by_kind(self):
+        text = to_dot(figure1())
+        assert "shape=box" in text      # shells
+        assert "shape=ellipse" in text  # endpoints
+
+    def test_write_dot(self, tmp_path):
+        path = tmp_path / "g.dot"
+        write_dot(figure1(), str(path))
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,96 @@
+"""Tests for path equalization (EXP-T3's unit-level backing)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.graph import (
+    equalization_plan,
+    equalize,
+    figure1,
+    imbalance,
+    pipeline,
+    reconvergent,
+    relay_depths,
+    ring,
+)
+from repro.skeleton import system_throughput
+
+
+class TestRelayDepths:
+    def test_pipeline_depths_accumulate(self):
+        g = pipeline(3, relays_per_hop=2)
+        depth = relay_depths(g)
+        assert depth["S0"] == 0
+        assert depth["S1"] == 2
+        assert depth["S2"] == 4
+
+    def test_reconvergent_takes_max(self):
+        g = figure1()
+        depth = relay_depths(g)
+        assert depth["C"] == 2  # the long branch
+
+    def test_cyclic_rejected(self):
+        g = ring(2, relays_per_arc=1)
+        with pytest.raises(AnalysisError):
+            relay_depths(g)
+
+
+class TestPlan:
+    def test_balanced_graph_empty_plan(self):
+        g = reconvergent(long_relays=(1, 1), short_relays=2)
+        assert equalization_plan(g) == []
+        assert imbalance(g) == 0
+
+    def test_figure1_needs_one_station(self):
+        g = figure1()
+        plan = equalization_plan(g)
+        assert imbalance(g) == 1
+        ((edge, extra),) = plan
+        assert extra == 1
+        assert (edge.src, edge.dst) == ("A", "C")  # the short branch
+
+    def test_plan_scales_with_imbalance(self):
+        g = reconvergent(long_relays=(3, 1), short_relays=1)
+        assert imbalance(g) == 3
+
+
+class TestEqualize:
+    @pytest.mark.parametrize("long_relays,short", [
+        ((1, 1), 1),
+        ((2, 1), 1),
+        ((2, 2), 1),
+        ((1, 1, 1), 1),
+        ((3, 1), 2),
+    ])
+    def test_restores_full_throughput(self, long_relays, short):
+        g = reconvergent(long_relays=long_relays, short_relays=short)
+        before = system_throughput(g)
+        balanced = equalize(g)
+        after = system_throughput(balanced)
+        assert after == Fraction(1)
+        assert before <= after
+
+    def test_original_untouched(self):
+        g = figure1()
+        equalize(g)
+        assert g.relay_count() == 3
+
+    def test_equalized_name(self):
+        balanced = equalize(figure1())
+        assert balanced.name.endswith("_equalized")
+
+    def test_idempotent(self):
+        balanced = equalize(figure1())
+        again = equalize(balanced)
+        assert again.relay_count() == balanced.relay_count()
+
+    def test_preserves_latency_equivalence(self):
+        g = figure1()
+        system = equalize(g).elaborate()
+        system.run(30)
+        from repro.lid.reference import is_prefix
+
+        ref = system.reference_outputs(30)["out"]
+        assert is_prefix(system.sinks["out"].payloads, ref)

@@ -1,0 +1,78 @@
+"""Tests for loop-aware equalization (the acyclic-condensation path)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.graph import composed, equalize, loop_with_tail, relay_depths, ring
+from repro.graph.equalize import _loop_edge_indices, equalization_plan
+from repro.skeleton import system_throughput
+
+
+class TestLoopEdgeDetection:
+    def test_pure_ring_all_edges_on_loop(self):
+        graph = ring(3, relays_per_arc=1, tap_sink=False)
+        assert _loop_edge_indices(graph) == {0, 1, 2}
+
+    def test_tap_edge_not_on_loop(self):
+        graph = ring(2, relays_per_arc=1)
+        loop_edges = _loop_edge_indices(graph)
+        tap = next(i for i, e in enumerate(graph.edges)
+                   if e.dst == "out")
+        assert tap not in loop_edges
+
+    def test_self_loop_detected(self):
+        from repro.graph import self_loop
+
+        graph = self_loop(relays=1)
+        loop_edges = _loop_edge_indices(graph)
+        self_edge = next(i for i, e in enumerate(graph.edges)
+                         if e.src == e.dst)
+        assert self_edge in loop_edges
+
+
+class TestLoopAwareDepths:
+    def test_strict_mode_raises_on_loops(self):
+        with pytest.raises(AnalysisError):
+            relay_depths(composed(), strict=True)
+
+    def test_non_strict_ignores_feedback_arcs(self):
+        depths = relay_depths(composed(), strict=False)
+        assert depths["src"] == 0
+        assert depths["C"] > depths["A"]
+
+    def test_acyclic_graphs_identical_in_both_modes(self):
+        from repro.graph import figure1
+
+        graph = figure1()
+        assert relay_depths(graph, strict=True) == \
+            relay_depths(graph, strict=False)
+
+
+class TestLoopAwareEqualization:
+    def test_composed_equalizes_feedforward_part_only(self):
+        graph = composed(reconv_imbalance=2, loop_relays=2)
+        balanced = equalize(graph)
+        # Feedback arcs untouched.
+        loop_before = [graph.edges[i].relay_count
+                       for i in sorted(_loop_edge_indices(graph))]
+        loop_after = [balanced.edges[i].relay_count
+                      for i in sorted(_loop_edge_indices(balanced))]
+        assert loop_before == loop_after
+        # The reconvergent part is now balanced, so the loop is the
+        # only remaining limit.
+        assert system_throughput(balanced) == Fraction(1, 3)
+
+    def test_plan_never_touches_loop_edges(self):
+        graph = loop_with_tail(loop_shells=2, loop_relays=3)
+        loop_edges = _loop_edge_indices(graph)
+        for edge, _extra in equalization_plan(graph):
+            index = graph.edges.index(edge)
+            assert index not in loop_edges
+
+    def test_throughput_never_decreases(self):
+        for graph in (composed(), loop_with_tail()):
+            before = system_throughput(graph)
+            after = system_throughput(equalize(graph))
+            assert after >= before

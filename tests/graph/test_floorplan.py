@@ -1,0 +1,182 @@
+"""Tests for floorplan-driven relay insertion."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import AnalysisError, StructuralError
+from repro.graph import (
+    Placement,
+    apply_floorplan,
+    figure1,
+    figure2,
+    layered_placement,
+    pipeline,
+    required_relays,
+    ring,
+    shrink_sweep,
+    tree,
+)
+from repro.lid.reference import is_prefix
+from repro.skeleton import system_throughput
+
+
+class TestRequiredRelays:
+    @pytest.mark.parametrize("length,reach,expected", [
+        (0.0, 1.0, 0),
+        (1.0, 1.0, 0),     # within reach: plain wire
+        (1.01, 1.0, 1),    # just over: one station
+        (2.0, 1.0, 1),
+        (3.5, 1.0, 3),
+        (10.0, 2.5, 3),
+    ])
+    def test_values(self, length, reach, expected):
+        assert required_relays(length, reach) == expected
+
+    def test_reach_validated(self):
+        with pytest.raises(AnalysisError):
+            required_relays(1.0, 0)
+
+
+class TestPlacement:
+    def test_distance_is_manhattan(self):
+        placement = Placement({"a": (0, 0), "b": (3, 4)})
+        assert placement.distance("a", "b") == 7
+
+    def test_require_flags_missing_blocks(self):
+        placement = Placement({"src": (0, 0)})
+        with pytest.raises(StructuralError, match="misses"):
+            placement.require(figure1())
+
+    def test_layered_placement_covers_all_nodes(self):
+        graph = figure1()
+        placement = layered_placement(graph)
+        placement.require(graph)
+
+    def test_layered_placement_is_deterministic(self):
+        a = layered_placement(figure1()).positions
+        b = layered_placement(figure1()).positions
+        assert a == b
+
+    def test_layered_placement_orders_columns(self):
+        positions = layered_placement(pipeline(3)).positions
+        assert positions["src"][0] < positions["S0"][0] < \
+            positions["S1"][0] < positions["S2"][0]
+
+    def test_loops_share_layout(self):
+        graph = ring(2, relays_per_arc=1)
+        placement = layered_placement(graph)
+        placement.require(graph)  # cycles don't break the layering
+
+
+class TestApplyFloorplan:
+    def test_short_wires_need_only_the_paper_minimum(self):
+        graph = pipeline(2, relays_per_hop=0)
+        # All blocks adjacent: nothing forced by length, but the
+        # shell-to-shell hop still gets the paper's mandatory station.
+        placement = layered_placement(graph)
+        report = apply_floorplan(graph, placement, reach=10.0,
+                                 balance=False)
+        assert report.relays_added == 1
+        hop = next(e for e in report.graph.edges
+                   if (e.src, e.dst) == ("S0", "S1"))
+        assert hop.relay_count == 1
+
+    def test_source_and_sink_wires_can_stay_plain(self):
+        graph = pipeline(1)
+        placement = layered_placement(graph)
+        report = apply_floorplan(graph, placement, reach=10.0,
+                                 balance=False)
+        for edge in report.graph.edges:
+            if "src" in (edge.src,) or "out" in (edge.dst,):
+                assert edge.relay_count == 0
+
+    def test_long_wires_get_stations(self):
+        graph = pipeline(2, relays_per_hop=0)
+        placement = Placement({
+            "src": (0, 0), "S0": (1, 0), "S1": (6, 0), "out": (7, 0),
+        })
+        report = apply_floorplan(graph, placement, reach=1.0,
+                                 balance=False)
+        hop = next(e for e in report.graph.edges
+                   if (e.src, e.dst) == ("S0", "S1"))
+        assert hop.relay_count == 4  # 5 units / reach 1 -> 4 stations
+
+    def test_existing_stations_count_toward_requirement(self):
+        graph = pipeline(2, relays_per_hop=3)
+        placement = layered_placement(graph)
+        report = apply_floorplan(graph, placement, reach=0.5,
+                                 balance=False)
+        hop = next(e for e in report.graph.edges
+                   if (e.src, e.dst) == ("S0", "S1"))
+        assert hop.relay_count == 3  # already deep enough (1u / 0.5)
+
+    def test_balancing_restores_full_rate(self):
+        graph = figure1()
+        placement = Placement({
+            "src": (0, 0), "A": (1, 0), "B0": (2, 3), "C": (3, 0),
+            "out": (4, 0),
+        })
+        unbalanced = apply_floorplan(graph, placement, reach=1.0,
+                                     balance=False)
+        balanced = apply_floorplan(graph, placement, reach=1.0,
+                                   balance=True)
+        assert balanced.throughput == Fraction(1)
+        assert balanced.throughput >= unbalanced.throughput
+        assert balanced.spare_for_balance >= 0
+
+    def test_loops_degrade_gracefully(self):
+        graph = figure2()
+        placement = Placement({
+            "S0": (0, 0), "S1": (4, 0), "out": (5, 0),
+        })
+        report = apply_floorplan(graph, placement, reach=1.0)
+        # 4 units each way need ceil(4)-1 = 3 stations per arc; the
+        # pre-existing station on each arc counts toward that, so the
+        # loop ends with R = 6 and T = S/(S+R) = 1/4.
+        assert report.throughput == Fraction(2, 2 + 6)
+
+    def test_original_graph_untouched(self):
+        graph = figure1()
+        apply_floorplan(graph, layered_placement(graph), reach=0.25)
+        assert graph.relay_count() == 3
+
+    def test_annotated_system_still_equivalent(self):
+        graph = figure1()
+        report = apply_floorplan(graph, layered_placement(graph),
+                                 reach=0.5)
+        system = report.graph.elaborate()
+        system.run(60)
+        ref = system.reference_outputs(60)["out"]
+        assert is_prefix(system.sinks["out"].payloads, ref)
+
+    def test_report_rows(self):
+        graph = figure1()
+        report = apply_floorplan(graph, layered_placement(graph),
+                                 reach=1.0)
+        rows = report.rows()
+        assert len(rows) == len({(e.src, e.dst) for e in graph.edges})
+
+
+class TestShrinkSweep:
+    def test_stations_grow_as_reach_shrinks(self):
+        graph = tree(2)
+        placement = layered_placement(graph)
+        rows = shrink_sweep(graph, placement, [4.0, 2.0, 1.0, 0.5])
+        counts = [count for _reach, count, _t in rows]
+        assert counts == sorted(counts)
+
+    def test_feedforward_holds_rate_one(self):
+        graph = tree(2)
+        rows = shrink_sweep(graph, layered_placement(graph),
+                            [2.0, 1.0, 0.5])
+        assert all(t == 1 for _r, _c, t in rows)
+
+    def test_loop_rate_decays_with_shrink(self):
+        graph = figure2()
+        placement = Placement({"S0": (0, 0), "S1": (2, 0),
+                               "out": (3, 0)})
+        rows = shrink_sweep(graph, placement, [2.0, 1.0, 0.5])
+        rates = [t for _r, _c, t in rows]
+        assert rates == sorted(rates, reverse=True)
+        assert rates[-1] < rates[0]

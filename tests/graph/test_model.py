@@ -1,0 +1,162 @@
+"""Unit tests for the abstract system graph."""
+
+import pytest
+
+from repro.errors import StructuralError
+from repro.graph import SystemGraph
+from repro.pearls import Adder, Identity
+
+
+def small_graph():
+    g = SystemGraph("g")
+    g.add_source("src")
+    g.add_shell("A", Identity)
+    g.add_sink("out")
+    g.add_edge("src", "A")
+    g.add_edge("A", "out", relays=2)
+    return g
+
+
+class TestConstruction:
+    def test_duplicate_node_rejected(self):
+        g = SystemGraph()
+        g.add_shell("A", Identity)
+        with pytest.raises(StructuralError):
+            g.add_source("A")
+
+    def test_shell_requires_factory(self):
+        g = SystemGraph()
+        with pytest.raises(StructuralError):
+            from repro.graph.model import Node
+
+            Node("A", "shell")
+
+    def test_unknown_node_kind(self):
+        from repro.graph.model import Node
+
+        with pytest.raises(StructuralError):
+            Node("A", "widget")
+
+    def test_edge_to_unknown_node(self):
+        g = SystemGraph()
+        g.add_source("src")
+        with pytest.raises(StructuralError):
+            g.add_edge("src", "nope")
+
+    def test_sink_cannot_produce(self):
+        g = SystemGraph()
+        g.add_sink("out")
+        g.add_shell("A", Identity)
+        with pytest.raises(StructuralError):
+            g.add_edge("out", "A")
+
+    def test_source_cannot_consume(self):
+        g = SystemGraph()
+        g.add_source("src")
+        g.add_shell("A", Identity)
+        with pytest.raises(StructuralError):
+            g.add_edge("A", "src")
+
+    def test_int_relays_become_full(self):
+        g = small_graph()
+        edge = g.edges[1]
+        assert edge.relays == ("full", "full")
+
+    def test_bad_relay_spec(self):
+        g = SystemGraph()
+        g.add_source("s")
+        g.add_sink("o")
+        with pytest.raises(StructuralError):
+            g.add_edge("s", "o", relays=("quarter",))
+
+
+class TestQueries:
+    def test_kind_accessors(self):
+        g = small_graph()
+        assert [n.name for n in g.shells()] == ["A"]
+        assert [n.name for n in g.sources()] == ["src"]
+        assert [n.name for n in g.sinks()] == ["out"]
+
+    def test_in_out_edges(self):
+        g = small_graph()
+        assert len(g.out_edges("A")) == 1
+        assert len(g.in_edges("A")) == 1
+
+    def test_relay_count(self):
+        g = small_graph()
+        assert g.relay_count() == 2
+        assert g.relay_count("full") == 2
+        assert g.relay_count("half") == 0
+
+    def test_feedforward_detection(self):
+        assert small_graph().is_feedforward()
+
+    def test_cycle_detection(self):
+        g = SystemGraph()
+        g.add_shell("A", Identity)
+        g.add_shell("B", Identity)
+        g.add_edge("A", "B", relays=1)
+        g.add_edge("B", "A", relays=1)
+        cycles = g.shell_cycles()
+        assert len(cycles) == 1
+        assert set(cycles[0]) == {"A", "B"}
+
+    def test_loop_census(self):
+        g = SystemGraph()
+        g.add_shell("A", Identity)
+        g.add_shell("B", Identity)
+        g.add_edge("A", "B", relays=2)
+        g.add_edge("B", "A", relays=1)
+        (cycle,) = g.shell_cycles()
+        shells, relays = g.loop_census(cycle)
+        assert (shells, relays) == (2, 3)
+
+    def test_to_networkx(self):
+        g = small_graph()
+        nxg = g.to_networkx()
+        assert set(nxg.nodes) == {"src", "A", "out"}
+        assert nxg.number_of_edges() == 2
+
+
+class TestValidateAndElaborate:
+    def test_validate_happy(self):
+        small_graph().validate()
+
+    def test_validate_unconnected_port(self):
+        g = SystemGraph()
+        g.add_source("src")
+        g.add_shell("A", Adder)
+        g.add_sink("out")
+        g.add_edge("src", "A", dst_port="a")
+        g.add_edge("A", "out")
+        with pytest.raises(StructuralError, match="unconnected"):
+            g.validate()
+
+    def test_validate_requires_port_name_on_multiport(self):
+        g = SystemGraph()
+        g.add_source("src")
+        g.add_shell("A", Adder)
+        with pytest.raises(StructuralError, match="port name required"):
+            g.add_edge("src", "A")
+            g.validate()
+
+    def test_elaborate_runs(self):
+        g = small_graph()
+        system = g.elaborate()
+        system.run(10)
+        assert system.sinks["out"].payloads
+
+    def test_elaborate_is_repeatable(self):
+        g = small_graph()
+        s1 = g.elaborate()
+        s2 = g.elaborate()
+        s1.run(5)
+        s2.run(5)
+        assert s1.sinks["out"].payloads == s2.sinks["out"].payloads
+
+    def test_copy_is_independent(self):
+        g = small_graph()
+        dup = g.copy("dup")
+        dup.edges[1].relays = ("full",)
+        assert g.edges[1].relays == ("full", "full")
+        assert dup.name == "dup"

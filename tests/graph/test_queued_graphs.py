@@ -1,0 +1,119 @@
+"""Tests for queued shells as first-class graph citizens."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import min_cycle_ratio_throughput
+from repro.errors import StructuralError
+from repro.graph import SystemGraph, desugar_queues, from_dict, to_dict
+from repro.lid.reference import is_prefix
+from repro.pearls import Identity
+from repro.skeleton import SkeletonSim, system_throughput
+
+
+def queued_pipeline_graph(stages=3, depth=2):
+    g = SystemGraph("qpipe")
+    g.add_source("src")
+    for i in range(stages):
+        g.add_queued_shell(f"S{i}", Identity, queue_depth=depth)
+    g.add_sink("out")
+    g.add_edge("src", "S0")
+    for i in range(stages - 1):
+        g.add_edge(f"S{i}", f"S{i+1}")  # direct: the queue is the memory
+    g.add_edge(f"S{stages-1}", "out")
+    return g
+
+
+class TestNodeValidation:
+    def test_only_shells_queued(self):
+        g = SystemGraph()
+        from repro.graph.model import Node
+
+        with pytest.raises(StructuralError):
+            Node("x", "source", queue_depth=2)
+
+    def test_depth_positive(self):
+        g = SystemGraph()
+        with pytest.raises(StructuralError):
+            g.add_queued_shell("A", Identity, queue_depth=0)
+
+
+class TestElaboration:
+    def test_elaborates_to_queued_shells(self):
+        from repro.lid.queued_shell import QueuedShell
+
+        system = queued_pipeline_graph().elaborate()
+        assert all(isinstance(s, QueuedShell)
+                   for s in system.shells.values())
+
+    def test_runs_and_is_equivalent(self):
+        system = queued_pipeline_graph().elaborate()
+        system.run(40)
+        ref = system.reference_outputs(40)["out"]
+        assert is_prefix(system.sinks["out"].payloads, ref)
+        assert len(system.sinks["out"].payloads) > 30
+
+    def test_lint_accepts_direct_edges(self):
+        queued_pipeline_graph().elaborate(strict=True)
+
+
+class TestDesugaring:
+    def test_desugar_replaces_queues_with_relays(self):
+        g = queued_pipeline_graph(stages=3, depth=2)
+        plain = desugar_queues(g)
+        assert all(n.queue_depth is None for n in plain.nodes.values())
+        # Each of S0's, S1's and S2's inputs gained one full station.
+        assert plain.relay_count("full") == 3
+
+    def test_depth_one_becomes_registered_half(self):
+        g = queued_pipeline_graph(stages=2, depth=1)
+        plain = desugar_queues(g)
+        assert plain.relay_count("half-registered") == 2
+
+    def test_original_untouched(self):
+        g = queued_pipeline_graph()
+        desugar_queues(g)
+        assert any(n.queue_depth for n in g.nodes.values())
+
+
+class TestAnalysisSupport:
+    def test_skeleton_matches_full_simulation(self):
+        g = queued_pipeline_graph(stages=3, depth=2)
+        rate = system_throughput(g)  # auto-desugars
+        system = g.elaborate()
+        system.run(200)
+        measured = system.sinks["out"].steady_throughput(30, 200)
+        assert measured == pytest.approx(float(rate), abs=0.02)
+
+    def test_full_rate_with_depth_two(self):
+        assert system_throughput(queued_pipeline_graph(depth=2)) == 1
+
+    def test_half_rate_with_depth_one(self):
+        g = queued_pipeline_graph(stages=2, depth=1)
+        assert system_throughput(g) == Fraction(1, 2)
+
+    def test_mcr_agrees(self):
+        g = queued_pipeline_graph(stages=3, depth=2)
+        assert min_cycle_ratio_throughput(g).throughput == \
+            system_throughput(g)
+
+    def test_queued_loop_formula(self):
+        g = SystemGraph("qloop")
+        g.add_queued_shell("A", Identity)
+        g.add_queued_shell("B", Identity)
+        g.add_sink("out")
+        g.add_edge("A", "B")
+        g.add_edge("B", "A")
+        g.add_edge("A", "out")
+        # 2 shells + 2 queue stages: T = 2/4.
+        assert system_throughput(g) == Fraction(1, 2)
+
+
+class TestSerialization:
+    def test_queue_depth_roundtrips(self):
+        g = queued_pipeline_graph(depth=2)
+        rebuilt = from_dict(to_dict(g))
+        assert rebuilt.nodes["S0"].queue_depth == 2
+        system = rebuilt.elaborate()
+        system.run(10)

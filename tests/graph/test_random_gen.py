@@ -1,0 +1,79 @@
+"""Tests for randomized topology generation."""
+
+import pytest
+
+from repro.graph import random_dag, random_loopy, random_suite
+
+
+class TestRandomDag:
+    def test_deterministic_per_seed(self):
+        a = random_dag(7)
+        b = random_dag(7)
+        assert [e.key() for e in a.edges] == [e.key() for e in b.edges]
+
+    def test_seeds_differ(self):
+        a = random_dag(1)
+        b = random_dag(2)
+        assert [e.key() for e in a.edges] != [e.key() for e in b.edges]
+
+    def test_always_acyclic(self):
+        for seed in range(20):
+            assert random_dag(seed).is_feedforward()
+
+    def test_every_shell_shell_edge_has_relay(self):
+        for seed in range(10):
+            g = random_dag(seed)
+            shells = {n.name for n in g.shells()}
+            for edge in g.edges:
+                if edge.src in shells and edge.dst in shells:
+                    assert edge.relay_count >= 1
+
+    def test_validates_and_elaborates(self):
+        for seed in range(5):
+            g = random_dag(seed)
+            g.validate()
+            system = g.elaborate()
+            system.run(10)
+
+    def test_half_probability(self):
+        g = random_dag(3, half_probability=1.0)
+        assert g.relay_count("half") == g.relay_count()
+
+
+class TestRandomLoopy:
+    def test_contains_cycle(self):
+        for seed in range(10):
+            assert not random_loopy(seed).is_feedforward()
+
+    def test_full_on_loops_by_default(self):
+        from repro.graph import half_relays_on_loops
+
+        for seed in range(10):
+            g = random_loopy(seed, half_probability=0.8)
+            assert half_relays_on_loops(g) == []
+
+    def test_hazardous_mode(self):
+        found_hazard = False
+        from repro.graph import half_relays_on_loops
+
+        for seed in range(10):
+            g = random_loopy(seed, half_probability=1.0,
+                             ensure_full_on_loops=False)
+            if half_relays_on_loops(g):
+                found_hazard = True
+        assert found_hazard
+
+    def test_elaborates_and_runs(self):
+        for seed in range(5):
+            system = random_loopy(seed).elaborate()
+            system.run(15)
+
+
+class TestSuite:
+    def test_suite_sizes(self):
+        graphs = random_suite(range(4))
+        assert len(graphs) == 4
+
+    def test_loopy_flag(self):
+        graphs = random_suite(range(3), loopy=True)
+        assert all(not g.is_feedforward() for g in graphs)

@@ -1,0 +1,144 @@
+"""Tests for the topology builders."""
+
+import pytest
+
+from repro.errors import StructuralError
+from repro.graph import (
+    composed,
+    figure1,
+    figure2,
+    loop_with_tail,
+    pipeline,
+    reconvergent,
+    ring,
+    self_loop,
+    tree,
+)
+
+
+class TestPipeline:
+    def test_structure(self):
+        g = pipeline(3, relays_per_hop=2)
+        assert len(g.shells()) == 3
+        assert g.relay_count() == 4  # two inter-shell hops
+
+    def test_minimum_stage(self):
+        with pytest.raises(StructuralError):
+            pipeline(0)
+
+    def test_elaborates_and_runs(self):
+        system = pipeline(2).elaborate()
+        system.run(10)
+        assert system.sinks["out"].payloads
+
+
+class TestTree:
+    def test_leaf_count(self):
+        g = tree(depth=3)
+        assert len(g.sources()) == 8
+        assert len(g.shells()) == 7
+
+    def test_depth_one(self):
+        g = tree(depth=1)
+        assert len(g.shells()) == 1
+        assert len(g.sources()) == 2
+
+    def test_bad_depth(self):
+        with pytest.raises(StructuralError):
+            tree(0)
+
+    def test_nonbinary_rejected(self):
+        with pytest.raises(StructuralError):
+            tree(2, branching=3)
+
+    def test_tree_sums_sources(self):
+        system = tree(depth=2).elaborate()
+        system.run(30)
+        payloads = system.sinks["out"].payloads
+        # After the transient the root emits 4 * k (four counting leaves).
+        tail = payloads[-5:]
+        diffs = [b - a for a, b in zip(tail, tail[1:])]
+        assert all(d == 4 for d in diffs)
+
+
+class TestReconvergent:
+    def test_figure1_is_default(self):
+        g = reconvergent()
+        f = figure1()
+        assert g.relay_count() == f.relay_count() == 3
+        assert len(g.shells()) == len(f.shells()) == 3
+
+    def test_intermediate_shells(self):
+        g = reconvergent(long_relays=(1, 1, 1), short_relays=1)
+        # A, C plus two intermediates on the long branch.
+        assert len(g.shells()) == 4
+
+    def test_empty_long_branch_rejected(self):
+        with pytest.raises(StructuralError):
+            reconvergent(long_relays=())
+
+    def test_join_ports(self):
+        g = figure1()
+        join_edges = g.in_edges("C")
+        assert sorted(e.dst_port for e in join_edges) == ["a", "b"]
+
+
+class TestRing:
+    def test_relay_distribution(self):
+        g = ring(shells=3, relays_per_arc=[1, 2, 1])
+        assert g.relay_count() == 4
+
+    def test_spec_count_mismatch(self):
+        with pytest.raises(StructuralError):
+            ring(shells=3, relays_per_arc=[1, 2])
+
+    def test_zero_shells_rejected(self):
+        with pytest.raises(StructuralError):
+            ring(0)
+
+    def test_tap_sink_optional(self):
+        g = ring(2, tap_sink=False)
+        assert not g.sinks()
+
+    def test_figure2(self):
+        g = figure2()
+        assert len(g.shells()) == 2
+        assert g.relay_count() == 2
+        assert not g.is_feedforward()
+
+
+class TestSelfLoop:
+    def test_one_shell_cycle(self):
+        g = self_loop(relays=2)
+        cycles = g.shell_cycles()
+        assert cycles == [["A"]]
+
+    def test_elaborates(self):
+        system = self_loop(relays=1).elaborate()
+        system.run(20)
+        assert system.sinks["out"].payloads
+
+
+class TestComposites:
+    def test_loop_with_tail_structure(self):
+        g = loop_with_tail(loop_shells=2, loop_relays=3, tail_shells=2)
+        assert not g.is_feedforward()
+        (cycle,) = g.shell_cycles()
+        shells, relays = g.loop_census(cycle)
+        assert (shells, relays) == (2, 3)
+
+    def test_loop_relays_lower_bound(self):
+        with pytest.raises(StructuralError):
+            loop_with_tail(loop_shells=3, loop_relays=2)
+
+    def test_composed_has_loop_and_reconvergence(self):
+        from repro.analysis import classify
+
+        g = composed()
+        assert classify(g) == (
+            "feed-forward combination of self-interacting loops")
+
+    def test_composed_elaborates(self):
+        system = composed().elaborate()
+        system.run(20)
+        assert system.sinks["out"].payloads

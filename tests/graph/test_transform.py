@@ -1,0 +1,109 @@
+"""Tests for deadlock-cure transforms."""
+
+import pytest
+
+from repro.errors import StructuralError
+from repro.graph import (
+    cure_deadlock,
+    figure1,
+    half_relays_on_loops,
+    insert_relay,
+    pipeline,
+    promote_half_relays,
+    ring,
+)
+
+
+def hazardous_ring():
+    return ring(2, relays_per_arc=[["half"], ["half"]])
+
+
+class TestHazardCensus:
+    def test_clean_feedforward_empty(self):
+        assert half_relays_on_loops(figure1()) == []
+
+    def test_half_in_feedforward_not_flagged(self):
+        g = pipeline(3)
+        for edge in g.edges:
+            if edge.relays:
+                edge.relays = ("half",) * len(edge.relays)
+        assert half_relays_on_loops(g) == []
+
+    def test_loop_halves_flagged(self):
+        hazards = half_relays_on_loops(hazardous_ring())
+        assert len(hazards) == 2
+        assert all(idx == 0 for _s, _d, idx in hazards)
+
+    def test_self_loop_flagged(self):
+        from repro.graph import self_loop
+
+        g = self_loop(relays=1)
+        for edge in g.edges:
+            if edge.src == edge.dst:
+                edge.relays = ("half",)
+        assert half_relays_on_loops(g) == [("A", "A", 0)]
+
+
+class TestPromote:
+    def test_only_loops_by_default(self):
+        g = hazardous_ring()
+        # Add a feed-forward half relay via the sink edge.
+        for edge in g.edges:
+            if edge.dst == "out":
+                edge.relays = ("half",)
+        cured = promote_half_relays(g, only_loops=True)
+        assert half_relays_on_loops(cured) == []
+        assert cured.relay_count("half") == 1  # the sink edge survives
+
+    def test_promote_everything(self):
+        g = hazardous_ring()
+        cured = promote_half_relays(g, only_loops=False)
+        assert cured.relay_count("half") == 0
+        assert cured.relay_count("full") == 2
+
+    def test_original_untouched(self):
+        g = hazardous_ring()
+        promote_half_relays(g)
+        assert g.relay_count("half") == 2
+
+
+class TestInsertRelay:
+    def test_inserts_at_position(self):
+        g = figure1()
+        edited = insert_relay(g, "A", "C", spec="half", position=0)
+        edge = [e for e in edited.edges
+                if (e.src, e.dst) == ("A", "C")][0]
+        assert edge.relays == ("half", "full")
+
+    def test_missing_edge_raises(self):
+        with pytest.raises(StructuralError):
+            insert_relay(figure1(), "C", "A")
+
+    def test_position_clamped(self):
+        edited = insert_relay(figure1(), "A", "C", position=99)
+        edge = [e for e in edited.edges
+                if (e.src, e.dst) == ("A", "C")][0]
+        assert edge.relays[-1] == "full"
+
+
+class TestCure:
+    def test_clean_graph_returned_unchanged(self):
+        g = figure1()
+        cured, promotions = cure_deadlock(g)
+        assert cured is g
+        assert promotions == []
+
+    def test_cure_makes_hazard_live(self):
+        from repro.skeleton import check_deadlock
+
+        g = hazardous_ring()
+        # Under the refined protocol the skeleton stays live, so the
+        # cure is a no-op; force the hazard with the original protocol
+        # by promoting manually and checking liveness flips.
+        from repro.lid.variant import ProtocolVariant
+
+        before = check_deadlock(g, variant=ProtocolVariant.CARLONI)
+        assert before.deadlocked
+        cured = promote_half_relays(g)
+        after = check_deadlock(cured, variant=ProtocolVariant.CARLONI)
+        assert after.live

@@ -1,0 +1,80 @@
+"""Integration: the butterfly (Walsh-Hadamard) network at scale."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StructuralError
+from repro.graph import butterfly_network
+from repro.lid.reference import is_prefix
+from repro.lid.token import Token
+from repro.skeleton import check_deadlock, system_throughput
+
+
+class TestStructure:
+    def test_shell_count(self):
+        graph = butterfly_network(8)
+        assert len(graph.shells()) == 12  # 3 stages x 4 butterflies
+
+    def test_power_of_two_required(self):
+        with pytest.raises(StructuralError):
+            butterfly_network(6)
+
+    def test_minimum_size(self):
+        graph = butterfly_network(2)
+        assert len(graph.shells()) == 1
+
+    def test_balanced_by_construction(self):
+        from repro.graph import imbalance
+
+        assert imbalance(butterfly_network(8)) == 0
+
+
+class TestBehaviour:
+    @pytest.mark.parametrize("lanes", [2, 4, 8])
+    def test_full_throughput(self, lanes):
+        assert system_throughput(butterfly_network(lanes)) == 1
+
+    @pytest.mark.parametrize("relays", [1, 2])
+    def test_latency_equivalence(self, relays):
+        graph = butterfly_network(4, relays_per_hop=relays)
+        system = graph.elaborate()
+        system.run(40)
+        reference = system.reference_outputs(40)
+        for lane in range(4):
+            sink = system.sinks[f"out{lane}"]
+            assert is_prefix(sink.payloads, reference[f"out{lane}"])
+            assert len(sink.payloads) > 25
+
+    def test_deadlock_free(self):
+        verdict = check_deadlock(butterfly_network(8))
+        assert verdict.live
+
+    def test_transform_is_hadamard(self):
+        """Impulse responses recover a genuine Hadamard matrix."""
+        lanes = 4
+        W = np.zeros((lanes, lanes), dtype=int)
+        for col in range(lanes):
+            graph = butterfly_network(lanes)
+            for lane in range(lanes):
+                value = 1 if lane == col else 0
+                graph.nodes[f"in{lane}"].stream_factory = (
+                    lambda value=value: iter(
+                        Token(value) for _ in range(40)))
+            system = graph.elaborate()
+            ref = system.reference_outputs(12)
+            for row in range(lanes):
+                W[row, col] = ref[f"out{row}"][-1]
+        assert set(np.unique(W)) == {-1, 1}
+        assert np.array_equal(W @ W.T, lanes * np.eye(lanes, dtype=int))
+
+    def test_survives_partial_backpressure(self):
+        graph = butterfly_network(4)
+        # Stop one output lane periodically; the others keep a
+        # consistent view (multicast discipline under pressure).
+        graph.nodes["out0"].stop_script = lambda c: c % 2 == 0
+        system = graph.elaborate()
+        system.run(60)
+        reference = system.reference_outputs(60)
+        for lane in range(4):
+            sink = system.sinks[f"out{lane}"]
+            assert is_prefix(sink.payloads, reference[f"out{lane}"])

@@ -1,0 +1,138 @@
+"""Integration tests for the repro-lid CLI."""
+
+import pytest
+
+from repro.cli import _parse_topology, main
+
+
+class TestParseTopology:
+    def test_figure1(self):
+        assert _parse_topology("figure1").name == "figure1"
+
+    def test_ring_params(self):
+        g = _parse_topology("ring:shells=3,relays=2")
+        assert len(g.shells()) == 3
+        assert g.relay_count() == 6
+
+    def test_reconvergent_params(self):
+        g = _parse_topology("reconvergent:long=2+1,short=1")
+        assert g.relay_count() == 4
+
+    def test_unknown_topology(self):
+        with pytest.raises(SystemExit):
+            _parse_topology("moebius")
+
+    def test_composed(self):
+        g = _parse_topology("composed:imbalance=2,loop_relays=1")
+        assert not g.is_feedforward()
+
+    def test_self_loop(self):
+        g = _parse_topology("self_loop:relays=2")
+        assert g.shell_cycles() == [["A"]]
+
+    def test_butterfly(self):
+        g = _parse_topology("butterfly:lanes=4")
+        assert len(g.shells()) == 4
+
+
+class TestCommands:
+    def test_analyze(self, capsys):
+        assert main(["analyze", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "4/5" in out and "i=1" in out
+
+    def test_analyze_variant_flag(self, capsys):
+        assert main(["analyze", "pipeline:stages=2",
+                     "--variant", "carloni"]) == 0
+        assert "carloni" in capsys.readouterr().out
+
+    def test_figure1_command(self, capsys):
+        assert main(["figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "4/5" in out
+
+    def test_figure2_command(self, capsys):
+        assert main(["figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "S/(S+R)" in out
+
+    def test_deadlock_live_exit_code(self, capsys):
+        assert main(["deadlock", "figure2"]) == 0
+        assert "live" in capsys.readouterr().out
+
+    def test_liveness_proof_command(self, capsys):
+        assert main(["liveness", "figure2"]) == 0
+        out = capsys.readouterr().out
+        assert "LIVE for all environments" in out
+
+    def test_liveness_stuck_exit_code(self, capsys):
+        # The hazardous ring wedges under the original protocol.
+        assert main(["liveness", "figure2", "--variant",
+                     "carloni"]) == 0  # full stations: still live
+        code = main(["liveness", "pipeline:stages=2",
+                     "--max-states", "100000"])
+        assert code == 0
+
+    def test_reproduce_single_experiment(self, capsys):
+        assert main(["reproduce", "--experiment", "EXP-T2"]) == 0
+        out = capsys.readouterr().out
+        assert "(m-i)/m" in out
+
+    def test_reproduce_to_directory(self, tmp_path, capsys):
+        out_dir = tmp_path / "campaign"
+        assert main(["reproduce", "--output", str(out_dir)]) == 0
+        from repro.bench.runner import EXPERIMENTS
+
+        for exp_id in EXPERIMENTS:
+            path = out_dir / f"{exp_id}.txt"
+            assert path.exists(), exp_id
+            assert path.read_text().startswith(f"[{exp_id}]")
+
+    def test_verify_command(self, capsys):
+        assert main(["verify"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "FAIL" not in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestExport:
+    def test_dot_export(self, capsys):
+        assert main(["export", "dot", "--topology", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "figure1"')
+
+    def test_json_export(self, capsys):
+        assert main(["export", "json", "--topology",
+                     "ring:shells=2,relays=1"]) == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["edges"]) == 3  # two arcs + sink tap
+
+    def test_json_roundtrip_through_cli(self, capsys):
+        main(["export", "json", "--topology", "figure1"])
+        import json
+
+        from repro.graph import from_dict
+        from repro.skeleton import system_throughput
+
+        graph = from_dict(json.loads(capsys.readouterr().out))
+        assert str(system_throughput(graph)) == "4/5"
+
+    def test_vhdl_export(self, capsys):
+        assert main(["export", "relay-vhdl", "--width", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "entity relay_station is" in out
+        assert "unsigned(3 downto 0)" in out
+
+    def test_vhdl_to_file(self, tmp_path, capsys):
+        path = tmp_path / "rs.vhd"
+        assert main(["export", "half-relay-vhdl", "-o", str(path)]) == 0
+        assert path.read_text().startswith("library ieee;")
+
+    def test_dot_requires_topology(self):
+        with pytest.raises(SystemExit):
+            main(["export", "dot"])

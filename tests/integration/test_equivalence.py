@@ -1,0 +1,96 @@
+"""Integration: latency equivalence across many elaborated topologies.
+
+This is the paper's safety definition exercised at system scale: for
+every topology family, under back pressure and bursty sources, the LID
+system's valid-token streams must project onto the zero-latency
+reference streams.
+"""
+
+import pytest
+
+from repro.graph import (
+    composed,
+    figure1,
+    figure2,
+    loop_with_tail,
+    pipeline,
+    random_dag,
+    random_loopy,
+    reconvergent,
+    self_loop,
+    tree,
+)
+from repro.lid.reference import is_prefix
+from repro.lid.token import Token, VOID
+from repro.lid.variant import ProtocolVariant
+
+TOPOLOGIES = [
+    ("pipeline", lambda: pipeline(3, relays_per_hop=2)),
+    ("tree", lambda: tree(2)),
+    ("figure1", figure1),
+    ("figure2", figure2),
+    ("reconv_deep", lambda: reconvergent(long_relays=(2, 2),
+                                         short_relays=1)),
+    ("self_loop", lambda: self_loop(relays=2)),
+    ("loop_with_tail", loop_with_tail),
+    ("composed", composed),
+]
+
+
+def check_equivalence(graph, cycles=80, variant=ProtocolVariant.CASU,
+                      progress_floor=1):
+    system = graph.elaborate(variant=variant)
+    system.run(cycles)
+    reference = system.reference_outputs(cycles)
+    for name, sink in system.sinks.items():
+        assert is_prefix(sink.payloads, reference[name]), name
+        assert len(sink.payloads) >= progress_floor, name
+
+
+class TestTopologyFamilies:
+    @pytest.mark.parametrize("name,builder", TOPOLOGIES)
+    def test_casu(self, name, builder):
+        check_equivalence(builder())
+
+    @pytest.mark.parametrize("name,builder", TOPOLOGIES)
+    def test_carloni(self, name, builder):
+        check_equivalence(builder(), variant=ProtocolVariant.CARLONI)
+
+
+class TestRandomTopologies:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_dags(self, seed):
+        check_equivalence(random_dag(seed, shells=5))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_loopy(self, seed):
+        check_equivalence(random_loopy(seed, shells=4))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_dags_with_half_relays(self, seed):
+        check_equivalence(random_dag(seed, shells=5,
+                                     half_probability=0.5))
+
+
+class TestUnderStress:
+    def test_heavy_backpressure(self):
+        graph = figure1()
+        graph.nodes["out"].stop_script = lambda c: c % 3 != 0
+        check_equivalence(graph, cycles=120)
+
+    def test_bursty_source(self):
+        def gappy():
+            return iter(
+                Token(v) if v % 3 else VOID for v in range(200)
+            )
+
+        graph = pipeline(3)
+        graph.nodes["src"].stream_factory = gappy
+        system = graph.elaborate()
+        system.run(60)
+        ref = system.reference_outputs(60)
+        for name, sink in system.sinks.items():
+            assert is_prefix(sink.payloads, ref[name])
+
+    def test_long_run_stability(self):
+        check_equivalence(composed(), cycles=600, progress_floor=100)

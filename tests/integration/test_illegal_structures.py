@@ -1,0 +1,93 @@
+"""Behaviour of deliberately illegal structures under strict=False.
+
+The lint exists because the paper's rules make systems correct by
+construction — but researchers need to simulate the illegal ones too
+(that is how the deadlock study works).  These tests pin down what the
+kernel guarantees when the rules are waived: the monotone least-
+fixpoint settle still converges, simulation still matches the skeleton,
+and correctness (when the system runs at all) is preserved.
+"""
+
+import pytest
+
+from repro.graph import ring
+from repro.lid.reference import is_prefix
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import SkeletonSim, system_throughput
+
+CASU = ProtocolVariant.CASU
+CARLONI = ProtocolVariant.CARLONI
+
+
+def all_half_ring():
+    return ring(2, relays_per_arc=[["half"], ["half"]])
+
+
+class TestCombinationalStopCycles:
+    def test_lint_blocks_strict_elaboration(self):
+        from repro.errors import CombinationalLoopError
+
+        with pytest.raises(CombinationalLoopError):
+            all_half_ring().elaborate(strict=True)
+
+    def test_lfp_settle_converges_anyway(self):
+        """The stop equations are monotone, so the kernel's least
+        fixpoint exists even on a combinational stop cycle."""
+        system = all_half_ring().elaborate(strict=False)
+        system.run(100)  # no ConvergenceError
+
+    def test_full_sim_matches_skeleton_on_illegal_ring(self):
+        graph = all_half_ring()
+        rate = system_throughput(graph, variant=CASU)
+        system = graph.elaborate(variant=CASU, strict=False)
+        system.run(300)
+        measured = system.sinks["out"].steady_throughput(60, 300)
+        assert measured == pytest.approx(float(rate), abs=0.02)
+
+    def test_illegal_ring_still_latency_equivalent(self):
+        system = all_half_ring().elaborate(strict=False)
+        system.run(80)
+        ref = system.reference_outputs(80)["out"]
+        assert is_prefix(system.sinks["out"].payloads, ref)
+
+    def test_carloni_wedge_visible_in_full_simulation(self):
+        system = all_half_ring().elaborate(variant=CARLONI,
+                                           strict=False)
+        system.run(60)
+        # The wait-stop wedge: nothing ever fires.
+        assert all(s.fire_count == 0 for s in system.shells.values())
+
+
+class TestDirectShellWires:
+    def test_shell_to_shell_runs_under_non_strict(self):
+        from repro import LidSystem, pearls
+
+        system = LidSystem("direct")
+        src = system.add_source("src")
+        a = system.add_shell("A", pearls.Identity(initial=-1))
+        b = system.add_shell("B", pearls.Identity(initial=-2))
+        sink = system.add_sink("out", stop_script=lambda c: c % 3 == 0)
+        system.connect(src, a)
+        system.connect(a, b)  # illegal: no station
+        system.connect(b, sink)
+        system.finalize(strict=False)
+        system.run(60, reset=True)
+        ref = system.reference_outputs(60)["out"]
+        assert is_prefix(system.sinks["out"].payloads, ref)
+        # Direct wires are SAFE in simulation; the paper's rule is
+        # about physical stop-path registration, not token loss.
+        assert len(system.sinks["out"].payloads) > 30
+
+
+class TestPerNodeTreeRates:
+    def test_every_tree_node_fires_every_cycle(self):
+        """Paper: 'The throughput of each node ... is 1' — per node,
+        not just at the system output."""
+        from fractions import Fraction
+
+        from repro.graph import tree
+
+        sim = SkeletonSim(tree(3, relays_per_hop=2))
+        result = sim.run()
+        for name in result.shell_fires:
+            assert result.throughput(name) == Fraction(1), name

@@ -1,0 +1,79 @@
+"""Scale tests: the toolkit on systems an order larger than the paper's."""
+
+import pytest
+
+from repro.graph import butterfly_network, pipeline, random_dag, random_loopy
+from repro.lid.reference import is_prefix
+from repro.skeleton import SkeletonSim, system_throughput
+
+
+class TestLargeFeedForward:
+    def test_thirty_shell_dag_equivalence(self):
+        graph = random_dag(seed=1234, shells=30, max_relays=3)
+        system = graph.elaborate()
+        system.run(120)
+        reference = system.reference_outputs(120)
+        for name, sink in system.sinks.items():
+            assert is_prefix(sink.payloads, reference[name]), name
+        delivered = sum(len(s.payloads) for s in system.sinks.values())
+        assert delivered > 100
+
+    def test_deep_pipeline(self):
+        graph = pipeline(40, relays_per_hop=2)
+        assert system_throughput(graph) == 1
+        system = graph.elaborate()
+        system.run(200)
+        sink = system.sinks["out"]
+        # 40 shells + 78 relay stations of latency, then full rate.
+        assert sink.steady_throughput(130, 200) == 1.0
+
+    def test_butterfly_16(self):
+        graph = butterfly_network(16)
+        assert len(graph.shells()) == 32  # 4 stages x 8
+        assert system_throughput(graph) == 1
+
+    def test_skeleton_periodicity_on_large_loopy(self):
+        graph = random_loopy(seed=77, shells=10, extra_back_edges=3)
+        result = SkeletonSim(graph, detect_ambiguity=False).run(
+            max_cycles=50_000)
+        assert result.period >= 1
+        assert result.min_shell_throughput() > 0
+
+    def test_mcr_on_large_loopy_matches_simulation(self):
+        from repro.analysis import min_cycle_ratio_throughput
+
+        graph = random_loopy(seed=78, shells=8, extra_back_edges=2)
+        assert min_cycle_ratio_throughput(graph).throughput == \
+            system_throughput(graph)
+
+
+class TestReferenceErrorPaths:
+    def test_unconnected_channel_reported(self):
+        from repro import LidSystem, pearls
+        from repro.errors import StructuralError
+        from repro.lid.reference import _ultimate_producer
+
+        system = LidSystem("broken")
+        src = system.add_source("src")
+        shell = system.add_shell("A", pearls.Identity())
+        sink = system.add_sink("out")
+        system.connect(src, shell)
+        chain = system.connect(shell, sink)
+        chain[0].producer = None  # sabotage
+        with pytest.raises(StructuralError, match="no producer"):
+            _ultimate_producer(system, chain[0])
+
+    def test_unknown_port_reported(self):
+        from repro import LidSystem, pearls
+        from repro.errors import StructuralError
+        from repro.lid.reference import _ultimate_producer
+
+        system = LidSystem("broken2")
+        src = system.add_source("src")
+        shell = system.add_shell("A", pearls.Identity())
+        sink = system.add_sink("out")
+        system.connect(src, shell)
+        chain = system.connect(shell, sink)
+        shell._outputs["out"] = []  # detach the channel from the port
+        with pytest.raises(StructuralError, match="no known port"):
+            _ultimate_producer(system, chain[-1])

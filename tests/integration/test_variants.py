@@ -1,0 +1,117 @@
+"""Integration: the two protocol variants compared at system level."""
+
+import pytest
+
+from repro.graph import figure1, pipeline, reconvergent, ring, tree
+from repro.lid.reference import is_prefix
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import SkeletonSim, check_deadlock, system_throughput
+
+CASU = ProtocolVariant.CASU
+CARLONI = ProtocolVariant.CARLONI
+
+
+def tokens_delivered(graph, variant, cycles, sink_patterns=None,
+                     source_patterns=None):
+    sim = SkeletonSim(graph, variant=variant, sink_patterns=sink_patterns,
+                      source_patterns=source_patterns,
+                      detect_ambiguity=False)
+    total = 0
+    for _ in range(cycles):
+        _fires, accepts = sim.step()
+        total += sum(accepts)
+    return total
+
+
+class TestSteadyStateAgreement:
+    """Both variants reach the same steady throughput on clean systems
+    (the refinement is about transients and stop locality)."""
+
+    @pytest.mark.parametrize("graph", [
+        figure1(), pipeline(3), tree(2), ring(2, relays_per_arc=2),
+    ])
+    def test_same_steady_throughput(self, graph):
+        assert system_throughput(graph, variant=CASU) == \
+            system_throughput(graph, variant=CARLONI)
+
+    def test_refinement_can_win_asymptotically(self):
+        """A reproduction finding: on some multi-level reconvergent
+        topologies the refinement beats the original protocol in
+        STEADY STATE, not just during transients — the original keeps
+        re-freezing the voids that the imbalance regenerates every
+        period (found by sweeping random DAGs; this seed is the
+        smallest witness we keep as a regression)."""
+        from repro.graph import random_dag
+
+        graph = random_dag(22, shells=5)
+        refined = system_throughput(graph, variant=CASU)
+        original = system_throughput(graph, variant=CARLONI)
+        assert refined > original
+        assert (str(refined), str(original)) == ("3/4", "2/3")
+
+    def test_refinement_never_loses_steady_state(self):
+        """Deterministic sweep: the refined protocol's steady rate is
+        >= the original's on every graph tested."""
+        from repro.graph import random_dag, random_loopy
+
+        graphs = [random_dag(seed, shells=5) for seed in range(15)]
+        graphs += [random_loopy(seed, shells=4) for seed in range(15)]
+        for graph in graphs:
+            assert system_throughput(graph, variant=CASU) >= \
+                system_throughput(graph, variant=CARLONI), graph.name
+
+
+class TestSpeedupClaims:
+    """Paper: 'The overall computation can get a significant speedup'."""
+
+    def test_refined_never_slower(self):
+        bp = {"out": (False, True, True)}
+        gap = {"src": (True, True, False)}
+        for graph in (figure1(), pipeline(3),
+                      reconvergent(long_relays=(2, 1), short_relays=1)):
+            old = tokens_delivered(graph, CARLONI, 150,
+                                   sink_patterns=bp, source_patterns=gap)
+            new = tokens_delivered(graph, CASU, 150,
+                                   sink_patterns=bp, source_patterns=gap)
+            assert new >= old
+
+    def test_significant_speedup_with_half_relays(self):
+        graph = pipeline(3)
+        for edge in graph.edges:
+            if edge.relays:
+                edge.relays = ("half",) * len(edge.relays)
+        bp = {"out": (False, False, True, True)}
+        old = tokens_delivered(graph, CARLONI, 150, sink_patterns=bp)
+        new = tokens_delivered(graph, CASU, 150, sink_patterns=bp)
+        assert new > 10 * old  # the original protocol wedges
+
+    def test_speedup_on_bursty_reconvergence(self):
+        graph = reconvergent(long_relays=(2, 1), short_relays=1)
+        bp = {"out": (False, False, True, True)}
+        gap = {"src": (True, False, True, True, False)}
+        old = tokens_delivered(graph, CARLONI, 200, sink_patterns=bp,
+                               source_patterns=gap)
+        new = tokens_delivered(graph, CASU, 200, sink_patterns=bp,
+                               source_patterns=gap)
+        assert new > old
+
+
+class TestVariantSafety:
+    """Both variants remain latency equivalent — the refinement does
+    not trade correctness for speed."""
+
+    @pytest.mark.parametrize("variant", [CASU, CARLONI])
+    def test_equivalence_under_backpressure(self, variant):
+        graph = figure1()
+        graph.nodes["out"].stop_script = lambda c: c % 4 == 1
+        system = graph.elaborate(variant=variant)
+        system.run(120)
+        ref = system.reference_outputs(120)["out"]
+        assert is_prefix(system.sinks["out"].payloads, ref)
+
+
+class TestVariantLiveness:
+    def test_half_in_loop_diverges_between_variants(self):
+        graph = ring(2, relays_per_arc=[["half"], ["full"]])
+        assert check_deadlock(graph, variant=CASU).live
+        assert check_deadlock(graph, variant=CARLONI).deadlocked

@@ -1,0 +1,66 @@
+"""Unit tests for the Component base class."""
+
+from repro.kernel.component import Component
+from repro.kernel.scheduler import Simulator
+
+
+class TestDefaults:
+    def test_hooks_are_noops(self):
+        comp = Component("c")
+        comp.reset()
+        comp.publish()
+        comp.settle()
+        comp.tick()  # none raise
+
+    def test_cycle_before_attach_is_zero(self):
+        assert Component("c").cycle == 0
+
+    def test_cycle_tracks_simulator(self):
+        sim = Simulator()
+        comp = Component("c")
+        sim.add_component(comp)
+        sim.step(4)
+        assert comp.cycle == 4
+
+    def test_attached_stores_simulator(self):
+        sim = Simulator()
+        comp = sim.add_component(Component("c"))
+        assert comp._sim is sim
+
+    def test_repr_contains_name(self):
+        assert "widget" in repr(Component("widget"))
+
+
+class TestLifecycleOrdering:
+    def test_publish_before_settle_before_tick(self):
+        order = []
+
+        class Probe(Component):
+            def publish(self):
+                order.append("publish")
+
+            def settle(self):
+                order.append("settle")
+
+            def tick(self):
+                order.append("tick")
+
+        sim = Simulator()
+        sim.add_component(Probe("p"))
+        sim.step(1)
+        assert order[0] == "publish"
+        assert order[-1] == "tick"
+        assert "settle" in order
+
+    def test_reset_called_once_per_reset(self):
+        count = {"resets": 0}
+
+        class Probe(Component):
+            def reset(self):
+                count["resets"] += 1
+
+        sim = Simulator()
+        sim.add_component(Probe("p"))
+        sim.step(3)   # auto reset
+        sim.reset()   # explicit
+        assert count["resets"] == 2

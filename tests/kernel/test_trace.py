@@ -1,0 +1,97 @@
+"""Unit tests for tracing."""
+
+import pytest
+
+from repro.kernel.component import Component
+from repro.kernel.scheduler import Simulator
+from repro.kernel.trace import Trace
+
+
+class Emitter(Component):
+    def __init__(self, name, sig, series):
+        super().__init__(name)
+        self.sig = sig
+        self.series = series
+        self.index = 0
+
+    def reset(self):
+        self.index = 0
+
+    def publish(self):
+        self.sig.set(self.series[self.index % len(self.series)])
+
+    def tick(self):
+        self.index += 1
+
+
+def make_sim():
+    sim = Simulator()
+    a = sim.signal("a")
+    b = sim.signal("b")
+    sim.add_component(Emitter("ea", a, [1, 2, 3]))
+    sim.add_component(Emitter("eb", b, [True, False]))
+    return sim, a, b
+
+
+class TestTrace:
+    def test_records_one_row_per_cycle(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a, b])
+        sim.step(4)
+        assert len(trace) == 4
+        assert trace.cycles == [0, 1, 2, 3]
+
+    def test_column_values(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a, b])
+        sim.step(3)
+        assert trace.column("a") == [1, 2, 3]
+        assert trace.column("b") == [True, False, True]
+
+    def test_column_unknown_raises(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a])
+        sim.step(1)
+        with pytest.raises(KeyError):
+            trace.column("b")
+
+    def test_row_by_cycle(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a, b])
+        sim.step(2)
+        assert trace.row(1) == {"a": 2, "b": False}
+
+    def test_row_missing_cycle_raises(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a])
+        sim.step(1)
+        with pytest.raises(KeyError):
+            trace.row(7)
+
+    def test_signals_by_name(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, ["a"])
+        sim.step(2)
+        assert trace.names == ["a"]
+
+    def test_unknown_name_raises(self):
+        sim, _a, _b = make_sim()
+        with pytest.raises(KeyError):
+            Trace(sim, ["zzz"])
+
+    def test_format_table_contains_values(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a, b])
+        sim.step(2)
+        text = trace.format_table()
+        assert "cycle" in text
+        assert "a" in text and "b" in text
+        # booleans render as 0/1, None as '.'
+        assert "1" in text and "0" in text
+
+    def test_format_table_max_rows(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a])
+        sim.step(5)
+        text = trace.format_table(max_rows=2)
+        assert text.count("\n") == 3  # header + separator + 2 rows

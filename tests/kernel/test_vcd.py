@@ -1,0 +1,97 @@
+"""Unit tests for the VCD writer."""
+
+import pytest
+
+from repro.kernel.component import Component
+from repro.kernel.scheduler import Simulator
+from repro.kernel.trace import Trace
+from repro.kernel.vcd import _identifier, dumps_vcd, write_vcd
+
+
+class Stepper(Component):
+    def __init__(self, name, sig, values):
+        super().__init__(name)
+        self.sig = sig
+        self.values = values
+        self.index = 0
+
+    def reset(self):
+        self.index = 0
+
+    def publish(self):
+        self.sig.set(self.values[min(self.index, len(self.values) - 1)])
+
+    def tick(self):
+        self.index += 1
+
+
+def traced_sim(values):
+    sim = Simulator()
+    sig = sim.signal("wire")
+    sim.add_component(Stepper("st", sig, values))
+    trace = Trace(sim, [sig])
+    return sim, trace
+
+
+class TestIdentifier:
+    def test_distinct(self):
+        ids = [_identifier(i) for i in range(500)]
+        assert len(set(ids)) == 500
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            _identifier(-1)
+
+
+class TestDumpsVcd:
+    def test_header_sections(self):
+        sim, trace = traced_sim([1, 2])
+        sim.step(2)
+        text = dumps_vcd(trace)
+        assert "$timescale" in text
+        assert "$enddefinitions" in text
+        assert "$var wire" in text
+
+    def test_change_only_encoding(self):
+        sim, trace = traced_sim([5, 5, 7])
+        sim.step(3)
+        text = dumps_vcd(trace)
+        # value 5 emitted once (cycle 0), 7 once (cycle 2), nothing at #1
+        assert "#0" in text
+        assert "#1" not in text
+        assert "#2" in text
+
+    def test_bool_rendering(self):
+        sim, trace = traced_sim([True, False])
+        sim.step(2)
+        text = dumps_vcd(trace)
+        lines = text.splitlines()
+        assert any(line.startswith("1") and "#" not in line for line in lines)
+        assert any(line.startswith("0") and "#" not in line for line in lines)
+
+    def test_none_renders_as_x(self):
+        sim, trace = traced_sim([None, 3])
+        sim.step(2)
+        text = dumps_vcd(trace)
+        assert "bx " in text
+
+    def test_string_payload(self):
+        sim, trace = traced_sim(["hello world", "bye"])
+        sim.step(2)
+        text = dumps_vcd(trace)
+        assert "shello_world" in text
+
+    def test_module_name_sanitized(self):
+        sim, trace = traced_sim([1])
+        sim.step(1)
+        text = dumps_vcd(trace, module="my design")
+        assert "$scope module my_design" in text
+
+
+class TestWriteVcd:
+    def test_writes_file(self, tmp_path):
+        sim, trace = traced_sim([1, 2, 3])
+        sim.step(3)
+        path = tmp_path / "out.vcd"
+        write_vcd(trace, str(path))
+        assert path.read_text().startswith("$timescale")

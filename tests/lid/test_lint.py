@@ -1,0 +1,106 @@
+"""Tests for the structural lint (the paper's implementation rules)."""
+
+import pytest
+
+from repro import LidSystem, pearls
+from repro.errors import CombinationalLoopError, StructuralError
+from repro.lid.lint import (
+    check_combinational_stop_cycles,
+    check_shell_to_shell,
+    lint_system,
+    relay_census,
+)
+
+
+def shells_back_to_back():
+    system = LidSystem("bad")
+    src = system.add_source("src")
+    a = system.add_shell("A", pearls.Identity())
+    b = system.add_shell("B", pearls.Identity())
+    sink = system.add_sink("out")
+    system.connect(src, a)
+    system.connect(a, b, relays=0)  # violation: no relay station
+    system.connect(b, sink)
+    return system
+
+
+def ring(specs):
+    system = LidSystem("ring")
+    a = system.add_shell("A", pearls.Identity())
+    b = system.add_shell("B", pearls.Identity())
+    sink = system.add_sink("out")
+    system.connect(a, b, relays=specs[0])
+    system.connect(b, a, relays=specs[1])
+    system.connect(a, sink)
+    return system
+
+
+class TestShellToShellRule:
+    def test_direct_connection_rejected(self):
+        with pytest.raises(StructuralError, match="relay station"):
+            check_shell_to_shell(shells_back_to_back())
+
+    def test_finalize_strict_enforces(self):
+        with pytest.raises(StructuralError):
+            shells_back_to_back().finalize(strict=True)
+
+    def test_finalize_non_strict_allows(self):
+        system = shells_back_to_back()
+        system.finalize(strict=False)
+        system.run(5, reset=True)  # still simulates fine
+
+    def test_half_relay_satisfies_rule(self):
+        system = LidSystem("ok")
+        src = system.add_source("src")
+        a = system.add_shell("A", pearls.Identity())
+        b = system.add_shell("B", pearls.Identity())
+        sink = system.add_sink("out")
+        system.connect(src, a)
+        system.connect(a, b, relays=["half"])
+        system.connect(b, sink)
+        check_shell_to_shell(system)  # no raise
+
+    def test_source_to_shell_direct_allowed(self):
+        system = LidSystem("ok")
+        src = system.add_source("src")
+        a = system.add_shell("A", pearls.Identity())
+        sink = system.add_sink("out")
+        system.connect(src, a)
+        system.connect(a, sink)
+        lint_system(system)
+
+
+class TestStopCycleRule:
+    def test_all_half_loop_rejected(self):
+        system = ring([["half"], ["half"]])
+        with pytest.raises(CombinationalLoopError, match="full relay"):
+            check_combinational_stop_cycles(system)
+
+    def test_one_full_station_breaks_cycle(self):
+        system = ring([["half"], ["full"]])
+        check_combinational_stop_cycles(system)  # no raise
+
+    def test_registered_half_breaks_cycle(self):
+        system = ring([["half"], ["half-registered"]])
+        check_combinational_stop_cycles(system)
+
+    def test_half_in_feedforward_fine(self):
+        system = LidSystem("ff")
+        src = system.add_source("src")
+        a = system.add_shell("A", pearls.Identity())
+        sink = system.add_sink("out")
+        system.connect(src, a, relays=["half"])
+        system.connect(a, sink, relays=["half"])
+        lint_system(system)
+
+    def test_error_message_names_the_cycle(self):
+        system = ring([["half"], ["half"]])
+        with pytest.raises(CombinationalLoopError, match="A"):
+            check_combinational_stop_cycles(system)
+
+
+class TestCensus:
+    def test_relay_census(self):
+        system = ring([["half"], ["full", "full"]])
+        full, half = relay_census(system)
+        assert (full, half) == (2, 1)

@@ -1,0 +1,150 @@
+"""Tests for queued shells (the Carloni-style memory placement)."""
+
+import pytest
+
+from repro import LidSystem, pearls
+from repro.errors import StructuralError
+from repro.lid.queued_shell import QueuedShell
+from repro.lid.reference import is_prefix
+
+
+def queued_pipeline(stages=2, depth=2, stop_script=None, stream=None):
+    """Queued shells connected DIRECTLY — no relay stations at all."""
+    system = LidSystem("qpipe")
+    src = system.add_source("src", stream=stream)
+    shells = [
+        system.add_queued_shell(f"S{i}", pearls.Identity(initial=-1 - i),
+                                queue_depth=depth)
+        for i in range(stages)
+    ]
+    sink = system.add_sink("out", stop_script=stop_script)
+    system.connect(src, shells[0])
+    for a, b in zip(shells, shells[1:]):
+        system.connect(a, b)  # direct: the queue is the memory element
+    system.connect(shells[-1], sink)
+    return system, sink
+
+
+class TestConstruction:
+    def test_depth_validated(self):
+        with pytest.raises(StructuralError):
+            QueuedShell("q", pearls.Identity(), queue_depth=0)
+
+    def test_lint_allows_direct_connection(self):
+        system, _sink = queued_pipeline(stages=3)
+        system.finalize(strict=True)  # no relay stations needed
+
+    def test_plain_shell_still_rejected(self):
+        system = LidSystem("bad")
+        src = system.add_source("src")
+        a = system.add_queued_shell("A", pearls.Identity())
+        b = system.add_shell("B", pearls.Identity())  # plain consumer
+        sink = system.add_sink("out")
+        system.connect(src, a)
+        system.connect(a, b)
+        system.connect(b, sink)
+        with pytest.raises(StructuralError, match="relay station"):
+            system.finalize(strict=True)
+
+    def test_no_combinational_stop_cycle_through_queues(self):
+        # A loop of queued shells has registered stops everywhere.
+        system = LidSystem("qloop")
+        a = system.add_queued_shell("A", pearls.Identity(initial=1))
+        b = system.add_queued_shell("B", pearls.Identity(initial=2))
+        sink = system.add_sink("out")
+        system.connect(a, b, consumer_port="a")
+        system.connect(b, a, consumer_port="a")
+        system.connect(a, sink)
+        system.finalize(strict=True)  # lint passes
+
+
+class TestBehaviour:
+    def test_full_throughput_with_depth_two(self):
+        system, sink = queued_pipeline(stages=3, depth=2)
+        system.run(40)
+        assert sink.steady_throughput(10, 40) == 1.0
+
+    def test_depth_one_halves_throughput(self):
+        system, sink = queued_pipeline(stages=2, depth=1)
+        system.run(60)
+        assert abs(sink.steady_throughput(10, 60) - 0.5) < 0.05
+
+    def test_latency_equivalence(self):
+        system, sink = queued_pipeline(
+            stages=3, depth=2, stop_script=lambda c: c % 3 == 1)
+        system.run(60)
+        ref = system.reference_outputs(60)["out"]
+        assert is_prefix(sink.payloads, ref)
+
+    def test_no_overflow_under_pressure(self):
+        system, sink = queued_pipeline(
+            stages=2, depth=2, stop_script=lambda c: (c // 3) % 2 == 0)
+        system.run(80)  # the overflow guard raises if the skid fails
+
+    def test_queue_occupancy_bounded(self):
+        system, sink = queued_pipeline(
+            stages=2, depth=2, stop_script=lambda c: True)
+        system.run(20)
+        for shell in system.shells.values():
+            occupancy = shell.queue_occupancy()
+            assert all(v <= 2 for v in occupancy.values())
+
+    def test_bursty_stream(self):
+        system, sink = queued_pipeline(
+            stages=2, depth=2, stream=[5, None, 6, None, None, 7])
+        system.run(25)
+        assert sink.payloads[2:] == [5, 6, 7]
+
+
+class TestOverflowGuard:
+    def test_broken_stop_invariant_caught(self):
+        """Sabotage the registered stop and the FIFO's runtime guard
+        must catch the resulting overflow instead of silently dropping
+        a token."""
+        from repro.errors import ProtocolViolationError
+
+        system, _sink = queued_pipeline(
+            stages=2, depth=2, stop_script=lambda c: True)
+        # Force the second shell's stop register low every cycle.
+        victim = system.shells["S1"]
+        original_publish = victim.publish
+
+        def sabotaged_publish():
+            victim._stop_regs = {p: False for p in victim._stop_regs}
+            original_publish()
+
+        victim.publish = sabotaged_publish
+        with pytest.raises(ProtocolViolationError, match="overflow"):
+            system.run(20)
+
+
+class TestLoopThroughput:
+    def test_queued_loop_formula(self):
+        """A loop of S queued shells behaves like S shells + S queue
+        stages: T = S/(S+S) = 1/2 for depth-2 queues."""
+        system = LidSystem("qloop")
+        a = system.add_queued_shell("A", pearls.Identity(initial=1))
+        b = system.add_queued_shell("B", pearls.Identity(initial=2))
+        sink = system.add_sink("out")
+        system.connect(a, b, consumer_port="a")
+        system.connect(b, a, consumer_port="a")
+        system.connect(a, sink)
+        system.run(120)
+        assert system.sinks["out"].steady_throughput(40, 120) == \
+            pytest.approx(0.5, abs=0.02)
+
+
+class TestMixedSystems:
+    def test_queued_and_plain_interoperate(self):
+        system = LidSystem("mixed")
+        src = system.add_source("src")
+        plain = system.add_shell("plain", pearls.Accumulator())
+        queued = system.add_queued_shell("queued", pearls.Scaler(gain=2))
+        sink = system.add_sink("out")
+        system.connect(src, plain, consumer_port="a")
+        system.connect(plain, queued, consumer_port="a")  # direct: ok
+        system.connect(queued, sink, relays=1)
+        system.run(40)
+        ref = system.reference_outputs(40)["out"]
+        assert is_prefix(system.sinks["out"].payloads, ref)
+        assert len(system.sinks["out"].payloads) > 30

@@ -1,0 +1,109 @@
+"""Tests for the zero-latency reference model."""
+
+import pytest
+
+from repro import LidSystem, pearls
+from repro.errors import StructuralError
+from repro.lid.reference import POISON, is_prefix, run_reference
+
+from ..conftest import build_pipeline
+
+
+class TestIsPrefix:
+    def test_empty_is_prefix(self):
+        assert is_prefix([], [1, 2])
+
+    def test_proper_prefix(self):
+        assert is_prefix([1, 2], [1, 2, 3])
+
+    def test_equal(self):
+        assert is_prefix([1, 2], [1, 2])
+
+    def test_longer_not_prefix(self):
+        assert not is_prefix([1, 2, 3], [1, 2])
+
+    def test_mismatch(self):
+        assert not is_prefix([1, 9], [1, 2, 3])
+
+
+class TestRunReference:
+    def test_identity_pipeline(self):
+        system, _sink = build_pipeline(stages=2, relays=2)
+        ref = run_reference(system, 6)
+        # cycle 0: S1 initial; cycle 1: S1 sees S0 initial; cycle 2:
+        # S1 sees S0(src 0)=0; then the counting stream shifted by 2.
+        assert ref["out"] == [0, 0, 0, 1, 2, 3]
+
+    def test_relay_stations_are_zero_latency(self):
+        shallow, _ = build_pipeline(stages=2, relays=1)
+        deep, _ = build_pipeline(stages=2, relays=5)
+        assert run_reference(shallow, 8) == run_reference(deep, 8)
+
+    def test_stateful_pearl(self):
+        system, _sink = build_pipeline(stages=1, relays=1,
+                                       pearl_factory=pearls.Accumulator)
+        ref = run_reference(system, 6)
+        # init 0, then partial sums of 0,1,2,...
+        assert ref["out"] == [0, 0, 1, 3, 6, 10]
+
+    def test_finite_source_poisons(self):
+        system, _sink = build_pipeline(stages=1, relays=1)
+        system.sources["src"]._make_stream = \
+            lambda: iter([])  # dry source
+        ref = run_reference(system, 5)
+        # Only the initial shell output is ever observable.
+        assert ref["out"] == [0]
+
+    def test_scripted_voids_are_projected_out(self):
+        system = LidSystem("p")
+        src = system.add_source("src", stream=[7, None, None, 8, 9])
+        a = system.add_shell("A", pearls.Identity())
+        sink = system.add_sink("out")
+        system.connect(src, a)
+        system.connect(a, sink, relays=1)
+        ref = run_reference(system, 5)
+        assert ref["out"] == [0, 7, 8, 9]
+
+    def test_loop_reference(self):
+        system = LidSystem("loop")
+        fib = system.add_shell("F", pearls.Fibonacci(seed=1))
+        src = system.add_source("src", stream=[0] * 20)
+        sink = system.add_sink("out")
+        system.connect(fib, fib, producer_port="out",
+                       consumer_port="loop_in", relays=2)
+        system.connect(src, fib, consumer_port="ext")
+        system.connect(fib, sink, producer_port="out")
+        ref = run_reference(system, 6)
+        assert len(ref["out"]) == 6
+        assert ref["out"][0] == 1  # the seed
+
+    def test_reference_outputs_wrapper(self):
+        system, sink = build_pipeline(stages=1, relays=2)
+        assert system.reference_outputs(4)["out"] == \
+            run_reference(system, 4)["out"]
+
+
+class TestLatencyEquivalence:
+    """The paper's safety definition, on concrete systems."""
+
+    def test_pipeline_equivalence(self):
+        system, sink = build_pipeline(stages=3, relays=2)
+        system.run(40)
+        ref = system.reference_outputs(40)["out"]
+        assert is_prefix(sink.payloads, ref)
+        assert len(sink.payloads) >= 30  # made real progress
+
+    def test_equivalence_under_backpressure(self):
+        system, sink = build_pipeline(
+            stages=2, relays=1, stop_script=lambda c: c % 3 == 0)
+        system.run(40)
+        ref = system.reference_outputs(40)["out"]
+        assert is_prefix(sink.payloads, ref)
+
+    def test_equivalence_with_stateful_pearls(self):
+        system, sink = build_pipeline(
+            stages=2, relays=2, pearl_factory=pearls.Accumulator,
+            stop_script=lambda c: (c // 4) % 2 == 0)
+        system.run(50)
+        ref = system.reference_outputs(50)["out"]
+        assert is_prefix(sink.payloads, ref)

@@ -1,0 +1,148 @@
+"""Behavioural tests for relay stations (full and half)."""
+
+import pytest
+
+from repro import LidSystem, pearls
+from repro.errors import StructuralError
+from repro.lid.relay import HalfRelayStation, RelayStation
+
+
+def chain_system(relays, stop_script=None, stream=None):
+    """src -> A -> [relay chain] -> B -> sink."""
+    system = LidSystem("chain")
+    src = system.add_source("src", stream=stream)
+    a = system.add_shell("A", pearls.Identity())
+    b = system.add_shell("B", pearls.Identity())
+    sink = system.add_sink("out", stop_script=stop_script)
+    system.connect(src, a)
+    system.connect(a, b, relays=relays)
+    system.connect(b, sink)
+    return system, sink
+
+
+class TestWiring:
+    def test_relay_connect_twice_rejected(self):
+        system = LidSystem("x")
+        rs = RelayStation("rs")
+        from repro.lid.channel import Channel
+
+        c1 = Channel.create(system.sim, "c1")
+        c2 = Channel.create(system.sim, "c2")
+        rs.connect(c1, c2)
+        with pytest.raises(StructuralError):
+            rs.connect(c1, c2)
+
+    def test_check_wiring_unconnected(self):
+        rs = RelayStation("rs")
+        with pytest.raises(StructuralError):
+            rs.check_wiring()
+
+    def test_unknown_spec_rejected(self):
+        system = LidSystem("x")
+        src = system.add_source("src")
+        sink = system.add_sink("out")
+        with pytest.raises(StructuralError):
+            system.connect(src, sink, relays=["bogus"])
+
+    def test_register_counts(self):
+        assert RelayStation("f").registers == 2
+        assert HalfRelayStation("h").registers == 1
+
+
+class TestPipelining:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 5])
+    def test_latency_matches_relay_count(self, depth):
+        system, sink = chain_system(relays=depth)
+        system.run(depth + 3)
+        # The first valid token (B's initial output) arrives at cycle 0;
+        # the relay chain initially holds voids, so the next token
+        # arrives after the chain drains: `depth` void cycles.
+        assert sink.void_cycles == list(range(1, depth + 1))
+
+    @pytest.mark.parametrize("depth", [1, 2, 4])
+    def test_full_throughput_steady_state(self, depth):
+        system, sink = chain_system(relays=depth)
+        cycles = 30
+        system.run(cycles)
+        assert sink.steady_throughput(depth + 2, cycles) == 1.0
+
+    @pytest.mark.parametrize("spec", ["half", ["half", "full"]])
+    def test_half_relay_full_throughput(self, spec):
+        relays = [spec] if isinstance(spec, str) else spec
+        system, sink = chain_system(relays=relays)
+        cycles = 30
+        system.run(cycles)
+        assert sink.steady_throughput(len(relays) + 2, cycles) == 1.0
+
+    def test_half_registered_halves_throughput(self):
+        system, sink = chain_system(relays=["half-registered"])
+        cycles = 41
+        system.run(cycles)
+        # Conservative registered stop: one token every two cycles.
+        assert abs(sink.steady_throughput(5, cycles) - 0.5) < 0.06
+
+
+class TestBackPressure:
+    def test_token_stream_preserved_under_stop(self):
+        system, sink = chain_system(
+            relays=2, stop_script=lambda c: c % 3 != 0)
+        system.run(60)
+        ref = system.reference_outputs(60)["out"]
+        assert sink.payloads == ref[: len(sink.payloads)]
+
+    def test_no_duplicates_no_reorder(self):
+        system, sink = chain_system(
+            relays=3, stop_script=lambda c: (c // 3) % 2 == 0)
+        system.run(80)
+        # The first two tokens are the shells' initial zeros; the source
+        # stream that follows must be strictly increasing.
+        values = sink.payloads
+        assert values[:2] == [0, 0]
+        assert values[2:] == sorted(set(values[2:]))
+
+    def test_full_relay_absorbs_inflight_token(self):
+        # Stop rises for exactly one cycle; with a full relay station
+        # between shells nothing is lost even though the upstream only
+        # learns about the stop one cycle later.
+        system, sink = chain_system(relays=1,
+                                    stop_script=lambda c: c == 5)
+        system.run(25)
+        ref = system.reference_outputs(25)["out"]
+        assert sink.payloads == ref[: len(sink.payloads)]
+        assert len(sink.payloads) >= 20
+
+    def test_occupancy_metrics(self):
+        system = LidSystem("occ")
+        src = system.add_source("src")
+        a = system.add_shell("A", pearls.Identity())
+        sink = system.add_sink("out", stop_script=lambda c: True)
+        system.connect(src, a)
+        chain = system.connect(a, sink, relays=1)
+        system.run(6)
+        (relay,) = system.relays.values()
+        # Permanently stopped sink: the station fills both slots.
+        assert relay.occupancy == 2
+
+    def test_relay_throughput_counts_departures(self):
+        system, sink = chain_system(relays=1)
+        system.run(20)
+        (relay,) = system.relays.values()
+        # One departure per cycle except the initial void.
+        assert relay.throughput(20) == pytest.approx(19 / 20)
+
+
+class TestVoidHandling:
+    def test_voids_not_stored(self):
+        system, sink = chain_system(relays=2, stream=[1, None, 2, None, 3])
+        system.run(20)
+        # Two initial shell tokens (B's and A's), then the projection of
+        # the scripted stream with its voids squeezed out.
+        assert sink.payloads == [0, 0, 1, 2, 3]
+
+    def test_reset_state_is_void(self):
+        rs = RelayStation("r")
+        half = HalfRelayStation("h")
+        rs.reset()
+        half.reset()
+        assert rs.occupancy == 0
+        assert half.occupancy == 0

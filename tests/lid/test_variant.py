@@ -1,0 +1,66 @@
+"""Unit tests for the protocol-variant decision helpers."""
+
+import pytest
+
+from repro.lid.variant import DEFAULT_VARIANT, ProtocolVariant
+
+CASU = ProtocolVariant.CASU
+CARLONI = ProtocolVariant.CARLONI
+
+
+class TestOutputBlocked:
+    def test_casu_ignores_stop_on_void(self):
+        assert CASU.output_blocked(stop=True, output_valid=False) is False
+
+    def test_casu_blocks_stop_on_valid(self):
+        assert CASU.output_blocked(stop=True, output_valid=True) is True
+
+    def test_casu_no_stop_never_blocks(self):
+        assert CASU.output_blocked(stop=False, output_valid=True) is False
+
+    def test_carloni_blocks_regardless_of_validity(self):
+        assert CARLONI.output_blocked(stop=True, output_valid=False) is True
+        assert CARLONI.output_blocked(stop=True, output_valid=True) is True
+
+    def test_carloni_no_stop(self):
+        assert CARLONI.output_blocked(stop=False, output_valid=False) is False
+
+
+class TestBackPressure:
+    def test_casu_discards_stop_on_void_input(self):
+        assert CASU.back_pressure(stalled=True, input_valid=False) is False
+
+    def test_casu_protects_valid_input(self):
+        assert CASU.back_pressure(stalled=True, input_valid=True) is True
+
+    def test_carloni_spreads_regardless(self):
+        assert CARLONI.back_pressure(stalled=True, input_valid=False) is True
+
+    def test_not_stalled_never_pressures(self):
+        for variant in (CASU, CARLONI):
+            assert variant.back_pressure(False, True) is False
+            assert variant.back_pressure(False, False) is False
+
+
+class TestSlotConsumed:
+    @pytest.mark.parametrize("variant", [CASU, CARLONI])
+    def test_void_slot_always_replaceable(self, variant):
+        assert variant.slot_consumed(slot_valid=False, stop=True) is True
+        assert variant.slot_consumed(slot_valid=False, stop=False) is True
+
+    @pytest.mark.parametrize("variant", [CASU, CARLONI])
+    def test_valid_slot_frozen_under_stop(self, variant):
+        assert variant.slot_consumed(slot_valid=True, stop=True) is False
+
+    @pytest.mark.parametrize("variant", [CASU, CARLONI])
+    def test_valid_slot_consumed_without_stop(self, variant):
+        assert variant.slot_consumed(slot_valid=True, stop=False) is True
+
+
+class TestEnumBasics:
+    def test_default_is_the_papers_variant(self):
+        assert DEFAULT_VARIANT is CASU
+
+    def test_str_roundtrip(self):
+        assert ProtocolVariant(str(CASU)) is CASU
+        assert ProtocolVariant("carloni") is CARLONI

@@ -1,0 +1,85 @@
+"""Unit tests for arithmetic pearls."""
+
+import pytest
+
+from repro.pearls import Adder, Alu, Identity, Maximum, Multiplier, Scaler, Subtractor
+
+
+class TestIdentity:
+    def test_reset_initial(self):
+        pearl = Identity(initial=7)
+        assert pearl.reset() == {"out": 7}
+
+    def test_step_forwards(self):
+        pearl = Identity()
+        pearl.reset()
+        assert pearl.step({"a": 42}) == {"out": 42}
+
+    def test_ports(self):
+        pearl = Identity()
+        assert pearl.input_ports == ("a",)
+        assert pearl.output_ports == ("out",)
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize("cls,a,b,expected", [
+        (Adder, 2, 3, 5),
+        (Subtractor, 7, 3, 4),
+        (Multiplier, 4, 5, 20),
+        (Maximum, 2, 9, 9),
+    ])
+    def test_step(self, cls, a, b, expected):
+        pearl = cls()
+        pearl.reset()
+        assert pearl.step({"a": a, "b": b}) == {"out": expected}
+
+    @pytest.mark.parametrize("cls", [Adder, Subtractor, Multiplier, Maximum])
+    def test_two_input_ports(self, cls):
+        assert cls().input_ports == ("a", "b")
+
+    def test_adder_initial(self):
+        assert Adder(initial=9).reset() == {"out": 9}
+
+
+class TestScaler:
+    def test_gain(self):
+        pearl = Scaler(gain=3)
+        pearl.reset()
+        assert pearl.step({"a": 5}) == {"out": 15}
+
+    def test_float_gain(self):
+        pearl = Scaler(gain=0.5)
+        pearl.reset()
+        assert pearl.step({"a": 4}) == {"out": 2.0}
+
+
+class TestAlu:
+    @pytest.mark.parametrize("op,expected", [
+        ("add", 8), ("sub", 4), ("mul", 12), ("min", 2), ("max", 6),
+    ])
+    def test_operations(self, op, expected):
+        pearl = Alu()
+        pearl.reset()
+        assert pearl.step({"op": op, "a": 6, "b": 2}) == {"out": expected}
+
+    def test_unknown_op_raises(self):
+        pearl = Alu()
+        pearl.reset()
+        with pytest.raises(ValueError, match="unknown op"):
+            pearl.step({"op": "xor", "a": 1, "b": 2})
+
+    def test_three_inputs(self):
+        assert Alu().input_ports == ("op", "a", "b")
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        from repro.pearls import Accumulator
+
+        pearl = Accumulator()
+        pearl.reset()
+        pearl.step({"a": 5})
+        twin = pearl.clone()
+        pearl.step({"a": 1})
+        assert twin._acc == 5
+        assert pearl._acc == 6

@@ -1,0 +1,85 @@
+"""Unit tests for the pearl base classes."""
+
+import pytest
+
+from repro.pearls import FunctionPearl, MultiOutputPearl, Pearl
+
+
+class TestPearlBase:
+    def test_abstract_hooks_raise(self):
+        pearl = Pearl()
+        with pytest.raises(NotImplementedError):
+            pearl.reset()
+        with pytest.raises(NotImplementedError):
+            pearl.step({})
+
+
+class TestFunctionPearl:
+    def test_single_input(self):
+        pearl = FunctionPearl(lambda a: a * 2)
+        assert pearl.reset() == {"out": 0}
+        assert pearl.step({"a": 3}) == {"out": 6}
+
+    def test_two_inputs_port_order(self):
+        pearl = FunctionPearl(lambda a, b: a - b, inputs=("a", "b"))
+        pearl.reset()
+        assert pearl.step({"a": 10, "b": 4}) == {"out": 6}
+
+    def test_custom_output_name(self):
+        pearl = FunctionPearl(lambda x: x, inputs=("x",), output="y",
+                              initial=5)
+        assert pearl.output_ports == ("y",)
+        assert pearl.reset() == {"y": 5}
+
+    def test_stateless_across_steps(self):
+        pearl = FunctionPearl(lambda a: a + 1)
+        pearl.reset()
+        assert pearl.step({"a": 1}) == {"out": 2}
+        assert pearl.step({"a": 1}) == {"out": 2}
+
+
+class TestMultiOutputPearl:
+    def test_two_outputs(self):
+        pearl = MultiOutputPearl(
+            lambda a: {"q": a // 3, "r": a % 3},
+            inputs=("a",), outputs=("q", "r"))
+        pearl.reset()
+        assert pearl.step({"a": 7}) == {"q": 2, "r": 1}
+
+    def test_default_initials_are_zero(self):
+        pearl = MultiOutputPearl(lambda a: {"x": a, "y": a},
+                                 inputs=("a",), outputs=("x", "y"))
+        assert pearl.reset() == {"x": 0, "y": 0}
+
+    def test_missing_output_raises(self):
+        pearl = MultiOutputPearl(lambda a: {"x": a},
+                                 inputs=("a",), outputs=("x", "y"))
+        pearl.reset()
+        with pytest.raises(ValueError, match="did not produce"):
+            pearl.step({"a": 1})
+
+    def test_extra_outputs_filtered(self):
+        pearl = MultiOutputPearl(lambda a: {"x": a, "junk": 1},
+                                 inputs=("a",), outputs=("x",))
+        pearl.reset()
+        assert pearl.step({"a": 2}) == {"x": 2}
+
+    def test_custom_initials(self):
+        pearl = MultiOutputPearl(lambda a: {"x": a}, inputs=("a",),
+                                 outputs=("x",), initial={"x": 42})
+        assert pearl.reset() == {"x": 42}
+
+
+class TestInSystem:
+    def test_function_pearl_in_pipeline(self):
+        from repro import LidSystem
+
+        system = LidSystem("fp")
+        src = system.add_source("src")
+        double = system.add_shell(
+            "D", FunctionPearl(lambda a: a * 2, initial=-1))
+        sink = system.add_sink("out")
+        system.connect(src, double)
+        system.connect(double, sink, relays=1)
+        system.run(10)
+        assert sink.payloads == [-1] + [2 * i for i in range(8)]

@@ -1,0 +1,135 @@
+"""Unit tests for DSP pearls."""
+
+import pytest
+
+from repro.pearls import Butterfly, Decimator, FirFilter, IirFilter, Mac, MovingAverage
+
+
+class TestMac:
+    def test_accumulates_products(self):
+        pearl = Mac()
+        pearl.reset()
+        assert pearl.step({"a": 2, "b": 3})["out"] == 6
+        assert pearl.step({"a": 4, "b": 5})["out"] == 26
+
+    def test_initial(self):
+        assert Mac(initial=10).reset() == {"out": 10}
+
+
+class TestFirFilter:
+    def test_impulse_response_is_taps(self):
+        taps = (1, 2, 3)
+        pearl = FirFilter(taps)
+        pearl.reset()
+        impulse = [1, 0, 0, 0]
+        outs = [pearl.step({"a": x})["out"] for x in impulse]
+        assert outs == [1, 2, 3, 0]
+
+    def test_dc_gain(self):
+        pearl = FirFilter((0.25,) * 4)
+        pearl.reset()
+        outs = [pearl.step({"a": 1})["out"] for _ in range(6)]
+        assert outs[-1] == pytest.approx(1.0)
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            FirFilter(())
+
+
+class TestIirFilter:
+    def test_step_response_converges(self):
+        pearl = IirFilter(a=0.5, b=0.5)
+        pearl.reset()
+        out = 0.0
+        for _ in range(30):
+            out = pearl.step({"x": 1.0})["out"]
+        assert out == pytest.approx(1.0, abs=1e-6)
+
+    def test_recurrence(self):
+        pearl = IirFilter(a=0.5, b=1.0, initial=0.0)
+        pearl.reset()
+        assert pearl.step({"x": 2.0})["out"] == pytest.approx(2.0)
+        assert pearl.step({"x": 0.0})["out"] == pytest.approx(1.0)
+
+
+class TestMovingAverage:
+    def test_window_mean(self):
+        pearl = MovingAverage(window=2)
+        pearl.reset()
+        outs = [pearl.step({"a": v})["out"] for v in (2, 4, 6)]
+        assert outs == [2, 3, 5]
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            MovingAverage(window=0)
+
+
+class TestButterfly:
+    def test_sum_and_diff(self):
+        pearl = Butterfly()
+        pearl.reset()
+        assert pearl.step({"a": 5, "b": 3}) == {"sum": 8, "diff": 2}
+
+    def test_two_outputs(self):
+        assert Butterfly().output_ports == ("sum", "diff")
+
+    def test_initials(self):
+        pearl = Butterfly(initial_sum=1, initial_diff=2)
+        assert pearl.reset() == {"sum": 1, "diff": 2}
+
+
+class TestDecimator:
+    def test_holds_every_other(self):
+        pearl = Decimator(factor=2)
+        pearl.reset()
+        outs = [pearl.step({"a": v})["out"] for v in (1, 2, 3, 4)]
+        assert outs == [1, 1, 3, 3]
+
+    def test_factor_one_is_identity(self):
+        pearl = Decimator(factor=1)
+        pearl.reset()
+        outs = [pearl.step({"a": v})["out"] for v in (1, 2, 3)]
+        assert outs == [1, 2, 3]
+
+    def test_bad_factor(self):
+        with pytest.raises(ValueError):
+            Decimator(factor=0)
+
+
+class TestInLidSystem:
+    """DSP pearls keep their function under the protocol (end to end)."""
+
+    def test_fir_latency_equivalent(self):
+        from repro import LidSystem, pearls
+        from repro.lid.reference import is_prefix
+
+        system = LidSystem("fir")
+        src = system.add_source("src")
+        fir = system.add_shell("F", pearls.FirFilter((1, 1)))
+        sink = system.add_sink("out", stop_script=lambda c: c % 3 == 1)
+        system.connect(src, fir, consumer_port="a")
+        system.connect(fir, sink, relays=2)
+        system.run(30)
+        ref = system.reference_outputs(30)["out"]
+        assert is_prefix(sink.payloads, ref)
+
+    def test_butterfly_multicast(self):
+        from repro import LidSystem, pearls
+        from repro.lid.reference import is_prefix
+
+        system = LidSystem("bf")
+        s1 = system.add_source("s1")
+        s2 = system.add_source("s2", stream=lambda: iter(
+            __import__("repro.lid.token", fromlist=["Token"]).Token(v)
+            for v in range(100, 200)))
+        bf = system.add_shell("B", pearls.Butterfly())
+        out_sum = system.add_sink("sum")
+        out_diff = system.add_sink("diff")
+        system.connect(s1, bf, consumer_port="a")
+        system.connect(s2, bf, consumer_port="b")
+        system.connect(bf, out_sum, producer_port="sum", relays=1)
+        system.connect(bf, out_diff, producer_port="diff", relays=1)
+        system.run(20)
+        ref = system.reference_outputs(20)
+        assert is_prefix(out_sum.payloads, ref["sum"])
+        assert is_prefix(out_diff.payloads, ref["diff"])

@@ -1,0 +1,99 @@
+"""Unit tests for stateful pearls."""
+
+import pytest
+
+from repro.pearls import Accumulator, Counter, Delay, Fibonacci, History, Toggle
+
+
+class TestCounter:
+    def test_counts_firings(self):
+        pearl = Counter()
+        assert pearl.reset() == {"out": 0}
+        assert pearl.step({"en": 1}) == {"out": 1}
+        assert pearl.step({"en": 1}) == {"out": 2}
+
+    def test_stride_and_start(self):
+        pearl = Counter(start=10, stride=5)
+        assert pearl.reset() == {"out": 10}
+        assert pearl.step({"en": 0}) == {"out": 15}
+
+    def test_reset_restarts(self):
+        pearl = Counter()
+        pearl.reset()
+        pearl.step({"en": 1})
+        assert pearl.reset() == {"out": 0}
+
+
+class TestAccumulator:
+    def test_running_sum(self):
+        pearl = Accumulator()
+        pearl.reset()
+        outs = [pearl.step({"a": v})["out"] for v in (1, 2, 3, 4)]
+        assert outs == [1, 3, 6, 10]
+
+    def test_initial(self):
+        pearl = Accumulator(initial=100)
+        pearl.reset()
+        assert pearl.step({"a": 1}) == {"out": 101}
+
+
+class TestDelay:
+    def test_single_stage(self):
+        # out[n] = a[n-1]: the first step still shows the fill value.
+        pearl = Delay(stages=1, fill=0)
+        assert pearl.reset() == {"out": 0}
+        assert pearl.step({"a": 5}) == {"out": 0}
+        assert pearl.step({"a": 6}) == {"out": 5}
+
+    def test_three_stages(self):
+        pearl = Delay(stages=3, fill=0)
+        pearl.reset()
+        outs = [pearl.step({"a": v})["out"] for v in (1, 2, 3, 4, 5)]
+        assert outs == [0, 0, 0, 1, 2]
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(stages=0)
+
+
+class TestToggle:
+    def test_alternates(self):
+        pearl = Toggle(first="a", second="b")
+        assert pearl.reset() == {"out": "a"}
+        assert pearl.step({"en": 1}) == {"out": "b"}
+        assert pearl.step({"en": 1}) == {"out": "a"}
+
+
+class TestHistory:
+    def test_records_consumed(self):
+        pearl = History()
+        pearl.reset()
+        pearl.step({"a": 1})
+        pearl.step({"a": 2})
+        assert pearl.seen == [1, 2]
+
+    def test_reset_clears(self):
+        pearl = History()
+        pearl.reset()
+        pearl.step({"a": 1})
+        pearl.reset()
+        assert pearl.seen == []
+
+    def test_echoes_input(self):
+        pearl = History()
+        pearl.reset()
+        assert pearl.step({"a": 9}) == {"out": 9}
+
+
+class TestFibonacci:
+    def test_seed_presented_at_reset(self):
+        pearl = Fibonacci(seed=3)
+        assert pearl.reset() == {"out": 3}
+
+    def test_recurrence(self):
+        pearl = Fibonacci(seed=1)
+        pearl.reset()
+        out1 = pearl.step({"loop_in": 1, "ext": 0})["out"]
+        assert out1 == 2  # loop + ext + prev = 1 + 0 + 1
+        out2 = pearl.step({"loop_in": out1, "ext": 0})["out"]
+        assert out2 == 2 + 0 + 1

@@ -1,0 +1,89 @@
+"""Property-based latency equivalence over randomized systems.
+
+The flagship property: for random topologies, random relay mixes,
+random back-pressure scripts and random (gappy) source streams, every
+elaborated LID system's sink streams project onto the zero-latency
+reference.  This is the paper's safety definition under fuzzing.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.graph import random_dag, random_loopy
+from repro.lid.reference import is_prefix
+from repro.lid.variant import ProtocolVariant
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+stop_scripts = st.one_of(
+    st.none(),
+    st.tuples(st.integers(2, 5), st.integers(0, 4)).map(
+        lambda p: (lambda c, period=p[0], phase=p[1]:
+                   c % period == phase)
+    ),
+)
+
+source_patterns = st.lists(
+    st.one_of(st.integers(0, 100), st.none()), min_size=5, max_size=30)
+
+
+def check(graph, cycles, stop_script=None, source_pattern=None):
+    for sink_node in graph.sinks():
+        sink_node.stop_script = stop_script
+    if source_pattern is not None:
+        for src_node in graph.sources():
+            pattern = list(source_pattern)
+            src_node.stream_factory = (
+                lambda p=pattern: __import__(
+                    "repro.lid.endpoints",
+                    fromlist=["scripted_stream"]).scripted_stream(p)
+            )
+    system = graph.elaborate()
+    system.run(cycles)
+    reference = system.reference_outputs(cycles)
+    for name, sink in system.sinks.items():
+        assert is_prefix(sink.payloads, reference[name]), name
+
+
+@given(seed=st.integers(0, 10_000), stop_script=stop_scripts)
+@settings(**SETTINGS)
+def test_random_dag_equivalence(seed, stop_script):
+    check(random_dag(seed, shells=4), cycles=50, stop_script=stop_script)
+
+
+@given(seed=st.integers(0, 10_000), stop_script=stop_scripts)
+@settings(**SETTINGS)
+def test_random_loopy_equivalence(seed, stop_script):
+    check(random_loopy(seed, shells=3), cycles=50,
+          stop_script=stop_script)
+
+
+@given(seed=st.integers(0, 10_000), pattern=source_patterns)
+@settings(**SETTINGS)
+def test_gappy_sources_equivalence(seed, pattern):
+    check(random_dag(seed, shells=3), cycles=40, source_pattern=pattern)
+
+
+@given(seed=st.integers(0, 10_000),
+       half_probability=st.floats(0.0, 1.0))
+@settings(**SETTINGS)
+def test_half_relay_mix_equivalence(seed, half_probability):
+    graph = random_dag(seed, shells=4, half_probability=half_probability)
+    check(graph, cycles=40)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_variants_both_equivalent(seed):
+    graph = random_dag(seed, shells=3)
+    for variant in ProtocolVariant:
+        system = graph.elaborate(variant=variant)
+        system.run(40)
+        reference = system.reference_outputs(40)
+        for name, sink in system.sinks.items():
+            assert is_prefix(sink.payloads, reference[name]), \
+                (variant, name)

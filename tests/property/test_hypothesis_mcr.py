@@ -1,0 +1,81 @@
+"""Property-based tests: analysis layers must agree with each other.
+
+Three independently implemented oracles — the paper's closed formulas,
+the minimum-cycle-ratio analyzer and the skeleton simulator — are run on
+randomized topologies and required to coincide.
+"""
+
+from fractions import Fraction
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import min_cycle_ratio_throughput, static_system_throughput
+from repro.graph import equalize, random_dag, random_loopy, reconvergent, ring
+from repro.skeleton import system_throughput
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_mcr_equals_simulation_on_dags(seed):
+    graph = random_dag(seed, shells=5)
+    assert min_cycle_ratio_throughput(graph).throughput == \
+        system_throughput(graph)
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_mcr_equals_simulation_on_loops(seed):
+    graph = random_loopy(seed, shells=4)
+    assert min_cycle_ratio_throughput(graph).throughput == \
+        system_throughput(graph)
+
+
+@given(shells=st.integers(1, 4), extra=st.integers(0, 4))
+@settings(**SETTINGS)
+def test_ring_formula_triangle(shells, extra):
+    relays = shells + extra  # at least one per arc (the lint rule)
+    per_arc = [relays // shells + (1 if i < relays % shells else 0)
+               for i in range(shells)]
+    graph = ring(shells, relays_per_arc=per_arc)
+    expected = Fraction(shells, shells + relays)
+    assert system_throughput(graph) == expected
+    assert min_cycle_ratio_throughput(graph).throughput == expected
+
+
+@given(
+    long_a=st.integers(1, 3), long_b=st.integers(1, 3),
+    short=st.integers(1, 3),
+)
+@settings(**SETTINGS)
+def test_reconvergent_formula_triangle(long_a, long_b, short):
+    graph = reconvergent(long_relays=(long_a, long_b),
+                         short_relays=short)
+    sim = system_throughput(graph)
+    mcr = min_cycle_ratio_throughput(graph).throughput
+    formulas = static_system_throughput(graph)
+    assert sim == mcr == formulas
+
+
+@given(
+    long_a=st.integers(1, 3), long_b=st.integers(1, 3),
+    short=st.integers(1, 3),
+)
+@settings(**SETTINGS)
+def test_equalization_always_restores_one(long_a, long_b, short):
+    graph = reconvergent(long_relays=(long_a, long_b),
+                         short_relays=short)
+    assert system_throughput(equalize(graph)) == 1
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**SETTINGS)
+def test_throughput_bounded_by_one(seed):
+    graph = random_loopy(seed, shells=3)
+    rate = system_throughput(graph)
+    assert 0 < rate <= 1

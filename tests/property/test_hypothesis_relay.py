@@ -1,0 +1,112 @@
+"""Property-based tests on the relay-station FSMs.
+
+Hypothesis drives the spec FSMs with arbitrary legal environments and
+checks stream invariants directly — complementing the exhaustive BFS,
+which uses a small alphabet, with unbounded payload sequences.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify.fsm import (
+    FullRsState,
+    HalfRsState,
+    full_rs_outputs,
+    full_rs_step,
+    half_rs_step,
+    half_rs_stop_out,
+)
+
+# An environment script: per cycle (offer a token?, downstream stop?).
+script = st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,
+                  max_size=120)
+variants = st.sampled_from(list(ProtocolVariant))
+
+
+def run_full_rs(steps, variant):
+    """Drive a full relay station with a law-abiding upstream.
+
+    Returns (sent payloads, emitted payloads).
+    """
+    state = FullRsState()
+    k = 0
+    sent, emitted = [], []
+    for offer, stop_in in steps:
+        out_tok, stop_out = full_rs_outputs(state)
+        present = k if offer else None
+        if out_tok is not None and not stop_in:
+            emitted.append(out_tok)
+        accepted = present is not None and not stop_out
+        state = full_rs_step(state, present, stop_in, variant)
+        if accepted:
+            sent.append(k)
+            k += 1
+    return sent, emitted, state
+
+
+def run_half_rs(steps, variant, registered):
+    state = HalfRsState()
+    k = 0
+    sent, emitted = [], []
+    for offer, stop_in in steps:
+        stop_out = half_rs_stop_out(state, stop_in, variant, registered)
+        present = k if offer else None
+        if state.main is not None and not stop_in:
+            emitted.append(state.main)
+        accepted = present is not None and not stop_out
+        state = half_rs_step(state, present, stop_in, variant, registered)
+        if accepted:
+            sent.append(k)
+            k += 1
+    return sent, emitted, state
+
+
+@given(script, variants)
+@settings(max_examples=200)
+def test_full_rs_emits_prefix_of_sent(steps, variant):
+    sent, emitted, state = run_full_rs(steps, variant)
+    assert emitted == sent[: len(emitted)]
+
+
+@given(script, variants)
+@settings(max_examples=200)
+def test_full_rs_buffers_at_most_two(steps, variant):
+    sent, emitted, state = run_full_rs(steps, variant)
+    assert 0 <= len(sent) - len(emitted) <= 2
+    assert state.occupancy == len(sent) - len(emitted)
+
+
+@given(script, variants, st.booleans())
+@settings(max_examples=200)
+def test_half_rs_emits_prefix_of_sent(steps, variant, registered):
+    sent, emitted, state = run_half_rs(steps, variant, registered)
+    assert emitted == sent[: len(emitted)]
+
+
+@given(script, variants, st.booleans())
+@settings(max_examples=200)
+def test_half_rs_buffers_at_most_one(steps, variant, registered):
+    sent, emitted, _state = run_half_rs(steps, variant, registered)
+    assert 0 <= len(sent) - len(emitted) <= 1
+
+
+@given(script, variants)
+@settings(max_examples=100)
+def test_cooperative_downstream_drains_everything(steps, variant):
+    """With the stop released and the source quiet, the station must
+    empty itself within two cycles (liveness at the stream level)."""
+    _sent, _emitted, state = run_full_rs(steps, variant)
+    for _ in range(2):
+        state = full_rs_step(state, None, False, variant)
+    assert state.occupancy == 0
+
+
+@given(script)
+@settings(max_examples=100)
+def test_full_rs_variants_agree_without_voids(steps):
+    """When the upstream always offers, the two protocol variants are
+    observationally identical on a single relay station."""
+    always = [(True, stop) for _offer, stop in steps]
+    _s1, e1, _ = run_full_rs(always, ProtocolVariant.CASU)
+    _s2, e2, _ = run_full_rs(always, ProtocolVariant.CARLONI)
+    assert e1 == e2

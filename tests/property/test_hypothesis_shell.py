@@ -1,0 +1,97 @@
+"""Property-based tests on the shell spec FSM."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify.env import PAYLOAD_MODULUS
+from repro.verify.fsm import (
+    ShellState,
+    shell_fire,
+    shell_input_stops,
+    shell_step,
+)
+
+# Environment script: per cycle (offer?, stop on output?).
+script = st.lists(st.tuples(st.booleans(), st.booleans()),
+                  min_size=1, max_size=120)
+variants = st.sampled_from(list(ProtocolVariant))
+
+
+def drive_shell(steps, variant, modulus=1 << 20):
+    """Run a 1x1 shell spec against a law-abiding environment.
+
+    Returns (inputs consumed, outputs consumed, final state).
+    """
+    state = ShellState(out=(None,))
+    k = 0
+    committed = False
+    consumed_in, consumed_out = [], []
+    for offer, stop in steps:
+        present = k if (offer or committed) else None
+        in_toks = (present,)
+        stops = (stop,)
+        if state.out[0] is not None and not stop:
+            consumed_out.append(state.out[0])
+        fired = shell_fire(state, in_toks, stops, variant)
+        input_stop = shell_input_stops(state, in_toks, stops, variant)[0]
+        if present is not None and not input_stop:
+            consumed_in.append(present)
+            k += 1
+            committed = False
+        elif present is not None:
+            committed = True
+        state = shell_step(state, in_toks, stops, variant, modulus)
+    return consumed_in, consumed_out, state
+
+
+@given(script, variants)
+@settings(max_examples=200)
+def test_outputs_are_prefix_of_inputs(steps, variant):
+    """Every consumed output is a previously consumed input, in order
+    (the identity spec pearl makes the correspondence visible)."""
+    consumed_in, consumed_out, _state = drive_shell(steps, variant)
+    assert consumed_out == consumed_in[: len(consumed_out)]
+
+
+@given(script, variants)
+@settings(max_examples=200)
+def test_at_most_one_token_buffered(steps, variant):
+    """The shell's only storage is its output register."""
+    consumed_in, consumed_out, state = drive_shell(steps, variant)
+    buffered = len(consumed_in) - len(consumed_out)
+    assert buffered in (0, 1)
+    assert (state.out[0] is not None) == (buffered == 1)
+
+
+@given(script, variants)
+@settings(max_examples=200)
+def test_no_spurious_fire_without_input(steps, variant):
+    state = ShellState(out=(None,))
+    for _offer, stop in steps:
+        assert not shell_fire(state, (None,), (stop,), variant)
+        state = shell_step(state, (None,), (stop,), variant)
+
+
+@given(script)
+@settings(max_examples=150)
+def test_casu_never_pressures_void_inputs(steps):
+    state = ShellState(out=(None,))
+    for offer, stop in steps:
+        present = 0 if offer else None
+        stops = shell_input_stops(state, (present,), (stop,),
+                                  ProtocolVariant.CASU)
+        if present is None:
+            assert stops[0] is False
+        state = shell_step(state, (present,), (stop,),
+                           ProtocolVariant.CASU)
+
+
+@given(script)
+@settings(max_examples=150)
+def test_payload_modulus_respected(steps):
+    _in, out, state = drive_shell(steps, ProtocolVariant.CASU,
+                                  modulus=PAYLOAD_MODULUS)
+    for value in out:
+        assert 0 <= value < PAYLOAD_MODULUS
+    if state.out[0] is not None:
+        assert 0 <= state.out[0] < PAYLOAD_MODULUS

@@ -1,0 +1,55 @@
+"""Property-based tests on tokens and projections."""
+
+from hypothesis import given, strategies as st
+
+from repro.lid.token import Token, VOID, payloads, valid_stream
+
+payload = st.one_of(st.integers(), st.text(max_size=5))
+maybe_payload = st.one_of(st.none(), payload)
+
+
+@given(payload)
+def test_valid_token_roundtrip(value):
+    tok = Token(value)
+    assert tok.valid and tok.value == value
+
+
+@given(payload, payload)
+def test_equality_iff_same_payload(a, b):
+    assert (Token(a) == Token(b)) == (a == b)
+
+
+@given(payload)
+def test_hash_consistent_with_eq(value):
+    assert hash(Token(value)) == hash(Token(value))
+
+
+@given(st.lists(payload))
+def test_valid_stream_projection_identity(values):
+    assert payloads(valid_stream(values)) == values
+
+
+@given(st.lists(maybe_payload))
+def test_projection_drops_exactly_the_voids(pattern):
+    toks = [VOID if v is None else Token(v) for v in pattern]
+    assert payloads(toks) == [v for v in pattern if v is not None]
+
+
+@given(st.lists(maybe_payload), st.lists(maybe_payload))
+def test_projection_is_homomorphic_over_concat(a, b):
+    toks_a = [VOID if v is None else Token(v) for v in a]
+    toks_b = [VOID if v is None else Token(v) for v in b]
+    assert payloads(toks_a + toks_b) == payloads(toks_a) + payloads(toks_b)
+
+
+@given(st.lists(maybe_payload))
+def test_void_insertion_invariance(pattern):
+    """Inserting voids anywhere never changes the projection — the
+    algebraic heart of latency insensitivity."""
+    toks = [VOID if v is None else Token(v) for v in pattern]
+    padded = []
+    for tok in toks:
+        padded.append(VOID)
+        padded.append(tok)
+    padded.append(VOID)
+    assert payloads(padded) == payloads(toks)

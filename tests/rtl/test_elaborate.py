@@ -1,0 +1,95 @@
+"""Mixed-level simulation: netlist stations inside live systems."""
+
+import pytest
+
+from repro import LidSystem, pearls
+from repro.errors import ElaborationError
+from repro.lid.reference import is_prefix
+from repro.rtl import NetlistRelayStation, transplant_netlist_station
+
+
+def mixed_system(kind="full", stop_script=None):
+    system = LidSystem("mixed")
+    src = system.add_source("src")
+    a = system.add_shell("A", pearls.Identity(initial=1))
+    b = system.add_shell("B", pearls.Identity(initial=2))
+    sink = system.add_sink("out", stop_script=stop_script)
+    system.connect(src, a)
+    system.connect(a, b, relays=[kind])
+    system.connect(b, sink)
+    (name,) = system.relays
+    station = transplant_netlist_station(system, name)
+    return system, sink, station
+
+
+class TestNetlistStation:
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ElaborationError):
+            NetlistRelayStation("x", kind="quarter")
+
+    def test_register_metadata(self):
+        assert NetlistRelayStation("x", kind="full").registers == 2
+        assert NetlistRelayStation("x2", kind="half").registers == 1
+
+    def test_payload_width_enforced(self):
+        station = NetlistRelayStation("x", kind="full", width=4)
+        from repro.lid.token import Token
+
+        with pytest.raises(ElaborationError, match="does not fit"):
+            station._encode(Token(99))
+
+    def test_non_integer_payload_rejected(self):
+        station = NetlistRelayStation("x", kind="full", width=8)
+        from repro.lid.token import Token
+
+        with pytest.raises(ElaborationError):
+            station._encode(Token("text"))
+
+
+class TestMixedSimulation:
+    @pytest.mark.parametrize("kind", ["full", "half"])
+    def test_streams_like_behavioural(self, kind):
+        system, sink, _station = mixed_system(kind)
+        system.run(30)
+        ref = system.reference_outputs(30)["out"]
+        assert is_prefix(sink.payloads, ref)
+        assert len(sink.payloads) > 25
+
+    @pytest.mark.parametrize("kind", ["full", "half"])
+    def test_backpressure_through_gates(self, kind):
+        system, sink, station = mixed_system(
+            kind, stop_script=lambda c: (c // 2) % 2 == 0)
+        system.run(60)
+        ref = system.reference_outputs(60)["out"]
+        assert is_prefix(sink.payloads, ref)
+
+    def test_occupancy_visible_from_gates(self):
+        system, _sink, station = mixed_system(
+            "full", stop_script=lambda c: True)
+        system.run(8)
+        assert station.occupancy == 2  # both gate-level slots filled
+
+    def test_matches_behavioural_payloads_exactly(self):
+        mixed, mixed_sink, _ = mixed_system("full",
+                                            stop_script=lambda c: c % 3 == 0)
+        mixed.run(50)
+
+        behavioural = LidSystem("plain")
+        src = behavioural.add_source("src")
+        a = behavioural.add_shell("A", pearls.Identity(initial=1))
+        b = behavioural.add_shell("B", pearls.Identity(initial=2))
+        sink = behavioural.add_sink("out",
+                                    stop_script=lambda c: c % 3 == 0)
+        behavioural.connect(src, a)
+        behavioural.connect(a, b, relays=1)
+        behavioural.connect(b, sink)
+        behavioural.run(50)
+
+        assert mixed_sink.payloads == sink.payloads
+        assert [c for c, _v in mixed_sink.received] == \
+            [c for c, _v in sink.received]
+
+    def test_transplant_rejects_non_station(self):
+        system, _sink, _station = mixed_system("full")
+        with pytest.raises(KeyError):
+            transplant_netlist_station(system, "nonexistent")

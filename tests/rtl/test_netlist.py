@@ -1,0 +1,154 @@
+"""Tests for the netlist substrate."""
+
+import pytest
+
+from repro.errors import ElaborationError
+from repro.rtl import Netlist, NetlistSimulator
+
+
+def half_adder():
+    nl = Netlist("half_adder")
+    a = nl.add_input("a")
+    b = nl.add_input("b")
+    nl.add_output("s")
+    nl.add_output("c")
+    nl.cell("XOR2", "u_x", a=a, b=b, y="s")
+    nl.cell("AND2", "u_a", a=a, b=b, y="c")
+    return nl
+
+
+class TestConstruction:
+    def test_unknown_cell_type(self):
+        nl = Netlist("x")
+        with pytest.raises(ElaborationError):
+            nl.cell("NAND9", "u", a="a", y="y")
+
+    def test_duplicate_cell_name(self):
+        nl = half_adder()
+        with pytest.raises(ElaborationError):
+            nl.cell("NOT", "u_x", a="a", y="z")
+
+    def test_two_drivers_rejected(self):
+        nl = Netlist("x")
+        nl.add_input("a")
+        nl.cell("NOT", "u1", a="a", y="y")
+        with pytest.raises(ElaborationError, match="two drivers"):
+            nl.cell("BUF", "u2", a="a", y="y")
+
+    def test_width_conflict(self):
+        nl = Netlist("x")
+        nl.net("d", width=8)
+        with pytest.raises(ElaborationError, match="redeclared"):
+            nl.net("d", width=4)
+
+    def test_undriven_net_caught(self):
+        nl = Netlist("x")
+        nl.net("floating")
+        with pytest.raises(ElaborationError, match="undriven"):
+            nl.validate()
+
+    def test_wrong_pins_rejected(self):
+        nl = Netlist("x")
+        nl.add_input("a")
+        with pytest.raises(ElaborationError):
+            nl.cell("NOT", "u", a="a")  # missing y
+
+    def test_register_counts_bits(self):
+        nl = Netlist("x")
+        nl.add_input("d")
+        nl.g_reg("d", "q8", width=8)
+        nl.add_input("d1")
+        nl.g_reg("d1", "q1")
+        assert nl.register_count() == 9
+
+    def test_gate_count_excludes_registers(self):
+        nl = half_adder()
+        assert nl.gate_count() == 2
+        assert nl.register_count() == 0
+
+
+class TestSimulation:
+    def test_half_adder_truth_table(self):
+        sim = NetlistSimulator(half_adder())
+        for a in (0, 1):
+            for b in (0, 1):
+                outs = sim.settle({"a": a, "b": b})
+                assert outs["s"] == a ^ b
+                assert outs["c"] == a & b
+
+    def test_mux(self):
+        nl = Netlist("m")
+        nl.add_input("a", 8)
+        nl.add_input("b", 8)
+        nl.add_input("sel")
+        nl.add_output("y", 8)
+        nl.cell("MUX2", "u", a="a", b="b", sel="sel", y="y", width=8)
+        sim = NetlistSimulator(nl)
+        assert sim.settle({"a": 11, "b": 22, "sel": 0})["y"] == 11
+        assert sim.settle({"a": 11, "b": 22, "sel": 1})["y"] == 22
+
+    def test_register_holds_until_tick(self):
+        nl = Netlist("r")
+        nl.add_input("d")
+        nl.add_output("q")
+        nl.g_reg("d", "qreg", init=0)
+        nl.cell("BUF", "u", a="qreg", y="q")
+        sim = NetlistSimulator(nl)
+        assert sim.settle({"d": 1})["q"] == 0
+        sim.tick()
+        assert sim.settle({"d": 0})["q"] == 1
+
+    def test_register_enable(self):
+        nl = Netlist("r")
+        nl.add_input("d")
+        nl.add_input("en")
+        nl.add_output("q")
+        nl.g_reg("d", "qreg", en="en", init=7)
+        nl.cell("BUF", "u", a="qreg", y="q")
+        sim = NetlistSimulator(nl)
+        assert sim.step({"d": 1, "en": 0})["q"] == 7
+        assert sim.step({"d": 1, "en": 1})["q"] == 7
+        assert sim.settle({"d": 0, "en": 0})["q"] == 1
+
+    def test_register_initial_value(self):
+        nl = Netlist("r")
+        nl.add_input("d", 8)
+        nl.add_output("q", 8)
+        nl.g_reg("d", "qreg", init=42, width=8)
+        nl.cell("BUF", "u", a="qreg", y="q", width=8)
+        sim = NetlistSimulator(nl)
+        assert sim.settle({"d": 0})["q"] == 42
+
+    def test_reset_restores_initials(self):
+        nl = Netlist("r")
+        nl.add_input("d")
+        nl.add_output("q")
+        nl.g_reg("d", "qreg", init=1)
+        nl.cell("BUF", "u", a="qreg", y="q")
+        sim = NetlistSimulator(nl)
+        sim.step({"d": 0})
+        sim.reset()
+        assert sim.settle({"d": 0})["q"] == 1
+
+    def test_combinational_loop_detected(self):
+        nl = Netlist("loop")
+        nl.cell("NOT", "u1", a="b", y="a")
+        nl.cell("NOT", "u2", a="a", y="b")
+        with pytest.raises(ElaborationError, match="combinational loop"):
+            NetlistSimulator(nl)
+
+    def test_unknown_input_rejected(self):
+        sim = NetlistSimulator(half_adder())
+        with pytest.raises(ElaborationError):
+            sim.settle({"zzz": 1})
+
+    def test_chain_evaluation_order_independent(self):
+        # Build a NOT chain declared in reverse order.
+        nl = Netlist("chain")
+        nl.add_input("a")
+        nl.add_output("y")
+        nl.cell("NOT", "u3", a="n2", y="y")
+        nl.cell("NOT", "u2", a="n1", y="n2")
+        nl.cell("NOT", "u1", a="a", y="n1")
+        sim = NetlistSimulator(nl)
+        assert sim.settle({"a": 0})["y"] == 1

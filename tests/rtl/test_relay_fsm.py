@@ -1,0 +1,131 @@
+"""Gate-level relay stations vs the verified spec FSMs."""
+
+import random
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.rtl import (
+    NetlistSimulator,
+    full_relay_station_netlist,
+    half_relay_station_netlist,
+)
+from repro.verify import fsm
+
+
+def replay_full(seed, cycles=300):
+    """Drive netlist and spec with the same environment; compare."""
+    rng = random.Random(seed)
+    sim = NetlistSimulator(full_relay_station_netlist(width=8))
+    spec = fsm.FullRsState()
+    k = 1
+    for cycle in range(cycles):
+        out_tok, stop_out = fsm.full_rs_outputs(spec)
+        offer = rng.random() < 0.7
+        stop_in = rng.random() < 0.4
+        outs = sim.settle({
+            "in_data": k if offer else 0,
+            "in_valid": int(offer),
+            "stop_in": int(stop_in),
+        })
+        assert outs["out_valid"] == int(out_tok is not None), cycle
+        if out_tok is not None:
+            assert outs["out_data"] == out_tok, cycle
+        assert outs["stop_out"] == int(stop_out), cycle
+        accepted = offer and not stop_out
+        spec = fsm.full_rs_step(spec, k if offer else None, stop_in)
+        sim.tick()
+        if accepted:
+            k = (k % 100) + 1
+
+
+def replay_half(seed, variant, cycles=300):
+    rng = random.Random(seed)
+    sim = NetlistSimulator(half_relay_station_netlist(width=8,
+                                                      variant=variant))
+    spec = fsm.HalfRsState()
+    k = 1
+    for cycle in range(cycles):
+        offer = rng.random() < 0.7
+        stop_in = rng.random() < 0.4
+        outs = sim.settle({
+            "in_data": k if offer else 0,
+            "in_valid": int(offer),
+            "stop_in": int(stop_in),
+        })
+        expected_stop = fsm.half_rs_stop_out(spec, stop_in, variant)
+        assert outs["out_valid"] == int(spec.main is not None), cycle
+        if spec.main is not None:
+            assert outs["out_data"] == spec.main, cycle
+        assert outs["stop_out"] == int(expected_stop), cycle
+        accepted = offer and not expected_stop
+        spec = fsm.half_rs_step(spec, k if offer else None, stop_in,
+                                variant)
+        sim.tick()
+        if accepted:
+            k = (k % 100) + 1
+
+
+class TestFullStationGateLevel:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_trace_conformance(self, seed):
+        replay_full(seed)
+
+    def test_register_budget(self):
+        # 2 data registers (8b each) + 2 valid bits = the paper's
+        # two-register station; the stop is the aux valid bit itself.
+        nl = full_relay_station_netlist(width=8)
+        assert nl.register_count() == 18
+
+    def test_burst_then_stall_scenario(self):
+        sim = NetlistSimulator(full_relay_station_netlist(width=4))
+        # Fill: send token 1, then token 2 while stopped.
+        sim.step({"in_data": 1, "in_valid": 1, "stop_in": 0})
+        outs = sim.settle({"in_data": 2, "in_valid": 1, "stop_in": 1})
+        assert outs["out_valid"] == 1 and outs["out_data"] == 1
+        sim.tick()
+        # Now FULL: stop_out raised, both tokens inside.
+        outs = sim.settle({"in_data": 0, "in_valid": 0, "stop_in": 1})
+        assert outs["stop_out"] == 1
+        assert outs["out_data"] == 1
+        sim.tick()
+        # Release: 1 leaves, 2 moves up.
+        outs = sim.settle({"in_data": 0, "in_valid": 0, "stop_in": 0})
+        assert outs["out_data"] == 1 and outs["stop_out"] == 1
+        sim.tick()
+        outs = sim.settle({"in_data": 0, "in_valid": 0, "stop_in": 0})
+        assert outs["out_data"] == 2 and outs["stop_out"] == 0
+
+
+class TestHalfStationGateLevel:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("variant", list(ProtocolVariant))
+    def test_random_trace_conformance(self, seed, variant):
+        replay_half(seed, variant)
+
+    def test_register_budget_is_half(self):
+        full = full_relay_station_netlist(width=8).register_count()
+        half = half_relay_station_netlist(width=8).register_count()
+        assert half == 9  # one data register + one valid bit
+        assert half < full
+
+    def test_transparent_stop_is_combinational(self):
+        sim = NetlistSimulator(half_relay_station_netlist(width=4))
+        sim.step({"in_data": 3, "in_valid": 1, "stop_in": 0})
+        # Occupied: stop_in must appear on stop_out in the SAME cycle.
+        outs = sim.settle({"in_data": 0, "in_valid": 0, "stop_in": 1})
+        assert outs["stop_out"] == 1
+        outs = sim.settle({"in_data": 0, "in_valid": 0, "stop_in": 0})
+        assert outs["stop_out"] == 0
+
+    def test_casu_discards_stop_when_empty(self):
+        sim = NetlistSimulator(half_relay_station_netlist(
+            width=4, variant=ProtocolVariant.CASU))
+        outs = sim.settle({"in_data": 0, "in_valid": 0, "stop_in": 1})
+        assert outs["stop_out"] == 0
+
+    def test_carloni_passes_stop_when_empty(self):
+        sim = NetlistSimulator(half_relay_station_netlist(
+            width=4, variant=ProtocolVariant.CARLONI))
+        outs = sim.settle({"in_data": 0, "in_valid": 0, "stop_in": 1})
+        assert outs["stop_out"] == 1

@@ -1,0 +1,109 @@
+"""Gate-level shell vs the verified shell spec."""
+
+import random
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.rtl import NetlistSimulator, identity_shell_netlist, shell_netlist
+from repro.verify import fsm
+
+
+class TestIdentityShellGateLevel:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("variant", list(ProtocolVariant))
+    def test_random_trace_conformance(self, seed, variant):
+        rng = random.Random(seed)
+        sim = NetlistSimulator(identity_shell_netlist(width=8,
+                                                      variant=variant))
+        spec = fsm.ShellState(out=(0,))
+        k = 1
+        for cycle in range(300):
+            offer = rng.random() < 0.7
+            stop = rng.random() < 0.4
+            outs = sim.settle({
+                "in_data_0": k if offer else 0,
+                "in_valid_0": int(offer),
+                "stop_0": int(stop),
+            })
+            in_toks = (k if offer else None,)
+            stops = (stop,)
+            expected_fire = fsm.shell_fire(spec, in_toks, stops, variant)
+            expected_stop_up = fsm.shell_input_stops(
+                spec, in_toks, stops, variant)[0]
+            assert outs["fire"] == int(expected_fire), cycle
+            assert outs["stop_to_input_0"] == int(expected_stop_up), cycle
+            assert outs["out_valid_0"] == int(spec.out[0] is not None)
+            if spec.out[0] is not None:
+                assert outs["out_data_0"] == spec.out[0], cycle
+            spec = fsm.shell_step(spec, in_toks, stops, variant,
+                                  modulus=1 << 30)
+            sim.tick()
+            if expected_fire:
+                k += 1
+
+    def test_initial_output_valid(self):
+        sim = NetlistSimulator(identity_shell_netlist())
+        outs = sim.settle({"in_data_0": 0, "in_valid_0": 0, "stop_0": 0})
+        assert outs["out_valid_0"] == 1
+
+    def test_clock_gating_visible_as_fire(self):
+        sim = NetlistSimulator(identity_shell_netlist())
+        outs = sim.settle({"in_data_0": 5, "in_valid_0": 0, "stop_0": 0})
+        assert outs["fire"] == 0  # waiting for data
+
+
+class TestGenericShellNetlist:
+    @pytest.mark.parametrize("n_in,n_out", [(1, 1), (2, 1), (2, 2), (3, 2)])
+    def test_elaborates(self, n_in, n_out):
+        nl = shell_netlist(n_in, n_out)
+        sim = NetlistSimulator(nl)
+        inputs = {}
+        for k in range(n_in):
+            inputs[f"in_data_{k}"] = k
+            inputs[f"in_valid_{k}"] = 1
+        for j in range(n_out):
+            inputs[f"stop_{j}"] = 0
+            inputs[f"pearl_out_{j}"] = 7
+        outs = sim.settle(inputs)
+        assert outs["fire"] == 1
+
+    def test_fire_needs_all_inputs(self):
+        sim = NetlistSimulator(shell_netlist(2, 1))
+        outs = sim.settle({
+            "in_data_0": 1, "in_valid_0": 1,
+            "in_data_1": 0, "in_valid_1": 0,
+            "stop_0": 0, "pearl_out_0": 0,
+        })
+        assert outs["fire"] == 0
+        assert outs["stop_to_input_0"] == 1  # protect the valid input
+        assert outs["stop_to_input_1"] == 0  # casu discards on void
+
+    def test_pearl_output_loaded_on_fire(self):
+        sim = NetlistSimulator(shell_netlist(1, 1))
+        sim.step({"in_data_0": 1, "in_valid_0": 1, "stop_0": 0,
+                  "pearl_out_0": 55})
+        outs = sim.settle({"in_data_0": 0, "in_valid_0": 0, "stop_0": 0,
+                           "pearl_out_0": 0})
+        assert outs["out_data_0"] == 55 and outs["out_valid_0"] == 1
+
+    def test_output_held_under_stop(self):
+        sim = NetlistSimulator(shell_netlist(1, 1))
+        sim.step({"in_data_0": 1, "in_valid_0": 1, "stop_0": 0,
+                  "pearl_out_0": 9})
+        # Stalled (no input) + stop: the valid output must hold.
+        sim.step({"in_data_0": 0, "in_valid_0": 0, "stop_0": 1,
+                  "pearl_out_0": 0})
+        outs = sim.settle({"in_data_0": 0, "in_valid_0": 0, "stop_0": 1,
+                           "pearl_out_0": 0})
+        assert outs["out_valid_0"] == 1 and outs["out_data_0"] == 9
+
+    def test_output_consumed_without_stop(self):
+        sim = NetlistSimulator(shell_netlist(1, 1))
+        sim.step({"in_data_0": 1, "in_valid_0": 1, "stop_0": 0,
+                  "pearl_out_0": 9})
+        sim.step({"in_data_0": 0, "in_valid_0": 0, "stop_0": 0,
+                  "pearl_out_0": 0})
+        outs = sim.settle({"in_data_0": 0, "in_valid_0": 0, "stop_0": 0,
+                           "pearl_out_0": 0})
+        assert outs["out_valid_0"] == 0

@@ -1,0 +1,83 @@
+"""Tests for the VHDL emitter."""
+
+import pytest
+
+from repro.rtl import (
+    Netlist,
+    emit_vhdl,
+    full_relay_station_netlist,
+    half_relay_station_netlist,
+    identity_shell_netlist,
+    write_vhdl,
+)
+
+
+@pytest.fixture
+def rs_vhdl():
+    return emit_vhdl(full_relay_station_netlist(width=8))
+
+
+class TestStructure:
+    def test_entity_declared(self, rs_vhdl):
+        assert "entity relay_station is" in rs_vhdl
+        assert "end entity relay_station;" in rs_vhdl
+
+    def test_architecture_declared(self, rs_vhdl):
+        assert "architecture rtl of relay_station is" in rs_vhdl
+        assert "end architecture rtl;" in rs_vhdl
+
+    def test_clock_and_reset_ports(self, rs_vhdl):
+        assert "clk : in std_logic" in rs_vhdl
+        assert "rst : in std_logic" in rs_vhdl
+
+    def test_data_ports_are_vectors(self, rs_vhdl):
+        assert "in_data : in unsigned(7 downto 0)" in rs_vhdl
+        assert "out_data : out unsigned(7 downto 0)" in rs_vhdl
+
+    def test_control_ports_are_scalars(self, rs_vhdl):
+        assert "stop_in : in std_logic" in rs_vhdl
+        assert "stop_out : out std_logic" in rs_vhdl
+
+    def test_registers_in_clocked_process(self, rs_vhdl):
+        assert "rising_edge(clk)" in rs_vhdl
+        assert "process (clk)" in rs_vhdl
+
+    def test_reset_initializes_registers(self, rs_vhdl):
+        assert "if rst = '1' then" in rs_vhdl
+        assert "to_unsigned(0, 8)" in rs_vhdl
+
+    def test_combinational_statements_present(self, rs_vhdl):
+        assert " and " in rs_vhdl
+        assert "not " in rs_vhdl
+
+
+class TestOtherBlocks:
+    def test_half_station_emits(self):
+        text = emit_vhdl(half_relay_station_netlist(width=4))
+        assert "entity half_relay_station" in text
+
+    def test_shell_emits(self):
+        text = emit_vhdl(identity_shell_netlist())
+        assert "entity identity_shell" in text
+        assert "when" in text  # the output mux
+
+    def test_mux_statement(self):
+        nl = Netlist("m")
+        nl.add_input("a", 4)
+        nl.add_input("b", 4)
+        nl.add_input("sel")
+        nl.add_output("y", 4)
+        nl.cell("MUX2", "u", a="a", b="b", sel="sel", y="y", width=4)
+        text = emit_vhdl(nl)
+        assert "y <= b when sel = '1' else a;" in text
+
+    def test_write_vhdl(self, tmp_path):
+        path = tmp_path / "rs.vhd"
+        write_vhdl(full_relay_station_netlist(4), str(path))
+        assert path.read_text().startswith("library ieee;")
+
+    def test_validates_before_emitting(self):
+        nl = Netlist("bad")
+        nl.net("floating")
+        with pytest.raises(Exception):
+            emit_vhdl(nl)

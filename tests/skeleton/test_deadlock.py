@@ -1,0 +1,96 @@
+"""Tests for the deadlock checker (the paper's liveness claims)."""
+
+import pytest
+
+from repro.graph import figure1, figure2, pipeline, ring, tree
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import check_deadlock, is_deadlock_free_class
+
+CASU = ProtocolVariant.CASU
+CARLONI = ProtocolVariant.CARLONI
+
+
+class TestPaperClaims:
+    """The three deadlock-freedom statements from the paper."""
+
+    @pytest.mark.parametrize("graph", [figure1(), tree(3), pipeline(4)])
+    def test_feedforward_is_deadlock_free(self, graph):
+        verdict = check_deadlock(graph)
+        assert verdict.live
+
+    @pytest.mark.parametrize("graph", [
+        figure2(),
+        ring(2, relays_per_arc=2),
+        ring(3, relays_per_arc=[2, 1, 1]),
+    ])
+    def test_full_relay_loops_are_deadlock_free(self, graph):
+        for variant in (CASU, CARLONI):
+            verdict = check_deadlock(graph, variant=variant)
+            assert verdict.live, (graph.name, variant, verdict.detail)
+
+    def test_half_in_loop_deadlocks_under_original_protocol(self):
+        graph = ring(2, relays_per_arc=[["half"], ["full"]])
+        verdict = check_deadlock(graph, variant=CARLONI)
+        assert verdict.deadlocked
+
+    def test_half_in_loop_live_under_refined_protocol(self):
+        # The refined discard-stops-on-voids rule prevents the
+        # injection (token conservation keeps the stop cycle from ever
+        # self-sustaining) — the paper's "in many cases ... injection
+        # will never occur".
+        graph = ring(2, relays_per_arc=[["half"], ["full"]])
+        verdict = check_deadlock(graph, variant=CASU)
+        assert not verdict.deadlocked
+
+    def test_half_in_feedforward_is_safe_under_refined(self):
+        graph = pipeline(3)
+        for edge in graph.edges:
+            if edge.relays:
+                edge.relays = ("half",) * len(edge.relays)
+        assert check_deadlock(graph, variant=CASU).live
+
+    def test_backpressure_does_not_break_full_loops(self):
+        verdict = check_deadlock(
+            figure2(), sink_patterns={"out": (True, False, True)})
+        assert verdict.live
+
+
+class TestVerdictDetails:
+    def test_live_detail_message(self):
+        verdict = check_deadlock(pipeline(2))
+        assert "live" in verdict.detail
+
+    def test_deadlock_detail_message(self):
+        graph = ring(2, relays_per_arc=[["half"], ["half"]])
+        verdict = check_deadlock(graph, variant=CARLONI)
+        assert "deadlock" in verdict.detail
+
+    def test_transient_and_period_reported(self):
+        verdict = check_deadlock(figure1())
+        assert verdict.period == 5
+        assert verdict.transient == 2
+
+    def test_optimistic_result_attached(self):
+        verdict = check_deadlock(figure1())
+        assert verdict.optimistic.period == 5
+
+
+class TestStaticClassification:
+    def test_feedforward_class(self):
+        assert is_deadlock_free_class(figure1()) == "feed-forward"
+
+    def test_all_full_class(self):
+        assert is_deadlock_free_class(figure2()) == \
+            "all-full-relay-stations"
+
+    def test_half_off_loop_class(self):
+        graph = ring(2, relays_per_arc=1)
+        for edge in graph.edges:
+            if edge.dst == "out":
+                edge.relays = ("half",)
+        assert is_deadlock_free_class(graph) == \
+            "no-half-relay-stations-on-loops"
+
+    def test_hazard_class_is_none(self):
+        graph = ring(2, relays_per_arc=[["half"], ["full"]])
+        assert is_deadlock_free_class(graph) is None

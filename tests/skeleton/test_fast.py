@@ -1,0 +1,51 @@
+"""Tests for throughput measurement and cost comparison."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graph import figure1, figure2, pipeline
+from repro.skeleton import (
+    CostComparison,
+    compare_cost,
+    measure_throughput,
+    system_throughput,
+)
+
+
+class TestMeasureThroughput:
+    def test_reports_all_blocks(self):
+        rates = measure_throughput(figure1())
+        assert set(rates) == {"A", "B0", "C", "out"}
+
+    def test_exact_fractions(self):
+        rates = measure_throughput(figure1())
+        assert all(isinstance(r, Fraction) for r in rates.values())
+        assert rates["out"] == Fraction(4, 5)
+
+    def test_system_throughput_is_min(self):
+        assert system_throughput(figure2()) == Fraction(1, 2)
+        assert system_throughput(pipeline(2)) == 1
+
+
+class TestCompareCost:
+    def test_returns_positive_times(self):
+        comparison = compare_cost(pipeline(3), cycles=200)
+        assert comparison.skeleton_seconds > 0
+        assert comparison.full_seconds > 0
+        assert comparison.cycles == 200
+
+    def test_skeleton_is_faster(self):
+        comparison = compare_cost(pipeline(8, relays_per_hop=2),
+                                  cycles=400)
+        assert comparison.speedup > 1.0
+
+    def test_speedup_property(self):
+        c = CostComparison(cycles=10, skeleton_seconds=1.0,
+                           full_seconds=4.0)
+        assert c.speedup == 4.0
+
+    def test_zero_skeleton_time(self):
+        c = CostComparison(cycles=1, skeleton_seconds=0.0,
+                           full_seconds=1.0)
+        assert c.speedup == float("inf")

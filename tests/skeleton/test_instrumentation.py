@@ -1,0 +1,75 @@
+"""Direct tests of the skeleton's stop-activity instrumentation."""
+
+import pytest
+
+from repro.graph import figure1, pipeline, reconvergent
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import SkeletonSim
+
+CASU = ProtocolVariant.CASU
+CARLONI = ProtocolVariant.CARLONI
+
+
+def run(graph, variant, cycles=150, sinks=None, sources=None):
+    sim = SkeletonSim(graph, variant=variant, sink_patterns=sinks,
+                      source_patterns=sources, detect_ambiguity=False)
+    for _ in range(cycles):
+        sim.step()
+    return sim
+
+
+class TestCounters:
+    def test_free_running_pipeline_has_no_stops(self):
+        sim = run(pipeline(3), CASU)
+        assert sim.stop_assertions_total == 0
+        assert sim.stops_on_voids_total == 0
+        assert sim.internal_stops_on_voids_total == 0
+
+    def test_backpressure_counts_stops(self):
+        sim = run(pipeline(3), CASU, sinks={"out": (False, True)})
+        assert sim.stop_assertions_total > 0
+
+    def test_reconvergence_generates_internal_stops(self):
+        # Figure 1's implicit loop asserts stops every period even with
+        # a friendly sink.
+        sim = run(figure1(), CASU)
+        assert sim.stop_assertions_total > 0
+
+    def test_casu_internal_voids_zero(self):
+        sim = run(reconvergent(long_relays=(2, 1), short_relays=1),
+                  CASU,
+                  sinks={"out": (False, True, True)},
+                  sources={"src": (True, True, False)})
+        assert sim.internal_stops_on_voids_total == 0
+
+    def test_carloni_internal_voids_positive(self):
+        sim = run(reconvergent(long_relays=(2, 1), short_relays=1),
+                  CARLONI,
+                  sinks={"out": (False, True, True)},
+                  sources={"src": (True, True, False)})
+        assert sim.internal_stops_on_voids_total > 0
+
+    def test_internal_subset_of_total(self):
+        for variant in (CASU, CARLONI):
+            sim = run(figure1(), variant,
+                      sinks={"out": (False, True)})
+            assert sim.internal_stops_on_voids_total <= \
+                sim.stops_on_voids_total <= sim.stop_assertions_total
+
+    def test_counters_reset(self):
+        sim = run(figure1(), CARLONI, sinks={"out": (True, False)})
+        assert sim.stop_assertions_total > 0
+        sim.reset()
+        assert sim.stop_assertions_total == 0
+        assert sim.stops_on_voids_total == 0
+        assert sim.internal_stops_on_voids_total == 0
+
+    def test_counters_monotone_over_time(self):
+        sim = SkeletonSim(figure1(), variant=CARLONI,
+                          sink_patterns={"out": (False, True)},
+                          detect_ambiguity=False)
+        previous = 0
+        for _ in range(60):
+            sim.step()
+            assert sim.stop_assertions_total >= previous
+            previous = sim.stop_assertions_total

@@ -1,0 +1,115 @@
+"""Tests for periodicity detection and transient bounds."""
+
+import pytest
+
+from repro.graph import figure1, figure2, pipeline, reconvergent, ring, tree
+from repro.skeleton import detect_period, transient_and_period, transient_bound
+
+
+class TestDetectPeriod:
+    def test_pure_cycle(self):
+        state = {"x": 0}
+
+        def step():
+            state["x"] = (state["x"] + 1) % 7
+
+        transient, period = detect_period(step, lambda: state["x"])
+        assert (transient, period) == (0, 7)
+
+    def test_rho_shape(self):
+        # 0,1,2,3,4,3,4,3,4,... transient 3, period 2
+        state = {"x": 0}
+
+        def step():
+            state["x"] = state["x"] + 1 if state["x"] < 4 else 3
+
+        transient, period = detect_period(step, lambda: state["x"])
+        assert (transient, period) == (3, 2)
+
+    def test_fixed_point(self):
+        state = {"x": 5}
+        transient, period = detect_period(lambda: None, lambda: state["x"])
+        assert period == 1
+
+    def test_timeout(self):
+        state = {"x": 0}
+
+        def step():
+            state["x"] += 1  # never repeats
+
+        with pytest.raises(TimeoutError):
+            detect_period(step, lambda: state["x"], max_cycles=50)
+
+
+class TestSystemPeriodicity:
+    @pytest.mark.parametrize("graph,expected_period", [
+        (figure1(), 5),
+        (figure2(), 2),
+        (pipeline(3), 1),
+        # The register-state period can be a multiple of the output
+        # period: this system runs at T=2/3 with a state period of 6.
+        (reconvergent(long_relays=(2, 1), short_relays=1), 6),
+    ])
+    def test_known_periods(self, graph, expected_period):
+        _transient, period = transient_and_period(graph)
+        assert period == expected_period
+
+    def test_tree_transient_grows_with_depth(self):
+        t1, _ = transient_and_period(tree(1))
+        t3, _ = transient_and_period(tree(3))
+        assert t3 > t1
+
+
+class TestTransientEstimate:
+    """The linear predicted-upfront estimate (see EXP-D3)."""
+
+    @pytest.mark.parametrize("graph", [
+        figure1(), figure2(), pipeline(4, relays_per_hop=2),
+        tree(3), ring(3, relays_per_arc=2),
+        reconvergent(long_relays=(3, 1), short_relays=1),
+    ])
+    def test_estimate_dominates_measurement(self, graph):
+        from repro.skeleton import transient_estimate
+
+        transient, _period = transient_and_period(graph)
+        assert transient <= transient_estimate(graph)
+
+    def test_estimate_below_quadratic_bound(self):
+        from repro.skeleton import transient_bound, transient_estimate
+
+        for graph in (figure1(), tree(3), ring(3, relays_per_arc=2)):
+            assert transient_estimate(graph) <= transient_bound(graph)
+
+    def test_random_sweep_within_estimate(self):
+        """Deterministic fuzz (fixed seeds): 40 random systems."""
+        from repro.graph import random_dag, random_loopy
+        from repro.skeleton import transient_estimate
+
+        graphs = [random_dag(seed, shells=5) for seed in range(20)]
+        graphs += [random_loopy(seed, shells=4) for seed in range(20)]
+        for graph in graphs:
+            transient, _period = transient_and_period(graph)
+            assert transient <= transient_estimate(graph), graph.name
+
+    def test_tree_estimate_is_longest_path_plus_one(self):
+        from repro.analysis import longest_register_path
+        from repro.skeleton import transient_estimate
+
+        graph = tree(3, relays_per_hop=2)
+        assert transient_estimate(graph) == \
+            longest_register_path(graph) + 1
+
+
+class TestTransientBound:
+    @pytest.mark.parametrize("graph", [
+        figure1(), figure2(), pipeline(4, relays_per_hop=2),
+        tree(3), ring(3, relays_per_arc=2),
+        reconvergent(long_relays=(3, 1), short_relays=1),
+    ])
+    def test_bound_dominates_measurement(self, graph):
+        transient, _period = transient_and_period(graph)
+        assert transient <= transient_bound(graph)
+
+    def test_bound_is_cheap_to_compute(self):
+        bound = transient_bound(figure1())
+        assert isinstance(bound, int) and bound > 0

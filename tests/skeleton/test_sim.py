@@ -1,0 +1,125 @@
+"""Tests for the skeleton simulator."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.graph import figure1, figure2, pipeline, reconvergent, ring, tree
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import SkeletonSim
+
+
+class TestBasics:
+    def test_pipeline_full_rate(self):
+        sim = SkeletonSim(pipeline(3))
+        result = sim.run()
+        assert result.min_shell_throughput() == 1
+
+    def test_figure1_rate(self):
+        result = SkeletonSim(figure1()).run()
+        assert result.throughput("out") == Fraction(4, 5)
+        assert result.period == 5
+
+    def test_figure1_transient(self):
+        result = SkeletonSim(figure1()).run()
+        assert result.transient == 2
+
+    def test_figure2_rate(self):
+        result = SkeletonSim(figure2()).run()
+        assert result.min_shell_throughput() == Fraction(1, 2)
+
+    def test_throughput_unknown_name(self):
+        result = SkeletonSim(pipeline(2)).run()
+        with pytest.raises(KeyError):
+            result.throughput("nope")
+
+    def test_all_shell_rates_reported(self):
+        result = SkeletonSim(figure1()).run()
+        assert set(result.shell_fires) == {"A", "B0", "C"}
+
+    def test_fixpoint_argument_validated(self):
+        with pytest.raises(ValueError):
+            SkeletonSim(pipeline(2), fixpoint="median")
+
+
+class TestAgainstFullSimulation:
+    """Skeleton and full simulation must produce identical rates."""
+
+    @pytest.mark.parametrize("builder,kwargs", [
+        (figure1, {}),
+        (figure2, {}),
+        (ring, {"shells": 3, "relays_per_arc": 2}),
+        (reconvergent, {"long_relays": (2, 1), "short_relays": 1}),
+        (tree, {"depth": 2}),
+    ])
+    def test_rates_match(self, builder, kwargs):
+        graph = builder(**kwargs)
+        result = SkeletonSim(graph).run()
+        period = result.period
+        cycles = result.transient + 10 * period
+        system = graph.elaborate()
+        system.run(cycles)
+        for name, sink in system.sinks.items():
+            accepted = sum(
+                1 for c, _v in sink.received
+                if result.transient <= c < result.transient + 5 * period
+            )
+            assert Fraction(accepted, 5 * period) == \
+                result.throughput(name)
+
+
+class TestScripts:
+    def test_source_pattern_throttles(self):
+        sim = SkeletonSim(pipeline(2),
+                          source_patterns={"src": (True, False)})
+        result = sim.run()
+        assert result.throughput("out") == Fraction(1, 2)
+
+    def test_sink_pattern_throttles(self):
+        sim = SkeletonSim(pipeline(2),
+                          sink_patterns={"out": (False, False, True)})
+        result = sim.run()
+        assert result.throughput("out") == Fraction(2, 3)
+
+    def test_combined_patterns(self):
+        sim = SkeletonSim(
+            pipeline(2),
+            source_patterns={"src": (True, True, False)},
+            sink_patterns={"out": (False, True)},
+        )
+        result = sim.run()
+        assert result.throughput("out") == min(
+            Fraction(2, 3), Fraction(1, 2))
+
+
+class TestVariants:
+    def test_carloni_pipeline_still_full_rate(self):
+        sim = SkeletonSim(pipeline(3), variant=ProtocolVariant.CARLONI)
+        assert sim.run().min_shell_throughput() == 1
+
+    def test_variants_agree_on_steady_figure1(self):
+        casu = SkeletonSim(figure1(), variant=ProtocolVariant.CASU).run()
+        carloni = SkeletonSim(figure1(),
+                              variant=ProtocolVariant.CARLONI).run()
+        assert casu.throughput("out") == carloni.throughput("out")
+
+
+class TestStateHashing:
+    def test_state_is_hashable_and_stable(self):
+        sim = SkeletonSim(figure1())
+        first = sim.state()
+        assert hash(first) == hash(sim.state())
+        sim.step()
+        assert sim.state() != first
+
+    def test_reset_restores_initial_state(self):
+        sim = SkeletonSim(figure1())
+        initial = sim.state()
+        sim.step()
+        sim.reset()
+        assert sim.state() == initial
+
+    def test_run_timeout(self):
+        sim = SkeletonSim(pipeline(3))
+        with pytest.raises(TimeoutError):
+            sim.run(max_cycles=1)

@@ -1,0 +1,105 @@
+"""Tests for the vectorized batch skeleton simulator."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.errors import StructuralError
+from repro.graph import figure1, figure2, pipeline, ring, tree
+from repro.skeleton import BatchSkeletonSim, SkeletonSim
+
+
+class TestRestrictions:
+    def test_half_relays_rejected(self):
+        graph = ring(2, relays_per_arc=[["half"], ["full"]])
+        with pytest.raises(StructuralError, match="full relay"):
+            BatchSkeletonSim(graph, [{}])
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSkeletonSim(pipeline(2), [])
+
+
+class TestAgainstScalar:
+    """Every batch column must match a scalar run with the same script."""
+
+    @pytest.mark.parametrize("graph", [
+        pipeline(3, relays_per_hop=2), figure1(), figure2(), tree(2),
+    ])
+    def test_rates_match_scalar(self, graph):
+        patterns = [
+            {},
+            {"out": (False, True)},
+            {"out": (False, False, True)},
+        ]
+        sinks = [n.name for n in graph.sinks()]
+        patterns = [
+            {sinks[0]: p["out"]} if p else {} for p in patterns
+        ]
+        cycles = 600
+        batch = BatchSkeletonSim(graph, patterns)
+        batch.run(cycles)
+        batch_rates = batch.sink_rates()[sinks[0]]
+        for col, mapping in enumerate(patterns):
+            scalar = SkeletonSim(graph, sink_patterns=mapping,
+                                 detect_ambiguity=False)
+            accepted = 0
+            for _ in range(cycles):
+                _f, acc = scalar.step()
+                accepted += sum(acc)
+            assert accepted / cycles == pytest.approx(
+                float(batch_rates[col])), (graph.name, col)
+
+    def test_shell_fires_match_scalar(self):
+        graph = figure1()
+        batch = BatchSkeletonSim(graph, [{}])
+        batch.run(400)
+        scalar = SkeletonSim(graph, detect_ambiguity=False)
+        fires = {name: 0 for name in scalar.shell_names}
+        for _ in range(400):
+            f, _a = scalar.step()
+            for name, fired in zip(scalar.shell_names, f):
+                fires[name] += fired
+        for name, count in fires.items():
+            idx = batch.shell_names.index(name)
+            assert batch.shell_fired[idx][0] == count
+
+
+class TestSweeps:
+    def test_backpressure_sweep(self):
+        patterns = [{"out": tuple((i >> b) & 1 == 1 for b in range(3))}
+                    for i in range(8)]
+        batch = BatchSkeletonSim(pipeline(2), patterns)
+        batch.run(600)
+        rates = batch.sink_rates()["out"]
+        # Stop fraction grows with popcount; rate falls accordingly.
+        assert rates[0] == pytest.approx(1.0, abs=0.02)
+        assert rates[7] == pytest.approx(0.0, abs=0.02)
+        for i in range(8):
+            expected = 1 - bin(i).count("1") / 3
+            assert rates[i] == pytest.approx(expected, abs=0.02)
+
+    def test_stalled_instance_detection(self):
+        patterns = [{}, {"out": (True,)}]  # instance 1: stop forever
+        batch = BatchSkeletonSim(pipeline(2), patterns)
+        batch.run(300)
+        assert batch.stalled_instances() == [1]
+
+    def test_figure2_rate_in_batch(self):
+        batch = BatchSkeletonSim(figure2(), [{}])
+        batch.run(600)
+        assert batch.sink_rates()["out"][0] == pytest.approx(0.5,
+                                                             abs=0.01)
+
+    def test_requires_run_before_rates(self):
+        batch = BatchSkeletonSim(pipeline(2), [{}])
+        with pytest.raises(ValueError):
+            batch.sink_rates()
+
+    def test_reset(self):
+        batch = BatchSkeletonSim(pipeline(2), [{}])
+        batch.run(50)
+        batch.reset()
+        assert batch.cycle == 0
+        assert int(batch.shell_fired.sum()) == 0

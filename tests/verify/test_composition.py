@@ -1,0 +1,119 @@
+"""Tests for compositional chain verification."""
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify.composition import verify_all_chains, verify_chain
+
+
+class TestSingleStations:
+    @pytest.mark.parametrize("kind", ["full", "half", "half-registered"])
+    def test_singleton_chain_matches_block_campaign(self, kind):
+        assert verify_chain([kind]).holds
+
+
+class TestChains:
+    @pytest.mark.parametrize("kinds", [
+        ["full", "full"],
+        ["full", "half"],
+        ["half", "full"],
+        ["half", "half"],
+        ["full", "half", "full"],
+        ["half", "half", "half"],
+        ["half-registered", "full", "half"],
+    ])
+    def test_chain_preserves_contract(self, kinds):
+        result = verify_chain(kinds)
+        assert result.holds, result.counterexample and \
+            result.counterexample.render()
+
+    @pytest.mark.parametrize("kinds", [
+        ["full", "full"],
+        ["half", "half"],
+    ])
+    def test_chains_under_original_protocol(self, kinds):
+        assert verify_chain(kinds, ProtocolVariant.CARLONI).holds
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ValueError):
+            verify_chain([])
+
+    def test_unknown_station_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown station kind"):
+            verify_chain(["bogus"])
+
+    def test_state_space_grows_with_length(self):
+        short = verify_chain(["full"])
+        long = verify_chain(["full", "full", "full"])
+        assert long.states_explored > short.states_explored
+
+
+class TestExhaustiveSweep:
+    def test_all_pairs_pass(self):
+        results = verify_all_chains(max_length=2)
+        assert len(results) == 3 + 9
+        assert all(res.holds for _combo, res in results)
+
+    def test_all_triples_pass(self):
+        results = verify_all_chains(max_length=3)
+        assert len(results) == 3 + 9 + 27
+        assert all(res.holds for _combo, res in results)
+
+
+class TestShellHeadedChains:
+    @pytest.mark.parametrize("kinds", [
+        ["full"],
+        ["half"],
+        ["full", "half"],
+        ["half", "full"],
+        ["half-registered", "full"],
+        ["full", "full", "half"],
+    ])
+    def test_shell_plus_fabric_preserves_contract(self, kinds):
+        from repro.verify.composition import verify_shell_chain
+
+        result = verify_shell_chain(kinds)
+        assert result.holds, result.counterexample and \
+            result.counterexample.render()
+
+    def test_shell_chain_under_original_protocol(self):
+        from repro.verify.composition import verify_shell_chain
+
+        result = verify_shell_chain(["full"],
+                                    ProtocolVariant.CARLONI)
+        assert result.holds
+
+    def test_mutated_shell_hold_detected(self, monkeypatch):
+        """Break the hold in the shell logic via the variant hook and
+        watch it surface at the chain's tail."""
+        from repro.lid.variant import ProtocolVariant as PV
+        from repro.verify.composition import verify_shell_chain
+
+        monkeypatch.setattr(
+            PV, "output_blocked",
+            lambda self, stop, valid: False)  # shell ignores stops
+        result = verify_shell_chain(["full"])
+        assert not result.holds
+
+
+class TestMutationCaught:
+    def test_broken_middle_station_detected(self, monkeypatch):
+        """A corrupted station anywhere in the chain surfaces at the
+        tail monitors — composition does not mask local bugs."""
+        from repro.verify import fsm
+
+        original = fsm.half_rs_step
+
+        def broken(state, in_tok, stop_in, variant=None,
+                   registered_stop=False):
+            nxt = original(state, in_tok, stop_in,
+                           variant or ProtocolVariant.CASU,
+                           registered_stop)
+            if nxt.main is not None:
+                return fsm.HalfRsState(main=(nxt.main * 3) % 8)
+            return nxt
+
+        monkeypatch.setattr(fsm, "half_rs_step", broken)
+        result = verify_chain(["full", "half", "full"])
+        assert not result.holds
+        assert result.counterexample is not None

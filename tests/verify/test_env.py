@@ -1,0 +1,62 @@
+"""Tests for the verification environments."""
+
+from repro.verify.env import (
+    PAYLOAD_MODULUS,
+    CooperativeDownstream,
+    DownstreamState,
+    EagerUpstream,
+    UpstreamState,
+)
+
+
+class TestUpstream:
+    def test_free_choice_initially(self):
+        up = UpstreamState()
+        assert up.choices() == [None, 0]
+
+    def test_committed_must_resend(self):
+        up = UpstreamState().after(0, stop_out=True)
+        assert up.committed
+        assert up.choices() == [0]
+
+    def test_advance_on_acceptance(self):
+        up = UpstreamState().after(0, stop_out=False)
+        assert up.k == 1 and not up.committed
+
+    def test_void_does_not_advance(self):
+        up = UpstreamState().after(None, stop_out=False)
+        assert up.k == 0
+
+    def test_wraparound(self):
+        up = UpstreamState(k=PAYLOAD_MODULUS - 1)
+        assert up.after(up.k, False).k == 0
+
+    def test_hold_then_release(self):
+        up = UpstreamState()
+        up = up.after(0, True)   # stopped: hold
+        up = up.after(0, True)   # still stopped
+        assert up.k == 0
+        up = up.after(0, False)  # finally accepted
+        assert up.k == 1 and not up.committed
+
+
+class TestDownstream:
+    def test_arbitrary_choices(self):
+        assert DownstreamState.choices() == (False, True)
+
+    def test_cooperative_never_stops(self):
+        assert CooperativeDownstream.choices() == (False,)
+
+
+class TestEagerUpstream:
+    def test_always_offers(self):
+        up = EagerUpstream()
+        assert up.choices() == [0]
+
+    def test_advances_on_acceptance(self):
+        up = EagerUpstream().after(0, stop_out=False)
+        assert up.k == 1
+
+    def test_holds_on_stop(self):
+        up = EagerUpstream().after(0, stop_out=True)
+        assert up.k == 0

@@ -1,0 +1,142 @@
+"""Tests for the spec FSMs."""
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify.fsm import (
+    FullRsState,
+    HalfRsState,
+    ShellState,
+    full_rs_outputs,
+    full_rs_step,
+    half_rs_step,
+    half_rs_stop_out,
+    shell_fire,
+    shell_input_stops,
+    shell_step,
+)
+
+CASU = ProtocolVariant.CASU
+CARLONI = ProtocolVariant.CARLONI
+
+
+class TestFullRs:
+    def test_initial_empty(self):
+        state = FullRsState()
+        out, stop = full_rs_outputs(state)
+        assert out is None and stop is False
+        assert state.occupancy == 0
+
+    def test_accepts_into_main(self):
+        state = full_rs_step(FullRsState(), 5, stop_in=False)
+        assert state.main == 5 and state.aux is None
+
+    def test_streams_through(self):
+        state = FullRsState(main=1)
+        state = full_rs_step(state, 2, stop_in=False)
+        assert state.main == 2
+
+    def test_stop_absorbs_in_flight_into_aux(self):
+        state = FullRsState(main=1)
+        state = full_rs_step(state, 2, stop_in=True)
+        assert state == FullRsState(main=1, aux=2, stop_reg=True)
+
+    def test_full_station_holds_under_stop(self):
+        state = FullRsState(main=1, aux=2, stop_reg=True)
+        assert full_rs_step(state, None, stop_in=True) == state
+
+    def test_drain_after_stop(self):
+        state = FullRsState(main=1, aux=2, stop_reg=True)
+        state = full_rs_step(state, None, stop_in=False)
+        assert state == FullRsState(main=2, aux=None, stop_reg=False)
+
+    def test_stop_reg_blocks_acceptance(self):
+        state = FullRsState(main=1, aux=2, stop_reg=True)
+        nxt = full_rs_step(state, 9, stop_in=True)
+        assert nxt.aux == 2  # the offered 9 is ignored (upstream holds)
+
+    def test_void_input_drains_main(self):
+        state = FullRsState(main=3)
+        nxt = full_rs_step(state, None, stop_in=False)
+        assert nxt.main is None
+
+    def test_immutability(self):
+        state = FullRsState(main=1)
+        full_rs_step(state, 2, False)
+        assert state.main == 1
+
+
+class TestHalfRs:
+    def test_transparent_stop_casu(self):
+        assert half_rs_stop_out(HalfRsState(main=1), True, CASU) is True
+        assert half_rs_stop_out(HalfRsState(), True, CASU) is False
+        assert half_rs_stop_out(HalfRsState(main=1), False, CASU) is False
+
+    def test_transparent_stop_carloni(self):
+        assert half_rs_stop_out(HalfRsState(), True, CARLONI) is True
+
+    def test_registered_stop_tracks_occupancy(self):
+        assert half_rs_stop_out(HalfRsState(main=1), False,
+                                CASU, registered_stop=True) is True
+        assert half_rs_stop_out(HalfRsState(), True,
+                                CASU, registered_stop=True) is False
+
+    def test_accept_and_hold(self):
+        state = half_rs_step(HalfRsState(), 4, stop_in=False)
+        assert state.main == 4
+        held = half_rs_step(state, 5, stop_in=True)
+        assert held.main == 4  # stop_out told upstream to hold 5
+
+    def test_flow_through(self):
+        state = HalfRsState(main=1)
+        state = half_rs_step(state, 2, stop_in=False)
+        assert state.main == 2
+
+    def test_registered_variant_skips_cycle(self):
+        # Occupied + registered stop: the input cannot enter even when
+        # the output drains -> a bubble follows every token.
+        state = HalfRsState(main=1)
+        nxt = half_rs_step(state, 2, stop_in=False, registered_stop=True)
+        assert nxt.main is None
+
+
+class TestShell:
+    def test_fire_requires_all_inputs(self):
+        state = ShellState(out=(None,))
+        assert not shell_fire(state, (None,), (False,))
+        assert shell_fire(state, (3,), (False,))
+
+    def test_casu_ignores_stop_on_void_output(self):
+        state = ShellState(out=(None,))
+        assert shell_fire(state, (1,), (True,), CASU)
+        assert not shell_fire(state, (1,), (True,), CARLONI)
+
+    def test_blocked_by_stop_on_valid_output(self):
+        state = ShellState(out=(7,))
+        assert not shell_fire(state, (1,), (True,), CASU)
+
+    def test_input_stops_on_stall(self):
+        state = ShellState(out=(7,))
+        stops = shell_input_stops(state, (1, None), (True,), CASU)
+        assert stops == (True, False)  # void input spared under CASU
+
+    def test_input_stops_carloni_spread(self):
+        state = ShellState(out=(7,))
+        stops = shell_input_stops(state, (1, None), (True,), CARLONI)
+        assert stops == (True, True)
+
+    def test_step_fires_and_replicates(self):
+        state = ShellState(out=(None, None))
+        nxt = shell_step(state, (3,), (False, False))
+        assert nxt.out == (3, 3)
+        assert nxt.fired == 1
+
+    def test_step_holds_stopped_output(self):
+        state = ShellState(out=(7, 7))
+        nxt = shell_step(state, (None,), (True, False))
+        assert nxt.out == (7, None)  # held vs consumed
+
+    def test_payload_modulus(self):
+        state = ShellState(out=(None,))
+        nxt = shell_step(state, (9,), (False,), modulus=8)
+        assert nxt.out == (1,)

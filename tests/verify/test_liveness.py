@@ -1,0 +1,45 @@
+"""Dedicated tests for block-level progress checking."""
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify.liveness import ProgressResult, check_progress
+
+
+class TestProgress:
+    @pytest.mark.parametrize("kind", ["full", "half", "half-registered"])
+    @pytest.mark.parametrize("variant", list(ProtocolVariant))
+    def test_all_flavours_progress(self, kind, variant):
+        result = check_progress(kind, variant)
+        assert result.holds, result.stuck_state
+
+    def test_result_metadata(self):
+        result = check_progress("full", bound=6)
+        assert isinstance(result, ProgressResult)
+        assert result.bound == 6
+        assert result.states_explored > 0
+        assert "full relay station" in result.block
+
+    def test_tight_bound_still_passes(self):
+        # A full station drains within 3 cooperative cycles from any
+        # reachable state (2 buffered tokens + 1 margin).
+        result = check_progress("full", bound=3)
+        assert result.holds
+
+    def test_half_registered_needs_more_cycles(self):
+        # The conservative registered stop inserts bubbles, so a
+        # depth-1 bound is not enough to witness an emission from the
+        # just-drained state.
+        generous = check_progress("half-registered", bound=4)
+        assert generous.holds
+
+    def test_mutated_block_gets_stuck(self, monkeypatch):
+        from repro.verify import fsm
+
+        def frozen(state, in_tok, stop_in, variant=None):
+            return state  # never moves: a clock-gating bug
+
+        monkeypatch.setattr(fsm, "full_rs_step", frozen)
+        result = check_progress("full")
+        assert not result.holds
+        assert result.stuck_state is not None

@@ -1,0 +1,134 @@
+"""Tests for the LTL layer."""
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify.ltl import (
+    And,
+    Implies,
+    Not,
+    Or,
+    Prop,
+    TransitionSystem,
+    block_transition_system,
+    eventually_emits,
+    held_token_reappears,
+)
+
+
+def counter_ts(modulus):
+    return TransitionSystem(
+        [0], lambda s: [(s + 1) % modulus])
+
+
+class TestConnectives:
+    even = Prop("even", lambda s: s % 2 == 0)
+    small = Prop("small", lambda s: s < 3)
+
+    def test_not(self):
+        assert Not(self.even)(1)
+        assert not Not(self.even)(2)
+
+    def test_and_or(self):
+        both = And(self.even, self.small)
+        assert both(2) and not both(4) and not both(1)
+        either = Or(self.even, self.small)
+        assert either(1) and either(4) and not either(5)
+
+    def test_implies(self):
+        imp = Implies(self.even, self.small)
+        assert imp(1)      # antecedent false
+        assert imp(2)      # both hold
+        assert not imp(4)  # 4 even but not small
+
+    def test_repr_readable(self):
+        assert "even" in repr(And(self.even, self.small))
+
+
+class TestCheckers:
+    def test_G_holds(self):
+        ts = counter_ts(5)
+        result = ts.check_G(Prop("lt5", lambda s: s < 5))
+        assert result.holds
+        assert result.states_explored == 5
+
+    def test_G_fails_with_witness(self):
+        ts = counter_ts(5)
+        result = ts.check_G(Prop("lt4", lambda s: s < 4))
+        assert not result.holds
+        assert result.witness == [4]
+
+    def test_G_implies_X(self):
+        ts = counter_ts(4)
+        # After state 1 always comes state 2.
+        result = ts.check_G_implies_X(
+            Prop("is1", lambda s: s == 1), Prop("is2", lambda s: s == 2))
+        assert result.holds
+
+    def test_G_implies_X_fails(self):
+        ts = counter_ts(4)
+        result = ts.check_G_implies_X(
+            Prop("is1", lambda s: s == 1), Prop("is3", lambda s: s == 3))
+        assert not result.holds
+        assert result.witness == [1, 2]
+
+    def test_GF_holds_on_cycle_through_p(self):
+        ts = counter_ts(6)
+        result = ts.check_GF(Prop("is0", lambda s: s == 0))
+        assert result.holds
+
+    def test_GF_fails_on_avoiding_cycle(self):
+        # Two components: from 0 we can enter a 2-3 cycle avoiding 0.
+        def succ(s):
+            return {0: [1], 1: [2], 2: [3], 3: [2]}[s]
+
+        ts = TransitionSystem([0], succ)
+        result = ts.check_GF(Prop("is0", lambda s: s == 0))
+        assert not result.holds
+        assert set(result.witness) <= {2, 3}
+
+    def test_state_budget(self):
+        ts = TransitionSystem([0], lambda s: [s + 1])
+        with pytest.raises(MemoryError):
+            ts.check_G(Prop("t", lambda s: True), max_states=50)
+
+
+class TestBlockProperties:
+    @pytest.mark.parametrize("kind", ["full", "half", "half-registered"])
+    def test_hold_in_ltl(self, kind):
+        result = held_token_reappears(kind)
+        assert result.holds, result.witness
+
+    @pytest.mark.parametrize("kind", ["full", "half", "half-registered"])
+    def test_recurrent_emission(self, kind):
+        result = eventually_emits(kind)
+        assert result.holds, result.witness
+
+    def test_block_transition_system_explores(self):
+        ts = block_transition_system("full")
+        result = ts.check_G(Prop(
+            "occupancy<=2", lambda s: s[0].occupancy <= 2))
+        assert result.holds
+
+    def test_carloni_blocks_also_pass(self):
+        for kind in ("full", "half"):
+            assert held_token_reappears(
+                kind, ProtocolVariant.CARLONI).holds
+
+    def test_mutated_block_fails_hold(self, monkeypatch):
+        from repro.verify import fsm
+
+        original = fsm.full_rs_step
+
+        def broken(state, in_tok, stop_in, variant=None):
+            nxt = original(state, in_tok, stop_in,
+                           variant or ProtocolVariant.CASU)
+            if stop_in and nxt.main is not None:
+                import dataclasses
+
+                return dataclasses.replace(
+                    nxt, main=(nxt.main + 1) % 8)  # corrupt held token
+            return nxt
+
+        monkeypatch.setattr(fsm, "full_rs_step", broken)
+        assert not held_token_reappears("full").holds

@@ -1,0 +1,102 @@
+"""Tests for the safety monitors."""
+
+import pytest
+
+from repro.verify.env import PAYLOAD_MODULUS
+from repro.verify.monitors import (
+    CoherenceMonitor,
+    HoldMonitor,
+    NoSpuriousValidMonitor,
+    OrderMonitor,
+    Violation,
+)
+
+
+class TestOrderMonitor:
+    def test_accepts_ordered_stream(self):
+        mon = OrderMonitor()
+        for k in range(2 * PAYLOAD_MODULUS):
+            mon = mon.advance(k % PAYLOAD_MODULUS, stop_in=False)
+
+    def test_void_cycles_ignored(self):
+        mon = OrderMonitor()
+        mon = mon.advance(None, False)
+        mon = mon.advance(0, False)
+        assert mon.expected == 1
+
+    def test_stopped_cycles_not_consumed(self):
+        mon = OrderMonitor()
+        mon = mon.advance(0, stop_in=True)  # presented but held
+        assert mon.expected == 0
+        mon = mon.advance(0, stop_in=False)
+        assert mon.expected == 1
+
+    def test_skip_detected(self):
+        mon = OrderMonitor()
+        mon = mon.advance(0, False)
+        with pytest.raises(Violation, match="out-of-order"):
+            mon.advance(2, False)
+
+    def test_duplicate_detected(self):
+        mon = OrderMonitor()
+        mon = mon.advance(0, False)
+        with pytest.raises(Violation):
+            mon.advance(0, False)
+
+
+class TestHoldMonitor:
+    def test_hold_respected(self):
+        mon = HoldMonitor()
+        mon = mon.advance(5, stop_in=True)
+        mon = mon.advance(5, stop_in=False)  # same token reappears: ok
+        assert mon.held is None
+
+    def test_change_under_hold_detected(self):
+        mon = HoldMonitor().advance(5, stop_in=True)
+        with pytest.raises(Violation, match="not held"):
+            mon.advance(6, stop_in=False)
+
+    def test_drop_under_hold_detected(self):
+        mon = HoldMonitor().advance(5, stop_in=True)
+        with pytest.raises(Violation):
+            mon.advance(None, stop_in=False)
+
+    def test_void_with_stop_not_held(self):
+        mon = HoldMonitor().advance(None, stop_in=True)
+        mon.advance(3, stop_in=False)  # free to change
+
+
+class TestCoherenceMonitor:
+    def test_lockstep_ok(self):
+        mon = CoherenceMonitor()
+        mon.advance((3, 3))
+
+    def test_divergence_detected(self):
+        with pytest.raises(Violation, match="lockstep"):
+            CoherenceMonitor().advance((3, 4))
+
+    def test_single_input_trivial(self):
+        CoherenceMonitor().advance((7,))
+
+
+class TestBalanceMonitor:
+    def test_normal_flow(self):
+        mon = NoSpuriousValidMonitor()
+        mon = mon.advance(True, False)   # +1
+        mon = mon.advance(False, True)   # -1
+        assert mon.balance == 0
+
+    def test_emission_without_input_detected(self):
+        with pytest.raises(Violation, match="no corresponding input"):
+            NoSpuriousValidMonitor().advance(False, True)
+
+    def test_capacity_overflow_detected(self):
+        mon = NoSpuriousValidMonitor(limit=2)
+        mon = mon.advance(True, False)
+        mon = mon.advance(True, False)
+        with pytest.raises(Violation, match="capacity"):
+            mon.advance(True, False)
+
+    def test_initial_token_credit(self):
+        mon = NoSpuriousValidMonitor(balance=1)
+        mon.advance(False, True)  # the initial token leaves

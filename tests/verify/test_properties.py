@@ -1,0 +1,127 @@
+"""Tests for the paper's verification campaign (EXP-V1 backing)."""
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify import (
+    check_progress,
+    results_table,
+    verify_all,
+    verify_relay_station,
+    verify_shell,
+)
+
+CASU = ProtocolVariant.CASU
+CARLONI = ProtocolVariant.CARLONI
+
+
+class TestRelayStationProperties:
+    @pytest.mark.parametrize("kind", ["full", "half", "half-registered"])
+    def test_all_properties_hold_casu(self, kind):
+        for row in verify_relay_station(kind, CASU):
+            assert row.holds, row.counterexample and \
+                row.counterexample.render()
+
+    @pytest.mark.parametrize("kind", ["full", "half"])
+    def test_all_properties_hold_carloni(self, kind):
+        for row in verify_relay_station(kind, CARLONI):
+            assert row.holds
+
+    def test_three_paper_properties_reported(self):
+        rows = verify_relay_station("full")
+        assert [r.prop for r in rows] == [
+            "produces outputs in the correct order",
+            "does not skip any valid output",
+            "keeps its output on asserted stops",
+        ]
+
+    def test_states_explored_positive(self):
+        rows = verify_relay_station("full")
+        assert all(r.states_explored > 0 for r in rows)
+
+
+class TestShellProperties:
+    @pytest.mark.parametrize("n_in,n_out", [(1, 1), (2, 1), (1, 2), (2, 2)])
+    def test_all_properties_hold(self, n_in, n_out):
+        for row in verify_shell(n_in, n_out, CASU):
+            assert row.holds, row.counterexample and \
+                row.counterexample.render()
+
+    def test_carloni_shell_also_safe(self):
+        # The original protocol is slower, not unsafe.
+        for row in verify_shell(1, 1, CARLONI):
+            assert row.holds
+
+    def test_coherence_is_first_property(self):
+        rows = verify_shell(2, 1)
+        assert rows[0].prop == "elaborates coherent data"
+
+    @pytest.mark.parametrize("n_in,n_out", [(3, 1), (2, 3), (3, 2)])
+    def test_wider_shells_also_safe(self, n_in, n_out):
+        for row in verify_shell(n_in, n_out, CASU):
+            assert row.holds, (n_in, n_out, row.prop)
+
+
+class TestCampaign:
+    def test_verify_all_passes(self):
+        rows = verify_all()
+        assert len(rows) >= 17
+        assert all(r.holds for r in rows)
+
+    def test_results_table_renders(self):
+        rows = verify_all()
+        text = results_table(rows)
+        assert "PASS" in text and "FAIL" not in text
+        assert "relay station" in text and "shell" in text
+
+
+class TestProgress:
+    @pytest.mark.parametrize("kind", ["full", "half", "half-registered"])
+    def test_no_block_level_livelock(self, kind):
+        result = check_progress(kind)
+        assert result.holds, result.stuck_state
+
+    def test_progress_reports_state_count(self):
+        assert check_progress("full").states_explored > 0
+
+
+class TestMutationCatching:
+    """The campaign must actually catch broken blocks (mutation test)."""
+
+    def test_broken_hold_detected(self, monkeypatch):
+        from repro.verify import fsm
+
+        original = fsm.full_rs_step
+
+        def broken(state, in_tok, stop_in, variant=None):
+            nxt = original(state, in_tok, stop_in,
+                           variant or ProtocolVariant.CASU)
+            # Mutation: drop the held token when stopped while full.
+            if stop_in and nxt.aux is not None:
+                import dataclasses
+
+                return dataclasses.replace(nxt, main=None)
+            return nxt
+
+        monkeypatch.setattr(fsm, "full_rs_step", broken)
+        rows = verify_relay_station("full")
+        assert not all(r.holds for r in rows)
+
+    def test_reordering_detected(self, monkeypatch):
+        from repro.verify import fsm
+
+        original = fsm.half_rs_step
+
+        def broken(state, in_tok, stop_in, variant=None,
+                   registered_stop=False):
+            nxt = original(state, in_tok, stop_in,
+                           variant or ProtocolVariant.CASU,
+                           registered_stop)
+            # Mutation: spuriously re-emit token 0 forever.
+            if nxt.main is None:
+                return fsm.HalfRsState(main=0)
+            return nxt
+
+        monkeypatch.setattr(fsm, "half_rs_step", broken)
+        rows = verify_relay_station("half")
+        assert not all(r.holds for r in rows)

@@ -1,0 +1,74 @@
+"""Tests for the refinement-checking library API."""
+
+import pytest
+
+from repro.lid.variant import ProtocolVariant
+from repro.verify import (
+    RefinementResult,
+    check_refinement_stack,
+    cosimulate_relay_netlist,
+    cosimulate_relay_spec,
+)
+
+
+class TestSpecCosimulation:
+    @pytest.mark.parametrize("kind", ["full", "half", "half-registered"])
+    @pytest.mark.parametrize("variant", list(ProtocolVariant))
+    def test_behavioural_refines_spec(self, kind, variant):
+        result = cosimulate_relay_spec(kind, seed=3, cycles=300,
+                                       variant=variant)
+        assert result.equivalent, result.divergence
+
+    def test_result_metadata(self):
+        result = cosimulate_relay_spec("full", cycles=100)
+        assert result.cycles == 100
+        assert "behavioural vs spec" in result.levels
+        assert bool(result)
+
+    def test_mutation_produces_divergence_report(self, monkeypatch):
+        from repro.verify import fsm
+
+        original = fsm.full_rs_step
+
+        def broken(state, in_tok, stop_in, variant=None):
+            nxt = original(state, in_tok, stop_in,
+                           variant or ProtocolVariant.CASU)
+            if nxt.main is not None and stop_in:
+                import dataclasses
+
+                return dataclasses.replace(nxt, main=(nxt.main + 1) % 50)
+            return nxt
+
+        monkeypatch.setattr(fsm, "full_rs_step", broken)
+        result = cosimulate_relay_spec("full", seed=1, cycles=300)
+        assert not result.equivalent
+        assert result.divergence is not None
+        assert "cycle" in result.divergence
+
+
+class TestNetlistCosimulation:
+    @pytest.mark.parametrize("kind", ["full", "half"])
+    @pytest.mark.parametrize("variant", list(ProtocolVariant))
+    def test_netlist_refines_spec(self, kind, variant):
+        result = cosimulate_relay_netlist(kind, seed=5, cycles=300,
+                                          variant=variant)
+        assert result.equivalent, result.divergence
+
+    def test_ablation_variant_has_no_netlist(self):
+        with pytest.raises(ValueError):
+            cosimulate_relay_netlist("half-registered")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            cosimulate_relay_spec("quarter")
+
+
+class TestCampaign:
+    def test_full_stack_equivalent(self):
+        results = check_refinement_stack(seeds=(0,), cycles=200)
+        assert len(results) == 2 * (3 + 2)  # variants x (spec + netlist)
+        assert all(r.equivalent for r in results)
+
+    def test_results_are_refinement_results(self):
+        results = check_refinement_stack(seeds=(0,), cycles=50)
+        assert all(isinstance(r, RefinementResult) for r in results)
