@@ -66,6 +66,70 @@ def test_bench_batch_skeleton(benchmark, batch):
     benchmark(run)
 
 
+def test_bench_sweep_speedup(benchmark, emit):
+    """EXP-D2b: 64-instance stop-script sweep, scalar loop vs the
+    vectorized backend behind ``repro.skeleton.backend.select``.
+
+    The acceptance bar for the generalized engine: a design-space sweep
+    over 64 back-pressure scripts must cost roughly one scalar run —
+    at least 20x faster than looping the scalar engine, with identical
+    (bit-exact) per-instance counts.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.bench.tables import format_table
+    from repro.lid.variant import DEFAULT_VARIANT
+    from repro.skeleton.backend import select
+
+    graph = pipeline(8, relays_per_hop=2)
+    patterns = [
+        {"out": tuple((i >> b) & 1 == 1 for b in range(6))}
+        for i in range(64)
+    ]
+    cycles = 400
+
+    def once(backend):
+        start = time.perf_counter()
+        handle = select(graph, DEFAULT_VARIANT, sink_patterns=patterns,
+                        detect_ambiguity=False, backend=backend)
+        handle.run_cycles(cycles)
+        return time.perf_counter() - start, handle
+
+    def measure():
+        once("vectorized")  # warm numpy dispatch paths
+        scalar_times, vec_times = [], []
+        for _ in range(3):
+            t_s, scalar = once("scalar")
+            t_v, vec = once("vectorized")
+            assert np.array_equal(np.asarray(scalar.accept_counts()),
+                                  np.asarray(vec.accept_counts()))
+            assert np.array_equal(np.asarray(scalar.fire_counts()),
+                                  np.asarray(vec.fire_counts()))
+            scalar_times.append(t_s)
+            vec_times.append(t_v)
+        return min(scalar_times), min(vec_times)
+
+    scalar_s, vec_s = benchmark.pedantic(measure, rounds=1,
+                                         iterations=1)
+    speedup = scalar_s / vec_s
+    table = format_table(
+        ("backend", "total", "per instance", "speedup"),
+        [
+            ("scalar loop", f"{scalar_s * 1e3:.1f} ms",
+             f"{scalar_s / 64 * 1e3:.2f} ms", "1.0x"),
+            ("vectorized", f"{vec_s * 1e3:.1f} ms",
+             f"{vec_s / 64 * 1e3:.2f} ms", f"{speedup:.1f}x"),
+        ],
+        title=f"64-instance stop-script sweep ({graph.name}, "
+              f"{cycles} cycles, best of 3)",
+    )
+    emit("EXP-D2b-sweep-speedup", table)
+    assert speedup >= 20.0, (
+        f"vectorized sweep only {speedup:.1f}x faster than scalar loop")
+
+
 def test_bench_batch_amortization(benchmark, emit):
     """The figure-style series: scalar vs batch cost per instance."""
     import time

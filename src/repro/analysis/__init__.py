@@ -12,6 +12,7 @@ from .report import SystemReport, analyze, classify
 from .sweep import (
     SERIES_GENERATORS,
     Series,
+    backpressure_series,
     imbalance_series,
     loop_series,
     stop_activity_series,
@@ -25,6 +26,7 @@ from .throughput import (
     reconvergence_pairs,
     reconvergent_throughput,
     static_system_throughput,
+    throughput_sweep,
     tree_throughput,
 )
 from .transient import (
@@ -44,6 +46,7 @@ __all__ = [
     "analyze_loops",
     "analyze_reconvergence",
     "analyze_transient",
+    "backpressure_series",
     "classify",
     "effective_throughput",
     "first_full_speed_cycle",
@@ -60,6 +63,7 @@ __all__ = [
     "reconvergent_throughput",
     "static_system_throughput",
     "stop_activity_series",
+    "throughput_sweep",
     "transient_series",
     "tree_throughput",
 ]

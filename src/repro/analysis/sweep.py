@@ -109,24 +109,63 @@ def stop_activity_series(
     duty_steps: int = 4,
     cycles: int = 200,
 ) -> Series:
-    """Stop assertions per cycle vs sink stop duty cycle."""
-    from ..skeleton import SkeletonSim
+    """Stop assertions per cycle vs sink stop duty cycle.
+
+    All duty points share one topology, so the whole curve is a single
+    batched run through :func:`repro.skeleton.backend.select` — one
+    instance per duty level.
+    """
+    from ..skeleton import select
 
     graph = reconvergent(long_relays=(2, 1), short_relays=1)
-    points: List[Tuple[object, object]] = []
-    for k in range(duty_steps + 1):
-        pattern = tuple(i < k for i in range(duty_steps))
-        sim = SkeletonSim(graph, variant=variant,
-                          sink_patterns={"out": pattern},
-                          detect_ambiguity=False)
-        for _ in range(cycles):
-            sim.step()
-        points.append((Fraction(k, duty_steps),
-                       Fraction(sim.stop_assertions_total, cycles)))
+    patterns = [
+        {"out": tuple(i < k for i in range(duty_steps))}
+        for k in range(duty_steps + 1)
+    ]
+    handle = select(graph, variant, sink_patterns=patterns,
+                    detect_ambiguity=False)
+    handle.run_cycles(cycles)
+    totals = handle.stop_assertion_counts()
+    points: List[Tuple[object, object]] = [
+        (Fraction(k, duty_steps), Fraction(int(totals[k]), cycles))
+        for k in range(duty_steps + 1)
+    ]
     return Series(
         name=f"stop activity ({variant})",
         x_label="sink stop duty cycle",
         y_label="stop assertions per cycle",
+        points=points,
+    )
+
+
+def backpressure_series(
+    duty_steps: int = 8,
+    stages: int = 4,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+) -> Series:
+    """Delivered throughput vs sink stop duty cycle, exact fractions.
+
+    The design-space question the paper answers with skeleton sweeps:
+    how much back pressure can the system absorb before the delivery
+    rate drops?  One vectorized run covers every duty level.
+    """
+    from .throughput import throughput_sweep
+
+    graph = pipeline(stages, relays_per_hop=1)
+    patterns = [
+        {"out": tuple(i < k for i in range(duty_steps))}
+        for k in range(duty_steps)
+    ]
+    sweeps = throughput_sweep(graph, sink_patterns=patterns,
+                              variant=variant)
+    points: List[Tuple[object, object]] = [
+        (Fraction(k, duty_steps), rates["out"])
+        for k, rates in enumerate(sweeps)
+    ]
+    return Series(
+        name=f"back-pressure sweep ({stages}-stage pipeline)",
+        x_label="sink stop duty cycle",
+        y_label="delivered throughput",
         points=points,
     )
 
@@ -137,4 +176,5 @@ SERIES_GENERATORS: dict = {
     "imbalance": imbalance_series,
     "transient": transient_series,
     "stop-activity": stop_activity_series,
+    "backpressure": backpressure_series,
 }

@@ -158,6 +158,44 @@ def analyze_loops(graph: SystemGraph) -> Dict[Tuple[str, ...], Fraction]:
     return result
 
 
+def throughput_sweep(
+    graph: SystemGraph,
+    sink_patterns: Optional[Sequence[Dict[str, Sequence[bool]]]] = None,
+    source_patterns: Optional[Sequence[Dict[str, Sequence[bool]]]] = None,
+    variant=None,
+    max_cycles: int = 10_000,
+    backend: str = "auto",
+) -> List[Dict[str, Fraction]]:
+    """Exact steady-state rates for a whole scenario sweep at once.
+
+    One topology, many environment scripts: each entry of
+    *sink_patterns* / *source_patterns* describes one instance of the
+    design-space sweep (back-pressure scripts, source availability).
+    The simulation runs through :func:`repro.skeleton.backend.select`,
+    so a wide sweep costs roughly one scalar run (the paper's
+    "absolutely negligible" skeleton cost, vectorized); results are
+    exact fractions per shell and sink, per instance.
+    """
+    from ..lid.variant import DEFAULT_VARIANT
+    from ..skeleton.backend import select
+
+    handle = select(graph, variant or DEFAULT_VARIANT,
+                    source_patterns=source_patterns,
+                    sink_patterns=sink_patterns,
+                    detect_ambiguity=False, backend=backend)
+    sweeps: List[Dict[str, Fraction]] = []
+    for result in handle.run(max_cycles=max_cycles):
+        rates: Dict[str, Fraction] = {}
+        for name, fires in result.shell_fires.items():
+            rates[name] = (Fraction(fires, result.period)
+                           if result.period else Fraction(0))
+        for name, accepts in result.sink_accepts.items():
+            rates[name] = (Fraction(accepts, result.period)
+                           if result.period else Fraction(0))
+        sweeps.append(rates)
+    return sweeps
+
+
 def effective_throughput(
     graph: SystemGraph,
     source_rates: Optional[Dict[str, Fraction]] = None,

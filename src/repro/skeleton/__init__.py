@@ -1,5 +1,11 @@
 """Skeleton (valid/stop-only) simulation, periodicity and deadlock tools."""
 
+from .backend import (
+    ScalarBackend,
+    VectorizedBackend,
+    select,
+    vectorized_supported,
+)
 from .deadlock import DeadlockVerdict, check_deadlock, is_deadlock_free_class
 from .fast import CostComparison, compare_cost, measure_throughput, system_throughput
 from .periodicity import (
@@ -15,15 +21,19 @@ __all__ = [
     "BatchSkeletonSim",
     "CostComparison",
     "DeadlockVerdict",
+    "ScalarBackend",
     "SkeletonResult",
     "SkeletonSim",
+    "VectorizedBackend",
     "check_deadlock",
     "compare_cost",
     "detect_period",
     "is_deadlock_free_class",
     "measure_throughput",
+    "select",
     "system_throughput",
     "transient_and_period",
     "transient_bound",
     "transient_estimate",
+    "vectorized_supported",
 ]

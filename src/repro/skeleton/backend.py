@@ -1,0 +1,250 @@
+"""Unified backend selection for skeleton simulation.
+
+Two engines implement the exact same valid/stop semantics:
+
+* :class:`~repro.skeleton.sim.SkeletonSim` — the scalar reference,
+  one Python object per instance;
+* :class:`~repro.skeleton.vectorized.BatchSkeletonSim` — numpy
+  bit-matrix state, all instances of a sweep as columns.
+
+:func:`select` hides the choice: callers describe *what* to simulate
+(a topology, a protocol variant, and one script set per instance) and
+get back a handle with a backend-independent interface.  The
+differential conformance suite (``tests/skeleton/
+test_backend_conformance.py``) is the contract that keeps the two
+engines interchangeable — any future engine must join that suite
+before :func:`select` may return it.
+
+Selection policy: the vectorized engine is used whenever numpy is
+importable, the variant advertises the ``skeleton-vectorized``
+capability (see :attr:`ProtocolVariant.capabilities`) and the sweep is
+wider than one instance; otherwise the scalar engine is fanned out.
+``backend="scalar"``/``"vectorized"`` forces the choice.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..graph.model import SystemGraph
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .sim import SkeletonResult, SkeletonSim
+
+PatternMap = Mapping[str, Sequence[bool]]
+Patterns = Union[None, PatternMap, Sequence[Optional[PatternMap]]]
+
+
+def vectorized_supported(graph: SystemGraph,
+                         variant: ProtocolVariant) -> Tuple[bool, str]:
+    """Can the vectorized engine run this (graph, variant)?
+
+    Returns ``(supported, reason)``; *reason* explains a refusal.
+    """
+    if "skeleton-vectorized" not in variant.capabilities:
+        return False, f"variant {variant} lacks 'skeleton-vectorized'"
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        return False, "numpy is not importable"
+    return True, ""
+
+
+def _normalize(patterns: Patterns, batch: int) -> List[Dict]:
+    """Broadcast a single mapping / fill None entries, one per column."""
+    if patterns is None:
+        return [{}] * batch
+    if isinstance(patterns, Mapping):
+        return [dict(patterns)] * batch
+    if len(patterns) != batch:
+        raise ValueError(
+            f"{len(patterns)} script mappings for batch width {batch}")
+    return [dict(m) if m else {} for m in patterns]
+
+
+def _infer_batch(batch: Optional[int], *pattern_seqs: Patterns) -> int:
+    widths = {batch} if batch is not None else set()
+    for seq in pattern_seqs:
+        if seq is not None and not isinstance(seq, Mapping):
+            widths.add(len(seq))
+    if len(widths) > 1:
+        raise ValueError(f"inconsistent batch widths: {sorted(widths)}")
+    return widths.pop() if widths else 1
+
+
+class _Backend:
+    """Backend-independent interface shared by both handles."""
+
+    #: "scalar" or "vectorized"
+    name: str
+
+    def run(self, max_cycles: int = 10_000) -> List[SkeletonResult]:
+        """Run every instance to periodicity; one result per column."""
+        raise NotImplementedError
+
+    def run_cycles(self, cycles: int) -> None:
+        """Step every instance a fixed number of cycles."""
+        raise NotImplementedError
+
+    def fire_counts(self):
+        """(n_shells, batch) cumulative firing counts."""
+        raise NotImplementedError
+
+    def accept_counts(self):
+        """(n_sinks, batch) cumulative sink acceptance counts."""
+        raise NotImplementedError
+
+    def stop_assertion_counts(self):
+        """(batch,) cumulative asserted-stop-wire counts."""
+        raise NotImplementedError
+
+
+class ScalarBackend(_Backend):
+    """One :class:`SkeletonSim` per instance, same interface."""
+
+    name = "scalar"
+
+    def __init__(self, graph: SystemGraph, variant: ProtocolVariant,
+                 source_patterns: List[Dict], sink_patterns: List[Dict],
+                 fixpoint: str, detect_ambiguity: bool):
+        self.graph = graph
+        self.batch = len(sink_patterns)
+        self.sims = [
+            SkeletonSim(graph, variant=variant, fixpoint=fixpoint,
+                        source_patterns=source_patterns[i],
+                        sink_patterns=sink_patterns[i],
+                        detect_ambiguity=detect_ambiguity)
+            for i in range(self.batch)
+        ]
+        first = self.sims[0]
+        self.shell_names = first.shell_names
+        self.source_names = first.source_names
+        self.sink_names = first.sink_names
+        # The scalar engine silently ignores unknown script names;
+        # the vectorized engine rejects them.  The unified API must
+        # behave the same regardless of the engine picked.
+        for mappings, known in ((sink_patterns, set(self.sink_names)),
+                                (source_patterns,
+                                 set(self.source_names))):
+            for mapping in mappings:
+                for name in mapping:
+                    if name not in known:
+                        raise ValueError(
+                            f"unknown script target {name!r}")
+
+    def run(self, max_cycles: int = 10_000) -> List[SkeletonResult]:
+        return [sim.run(max_cycles=max_cycles) for sim in self.sims]
+
+    def run_cycles(self, cycles: int) -> None:
+        for sim in self.sims:
+            for _ in range(cycles):
+                sim.step()
+
+    def fire_counts(self):
+        import numpy as np
+
+        counts = np.zeros((len(self.shell_names), self.batch),
+                          dtype=np.int64)
+        for i, sim in enumerate(self.sims):
+            for fires in sim.fire_history:
+                for j, fired in enumerate(fires):
+                    counts[j, i] += fired
+        return counts
+
+    def accept_counts(self):
+        import numpy as np
+
+        counts = np.zeros((len(self.sink_names), self.batch),
+                          dtype=np.int64)
+        for i, sim in enumerate(self.sims):
+            for accepts in sim.accept_history:
+                for j, accepted in enumerate(accepts):
+                    counts[j, i] += accepted
+        return counts
+
+    def stop_assertion_counts(self):
+        import numpy as np
+
+        return np.array([sim.stop_assertions_total for sim in self.sims],
+                        dtype=np.int64)
+
+
+class VectorizedBackend(_Backend):
+    """A :class:`BatchSkeletonSim` behind the shared interface."""
+
+    name = "vectorized"
+
+    def __init__(self, graph: SystemGraph, variant: ProtocolVariant,
+                 source_patterns: List[Dict], sink_patterns: List[Dict],
+                 fixpoint: str, detect_ambiguity: bool):
+        from .vectorized import BatchSkeletonSim
+
+        self.graph = graph
+        self.batch = len(sink_patterns)
+        self.sim = BatchSkeletonSim(
+            graph, sink_patterns, source_patterns=source_patterns,
+            variant=variant, fixpoint=fixpoint,
+            detect_ambiguity=detect_ambiguity)
+        self.shell_names = self.sim.shell_names
+        self.source_names = self.sim.source_names
+        self.sink_names = self.sim.sink_names
+
+    def run(self, max_cycles: int = 10_000) -> List[SkeletonResult]:
+        return self.sim.run_to_period(max_cycles=max_cycles)
+
+    def run_cycles(self, cycles: int) -> None:
+        self.sim.run(cycles)
+
+    def fire_counts(self):
+        return self.sim.shell_fired.copy()
+
+    def accept_counts(self):
+        return self.sim.sink_accepted.copy()
+
+    def stop_assertion_counts(self):
+        return self.sim.stop_assertions_total.copy()
+
+
+def select(
+    graph: SystemGraph,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    batch: Optional[int] = None,
+    *,
+    source_patterns: Patterns = None,
+    sink_patterns: Patterns = None,
+    fixpoint: str = "least",
+    detect_ambiguity: bool = True,
+    backend: str = "auto",
+) -> _Backend:
+    """Pick the fastest exact engine for a skeleton workload.
+
+    Parameters
+    ----------
+    graph, variant:
+        What to simulate.
+    batch:
+        Number of instances; inferred from the pattern sequences when
+        omitted (single mappings broadcast to every instance).
+    source_patterns, sink_patterns:
+        Either one mapping (applied to every instance) or one mapping
+        per instance — the sweep dimensions.
+    backend:
+        ``"auto"`` (default policy), ``"scalar"`` or ``"vectorized"``.
+
+    Returns a handle with ``run()`` / ``run_cycles()`` / count accessors
+    that behave identically regardless of the engine chosen.
+    """
+    if backend not in ("auto", "scalar", "vectorized"):
+        raise ValueError(f"unknown backend {backend!r}")
+    width = _infer_batch(batch, source_patterns, sink_patterns)
+    if width < 1:
+        raise ValueError("need at least one instance")
+    sources = _normalize(source_patterns, width)
+    sinks = _normalize(sink_patterns, width)
+
+    supported, reason = vectorized_supported(graph, variant)
+    if backend == "vectorized" and not supported:
+        raise ValueError(f"vectorized backend unavailable: {reason}")
+    use_vectorized = (backend == "vectorized"
+                      or (backend == "auto" and supported and width > 1))
+    cls = VectorizedBackend if use_vectorized else ScalarBackend
+    return cls(graph, variant, sources, sinks, fixpoint, detect_ambiguity)

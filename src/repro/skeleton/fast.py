@@ -16,6 +16,7 @@ from typing import Dict
 
 from ..graph.model import SystemGraph
 from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .backend import select
 from .sim import SkeletonSim
 
 
@@ -27,12 +28,13 @@ def measure_throughput(
 ) -> Dict[str, Fraction]:
     """Exact steady-state throughput of every shell and sink.
 
-    Runs the skeleton to periodicity and returns firings (acceptances)
-    per cycle as exact fractions — the numbers the paper's formulas
-    predict.
+    Runs the skeleton to periodicity (through whichever backend
+    :func:`repro.skeleton.backend.select` picks) and returns firings
+    (acceptances) per cycle as exact fractions — the numbers the
+    paper's formulas predict.
     """
-    sim = SkeletonSim(graph, variant=variant, **skeleton_kwargs)
-    result = sim.run(max_cycles=max_cycles)
+    result = select(graph, variant, **skeleton_kwargs) \
+        .run(max_cycles=max_cycles)[0]
     rates: Dict[str, Fraction] = {}
     for name, fires in result.shell_fires.items():
         rates[name] = Fraction(fires, result.period)
@@ -48,8 +50,8 @@ def system_throughput(
     **skeleton_kwargs,
 ) -> Fraction:
     """Minimum shell throughput — the paper's "System Throughput"."""
-    sim = SkeletonSim(graph, variant=variant, **skeleton_kwargs)
-    result = sim.run(max_cycles=max_cycles)
+    result = select(graph, variant, **skeleton_kwargs) \
+        .run(max_cycles=max_cycles)[0]
     return result.min_shell_throughput()
 
 

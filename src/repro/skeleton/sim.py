@@ -337,7 +337,7 @@ class SkeletonSim:
 
         changed = True
         guard = len(self.hops) + len(self.shell_names) + 2
-        is_casu = self.variant is ProtocolVariant.CASU
+        is_casu = self.variant.discards_void_stops
         half_ids = self._transparent_half_ids
         n_shells = len(self.shell_names)
         while changed and guard > 0:
@@ -369,7 +369,7 @@ class SkeletonSim:
         for hop_in in self.shell_in_hops[shell_id]:
             if not valid[hop_in]:
                 return False
-        is_casu = self.variant is ProtocolVariant.CASU
+        is_casu = self.variant.discards_void_stops
         shell_reg = self.shell_reg
         hops = self.hops
         for hop_out in self.shell_out_hops[shell_id]:

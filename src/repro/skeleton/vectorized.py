@@ -1,29 +1,101 @@
-"""Vectorized batch skeleton simulation with numpy.
+"""Generalized vectorized batch skeleton simulation with numpy.
 
 The scalar :class:`~repro.skeleton.sim.SkeletonSim` is exact and
-general; this engine trades generality for throughput by simulating
-**many independent instances of the same topology at once** — columns of
-a bit matrix — which is how a designer sweeps back-pressure scenarios
-("which sink scripts ever stall the system?") at negligible cost, the
-paper's stated use of skeleton simulation.
+general; this engine keeps the exact semantics but simulates **many
+independent instances of the same topology at once** — columns of a bit
+matrix — which is how a designer sweeps back-pressure and availability
+scenarios ("which sink scripts ever stall the system?") at negligible
+cost, the paper's stated use of skeleton simulation.
 
-Restrictions (checked at construction): refined (CASU) protocol, full
-relay stations only, always-ready sources.  Per-instance sink stop
-patterns are the sweep dimension.  The engine is validated against the
-scalar simulator in ``tests/skeleton/test_vectorized.py`` and benched in
-``benchmarks/bench_skeleton_cost.py``.
+Unlike the first-generation engine (refined protocol, full relay
+stations, always-ready sources only) this one covers the scalar
+simulator's whole feature matrix:
+
+* both protocol variants (``CASU`` refinement and original ``CARLONI``);
+* full, transparent-half and registered-half relay stations;
+* scripted (non-always-ready) sources, per instance;
+* per-instance sink stop scripts;
+* least/greatest stop fixpoints and ambiguous-fixpoint (potential
+  deadlock) detection;
+* the stop-locality instrumentation counters;
+* run-to-periodicity with per-instance transient/period extraction.
+
+Bit-exactness against :class:`SkeletonSim` is the contract: the
+differential suite in ``tests/skeleton/test_backend_conformance.py``
+compares every register, wire and counter cycle by cycle.  The stop
+network is a monotone equation system, so a synchronous (Jacobi)
+iteration from the same starting point reaches the same least/greatest
+fixpoint as the scalar engine's in-place iteration.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import StructuralError
 from ..graph.model import SystemGraph
-from ..lid.variant import ProtocolVariant
-from .sim import SkeletonSim, _SHELL, _SRC
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .sim import (
+    SkeletonResult,
+    SkeletonSim,
+    _RS_FULL,
+    _RS_HALF,
+    _RS_HALF_REG,
+    _SHELL,
+)
+
+PatternMap = Mapping[str, Sequence[bool]]
+
+
+def _as_pattern(bits: Sequence[bool]) -> Tuple[bool, ...]:
+    pattern = tuple(bool(b) for b in bits)
+    if not pattern:
+        raise ValueError("empty script pattern")
+    return pattern
+
+
+class _Segments:
+    """Ragged index lists flattened for segmented boolean reductions.
+
+    ``reduceat`` mis-handles empty segments (it returns the element at
+    the clipped offset), so empty segments are dropped up front and
+    their outputs patched with the reduction identity.
+    """
+
+    def __init__(self, lists: Sequence[Sequence[int]]):
+        self.n = len(lists)
+        counts = np.array([len(x) for x in lists], dtype=np.intp)
+        self.counts = counts
+        self.flat = np.array([h for sub in lists for h in sub],
+                             dtype=np.intp)
+        offsets = np.zeros(self.n, dtype=np.intp)
+        if self.n:
+            offsets[1:] = np.cumsum(counts)[:-1]
+        self.nonempty = counts > 0
+        self.offsets_nonempty = offsets[self.nonempty]
+        # With one hop per segment (pipelines, rings) both operations
+        # are the identity; skipping reduceat/repeat matters in the
+        # per-cycle hot path.
+        self.uniform = bool(self.n) and bool((counts == 1).all())
+
+    def reduce(self, op, flat_vals: np.ndarray,
+               identity: bool) -> np.ndarray:
+        """Per-segment reduction of (len(flat), b) values."""
+        if self.uniform:
+            return flat_vals
+        out = np.full((self.n,) + flat_vals.shape[1:], identity,
+                      dtype=bool)
+        if len(self.offsets_nonempty):
+            out[self.nonempty] = op.reduceat(
+                flat_vals, self.offsets_nonempty, axis=0)
+        return out
+
+    def spread(self, per_segment: np.ndarray) -> np.ndarray:
+        """Repeat one (n, b) row per segment out to the flat layout."""
+        if self.uniform:
+            return per_segment
+        return np.repeat(per_segment, self.counts, axis=0)
 
 
 class BatchSkeletonSim:
@@ -32,149 +104,503 @@ class BatchSkeletonSim:
     Parameters
     ----------
     graph:
-        The topology (full relay stations only).
+        The topology (any relay-station mix; queued shells are desugared
+        exactly as the scalar engine does).
     sink_patterns:
-        One mapping per instance: sink name -> bool stop pattern.
+        One mapping per instance: sink name -> bool stop pattern
+        (cycle-indexed, as in the scalar engine).  ``None`` entries or a
+        missing mapping mean "never stop".
+    source_patterns:
+        One mapping per instance: source name -> bool availability
+        pattern (phase-indexed: a held token freezes the phase, exactly
+        like the scalar engine).  Default: always ready.
+    batch:
+        Explicit instance count; required only when neither pattern
+        sequence is given.
     """
 
-    def __init__(self, graph: SystemGraph,
-                 sink_patterns: Sequence[Dict[str, Sequence[bool]]]):
-        for edge in graph.edges:
-            if any(spec != "full" for spec in edge.relays):
-                raise StructuralError(
-                    "BatchSkeletonSim supports full relay stations only"
-                )
-        self.graph = graph
-        self.batch = len(sink_patterns)
+    def __init__(
+        self,
+        graph: SystemGraph,
+        sink_patterns: Optional[Sequence[PatternMap]] = None,
+        *,
+        source_patterns: Optional[Sequence[PatternMap]] = None,
+        batch: Optional[int] = None,
+        variant: ProtocolVariant = DEFAULT_VARIANT,
+        fixpoint: str = "least",
+        detect_ambiguity: bool = True,
+    ):
+        if fixpoint not in ("least", "greatest"):
+            raise ValueError("fixpoint must be 'least' or 'greatest'")
+        widths = {len(seq) for seq in (sink_patterns, source_patterns)
+                  if seq is not None}
+        if batch is not None:
+            widths.add(batch)
+        if len(widths) > 1:
+            raise ValueError(f"inconsistent batch widths: {sorted(widths)}")
+        if not widths:
+            raise ValueError("need sink_patterns, source_patterns or batch")
+        self.batch = widths.pop()
         if self.batch == 0:
             raise ValueError("need at least one instance")
 
-        # Reuse the scalar builder for the wiring tables.
-        self._scalar = SkeletonSim(graph, variant=ProtocolVariant.CASU,
+        self.graph = graph
+        self.variant = variant
+        self.fixpoint = fixpoint
+        self.detect_ambiguity = detect_ambiguity
+
+        # Reuse the scalar builder for the wiring tables (this also
+        # desugars queued shells, exactly as the scalar engine does).
+        self._scalar = SkeletonSim(graph, variant=variant,
+                                   fixpoint=fixpoint,
                                    detect_ambiguity=False)
         s = self._scalar
         self.shell_names = s.shell_names
+        self.source_names = s.source_names
         self.sink_names = s.sink_names
-        n_hops = len(s.hops)
-        b = self.batch
-
-        # Sink stop schedules, padded to a common hyper-period.
-        lengths = []
-        for mapping in sink_patterns:
-            for pattern in mapping.values():
-                lengths.append(len(tuple(pattern)))
-        period = int(np.lcm.reduce(lengths)) if lengths else 1
-        self._stop_schedule = np.zeros((period, n_hops, b), dtype=bool)
-        for col, mapping in enumerate(sink_patterns):
-            for name, pattern in mapping.items():
-                sink_id = self.sink_names.index(name)
-                hop = s.sink_in_hop[sink_id]
-                pattern = tuple(bool(x) for x in pattern)
-                for t in range(period):
-                    self._stop_schedule[t, hop, col] = \
-                        pattern[t % len(pattern)]
-        self._period = period
-
+        self._build_tables()
+        self._build_scripts(source_patterns, sink_patterns)
         self.reset()
 
-    def reset(self) -> None:
+    # -- construction -------------------------------------------------------
+
+    def _build_tables(self) -> None:
         s = self._scalar
+        n_hops = len(s.hops)
+        self._n_hops = n_hops
+        self._is_casu = self.variant.discards_void_stops
+        self._guard = n_hops + len(s.shell_names) + 2
+
+        # Hops driven by each producer class.
+        self._src_hop_ids = np.array(
+            [h for h, _src in s._src_hops], dtype=np.intp)
+        self._src_hop_owner = np.array(
+            [src for _h, src in s._src_hops], dtype=np.intp)
+        self._rs_drive_hops = np.array(
+            [h for h, _rs in s._rs_hops], dtype=np.intp)
+        self._rs_drive_ids = np.array(
+            [rs for _h, rs in s._rs_hops], dtype=np.intp)
+        # Shell out-register <-> hop bijection (one register per edge).
+        n_regs = len(s.shell_reg_owner)
+        self._n_regs = n_regs
+        self._reg_hop = np.zeros(n_regs, dtype=np.intp)
+        self._reg_owner = np.zeros(n_regs, dtype=np.intp)
+        for hop_id, hop in enumerate(s.hops):
+            if hop.producer_kind == _SHELL:
+                self._reg_hop[hop.producer_edge] = hop_id
+                self._reg_owner[hop.producer_edge] = hop.producer_id
+
+        # Ragged shell port lists, flattened for segmented reductions.
+        self._sh_in = _Segments(s.shell_in_hops)
+        self._sh_out = _Segments(s.shell_out_hops)
+        self._sh_out_reg = np.array(
+            [s.hops[h].producer_edge for h in self._sh_out.flat],
+            dtype=np.intp)
+        self._src_out = _Segments(s.src_out_hops)
+
+        # Relay stations by kind.
+        kinds = np.array(s.rs_kinds, dtype=np.intp)
+        self._n_rs = len(kinds)
+        self._rs_in = np.array(s.rs_in_hop, dtype=np.intp)
+        self._rs_out = np.array(s.rs_out_hop, dtype=np.intp)
+        self._rs_is_full = kinds == _RS_FULL
+        self._full_ids = np.nonzero(kinds == _RS_FULL)[0]
+        self._half_ids = np.nonzero(kinds == _RS_HALF)[0]
+        self._hreg_ids = np.nonzero(kinds == _RS_HALF_REG)[0]
+        self._half_in = self._rs_in[self._half_ids]
+        self._half_out = self._rs_out[self._half_ids]
+        self._full_in = self._rs_in[self._full_ids]
+        self._hreg_in = self._rs_in[self._hreg_ids]
+        self._cols = np.arange(self.batch)
+
+        # Sinks (some graphs may have unconnected sinks -> None hop).
+        pairs = [(k, h) for k, h in enumerate(s.sink_in_hop)
+                 if h is not None]
+        self._sink_ids = np.array([k for k, _h in pairs], dtype=np.intp)
+        self._sink_hops = np.array([h for _k, h in pairs], dtype=np.intp)
+
+        # "Internal" consumers for the stop-locality counters: shells
+        # and transparent half stations (scalar semantics).
+        self._internal_hops = np.array(
+            [h_id for h_id, h in enumerate(s.hops)
+             if h.consumer_kind in (_SHELL, _RS_HALF)], dtype=np.intp)
+
+        # Without transparent half stations or direct shell-to-shell
+        # hops the stop equations have no combinational chains: every
+        # shell's stall is a function of fixed (registered/scripted)
+        # stops only, so a single settle pass is exact and the two
+        # fixpoints coincide (same criterion as the scalar engine's
+        # ambiguity analysis).
+        self._single_pass = not s._may_be_ambiguous
+        self._all_full = bool(self._rs_is_full.all())
+
+    def _build_scripts(self, source_patterns, sink_patterns) -> None:
+        b = self.batch
+
+        def _table(names, per_instance, default):
+            """Per name: (max_len, b) value table + (b,) length array."""
+            tables, lengths = [], []
+            known = set(names)
+            instances = ([(m or {}) for m in per_instance]
+                         if per_instance is not None else [{}] * b)
+            for mapping in instances:
+                for name in mapping:
+                    if name not in known:
+                        raise ValueError(f"unknown script target {name!r}")
+            for name in names:
+                cols = []
+                for mapping in instances:
+                    pattern = mapping.get(name)
+                    cols.append(_as_pattern(pattern)
+                                if pattern is not None else default)
+                max_len = max(len(p) for p in cols)
+                tab = np.zeros((max_len, b), dtype=bool)
+                for i, pattern in enumerate(cols):
+                    for t in range(max_len):
+                        tab[t, i] = pattern[t % len(pattern)]
+                tables.append(tab)
+                lengths.append(np.array([len(p) for p in cols],
+                                        dtype=np.int64))
+            return tables, lengths
+
+        self._src_tab, self._src_len = _table(
+            self.source_names, source_patterns, (True,))
+        self._sink_tab, self._sink_len = _table(
+            self.sink_names, sink_patterns, (False,))
+
+        # Sink stops are cycle-indexed, so the whole per-instance
+        # schedule can be expanded to a (lcm, b) table indexed by
+        # ``cycle % lcm`` — one gather per sink per cycle instead of a
+        # 2-d fancy index.  Fall back when the lcm is unreasonable.
+        self._sink_sched: List[Optional[np.ndarray]] = []
+        for k in range(len(self.sink_names)):
+            span = int(np.lcm.reduce(self._sink_len[k]))
+            if span <= 4096:
+                rows = np.arange(span)[:, None] % self._sink_len[k]
+                self._sink_sched.append(
+                    self._sink_tab[k][rows, np.arange(b)])
+            else:
+                self._sink_sched.append(None)
+
+        # Per-instance sink phase modulus (scalar: lcm of that
+        # instance's sink pattern lengths; 1 when there are none).
+        mods = np.ones(b, dtype=np.int64)
+        for lengths in self._sink_len:
+            mods = np.lcm(mods, lengths)
+        self._sink_mod = mods
+        self._src_len_mat = (np.stack(self._src_len)
+                             if self._src_len
+                             else np.zeros((0, b), dtype=np.int64))
+
+    # -- state --------------------------------------------------------------
+
+    def reset(self) -> None:
         b = self.batch
         self.cycle = 0
-        self.shell_reg = np.ones((len(s.shell_reg_owner), b), dtype=bool)
-        self.rs_main = np.zeros((len(s.rs_kinds), b), dtype=bool)
-        self.rs_aux = np.zeros((len(s.rs_kinds), b), dtype=bool)
-        self.rs_stop = np.zeros((len(s.rs_kinds), b), dtype=bool)
-        self.shell_fired = np.zeros((len(s.shell_names), b), dtype=np.int64)
-        self.sink_accepted = np.zeros((len(s.sink_names), b),
+        # Shell out registers start VALID (paper footnote 1); relay
+        # stations start VOID — identical to the scalar engine.
+        self.shell_reg = np.ones((self._n_regs, b), dtype=bool)
+        self.rs_main = np.zeros((self._n_rs, b), dtype=bool)
+        self.rs_aux = np.zeros((self._n_rs, b), dtype=bool)
+        self.rs_stop_reg = np.zeros((self._n_rs, b), dtype=bool)
+        self.src_phase = np.zeros((len(self.source_names), b),
+                                  dtype=np.int64)
+        self.shell_fired = np.zeros((len(self.shell_names), b),
+                                    dtype=np.int64)
+        self.sink_accepted = np.zeros((len(self.sink_names), b),
                                       dtype=np.int64)
+        self.stop_assertions_total = np.zeros(b, dtype=np.int64)
+        self.stops_on_voids_total = np.zeros(b, dtype=np.int64)
+        self.internal_stops_on_voids_total = np.zeros(b, dtype=np.int64)
+        self.ambiguous_cycles: List[List[int]] = [[] for _ in range(b)]
+        self._fire_history: List[np.ndarray] = []
+        self._accept_history: List[np.ndarray] = []
+        # Reusable scratch: every hop has exactly one producer, so the
+        # valid buffer is fully rewritten each cycle; in single-pass
+        # mode the same holds for the stop buffer (each hop's stop is
+        # either fixed or a shell input written by the single pass).
+        self._valid_buf = np.empty((self._n_hops, b), dtype=bool)
+        self._stop_buf = np.empty((self._n_hops, b), dtype=bool)
 
-    # -- one synchronous step over the whole batch -------------------------
-
-    def step(self) -> None:
-        s = self._scalar
+    def state_keys(self) -> List[bytes]:
+        """One hashable snapshot per instance (mirrors scalar state())."""
         b = self.batch
-        n_hops = len(s.hops)
+        bits = [self.shell_reg, self.rs_main, self.rs_aux,
+                self.rs_stop_reg]
+        stacked = np.concatenate([a for a in bits if a.size] or
+                                 [np.zeros((1, b), dtype=bool)], axis=0)
+        packed = np.packbits(stacked, axis=0)
+        phase_mod = (self.cycle % self._sink_mod).astype(np.int64)
+        keys = []
+        for i in range(b):
+            keys.append(packed[:, i].tobytes()
+                        + self.src_phase[:, i].tobytes()
+                        + int(phase_mod[i]).to_bytes(8, "little"))
+        return keys
 
-        valid = np.zeros((n_hops, b), dtype=bool)
-        for hop_id, hop in enumerate(s.hops):
-            if hop.producer_kind == _SRC:
-                valid[hop_id] = True
-            elif hop.producer_kind == _SHELL:
-                valid[hop_id] = self.shell_reg[hop.producer_edge]
-            else:
-                valid[hop_id] = self.rs_main[hop.producer_id]
+    # -- per-cycle evaluation ------------------------------------------------
 
-        stop = self._stop_schedule[self.cycle % self._period].copy()
-        for rs_id in range(len(s.rs_kinds)):
-            stop[s.rs_in_hop[rs_id]] = self.rs_stop[rs_id]
+    def _forward_valids(self) -> np.ndarray:
+        b = self.batch
+        valid = self._valid_buf
+        if len(self._src_hop_ids):
+            presented = np.empty((len(self.source_names), b), dtype=bool)
+            for j in range(len(self.source_names)):
+                # Phases are kept in range by the advance in step().
+                presented[j] = self._src_tab[j][self.src_phase[j],
+                                                self._cols]
+            self._presented = presented
+            valid[self._src_hop_ids] = presented[self._src_hop_owner]
+        else:
+            self._presented = np.zeros((0, b), dtype=bool)
+        if self._n_regs:
+            valid[self._reg_hop] = self.shell_reg
+        if len(self._rs_drive_hops):
+            valid[self._rs_drive_hops] = self.rs_main[self._rs_drive_ids]
+        return valid
 
-        # Settle the shell stop network (full RS registered stops are
-        # fixed, so only shell-origin stops iterate; with a relay
-        # station on every shell-shell edge there are no chains and a
-        # single pass suffices — asserted by the lint at build time).
-        fires = np.empty((len(s.shell_names), b), dtype=bool)
-        for _pass in range(len(s.shell_names) + 1):
-            changed = False
-            for shell_id in range(len(s.shell_names)):
-                fire = np.ones(b, dtype=bool)
-                for hop in s.shell_in_hops[shell_id]:
-                    fire &= valid[hop]
-                for hop in s.shell_out_hops[shell_id]:
-                    reg = s.hops[hop].producer_edge
-                    fire &= ~(stop[hop] & self.shell_reg[reg])
-                fires[shell_id] = fire
-                for hop in s.shell_in_hops[shell_id]:
-                    new = ~fire & valid[hop]
-                    if np.any(new & ~stop[hop]):
-                        stop[hop] |= new
-                        changed = True
-            if not changed:
+    def _shell_fires(self, valid: np.ndarray,
+                     stop: np.ndarray) -> np.ndarray:
+        """fire = all inputs valid AND no output blocked (scalar rule)."""
+        in_ok = self._sh_in.reduce(np.logical_and,
+                                   valid[self._sh_in.flat], True)
+        if self._is_casu:
+            blocked_bits = (stop[self._sh_out.flat]
+                            & self.shell_reg[self._sh_out_reg])
+        else:
+            blocked_bits = stop[self._sh_out.flat]
+        blocked = self._sh_out.reduce(np.logical_or, blocked_bits,
+                                      False)
+        return in_ok & ~blocked
+
+    def _settle_stops(self, valid: np.ndarray,
+                      mode: str) -> Tuple[np.ndarray, np.ndarray]:
+        """Solve the stop equations; returns (stop wires, shell fires)."""
+        b = self.batch
+        if self._single_pass:
+            stop = self._stop_buf
+        else:
+            make = np.ones if mode == "greatest" else np.zeros
+            stop = make((self._n_hops, b), dtype=bool)
+        # Registered / scripted stops are fixed regardless of mode.
+        if len(self._full_ids):
+            stop[self._full_in] = self.rs_stop_reg[self._full_ids]
+        if len(self._hreg_ids):
+            stop[self._hreg_in] = self.rs_main[self._hreg_ids]
+        if len(self._sink_hops):
+            for k, hop in zip(self._sink_ids, self._sink_hops):
+                sched = self._sink_sched[k]
+                if sched is not None:
+                    stop[hop] = sched[self.cycle % len(sched)]
+                else:
+                    row = self.cycle % self._sink_len[k]
+                    stop[hop] = self._sink_tab[k][row, self._cols]
+
+        if self._single_pass:
+            # No combinational stop chains: every shell out-hop stop is
+            # one of the fixed values above, so one pass is exact and
+            # the two fixpoints coincide.
+            fires = self._shell_fires(valid, stop)
+            if len(self._sh_in.flat):
+                stalled = self._sh_in.spread(~fires)
+                if self._is_casu:
+                    stop[self._sh_in.flat] = (stalled
+                                              & valid[self._sh_in.flat])
+                else:
+                    stop[self._sh_in.flat] = stalled
+            return stop, fires
+
+        # Synchronous (Jacobi) iteration of the monotone stop equations:
+        # every update reads the previous iterate, so iterates ascend
+        # from bottom (least mode) / descend from top (greatest mode)
+        # monotonically and converge to the same fixpoint the scalar
+        # engine's in-place iteration reaches, within the same guard.
+        # The fixed hops above are never rewritten (their consumers are
+        # full stations, registered-half stations or sinks; the loop
+        # only writes hops consumed by shells and transparent halves),
+        # so the two buffers only ever differ on mutable hops — all of
+        # which are rewritten on every pass, making the swap safe.
+        cur = stop.copy()
+        for _ in range(self._guard):
+            if len(self._half_ids):
+                if self._is_casu:
+                    cur[self._half_in] = (stop[self._half_out]
+                                          & self.rs_main[self._half_ids])
+                else:
+                    cur[self._half_in] = stop[self._half_out]
+            fires = self._shell_fires(valid, stop)
+            if len(self._sh_in.flat):
+                stalled = self._sh_in.spread(~fires)
+                if self._is_casu:
+                    cur[self._sh_in.flat] = (stalled
+                                             & valid[self._sh_in.flat])
+                else:
+                    cur[self._sh_in.flat] = stalled
+            if np.array_equal(cur, stop):
                 break
+            stop, cur = cur, stop
+        return cur, fires
 
-        # Register updates — shells.
-        for shell_id in range(len(s.shell_names)):
-            fire = fires[shell_id]
-            for hop in s.shell_out_hops[shell_id]:
-                reg = s.hops[hop].producer_edge
-                held = self.shell_reg[reg] & stop[hop]
-                self.shell_reg[reg] = fire | (~fire & held)
-            self.shell_fired[shell_id] += fire
+    def _apply_edge(self, valid: np.ndarray, stop: np.ndarray,
+                    fires: np.ndarray) -> None:
+        """Register updates (mirror SkeletonSim._apply_edge exactly)."""
+        if self._n_regs:
+            fired = fires[self._reg_owner]
+            held = self.shell_reg & stop[self._reg_hop]
+            self.shell_reg = fired | (~fired & held)
 
-        # Register updates — full relay stations.
-        for rs_id in range(len(s.rs_kinds)):
-            hop_in = s.rs_in_hop[rs_id]
-            hop_out = s.rs_out_hop[rs_id]
-            stop_in = stop[hop_out]
-            incoming = valid[hop_in]
-            accepted = incoming & ~self.rs_stop[rs_id]
-            consumed = ~self.rs_main[rs_id] | ~stop_in
-            aux = self.rs_aux[rs_id]
+        if self._n_rs:
+            stop_out = stop[self._rs_out]
+            incoming = valid[self._rs_in]
+            consumed = ~self.rs_main | ~stop_out
+            aux = self.rs_aux
+            if self._all_full:
+                accepted = incoming & ~self.rs_stop_reg
+                queued = aux | accepted
+                not_consumed = ~consumed
+                self.rs_main = np.where(consumed, queued, self.rs_main)
+                self.rs_aux = not_consumed & queued
+                self.rs_stop_reg = not_consumed & (
+                    self.rs_stop_reg | (~aux & accepted))
+                return
+            # Full stations: two slots plus a registered stop.
+            accepted_full = incoming & ~self.rs_stop_reg
+            new_main_full = np.where(
+                consumed, np.where(aux, True, accepted_full),
+                self.rs_main)
+            new_aux_full = ~consumed & (aux | accepted_full)
+            new_stop_full = ~consumed & (
+                self.rs_stop_reg | (~aux & accepted_full))
+            # Half stations (transparent or registered): one slot.
+            accepted_half = incoming & ~stop[self._rs_in]
+            new_main_half = np.where(consumed, accepted_half,
+                                     self.rs_main)
+            is_full = self._rs_is_full[:, None]
+            self.rs_main = np.where(is_full, new_main_full,
+                                    new_main_half)
+            self.rs_aux = np.where(is_full, new_aux_full, aux)
+            self.rs_stop_reg = np.where(is_full, new_stop_full,
+                                        self.rs_stop_reg)
 
-            new_main = np.where(
-                aux, np.where(consumed, True, self.rs_main[rs_id]),
-                np.where(consumed, accepted, self.rs_main[rs_id]))
-            new_aux = np.where(
-                aux, np.where(consumed, False, True),
-                np.where(consumed, False, accepted))
-            new_stop = np.where(
-                aux, np.where(consumed, False, True),
-                np.where(consumed, False, accepted))
-            self.rs_main[rs_id] = new_main
-            self.rs_aux[rs_id] = new_aux
-            self.rs_stop[rs_id] = new_stop
+    def step(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Advance all instances one cycle; returns (fires, accepts)."""
+        valid = self._forward_valids()
+        stop, fires = self._settle_stops(valid, self.fixpoint)
+        if self.detect_ambiguity and self._scalar._may_be_ambiguous:
+            other = "greatest" if self.fixpoint == "least" else "least"
+            alt, _alt_fires = self._settle_stops(valid, other)
+            differs = np.any(alt != stop, axis=0)
+            if np.any(differs):
+                for i in np.nonzero(differs)[0]:
+                    self.ambiguous_cycles[int(i)].append(self.cycle)
 
-        # Sink accounting.
-        for sink_id, hop in enumerate(s.sink_in_hop):
-            if hop is None:
-                continue
-            self.sink_accepted[sink_id] += valid[hop] & ~stop[hop]
+        self.stop_assertions_total += stop.sum(axis=0)
+        voids = stop & ~valid
+        self.stops_on_voids_total += voids.sum(axis=0)
+        self.internal_stops_on_voids_total += \
+            voids[self._internal_hops].sum(axis=0)
 
+        accepts = np.zeros((len(self.sink_names), self.batch),
+                           dtype=bool)
+        if len(self._sink_hops):
+            accepts[self._sink_ids] = (valid[self._sink_hops]
+                                       & ~stop[self._sink_hops])
+
+        self._apply_edge(valid, stop, fires)
+
+        # Source phase advance: a presented-but-held token freezes the
+        # phase (the environment must re-present it next cycle).
+        if len(self.source_names):
+            held_any = self._src_out.reduce(
+                np.logical_or, stop[self._src_out.flat], False)
+            held = self._presented & held_any
+            self.src_phase = np.where(
+                held, self.src_phase,
+                (self.src_phase + 1) % self._src_len_mat)
+
+        self.shell_fired += fires
+        self.sink_accepted += accepts
+        self._fire_history.append(fires)
+        self._accept_history.append(accepts)
         self.cycle += 1
+        return fires, accepts
 
     def run(self, cycles: int) -> None:
+        """Step all instances a fixed number of cycles."""
         for _ in range(cycles):
             self.step()
+
+    def run_to_period(self, max_cycles: int = 10_000) \
+            -> List[SkeletonResult]:
+        """Simulate until every instance is periodic; one result each.
+
+        Mirrors :meth:`SkeletonSim.run`: the composite register state of
+        each instance is finite, so each column's trajectory must enter
+        a cycle; transient/period and the steady-state firing counts are
+        extracted per instance.
+        """
+        b = self.batch
+        seen: List[Dict[bytes, int]] = [dict() for _ in range(b)]
+        transient = [None] * b
+        period = [None] * b
+        for i, key in enumerate(self.state_keys()):
+            seen[i][key] = 0
+        pending = set(range(b))
+        for _ in range(max_cycles):
+            if not pending:
+                break
+            self.step()
+            keys = self.state_keys()
+            for i in list(pending):
+                key = keys[i]
+                hit = seen[i].get(key)
+                if hit is not None:
+                    transient[i] = hit
+                    period[i] = self.cycle - hit
+                    pending.discard(i)
+                else:
+                    seen[i][key] = self.cycle
+        if pending:
+            raise TimeoutError(
+                f"{self.graph.name}: instances {sorted(pending)} not "
+                f"periodic within {max_cycles} cycles "
+                f"(state space larger than expected)")
+
+        fire_hist = (np.stack(self._fire_history, axis=0)
+                     if self._fire_history
+                     else np.zeros((0, len(self.shell_names), b),
+                                   dtype=bool))
+        accept_hist = (np.stack(self._accept_history, axis=0)
+                       if self._accept_history
+                       else np.zeros((0, len(self.sink_names), b),
+                                     dtype=bool))
+        results = []
+        for i in range(b):
+            lo, hi = transient[i], transient[i] + period[i]
+            window = fire_hist[lo:hi, :, i]
+            shell_fires = {
+                name: int(window[:, j].sum())
+                for j, name in enumerate(self.shell_names)
+            }
+            accept_window = accept_hist[lo:hi, :, i]
+            sink_accepts = {
+                name: int(accept_window[:, j].sum())
+                for j, name in enumerate(self.sink_names)
+            }
+            deadlocked = bool(self.shell_names) and all(
+                count == 0 for count in shell_fires.values())
+            ambiguous = self.ambiguous_cycles[i]
+            results.append(SkeletonResult(
+                transient=transient[i],
+                period=period[i],
+                shell_fires=shell_fires,
+                sink_accepts=sink_accepts,
+                cycles_run=self.cycle,
+                deadlocked=deadlocked,
+                potential_deadlock_cycle=(ambiguous[0] if ambiguous
+                                          else None),
+            ))
+        return results
 
     # -- results -----------------------------------------------------------
 

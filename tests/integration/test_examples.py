@@ -1,12 +1,14 @@
 """Every shipped example must run clean — they are deliverables too."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES_DIR = pathlib.Path(__file__).parent.parent.parent / "examples"
+REPO_ROOT = pathlib.Path(__file__).parent.parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
 
@@ -25,16 +27,22 @@ class TestExamplesInventory:
             assert '__main__' in text, name
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("name", EXAMPLES)
 def test_example_runs_clean(name, tmp_path):
     """Run each example as a subprocess (some write artifacts: give
     them a scratch directory argument)."""
+    env = {**os.environ,
+           "PYTHONPATH": os.pathsep.join(
+               p for p in (str(REPO_ROOT / "src"),
+                           os.environ.get("PYTHONPATH")) if p)}
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES_DIR / name), str(tmp_path)],
         capture_output=True,
         text=True,
         timeout=300,
         cwd=str(tmp_path),
+        env=env,
     )
     assert proc.returncode == 0, (
         f"{name} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"

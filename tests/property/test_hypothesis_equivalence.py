@@ -13,6 +13,8 @@ from repro.graph import random_dag, random_loopy
 from repro.lid.reference import is_prefix
 from repro.lid.variant import ProtocolVariant
 
+pytestmark = pytest.mark.slow
+
 SETTINGS = dict(
     max_examples=25,
     deadline=None,

@@ -5,6 +5,8 @@ the minimum-cycle-ratio analyzer and the skeleton simulator — are run on
 randomized topologies and required to coincide.
 """
 
+import pytest
+
 from fractions import Fraction
 
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -12,6 +14,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.analysis import min_cycle_ratio_throughput, static_system_throughput
 from repro.graph import equalize, random_dag, random_loopy, reconvergent, ring
 from repro.skeleton import system_throughput
+
+pytestmark = pytest.mark.slow
 
 SETTINGS = dict(
     max_examples=20,

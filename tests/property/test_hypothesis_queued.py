@@ -6,6 +6,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro import LidSystem, pearls
 from repro.lid.reference import is_prefix
 
+pytestmark = pytest.mark.slow
+
 SETTINGS = dict(
     max_examples=25,
     deadline=None,

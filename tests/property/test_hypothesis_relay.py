@@ -5,10 +5,13 @@ checks stream invariants directly — complementing the exhaustive BFS,
 which uses a small alphabet, with unbounded payload sequences.
 """
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
 from repro.lid.variant import ProtocolVariant
 from repro.verify.fsm import (
+
     FullRsState,
     HalfRsState,
     full_rs_outputs,
@@ -16,6 +19,8 @@ from repro.verify.fsm import (
     half_rs_step,
     half_rs_stop_out,
 )
+
+pytestmark = pytest.mark.slow
 
 # An environment script: per cycle (offer a token?, downstream stop?).
 script = st.lists(st.tuples(st.booleans(), st.booleans()), min_size=1,

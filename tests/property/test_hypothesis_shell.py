@@ -1,15 +1,20 @@
 """Property-based tests on the shell spec FSM."""
 
+import pytest
+
 from hypothesis import given, settings, strategies as st
 
 from repro.lid.variant import ProtocolVariant
 from repro.verify.env import PAYLOAD_MODULUS
 from repro.verify.fsm import (
+
     ShellState,
     shell_fire,
     shell_input_stops,
     shell_step,
 )
+
+pytestmark = pytest.mark.slow
 
 # Environment script: per cycle (offer?, stop on output?).
 script = st.lists(st.tuples(st.booleans(), st.booleans()),

@@ -11,6 +11,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro.graph import pipeline, random_dag, tree
 from repro.skeleton import BatchSkeletonSim, SkeletonSim
 
+pytestmark = pytest.mark.slow
+
 SETTINGS = dict(
     max_examples=20,
     deadline=None,

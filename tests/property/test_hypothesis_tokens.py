@@ -1,8 +1,12 @@
 """Property-based tests on tokens and projections."""
 
+import pytest
+
 from hypothesis import given, strategies as st
 
 from repro.lid.token import Token, VOID, payloads, valid_stream
+
+pytestmark = pytest.mark.slow
 
 payload = st.one_of(st.integers(), st.text(max_size=5))
 maybe_payload = st.one_of(st.none(), payload)

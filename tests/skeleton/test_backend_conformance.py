@@ -1,0 +1,205 @@
+"""Differential conformance: vectorized backend vs scalar reference.
+
+The vectorized engine's contract is **bit-exactness**: for every
+instance of a batch, every register, wire, firing decision and
+instrumentation counter must equal a scalar :class:`SkeletonSim` run
+with the same scripts, cycle by cycle.  This suite drives both engines
+in lockstep over the full feature matrix — protocol variants x relay
+kinds x fixpoints x scripted sources/sinks — and through the unified
+``repro.skeleton.backend.select`` API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import figure1, figure2, pipeline, ring, tree
+from repro.graph.random_gen import random_dag, random_loopy
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import (
+    BatchSkeletonSim,
+    ScalarBackend,
+    SkeletonSim,
+    VectorizedBackend,
+    select,
+    vectorized_supported,
+)
+
+VARIANTS = [ProtocolVariant.CASU, ProtocolVariant.CARLONI]
+
+
+def _all_relays(graph, kind):
+    for edge in graph.edges:
+        if edge.relays:
+            edge.relays = (kind,) * len(edge.relays)
+    return graph
+
+
+def _graph_matrix():
+    return [
+        pipeline(3, relays_per_hop=2),
+        figure1(),
+        figure2(),
+        tree(2),
+        ring(3, relays_per_arc=[["full"], ["half"],
+                                ["half-registered"]]),
+        _all_relays(pipeline(3), "half"),
+        _all_relays(pipeline(3), "half-registered"),
+        random_dag(seed=7, shells=5, half_probability=0.5),
+        random_loopy(seed=3, shells=4),
+    ]
+
+
+def _scripts_for(graph):
+    """A few sink/source script pairs adapted to the graph's names."""
+    sinks = [n.name for n in graph.sinks()]
+    sources = [n.name for n in graph.sources()]
+    combos = [({}, {})]
+    if sinks:
+        combos.append(({sinks[0]: (False, False, True, True)}, {}))
+    if sources:
+        combos.append(({}, {sources[0]: (True, False, True)}))
+    if sinks and sources:
+        combos.append(({sinks[0]: (True, False)},
+                       {sources[0]: (False, True)}))
+    return combos
+
+
+def _lockstep(graph, variant, fixpoint, sink_map, source_map,
+              cycles=60):
+    """Drive both engines and compare all observable state per cycle."""
+    scalar = SkeletonSim(graph, sink_patterns=sink_map,
+                         source_patterns=source_map, variant=variant,
+                         fixpoint=fixpoint)
+    batch = BatchSkeletonSim(graph, [sink_map],
+                             source_patterns=[source_map],
+                             variant=variant, fixpoint=fixpoint)
+    for cycle in range(cycles):
+        s_fires, s_accepts = scalar.step()
+        b_fires, b_accepts = batch.step()
+        ctx = (graph.name, variant.name, fixpoint, cycle)
+        assert tuple(b_fires[:, 0]) == s_fires, ("fires", ctx)
+        assert tuple(b_accepts[:, 0]) == s_accepts, ("accepts", ctx)
+        assert np.array_equal(batch.shell_reg[:, 0],
+                              np.array(scalar.shell_reg)), ("reg", ctx)
+        assert np.array_equal(batch.rs_main[:, 0],
+                              np.array(scalar.rs_main)), ("main", ctx)
+        assert np.array_equal(batch.rs_aux[:, 0],
+                              np.array(scalar.rs_aux)), ("aux", ctx)
+        assert np.array_equal(
+            batch.rs_stop_reg[:, 0],
+            np.array(scalar.rs_stop_reg)), ("stop_reg", ctx)
+        assert (int(batch.stop_assertions_total[0])
+                == scalar.stop_assertions_total), ("assertions", ctx)
+        assert (int(batch.stops_on_voids_total[0])
+                == scalar.stops_on_voids_total), ("voids", ctx)
+        assert (int(batch.internal_stops_on_voids_total[0])
+                == scalar.internal_stops_on_voids_total), \
+            ("internal voids", ctx)
+    assert batch.ambiguous_cycles[0] == scalar.ambiguous_cycles, \
+        (graph.name, variant.name, fixpoint)
+
+
+class TestLockstepMatrix:
+    """Registers, wires and counters identical, cycle by cycle."""
+
+    @pytest.mark.parametrize("graph", _graph_matrix(),
+                             ids=lambda g: g.name)
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: v.name.lower())
+    def test_least_fixpoint(self, graph, variant):
+        for sink_map, source_map in _scripts_for(graph):
+            _lockstep(graph, variant, "least", sink_map, source_map)
+
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: v.name.lower())
+    def test_greatest_fixpoint_on_ambiguous_graphs(self, variant):
+        """Latch-up semantics must also match where fixpoints differ."""
+        for graph in (_all_relays(pipeline(3), "half"),
+                      ring(2, relays_per_arc=[["half"], ["half"]])):
+            for sink_map, source_map in _scripts_for(graph):
+                _lockstep(graph, variant, "greatest", sink_map,
+                          source_map)
+
+
+class TestRunToPeriod:
+    """Transient/period extraction must agree with SkeletonSim.run()."""
+
+    @pytest.mark.parametrize("graph", _graph_matrix(),
+                             ids=lambda g: g.name)
+    def test_periodicity_matches(self, graph):
+        combos = _scripts_for(graph)
+        sink_patterns = [sk for sk, _so in combos]
+        source_patterns = [so for _sk, so in combos]
+        batch = BatchSkeletonSim(graph, sink_patterns,
+                                 source_patterns=source_patterns)
+        results = batch.run_to_period()
+        for (sink_map, source_map), result in zip(combos, results):
+            ref = SkeletonSim(graph, sink_patterns=sink_map,
+                              source_patterns=source_map).run()
+            assert result.transient == ref.transient, graph.name
+            assert result.period == ref.period, graph.name
+            assert result.shell_fires == ref.shell_fires, graph.name
+            assert result.sink_accepts == ref.sink_accepts, graph.name
+            assert result.deadlocked == ref.deadlocked, graph.name
+            assert (result.potential_deadlock_cycle
+                    == ref.potential_deadlock_cycle), graph.name
+
+
+class TestBackendApi:
+    """select() must hide the engine choice without changing results."""
+
+    def test_selection_policy(self):
+        graph = pipeline(2)
+        assert isinstance(select(graph, batch=1), ScalarBackend)
+        assert isinstance(select(graph, batch=4), VectorizedBackend)
+        assert isinstance(select(graph, batch=4, backend="scalar"),
+                          ScalarBackend)
+        assert isinstance(select(graph, batch=1, backend="vectorized"),
+                          VectorizedBackend)
+
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_unknown_script_target_rejected_by_both(self, backend):
+        """Input validation must not depend on the engine picked."""
+        with pytest.raises(ValueError, match="unknown script target"):
+            select(pipeline(2), sink_patterns=[{"nope": (True,)}],
+                   backend=backend)
+        with pytest.raises(ValueError, match="unknown script target"):
+            select(pipeline(2), source_patterns=[{"nope": (True,)}],
+                   backend=backend)
+
+    def test_supported_reports_capability(self):
+        ok, reason = vectorized_supported(pipeline(2),
+                                          ProtocolVariant.CASU)
+        assert ok, reason
+
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: v.name.lower())
+    def test_backends_agree_through_select(self, variant):
+        graph = figure1()
+        patterns = [{}, {"out": (False, True)},
+                    {"out": (False, False, True)}]
+        counts = {}
+        for backend in ("scalar", "vectorized"):
+            handle = select(graph, variant, sink_patterns=patterns,
+                            backend=backend)
+            results = handle.run()
+            handle2 = select(graph, variant, sink_patterns=patterns,
+                             backend=backend)
+            handle2.run_cycles(300)
+            counts[backend] = (
+                [(r.transient, r.period, r.shell_fires,
+                  r.sink_accepts) for r in results],
+                np.asarray(handle2.fire_counts()).tolist(),
+                np.asarray(handle2.accept_counts()).tolist(),
+                np.asarray(handle2.stop_assertion_counts()).tolist(),
+            )
+        assert counts["scalar"] == counts["vectorized"]
+
+    def test_scripted_sources_through_select(self):
+        graph = pipeline(2)
+        handle = select(graph, batch=2,
+                        source_patterns=[{}, {"src": (True, False)}])
+        results = handle.run()
+        rates = [r.shell_fires["S0"] / r.period for r in results]
+        assert rates[0] == 1
+        assert rates[1] == 0.5

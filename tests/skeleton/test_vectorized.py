@@ -5,20 +5,88 @@ from fractions import Fraction
 import numpy as np
 import pytest
 
-from repro.errors import StructuralError
 from repro.graph import figure1, figure2, pipeline, ring, tree
+from repro.lid.variant import ProtocolVariant
 from repro.skeleton import BatchSkeletonSim, SkeletonSim
 
 
-class TestRestrictions:
-    def test_half_relays_rejected(self):
+class TestConstruction:
+    def test_half_relays_accepted(self):
+        """The generalized engine covers half relay stations."""
         graph = ring(2, relays_per_arc=[["half"], ["full"]])
-        with pytest.raises(StructuralError, match="full relay"):
-            BatchSkeletonSim(graph, [{}])
+        batch = BatchSkeletonSim(graph, [{}])
+        batch.run(20)
+        assert batch.cycle == 20
 
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError):
             BatchSkeletonSim(pipeline(2), [])
+
+    def test_no_width_rejected(self):
+        with pytest.raises(ValueError):
+            BatchSkeletonSim(pipeline(2))
+
+    def test_inconsistent_widths_rejected(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            BatchSkeletonSim(pipeline(2), [{}, {}],
+                             source_patterns=[{}])
+
+    def test_unknown_script_target_rejected(self):
+        with pytest.raises(ValueError, match="unknown script target"):
+            BatchSkeletonSim(pipeline(2), [{"nope": (True,)}])
+
+    def test_bad_fixpoint_rejected(self):
+        with pytest.raises(ValueError, match="fixpoint"):
+            BatchSkeletonSim(pipeline(2), [{}], fixpoint="middle")
+
+
+class TestGeneralizedFeatures:
+    def test_scripted_sources_throttle_throughput(self):
+        batch = BatchSkeletonSim(
+            pipeline(2), batch=2,
+            source_patterns=[{}, {"src": (True, False)}])
+        batch.run(400)
+        rates = batch.sink_rates()["out"]
+        assert rates[0] == pytest.approx(1.0, abs=0.02)
+        assert rates[1] == pytest.approx(0.5, abs=0.02)
+
+    def test_carloni_variant_wedges_half_relay_pipeline(self):
+        """The EXP-T6 ablation, reproduced batched: under the original
+        discipline a half-relay pipeline with back pressure wedges."""
+        graph = pipeline(3)
+        for edge in graph.edges:
+            if edge.relays:
+                edge.relays = ("half",) * len(edge.relays)
+        bp = [{"out": (False, False, True, True)}]
+        old = BatchSkeletonSim(graph, bp,
+                               variant=ProtocolVariant.CARLONI)
+        new = BatchSkeletonSim(graph, bp, variant=ProtocolVariant.CASU)
+        old.run(200)
+        new.run(200)
+        assert int(new.sink_accepted[0][0]) > \
+            10 * max(int(old.sink_accepted[0][0]), 1)
+
+    def test_ambiguity_detected_on_half_ring(self):
+        graph = ring(2, relays_per_arc=[["half"], ["half"]])
+        batch = BatchSkeletonSim(graph, [{}],
+                                 variant=ProtocolVariant.CARLONI)
+        scalar = SkeletonSim(graph, variant=ProtocolVariant.CARLONI)
+        batch.run(30)
+        for _ in range(30):
+            scalar.step()
+        assert batch.ambiguous_cycles[0] == scalar.ambiguous_cycles
+
+    def test_run_to_period_matches_scalar(self):
+        graph = figure1()
+        results = BatchSkeletonSim(
+            graph, [{}, {"out": (False, True)}]).run_to_period()
+        for mapping, result in zip([{}, {"out": (False, True)}],
+                                   results):
+            ref = SkeletonSim(graph, sink_patterns=mapping).run()
+            assert (result.transient, result.period) == \
+                (ref.transient, ref.period)
+            assert result.shell_fires == ref.shell_fires
+            assert result.sink_accepts == ref.sink_accepts
 
 
 class TestAgainstScalar:
