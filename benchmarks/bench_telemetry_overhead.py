@@ -1,0 +1,73 @@
+"""EXP-O1: telemetry overhead on the skeleton hot loop.
+
+Two contracts guard the instrumentation added for observability:
+
+* with telemetry **disabled** the skeleton stepping loop must be
+  essentially unchanged (the guard is one cached-boolean branch); the
+  tier-1 budget allows at most a few percent;
+* with telemetry **enabled** (metrics + events) the same loop must stay
+  within 2x of the disabled baseline — CI reads the emitted
+  ``BENCH_EXP-O1-telemetry-overhead.json`` and fails (non-blocking) if
+  the ratio exceeds that bound.
+"""
+
+from time import perf_counter
+
+import pytest
+
+from repro.bench.tables import format_table
+from repro.graph import pipeline
+from repro.obs import Telemetry
+from repro.skeleton import SkeletonSim
+
+CYCLES = 400
+STAGES = 12
+
+
+def _run(telemetry, cycles=CYCLES):
+    graph = pipeline(STAGES, relays_per_hop=2)
+    sim = SkeletonSim(graph, detect_ambiguity=False, telemetry=telemetry)
+    started = perf_counter()
+    for _ in range(cycles):
+        sim.step()
+    return perf_counter() - started
+
+
+def test_bench_telemetry_overhead(benchmark, emit):
+    disabled = min(_run(None) for _ in range(3))
+    enabled = min(_run(Telemetry.full()) for _ in range(3))
+    ratio = enabled / disabled if disabled else float("inf")
+    benchmark.pedantic(_run, args=(None,), rounds=1, iterations=1)
+    rows = [
+        ("disabled", f"{disabled * 1e3:.2f} ms", "1.00x"),
+        ("enabled (events+metrics)", f"{enabled * 1e3:.2f} ms",
+         f"{ratio:.2f}x"),
+    ]
+    table = format_table(
+        ("telemetry", f"wall ({CYCLES} cycles)", "vs disabled"),
+        rows,
+        title=f"Telemetry overhead on pipeline({STAGES}) skeleton "
+              f"stepping (bound: enabled <= 2x disabled)",
+    )
+    emit("EXP-O1-telemetry-overhead", table, rows=rows,
+         wall_seconds=disabled + enabled,
+         params={"cycles": CYCLES, "stages": STAGES},
+         counters={"disabled_seconds": disabled,
+                   "enabled_seconds": enabled,
+                   "overhead_ratio": ratio})
+
+
+@pytest.mark.parametrize("mode", ["off", "metrics", "full"])
+def test_bench_stepping_by_mode(benchmark, mode):
+    """Raw stepping rate per telemetry mode, for the benchmark table."""
+    telemetry = {"off": None,
+                 "metrics": Telemetry.metrics_only(),
+                 "full": Telemetry.full()}[mode]
+    graph = pipeline(STAGES, relays_per_hop=2)
+    sim = SkeletonSim(graph, detect_ambiguity=False, telemetry=telemetry)
+
+    def run():
+        for _ in range(100):
+            sim.step()
+
+    benchmark(run)

@@ -3,25 +3,47 @@
 Every bench regenerates one paper artifact (DESIGN.md §5).  Tables are
 written to ``benchmarks/results/`` so a ``pytest benchmarks/
 --benchmark-only`` run leaves the full reproduction on disk, and also
-echoed to the terminal when ``-s`` is passed.
+echoed to the terminal when ``-s`` is passed.  Each table gets a
+machine-readable ``BENCH_<id>.json`` sibling (bench id, params, wall
+time, counters, git rev) that CI uploads as an artifact.
 """
 
 import os
+from time import perf_counter
 
 import pytest
+
+from repro.bench.runner import experiment_record, write_record
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 @pytest.fixture(scope="session")
 def emit():
-    """Write (and echo) a regenerated table."""
+    """Write (and echo) a regenerated table plus its JSON record."""
     os.makedirs(RESULTS_DIR, exist_ok=True)
 
-    def _emit(experiment_id: str, table: str) -> None:
+    def _emit(experiment_id: str, table: str, *, rows=None,
+              wall_seconds=None, params=None, counters=None) -> None:
         path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(table + "\n")
+        record = experiment_record(
+            experiment_id, wall_seconds=wall_seconds, rows=rows,
+            params=params, counters=counters)
+        write_record(RESULTS_DIR, record)
         print(f"\n[{experiment_id}]\n{table}")
 
     return _emit
+
+
+@pytest.fixture()
+def timed():
+    """Measure a callable, returning ``(result, wall_seconds)``."""
+
+    def _timed(fn, *args, **kwargs):
+        started = perf_counter()
+        result = fn(*args, **kwargs)
+        return result, perf_counter() - started
+
+    return _timed

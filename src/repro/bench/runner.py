@@ -587,21 +587,92 @@ def run_all() -> str:
     return "\n".join(chunks)
 
 
+#: Version tag stamped into every machine-readable bench record.
+BENCH_RECORD_SCHEMA = "repro-bench-record/v1"
+
+
+def git_rev() -> str:
+    """Short git revision of the working tree, or ``"unknown"``."""
+    import os
+    import subprocess
+
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+        rev = proc.stdout.strip()
+        return rev if proc.returncode == 0 and rev else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def experiment_record(
+    exp_id: str,
+    *,
+    wall_seconds: float = None,
+    rows: Rows = None,
+    params: Dict[str, Any] = None,
+    counters: Dict[str, Any] = None,
+) -> Dict[str, Any]:
+    """Machine-readable record for one experiment run.
+
+    The schema is the contract for ``BENCH_*.json`` files written next
+    to the text tables: bench id, free-form parameters, wall time,
+    counters and the git revision that produced them.
+    """
+    merged_counters: Dict[str, Any] = dict(counters or {})
+    if rows is not None:
+        merged_counters.setdefault("rows", len(rows))
+    description = ""
+    if exp_id in EXPERIMENTS:
+        description = EXPERIMENTS[exp_id][0]
+    return {
+        "schema": BENCH_RECORD_SCHEMA,
+        "bench": exp_id,
+        "description": description,
+        "params": dict(params or {}),
+        "wall_seconds": wall_seconds,
+        "counters": merged_counters,
+        "git_rev": git_rev(),
+    }
+
+
+def write_record(directory: str, record: Dict[str, Any]) -> str:
+    """Write one ``BENCH_<id>.json`` record; returns the path."""
+    import json
+    import os
+
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{record['bench']}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
 def write_results(directory: str) -> List[str]:
     """Run every experiment, writing one table file per id.
 
-    Returns the paths written.  This is what ``repro-lid reproduce
-    --output DIR`` uses; the files match the format of the pinned
-    golden campaign (``tests/golden/campaign.txt``).
+    Each experiment also gets a machine-readable ``BENCH_<id>.json``
+    sibling (schema :data:`BENCH_RECORD_SCHEMA`).  Returns the paths
+    written.  This is what ``repro-lid reproduce --output DIR`` uses;
+    the text files match the format of the pinned golden campaign
+    (``tests/golden/campaign.txt``).
     """
     import os
+    from time import perf_counter
 
     os.makedirs(directory, exist_ok=True)
     paths: List[str] = []
     for exp_id, (description, runner) in EXPERIMENTS.items():
-        table, _rows = runner()
+        started = perf_counter()
+        table, rows = runner()
+        wall = perf_counter() - started
         path = os.path.join(directory, f"{exp_id}.txt")
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(f"[{exp_id}] {description}\n\n{table}\n")
         paths.append(path)
+        record = experiment_record(exp_id, wall_seconds=wall, rows=rows)
+        paths.append(write_record(directory, record))
     return paths

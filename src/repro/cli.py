@@ -8,6 +8,10 @@ Subcommands:
 * ``figure1`` / ``figure2`` — print the evolution traces of the paper's
   two figures;
 * ``deadlock``  — skeleton liveness check of a named topology;
+* ``trace``     — run with event tracing on; export JSONL or a Chrome
+  trace viewable in Perfetto / ``chrome://tracing``;
+* ``profile``   — run with the phase profiler on; print wall time per
+  scheduler phase, cycles/sec and events/sec;
 * ``export``    — emit a topology as DOT or JSON, or a protocol block
   as VHDL.
 
@@ -92,6 +96,11 @@ def main(argv=None) -> int:
     p_analyze.add_argument("--variant", type=_variant,
                            default=ProtocolVariant.CASU,
                            choices=list(ProtocolVariant))
+    p_analyze.add_argument("--metrics-out", default=None, metavar="FILE",
+                           help="also run an instrumented simulation and "
+                                "write its metrics snapshot as JSON")
+    p_analyze.add_argument("--cycles", type=int, default=200,
+                           help="cycles for the --metrics-out run")
 
     sub.add_parser("verify", help="run the safety-property campaign")
 
@@ -102,6 +111,9 @@ def main(argv=None) -> int:
     p_repro.add_argument("--output", "-o", default=None,
                          help="write one table file per experiment "
                               "into this directory")
+    p_repro.add_argument("--metrics-out", default=None, metavar="FILE",
+                         help="write per-experiment wall time and row "
+                              "counts as a JSON metrics snapshot")
 
     sub.add_parser("figure1", help="print the Figure 1 evolution")
     sub.add_parser("figure2", help="print the Figure 2 sweep")
@@ -120,6 +132,40 @@ def main(argv=None) -> int:
                         default=ProtocolVariant.CASU,
                         choices=list(ProtocolVariant))
     p_live.add_argument("--max-states", type=int, default=100_000)
+
+    p_trace = sub.add_parser(
+        "trace", help="run with event tracing and export the stream")
+    p_trace.add_argument("topology")
+    p_trace.add_argument("--cycles", type=int, default=200)
+    p_trace.add_argument("--variant", type=_variant,
+                         default=ProtocolVariant.CASU,
+                         choices=list(ProtocolVariant))
+    p_trace.add_argument("--format", choices=["jsonl", "chrome"],
+                         default="jsonl",
+                         help="jsonl: one event per line; chrome: "
+                              "Chrome Trace Event JSON (Perfetto)")
+    p_trace.add_argument("--engine", choices=["lid", "skeleton"],
+                         default="lid",
+                         help="lid: full token-level simulation; "
+                              "skeleton: valid/stop skeleton only")
+    p_trace.add_argument("--output", "-o", default=None,
+                         help="output file (default: stdout)")
+
+    p_profile = sub.add_parser(
+        "profile", help="run with the phase profiler and report timings")
+    p_profile.add_argument("topology")
+    p_profile.add_argument("--cycles", type=int, default=2000)
+    p_profile.add_argument("--variant", type=_variant,
+                           default=ProtocolVariant.CASU,
+                           choices=list(ProtocolVariant))
+    p_profile.add_argument("--json", action="store_true",
+                           help="print the report as JSON instead of a "
+                                "table")
+    p_profile.add_argument("--trace-out", default=None, metavar="FILE",
+                           help="also write a Chrome trace (events + "
+                                "profiler phase slices)")
+    p_profile.add_argument("--output", "-o", default=None,
+                           help="write the report here (default: stdout)")
 
     p_stats = sub.add_parser(
         "stats", help="simulate a topology and print run statistics")
@@ -154,23 +200,18 @@ def main(argv=None) -> int:
     if args.command == "analyze":
         graph = _parse_topology(args.topology)
         print(analyze(graph, variant=args.variant).render())
+        if args.metrics_out:
+            _write_metrics_snapshot(graph, args)
     elif args.command == "verify":
         from .verify import results_table, verify_all
 
         print(results_table(verify_all()))
     elif args.command == "reproduce":
-        if args.output:
-            from .bench.runner import write_results
-
-            for path in write_results(args.output):
-                print(f"wrote {path}")
-        elif args.experiment:
-            description, runner = EXPERIMENTS[args.experiment]
-            table, _rows = runner()
-            print(f"[{args.experiment}] {description}\n")
-            print(table)
-        else:
-            print(run_all())
+        _reproduce(args)
+    elif args.command == "trace":
+        return _trace(args)
+    elif args.command == "profile":
+        return _profile(args)
     elif args.command == "figure1":
         table, _rows = run_figure1()
         print(table)
@@ -223,6 +264,161 @@ def main(argv=None) -> int:
                 fh.write(text)
         else:
             print(text)
+    return 0
+
+
+def _run_instrumented(graph, variant, cycles, telemetry):
+    """Elaborate *graph*, attach *telemetry*, run *cycles* cycles."""
+    from .lid.monitor import watch_system
+
+    system = graph.elaborate(variant=variant)
+    system.attach_telemetry(telemetry)
+    watch_system(system)
+    if telemetry.events is not None:
+        telemetry.events.emit("run", "start", 0, topology=graph.name,
+                              variant=str(variant), cycles=cycles)
+    system.run(cycles)
+    if telemetry.events is not None:
+        telemetry.events.emit("run", "end", cycles)
+    return system
+
+
+def _write_metrics_snapshot(graph, args) -> None:
+    """``analyze --metrics-out``: instrumented run + JSON snapshot."""
+    import json
+
+    from .bench.runner import git_rev
+    from .obs import Telemetry
+
+    telemetry = Telemetry.metrics_only()
+    system = _run_instrumented(graph, args.variant, args.cycles, telemetry)
+    payload = {
+        "schema": "repro-metrics/v1",
+        "topology": args.topology,
+        "variant": str(args.variant),
+        "cycles": args.cycles,
+        "git_rev": git_rev(),
+        "metrics": system.metrics_snapshot(),
+    }
+    with open(args.metrics_out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.metrics_out}")
+
+
+def _reproduce(args) -> None:
+    import json
+    from time import perf_counter
+
+    from .bench.runner import git_rev
+
+    registry = None
+    if args.metrics_out:
+        from .obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+
+    def record(exp_id: str, wall: float, n_rows: int) -> None:
+        if registry is None:
+            return
+        registry.gauge(f"bench/{exp_id}/wall_seconds").set(wall)
+        registry.counter(f"bench/{exp_id}/rows").inc(n_rows)
+
+    if args.output:
+        from .bench.runner import write_results
+
+        for path in write_results(args.output):
+            print(f"wrote {path}")
+            if registry is not None and path.endswith(".json"):
+                with open(path, encoding="utf-8") as fh:
+                    rec = json.load(fh)
+                record(rec["bench"], rec["wall_seconds"],
+                       rec["counters"].get("rows", 0))
+    elif args.experiment:
+        description, runner = EXPERIMENTS[args.experiment]
+        started = perf_counter()
+        table, rows = runner()
+        record(args.experiment, perf_counter() - started, len(rows))
+        print(f"[{args.experiment}] {description}\n")
+        print(table)
+    elif registry is not None:
+        chunks = []
+        for exp_id, (description, runner) in EXPERIMENTS.items():
+            started = perf_counter()
+            table, rows = runner()
+            record(exp_id, perf_counter() - started, len(rows))
+            chunks.append(f"[{exp_id}] {description}\n\n{table}\n")
+        print("\n".join(chunks))
+    else:
+        print(run_all())
+
+    if registry is not None:
+        payload = {
+            "schema": "repro-metrics/v1",
+            "git_rev": git_rev(),
+            "metrics": registry.snapshot(),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out}")
+
+
+def _trace(args) -> int:
+    import sys as _sys
+
+    from .obs import Telemetry
+    from .obs.exporters import export_stream
+
+    graph = _parse_topology(args.topology)
+    telemetry = Telemetry.full()
+    if args.engine == "skeleton":
+        from .skeleton import SkeletonSim
+
+        sim = SkeletonSim(graph, variant=args.variant,
+                          telemetry=telemetry)
+        for _ in range(args.cycles):
+            sim.step()
+    else:
+        _run_instrumented(graph, args.variant, args.cycles, telemetry)
+    stream = telemetry.events
+    if args.output:
+        export_stream(stream, args.output, args.format)
+        first, last = stream.cycle_span()
+        print(f"wrote {args.output}: {len(stream)} events retained "
+              f"({stream.emitted} emitted, {stream.dropped} dropped), "
+              f"cycles {first}..{last}")
+    else:
+        export_stream(stream, _sys.stdout, args.format)
+    return 0
+
+
+def _profile(args) -> int:
+    import json
+
+    from .obs import Telemetry
+    from .obs.exporters import write_chrome_trace
+
+    graph = _parse_topology(args.topology)
+    telemetry = Telemetry.full()
+    _run_instrumented(graph, args.variant, args.cycles, telemetry)
+    profiler = telemetry.profiler
+    if args.json:
+        text = json.dumps(profiler.report(), indent=2, sort_keys=True)
+    else:
+        text = profiler.format_table(
+            title=f"profile: {args.topology} ({args.cycles} cycles, "
+                  f"{args.variant})")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    if args.trace_out:
+        write_chrome_trace(telemetry.events.events(), args.trace_out,
+                           profiler=profiler)
+        print(f"wrote {args.trace_out}")
     return 0
 
 

@@ -49,7 +49,32 @@ class ProtocolViolationError(ReproError):
     Examples: a token was overwritten before being consumed, or a block
     changed a held output while its stop input was asserted.  These checks
     are the runtime counterparts of the paper's SMV safety properties.
+
+    Besides the human-readable message, the exception carries the
+    structured coordinates of the violation so that telemetry exporters
+    and test harnesses need not parse the text: the *cycle* it was
+    detected at, the *channel* name, the protocol *variant* in force and
+    the *invariant* identifier (``"hold"``, ``"no-phantom-drop"``,
+    ``"stop-shape"``, ``"no-duplicate"``).
     """
+
+    def __init__(self, message: str, *, cycle=None, channel=None,
+                 variant=None, invariant=None):
+        super().__init__(message)
+        self.cycle = cycle
+        self.channel = channel
+        self.variant = variant
+        self.invariant = invariant
+
+    def details(self) -> dict:
+        """JSON-compatible structured view of the violation."""
+        return {
+            "message": str(self),
+            "cycle": self.cycle,
+            "channel": self.channel,
+            "variant": str(self.variant) if self.variant else None,
+            "invariant": self.invariant,
+        }
 
 
 class DeadlockError(ReproError):

@@ -20,15 +20,25 @@ FSMs on one clock (see DESIGN.md §2).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from time import perf_counter
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..errors import ConvergenceError
 from .component import Component
 from .signal import Signal
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs import Telemetry
+
 
 class Simulator:
-    """Owns signals and components and advances time cycle by cycle."""
+    """Owns signals and components and advances time cycle by cycle.
+
+    A :class:`~repro.obs.Telemetry` handle may be attached with
+    :meth:`attach_telemetry`; its profiler then receives per-phase wall
+    times (``publish+settle`` / ``hooks`` / ``edge``) and cycle counts.
+    Without telemetry (the default) the step loop is untouched.
+    """
 
     def __init__(self, name: str = "sim"):
         self.name = name
@@ -39,6 +49,7 @@ class Simulator:
         self._cycle_hooks: List[Callable[["Simulator"], None]] = []
         self._was_reset = False
         self.settle_passes_total = 0
+        self.telemetry: Optional["Telemetry"] = None
 
     # -- construction ----------------------------------------------------
 
@@ -69,6 +80,15 @@ class Simulator:
         is where traces and runtime protocol monitors sample.
         """
         self._cycle_hooks.append(hook)
+
+    def attach_telemetry(self, telemetry: "Telemetry") -> None:
+        """Route phase timings and events through *telemetry*.
+
+        Components read :attr:`telemetry` lazily, so attaching before
+        or after construction is equally fine; attach before
+        :meth:`step` for complete phase accounting.
+        """
+        self.telemetry = telemetry
 
     # -- execution -------------------------------------------------------
 
@@ -105,6 +125,10 @@ class Simulator:
         """Advance the simulation by *cycles* clock cycles."""
         if not self._was_reset:
             self.reset()
+        telemetry = self.telemetry
+        profiler = telemetry.profiler if telemetry is not None else None
+        if profiler is not None:
+            return self._step_profiled(cycles, profiler)
         for _ in range(cycles):
             self._settle()
             for hook in self._cycle_hooks:
@@ -112,6 +136,31 @@ class Simulator:
             for comp in self._components:
                 comp.tick()
             self.cycle += 1
+
+    def _step_profiled(self, cycles: int, profiler) -> None:
+        """The same loop as :meth:`step`, with per-phase wall timing."""
+        settle_s = hooks_s = edge_s = 0.0
+        for _ in range(cycles):
+            t0 = perf_counter()
+            self._settle()
+            t1 = perf_counter()
+            for hook in self._cycle_hooks:
+                hook(self)
+            t2 = perf_counter()
+            for comp in self._components:
+                comp.tick()
+            t3 = perf_counter()
+            settle_s += t1 - t0
+            hooks_s += t2 - t1
+            edge_s += t3 - t2
+            self.cycle += 1
+        profiler.add("publish+settle", settle_s, calls=cycles)
+        profiler.add("hooks", hooks_s, calls=cycles)
+        profiler.add("edge", edge_s, calls=cycles)
+        profiler.note_cycles(cycles)
+        events = self.telemetry.events
+        if events is not None:
+            profiler.events = events.emitted
 
     def run_until(
         self,

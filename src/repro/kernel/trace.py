@@ -62,7 +62,10 @@ class Trace:
         try:
             idx = self.names.index(name)
         except ValueError:
-            raise KeyError(f"signal {name!r} is not traced") from None
+            available = ", ".join(repr(n) for n in self.names) or "none"
+            raise KeyError(
+                f"signal {name!r} is not traced "
+                f"(traced signals: {available})") from None
         return [row[idx] for row in self._rows]
 
     def row(self, cycle: int) -> Dict[str, Any]:
@@ -70,7 +73,13 @@ class Trace:
         try:
             idx = self._cycles.index(cycle)
         except ValueError:
-            raise KeyError(f"cycle {cycle} was not traced") from None
+            if self._cycles:
+                span = (f"recorded cycles span "
+                        f"{self._cycles[0]}..{self._cycles[-1]}")
+            else:
+                span = "no cycles recorded yet"
+            raise KeyError(
+                f"cycle {cycle} was not traced ({span})") from None
         return dict(zip(self.names, self._rows[idx]))
 
     def rows(self) -> List[Dict[str, Any]]:
@@ -80,11 +89,17 @@ class Trace:
     # -- pretty printing ---------------------------------------------------
 
     def format_table(self, max_rows: int | None = None) -> str:
-        """Render the trace as an aligned text table (cycles as rows)."""
+        """Render the trace as an aligned text table (cycles as rows).
+
+        When *max_rows* truncates the trace, a ``... N more rows``
+        footer says how much was elided.
+        """
         header = ["cycle"] + self.names
         body: List[Sequence[str]] = []
         rows = list(zip(self._cycles, self._rows))
-        if max_rows is not None:
+        elided = 0
+        if max_rows is not None and len(rows) > max_rows:
+            elided = len(rows) - max_rows
             rows = rows[:max_rows]
         for cyc, row in rows:
             body.append([str(cyc)] + [_fmt(v) for v in row])
@@ -98,6 +113,8 @@ class Trace:
         ]
         for r in body:
             lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        if elided:
+            lines.append(f"... {elided} more rows")
         return "\n".join(lines)
 
 

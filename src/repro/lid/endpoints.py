@@ -155,6 +155,10 @@ class Sink(Component):
         token = self.input.read()
         if token.valid and not stopping:
             self.received.append((self.cycle, token.value))
+            telemetry = self._sim.telemetry if self._sim else None
+            if telemetry is not None and telemetry.events is not None:
+                telemetry.events.emit("token", "accept", self.cycle,
+                                      sink=self.name)
         elif not token.valid:
             self.void_cycles.append(self.cycle)
 

@@ -17,6 +17,13 @@ assertions bound to every channel:
 Attach with :func:`watch_system` (every channel) or by constructing
 :class:`ChannelMonitor` for specific channels.  Monitors are pure
 observers — they never drive signals — so they cannot perturb the run.
+
+Violations are *structured*: every raised
+:class:`~repro.errors.ProtocolViolationError` carries the cycle,
+channel name, protocol variant and invariant id, and — when the
+simulator has :class:`~repro.obs.Telemetry` attached — the same record
+is emitted as a ``monitor/violation`` event before raising, so a trace
+export captures the violation alongside the events leading up to it.
 """
 
 from __future__ import annotations
@@ -28,6 +35,28 @@ from ..kernel.scheduler import Simulator
 from .channel import Channel
 from .token import Token
 from .variant import ProtocolVariant
+
+
+def _violation(sim: Simulator, message: str, *, channel: str,
+               invariant: str, cycle: int,
+               variant: Optional[ProtocolVariant]
+               ) -> ProtocolViolationError:
+    """Build the structured error and trace it before it is raised."""
+    error = ProtocolViolationError(
+        message, cycle=cycle, channel=channel, variant=variant,
+        invariant=invariant)
+    telemetry = getattr(sim, "telemetry", None)
+    if telemetry is not None:
+        if telemetry.events is not None:
+            telemetry.events.emit(
+                "monitor", "violation", cycle, channel=channel,
+                invariant=invariant,
+                variant=str(variant) if variant else None,
+                message=message)
+        if telemetry.metrics is not None:
+            telemetry.metrics.counter(
+                f"lid/monitor/{invariant}/violations").inc()
+    return error
 
 
 class ChannelMonitor:
@@ -54,19 +83,25 @@ class ChannelMonitor:
         if self._prev_token is not None:
             held = self._prev_token.valid and self._prev_stop
             if held and token != self._prev_token:
-                raise ProtocolViolationError(
+                raise _violation(
+                    sim,
                     f"channel {self.channel.name!r}: token "
                     f"{self._prev_token} was stopped at cycle "
                     f"{sim.cycle - 1} but cycle {sim.cycle} presents "
-                    f"{token} — hold violated"
+                    f"{token} — hold violated",
+                    channel=self.channel.name, invariant="hold",
+                    cycle=sim.cycle, variant=self.variant,
                 )
 
         if self.strict_stop_shape and stop and not token.valid \
                 and self.variant is ProtocolVariant.CASU:
-            raise ProtocolViolationError(
+            raise _violation(
+                sim,
                 f"channel {self.channel.name!r}: stop asserted on a void "
                 f"token at cycle {sim.cycle}; the refined protocol "
-                f"discards stops on invalid signals"
+                f"discards stops on invalid signals",
+                channel=self.channel.name, invariant="stop-shape",
+                cycle=sim.cycle, variant=self.variant,
             )
 
         if token.valid:
@@ -101,10 +136,13 @@ class StreamMonitor:
         if token.valid and not stop:
             if (self.forbid_repeats and self.consumed
                     and self.consumed[-1] == token.value):
-                raise ProtocolViolationError(
+                raise _violation(
+                    sim,
                     f"channel {self.channel.name!r}: payload "
                     f"{token.value!r} consumed twice in a row at cycle "
-                    f"{sim.cycle}"
+                    f"{sim.cycle}",
+                    channel=self.channel.name, invariant="no-duplicate",
+                    cycle=sim.cycle, variant=None,
                 )
             self.consumed.append(token.value)
 

@@ -69,6 +69,16 @@ class _RelayBase(Component):
             return 0.0
         return sum(1 for c in self.valid_out_cycles if c < cycles) / cycles
 
+    def _trace_occupancy(self, before: int) -> None:
+        """Emit a ``relay/occupancy`` event when the fill level moved."""
+        telemetry = self._sim.telemetry if self._sim else None
+        if telemetry is None or telemetry.events is None:
+            return
+        occupancy = self.occupancy
+        if occupancy != before:
+            telemetry.events.emit("relay", "occupancy", self.cycle,
+                                  relay=self.name, occupancy=occupancy)
+
     @property
     def registers(self) -> int:
         """Number of data registers (2 for full, 1 for half)."""
@@ -105,6 +115,7 @@ class RelayStation(_RelayBase):
             self.input.set_stop(True)
 
     def tick(self) -> None:
+        occupancy_before = self.occupancy
         stop_in = self.output.stop_asserted()
         if self._main.valid and not stop_in:
             # A token actually departs this cycle (valid and unstopped).
@@ -130,6 +141,7 @@ class RelayStation(_RelayBase):
                 self._aux = incoming
                 self._stop_reg = True
             # else keep waiting with one buffered token, stop low.
+        self._trace_occupancy(occupancy_before)
 
 
 class HalfRelayStation(_RelayBase):
@@ -187,6 +199,7 @@ class HalfRelayStation(_RelayBase):
             self.input.set_stop(True)
 
     def tick(self) -> None:
+        occupancy_before = self.occupancy
         stop_in = self.output.stop_asserted()
         if self._main.valid and not stop_in:
             self.valid_out_cycles.append(self.cycle)
@@ -198,3 +211,4 @@ class HalfRelayStation(_RelayBase):
             self._main = incoming if accepted else VOID
         # else: hold; the transparent (or occupied-registered) stop has
         # already told the upstream to hold as well, so nothing is lost.
+        self._trace_occupancy(occupancy_before)

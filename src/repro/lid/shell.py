@@ -160,6 +160,10 @@ class Shell(Component):
                     self._out_regs[chan] = token
             self.fired_cycles.append(self.cycle)
             self.fire_count += 1
+            telemetry = self._sim.telemetry if self._sim else None
+            if telemetry is not None and telemetry.events is not None:
+                telemetry.events.emit("token", "fire", self.cycle,
+                                      block=self.name)
         else:
             for chans in self._outputs.values():
                 for chan in chans:

@@ -47,6 +47,7 @@ class LidSystem:
         self.channels: List[Channel] = []
         self._finalized = False
         self._channel_counter = 0
+        self.telemetry = None
 
     # -- block creation ----------------------------------------------------
 
@@ -222,6 +223,75 @@ class LidSystem:
         for chan in channels:
             signals.extend([chan.data, chan.valid, chan.stop])
         return Trace(self.sim, signals)
+
+    # -- telemetry --------------------------------------------------------------
+
+    def attach_telemetry(self, telemetry) -> "LidSystem":
+        """Wire a :class:`~repro.obs.Telemetry` through the whole system.
+
+        * the kernel profiler receives per-phase wall times;
+        * shells/sinks emit ``token`` events, relay stations emit
+          ``relay/occupancy`` events, monitors emit
+          ``monitor/violation`` events (all via the simulator handle);
+        * a sampling hook accumulates per-channel stall cycles and
+          per-relay occupancy histograms into the metrics registry and
+          traces ``stall/assert`` events.
+
+        Attach before :meth:`run`; returns ``self`` for chaining.
+        """
+        self.telemetry = telemetry
+        self.sim.attach_telemetry(telemetry)
+        if telemetry.metrics is not None or telemetry.events is not None:
+            self.sim.add_cycle_hook(self._sample_telemetry)
+        return self
+
+    def _sample_telemetry(self, sim: Simulator) -> None:
+        """Cycle hook: sample settled stop wires and relay fill levels."""
+        telemetry = self.telemetry
+        metrics = telemetry.metrics
+        events = telemetry.events
+        for chan in self.channels:
+            if chan.stop.value:
+                if metrics is not None:
+                    metrics.counter(
+                        f"lid/channel/{chan.name}/stall_cycles").inc()
+                if events is not None:
+                    events.emit("stall", "assert", sim.cycle,
+                                channel=chan.name,
+                                valid=bool(chan.valid.value))
+        if metrics is not None:
+            for name, relay in self.relays.items():
+                metrics.histogram(
+                    f"lid/relay/{name}/occupancy").observe(
+                        relay.occupancy)
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """Deterministic metrics snapshot of the run so far.
+
+        Folds the live block counters (shell fires and rates, sink
+        deliveries, settle passes) into the attached registry — or a
+        fresh one when no telemetry is attached — and returns
+        :meth:`~repro.obs.MetricsRegistry.snapshot`.
+        """
+        from ..obs import MetricsRegistry
+
+        registry = (self.telemetry.metrics
+                    if self.telemetry is not None
+                    and self.telemetry.metrics is not None
+                    else MetricsRegistry())
+        cycles = self.sim.cycle
+        registry.gauge("lid/cycles").set(cycles)
+        registry.gauge("lid/settle_passes").set(
+            self.sim.settle_passes_total)
+        for name, shell in self.shells.items():
+            registry.gauge(f"lid/shell/{name}/fires").set(
+                shell.fire_count)
+            registry.gauge(f"lid/shell/{name}/fire_rate").set(
+                shell.fire_count / cycles if cycles else 0.0)
+        for name, sink in self.sinks.items():
+            registry.gauge(f"lid/sink/{name}/accepts").set(
+                len(sink.received))
+        return registry.snapshot()
 
     # -- reference model -------------------------------------------------------
 

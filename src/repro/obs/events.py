@@ -1,0 +1,158 @@
+"""Structured event tracing: a ring-buffered simulation event stream.
+
+Every dynamic claim in the paper (throughput collapse under stop
+back-pressure, half-vs-full relay behaviour, transient structure) is an
+*event* pattern before it is a number.  :class:`EventStream` records
+those patterns as typed, timestamped records at negligible cost: a
+bounded ``deque`` of plain tuples, no formatting, no I/O until an
+exporter is asked for (:mod:`repro.obs.exporters`).
+
+The stream is **zero-cost when absent**: instrumented code guards every
+emission with ``if telemetry is not None`` (or the equivalent cached
+attribute check), so a run without telemetry executes no tracing code
+beyond a predictable branch.
+
+Event taxonomy (category / name):
+
+========== ================== ==========================================
+category   names              meaning / fields
+========== ================== ==========================================
+token      fire, accept       a shell fired / a sink consumed a token
+stall      assert             a stop wire observed asserted this cycle
+relay      occupancy          a relay station's buffered-token count
+                              changed (``occupancy`` holds the new value)
+monitor    violation          a runtime protocol monitor tripped
+                              (``invariant``, ``channel``, ``variant``)
+fixpoint   ambiguous          the stop network admitted more than one
+                              fixpoint this cycle (potential deadlock)
+phase      <phase name>       a profiler phase completed (``seconds``)
+run        start, end         run-level markers (parameters as fields)
+========== ================== ==========================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Known event categories (exporters accept unknown ones, this is the
+#: documented vocabulary used by the built-in instrumentation).
+CATEGORIES = ("token", "stall", "relay", "monitor", "fixpoint", "phase",
+              "run")
+
+#: Default ring capacity: enough for ~100 cycles of a dense mid-size
+#: system without unbounded growth on long runs.
+DEFAULT_CAPACITY = 65536
+
+
+class Event:
+    """One structured trace record.
+
+    Attributes
+    ----------
+    cycle:
+        Simulation cycle the event belongs to (wall-clock-free).
+    category, name:
+        Taxonomy coordinates (see module docstring).
+    fields:
+        Event-specific payload, JSON-compatible values only.
+    """
+
+    __slots__ = ("cycle", "category", "name", "fields")
+
+    def __init__(self, cycle: int, category: str, name: str,
+                 fields: Optional[Dict[str, Any]] = None):
+        self.cycle = cycle
+        self.category = category
+        self.name = name
+        self.fields = fields or {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flat JSON-compatible rendering (fields inlined)."""
+        record: Dict[str, Any] = {
+            "cycle": self.cycle,
+            "category": self.category,
+            "name": self.name,
+        }
+        for key, value in self.fields.items():
+            record[key] = value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "Event":
+        fields = {k: v for k, v in record.items()
+                  if k not in ("cycle", "category", "name")}
+        return cls(int(record["cycle"]), str(record["category"]),
+                   str(record["name"]), fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (self.cycle == other.cycle
+                and self.category == other.category
+                and self.name == other.name
+                and self.fields == other.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Event(cycle={self.cycle}, {self.category}/{self.name}, "
+                f"{self.fields!r})")
+
+
+class EventStream:
+    """Bounded in-memory event recorder.
+
+    Parameters
+    ----------
+    capacity:
+        Ring size; the oldest events are dropped once full (``None``
+        disables the bound — use only for short runs).  The number of
+        events dropped is tracked in :attr:`dropped`.
+    """
+
+    def __init__(self, capacity: Optional[int] = DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, category: str, name: str, cycle: int,
+             **fields: Any) -> None:
+        """Record one event (cheap: one tuple append)."""
+        self._events.append(Event(cycle, category, name, fields))
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events lost to the ring bound so far."""
+        return self.emitted - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def events(self) -> List[Event]:
+        """Snapshot of the retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.emitted = 0
+
+    def counts_by_category(self) -> Dict[str, int]:
+        """Retained events per category (diagnostic summary)."""
+        return dict(Counter(ev.category for ev in self._events))
+
+    def select(self, category: Optional[str] = None,
+               name: Optional[str] = None) -> List[Event]:
+        """Retained events filtered by category and/or name."""
+        return [ev for ev in self._events
+                if (category is None or ev.category == category)
+                and (name is None or ev.name == name)]
+
+    def cycle_span(self) -> Tuple[int, int]:
+        """(first, last) cycle among retained events; (0, 0) if empty."""
+        if not self._events:
+            return (0, 0)
+        cycles = [ev.cycle for ev in self._events]
+        return (min(cycles), max(cycles))

@@ -1,0 +1,178 @@
+"""Trace exporters: JSONL and Chrome-trace (Perfetto) formats.
+
+Two serializations of an :class:`~repro.obs.events.EventStream`:
+
+* **JSONL** — one flat JSON object per line, lossless and append-
+  friendly; :func:`read_jsonl` round-trips it back into events.
+* **Chrome trace** — the ``chrome://tracing`` / Perfetto JSON Array
+  format.  Simulation cycles map to microseconds (1 cycle = 1 us on the
+  trace timebase), per-category tracks are modelled as thread ids, and
+  profiler phases become duration (``ph="X"``) slices on a dedicated
+  track.  The output is a standard ``{"traceEvents": [...]}`` object,
+  directly loadable by Perfetto's UI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List, Optional, Union
+
+from .events import Event, EventStream
+from .profiler import Profiler
+
+PathOrFile = Union[str, IO[str]]
+
+#: Stable thread-id assignment for the Chrome-trace rendering: one
+#: track per event category, in taxonomy order.
+_CATEGORY_TIDS = {
+    "token": 1,
+    "stall": 2,
+    "relay": 3,
+    "monitor": 4,
+    "fixpoint": 5,
+    "run": 6,
+    "phase": 7,
+}
+_OTHER_TID = 15
+_PROFILER_TID = 8
+
+
+def _open(target: PathOrFile, write: bool):
+    if isinstance(target, str):
+        return open(target, "w" if write else "r", encoding="utf-8"), True
+    return target, False
+
+
+# -- JSONL ---------------------------------------------------------------
+
+
+def write_jsonl(events: Iterable[Event], target: PathOrFile) -> int:
+    """Write events as JSON Lines; returns the number written."""
+    fh, owned = _open(target, write=True)
+    count = 0
+    try:
+        for event in events:
+            fh.write(json.dumps(event.to_dict(), sort_keys=True))
+            fh.write("\n")
+            count += 1
+    finally:
+        if owned:
+            fh.close()
+    return count
+
+
+def read_jsonl(target: PathOrFile) -> List[Event]:
+    """Parse a JSONL trace back into :class:`Event` records."""
+    fh, owned = _open(target, write=False)
+    try:
+        events = []
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(Event.from_dict(json.loads(line)))
+        return events
+    finally:
+        if owned:
+            fh.close()
+
+
+# -- Chrome trace --------------------------------------------------------
+
+
+def to_chrome_trace(
+    events: Iterable[Event],
+    profiler: Optional[Profiler] = None,
+    process_name: str = "repro-lid",
+) -> Dict[str, Any]:
+    """Build a Chrome Trace Event Format object.
+
+    Simulation events become instant events (``ph="i"``) at
+    ``ts = cycle`` microseconds on per-category tracks; profiler phases
+    become one ``ph="X"`` slice each (duration = accumulated seconds)
+    laid end to end on a separate track, so relative phase cost is
+    visible at a glance.
+    """
+    trace_events: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": 0,
+        "tid": 0,
+        "args": {"name": process_name},
+    }]
+    used_tids: Dict[int, str] = {}
+    for event in events:
+        tid = _CATEGORY_TIDS.get(event.category, _OTHER_TID)
+        used_tids.setdefault(tid, event.category)
+        trace_events.append({
+            "name": f"{event.category}:{event.name}",
+            "cat": event.category,
+            "ph": "i",
+            "s": "t",
+            "ts": float(event.cycle),
+            "pid": 0,
+            "tid": tid,
+            "args": dict(event.fields),
+        })
+    if profiler is not None:
+        cursor = 0.0
+        used_tids.setdefault(_PROFILER_TID, "profiler")
+        for name, calls, seconds in profiler.phases():
+            duration_us = seconds * 1e6
+            trace_events.append({
+                "name": name,
+                "cat": "profiler",
+                "ph": "X",
+                "ts": cursor,
+                "dur": duration_us,
+                "pid": 0,
+                "tid": _PROFILER_TID,
+                "args": {"calls": calls, "seconds": seconds},
+            })
+            cursor += duration_us
+    for tid, label in sorted(used_tids.items()):
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": label},
+        })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {"timebase": "1 simulation cycle = 1 us"},
+    }
+
+
+def write_chrome_trace(
+    events: Iterable[Event],
+    target: PathOrFile,
+    profiler: Optional[Profiler] = None,
+    process_name: str = "repro-lid",
+) -> Dict[str, Any]:
+    """Serialize :func:`to_chrome_trace` to *target*; returns the dict."""
+    payload = to_chrome_trace(events, profiler=profiler,
+                              process_name=process_name)
+    fh, owned = _open(target, write=True)
+    try:
+        json.dump(payload, fh, sort_keys=True)
+    finally:
+        if owned:
+            fh.close()
+    return payload
+
+
+def export_stream(
+    stream: EventStream,
+    target: PathOrFile,
+    fmt: str = "jsonl",
+    profiler: Optional[Profiler] = None,
+) -> None:
+    """Convenience dispatcher used by the CLI (``--format`` flag)."""
+    if fmt == "jsonl":
+        write_jsonl(stream, target)
+    elif fmt == "chrome":
+        write_chrome_trace(stream, target, profiler=profiler)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r} "
+                         f"(choices: jsonl, chrome)")

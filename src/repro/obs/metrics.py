@@ -1,0 +1,171 @@
+"""Typed metrics registry: counters, gauges and discrete histograms.
+
+The registry is the quantitative half of :mod:`repro.obs`: while the
+event stream answers "what happened when", metrics answer "how much in
+total" — per-channel stall cycles, shell fire counts and rates, relay
+occupancy distributions, stop-wire activity.
+
+Design constraints, in order:
+
+1. **Determinism** — :meth:`MetricsRegistry.snapshot` must be
+   bit-identical across simulation backends for the same run (this is
+   enforced by the differential conformance suite); all values are
+   integers or exact integer ratios rendered identically, and keys are
+   emitted sorted.
+2. **Cheap updates** — counters are a single attribute increment;
+   instrumented hot loops may also accumulate privately and fold into
+   the registry once per run.
+3. **JSON-compatible snapshots** — ``snapshot()`` nests only dicts,
+   strings, ints and floats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional
+
+
+class Counter:
+    """Monotonically increasing integer metric."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-value metric (occupancy now, rate at end of run, ...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Any = 0
+
+    def set(self, value: Any) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Discrete (exact-bucket) histogram.
+
+    The simulator's distributions are over tiny integer domains (relay
+    occupancy 0..2, settle pass counts, pattern phases), so buckets are
+    the observed values themselves — no binning error, and bit-exact
+    across backends.
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self) -> None:
+        self.counts: Dict[int, int] = {}
+
+    def observe(self, value: int, count: int = 1) -> None:
+        self.counts[value] = self.counts.get(value, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def mean(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(v * c for v, c in self.counts.items()) / total
+
+
+class MetricsRegistry:
+    """Named, typed metric store with deterministic snapshots.
+
+    Metric names are slash-separated paths, e.g.
+    ``skeleton/channel/A->B#0/stall_cycles``; the path convention is
+    documented in ``docs/observability.md``.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls()
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> Iterable[str]:
+        return sorted(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All metrics as a sorted, JSON-compatible mapping."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {"type": "gauge", "value": metric.value}
+            else:
+                counts = {str(k): metric.counts[k]
+                          for k in sorted(metric.counts)}
+                out[name] = {"type": "histogram", "counts": counts,
+                             "total": metric.total}
+        return out
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, Any]]) -> None:
+        """Fold a snapshot (e.g. from a backend) into this registry."""
+        for name, record in snapshot.items():
+            kind = record.get("type")
+            if kind == "counter":
+                self.counter(name).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(name).set(record["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                for value, count in record["counts"].items():
+                    hist.observe(int(value), count)
+            else:
+                raise ValueError(f"unknown metric type {kind!r} "
+                                 f"for {name!r}")
+
+    def clear(self) -> None:
+        self._metrics.clear()
+
+
+def flatten_snapshot(snapshot: Dict[str, Dict[str, Any]],
+                     prefix: Optional[str] = None) -> Dict[str, Any]:
+    """Reduce a snapshot to scalar key/value pairs (for tables/JSON).
+
+    Counters and gauges keep their value; histograms expand to one key
+    per bucket plus a ``.total``.
+    """
+    flat: Dict[str, Any] = {}
+    for name, record in snapshot.items():
+        key = f"{prefix}/{name}" if prefix else name
+        if record["type"] in ("counter", "gauge"):
+            flat[key] = record["value"]
+        else:
+            for bucket, count in record["counts"].items():
+                flat[f"{key}[{bucket}]"] = count
+            flat[f"{key}.total"] = record["total"]
+    return flat

@@ -1,0 +1,132 @@
+"""Lightweight phase-timing profiler for simulation runs.
+
+Measures where wall time goes — per simulation phase (publish/settle,
+cycle hooks, clock edge), per cycle, and per emitted event — without a
+sampling profiler's overhead or noise.  The kernel scheduler calls
+:meth:`Profiler.add` with pre-measured durations so the disabled path
+costs nothing; user code can use the :meth:`phase` context manager.
+
+``repro-lid profile`` renders :meth:`report` as a table; the Chrome
+trace exporter turns recorded phases into ``chrome://tracing`` /
+Perfetto slices.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class PhaseStat:
+    """Accumulated wall time for one named phase."""
+
+    __slots__ = ("calls", "seconds")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+
+
+class Profiler:
+    """Accumulates named phase durations and run-level rates."""
+
+    def __init__(self) -> None:
+        self._phases: Dict[str, PhaseStat] = {}
+        self._order: List[str] = []
+        self._started = time.perf_counter()
+        self.cycles = 0
+        self.events = 0
+
+    # -- recording -------------------------------------------------------
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Fold a pre-measured duration into phase *name*."""
+        stat = self._phases.get(name)
+        if stat is None:
+            stat = PhaseStat()
+            self._phases[name] = stat
+            self._order.append(name)
+        stat.calls += calls
+        stat.seconds += seconds
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a ``with`` block as one call of phase *name*."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - start)
+
+    def note_cycles(self, cycles: int) -> None:
+        """Credit *cycles* simulated cycles to the run totals."""
+        self.cycles += cycles
+
+    def note_events(self, events: int) -> None:
+        """Credit *events* emitted trace events to the run totals."""
+        self.events += events
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(s.seconds for s in self._phases.values())
+
+    def phases(self) -> List[Tuple[str, int, float]]:
+        """(name, calls, seconds) in first-recorded order."""
+        return [(name, self._phases[name].calls,
+                 self._phases[name].seconds) for name in self._order]
+
+    def report(self) -> Dict[str, Any]:
+        """JSON-compatible summary of the run's timing."""
+        total = self.total_seconds
+        wall = time.perf_counter() - self._started
+        phases: Dict[str, Any] = {}
+        for name, calls, seconds in self.phases():
+            phases[name] = {
+                "calls": calls,
+                "seconds": seconds,
+                "share": (seconds / total) if total else 0.0,
+            }
+        report: Dict[str, Any] = {
+            "phases": phases,
+            "total_seconds": total,
+            "wall_seconds": wall,
+            "cycles": self.cycles,
+        }
+        if self.cycles:
+            report["us_per_cycle"] = total / self.cycles * 1e6
+            report["cycles_per_sec"] = (self.cycles / total
+                                        if total else 0.0)
+        if self.events:
+            report["events"] = self.events
+            report["events_per_sec"] = (self.events / total
+                                        if total else 0.0)
+        return report
+
+    def format_table(self, title: Optional[str] = None) -> str:
+        """Aligned text rendering of :meth:`report` (CLI output)."""
+        from ..bench.tables import format_table
+
+        rows = []
+        total = self.total_seconds
+        for name, calls, seconds in self.phases():
+            share = f"{seconds / total * 100:5.1f}%" if total else "-"
+            per_call = (f"{seconds / calls * 1e6:.2f} us"
+                        if calls else "-")
+            rows.append((name, calls, f"{seconds * 1e3:.3f} ms",
+                         per_call, share))
+        table = format_table(
+            ("phase", "calls", "total", "per call", "share"),
+            rows, title=title)
+        summary = [f"total measured: {total * 1e3:.3f} ms"]
+        if self.cycles:
+            summary.append(
+                f"cycles: {self.cycles} "
+                f"({total / self.cycles * 1e6:.2f} us/cycle)")
+        if self.events:
+            rate = self.events / total if total else 0.0
+            summary.append(f"events: {self.events} "
+                           f"({rate:,.0f} events/sec)")
+        return table + "\n" + "; ".join(summary)

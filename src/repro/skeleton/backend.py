@@ -97,6 +97,14 @@ class _Backend:
         """(batch,) cumulative asserted-stop-wire counts."""
         raise NotImplementedError
 
+    def metrics_snapshots(self) -> List[Dict]:
+        """One canonical metrics snapshot per instance.
+
+        Snapshots are backend-independent: the conformance suite
+        asserts scalar and vectorized snapshots are equal dicts.
+        """
+        raise NotImplementedError
+
 
 class ScalarBackend(_Backend):
     """One :class:`SkeletonSim` per instance, same interface."""
@@ -105,14 +113,16 @@ class ScalarBackend(_Backend):
 
     def __init__(self, graph: SystemGraph, variant: ProtocolVariant,
                  source_patterns: List[Dict], sink_patterns: List[Dict],
-                 fixpoint: str, detect_ambiguity: bool):
+                 fixpoint: str, detect_ambiguity: bool,
+                 telemetry=None):
         self.graph = graph
         self.batch = len(sink_patterns)
         self.sims = [
             SkeletonSim(graph, variant=variant, fixpoint=fixpoint,
                         source_patterns=source_patterns[i],
                         sink_patterns=sink_patterns[i],
-                        detect_ambiguity=detect_ambiguity)
+                        detect_ambiguity=detect_ambiguity,
+                        telemetry=telemetry)
             for i in range(self.batch)
         ]
         first = self.sims[0]
@@ -167,6 +177,9 @@ class ScalarBackend(_Backend):
         return np.array([sim.stop_assertions_total for sim in self.sims],
                         dtype=np.int64)
 
+    def metrics_snapshots(self) -> List[Dict]:
+        return [sim.metrics_snapshot() for sim in self.sims]
+
 
 class VectorizedBackend(_Backend):
     """A :class:`BatchSkeletonSim` behind the shared interface."""
@@ -175,7 +188,8 @@ class VectorizedBackend(_Backend):
 
     def __init__(self, graph: SystemGraph, variant: ProtocolVariant,
                  source_patterns: List[Dict], sink_patterns: List[Dict],
-                 fixpoint: str, detect_ambiguity: bool):
+                 fixpoint: str, detect_ambiguity: bool,
+                 telemetry=None):
         from .vectorized import BatchSkeletonSim
 
         self.graph = graph
@@ -183,7 +197,7 @@ class VectorizedBackend(_Backend):
         self.sim = BatchSkeletonSim(
             graph, sink_patterns, source_patterns=source_patterns,
             variant=variant, fixpoint=fixpoint,
-            detect_ambiguity=detect_ambiguity)
+            detect_ambiguity=detect_ambiguity, telemetry=telemetry)
         self.shell_names = self.sim.shell_names
         self.source_names = self.sim.source_names
         self.sink_names = self.sim.sink_names
@@ -203,6 +217,9 @@ class VectorizedBackend(_Backend):
     def stop_assertion_counts(self):
         return self.sim.stop_assertions_total.copy()
 
+    def metrics_snapshots(self) -> List[Dict]:
+        return [self.sim.metrics_snapshot(i) for i in range(self.batch)]
+
 
 def select(
     graph: SystemGraph,
@@ -214,6 +231,7 @@ def select(
     fixpoint: str = "least",
     detect_ambiguity: bool = True,
     backend: str = "auto",
+    telemetry=None,
 ) -> _Backend:
     """Pick the fastest exact engine for a skeleton workload.
 
@@ -229,6 +247,10 @@ def select(
         per instance — the sweep dimensions.
     backend:
         ``"auto"`` (default policy), ``"scalar"`` or ``"vectorized"``.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry` bundle.  Metric
+        accumulation is per-instance on either engine; event streams
+        are per-instance (scalar) or aggregate per cycle (vectorized).
 
     Returns a handle with ``run()`` / ``run_cycles()`` / count accessors
     that behave identically regardless of the engine chosen.
@@ -247,4 +269,5 @@ def select(
     use_vectorized = (backend == "vectorized"
                       or (backend == "auto" and supported and width > 1))
     cls = VectorizedBackend if use_vectorized else ScalarBackend
-    return cls(graph, variant, sources, sinks, fixpoint, detect_ambiguity)
+    return cls(graph, variant, sources, sinks, fixpoint, detect_ambiguity,
+               telemetry=telemetry)

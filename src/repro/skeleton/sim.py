@@ -97,6 +97,7 @@ class SkeletonSim:
         source_patterns: Optional[Dict[str, Sequence[bool]]] = None,
         sink_patterns: Optional[Dict[str, Sequence[bool]]] = None,
         detect_ambiguity: bool = True,
+        telemetry=None,
     ):
         if fixpoint not in ("least", "greatest"):
             raise ValueError("fixpoint must be 'least' or 'greatest'")
@@ -110,6 +111,13 @@ class SkeletonSim:
         self.variant = variant
         self.fixpoint = fixpoint
         self.detect_ambiguity = detect_ambiguity
+        # Telemetry is opt-in; the flags below keep the per-cycle cost
+        # of the disabled path to a single branch.
+        self.telemetry = telemetry
+        self._metrics_on = (telemetry is not None
+                            and telemetry.metrics is not None)
+        self._events_on = (telemetry is not None
+                           and telemetry.events is not None)
         self._build(source_patterns or {}, sink_patterns or {})
         self.reset()
 
@@ -138,6 +146,10 @@ class SkeletonSim:
         self.rs_kinds: List[int] = []
         self.rs_names: List[str] = []
         self.hops: List[_Hop] = []
+        # One stable name per hop (wire segment), e.g. "A->B[0]"; used
+        # as the channel key in telemetry metric paths and trace events.
+        self.hop_names: List[str] = []
+        self._hop_name_seen: Dict[str, int] = {}
         # Per shell: list of input hop ids / output hop ids (with their
         # owning out-register edge index).
         self.shell_in_hops: List[List[int]] = [[] for _ in self.shell_names]
@@ -203,6 +215,12 @@ class SkeletonSim:
                 self.hops.append(
                     _Hop(p_ref[0], p_ref[1], edge_reg, c_ref[0], c_ref[1])
                 )
+                name = f"{edge.src}->{edge.dst}[{seg}]"
+                dup = self._hop_name_seen.get(name, 0)
+                self._hop_name_seen[name] = dup + 1
+                if dup:
+                    name = f"{name}~{dup}"
+                self.hop_names.append(name)
                 _attach_producer(p_ref, hop_id)
                 _attach_consumer(c_ref, hop_id)
 
@@ -258,6 +276,11 @@ class SkeletonSim:
         self.stop_assertions_total = 0
         self.stops_on_voids_total = 0
         self.internal_stops_on_voids_total = 0
+        # Telemetry accumulators (only filled when metrics are on):
+        # per-hop stall cycles and per-relay end-of-cycle occupancy
+        # distribution ({0,1,2} -> cycles).  See metrics_snapshot().
+        self.hop_stall_cycles = [0] * len(self.hops)
+        self.rs_occupancy_counts = [[0, 0, 0] for _ in self.rs_kinds]
 
     def state(self) -> Tuple:
         """Hashable snapshot of all registers and script phases."""
@@ -435,10 +458,16 @@ class SkeletonSim:
             alt = self._settle_stops(valid, other)
             if alt != stop:
                 self.ambiguous_cycles.append(self.cycle)
+                if self._events_on:
+                    self.telemetry.events.emit(
+                        "fixpoint", "ambiguous", self.cycle)
 
+        collect = self._metrics_on
         for hop_id, asserted in enumerate(stop):
             if asserted:
                 self.stop_assertions_total += 1
+                if collect:
+                    self.hop_stall_cycles[hop_id] += 1
                 if not valid[hop_id]:
                     self.stops_on_voids_total += 1
                     if self.hops[hop_id].consumer_kind in (_SHELL,
@@ -455,6 +484,29 @@ class SkeletonSim:
         )
 
         self._apply_edge(valid, stop, fires)
+
+        if collect:
+            occupancy = self.rs_occupancy_counts
+            rs_main, rs_aux = self.rs_main, self.rs_aux
+            for rs_id in range(len(self.rs_kinds)):
+                occupancy[rs_id][int(rs_main[rs_id])
+                                 + int(rs_aux[rs_id])] += 1
+        if self._events_on:
+            events = self.telemetry.events
+            cycle = self.cycle
+            for i, fired in enumerate(fires):
+                if fired:
+                    events.emit("token", "fire", cycle,
+                                block=self.shell_names[i])
+            for i, accepted in enumerate(accepts):
+                if accepted:
+                    events.emit("token", "accept", cycle,
+                                sink=self.sink_names[i])
+            for hop_id, asserted in enumerate(stop):
+                if asserted:
+                    events.emit("stall", "assert", cycle,
+                                channel=self.hop_names[hop_id],
+                                valid=valid[hop_id])
 
         for src_id in range(len(self.source_names)):
             pattern = self.src_pattern[src_id]
@@ -517,6 +569,53 @@ class SkeletonSim:
             self._sink_override = None
         self.cycle += 1
         return fires, accepts, src_stops
+
+    # -- telemetry ------------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Dict]:
+        """Canonical metrics snapshot of the run so far.
+
+        The same snapshot (bit-identical keys and values) is produced
+        by the vectorized engine for each batch column — the contract
+        enforced by the differential conformance suite.  Per-hop stall
+        cycles and relay occupancy distributions are present only when
+        the simulator was constructed with metrics-collecting telemetry
+        (they need per-cycle accumulation); everything else comes from
+        the always-on counters.
+        """
+        from ..obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cycles = self.cycle
+        registry.counter("skeleton/cycles").inc(cycles)
+        for i, name in enumerate(self.shell_names):
+            fires = sum(1 for f in self.fire_history if f[i])
+            registry.counter(f"skeleton/shell/{name}/fires").inc(fires)
+            registry.gauge(f"skeleton/shell/{name}/fire_rate").set(
+                fires / cycles if cycles else 0.0)
+        for i, name in enumerate(self.sink_names):
+            accepts = sum(1 for a in self.accept_history if a[i])
+            registry.counter(f"skeleton/sink/{name}/accepts").inc(accepts)
+        registry.counter("skeleton/stop/assertions").inc(
+            self.stop_assertions_total)
+        registry.counter("skeleton/stop/on_voids").inc(
+            self.stops_on_voids_total)
+        registry.counter("skeleton/stop/on_voids_internal").inc(
+            self.internal_stops_on_voids_total)
+        registry.counter("skeleton/fixpoint/ambiguous").inc(
+            len(self.ambiguous_cycles))
+        if self._metrics_on:
+            for hop_id, stalls in enumerate(self.hop_stall_cycles):
+                registry.counter(
+                    f"skeleton/channel/{self.hop_names[hop_id]}"
+                    f"/stall_cycles").inc(stalls)
+            for rs_id, counts in enumerate(self.rs_occupancy_counts):
+                hist = registry.histogram(
+                    f"skeleton/relay/{self.rs_names[rs_id]}/occupancy")
+                for level, count in enumerate(counts):
+                    if count:
+                        hist.observe(level, count)
+        return registry.snapshot()
 
     # -- analysis-level driver ------------------------------------------------
 

@@ -129,6 +129,7 @@ class BatchSkeletonSim:
         variant: ProtocolVariant = DEFAULT_VARIANT,
         fixpoint: str = "least",
         detect_ambiguity: bool = True,
+        telemetry=None,
     ):
         if fixpoint not in ("least", "greatest"):
             raise ValueError("fixpoint must be 'least' or 'greatest'")
@@ -148,6 +149,15 @@ class BatchSkeletonSim:
         self.variant = variant
         self.fixpoint = fixpoint
         self.detect_ambiguity = detect_ambiguity
+        # Telemetry: metrics are accumulated vectorized (bit-identical
+        # to the scalar engine per column); events are aggregate —
+        # batch-wide per-cycle counts rather than one event per
+        # instance (use the scalar engine for per-instance traces).
+        self.telemetry = telemetry
+        self._metrics_on = (telemetry is not None
+                            and telemetry.metrics is not None)
+        self._events_on = (telemetry is not None
+                           and telemetry.events is not None)
 
         # Reuse the scalar builder for the wiring tables (this also
         # desugars queued shells, exactly as the scalar engine does).
@@ -312,6 +322,12 @@ class BatchSkeletonSim:
         self.stop_assertions_total = np.zeros(b, dtype=np.int64)
         self.stops_on_voids_total = np.zeros(b, dtype=np.int64)
         self.internal_stops_on_voids_total = np.zeros(b, dtype=np.int64)
+        # Telemetry accumulators (updated only when metrics are on),
+        # mirroring SkeletonSim.hop_stall_cycles / rs_occupancy_counts.
+        self.hop_stall_cycles = np.zeros((self._n_hops, b),
+                                         dtype=np.int64)
+        self.rs_occupancy_counts = np.zeros((3, self._n_rs, b),
+                                            dtype=np.int64)
         self.ambiguous_cycles: List[List[int]] = [[] for _ in range(b)]
         self._fire_history: List[np.ndarray] = []
         self._accept_history: List[np.ndarray] = []
@@ -493,7 +509,14 @@ class BatchSkeletonSim:
             if np.any(differs):
                 for i in np.nonzero(differs)[0]:
                     self.ambiguous_cycles[int(i)].append(self.cycle)
+                if self._events_on:
+                    self.telemetry.events.emit(
+                        "fixpoint", "ambiguous", self.cycle,
+                        instances=[int(i)
+                                   for i in np.nonzero(differs)[0]])
 
+        if self._metrics_on:
+            self.hop_stall_cycles += stop
         self.stop_assertions_total += stop.sum(axis=0)
         voids = stop & ~valid
         self.stops_on_voids_total += voids.sum(axis=0)
@@ -522,6 +545,26 @@ class BatchSkeletonSim:
         self.sink_accepted += accepts
         self._fire_history.append(fires)
         self._accept_history.append(accepts)
+        if self._metrics_on and self._n_rs:
+            # End-of-cycle relay fill level, as in the scalar engine.
+            occupancy = (self.rs_main.astype(np.int8)
+                         + self.rs_aux.astype(np.int8))
+            for level in range(3):
+                self.rs_occupancy_counts[level] += occupancy == level
+        if self._events_on:
+            # Aggregate (batch-wide) per-cycle counts; per-instance
+            # event streams come from the scalar engine.
+            self.telemetry.events.emit(
+                "token", "fire", self.cycle,
+                count=int(fires.sum()), instances=self.batch)
+            accepted_total = int(accepts.sum())
+            if accepted_total:
+                self.telemetry.events.emit(
+                    "token", "accept", self.cycle, count=accepted_total)
+            stalled_total = int(stop.sum())
+            if stalled_total:
+                self.telemetry.events.emit(
+                    "stall", "assert", self.cycle, count=stalled_total)
         self.cycle += 1
         return fires, accepts
 
@@ -601,6 +644,58 @@ class BatchSkeletonSim:
                                           else None),
             ))
         return results
+
+    # -- telemetry ----------------------------------------------------------
+
+    def metrics_snapshot(self, instance: int = 0) -> Dict[str, Dict]:
+        """Canonical metrics snapshot for one batch column.
+
+        Bit-identical to :meth:`SkeletonSim.metrics_snapshot` run with
+        the same scripts — keys, integer counters and float gauges all
+        match exactly (the conformance suite asserts this).
+        """
+        from ..obs import MetricsRegistry
+
+        if not 0 <= instance < self.batch:
+            raise IndexError(
+                f"instance {instance} out of range for batch "
+                f"{self.batch}")
+        registry = MetricsRegistry()
+        cycles = self.cycle
+        registry.counter("skeleton/cycles").inc(cycles)
+        for i, name in enumerate(self.shell_names):
+            fires = int(self.shell_fired[i, instance])
+            registry.counter(f"skeleton/shell/{name}/fires").inc(fires)
+            registry.gauge(f"skeleton/shell/{name}/fire_rate").set(
+                fires / cycles if cycles else 0.0)
+        for i, name in enumerate(self.sink_names):
+            registry.counter(f"skeleton/sink/{name}/accepts").inc(
+                int(self.sink_accepted[i, instance]))
+        registry.counter("skeleton/stop/assertions").inc(
+            int(self.stop_assertions_total[instance]))
+        registry.counter("skeleton/stop/on_voids").inc(
+            int(self.stops_on_voids_total[instance]))
+        registry.counter("skeleton/stop/on_voids_internal").inc(
+            int(self.internal_stops_on_voids_total[instance]))
+        registry.counter("skeleton/fixpoint/ambiguous").inc(
+            len(self.ambiguous_cycles[instance]))
+        if self._metrics_on:
+            hop_names = self._scalar.hop_names
+            for hop_id in range(self._n_hops):
+                registry.counter(
+                    f"skeleton/channel/{hop_names[hop_id]}"
+                    f"/stall_cycles").inc(
+                        int(self.hop_stall_cycles[hop_id, instance]))
+            rs_names = self._scalar.rs_names
+            for rs_id in range(self._n_rs):
+                hist = registry.histogram(
+                    f"skeleton/relay/{rs_names[rs_id]}/occupancy")
+                for level in range(3):
+                    count = int(
+                        self.rs_occupancy_counts[level, rs_id, instance])
+                    if count:
+                        hist.observe(level, count)
+        return registry.snapshot()
 
     # -- results -----------------------------------------------------------
 

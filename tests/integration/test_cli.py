@@ -79,14 +79,24 @@ class TestCommands:
         assert "(m-i)/m" in out
 
     def test_reproduce_to_directory(self, tmp_path, capsys):
+        import json
+
         out_dir = tmp_path / "campaign"
         assert main(["reproduce", "--output", str(out_dir)]) == 0
-        from repro.bench.runner import EXPERIMENTS
+        from repro.bench.runner import BENCH_RECORD_SCHEMA, EXPERIMENTS
 
         for exp_id in EXPERIMENTS:
             path = out_dir / f"{exp_id}.txt"
             assert path.exists(), exp_id
             assert path.read_text().startswith(f"[{exp_id}]")
+            record_path = out_dir / f"BENCH_{exp_id}.json"
+            assert record_path.exists(), exp_id
+            record = json.loads(record_path.read_text())
+            assert record["schema"] == BENCH_RECORD_SCHEMA
+            assert record["bench"] == exp_id
+            assert record["wall_seconds"] > 0
+            assert record["counters"]["rows"] >= 0
+            assert record["git_rev"]
 
     def test_verify_command(self, capsys):
         assert main(["verify"]) == 0
@@ -96,6 +106,87 @@ class TestCommands:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestObservabilityCommands:
+    def test_trace_jsonl(self, tmp_path, capsys):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "figure1", "--cycles", "30",
+                     "--output", str(path)]) == 0
+        events = read_jsonl(str(path))
+        assert events
+        assert {ev.category for ev in events} >= {"token", "run"}
+        # run/end marker sits at the final cycle boundary
+        assert max(ev.cycle for ev in events) <= 30
+
+    def test_trace_chrome_format(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        assert main(["trace", "figure1", "--cycles", "30",
+                     "--format", "chrome", "--output", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["traceEvents"]
+        assert any(e.get("ph") == "i" for e in payload["traceEvents"])
+
+    def test_trace_skeleton_engine(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        path = tmp_path / "trace.jsonl"
+        assert main(["trace", "figure2", "--engine", "skeleton",
+                     "--cycles", "20", "--output", str(path)]) == 0
+        assert read_jsonl(str(path))
+
+    def test_trace_to_stdout(self, capsys):
+        assert main(["trace", "figure1", "--cycles", "10"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        lines = [json.loads(line) for line in out.splitlines() if line]
+        assert lines and all("cycle" in record for record in lines)
+
+    def test_profile_table(self, capsys):
+        assert main(["profile", "figure1", "--cycles", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "publish+settle" in out
+        assert "us/cycle" in out
+
+    def test_profile_json_and_trace_out(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "prof.json"
+        report_path = tmp_path / "report.json"
+        assert main(["profile", "figure1", "--cycles", "50", "--json",
+                     "--output", str(report_path),
+                     "--trace-out", str(trace_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["cycles"] == 50
+        assert "publish+settle" in report["phases"]
+        payload = json.loads(trace_path.read_text())
+        assert any(e.get("ph") == "X" for e in payload["traceEvents"])
+
+    def test_analyze_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["analyze", "figure1", "--cycles", "40",
+                     "--metrics-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-metrics/v1"
+        assert payload["metrics"]["lid/cycles"]["value"] == 40
+
+    def test_reproduce_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bench.json"
+        assert main(["reproduce", "--experiment", "EXP-F2",
+                     "--metrics-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        metrics = payload["metrics"]
+        assert metrics["bench/EXP-F2/wall_seconds"]["value"] > 0
+        assert metrics["bench/EXP-F2/rows"]["value"] > 0
 
 
 class TestExport:

@@ -94,4 +94,38 @@ class TestTrace:
         trace = Trace(sim, [a])
         sim.step(5)
         text = trace.format_table(max_rows=2)
-        assert text.count("\n") == 3  # header + separator + 2 rows
+        # header + separator + 2 rows + elision footer
+        assert text.count("\n") == 4
+        assert text.endswith("... 3 more rows")
+
+    def test_format_table_no_footer_when_nothing_elided(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a])
+        sim.step(3)
+        assert "more rows" not in trace.format_table(max_rows=3)
+        assert "more rows" not in trace.format_table()
+
+    def test_column_keyerror_names_available_signals(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a, b])
+        sim.step(1)
+        with pytest.raises(KeyError, match="traced signals"):
+            trace.column("zzz")
+        try:
+            trace.column("zzz")
+        except KeyError as error:
+            message = str(error)
+            assert a.name in message and b.name in message
+
+    def test_row_keyerror_names_recorded_span(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a])
+        sim.step(3)
+        with pytest.raises(KeyError, match="span 0..2"):
+            trace.row(99)
+
+    def test_row_keyerror_on_empty_trace(self):
+        sim, a, b = make_sim()
+        trace = Trace(sim, [a])
+        with pytest.raises(KeyError, match="no cycles recorded"):
+            trace.row(0)

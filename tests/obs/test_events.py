@@ -1,0 +1,81 @@
+"""Unit tests for the structured event stream."""
+
+import pytest
+
+from repro.obs import CATEGORIES, Event, EventStream
+
+
+class TestEvent:
+    def test_to_dict_is_flat(self):
+        event = Event(7, "token", "fire", {"block": "A"})
+        assert event.to_dict() == {
+            "cycle": 7, "category": "token", "name": "fire", "block": "A",
+        }
+
+    def test_round_trip(self):
+        event = Event(3, "relay", "occupancy",
+                      {"relay": "r0", "occupancy": 2})
+        assert Event.from_dict(event.to_dict()) == event
+
+    def test_equality_includes_fields(self):
+        a = Event(1, "stall", "assert", {"channel": "c"})
+        b = Event(1, "stall", "assert", {"channel": "d"})
+        assert a != b
+
+
+class TestEventStream:
+    def test_emit_and_iterate(self):
+        stream = EventStream()
+        stream.emit("token", "fire", 0, block="A")
+        stream.emit("token", "fire", 1, block="B")
+        assert len(stream) == 2
+        assert [ev.cycle for ev in stream] == [0, 1]
+        assert stream.emitted == 2
+        assert stream.dropped == 0
+
+    def test_ring_drops_oldest(self):
+        stream = EventStream(capacity=3)
+        for cycle in range(5):
+            stream.emit("token", "fire", cycle)
+        assert len(stream) == 3
+        assert stream.emitted == 5
+        assert stream.dropped == 2
+        assert [ev.cycle for ev in stream] == [2, 3, 4]
+
+    def test_unbounded_when_capacity_none(self):
+        stream = EventStream(capacity=None)
+        for cycle in range(100):
+            stream.emit("token", "fire", cycle)
+        assert len(stream) == 100
+        assert stream.dropped == 0
+
+    def test_select_and_counts(self):
+        stream = EventStream()
+        stream.emit("token", "fire", 0, block="A")
+        stream.emit("stall", "assert", 0, channel="c")
+        stream.emit("token", "accept", 1, sink="out")
+        assert stream.counts_by_category() == {"token": 2, "stall": 1}
+        assert len(stream.select("token")) == 2
+        assert len(stream.select("token", "fire")) == 1
+        assert stream.select("monitor") == []
+
+    def test_cycle_span(self):
+        stream = EventStream()
+        assert stream.cycle_span() == (0, 0)
+        stream.emit("run", "start", 4)
+        stream.emit("run", "end", 9)
+        assert stream.cycle_span() == (4, 9)
+
+    def test_clear_resets_counters(self):
+        stream = EventStream(capacity=2)
+        for cycle in range(4):
+            stream.emit("token", "fire", cycle)
+        stream.clear()
+        assert len(stream) == 0
+        assert stream.emitted == 0
+        assert stream.dropped == 0
+
+    def test_builtin_categories_documented(self):
+        for category in ("token", "stall", "relay", "monitor",
+                         "fixpoint", "phase", "run"):
+            assert category in CATEGORIES

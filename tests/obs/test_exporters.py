@@ -1,0 +1,125 @@
+"""Round-trip and schema tests for the trace exporters."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    EventStream,
+    Profiler,
+    Telemetry,
+    export_stream,
+    read_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def _stream():
+    stream = EventStream()
+    stream.emit("token", "fire", 0, block="A")
+    stream.emit("stall", "assert", 1, channel="A->B", valid=True)
+    stream.emit("relay", "occupancy", 2, relay="rs0", occupancy=2)
+    stream.emit("monitor", "violation", 3, channel="A->B",
+                invariant="hold", variant="casu")
+    return stream
+
+
+class TestJsonl:
+    def test_round_trip_via_file(self, tmp_path):
+        stream = _stream()
+        path = str(tmp_path / "trace.jsonl")
+        assert write_jsonl(stream, path) == 4
+        assert read_jsonl(path) == stream.events()
+
+    def test_round_trip_via_file_object(self):
+        stream = _stream()
+        buffer = io.StringIO()
+        write_jsonl(stream, buffer)
+        buffer.seek(0)
+        assert read_jsonl(buffer) == stream.events()
+
+    def test_lines_are_flat_json_objects(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(_stream(), path)
+        with open(path, encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+        assert len(lines) == 4
+        for record in lines:
+            assert {"cycle", "category", "name"} <= set(record)
+            assert all(not isinstance(v, (dict, list))
+                       for v in record.values())
+
+
+class TestChromeTrace:
+    def test_schema(self):
+        payload = to_chrome_trace(_stream().events())
+        assert set(payload) == {"traceEvents", "displayTimeUnit",
+                                "otherData"}
+        instants = [e for e in payload["traceEvents"]
+                    if e.get("ph") == "i"]
+        assert len(instants) == 4
+        for entry in instants:
+            assert {"name", "cat", "ph", "ts", "pid", "tid",
+                    "args"} <= set(entry)
+        # Distinct categories land on distinct tracks.
+        assert len({e["tid"] for e in instants}) == 4
+
+    def test_metadata_names_tracks(self):
+        payload = to_chrome_trace(_stream().events())
+        names = {e["args"]["name"] for e in payload["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"}
+        assert {"token", "stall", "relay", "monitor"} <= names
+
+    def test_profiler_slices(self):
+        profiler = Profiler()
+        profiler.add("settle", 0.002, calls=10)
+        profiler.add("edge", 0.001, calls=10)
+        payload = to_chrome_trace(_stream().events(), profiler=profiler)
+        slices = [e for e in payload["traceEvents"]
+                  if e.get("ph") == "X"]
+        assert [s["name"] for s in slices] == ["settle", "edge"]
+        assert slices[0]["dur"] == pytest.approx(2000.0)
+        # Slices are laid end to end on one dedicated track.
+        assert slices[1]["ts"] == pytest.approx(slices[0]["dur"])
+        assert len({s["tid"] for s in slices}) == 1
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(_stream().events(), path)
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["traceEvents"]
+
+
+class TestExportStream:
+    def test_dispatch(self, tmp_path):
+        stream = _stream()
+        jsonl_path = str(tmp_path / "t.jsonl")
+        chrome_path = str(tmp_path / "t.json")
+        export_stream(stream, jsonl_path, "jsonl")
+        export_stream(stream, chrome_path, "chrome")
+        assert read_jsonl(jsonl_path) == stream.events()
+        with open(chrome_path, encoding="utf-8") as fh:
+            assert json.load(fh)["traceEvents"]
+
+    def test_unknown_format_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown trace format"):
+            export_stream(_stream(), str(tmp_path / "t"), "vcd")
+
+
+class TestTelemetryBundle:
+    def test_factories(self):
+        full = Telemetry.full()
+        assert full.events is not None
+        assert full.metrics is not None
+        assert full.profiler is not None
+        metrics_only = Telemetry.metrics_only()
+        assert metrics_only.events is None
+        assert metrics_only.metrics is not None
+        assert metrics_only.profiler is None
+        profile_only = Telemetry.profile_only()
+        assert profile_only.profiler is not None
+        assert profile_only.metrics is None

@@ -1,0 +1,113 @@
+"""Unit tests for the metrics registry and the profiler."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Profiler,
+    flatten_snapshot,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_gauge(self):
+        gauge = Gauge()
+        gauge.set(0.5)
+        gauge.set(0.25)
+        assert gauge.value == 0.25
+
+    def test_histogram_exact_buckets(self):
+        hist = Histogram()
+        hist.observe(0, count=3)
+        hist.observe(2)
+        hist.observe(2)
+        assert hist.total == 5
+        assert hist.mean() == (0 * 3 + 2 * 2) / 5
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_snapshot_is_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("b/count").inc(2)
+        registry.gauge("a/rate").set(0.5)
+        registry.histogram("c/occ").observe(1, count=3)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["b/count"] == {"type": "counter", "value": 2}
+        assert snapshot["a/rate"] == {"type": "gauge", "value": 0.5}
+        assert snapshot["c/occ"]["type"] == "histogram"
+        assert snapshot["c/occ"]["counts"] == {"1": 3}
+        assert snapshot["c/occ"]["total"] == 3
+
+    def test_merge_snapshot_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(7)
+        registry.histogram("h").observe(0, count=2)
+        other = MetricsRegistry()
+        other.merge_snapshot(registry.snapshot())
+        assert other.snapshot() == registry.snapshot()
+
+    def test_clear(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        registry.clear()
+        assert registry.snapshot() == {}
+
+    def test_flatten_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        registry.gauge("g").set(1.5)
+        flat = flatten_snapshot(registry.snapshot())
+        assert flat["n"] == 2
+        assert flat["g"] == 1.5
+
+
+class TestProfiler:
+    def test_phase_accumulation(self):
+        profiler = Profiler()
+        profiler.add("settle", 0.25, calls=10)
+        profiler.add("settle", 0.75, calls=10)
+        profiler.add("edge", 1.0, calls=20)
+        assert profiler.total_seconds == pytest.approx(2.0)
+        phases = dict((name, (calls, seconds))
+                      for name, calls, seconds in profiler.phases())
+        assert phases["settle"] == (20, pytest.approx(1.0))
+
+    def test_context_manager_measures(self):
+        profiler = Profiler()
+        with profiler.phase("work"):
+            pass
+        (name, calls, seconds), = profiler.phases()
+        assert name == "work"
+        assert calls == 1
+        assert seconds >= 0.0
+
+    def test_report_shape(self):
+        profiler = Profiler()
+        profiler.add("edge", 0.5, calls=100)
+        profiler.note_cycles(100)
+        profiler.note_events(400)
+        report = profiler.report()
+        assert report["cycles"] == 100
+        assert report["events"] == 400
+        assert report["phases"]["edge"]["share"] == pytest.approx(1.0)
+        assert "edge" in profiler.format_table()

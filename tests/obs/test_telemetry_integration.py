@@ -1,0 +1,156 @@
+"""End-to-end telemetry: lid system, monitors, scheduler profiler."""
+
+import pytest
+
+from repro.errors import ProtocolViolationError
+from repro.graph import figure1
+from repro.kernel.component import Component
+from repro.lid.channel import Channel
+from repro.lid.monitor import ChannelMonitor, watch_system
+from repro.lid.token import Token
+from repro.obs import Telemetry
+
+from ..conftest import build_pipeline
+
+
+def _run_figure1(telemetry, cycles=50):
+    system = figure1().elaborate()
+    system.attach_telemetry(telemetry)
+    watch_system(system)
+    system.run(cycles)
+    return system
+
+
+class TestLidEvents:
+    def test_full_run_emits_token_and_relay_events(self):
+        telemetry = Telemetry.full()
+        _run_figure1(telemetry)
+        counts = telemetry.events.counts_by_category()
+        assert counts.get("token", 0) > 0
+        assert counts.get("relay", 0) > 0
+        fires = telemetry.events.select("token", "fire")
+        assert {ev.fields["block"] for ev in fires} >= {"A", "C"}
+
+    def test_stall_events_under_back_pressure(self):
+        telemetry = Telemetry.full()
+        system, _sink = build_pipeline(
+            stages=2, relays=1, stop_script=lambda c: c % 2 == 0)
+        system.attach_telemetry(telemetry)
+        system.run(40)
+        stalls = telemetry.events.select("stall", "assert")
+        assert stalls
+        assert all("channel" in ev.fields for ev in stalls)
+
+
+class TestLidMetrics:
+    def test_snapshot_has_channel_shell_and_relay_metrics(self):
+        telemetry = Telemetry.metrics_only()
+        system, _sink = build_pipeline(
+            stages=2, relays=1, stop_script=lambda c: c % 3 == 0)
+        system.attach_telemetry(telemetry)
+        system.run(60)
+        snapshot = system.metrics_snapshot()
+        assert snapshot["lid/cycles"]["value"] == 60
+        assert any(k.startswith("lid/shell/") and k.endswith("/fires")
+                   for k in snapshot)
+        assert any(k.startswith("lid/channel/") for k in snapshot)
+        hists = [v for k, v in snapshot.items()
+                 if k.startswith("lid/relay/")]
+        assert hists
+        for hist in hists:
+            assert hist["total"] == 60
+
+    def test_fire_rate_between_zero_and_one(self):
+        telemetry = Telemetry.metrics_only()
+        system = _run_figure1(telemetry)
+        snapshot = system.metrics_snapshot()
+        rates = [v["value"] for k, v in snapshot.items()
+                 if k.endswith("/fire_rate")]
+        assert rates
+        assert all(0.0 <= rate <= 1.0 for rate in rates)
+
+
+class TestSchedulerProfiler:
+    def test_phases_recorded(self):
+        telemetry = Telemetry.profile_only()
+        _run_figure1(telemetry, cycles=30)
+        names = {name for name, _c, _s in telemetry.profiler.phases()}
+        assert {"publish+settle", "hooks", "edge"} <= names
+        report = telemetry.profiler.report()
+        assert report["cycles"] == 30
+
+    def test_no_profiler_no_phase_records(self):
+        telemetry = Telemetry.metrics_only()
+        _run_figure1(telemetry, cycles=10)
+        assert telemetry.profiler is None
+
+
+class TestMonitorViolations:
+    def _misbehaving_system(self, telemetry):
+        """A harness whose channel monitor sees a hold violation."""
+        from repro.kernel.scheduler import Simulator
+
+        class HoldBreaker(Component):
+            """Changes a stopped token: the classic hold violation."""
+
+            def __init__(self, name, chan):
+                super().__init__(name)
+                self.chan = chan
+                self.counter = 0
+
+            def reset(self):
+                self.counter = 0
+
+            def publish(self):
+                self.chan.drive(Token(self.counter))
+
+            def tick(self):
+                self.counter += 1  # advances even while stopped
+
+        class Stopper(Component):
+            def __init__(self, name, chan, stop_at):
+                super().__init__(name)
+                self.chan = chan
+                self.stop_at = stop_at
+
+            def publish(self):
+                if self.cycle in self.stop_at:
+                    self.chan.set_stop(True)
+
+            def tick(self):
+                pass
+
+        sim = Simulator()
+        chan = Channel.create(sim, "ch")
+        sim.add_component(HoldBreaker("bad", chan))
+        sim.add_component(Stopper("stop", chan, stop_at={3}))
+        ChannelMonitor(chan).attach(sim)
+        if telemetry is not None:
+            sim.attach_telemetry(telemetry)
+        return sim
+
+    def test_violation_error_carries_details(self):
+        telemetry = Telemetry.full()
+        sim = self._misbehaving_system(telemetry)
+        with pytest.raises(ProtocolViolationError) as excinfo:
+            sim.step(5)
+        error = excinfo.value
+        assert error.invariant == "hold"
+        assert error.channel == "ch"
+        assert error.cycle is not None
+        details = error.details()
+        assert details["invariant"] == "hold"
+        assert details["channel"] == "ch"
+
+    def test_violation_emits_structured_event(self):
+        telemetry = Telemetry.full()
+        sim = self._misbehaving_system(telemetry)
+        with pytest.raises(ProtocolViolationError):
+            sim.step(5)
+        violations = telemetry.events.select("monitor", "violation")
+        assert violations
+        event = violations[0]
+        assert event.fields["invariant"] == "hold"
+        assert event.fields["channel"] == "ch"
+        counters = telemetry.metrics.snapshot()
+        assert counters["lid/monitor/hold/violations"]["value"] >= 1

@@ -15,6 +15,7 @@ import pytest
 from repro.graph import figure1, figure2, pipeline, ring, tree
 from repro.graph.random_gen import random_dag, random_loopy
 from repro.lid.variant import ProtocolVariant
+from repro.obs import Telemetry
 from repro.skeleton import (
     BatchSkeletonSim,
     ScalarBackend,
@@ -69,10 +70,12 @@ def _lockstep(graph, variant, fixpoint, sink_map, source_map,
     """Drive both engines and compare all observable state per cycle."""
     scalar = SkeletonSim(graph, sink_patterns=sink_map,
                          source_patterns=source_map, variant=variant,
-                         fixpoint=fixpoint)
+                         fixpoint=fixpoint,
+                         telemetry=Telemetry.metrics_only())
     batch = BatchSkeletonSim(graph, [sink_map],
                              source_patterns=[source_map],
-                             variant=variant, fixpoint=fixpoint)
+                             variant=variant, fixpoint=fixpoint,
+                             telemetry=Telemetry.metrics_only())
     for cycle in range(cycles):
         s_fires, s_accepts = scalar.step()
         b_fires, b_accepts = batch.step()
@@ -97,6 +100,11 @@ def _lockstep(graph, variant, fixpoint, sink_map, source_map,
             ("internal voids", ctx)
     assert batch.ambiguous_cycles[0] == scalar.ambiguous_cycles, \
         (graph.name, variant.name, fixpoint)
+    # Telemetry parity: the canonical metric snapshots (counters,
+    # gauges and occupancy histograms) must be equal dicts — not
+    # merely close; same keys, same integers, same derived floats.
+    assert batch.metrics_snapshot(0) == scalar.metrics_snapshot(), \
+        ("metrics", graph.name, variant.name, fixpoint)
 
 
 class TestLockstepMatrix:
@@ -203,3 +211,54 @@ class TestBackendApi:
         rates = [r.shell_fires["S0"] / r.period for r in results]
         assert rates[0] == 1
         assert rates[1] == 0.5
+
+
+class TestMetricsParity:
+    """metrics_snapshots() must be engine-independent, per instance."""
+
+    @pytest.mark.parametrize("graph", _graph_matrix(),
+                             ids=lambda g: g.name)
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: v.name.lower())
+    def test_snapshots_identical_through_select(self, graph, variant):
+        combos = _scripts_for(graph)
+        sink_patterns = [sk for sk, _so in combos]
+        source_patterns = [so for _sk, so in combos]
+        snapshots = {}
+        for backend in ("scalar", "vectorized"):
+            handle = select(graph, variant,
+                            sink_patterns=sink_patterns,
+                            source_patterns=source_patterns,
+                            backend=backend,
+                            telemetry=Telemetry.metrics_only())
+            handle.run_cycles(80)
+            snapshots[backend] = handle.metrics_snapshots()
+        assert snapshots["scalar"] == snapshots["vectorized"], graph.name
+
+    def test_snapshot_without_telemetry_keeps_core_counters(self):
+        """Even uninstrumented runs expose the cheap counters."""
+        sim = SkeletonSim(figure1())
+        for _ in range(30):
+            sim.step()
+        snapshot = sim.metrics_snapshot()
+        assert snapshot["skeleton/cycles"]["value"] == 30
+        assert any(key.startswith("skeleton/shell/") for key in snapshot)
+        # Per-channel stalls and occupancy histograms need telemetry.
+        assert not any(key.startswith("skeleton/channel/")
+                       for key in snapshot)
+
+    def test_instrumented_snapshot_has_channel_and_relay_metrics(self):
+        sim = SkeletonSim(figure1(), telemetry=Telemetry.metrics_only(),
+                          sink_patterns={"out": (False, False, True)})
+        for _ in range(30):
+            sim.step()
+        snapshot = sim.metrics_snapshot()
+        stalls = {k: v for k, v in snapshot.items()
+                  if k.startswith("skeleton/channel/")}
+        hists = {k: v for k, v in snapshot.items()
+                 if k.startswith("skeleton/relay/")}
+        assert stalls and hists
+        assert sum(v["value"] for v in stalls.values()) > 0
+        for hist in hists.values():
+            assert hist["type"] == "histogram"
+            assert hist["total"] == 30

@@ -45,6 +45,7 @@ class TestDocsTree:
     @pytest.mark.parametrize("name", [
         "DESIGN.md", "EXPERIMENTS.md", "docs/protocol.md",
         "docs/theory.md", "docs/api.md", "docs/reproduction_guide.md",
+        "docs/observability.md",
     ])
     def test_document_exists_and_substantial(self, name):
         path = README.parent / name
