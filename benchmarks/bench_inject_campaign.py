@@ -1,0 +1,83 @@
+"""EXP-R1: fault-injection campaign on the feedback topology.
+
+The robustness claim behind the fault-injection subsystem: on the
+paper's feedback example (figure 2), the Casu shell stack *with the
+strict stop-shape monitor* detects at least as many stop/void wire
+faults as the original Carloni stack lets through as silent
+corruption.  Stops-on-void are illegal under the Casu discipline, so a
+faulted stop wire has a shape a monitor can reject; under Carloni the
+same faulted wire is indistinguishable from legitimate back-pressure
+and the corruption it causes surfaces only in the data streams.
+
+The bench runs the same deterministic fault list (seed 7, 48 samples
+over 100 cycles) through both variants and asserts
+
+    detected(CASU, strict) >= silent_corruption(CARLONI)
+
+then emits a ``BENCH_EXP-R1-inject-campaign.json`` record.  Like
+EXP-O1 this is a standalone contract bench: it is not part of the
+EXPERIMENTS registry, so the golden campaign table is untouched.
+"""
+
+from time import perf_counter
+
+from repro.bench.tables import format_table
+from repro.graph import figure2
+from repro.inject import VERDICTS, run_campaign
+from repro.lid.variant import ProtocolVariant
+
+CYCLES = 100
+SAMPLES = 48
+SEED = 7
+CLASSES = ("stop", "void")
+
+
+def _campaign(variant, strict):
+    graph = figure2()
+    return run_campaign(
+        graph, variant=variant, classes=CLASSES, cycles=CYCLES,
+        samples=SAMPLES, seed=SEED, strict=strict)
+
+
+def test_bench_inject_campaign(benchmark, emit):
+    started = perf_counter()
+    casu = _campaign(ProtocolVariant.CASU, strict=True)
+    carloni = _campaign(ProtocolVariant.CARLONI, strict=False)
+    wall = perf_counter() - started
+    benchmark.pedantic(_campaign, args=(ProtocolVariant.CASU, True),
+                       rounds=1, iterations=1)
+
+    casu_counts = casu.counts()
+    carloni_counts = carloni.counts()
+    detected = casu_counts["detected"]
+    silent = carloni_counts["silent-corruption"]
+    assert detected >= silent, (
+        f"strict Casu stack detected {detected} faults but Carloni "
+        f"silently corrupted {silent}: the robustness claim regressed")
+    # Both campaigns classify the identical fault list, so totals agree.
+    assert sum(casu_counts.values()) == sum(carloni_counts.values())
+
+    rows = [
+        (f"{name}", *[str(counts[v]) for v in VERDICTS])
+        for name, counts in (
+            ("casu (strict monitor)", casu_counts),
+            ("carloni", carloni_counts),
+        )
+    ]
+    table = format_table(
+        ("stack", *VERDICTS),
+        rows,
+        title=f"Fault campaign on figure2 feedback loop "
+              f"({SAMPLES} stop/void faults, {CYCLES} cycles, "
+              f"seed {SEED}): strict Casu detects >= Carloni's "
+              f"silent corruption",
+    )
+    emit("EXP-R1-inject-campaign", table, rows=rows,
+         wall_seconds=wall,
+         params={"cycles": CYCLES, "samples": SAMPLES, "seed": SEED,
+                 "classes": list(CLASSES), "topology": "figure2"},
+         counters={"casu_detected": detected,
+                   "carloni_silent_corruption": silent,
+                   "casu_masked": casu_counts["masked"],
+                   "carloni_masked": carloni_counts["masked"],
+                   "experiments": len(casu.results)})

@@ -638,17 +638,73 @@ def experiment_record(
     }
 
 
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write *text* to *path* atomically (temp file + ``os.replace``).
+
+    A reader — a dashboard polling a campaign directory, a CI artifact
+    collector — either sees the previous complete file or the new
+    complete file, never a truncated record, even if the writer dies
+    mid-write.
+    """
+    import os
+    import tempfile
+
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def write_record(directory: str, record: Dict[str, Any]) -> str:
-    """Write one ``BENCH_<id>.json`` record; returns the path."""
+    """Write one ``BENCH_<id>.json`` record atomically; returns the path."""
     import json
     import os
 
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{record['bench']}.json")
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    _atomic_write_text(
+        path, json.dumps(record, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def read_records(directory: str) -> List[Dict[str, Any]]:
+    """Load every ``BENCH_*.json`` record in *directory*, sorted by id.
+
+    Unparsable or wrong-schema files are skipped with a warning on
+    stderr rather than aborting the whole read: one corrupt record (a
+    partial write from a crashed run predating atomic writes, a stray
+    file) must not take down a dashboard aggregating hundreds.
+    """
+    import glob
+    import json
+    import os
+    import sys
+
+    records: List[Dict[str, Any]] = []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"warning: skipping unreadable bench record {path}: "
+                  f"{exc}", file=sys.stderr)
+            continue
+        if not isinstance(record, dict) \
+                or record.get("schema") != BENCH_RECORD_SCHEMA:
+            print(f"warning: skipping {path}: not a "
+                  f"{BENCH_RECORD_SCHEMA} record", file=sys.stderr)
+            continue
+        records.append(record)
+    return records
 
 
 def write_results(directory: str) -> List[str]:
@@ -670,8 +726,7 @@ def write_results(directory: str) -> List[str]:
         table, rows = runner()
         wall = perf_counter() - started
         path = os.path.join(directory, f"{exp_id}.txt")
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(f"[{exp_id}] {description}\n\n{table}\n")
+        _atomic_write_text(path, f"[{exp_id}] {description}\n\n{table}\n")
         paths.append(path)
         record = experiment_record(exp_id, wall_seconds=wall, rows=rows)
         paths.append(write_record(directory, record))

@@ -8,6 +8,8 @@ Subcommands:
 * ``figure1`` / ``figure2`` — print the evolution traces of the paper's
   two figures;
 * ``deadlock``  — skeleton liveness check of a named topology;
+* ``inject``    — fault-injection campaign with verdict classification
+  (masked / detected / silent-corruption / deadlock / timeout);
 * ``trace``     — run with event tracing on; export JSONL or a Chrome
   trace viewable in Perfetto / ``chrome://tracing``;
 * ``profile``   — run with the phase profiler on; print wall time per
@@ -17,6 +19,11 @@ Subcommands:
 
 Topology arguments take the form ``name[:key=value,...]``, e.g.
 ``ring:shells=3,relays=2`` or ``reconvergent:long=2+1,short=1``.
+``feedback`` is an alias for the paper's Figure 2 loop; ``dag:...`` and
+``loopy:...`` build seeded random topologies using the global
+``--seed`` (the one deterministic seed every randomized consumer —
+topology generation, fault-list sampling — derives from; it is echoed
+in report headers so runs can be reproduced from their output alone).
 """
 
 from __future__ import annotations
@@ -32,7 +39,7 @@ from .lid.variant import ProtocolVariant
 from .skeleton import check_deadlock
 
 
-def _parse_topology(spec: str) -> SystemGraph:
+def _parse_topology(spec: str, seed: int = 0) -> SystemGraph:
     name, _sep, args_text = spec.partition(":")
     params: Dict[str, str] = {}
     if args_text:
@@ -41,7 +48,7 @@ def _parse_topology(spec: str) -> SystemGraph:
             params[key.strip()] = value.strip()
     if name == "figure1":
         return figure1()
-    if name == "figure2":
+    if name in ("figure2", "feedback"):
         return figure2(int(params.get("relays", 1)))
     if name == "ring":
         return ring(int(params.get("shells", 2)),
@@ -73,9 +80,28 @@ def _parse_topology(spec: str) -> SystemGraph:
         return butterfly_network(
             lanes=int(params.get("lanes", 8)),
             relays_per_hop=int(params.get("relays", 1)))
+    if name == "dag":
+        from .graph import random_dag
+
+        return random_dag(
+            seed,
+            shells=int(params.get("shells", 6)),
+            max_fanin=int(params.get("fanin", 2)),
+            max_relays=int(params.get("relays", 3)),
+            half_probability=float(params.get("half", 0.0)))
+    if name == "loopy":
+        from .graph import random_loopy
+
+        return random_loopy(
+            seed,
+            shells=int(params.get("shells", 5)),
+            extra_back_edges=int(params.get("chords", 1)),
+            max_relays=int(params.get("relays", 2)),
+            half_probability=float(params.get("half", 0.0)))
     raise SystemExit(
-        f"unknown topology {name!r} (choices: figure1, figure2, ring, "
-        f"tree, pipeline, reconvergent, composed, self_loop, butterfly)"
+        f"unknown topology {name!r} (choices: figure1, figure2, "
+        f"feedback, ring, tree, pipeline, reconvergent, composed, "
+        f"self_loop, butterfly, dag, loopy)"
     )
 
 
@@ -89,9 +115,21 @@ def main(argv=None) -> int:
         description="Latency-insensitive protocol toolkit "
                     "(Casu & Macchiarulo, DATE 2004 reproduction)",
     )
+    parser.add_argument(
+        "--seed", type=int, default=0,
+        help="global seed for every randomized consumer (dag:/loopy: "
+             "topology generation, inject fault sampling); fixed "
+             "default keeps all output reproducible")
+    # Accept --seed after the subcommand too; SUPPRESS keeps a value
+    # given before the subcommand from being clobbered by a default.
+    seed_parent = argparse.ArgumentParser(add_help=False)
+    seed_parent.add_argument("--seed", type=int,
+                             default=argparse.SUPPRESS,
+                             help=argparse.SUPPRESS)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_analyze = sub.add_parser("analyze", help="analyze a topology")
+    p_analyze = sub.add_parser("analyze", parents=[seed_parent],
+                           help="analyze a topology")
     p_analyze.add_argument("topology")
     p_analyze.add_argument("--variant", type=_variant,
                            default=ProtocolVariant.CASU,
@@ -101,10 +139,15 @@ def main(argv=None) -> int:
                                 "write its metrics snapshot as JSON")
     p_analyze.add_argument("--cycles", type=int, default=200,
                            help="cycles for the --metrics-out run")
+    p_analyze.add_argument("--max-cycles", type=int, default=50_000,
+                           help="skeleton cycle budget for the dynamic "
+                                "analyses; exceeding it exits 2 with a "
+                                "diagnostic instead of a traceback")
 
-    sub.add_parser("verify", help="run the safety-property campaign")
+    sub.add_parser("verify", parents=[seed_parent],
+                   help="run the safety-property campaign")
 
-    p_repro = sub.add_parser("reproduce",
+    p_repro = sub.add_parser("reproduce", parents=[seed_parent],
                              help="regenerate all paper artifacts")
     p_repro.add_argument("--experiment", choices=sorted(EXPERIMENTS),
                          help="run a single experiment id")
@@ -115,17 +158,70 @@ def main(argv=None) -> int:
                          help="write per-experiment wall time and row "
                               "counts as a JSON metrics snapshot")
 
-    sub.add_parser("figure1", help="print the Figure 1 evolution")
-    sub.add_parser("figure2", help="print the Figure 2 sweep")
+    sub.add_parser("figure1", parents=[seed_parent],
+                   help="print the Figure 1 evolution")
+    sub.add_parser("figure2", parents=[seed_parent],
+                   help="print the Figure 2 sweep")
 
-    p_dead = sub.add_parser("deadlock", help="skeleton liveness check")
+    p_dead = sub.add_parser("deadlock", parents=[seed_parent],
+                          help="skeleton liveness check")
     p_dead.add_argument("topology")
     p_dead.add_argument("--variant", type=_variant,
                         default=ProtocolVariant.CASU,
                         choices=list(ProtocolVariant))
+    p_dead.add_argument("--max-cycles", type=int, default=10_000,
+                        help="cycle budget for reaching the periodic "
+                             "regime; an inconclusive verdict exits 2")
+
+    p_inject = sub.add_parser(
+        "inject", parents=[seed_parent],
+        help="fault-injection campaign with verdict classification")
+    p_inject.add_argument("--topology", default="feedback",
+                          help="topology spec (default: feedback, the "
+                               "paper's Figure 2 loop)")
+    p_inject.add_argument("--variant", type=_variant,
+                          default=ProtocolVariant.CASU,
+                          choices=list(ProtocolVariant))
+    p_inject.add_argument("--faults", default="stop,void",
+                          help="comma-separated fault classes or kinds "
+                               "(see repro.inject.FAULT_CLASSES)")
+    p_inject.add_argument("--cycles", type=int, default=200,
+                          help="run length of every experiment")
+    p_inject.add_argument("--samples", type=int, default=64,
+                          help="seeded-random sample size from the "
+                               "fault universe")
+    p_inject.add_argument("--exhaustive", action="store_true",
+                          help="run every kind x target x cycle of the "
+                               "window instead of sampling")
+    p_inject.add_argument("--window", default=None, metavar="LO:HI",
+                          help="restrict injection cycles to [LO, HI)")
+    p_inject.add_argument("--engine", choices=["lid", "skeleton"],
+                          default="lid",
+                          help="lid: token-level scalar engine with "
+                               "monitors; skeleton: batched "
+                               "valid/stop-only engine (boundary "
+                               "control faults)")
+    p_inject.add_argument("--backend",
+                          choices=["auto", "scalar", "vectorized"],
+                          default="auto",
+                          help="skeleton engine backend")
+    p_inject.add_argument("--strict", action="store_true",
+                          help="arm the strict stop-shape monitor "
+                               "(detects stops landing on voids under "
+                               "the refined protocol)")
+    p_inject.add_argument("--smoke", action="store_true",
+                          help="small fast campaign for CI (64 cycles, "
+                               "12 samples)")
+    p_inject.add_argument("--format", choices=["table", "json"],
+                          default="table")
+    p_inject.add_argument("--output", "-o", default=None,
+                          help="write the report here (default: stdout)")
+    p_inject.add_argument("--metrics-out", default=None, metavar="FILE",
+                          help="write campaign verdict metrics as a "
+                               "JSON metrics snapshot")
 
     p_live = sub.add_parser(
-        "liveness",
+        "liveness", parents=[seed_parent],
         help="exhaustive liveness proof over all environments")
     p_live.add_argument("topology")
     p_live.add_argument("--variant", type=_variant,
@@ -134,7 +230,7 @@ def main(argv=None) -> int:
     p_live.add_argument("--max-states", type=int, default=100_000)
 
     p_trace = sub.add_parser(
-        "trace", help="run with event tracing and export the stream")
+        "trace", parents=[seed_parent], help="run with event tracing and export the stream")
     p_trace.add_argument("topology")
     p_trace.add_argument("--cycles", type=int, default=200)
     p_trace.add_argument("--variant", type=_variant,
@@ -152,7 +248,7 @@ def main(argv=None) -> int:
                          help="output file (default: stdout)")
 
     p_profile = sub.add_parser(
-        "profile", help="run with the phase profiler and report timings")
+        "profile", parents=[seed_parent], help="run with the phase profiler and report timings")
     p_profile.add_argument("topology")
     p_profile.add_argument("--cycles", type=int, default=2000)
     p_profile.add_argument("--variant", type=_variant,
@@ -168,7 +264,7 @@ def main(argv=None) -> int:
                            help="write the report here (default: stdout)")
 
     p_stats = sub.add_parser(
-        "stats", help="simulate a topology and print run statistics")
+        "stats", parents=[seed_parent], help="simulate a topology and print run statistics")
     p_stats.add_argument("topology")
     p_stats.add_argument("--cycles", type=int, default=200)
     p_stats.add_argument("--variant", type=_variant,
@@ -176,13 +272,14 @@ def main(argv=None) -> int:
                          choices=list(ProtocolVariant))
 
     p_series = sub.add_parser(
-        "series", help="emit a figure-style data series as CSV")
+        "series", parents=[seed_parent], help="emit a figure-style data series as CSV")
     from .analysis.sweep import SERIES_GENERATORS
 
     p_series.add_argument("which", choices=sorted(SERIES_GENERATORS))
     p_series.add_argument("--output", "-o", default=None)
 
-    p_export = sub.add_parser("export", help="export artifacts")
+    p_export = sub.add_parser("export", parents=[seed_parent],
+                            help="export artifacts")
     p_export.add_argument(
         "what",
         choices=["dot", "json", "relay-vhdl", "half-relay-vhdl",
@@ -198,8 +295,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "analyze":
-        graph = _parse_topology(args.topology)
-        print(analyze(graph, variant=args.variant).render())
+        from .errors import PeriodicityTimeout
+
+        graph = _parse_topology(args.topology, seed=args.seed)
+        if args.topology.startswith(("dag", "loopy")):
+            print(f"seed: {args.seed}")
+        try:
+            report = analyze(graph, variant=args.variant,
+                             max_cycles=args.max_cycles)
+        except PeriodicityTimeout as exc:
+            print(f"inconclusive: {exc} — raise --max-cycles",
+                  file=sys.stderr)
+            return 2
+        print(report.render())
         if args.metrics_out:
             _write_metrics_snapshot(graph, args)
     elif args.command == "verify":
@@ -219,17 +327,23 @@ def main(argv=None) -> int:
         table, _rows = run_figure2()
         print(table)
     elif args.command == "deadlock":
-        graph = _parse_topology(args.topology)
-        verdict = check_deadlock(graph, variant=args.variant)
+        graph = _parse_topology(args.topology, seed=args.seed)
+        verdict = check_deadlock(graph, variant=args.variant,
+                                 max_cycles=args.max_cycles)
         print(verdict.detail)
+        if verdict.inconclusive:
+            return 2
         return 0 if verdict.live else 1
+    elif args.command == "inject":
+        return _inject(args)
     elif args.command == "stats":
         import json as _json
 
-        graph = _parse_topology(args.topology)
+        graph = _parse_topology(args.topology, seed=args.seed)
         system = graph.elaborate(variant=args.variant)
         system.run(args.cycles)
-        print(_json.dumps(system.stats(), indent=2, sort_keys=True))
+        stats = dict(system.stats(), seed=args.seed)
+        print(_json.dumps(stats, indent=2, sort_keys=True))
     elif args.command == "liveness":
         from .verify import verify_system_liveness
 
@@ -364,13 +478,76 @@ def _reproduce(args) -> None:
         print(f"wrote {args.metrics_out}")
 
 
+def _inject(args) -> int:
+    """``inject``: run a fault campaign and emit the report."""
+    import json
+
+    from .bench.runner import git_rev
+    from .errors import InjectionError
+    from .inject import run_campaign, skeleton_campaign
+    from .obs import Telemetry
+
+    graph = _parse_topology(args.topology, seed=args.seed)
+    cycles, samples, exhaustive = args.cycles, args.samples, args.exhaustive
+    if args.smoke:
+        cycles, samples, exhaustive = 64, 12, False
+    window = None
+    if args.window:
+        lo, _sep, hi = args.window.partition(":")
+        window = (int(lo), int(hi))
+    classes = tuple(
+        item.strip() for item in args.faults.split(",") if item.strip())
+    telemetry = Telemetry.metrics_only() if args.metrics_out else None
+
+    common = dict(variant=args.variant, classes=classes, cycles=cycles,
+                  window=window, exhaustive=exhaustive, samples=samples,
+                  seed=args.seed, telemetry=telemetry)
+    try:
+        if args.engine == "skeleton":
+            report = skeleton_campaign(graph, backend=args.backend,
+                                       **common)
+        else:
+            report = run_campaign(graph, strict=args.strict, **common)
+    except InjectionError as exc:
+        raise SystemExit(f"repro-lid inject: {exc}")
+
+    if args.format == "json":
+        text = report.to_json()
+    else:
+        text = report.format_table() + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        counts = report.counts()
+        summary = "  ".join(f"{k}={v}" for k, v in counts.items())
+        print(f"wrote {args.output}: {len(report.results)} experiments "
+              f"(seed {args.seed}): {summary}")
+    else:
+        print(text, end="")
+
+    if args.metrics_out:
+        payload = {
+            "schema": "repro-metrics/v1",
+            "topology": args.topology,
+            "variant": str(args.variant),
+            "seed": args.seed,
+            "git_rev": git_rev(),
+            "metrics": telemetry.metrics.snapshot(),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out}")
+    return 0
+
+
 def _trace(args) -> int:
     import sys as _sys
 
     from .obs import Telemetry
     from .obs.exporters import export_stream
 
-    graph = _parse_topology(args.topology)
+    graph = _parse_topology(args.topology, seed=args.seed)
     telemetry = Telemetry.full()
     if args.engine == "skeleton":
         from .skeleton import SkeletonSim
@@ -399,7 +576,7 @@ def _profile(args) -> int:
     from .obs import Telemetry
     from .obs.exporters import write_chrome_trace
 
-    graph = _parse_topology(args.topology)
+    graph = _parse_topology(args.topology, seed=args.seed)
     telemetry = Telemetry.full()
     _run_instrumented(graph, args.variant, args.cycles, telemetry)
     profiler = telemetry.profiler
@@ -426,7 +603,7 @@ def _export(args) -> str:
     if args.what in ("dot", "json"):
         if not args.topology:
             raise SystemExit("--topology required for dot/json export")
-        graph = _parse_topology(args.topology)
+        graph = _parse_topology(args.topology, seed=args.seed)
         if args.what == "dot":
             from .graph import to_dot
 

@@ -81,6 +81,33 @@ class DeadlockError(ReproError):
     """Simulation detected a deadlock (no block can ever fire again)."""
 
 
+class PeriodicityTimeout(ReproError, TimeoutError):
+    """A skeleton run found no periodic regime within its cycle budget.
+
+    Subclasses :class:`TimeoutError` for backward compatibility with
+    callers that caught the raw timeout.  The structured fields let the
+    CLI and the fault-injection campaign turn the condition into a clean
+    ``inconclusive`` verdict instead of a traceback: the budget was too
+    small for the system's state space, which is a diagnosis, not a
+    crash.
+    """
+
+    def __init__(self, message: str, *, graph=None, max_cycles=None):
+        super().__init__(message)
+        self.graph = graph
+        self.max_cycles = max_cycles
+
+
+class InjectionError(ReproError):
+    """A fault-injection campaign was misconfigured.
+
+    E.g. a fault spec naming a channel or relay station that does not
+    exist in the elaborated system, or a fault kind the targeted block
+    cannot express (duplicating inside a one-register half relay
+    station).
+    """
+
+
 class VerificationError(ReproError):
     """A formal verification run found a property violation.
 

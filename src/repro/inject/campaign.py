@@ -1,0 +1,531 @@
+"""Campaign runner: execute fault lists and classify the outcomes.
+
+Each experiment elaborates a fresh system, arms one
+:class:`~repro.inject.injector.FaultInjector`, runs a fixed number of
+cycles and compares the result against a *golden* (fault-free) run of
+the same system.  Outcomes fall into five verdict classes:
+
+* ``detected`` — a runtime protocol monitor (or any other check) raised
+  before the run finished; the fault was caught loudly;
+* ``silent-corruption`` — the run finished but some sink consumed a
+  payload stream that is *not* a prefix of the golden stream (wrong
+  data, reordering, duplication): the failure mode latency-insensitive
+  design must never exhibit;
+* ``masked`` — every sink stream is exactly the golden stream; the
+  protocol absorbed the fault completely;
+* ``deadlock`` — the streams are a correct prefix but no shell fired at
+  all during the tail window (while the golden run kept firing): the
+  system wedged;
+* ``timeout`` — a correct prefix and still-live shells: the run budget
+  expired before latency equivalence was re-established (e.g. the fault
+  cost a cycle of throughput).
+
+Verdict priority is detected > silent-corruption > masked / deadlock /
+timeout (the last three are mutually exclusive by construction).
+
+Reports are **byte-reproducible**: no wall-clock times are recorded,
+keys are sorted, and the experiment order is the deterministic order of
+:func:`~repro.inject.faults.generate_faults` — running the same
+campaign twice produces identical JSON.
+
+For control-only faults at the system boundary (stop faults on a sink's
+input channel, valid faults on a source's output channel) the campaign
+can also run on the skeleton engine (:func:`skeleton_campaign`): every
+experiment becomes one *column* of a batched
+:func:`repro.skeleton.backend.select` run, with the fault expressed as
+a per-cycle script pattern.  The skeleton carries no payloads, so its
+verdict vocabulary is the masked / deadlock / timeout subset.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..errors import InjectionError, ProtocolViolationError, ReproError
+from ..graph.model import SystemGraph
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .faults import FaultSpec, generate_faults
+from .injector import FaultInjector
+
+SCHEMA = "repro-inject-campaign/v1"
+
+#: The five verdict classes, in report order.
+VERDICTS = ("detected", "silent-corruption", "masked", "deadlock",
+            "timeout")
+
+
+def tail_window(cycles: int) -> int:
+    """Liveness observation window at the end of a run."""
+    return max(8, cycles // 8)
+
+
+@dataclasses.dataclass
+class GoldenRun:
+    """Fault-free reference: sink streams and shell activity."""
+
+    cycles: int
+    sink_payloads: Dict[str, List[Any]]
+    shell_fires: Dict[str, int]
+    tail_fires: int  # total shell firings inside the tail window
+
+    @classmethod
+    def capture(cls, graph: SystemGraph, variant: ProtocolVariant,
+                cycles: int) -> "GoldenRun":
+        system = graph.elaborate(variant=variant)
+        system.run(cycles)
+        tail_start = cycles - tail_window(cycles)
+        tail_fires = sum(
+            sum(1 for c in shell.fired_cycles if c >= tail_start)
+            for shell in system.shells.values()
+        )
+        return cls(
+            cycles=cycles,
+            sink_payloads={name: list(sink.payloads)
+                           for name, sink in system.sinks.items()},
+            shell_fires={name: shell.fire_count
+                         for name, shell in system.shells.items()},
+            tail_fires=tail_fires,
+        )
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One fault, one verdict."""
+
+    spec: FaultSpec
+    verdict: str
+    detail: str
+    fired: bool
+    fire_cycles: int  # number of cycles the injector perturbed state
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fault": self.spec.to_dict(),
+            "label": self.spec.label(),
+            "verdict": self.verdict,
+            "detail": self.detail,
+            "fired": self.fired,
+            "fire_cycles": self.fire_cycles,
+        }
+
+
+def _stream_verdict(
+    golden: GoldenRun,
+    sink_payloads: Dict[str, List[Any]],
+    faulty_tail_fires: int,
+) -> Tuple[str, str]:
+    """Classify a finished run against the golden streams."""
+    corrupt_detail = None
+    short_detail = None
+    for name in sorted(golden.sink_payloads):
+        want = golden.sink_payloads[name]
+        got = sink_payloads.get(name, [])
+        common = min(len(got), len(want))
+        if got[:common] != want[:common]:
+            index = next(i for i in range(common)
+                         if got[i] != want[i])
+            corrupt_detail = (
+                f"sink {name!r} diverges at token {index}: "
+                f"got {got[index]!r}, expected {want[index]!r}")
+            break
+        if len(got) > len(want):
+            corrupt_detail = (
+                f"sink {name!r} received {len(got) - len(want)} extra "
+                f"token(s) beyond the golden stream")
+            break
+        if len(got) < len(want) and short_detail is None:
+            short_detail = (
+                f"sink {name!r} delivered {len(got)}/{len(want)} "
+                f"golden tokens")
+    if corrupt_detail is not None:
+        return "silent-corruption", corrupt_detail
+    if short_detail is None:
+        return "masked", "all sink streams identical to golden"
+    if golden.tail_fires > 0 and faulty_tail_fires == 0:
+        return "deadlock", (
+            f"{short_detail}; no shell fired in the tail window "
+            f"(golden fired {golden.tail_fires} times)")
+    return "timeout", (
+        f"{short_detail}; shells still live at end of budget")
+
+
+def run_experiment(
+    graph: SystemGraph,
+    spec: FaultSpec,
+    golden: GoldenRun,
+    *,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    strict: bool = False,
+    monitors: bool = True,
+    telemetry=None,
+) -> ExperimentResult:
+    """Run one fault on the scalar LID engine and classify it."""
+    from ..lid.monitor import watch_system
+
+    cycles = golden.cycles
+    system = graph.elaborate(variant=variant)
+    if telemetry is not None:
+        system.attach_telemetry(telemetry)
+    if monitors:
+        watch_system(system, strict_stop_shape=strict)
+    injector = FaultInjector(spec, system).attach()
+
+    try:
+        system.run(cycles)
+    except ProtocolViolationError as exc:
+        return ExperimentResult(
+            spec, "detected",
+            f"monitor {exc.invariant!r} tripped at cycle {exc.cycle} "
+            f"on channel {exc.channel!r}",
+            injector.fired, len(injector.fired_cycles))
+    except ReproError as exc:
+        return ExperimentResult(
+            spec, "detected",
+            f"{type(exc).__name__}: {exc}",
+            injector.fired, len(injector.fired_cycles))
+    except Exception as exc:  # noqa: BLE001 - a crash is loud detection
+        return ExperimentResult(
+            spec, "detected",
+            f"crash: {type(exc).__name__}: {exc}",
+            injector.fired, len(injector.fired_cycles))
+
+    tail_start = cycles - tail_window(cycles)
+    faulty_tail_fires = sum(
+        sum(1 for c in shell.fired_cycles if c >= tail_start)
+        for shell in system.shells.values()
+    )
+    verdict, detail = _stream_verdict(
+        golden,
+        {name: list(sink.payloads)
+         for name, sink in system.sinks.items()},
+        faulty_tail_fires,
+    )
+    return ExperimentResult(spec, verdict, detail, injector.fired,
+                            len(injector.fired_cycles))
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """Aggregated campaign outcome; renders as JSON or a table."""
+
+    topology: str
+    variant: str
+    engine: str
+    backend: str
+    cycles: int
+    seed: int
+    classes: Tuple[str, ...]
+    exhaustive: bool
+    samples: int
+    window: Optional[Tuple[int, int]]
+    strict: bool
+    results: List[ExperimentResult]
+    skipped: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+
+    def counts(self) -> Dict[str, int]:
+        counts = {verdict: 0 for verdict in VERDICTS}
+        for result in self.results:
+            counts[result.verdict] += 1
+        return counts
+
+    def counts_by_kind(self) -> Dict[str, Dict[str, int]]:
+        by_kind: Dict[str, Dict[str, int]] = {}
+        for result in self.results:
+            slot = by_kind.setdefault(
+                result.spec.kind, {verdict: 0 for verdict in VERDICTS})
+            slot[result.verdict] += 1
+        return by_kind
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "schema": SCHEMA,
+            "topology": self.topology,
+            "variant": self.variant,
+            "engine": self.engine,
+            "backend": self.backend,
+            "cycles": self.cycles,
+            "tail_window": tail_window(self.cycles),
+            "seed": self.seed,
+            "classes": list(self.classes),
+            "exhaustive": self.exhaustive,
+            "samples": self.samples,
+            "window": list(self.window) if self.window else None,
+            "strict": self.strict,
+            "experiments": [r.to_dict() for r in self.results],
+            "skipped": self.skipped,
+            "summary": self.counts(),
+            "summary_by_kind": self.counts_by_kind(),
+        }
+
+    def to_json(self) -> str:
+        """Deterministic rendering: byte-identical across reruns."""
+        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+
+    def format_table(self) -> str:
+        counts = self.counts()
+        header = (
+            f"fault campaign: {self.topology} ({self.variant}, "
+            f"engine={self.engine}/{self.backend}, cycles={self.cycles}, "
+            f"seed={self.seed})")
+        label_width = max([len("fault")]
+                          + [len(r.spec.label()) for r in self.results])
+        verdict_width = max(len(v) for v in VERDICTS)
+        lines = [header, "-" * len(header),
+                 f"{'fault':<{label_width}}  "
+                 f"{'verdict':<{verdict_width}}  detail"]
+        for result in self.results:
+            lines.append(
+                f"{result.spec.label():<{label_width}}  "
+                f"{result.verdict:<{verdict_width}}  {result.detail}")
+        lines.append("-" * len(header))
+        lines.append("  ".join(
+            f"{verdict}={counts[verdict]}" for verdict in VERDICTS))
+        if self.skipped:
+            lines.append(f"skipped={len(self.skipped)} "
+                         f"(not expressible on this engine)")
+        return "\n".join(lines)
+
+
+def _record_verdicts(telemetry, report: CampaignReport) -> None:
+    if telemetry is None or telemetry.metrics is None:
+        return
+    for verdict, count in report.counts().items():
+        if count:
+            telemetry.metrics.counter(
+                f"inject/verdict/{verdict}").inc(count)
+
+
+def run_campaign(
+    graph: SystemGraph,
+    *,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    classes: Sequence[str] = ("stop", "void"),
+    cycles: int = 200,
+    window: Optional[Tuple[int, int]] = None,
+    exhaustive: bool = False,
+    samples: int = 64,
+    seed: int = 0,
+    strict: bool = False,
+    monitors: bool = True,
+    telemetry=None,
+    faults: Optional[Sequence[FaultSpec]] = None,
+) -> CampaignReport:
+    """Full campaign on the scalar LID engine (token-level, monitored)."""
+    if faults is None:
+        faults = generate_faults(
+            graph, variant=variant, classes=classes, cycles=cycles,
+            window=window, exhaustive=exhaustive, samples=samples,
+            seed=seed)
+    golden = GoldenRun.capture(graph, variant, cycles)
+    results = [
+        run_experiment(graph, spec, golden, variant=variant,
+                       strict=strict, monitors=monitors,
+                       telemetry=telemetry)
+        for spec in faults
+    ]
+    report = CampaignReport(
+        topology=graph.name, variant=str(variant), engine="lid",
+        backend="scalar", cycles=cycles, seed=seed,
+        classes=tuple(classes), exhaustive=exhaustive, samples=samples,
+        window=window, strict=strict, results=results)
+    _record_verdicts(telemetry, report)
+    return report
+
+
+# -- skeleton (batched) campaigns -----------------------------------------
+
+def endpoint_scripts(
+    graph: SystemGraph,
+    variant: ProtocolVariant,
+) -> Tuple[Dict[str, str], Dict[str, str]]:
+    """Map boundary channel names to their sink / source block names.
+
+    A stop fault on the channel feeding a sink is exactly a perturbed
+    sink back-pressure script; a valid fault on the channel leaving a
+    source is a perturbed source availability script.  Faults anywhere
+    else need wire-level access the skeleton does not expose.
+    """
+    system = graph.elaborate(variant=variant)
+    sink_channels = {sink.input.name: name
+                     for name, sink in system.sinks.items()}
+    source_channels = {source.output.name: name
+                       for name, source in system.sources.items()}
+    return sink_channels, source_channels
+
+
+def _pattern_for(spec: FaultSpec,
+                 baseline: Sequence[bool]) -> Optional[Tuple[bool, ...]]:
+    """Faulted per-cycle script, or None when the fault is a no-op
+    against the unfaulted *baseline* script."""
+    pattern = list(baseline)
+    changed = False
+    for cycle in range(len(pattern)):
+        if not spec.active(cycle):
+            continue
+        if spec.kind == "stop-glitch":
+            value = not pattern[cycle]
+        elif spec.kind == "delayed-stop":
+            value = pattern[cycle - 1] if cycle else False
+        elif spec.kind in ("stop-stuck-1", "valid-stuck-1"):
+            value = True
+        else:  # stop-stuck-0, void-glitch, valid-stuck-0
+            value = False
+        if pattern[cycle] != value:
+            pattern[cycle] = value
+            changed = True
+    return tuple(pattern) if changed else None
+
+
+_SINK_KINDS = ("stop-stuck-1", "stop-stuck-0", "stop-glitch",
+               "delayed-stop")
+_SOURCE_KINDS = ("void-glitch", "valid-stuck-0", "valid-stuck-1")
+
+
+def skeleton_campaign(
+    graph: SystemGraph,
+    *,
+    variant: ProtocolVariant = DEFAULT_VARIANT,
+    classes: Sequence[str] = ("stop", "void"),
+    cycles: int = 200,
+    window: Optional[Tuple[int, int]] = None,
+    exhaustive: bool = False,
+    samples: int = 64,
+    seed: int = 0,
+    backend: str = "auto",
+    telemetry=None,
+    faults: Optional[Sequence[FaultSpec]] = None,
+) -> CampaignReport:
+    """Batched campaign on the skeleton engine.
+
+    Every expressible fault becomes one column of a single
+    :func:`repro.skeleton.backend.select` batch (plus a golden column
+    0); the whole campaign is two ``run_cycles`` calls.  Faults that
+    are not boundary control faults are reported as ``skipped``.
+
+    Skeleton sources advance a script *phase* only when unstopped, so a
+    source-side fault at cycle ``c`` perturbs the c-th *presented* slot
+    rather than wall-clock cycle ``c`` — same fault universe, slightly
+    different alignment; verdicts are computed per column against the
+    golden column, so the classification stays exact.
+
+    The skeleton also models the fault at a different point than the
+    LID engine: it rewrites the endpoint's *script*, so producer and
+    consumer coherently see the faulted control value, whereas the LID
+    injector forces the *wire* after settle and the endpoint's own
+    behaviour is untouched.  A stuck stop on a sink channel therefore
+    wedges the skeleton (the sink really stops consuming) but shows up
+    as duplication on the LID engine (the sink re-reads the held
+    token); both are faithful readings of the same physical fault.
+    """
+    from ..skeleton.backend import select
+
+    if faults is None:
+        faults = generate_faults(
+            graph, variant=variant, classes=classes, cycles=cycles,
+            window=window, exhaustive=exhaustive, samples=samples,
+            seed=seed)
+    sink_channels, source_channels = endpoint_scripts(graph, variant)
+
+    baseline_sink = {}
+    for node in graph.sinks():
+        if node.stop_script is not None:
+            baseline_sink[node.name] = tuple(
+                bool(node.stop_script(c)) for c in range(cycles))
+        else:
+            baseline_sink[node.name] = (False,) * cycles
+    baseline_source = {n.name: (True,) * cycles for n in graph.sources()}
+
+    expressible: List[Tuple[FaultSpec, Dict, Dict]] = []
+    skipped: List[Dict[str, Any]] = []
+    noop: List[FaultSpec] = []
+    for spec in faults:
+        sink = sink_channels.get(spec.target)
+        source = source_channels.get(spec.target)
+        if spec.kind in _SINK_KINDS and sink is not None:
+            pattern = _pattern_for(spec, baseline_sink[sink])
+            if pattern is None:
+                noop.append(spec)
+            else:
+                sinks = dict(baseline_sink)
+                sinks[sink] = pattern
+                expressible.append((spec, dict(baseline_source), sinks))
+        elif spec.kind in _SOURCE_KINDS and source is not None:
+            pattern = _pattern_for(spec, baseline_source[source])
+            if pattern is None:
+                noop.append(spec)
+            else:
+                sources = dict(baseline_source)
+                sources[source] = pattern
+                expressible.append((spec, sources, dict(baseline_sink)))
+        else:
+            skipped.append({
+                "fault": spec.to_dict(),
+                "label": spec.label(),
+                "reason": "not a boundary control fault "
+                          "(skeleton engine has no wire-level access)",
+            })
+
+    results: List[ExperimentResult] = [
+        ExperimentResult(spec, "masked",
+                         "fault forces the script's existing value",
+                         False, 0)
+        for spec in noop
+    ]
+
+    backend_name = "scalar"
+    if expressible:
+        source_patterns = [dict(baseline_source)] + [
+            src for _spec, src, _snk in expressible]
+        sink_patterns = [dict(baseline_sink)] + [
+            snk for _spec, _src, snk in expressible]
+        handle = select(
+            graph, variant=variant, batch=len(expressible) + 1,
+            source_patterns=source_patterns, sink_patterns=sink_patterns,
+            detect_ambiguity=False, backend=backend,
+            telemetry=telemetry)
+        backend_name = handle.name
+        tail = tail_window(cycles)
+        handle.run_cycles(cycles - tail)
+        head_fires = handle.fire_counts()
+        handle.run_cycles(tail)
+        fires = handle.fire_counts()
+        accepts = handle.accept_counts()
+        tail_fires = fires - head_fires
+
+        golden_fires = [int(x) for x in fires[:, 0]]
+        golden_accepts = [int(x) for x in accepts[:, 0]]
+        golden_tail = int(tail_fires[:, 0].sum())
+        for column, (spec, _src, _snk) in enumerate(expressible,
+                                                    start=1):
+            col_fires = [int(x) for x in fires[:, column]]
+            col_accepts = [int(x) for x in accepts[:, column]]
+            col_tail = int(tail_fires[:, column].sum())
+            if col_fires == golden_fires and col_accepts == golden_accepts:
+                verdict, detail = "masked", (
+                    "fire and accept counts match the golden column")
+            elif col_tail == 0 and golden_tail > 0:
+                verdict, detail = "deadlock", (
+                    f"no shell fired in the tail window (golden fired "
+                    f"{golden_tail} times)")
+            else:
+                verdict, detail = "timeout", (
+                    f"activity diverged from golden "
+                    f"(fires {sum(col_fires)} vs {sum(golden_fires)}, "
+                    f"accepts {sum(col_accepts)} vs "
+                    f"{sum(golden_accepts)}); shells still live")
+            results.append(ExperimentResult(spec, verdict, detail,
+                                            True, 0))
+
+    # Restore the deterministic fault-list order for the report.
+    order = {id(spec): i for i, spec in enumerate(faults)}
+    results.sort(key=lambda r: order[id(r.spec)])
+
+    report = CampaignReport(
+        topology=graph.name, variant=str(variant), engine="skeleton",
+        backend=backend_name, cycles=cycles, seed=seed,
+        classes=tuple(classes), exhaustive=exhaustive, samples=samples,
+        window=window, strict=False, results=results, skipped=skipped)
+    _record_verdicts(telemetry, report)
+    return report

@@ -1,0 +1,170 @@
+"""Injector runtime: applies one :class:`FaultSpec` to a live system.
+
+A :class:`FaultInjector` binds a spec to the concrete channel / relay /
+shell of an elaborated :class:`~repro.lid.system.LidSystem` and
+registers itself with the simulator's injection phases
+(:meth:`~repro.kernel.scheduler.Simulator.add_injection_hook`):
+
+* wire faults run after the settle fixpoint, so monitors and the edge
+  phase observe the faulted wires;
+* state faults run after the edge phase, corrupting registers as they
+  latch.
+
+When the system carries :class:`~repro.obs.Telemetry`, the injector
+emits an ``inject/arm`` event when attached and an ``inject/fire``
+event on every cycle it actually perturbs state, so an exported trace
+shows the fault alongside the protocol events it provokes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import InjectionError
+from ..kernel.scheduler import Simulator
+from .faults import FaultSpec
+
+
+def default_corruptor(value):
+    """Deterministic payload corruption: flip bit 0 of ints, tag others."""
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    return ("corrupt", value)
+
+
+class FaultInjector:
+    """Applies a single fault spec to one elaborated LID system."""
+
+    def __init__(self, spec: FaultSpec, system):
+        self.spec = spec
+        self.system = system
+        self.fired_cycles = []
+        self._prev_stop = False
+        self._channel = None
+        self._relay = None
+        self._shell = None
+        self._resolve()
+
+    # -- wiring ------------------------------------------------------------
+
+    def _resolve(self) -> None:
+        spec = self.spec
+        if spec.phase == "wire":
+            for chan in self.system.channels:
+                if chan.name == spec.target:
+                    self._channel = chan
+                    return
+            raise InjectionError(
+                f"no channel named {spec.target!r} (channels: "
+                f"{[c.name for c in self.system.channels]})"
+            )
+        if spec.kind in ("relay-drop", "relay-duplicate"):
+            relay = self.system.relays.get(spec.target)
+            if relay is None:
+                raise InjectionError(
+                    f"no relay station named {spec.target!r} (relays: "
+                    f"{list(self.system.relays)})"
+                )
+            if spec.kind == "relay-duplicate" and relay.registers < 2:
+                raise InjectionError(
+                    f"{spec.target!r} is a one-register station; it "
+                    f"cannot express a duplicate fault"
+                )
+            self._relay = relay
+            return
+        shell = self.system.shells.get(spec.target)
+        if shell is None:
+            raise InjectionError(
+                f"no shell named {spec.target!r} (shells: "
+                f"{list(self.system.shells)})"
+            )
+        self._shell = shell
+
+    def attach(self) -> "FaultInjector":
+        """Register with the simulator's injection phase; emit arm."""
+        sim = self.system.sim
+        sim.add_injection_hook(self._hook, phase=self.spec.phase)
+        self._emit("arm", sim.cycle)
+        return self
+
+    # -- per-cycle ---------------------------------------------------------
+
+    def _hook(self, sim: Simulator) -> None:
+        spec = self.spec
+        cycle = sim.cycle
+        if spec.kind == "delayed-stop":
+            # Track the true settled stop every cycle so the first
+            # active cycle already has a one-cycle-old value to present.
+            settled = bool(self._channel.stop.value)
+            if spec.active(cycle):
+                changed = settled != self._prev_stop
+                self._channel.force_stop(self._prev_stop)
+                if changed:
+                    self._fired(cycle, forced=self._prev_stop)
+            self._prev_stop = settled
+            return
+        if not spec.active(cycle):
+            return
+        if spec.kind in ("stop-stuck-1", "stop-stuck-0"):
+            level = spec.kind.endswith("1")
+            if bool(self._channel.stop.value) != level:
+                self._channel.force_stop(level)
+                self._fired(cycle, forced=level)
+        elif spec.kind == "stop-glitch":
+            level = not self._channel.stop.value
+            self._channel.force_stop(level)
+            self._fired(cycle, forced=level)
+        elif spec.kind in ("void-glitch", "valid-stuck-0"):
+            if self._channel.valid.value:
+                self._channel.force_valid(False)
+                self._fired(cycle, forced=False)
+        elif spec.kind == "valid-stuck-1":
+            if not self._channel.valid.value:
+                payload = 0 if spec.value is None else spec.value
+                self._channel.force_valid(True, data=payload)
+                self._fired(cycle, forced=True)
+        elif spec.kind == "payload":
+            if self._channel.valid.value:
+                before = self._channel.data.value
+                after = (spec.value if spec.value is not None
+                         else default_corruptor(before))
+                if after != before:
+                    self._channel.force_payload(after)
+                    self._fired(cycle, payload=repr(after))
+        elif spec.kind == "relay-drop":
+            if self._relay.inject_drop():
+                self._fired(cycle)
+        elif spec.kind == "relay-duplicate":
+            if self._relay.inject_duplicate():
+                self._fired(cycle)
+        elif spec.kind == "shell-corrupt":
+            mutate = (spec.value if callable(spec.value)
+                      else default_corruptor)
+            if self._shell.inject_corrupt_outputs(mutate):
+                self._fired(cycle)
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def fired(self) -> bool:
+        """Did the fault perturb anything at all?
+
+        A fault that never changed a wire or register (e.g. forcing an
+        already-low stop) is masked by construction.
+        """
+        return bool(self.fired_cycles)
+
+    def _fired(self, cycle: int, **fields) -> None:
+        self.fired_cycles.append(cycle)
+        self._emit("fire", cycle, **fields)
+
+    def _emit(self, name: str, cycle: int, **fields) -> None:
+        telemetry = self.system.telemetry
+        if telemetry is None or telemetry.events is None:
+            return
+        telemetry.events.emit(
+            "inject", name, cycle, kind=self.spec.kind,
+            target=self.spec.target, at=self.spec.cycle,
+            duration=self.spec.duration, **fields)

@@ -13,6 +13,18 @@ The kernel models single-clock RTL with a *settle / edge* discipline:
 3. **Edge** — every component samples the settled values and updates its
    registers simultaneously.
 
+Fault injection (:mod:`repro.inject`) adds two optional phases that are
+completely inert when no injector is attached:
+
+* **wire injection** — hooks run after the settle fixpoint but before
+  the cycle hooks, so they may overwrite settled wire values (a glitch
+  or stuck-at near the sampling edge).  Cycle hooks — including the
+  protocol monitors — and the edge phase then observe the faulted
+  values, which is exactly what lets a monitor *detect* the fault.
+* **state injection** — hooks run after the edge phase, so they may
+  corrupt freshly latched registers (an SEU in a flip-flop); the
+  corruption becomes visible at the next cycle's publish.
+
 This discipline is semantics-preserving for the VHDL/event-driven
 simulation the paper used, because all the paper's blocks are synchronous
 FSMs on one clock (see DESIGN.md §2).
@@ -47,6 +59,8 @@ class Simulator:
         self._signals: List[Signal] = []
         self._signal_index: Dict[str, Signal] = {}
         self._cycle_hooks: List[Callable[["Simulator"], None]] = []
+        self._inject_wire_hooks: List[Callable[["Simulator"], None]] = []
+        self._inject_state_hooks: List[Callable[["Simulator"], None]] = []
         self._was_reset = False
         self.settle_passes_total = 0
         self.telemetry: Optional["Telemetry"] = None
@@ -80,6 +94,27 @@ class Simulator:
         is where traces and runtime protocol monitors sample.
         """
         self._cycle_hooks.append(hook)
+
+    def add_injection_hook(
+        self,
+        hook: Callable[["Simulator"], None],
+        phase: str = "wire",
+    ) -> None:
+        """Register a fault-injection hook (see :mod:`repro.inject`).
+
+        ``phase="wire"`` hooks run after the settle fixpoint and before
+        the cycle hooks: they may overwrite settled signal values, and
+        monitors sample the faulted wires.  ``phase="state"`` hooks run
+        after the edge phase: they may corrupt registers as they latch.
+        With no hooks registered both call sites are a single falsy
+        branch per cycle.
+        """
+        if phase == "wire":
+            self._inject_wire_hooks.append(hook)
+        elif phase == "state":
+            self._inject_state_hooks.append(hook)
+        else:
+            raise ValueError(f"unknown injection phase {phase!r}")
 
     def attach_telemetry(self, telemetry: "Telemetry") -> None:
         """Route phase timings and events through *telemetry*.
@@ -131,10 +166,16 @@ class Simulator:
             return self._step_profiled(cycles, profiler)
         for _ in range(cycles):
             self._settle()
+            if self._inject_wire_hooks:
+                for hook in self._inject_wire_hooks:
+                    hook(self)
             for hook in self._cycle_hooks:
                 hook(self)
             for comp in self._components:
                 comp.tick()
+            if self._inject_state_hooks:
+                for hook in self._inject_state_hooks:
+                    hook(self)
             self.cycle += 1
 
     def _step_profiled(self, cycles: int, profiler) -> None:
@@ -143,12 +184,18 @@ class Simulator:
         for _ in range(cycles):
             t0 = perf_counter()
             self._settle()
+            if self._inject_wire_hooks:
+                for hook in self._inject_wire_hooks:
+                    hook(self)
             t1 = perf_counter()
             for hook in self._cycle_hooks:
                 hook(self)
             t2 = perf_counter()
             for comp in self._components:
                 comp.tick()
+            if self._inject_state_hooks:
+                for hook in self._inject_state_hooks:
+                    hook(self)
             t3 = perf_counter()
             settle_s += t1 - t0
             hooks_s += t2 - t1
@@ -176,11 +223,17 @@ class Simulator:
             self.reset()
         for _ in range(max_cycles):
             self._settle()
+            if self._inject_wire_hooks:
+                for hook in self._inject_wire_hooks:
+                    hook(self)
             for hook in self._cycle_hooks:
                 hook(self)
             hit = predicate(self)
             for comp in self._components:
                 comp.tick()
+            if self._inject_state_hooks:
+                for hook in self._inject_state_hooks:
+                    hook(self)
             self.cycle += 1
             if hit:
                 return self.cycle - 1

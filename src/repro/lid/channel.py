@@ -76,6 +76,37 @@ class Channel:
         """
         self.stop.set(bool(value))
 
+    # -- fault injection ---------------------------------------------------
+    #
+    # The force_* helpers are the targetable surface used by
+    # :mod:`repro.inject`.  They overwrite *settled* wire values and are
+    # only legal from a scheduler wire-injection hook (after the settle
+    # fixpoint, before the cycle hooks): calling them during settle
+    # would break the monotonicity the fixpoint relies on.
+
+    def force_stop(self, value: bool) -> None:
+        """Overwrite the settled stop wire (stuck-at / glitch faults)."""
+        self.stop.set(bool(value))
+
+    def force_valid(self, value: bool, data=None) -> None:
+        """Overwrite the settled valid wire.
+
+        Forcing ``False`` turns the presented token into a void (the
+        paper's void fault); forcing ``True`` fabricates a phantom token
+        whose payload is *data*.
+        """
+        self.valid.set(bool(value))
+        self.data.set(data if value else None)
+
+    def force_payload(self, value) -> None:
+        """Corrupt the payload of the currently presented token.
+
+        A no-op on a void token: the data wire is a don't-care when
+        ``valid`` is low, so there is nothing to corrupt.
+        """
+        if self.valid.value:
+            self.data.set(value)
+
     # -- bookkeeping -------------------------------------------------------
 
     def bind_producer(self, block_name: str) -> None:

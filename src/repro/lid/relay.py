@@ -84,6 +84,31 @@ class _RelayBase(Component):
         """Number of data registers (2 for full, 1 for half)."""
         raise NotImplementedError
 
+    # -- fault injection ---------------------------------------------------
+
+    def inject_drop(self) -> bool:
+        """Erase one buffered token (SEU: a data register loses its
+        validity bit).  Returns whether a token was actually lost.
+
+        Legal only from a scheduler *state*-injection hook (after the
+        edge phase); see :mod:`repro.inject`.
+        """
+        raise NotImplementedError
+
+    def inject_duplicate(self) -> bool:
+        """Re-arm the station so the current token is emitted twice.
+
+        Returns whether a duplicate was actually created.  Only the
+        two-register full station can express this fault; the half
+        station raises :class:`~repro.errors.InjectionError`.
+        """
+        from ..errors import InjectionError
+
+        raise InjectionError(
+            f"{self.name}: a one-register station has no slot to "
+            f"duplicate into"
+        )
+
 
 class RelayStation(_RelayBase):
     """Full relay station: two registers, registered stop output."""
@@ -142,6 +167,33 @@ class RelayStation(_RelayBase):
                 self._stop_reg = True
             # else keep waiting with one buffered token, stop low.
         self._trace_occupancy(occupancy_before)
+
+    # -- fault injection ---------------------------------------------------
+
+    def inject_drop(self) -> bool:
+        if self._aux.valid:
+            # Lose the older token; the skid-slot survivor moves up and
+            # the registered stop deasserts (the station believes it
+            # has room again).
+            self._main = self._aux
+            self._aux = VOID
+            self._stop_reg = False
+            return True
+        if self._main.valid:
+            self._main = VOID
+            return True
+        return False
+
+    def inject_duplicate(self) -> bool:
+        if self._main.valid and not self._aux.valid:
+            # The skid slot re-captures the token currently presented:
+            # downstream will see the same payload twice, and the
+            # registered stop back-pressures as if a real token had
+            # been absorbed.
+            self._aux = self._main
+            self._stop_reg = True
+            return True
+        return False
 
 
 class HalfRelayStation(_RelayBase):
@@ -205,10 +257,25 @@ class HalfRelayStation(_RelayBase):
             self.valid_out_cycles.append(self.cycle)
         incoming = self.input.read()
         consumed = self.variant.slot_consumed(self._main.valid, stop_in)
-        accepted = incoming.valid and not self.input.stop.value
+        # The acceptance decision reads the *settled* stop on the
+        # station's own input — which includes the stop this station
+        # itself propagated combinationally during settle (transparent
+        # mode) or published (registered-stop ablation).  Ticks always
+        # run after the settle fixpoint, so the accessor sees the final
+        # value; see the same-cycle-stop regression in
+        # tests/lid/test_relay.py.
+        accepted = incoming.valid and not self.input.stop_asserted()
 
         if consumed:
             self._main = incoming if accepted else VOID
         # else: hold; the transparent (or occupied-registered) stop has
         # already told the upstream to hold as well, so nothing is lost.
         self._trace_occupancy(occupancy_before)
+
+    # -- fault injection ---------------------------------------------------
+
+    def inject_drop(self) -> bool:
+        if self._main.valid:
+            self._main = VOID
+            return True
+        return False

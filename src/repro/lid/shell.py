@@ -172,6 +172,24 @@ class Shell(Component):
                         continue  # held under back pressure
                     self._out_regs[chan] = VOID
 
+    # -- fault injection -----------------------------------------------------
+
+    def inject_corrupt_outputs(self, mutate) -> bool:
+        """Corrupt every valid output register through *mutate(value)*.
+
+        Models an SEU in the shell's output flip-flops: the payload bits
+        flip but the validity bit survives, so downstream still consumes
+        the (now wrong) token.  Returns whether any register held a
+        valid token to corrupt.  Legal only from a scheduler
+        *state*-injection hook (see :mod:`repro.inject`).
+        """
+        corrupted = False
+        for chan, reg in self._out_regs.items():
+            if reg.valid:
+                self._out_regs[chan] = Token(mutate(reg.value))
+                corrupted = True
+        return corrupted
+
     # -- metrics -------------------------------------------------------------
 
     def throughput(self, cycles: int) -> float:

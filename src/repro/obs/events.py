@@ -23,6 +23,10 @@ relay      occupancy          a relay station's buffered-token count
                               changed (``occupancy`` holds the new value)
 monitor    violation          a runtime protocol monitor tripped
                               (``invariant``, ``channel``, ``variant``)
+inject     arm, fire          a fault injector was armed on its target /
+                              actually perturbed state this cycle
+                              (``kind``, ``target``, for fires also the
+                              concrete mutation)
 fixpoint   ambiguous          the stop network admitted more than one
                               fixpoint this cycle (potential deadlock)
 phase      <phase name>       a profiler phase completed (``seconds``)
@@ -37,8 +41,8 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 #: Known event categories (exporters accept unknown ones, this is the
 #: documented vocabulary used by the built-in instrumentation).
-CATEGORIES = ("token", "stall", "relay", "monitor", "fixpoint", "phase",
-              "run")
+CATEGORIES = ("token", "stall", "relay", "monitor", "inject", "fixpoint",
+              "phase", "run")
 
 #: Default ring capacity: enough for ~100 cycles of a dense mid-size
 #: system without unbounded growth on long runs.

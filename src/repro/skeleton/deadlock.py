@@ -35,20 +35,33 @@ from .sim import SkeletonResult, SkeletonSim
 
 @dataclasses.dataclass
 class DeadlockVerdict:
-    """Outcome of :func:`check_deadlock`."""
+    """Outcome of :func:`check_deadlock`.
+
+    ``inconclusive`` marks a run whose cycle budget expired before the
+    skeleton state became periodic: nothing can be said about liveness
+    either way (``optimistic`` is then ``None`` and ``transient`` /
+    ``period`` are ``-1`` / ``0``).  Raise ``max_cycles`` to resolve it.
+    """
 
     deadlocked: bool
     potential: bool
     transient: int
     period: int
     detail: str
-    optimistic: SkeletonResult
+    optimistic: Optional[SkeletonResult] = None
     pessimistic: Optional[SkeletonResult] = None
+    inconclusive: bool = False
 
     @property
     def live(self) -> bool:
-        """Fully live: neither hard nor potential deadlock."""
-        return not self.deadlocked and not self.potential
+        """Fully live: neither hard nor potential deadlock was proven.
+
+        An inconclusive verdict is *not* live: the check never reached
+        the periodic regime that would justify the paper's "forever
+        avoided" claim.
+        """
+        return (not self.deadlocked and not self.potential
+                and not self.inconclusive)
 
 
 def check_deadlock(
@@ -58,7 +71,15 @@ def check_deadlock(
     source_patterns: Optional[Dict[str, Sequence[bool]]] = None,
     sink_patterns: Optional[Dict[str, Sequence[bool]]] = None,
 ) -> DeadlockVerdict:
-    """Simulate the skeleton until periodicity and classify liveness."""
+    """Simulate the skeleton until periodicity and classify liveness.
+
+    When no periodic regime appears within *max_cycles* the verdict is
+    ``inconclusive`` (not a raised :class:`TimeoutError`): callers get a
+    one-line diagnostic in ``detail`` and can retry with a larger
+    budget.
+    """
+    from ..errors import PeriodicityTimeout
+
     optimistic_sim = SkeletonSim(
         graph,
         variant=variant,
@@ -66,7 +87,21 @@ def check_deadlock(
         source_patterns=source_patterns,
         sink_patterns=sink_patterns,
     )
-    optimistic = optimistic_sim.run(max_cycles=max_cycles)
+    try:
+        optimistic = optimistic_sim.run(max_cycles=max_cycles)
+    except PeriodicityTimeout:
+        return DeadlockVerdict(
+            deadlocked=False,
+            potential=False,
+            transient=-1,
+            period=0,
+            detail=(
+                f"inconclusive: no periodic regime within {max_cycles} "
+                f"cycles — raise --max-cycles to let the transient "
+                f"extinguish"
+            ),
+            inconclusive=True,
+        )
 
     pessimistic = None
     potential = optimistic.potential
@@ -90,7 +125,21 @@ def check_deadlock(
             source_patterns=source_patterns,
             sink_patterns=sink_patterns,
         )
-        pessimistic = pessimistic_sim.run(max_cycles=max_cycles)
+        try:
+            pessimistic = pessimistic_sim.run(max_cycles=max_cycles)
+        except PeriodicityTimeout:
+            return DeadlockVerdict(
+                deadlocked=False,
+                potential=potential,
+                transient=optimistic.transient,
+                period=optimistic.period,
+                detail=(
+                    f"inconclusive: pessimistic stop resolution found no "
+                    f"periodic regime within {max_cycles} cycles"
+                ),
+                optimistic=optimistic,
+                inconclusive=True,
+            )
         if pessimistic.deadlocked and not potential:
             potential = True
             detail = (

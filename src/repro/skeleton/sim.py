@@ -638,9 +638,12 @@ class SkeletonSim:
                 break
             seen[snapshot] = self.cycle
         if period is None:
-            raise TimeoutError(
+            from ..errors import PeriodicityTimeout
+
+            raise PeriodicityTimeout(
                 f"{self.graph.name}: no periodicity within {max_cycles} "
-                f"cycles (state space larger than expected)"
+                f"cycles (state space larger than expected)",
+                graph=self.graph.name, max_cycles=max_cycles,
             )
 
         window = self.fire_history[transient:transient + period]

@@ -114,3 +114,88 @@ class TestRegistry:
         for _id, (description, runner) in EXPERIMENTS.items():
             assert callable(runner)
             assert description
+
+
+class TestRecordIO:
+    """Atomic BENCH record writes and tolerant reads."""
+
+    def _record(self, exp_id="EXP-F1"):
+        from repro.bench.runner import experiment_record
+
+        return experiment_record(
+            exp_id, wall_seconds=0.5, params={"cycles": 10},
+            counters={"rows": 2})
+
+    def test_write_then_read_roundtrip(self, tmp_path):
+        from repro.bench.runner import read_records, write_record
+
+        path = write_record(str(tmp_path), self._record())
+        assert path.endswith("BENCH_EXP-F1.json")
+        records = read_records(str(tmp_path))
+        assert len(records) == 1
+        assert records[0]["bench"] == "EXP-F1"
+        assert records[0]["params"] == {"cycles": 10}
+
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        import os
+
+        from repro.bench.runner import write_record
+
+        write_record(str(tmp_path), self._record())
+        write_record(str(tmp_path), self._record())  # overwrite in place
+        leftovers = [name for name in os.listdir(str(tmp_path))
+                     if name.endswith(".tmp")]
+        assert leftovers == []
+        assert os.listdir(str(tmp_path)) == ["BENCH_EXP-F1.json"]
+
+    def test_read_skips_truncated_record(self, tmp_path, capsys):
+        from repro.bench.runner import read_records, write_record
+
+        write_record(str(tmp_path), self._record("EXP-F1"))
+        # A partial write from a crashed run predating atomic writes.
+        (tmp_path / "BENCH_EXP-T1.json").write_text('{"schema": "repro-b')
+        records = read_records(str(tmp_path))
+        assert [r["bench"] for r in records] == ["EXP-F1"]
+        assert "skipping unreadable" in capsys.readouterr().err
+
+    def test_read_skips_wrong_schema(self, tmp_path, capsys):
+        import json
+
+        from repro.bench.runner import read_records, write_record
+
+        write_record(str(tmp_path), self._record("EXP-F1"))
+        (tmp_path / "BENCH_other.json").write_text(
+            json.dumps({"schema": "something-else/v9"}))
+        (tmp_path / "BENCH_list.json").write_text(json.dumps([1, 2]))
+        records = read_records(str(tmp_path))
+        assert [r["bench"] for r in records] == ["EXP-F1"]
+        err = capsys.readouterr().err
+        assert err.count("not a repro-bench-record/v1 record") == 2
+
+    def test_read_records_sorted_by_filename(self, tmp_path):
+        from repro.bench.runner import read_records, write_record
+
+        for exp_id in ("EXP-T1", "EXP-A1", "EXP-F1"):
+            write_record(str(tmp_path), self._record(exp_id))
+        records = read_records(str(tmp_path))
+        assert [r["bench"] for r in records] == [
+            "EXP-A1", "EXP-F1", "EXP-T1"]
+
+    def test_failed_write_cleans_up_temp(self, tmp_path, monkeypatch):
+        import os
+
+        from repro.bench.runner import _atomic_write_text
+
+        target = tmp_path / "BENCH_EXP-F1.json"
+        target.write_text("previous complete file\n")
+
+        def boom(src, dst):
+            raise OSError("simulated crash at the replace step")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="simulated crash"):
+            _atomic_write_text(str(target), "half-writ")
+        monkeypatch.undo()
+        # The previous complete file survives and no temp file leaks.
+        assert target.read_text() == "previous complete file\n"
+        assert os.listdir(str(tmp_path)) == ["BENCH_EXP-F1.json"]

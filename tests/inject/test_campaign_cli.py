@@ -1,0 +1,105 @@
+"""CLI contract for ``repro-lid inject``: reproducible reports."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInjectCommand:
+    def test_smoke_table(self, capsys):
+        assert main(["inject", "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fault campaign: figure2" in out
+        assert "detected=" in out and "masked=" in out
+
+    def test_json_byte_identical_across_runs(self, tmp_path, capsys):
+        argv = ["inject", "--topology", "feedback", "--faults",
+                "stop,void", "--cycles", "200", "--seed", "7",
+                "--format", "json"]
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(argv + ["-o", str(first)]) == 0
+        assert main(argv + ["-o", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        payload = json.loads(first.read_text())
+        assert payload["schema"] == "repro-inject-campaign/v1"
+        assert payload["seed"] == 7
+        assert len(payload["experiments"]) == payload["samples"] == 64
+        capsys.readouterr()
+
+    def test_seed_accepted_before_subcommand(self, tmp_path, capsys):
+        after = tmp_path / "after.json"
+        before = tmp_path / "before.json"
+        assert main(["inject", "--smoke", "--format", "json",
+                     "--seed", "5", "-o", str(after)]) == 0
+        assert main(["--seed", "5", "inject", "--smoke", "--format",
+                     "json", "-o", str(before)]) == 0
+        assert after.read_bytes() == before.read_bytes()
+        capsys.readouterr()
+
+    def test_seed_changes_fault_sample(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["inject", "--smoke", "--format", "json",
+                     "--seed", "1", "-o", str(a)]) == 0
+        assert main(["inject", "--smoke", "--format", "json",
+                     "--seed", "2", "-o", str(b)]) == 0
+        assert a.read_bytes() != b.read_bytes()
+        capsys.readouterr()
+
+    def test_output_summary_line(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        assert main(["inject", "--smoke", "--format", "json",
+                     "--seed", "7", "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "12 experiments" in out and "(seed 7)" in out
+
+    def test_skeleton_engine(self, tmp_path, capsys):
+        path = tmp_path / "skel.json"
+        assert main(["inject", "--smoke", "--engine", "skeleton",
+                     "--format", "json", "-o", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["engine"] == "skeleton"
+        # Interior wire faults are not expressible on the skeleton;
+        # every fault is either classified or explicitly skipped.
+        assert (len(payload["experiments"]) + len(payload["skipped"])
+                == 12)
+        for skip in payload["skipped"]:
+            assert "boundary" in skip["reason"]
+        capsys.readouterr()
+
+    def test_strict_flag_detects(self, capsys):
+        assert main(["inject", "--topology", "feedback", "--faults",
+                     "stop", "--cycles", "100", "--samples", "48",
+                     "--seed", "7", "--strict", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strict"] is True
+        assert payload["summary"]["detected"] > 0
+
+    def test_window_flag(self, capsys):
+        assert main(["inject", "--smoke", "--window", "8:16",
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["window"] == [8, 16]
+        for exp in payload["experiments"]:
+            assert 8 <= exp["fault"]["cycle"] < 16
+
+    def test_metrics_out_records_verdicts(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["inject", "--smoke", "--metrics-out",
+                     str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-metrics/v1"
+        verdict_counters = {
+            name: entry["value"]
+            for name, entry in payload["metrics"].items()
+            if name.startswith("inject/verdict/")}
+        assert verdict_counters
+        assert sum(verdict_counters.values()) == 12
+        capsys.readouterr()
+
+    def test_bad_fault_class_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["inject", "--faults", "cosmic", "--smoke"])

@@ -1,0 +1,136 @@
+"""Fault vocabulary: specs, class resolution, deterministic lists."""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.graph import figure2, ring
+from repro.inject import (
+    ALL_KINDS,
+    FAULT_CLASSES,
+    FaultSpec,
+    STATE_KINDS,
+    WIRE_KINDS,
+    enumerate_targets,
+    generate_faults,
+    resolve_classes,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InjectionError, match="unknown fault kind"):
+            FaultSpec("gamma-ray", "c", 0)
+
+    def test_negative_cycle_rejected(self):
+        with pytest.raises(InjectionError, match="cycle must be >= 0"):
+            FaultSpec("stop-glitch", "c", -1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(InjectionError, match="duration must be >= 0"):
+            FaultSpec("stop-glitch", "c", 0, duration=-1)
+
+    def test_phase_split(self):
+        for kind in WIRE_KINDS:
+            assert FaultSpec(kind, "c", 0).phase == "wire"
+        for kind in STATE_KINDS:
+            assert FaultSpec(kind, "c", 0).phase == "state"
+
+    def test_stuck_active_to_end(self):
+        spec = FaultSpec("stop-stuck-1", "c", 5, duration=0)
+        assert spec.stuck
+        assert not spec.active(4)
+        assert spec.active(5) and spec.active(10_000)
+
+    def test_windowed_active(self):
+        spec = FaultSpec("stop-glitch", "c", 5, duration=2)
+        assert [spec.active(c) for c in range(4, 8)] == [
+            False, True, True, False]
+
+    def test_label_stable(self):
+        assert FaultSpec("stop-glitch", "a->b#1", 7).label() == \
+            "stop-glitch@a->b#1@c7"
+        assert FaultSpec("stop-stuck-1", "a->b#1", 7, 0).label() == \
+            "stop-stuck-1@a->b#1@c7stuck"
+        assert FaultSpec("payload", "a->b#1", 7, 3).label() == \
+            "payload@a->b#1@c7+3"
+
+
+class TestResolveClasses:
+    def test_class_expansion(self):
+        assert resolve_classes(["stop"]) == FAULT_CLASSES["stop"]
+
+    def test_concrete_kind_passthrough(self):
+        assert resolve_classes(["payload"]) == ("payload",)
+        assert resolve_classes(["relay-drop"]) == ("relay-drop",)
+
+    def test_dedup_preserves_order(self):
+        kinds = resolve_classes(["stop", "stop-glitch", "void"])
+        assert kinds == FAULT_CLASSES["stop"] + FAULT_CLASSES["void"]
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(InjectionError, match="unknown fault class"):
+            resolve_classes(["cosmic"])
+
+    def test_every_class_maps_to_known_kinds(self):
+        for kinds in FAULT_CLASSES.values():
+            assert set(kinds) <= set(ALL_KINDS)
+
+
+class TestEnumerateTargets:
+    def test_figure2_targets(self):
+        targets = enumerate_targets(figure2())
+        assert targets.shells == ("S0", "S1")
+        assert len(targets.channels) == 5
+        # Both ring stations are full (two-register) stations.
+        assert targets.full_relays == targets.relays
+
+    def test_half_relays_excluded_from_duplicate(self):
+        graph = ring(2, relays_per_arc=[["full"], ["half"]])
+        targets = enumerate_targets(graph)
+        assert set(targets.full_relays) < set(targets.relays)
+
+
+class TestGenerateFaults:
+    def test_sampled_list_deterministic(self):
+        a = generate_faults(figure2(), cycles=50, samples=16, seed=3)
+        b = generate_faults(figure2(), cycles=50, samples=16, seed=3)
+        assert a == b
+        assert len(a) == 16
+
+    def test_seed_changes_sample(self):
+        a = generate_faults(figure2(), cycles=50, samples=16, seed=3)
+        b = generate_faults(figure2(), cycles=50, samples=16, seed=4)
+        assert a != b
+
+    def test_exhaustive_window(self):
+        faults = generate_faults(
+            figure2(), classes=("stop-glitch",), cycles=50,
+            window=(10, 12), exhaustive=True)
+        # 5 channels x 2 cycles, stable order.
+        assert len(faults) == 10
+        assert all(f.kind == "stop-glitch" for f in faults)
+        assert {f.cycle for f in faults} == {10, 11}
+
+    def test_stuck_kinds_get_zero_duration(self):
+        faults = generate_faults(
+            figure2(), classes=("stop", "delayed-stop"), cycles=20,
+            exhaustive=True)
+        for fault in faults:
+            if "stuck" in fault.kind or fault.kind == "delayed-stop":
+                assert fault.duration == 0
+            else:
+                assert fault.duration == 1
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(InjectionError, match="bad cycle window"):
+            generate_faults(figure2(), cycles=50, window=(40, 60))
+
+    def test_empty_classes_rejected(self):
+        with pytest.raises(InjectionError, match="no fault kinds"):
+            generate_faults(figure2(), classes=())
+
+    def test_sample_larger_than_universe_returns_universe(self):
+        faults = generate_faults(
+            figure2(), classes=("stop-glitch",), cycles=50,
+            window=(0, 2), samples=10_000)
+        assert len(faults) == 10

@@ -1,0 +1,167 @@
+"""All five campaign verdict classes, exercised on real systems.
+
+The figure 2 feedback loop at 100 cycles is the reference workload:
+its golden run delivers 50 tokens to the tap sink and keeps firing
+through the tail window, so every verdict class has a concrete,
+deterministic witness fault.
+"""
+
+import pytest
+
+from repro.errors import InjectionError
+from repro.graph import figure2
+from repro.inject import (
+    FaultInjector,
+    FaultSpec,
+    GoldenRun,
+    VERDICTS,
+    default_corruptor,
+    run_campaign,
+    run_experiment,
+    tail_window,
+)
+from repro.lid.variant import ProtocolVariant
+
+CYCLES = 100
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return GoldenRun.capture(figure2(), ProtocolVariant.CASU, CYCLES)
+
+
+def run_one(spec, golden, **kwargs):
+    return run_experiment(figure2(), spec, golden,
+                          variant=ProtocolVariant.CASU, **kwargs)
+
+
+class TestVerdictClasses:
+    """One witness fault per verdict class."""
+
+    def test_masked(self, golden):
+        # Forcing an already-low stop low changes nothing.
+        result = run_one(
+            FaultSpec("stop-stuck-0", "S1->S0#3", 10, 0), golden)
+        assert result.verdict == "masked"
+
+    def test_detected_by_strict_monitor(self, golden):
+        # Under Casu a stop may only answer a valid token; sticking the
+        # tap stop high asserts it against voids, which the strict
+        # stop-shape monitor rejects.
+        result = run_one(
+            FaultSpec("stop-stuck-1", "S0->out#5", 5, 0), golden,
+            strict=True)
+        assert result.verdict == "detected"
+        assert "stop-shape" in result.detail
+
+    def test_silent_corruption(self, golden):
+        # Lowering a settled stop for one cycle lets a token through
+        # that the golden run held back: the sink sees an extra token.
+        result = run_one(
+            FaultSpec("stop-glitch", "S0->out#5", 30), golden)
+        assert result.verdict == "silent-corruption"
+        assert "extra token" in result.detail
+
+    def test_deadlock(self, golden):
+        # Starving the forward ring arc forever wedges the loop.
+        result = run_one(
+            FaultSpec("valid-stuck-0", "S0->S1#1", 10, 0), golden)
+        assert result.verdict == "deadlock"
+        assert "no shell fired in the tail window" in result.detail
+
+    def test_timeout(self, golden):
+        # One swallowed token costs throughput but the system stays
+        # live: a correct-but-short prefix at the end of the budget.
+        result = run_one(
+            FaultSpec("void-glitch", "S0->S1#1", 20), golden)
+        assert result.verdict == "timeout"
+        assert "still live" in result.detail
+
+    def test_strictness_is_the_only_difference(self, golden):
+        # The same fault without the strict monitor corrupts silently:
+        # the detected/silent split is exactly the monitor's doing.
+        spec = FaultSpec("stop-stuck-1", "S0->out#5", 5, 0)
+        loud = run_one(spec, golden, strict=True)
+        quiet = run_one(spec, golden, strict=False)
+        assert loud.verdict == "detected"
+        assert quiet.verdict == "silent-corruption"
+
+
+class TestGoldenRun:
+    def test_capture_figure2(self, golden):
+        assert golden.cycles == CYCLES
+        assert len(golden.sink_payloads["out"]) == 50
+        assert golden.tail_fires > 0
+
+    def test_tail_window_floor(self):
+        assert tail_window(16) == 8
+        assert tail_window(100) == 12
+        assert tail_window(800) == 100
+
+
+class TestInjectorMechanics:
+    def test_unknown_channel_rejected(self):
+        system = figure2().elaborate()
+        with pytest.raises(InjectionError, match="no channel named"):
+            FaultInjector(FaultSpec("stop-glitch", "nope", 0), system)
+
+    def test_unknown_relay_rejected(self):
+        system = figure2().elaborate()
+        with pytest.raises(InjectionError, match="no relay station"):
+            FaultInjector(FaultSpec("relay-drop", "nope", 0), system)
+
+    def test_fired_cycles_recorded(self, golden):
+        result = run_one(
+            FaultSpec("stop-glitch", "S0->out#5", 30), golden)
+        assert result.fired
+        assert result.fire_cycles == 1
+
+    def test_masked_noop_never_fires(self, golden):
+        result = run_one(
+            FaultSpec("stop-stuck-0", "S1->S0#3", 10, 0), golden)
+        assert not result.fired
+        assert result.fire_cycles == 0
+
+    def test_default_corruptor(self):
+        assert default_corruptor(True) is False
+        assert default_corruptor(6) == 7
+        assert default_corruptor("x") == ("corrupt", "x")
+
+
+class TestCampaign:
+    def test_report_counts_cover_all_classes(self):
+        report = run_campaign(
+            figure2(), variant=ProtocolVariant.CASU,
+            classes=("stop", "void"), cycles=CYCLES, samples=48,
+            seed=7, strict=True)
+        counts = report.counts()
+        assert set(counts) == set(VERDICTS)
+        # This seed exercises every verdict class at least once.
+        assert all(counts[v] > 0 for v in VERDICTS), counts
+        assert sum(counts.values()) == len(report.results) == 48
+
+    def test_report_json_reproducible(self):
+        kwargs = dict(variant=ProtocolVariant.CASU, cycles=60,
+                      samples=12, seed=3)
+        a = run_campaign(figure2(), **kwargs).to_json()
+        b = run_campaign(figure2(), **kwargs).to_json()
+        assert a == b
+        assert a.endswith("\n")
+
+    def test_headline_claim(self):
+        """Strict Casu detects >= what Carloni silently corrupts."""
+        kwargs = dict(classes=("stop", "void"), cycles=CYCLES,
+                      samples=48, seed=7)
+        casu = run_campaign(figure2(), variant=ProtocolVariant.CASU,
+                            strict=True, **kwargs)
+        carloni = run_campaign(figure2(),
+                               variant=ProtocolVariant.CARLONI,
+                               **kwargs)
+        assert (casu.counts()["detected"]
+                >= carloni.counts()["silent-corruption"] > 0)
+
+    def test_table_lists_every_fault(self):
+        report = run_campaign(figure2(), cycles=40, samples=6, seed=1)
+        table = report.format_table()
+        for result in report.results:
+            assert result.spec.label() in table

@@ -5,11 +5,13 @@ import pytest
 from repro import LidSystem, pearls
 from repro.errors import StructuralError
 from repro.lid.relay import HalfRelayStation, RelayStation
+from repro.lid.variant import DEFAULT_VARIANT, ProtocolVariant
 
 
-def chain_system(relays, stop_script=None, stream=None):
+def chain_system(relays, stop_script=None, stream=None,
+                 variant=DEFAULT_VARIANT):
     """src -> A -> [relay chain] -> B -> sink."""
-    system = LidSystem("chain")
+    system = LidSystem("chain", variant=variant)
     src = system.add_source("src", stream=stream)
     a = system.add_shell("A", pearls.Identity())
     b = system.add_shell("B", pearls.Identity())
@@ -146,3 +148,61 @@ class TestVoidHandling:
         half.reset()
         assert rs.occupancy == 0
         assert half.occupancy == 0
+
+
+class TestSameCycleStop:
+    """Regression: a half station's acceptance decision must read the
+    *settled* stop on its own input — including the stop it itself
+    propagated combinationally during the same cycle's settle phase.
+
+    An earlier revision read the raw wire value instead of the
+    :meth:`~repro.lid.channel.Channel.stop_asserted` accessor; the two
+    agree only because ticks run after the settle fixpoint.  This pins
+    the contract for both protocol variants (see the comment in
+    ``HalfRelayStation.tick``).
+    """
+
+    def test_half_relay_same_cycle_stop_no_loss(self):
+        # Stop rises for one cycle; the half station is transparent, so
+        # the upstream shell sees the same stop in the same cycle and
+        # holds.  Nothing may be lost or duplicated.
+        system, sink = chain_system(
+            relays=["half"], stop_script=lambda c: c == 7,
+            variant=ProtocolVariant.CASU)
+        system.run(30)
+        ref = system.reference_outputs(30)["out"]
+        assert sink.payloads == ref[: len(sink.payloads)]
+        assert len(sink.payloads) >= 25
+
+    def test_half_relay_sustained_stop_no_loss(self):
+        system, sink = chain_system(
+            relays=["half"], stop_script=lambda c: 5 <= c < 11,
+            variant=ProtocolVariant.CASU)
+        system.run(40)
+        ref = system.reference_outputs(40)["out"]
+        assert sink.payloads == ref[: len(sink.payloads)]
+
+    def test_carloni_half_relay_wedges_on_void(self):
+        # Same settled-stop read, opposite outcome under the original
+        # protocol: a Carloni half station back-propagates stop even
+        # onto a void slot, so the initial bubble freezes in place and
+        # the station can never be primed — the paper's argument for
+        # why single-register stations require the Casu discipline.
+        system, sink = chain_system(
+            relays=["half"], variant=ProtocolVariant.CARLONI)
+        system.run(30)
+        assert len(sink.payloads) <= 1
+        (relay,) = system.relays.values()
+        assert relay.occupancy == 0
+
+    def test_half_relay_holds_token_during_stop(self):
+        # While stopped, the single register must hold its token (the
+        # combinational stop reaches the upstream the same cycle, so
+        # the held slot is never overwritten).
+        system, sink = chain_system(
+            relays=["half"], stop_script=lambda c: c == 7)
+        system.run(12)
+        (relay,) = system.relays.values()
+        assert isinstance(relay, HalfRelayStation)
+        # The station never needed a skid slot.
+        assert relay.occupancy <= 1

@@ -262,3 +262,62 @@ class TestMetricsParity:
         for hist in hists.values():
             assert hist["type"] == "histogram"
             assert hist["total"] == 30
+
+
+class TestInjectCampaignParity:
+    """Batched fault campaigns must classify identically per backend."""
+
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: v.name.lower())
+    def test_skeleton_campaign_backend_parity(self, variant):
+        from repro.inject import skeleton_campaign
+
+        graph = figure2()
+        kwargs = dict(variant=variant, classes=("stop", "void"),
+                      cycles=64, samples=24, seed=11)
+        scalar = skeleton_campaign(graph, backend="scalar", **kwargs)
+        vector = skeleton_campaign(graph, backend="vectorized",
+                                   **kwargs)
+        assert scalar.backend == "scalar"
+        assert vector.backend == "vectorized"
+        scalar_verdicts = [(r.spec.label(), r.verdict)
+                           for r in scalar.results]
+        vector_verdicts = [(r.spec.label(), r.verdict)
+                           for r in vector.results]
+        assert scalar_verdicts == vector_verdicts
+        assert scalar.skipped == vector.skipped
+        # The full JSON payloads differ only in the backend field.
+        a, b = scalar.to_payload(), vector.to_payload()
+        a.pop("backend"), b.pop("backend")
+        assert a == b
+
+    def test_engines_model_the_fault_at_different_points(self):
+        """The two engines express the *same spec* at different points,
+        and the split is part of the contract: the LID engine forces
+        the wire after settle (the sink's own behaviour is untouched,
+        so a stuck stop makes it re-read the held token — duplication),
+        while the skeleton perturbs the sink's script itself (producer
+        and consumer coherently stop — back-pressure wedges the ring).
+        A no-op fault must be masked identically on both."""
+        from repro.inject import (
+            FaultSpec,
+            run_campaign,
+            skeleton_campaign,
+        )
+
+        graph = figure2()
+        faults = [FaultSpec("stop-stuck-1", "S0->out#5", 8, 0),
+                  FaultSpec("stop-stuck-0", "S0->out#5", 8, 0)]
+        kwargs = dict(variant=ProtocolVariant.CASU, cycles=64,
+                      faults=faults)
+        lid = run_campaign(graph, monitors=False, **kwargs)
+        skel = skeleton_campaign(graph, backend="vectorized", **kwargs)
+        lid_verdicts = {r.spec.label(): r.verdict for r in lid.results}
+        skel_verdicts = {r.spec.label(): r.verdict
+                         for r in skel.results}
+        assert set(lid_verdicts) == set(skel_verdicts)
+        stuck1 = "stop-stuck-1@S0->out#5@c8stuck"
+        stuck0 = "stop-stuck-0@S0->out#5@c8stuck"
+        assert lid_verdicts[stuck1] == "silent-corruption"
+        assert skel_verdicts[stuck1] == "deadlock"
+        assert lid_verdicts[stuck0] == skel_verdicts[stuck0] == "masked"
