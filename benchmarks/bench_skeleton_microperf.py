@@ -1,0 +1,100 @@
+"""BENCH: scalar skeleton hot-loop micro-optimisation record.
+
+The scalar :class:`~repro.skeleton.sim.SkeletonSim` is the reference
+engine behind every analysis path that cannot batch (single-instance
+probes, the exhaustive liveness explorer, scalar conformance runs), so
+its per-cycle constant factor matters.  The hot loops used to re-derive
+structural facts every cycle: ``_settle_stops`` re-classified every
+relay station per call, ``_shell_fire`` chased ``hops[h].producer_edge``
+per output, ``_apply_edge`` re-looked-up ``variant.slot_consumed`` per
+station, and ``step()`` bumped instance counters per asserted stop
+wire.  All of that is now precomputed at build time (fixed-stop hop
+tables, shell ``(hop, reg)`` pairs, relay in/out triples, an
+``_is_casu`` pre-bound flag) or hoisted to locals.
+
+Reference throughput on the development container (single core, see
+the machine caveat in the emitted record) before the refactor, best of
+three 4000-cycle runs:
+
+* ``figure2``:   139,574 cycles/s
+* ``pipeline6``: 56,686 cycles/s (``pipeline(6, relays_per_hop=2)``)
+
+This bench re-measures both topologies and asserts the engine still
+clears a conservative floor (half the *before* numbers, so the bench
+stays robust on slower CI machines while still catching an
+order-of-magnitude regression), then emits
+``BENCH_EXP-M1-skeleton-microperf.json`` with the measured after
+numbers alongside the pinned before baseline.  Bit-exactness of the
+refactor is enforced elsewhere — by the differential conformance suite
+(``tests/skeleton/test_backend_conformance.py``).
+"""
+
+from time import perf_counter
+
+from repro.bench.tables import format_table
+from repro.graph import figure2, pipeline
+from repro.skeleton.sim import SkeletonSim
+
+CYCLES = 4000
+ROUNDS = 3
+
+# Pinned pre-refactor throughput (cycles/s) on the dev container; the
+# emitted record carries both so the speedup is auditable per machine.
+BEFORE = {"figure2": 139_574, "pipeline6": 56_686}
+
+TOPOLOGIES = {
+    "figure2": figure2,
+    "pipeline6": lambda: pipeline(6, relays_per_hop=2),
+}
+
+
+def _throughput(factory) -> float:
+    """Best-of-ROUNDS steady throughput in cycles/s."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        sim = SkeletonSim(factory())
+        started = perf_counter()
+        for _ in range(CYCLES):
+            sim.step()
+        elapsed = perf_counter() - started
+        best = max(best, CYCLES / elapsed)
+    return best
+
+
+def test_bench_skeleton_microperf(benchmark, emit):
+    started = perf_counter()
+    after = {name: _throughput(factory)
+             for name, factory in TOPOLOGIES.items()}
+    wall = perf_counter() - started
+    benchmark.pedantic(_throughput, args=(TOPOLOGIES["figure2"],),
+                       rounds=1, iterations=1)
+
+    for name, rate in after.items():
+        floor = BEFORE[name] / 2
+        assert rate >= floor, (
+            f"{name}: scalar skeleton fell to {rate:,.0f} cycles/s, "
+            f"below the {floor:,.0f} regression floor (before-refactor "
+            f"baseline was {BEFORE[name]:,})")
+
+    rows = [
+        (name, f"{BEFORE[name]:,}", f"{after[name]:,.0f}",
+         f"{after[name] / BEFORE[name]:.2f}x")
+        for name in TOPOLOGIES
+    ]
+    table = format_table(
+        ("topology", "before (cycles/s)", "after (cycles/s)", "ratio"),
+        rows,
+        title=f"Scalar skeleton hot-loop micro-optimisation "
+              f"({CYCLES} cycles, best of {ROUNDS}; 'before' pinned on "
+              f"the dev container — ratios are not comparable across "
+              f"machines)",
+    )
+    emit("EXP-M1-skeleton-microperf", table, rows=rows,
+         wall_seconds=wall,
+         params={"cycles": CYCLES, "rounds": ROUNDS,
+                 "topologies": sorted(TOPOLOGIES),
+                 "before_baseline_machine": "dev container, pinned"},
+         counters={f"{name}_{kind}": int(value)
+                   for name in TOPOLOGIES
+                   for kind, value in (("before_cps", BEFORE[name]),
+                                       ("after_cps", after[name]))})

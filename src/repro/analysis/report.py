@@ -102,8 +102,17 @@ def analyze(
     graph: SystemGraph,
     variant: ProtocolVariant = DEFAULT_VARIANT,
     max_cycles: int = 50_000,
+    *,
+    jobs: int = 1,
+    graph_ref=None,
+    cache=None,
 ) -> SystemReport:
-    """Run every analysis on *graph* and return the combined report."""
+    """Run every analysis on *graph* and return the combined report.
+
+    *jobs*, *graph_ref* and *cache* are forwarded to the liveness check
+    (see :func:`repro.skeleton.deadlock.check_deadlock`); the report is
+    identical for any ``jobs`` value.
+    """
     from ..skeleton.deadlock import check_deadlock
     from ..skeleton.sim import SkeletonSim
 
@@ -119,7 +128,8 @@ def analyze(
     mcr = min_cycle_ratio_throughput(graph)
     sim = SkeletonSim(graph, variant=variant)
     result = sim.run(max_cycles=max_cycles)
-    verdict = check_deadlock(graph, variant=variant, max_cycles=max_cycles)
+    verdict = check_deadlock(graph, variant=variant, max_cycles=max_cycles,
+                             jobs=jobs, graph_ref=graph_ref, cache=cache)
     transient = analyze_transient(graph, variant=variant,
                                   max_cycles=max_cycles)
 

@@ -158,6 +158,15 @@ def analyze_loops(graph: SystemGraph) -> Dict[Tuple[str, ...], Fraction]:
     return result
 
 
+def _sweep_chunk(args) -> List[Dict[str, Fraction]]:
+    """One worker's slice of a throughput sweep (module-level: pickling)."""
+    graph_ref, sinks, sources, variant, max_cycles, backend = args
+    return throughput_sweep(
+        graph_ref.materialize(), sink_patterns=sinks,
+        source_patterns=sources, variant=variant,
+        max_cycles=max_cycles, backend=backend)
+
+
 def throughput_sweep(
     graph: SystemGraph,
     sink_patterns: Optional[Sequence[Dict[str, Sequence[bool]]]] = None,
@@ -165,6 +174,9 @@ def throughput_sweep(
     variant=None,
     max_cycles: int = 10_000,
     backend: str = "auto",
+    *,
+    jobs: int = 1,
+    graph_ref=None,
 ) -> List[Dict[str, Fraction]]:
     """Exact steady-state rates for a whole scenario sweep at once.
 
@@ -175,9 +187,45 @@ def throughput_sweep(
     so a wide sweep costs roughly one scalar run (the paper's
     "absolutely negligible" skeleton cost, vectorized); results are
     exact fractions per shell and sink, per instance.
+
+    ``jobs > 1`` splits the instance list into contiguous chunks, each
+    simulated by a worker process (still batched inside the worker);
+    results come back in instance order, identical to the serial sweep.
+    Pass *graph_ref* when the graph itself does not pickle; without one
+    an unpicklable graph silently degrades to the serial path, which
+    returns the same list.
     """
     from ..lid.variant import DEFAULT_VARIANT
     from ..skeleton.backend import select
+
+    if (jobs > 1 and sink_patterns is not None
+            and not isinstance(sink_patterns, dict)
+            and len(sink_patterns) > 1):
+        from ..errors import ExecutionError
+        from ..exec import GraphRef, chunk_units, map_deterministic
+
+        ref = graph_ref
+        if ref is None:
+            try:
+                ref = GraphRef.from_graph(graph)
+            except ExecutionError:
+                ref = None
+        paired_sources = None
+        if (source_patterns is not None
+                and not isinstance(source_patterns, dict)
+                and len(source_patterns) == len(sink_patterns)):
+            paired_sources = list(source_patterns)
+        if ref is not None:
+            sinks = list(sink_patterns)
+            work = []
+            for idx_chunk in chunk_units(list(range(len(sinks))), jobs):
+                chunk_sources = (
+                    [paired_sources[i] for i in idx_chunk]
+                    if paired_sources is not None else source_patterns)
+                work.append((ref, [sinks[i] for i in idx_chunk],
+                             chunk_sources, variant, max_cycles, backend))
+            parts = map_deterministic(_sweep_chunk, work, jobs=jobs)
+            return [rates for part in parts for rates in part]
 
     handle = select(graph, variant or DEFAULT_VARIANT,
                     source_patterns=source_patterns,

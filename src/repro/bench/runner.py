@@ -707,7 +707,18 @@ def read_records(directory: str) -> List[Dict[str, Any]]:
     return records
 
 
-def write_results(directory: str) -> List[str]:
+def _run_experiment(exp_id: str) -> Tuple[str, str, list, float]:
+    """Run one registered experiment; module-level so workers only
+    need the experiment id (the registry is re-imported per process)."""
+    from time import perf_counter
+
+    _description, runner = EXPERIMENTS[exp_id]
+    started = perf_counter()
+    table, rows = runner()
+    return exp_id, table, rows, perf_counter() - started
+
+
+def write_results(directory: str, jobs: int = 1) -> List[str]:
     """Run every experiment, writing one table file per id.
 
     Each experiment also gets a machine-readable ``BENCH_<id>.json``
@@ -715,16 +726,22 @@ def write_results(directory: str) -> List[str]:
     written.  This is what ``repro-lid reproduce --output DIR`` uses;
     the text files match the format of the pinned golden campaign
     (``tests/golden/campaign.txt``).
+
+    ``jobs > 1`` fans independent experiments across worker processes;
+    files are still written in registry order by this process, so the
+    tables and rows are identical to a serial run (wall times in the
+    JSON records are measured per experiment and vary either way).
     """
     import os
-    from time import perf_counter
+
+    from ..exec import map_deterministic
 
     os.makedirs(directory, exist_ok=True)
+    outcomes = map_deterministic(
+        _run_experiment, list(EXPERIMENTS), jobs=jobs)
     paths: List[str] = []
-    for exp_id, (description, runner) in EXPERIMENTS.items():
-        started = perf_counter()
-        table, rows = runner()
-        wall = perf_counter() - started
+    for exp_id, table, rows, wall in outcomes:
+        description = EXPERIMENTS[exp_id][0]
         path = os.path.join(directory, f"{exp_id}.txt")
         _atomic_write_text(path, f"[{exp_id}] {description}\n\n{table}\n")
         paths.append(path)

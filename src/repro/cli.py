@@ -126,9 +126,16 @@ def main(argv=None) -> int:
     seed_parent.add_argument("--seed", type=int,
                              default=argparse.SUPPRESS,
                              help=argparse.SUPPRESS)
+    jobs_parent = argparse.ArgumentParser(add_help=False)
+    jobs_parent.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for independent simulation units "
+             "(default 1 = serial; output is byte-identical for any "
+             "value, see docs/parallelism.md)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_analyze = sub.add_parser("analyze", parents=[seed_parent],
+    p_analyze = sub.add_parser("analyze",
+                           parents=[seed_parent, jobs_parent],
                            help="analyze a topology")
     p_analyze.add_argument("topology")
     p_analyze.add_argument("--variant", type=_variant,
@@ -147,7 +154,8 @@ def main(argv=None) -> int:
     sub.add_parser("verify", parents=[seed_parent],
                    help="run the safety-property campaign")
 
-    p_repro = sub.add_parser("reproduce", parents=[seed_parent],
+    p_repro = sub.add_parser("reproduce",
+                             parents=[seed_parent, jobs_parent],
                              help="regenerate all paper artifacts")
     p_repro.add_argument("--experiment", choices=sorted(EXPERIMENTS),
                          help="run a single experiment id")
@@ -163,7 +171,8 @@ def main(argv=None) -> int:
     sub.add_parser("figure2", parents=[seed_parent],
                    help="print the Figure 2 sweep")
 
-    p_dead = sub.add_parser("deadlock", parents=[seed_parent],
+    p_dead = sub.add_parser("deadlock",
+                          parents=[seed_parent, jobs_parent],
                           help="skeleton liveness check")
     p_dead.add_argument("topology")
     p_dead.add_argument("--variant", type=_variant,
@@ -174,7 +183,7 @@ def main(argv=None) -> int:
                              "regime; an inconclusive verdict exits 2")
 
     p_inject = sub.add_parser(
-        "inject", parents=[seed_parent],
+        "inject", parents=[seed_parent, jobs_parent],
         help="fault-injection campaign with verdict classification")
     p_inject.add_argument("--topology", default="feedback",
                           help="topology spec (default: feedback, the "
@@ -219,6 +228,14 @@ def main(argv=None) -> int:
     p_inject.add_argument("--metrics-out", default=None, metavar="FILE",
                           help="write campaign verdict metrics as a "
                                "JSON metrics snapshot")
+    p_inject.add_argument("--no-cache", action="store_true",
+                          help="disable the on-disk golden-run cache")
+    p_inject.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="golden-run cache directory (default: "
+                               "$REPRO_LID_CACHE_DIR or "
+                               "~/.cache/repro-lid; keys include the "
+                               "git revision, so stale entries are "
+                               "never reused across commits)")
 
     p_live = sub.add_parser(
         "liveness", parents=[seed_parent],
@@ -300,9 +317,13 @@ def main(argv=None) -> int:
         graph = _parse_topology(args.topology, seed=args.seed)
         if args.topology.startswith(("dag", "loopy")):
             print(f"seed: {args.seed}")
+        from .exec import GraphRef
+
         try:
             report = analyze(graph, variant=args.variant,
-                             max_cycles=args.max_cycles)
+                             max_cycles=args.max_cycles, jobs=args.jobs,
+                             graph_ref=GraphRef.from_spec(
+                                 args.topology, seed=args.seed))
         except PeriodicityTimeout as exc:
             print(f"inconclusive: {exc} — raise --max-cycles",
                   file=sys.stderr)
@@ -327,9 +348,14 @@ def main(argv=None) -> int:
         table, _rows = run_figure2()
         print(table)
     elif args.command == "deadlock":
+        from .exec import GraphRef
+
         graph = _parse_topology(args.topology, seed=args.seed)
         verdict = check_deadlock(graph, variant=args.variant,
-                                 max_cycles=args.max_cycles)
+                                 max_cycles=args.max_cycles,
+                                 jobs=args.jobs,
+                                 graph_ref=GraphRef.from_spec(
+                                     args.topology, seed=args.seed))
         print(verdict.detail)
         if verdict.inconclusive:
             return 2
@@ -441,7 +467,7 @@ def _reproduce(args) -> None:
     if args.output:
         from .bench.runner import write_results
 
-        for path in write_results(args.output):
+        for path in write_results(args.output, jobs=args.jobs):
             print(f"wrote {path}")
             if registry is not None and path.endswith(".json"):
                 with open(path, encoding="utf-8") as fh:
@@ -484,6 +510,7 @@ def _inject(args) -> int:
 
     from .bench.runner import git_rev
     from .errors import InjectionError
+    from .exec import GraphRef, ResultCache
     from .inject import run_campaign, skeleton_campaign
     from .obs import Telemetry
 
@@ -498,16 +525,22 @@ def _inject(args) -> int:
     classes = tuple(
         item.strip() for item in args.faults.split(",") if item.strip())
     telemetry = Telemetry.metrics_only() if args.metrics_out else None
+    cache = None if args.no_cache else ResultCache.disk(args.cache_dir)
 
     common = dict(variant=args.variant, classes=classes, cycles=cycles,
                   window=window, exhaustive=exhaustive, samples=samples,
-                  seed=args.seed, telemetry=telemetry)
+                  seed=args.seed, telemetry=telemetry, jobs=args.jobs,
+                  cache=cache)
     try:
         if args.engine == "skeleton":
             report = skeleton_campaign(graph, backend=args.backend,
                                        **common)
         else:
-            report = run_campaign(graph, strict=args.strict, **common)
+            report = run_campaign(
+                graph, strict=args.strict,
+                graph_ref=GraphRef.from_spec(args.topology,
+                                             seed=args.seed),
+                **common)
     except InjectionError as exc:
         raise SystemExit(f"repro-lid inject: {exc}")
 
@@ -520,8 +553,14 @@ def _inject(args) -> int:
             fh.write(text)
         counts = report.counts()
         summary = "  ".join(f"{k}={v}" for k, v in counts.items())
+        execution = report.execution or {}
+        extra = f"  jobs={execution.get('jobs', 1)}"
+        stats = execution.get("cache")
+        if stats is not None:
+            extra += (f" cache-hits={stats['hits']}"
+                      f" cache-misses={stats['misses']}")
         print(f"wrote {args.output}: {len(report.results)} experiments "
-              f"(seed {args.seed}): {summary}")
+              f"(seed {args.seed}): {summary}{extra}")
     else:
         print(text, end="")
 

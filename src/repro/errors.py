@@ -98,6 +98,29 @@ class PeriodicityTimeout(ReproError, TimeoutError):
         self.max_cycles = max_cycles
 
 
+class ExecutionError(ReproError):
+    """The parallel execution layer could not run a workload.
+
+    E.g. a work unit that cannot be pickled across the process
+    boundary (a system graph holding closures with no
+    :class:`repro.exec.GraphRef` to rebuild it from), or a work-unit
+    reference naming a callable that does not resolve to a module-level
+    function in the worker.
+    """
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died without delivering its result.
+
+    Raised in place of :class:`concurrent.futures.process.
+    BrokenProcessPool` so that callers of the ``repro.exec`` layer only
+    ever see :class:`ReproError` subclasses.  A worker that raises an
+    ordinary exception does *not* produce this error — the exception is
+    pickled back and re-raised with its own type; this one means the
+    process itself vanished (killed, segfaulted, ``os._exit``).
+    """
+
+
 class InjectionError(ReproError):
     """A fault-injection campaign was misconfigured.
 

@@ -1,0 +1,215 @@
+"""Content-addressed result cache: golden runs, periodicity verdicts.
+
+Every ``repro-lid inject`` invocation used to re-simulate the
+fault-free golden run from scratch, and every ``analyze``/``deadlock``
+re-ran the skeleton to periodicity.  Those results are pure functions
+of ``(graph, variant, cycles, seed)``, so they are cached here,
+content-addressed:
+
+* the **graph fingerprint** (:func:`graph_fingerprint`) hashes the
+  structure (nodes, kinds, queue depths, edges, relay chains) plus the
+  *behaviour* of the attached callables — code objects of pearl
+  factories and stream factories, and the sampled output bits of every
+  sink stop script over the run length.  Editing a stop script or
+  swapping a pearl changes the key; renaming a file does not;
+* the **key** additionally folds in the cache schema version and the
+  git revision of the package, so entries never survive a code change
+  that could alter simulation semantics (invalidation is by
+  *unreachability*: stale entries are simply never looked up again).
+
+Storage is two-level: an in-process dict, plus an optional on-disk
+layer under ``~/.cache/repro-lid/`` (override with
+``$REPRO_LID_CACHE_DIR`` or ``directory=``).  Disk writes are atomic —
+``mkstemp`` + ``os.replace``, the same pattern as the bench runner's
+``_atomic_write_text`` — so readers never see a torn entry.  Reads are
+poison-tolerant: a truncated or unpicklable file is a *warning and a
+miss*, never a crash; the offender is unlinked so it cannot warn
+twice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import sys
+import tempfile
+from typing import Any, Callable, Optional
+
+from ..graph.model import SystemGraph
+
+#: Bump to orphan every existing entry (format or semantics change).
+CACHE_SCHEMA = "repro-lid-cache/v1"
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISS = object()
+
+
+def default_cache_dir() -> str:
+    """``$REPRO_LID_CACHE_DIR`` or ``~/.cache/repro-lid``."""
+    override = os.environ.get("REPRO_LID_CACHE_DIR")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-lid")
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write *data* to *path* atomically (mkstemp + ``os.replace``)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def _callable_fingerprint(fn: Optional[Callable]) -> str:
+    """Stable-ish content hash of a callable's behaviour.
+
+    Functions and lambdas hash their bytecode, constants and closure
+    values; classes and builtins hash their qualified name.  This is a
+    *cache key* component, not a proof of equality — a collision risk
+    this low only ever costs a stale golden run keyed under the same
+    git revision, and the revision changes with every commit.
+    """
+    if fn is None:
+        return "none"
+    code = getattr(fn, "__code__", None)
+    if code is not None:
+        closure = getattr(fn, "__closure__", None) or ()
+        cells = []
+        for cell in closure:
+            try:
+                cells.append(repr(cell.cell_contents))
+            except Exception:
+                cells.append("<opaque>")
+        return hashlib.sha256(
+            code.co_code
+            + repr(code.co_consts).encode()
+            + repr(cells).encode()
+        ).hexdigest()
+    return f"{getattr(fn, '__module__', '?')}:" \
+           f"{getattr(fn, '__qualname__', repr(fn))}"
+
+
+def graph_fingerprint(graph: SystemGraph, cycles: int = 256) -> str:
+    """sha256 of the graph's structure and attached behaviour.
+
+    *cycles* bounds the sampling of sink stop scripts — callers should
+    pass at least the run length they are caching for, so that two
+    scripts differing only beyond the sampled horizon cannot share a
+    key for a run that would tell them apart.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(graph.name.encode())
+    for name in sorted(graph.nodes):
+        node = graph.nodes[name]
+        hasher.update(
+            f"|node:{name}:{node.kind}:{node.queue_depth}".encode())
+        hasher.update(_callable_fingerprint(node.pearl_factory).encode())
+        hasher.update(_callable_fingerprint(node.stream_factory).encode())
+        if node.stop_script is not None:
+            bits = "".join(
+                "1" if node.stop_script(c) else "0"
+                for c in range(max(1, cycles)))
+            hasher.update(f"|script:{bits}".encode())
+        else:
+            hasher.update(b"|script:none")
+    for edge in graph.edges:
+        hasher.update(
+            f"|edge:{edge.src}>{edge.dst}:{edge.src_port}:"
+            f"{edge.dst_port}:{','.join(edge.relays)}".encode())
+    return hasher.hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters — surfaced in campaign execution headers."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+
+class ResultCache:
+    """Two-level (memory + optional disk) content-addressed store."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self.stats = CacheStats()
+        self._memory: dict = {}
+        self._disk_broken = False
+
+    @classmethod
+    def disk(cls, directory: Optional[str] = None) -> "ResultCache":
+        """Cache backed by the default (or given) on-disk directory."""
+        return cls(directory=directory or default_cache_dir())
+
+    @classmethod
+    def memory(cls) -> "ResultCache":
+        """In-process cache only (tests, one-shot programs)."""
+        return cls(directory=None)
+
+    def key(self, *parts: Any) -> str:
+        """Canonical key: schema + git rev + the caller's parts."""
+        from ..bench.runner import git_rev
+
+        text = "|".join([CACHE_SCHEMA, git_rev()]
+                        + [str(part) for part in parts])
+        return hashlib.sha256(text.encode()).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.pkl")
+
+    def get(self, key: str) -> Any:
+        """Cached value or ``None``; counts a hit or a miss."""
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        value = _MISS
+        if self.directory is not None and not self._disk_broken:
+            path = self._path(key)
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except FileNotFoundError:
+                pass
+            except Exception as exc:
+                print(f"warning: dropping poisoned cache entry {path}: "
+                      f"{type(exc).__name__}: {exc}", file=sys.stderr)
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        if value is _MISS:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._memory[key] = value
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store under *key*; disk failures degrade to memory-only."""
+        self._memory[key] = value
+        if self.directory is None or self._disk_broken:
+            return
+        try:
+            atomic_write_bytes(
+                self._path(key),
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        except Exception as exc:
+            self._disk_broken = True
+            print(f"warning: cache directory {self.directory!r} is not "
+                  f"writable ({exc}); continuing without the disk layer",
+                  file=sys.stderr)

@@ -1,0 +1,100 @@
+"""Picklable graph references for cross-process simulation.
+
+A :class:`~repro.graph.model.SystemGraph` frequently holds closures —
+pearl factories, sink stop scripts written as lambdas — so the graph
+object itself often cannot cross a process boundary.  A
+:class:`GraphRef` is the picklable *recipe* instead of the dish; each
+worker process rebuilds (and memoizes) the graph from it:
+
+* ``from_spec("ring:shells=3,relays=2", seed=7)`` — a CLI topology
+  spec string, rebuilt via :func:`repro.cli._parse_topology` (the
+  normal route for everything launched from ``repro-lid``);
+* ``from_factory("repro.graph:figure2", relays_per_arc=2)`` — a
+  module-level factory plus keyword arguments;
+* ``from_graph(graph)`` — a pickle payload, for graphs that happen to
+  be picklable (no lambdas); raises
+  :class:`~repro.errors.ExecutionError` with a pointer to the other
+  two constructors when they are not.
+
+Rebuilding is deterministic (topology factories are pure functions of
+their arguments plus the seed), so every worker sees the same graph
+the parent described — the foundation of the jobs-invariant reports
+contract in ``docs/parallelism.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from ..errors import ExecutionError
+from ..graph.model import SystemGraph
+
+#: Per-process memo: materialized graphs by reference.  Workers are
+#: short-lived relative to campaign size, so this never needs eviction.
+_MATERIALIZED: Dict["GraphRef", SystemGraph] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class GraphRef:
+    """Picklable recipe for rebuilding a system graph in a worker."""
+
+    spec: Optional[str] = None
+    seed: int = 0
+    factory: Optional[str] = None
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    payload: Optional[bytes] = None
+
+    @classmethod
+    def from_spec(cls, spec: str, seed: int = 0) -> "GraphRef":
+        """Reference a CLI topology spec (``"figure2"``, ``"dag:..."``)."""
+        return cls(spec=spec, seed=seed)
+
+    @classmethod
+    def from_factory(cls, factory: str, **kwargs: Any) -> "GraphRef":
+        """Reference a ``"module:qualname"`` factory plus kwargs."""
+        return cls(factory=factory,
+                   kwargs=tuple(sorted(kwargs.items())))
+
+    @classmethod
+    def from_graph(cls, graph: SystemGraph) -> "GraphRef":
+        """Capture a picklable graph by value.
+
+        Graphs built by the stock topology factories hold lambdas and
+        are *not* picklable; for those, use :meth:`from_spec` /
+        :meth:`from_factory` so workers rebuild the graph instead.
+        """
+        try:
+            payload = pickle.dumps(graph, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise ExecutionError(
+                f"graph {graph.name!r} is not picklable ({exc}); pass a "
+                f"GraphRef.from_spec(...) or GraphRef.from_factory(...) "
+                f"so worker processes can rebuild it") from exc
+        return cls(payload=payload)
+
+    def materialize(self) -> SystemGraph:
+        """Build (or fetch the memoized) graph in this process."""
+        graph = _MATERIALIZED.get(self)
+        if graph is not None:
+            return graph
+        if self.spec is not None:
+            from ..cli import _parse_topology
+
+            graph = _parse_topology(self.spec, seed=self.seed)
+        elif self.factory is not None:
+            from .pool import resolve_callable
+
+            graph = resolve_callable(self.factory)(**dict(self.kwargs))
+        elif self.payload is not None:
+            graph = pickle.loads(self.payload)
+        else:
+            raise ExecutionError("empty GraphRef: no spec, factory or "
+                                 "payload")
+        if not isinstance(graph, SystemGraph):
+            raise ExecutionError(
+                f"GraphRef produced a {type(graph).__name__}, not a "
+                f"SystemGraph")
+        _MATERIALIZED[self] = graph
+        return graph

@@ -1,0 +1,146 @@
+"""Deterministic process-pool fan-out: ``map_deterministic``.
+
+The contract that makes ``--jobs N`` safe for byte-reproducible
+reports: the result of ``map_deterministic(fn, units, jobs)`` is the
+exact list ``[fn(u) for u in units]`` for *every* value of ``jobs`` —
+same elements, same order.  Parallelism changes only the wall clock.
+
+How that is achieved:
+
+* units are split into **contiguous chunks** in input order (no
+  work-stealing, no as-completed reordering);
+* every chunk is submitted up front and the futures are drained in
+  **submission order**, so the merged list is the concatenation of the
+  chunk results in their original positions;
+* worker exceptions are pickled back by :mod:`concurrent.futures` and
+  re-raised here with their original type — a campaign worker that
+  raises :class:`repro.errors.InjectionError` surfaces as an
+  ``InjectionError``, not as some pool wrapper;
+* a worker process that *dies* (rather than raises) surfaces as
+  :class:`repro.errors.WorkerCrashError`, keeping the
+  :class:`repro.errors.ReproError` taxonomy closed.
+
+``fn`` and every unit must be picklable (module-level functions,
+``functools.partial`` of module-level functions, frozen dataclasses).
+For callables that must be named across the process boundary there is
+the :class:`WorkUnit` indirection: ``"module:qualname"`` plus args.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import math
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import ExecutionError, WorkerCrashError
+
+
+def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
+    """Worker-side body: apply *fn* to one contiguous chunk, in order."""
+    return [fn(unit) for unit in chunk]
+
+
+def chunk_units(units: Sequence[Any], jobs: int,
+                chunk_size: Optional[int] = None) -> List[Sequence[Any]]:
+    """Split *units* into contiguous chunks (deterministic in inputs).
+
+    The default size aims at ~4 chunks per worker: big enough to
+    amortize pickling, small enough that one slow chunk cannot idle the
+    other workers for long.  The split depends only on ``(len(units),
+    jobs, chunk_size)`` — never on timing.
+    """
+    if chunk_size is None:
+        chunk_size = max(1, math.ceil(len(units) / (jobs * 4)))
+    if chunk_size < 1:
+        raise ExecutionError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [units[i:i + chunk_size]
+            for i in range(0, len(units), chunk_size)]
+
+
+def map_deterministic(
+    fn: Callable[[Any], Any],
+    units: Iterable[Any],
+    jobs: int = 1,
+    *,
+    chunk_size: Optional[int] = None,
+) -> List[Any]:
+    """``[fn(u) for u in units]``, fanned across *jobs* processes.
+
+    ``jobs <= 1`` (the default) runs serially in-process — no pool, no
+    pickling, no spawn cost; this is also the reference semantics the
+    parallel path must reproduce byte-for-byte.
+    """
+    units = list(units)
+    if jobs is None or jobs <= 1 or len(units) <= 1:
+        return [fn(unit) for unit in units]
+
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    jobs = min(jobs, len(units))
+    chunks = chunk_units(units, jobs, chunk_size)
+    results: List[Any] = []
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk)
+                       for chunk in chunks]
+            for future in futures:
+                results.extend(future.result())
+    except BrokenProcessPool as exc:
+        raise WorkerCrashError(
+            f"a worker process died while mapping {len(units)} units "
+            f"across {jobs} jobs (chunk results already merged: "
+            f"{len(results)})") from exc
+    return results
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """A picklable, self-describing unit of work.
+
+    ``fn`` names a module-level callable as ``"module:qualname"``; the
+    worker resolves it with :func:`resolve_callable` and applies the
+    args.  Use this when the callable itself cannot be captured in a
+    closure/partial (or when units must be serialized to disk, e.g. a
+    campaign manifest).
+    """
+
+    fn: str
+    args: Tuple[Any, ...] = ()
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __call__(self) -> Any:
+        return run_unit(self)
+
+
+def resolve_callable(ref: str) -> Callable[..., Any]:
+    """``"module:qualname"`` -> the callable, or :class:`ExecutionError`."""
+    module_name, sep, qualname = ref.partition(":")
+    if not sep or not module_name or not qualname:
+        raise ExecutionError(
+            f"work-unit callable reference must be 'module:qualname', "
+            f"got {ref!r}")
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ExecutionError(
+            f"cannot import module {module_name!r} for work unit "
+            f"{ref!r}: {exc}") from exc
+    obj: Any = module
+    for part in qualname.split("."):
+        try:
+            obj = getattr(obj, part)
+        except AttributeError:
+            raise ExecutionError(
+                f"{module_name!r} has no attribute path {qualname!r} "
+                f"(work unit {ref!r})") from None
+    if not callable(obj):
+        raise ExecutionError(f"work unit {ref!r} is not callable")
+    return obj
+
+
+def run_unit(unit: WorkUnit) -> Any:
+    """Execute one :class:`WorkUnit` (worker-side entry point)."""
+    fn = resolve_callable(unit.fn)
+    return fn(*unit.args, **dict(unit.kwargs))

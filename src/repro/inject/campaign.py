@@ -40,10 +40,12 @@ verdict vocabulary is the masked / deadlock / timeout subset.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import InjectionError, ProtocolViolationError, ReproError
+from ..exec import GraphRef, ResultCache, map_deterministic
 from ..graph.model import SystemGraph
 from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
 from .faults import FaultSpec, generate_faults
@@ -223,6 +225,12 @@ class CampaignReport:
     strict: bool
     results: List[ExperimentResult]
     skipped: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
+    #: Audit header for parallel/cached runs: ``jobs``, ``workers`` and
+    #: cache hit/miss counts (sorted keys, no wall times).  Excluded
+    #: from the default payload so reports stay byte-identical across
+    #: ``--jobs`` values — the determinism contract of
+    #: ``docs/parallelism.md``; pass ``execution=True`` to include it.
+    execution: Optional[Dict[str, Any]] = None
 
     def counts(self) -> Dict[str, int]:
         counts = {verdict: 0 for verdict in VERDICTS}
@@ -238,8 +246,8 @@ class CampaignReport:
             slot[result.verdict] += 1
         return by_kind
 
-    def to_payload(self) -> Dict[str, Any]:
-        return {
+    def to_payload(self, execution: bool = False) -> Dict[str, Any]:
+        payload = {
             "schema": SCHEMA,
             "topology": self.topology,
             "variant": self.variant,
@@ -258,10 +266,20 @@ class CampaignReport:
             "summary": self.counts(),
             "summary_by_kind": self.counts_by_kind(),
         }
+        if execution:
+            payload["execution"] = self.execution
+        return payload
 
-    def to_json(self) -> str:
-        """Deterministic rendering: byte-identical across reruns."""
-        return json.dumps(self.to_payload(), indent=2, sort_keys=True) + "\n"
+    def to_json(self, execution: bool = False) -> str:
+        """Deterministic rendering: byte-identical across reruns.
+
+        The default payload omits the :attr:`execution` audit header
+        so that the bytes are also identical across ``--jobs`` values
+        and cache states; ``execution=True`` opts into the header for
+        audit trails that do not need jobs-invariance.
+        """
+        return json.dumps(self.to_payload(execution=execution),
+                          indent=2, sort_keys=True) + "\n"
 
     def format_table(self) -> str:
         counts = self.counts()
@@ -297,6 +315,73 @@ def _record_verdicts(telemetry, report: CampaignReport) -> None:
                 f"inject/verdict/{verdict}").inc(count)
 
 
+@dataclasses.dataclass(frozen=True)
+class _WorkerContext:
+    """Everything a campaign worker needs, in picklable form."""
+
+    graph_ref: GraphRef
+    golden: GoldenRun
+    variant: ProtocolVariant
+    strict: bool
+    monitors: bool
+    collect_metrics: bool
+
+
+def _experiment_worker(
+    ctx: _WorkerContext,
+    spec: FaultSpec,
+) -> Tuple[ExperimentResult, Optional[Dict[str, Any]]]:
+    """Run one experiment in a worker process.
+
+    Returns the result plus this experiment's metrics snapshot (when
+    the parent carries a metrics registry) so the parent can merge the
+    per-worker registries in canonical order — the serial-equivalence
+    guarantee for ``--metrics-out``.
+    """
+    telemetry = None
+    if ctx.collect_metrics:
+        from ..obs import Telemetry
+
+        telemetry = Telemetry.metrics_only()
+    result = run_experiment(
+        ctx.graph_ref.materialize(), spec, ctx.golden,
+        variant=ctx.variant, strict=ctx.strict, monitors=ctx.monitors,
+        telemetry=telemetry)
+    snapshot = (telemetry.metrics.snapshot()
+                if telemetry is not None else None)
+    return result, snapshot
+
+
+def _cached_golden(
+    graph: SystemGraph,
+    variant: ProtocolVariant,
+    cycles: int,
+    seed: int,
+    cache: Optional[ResultCache],
+) -> GoldenRun:
+    """Golden run, via the content-addressed cache when one is given."""
+    if cache is None:
+        return GoldenRun.capture(graph, variant, cycles)
+    from ..exec import graph_fingerprint
+
+    key = cache.key("golden", graph_fingerprint(graph, cycles),
+                    variant, cycles, seed)
+    golden = cache.get(key)
+    if not isinstance(golden, GoldenRun) or golden.cycles != cycles:
+        golden = GoldenRun.capture(graph, variant, cycles)
+        cache.put(key, golden)
+    return golden
+
+
+def _execution_header(jobs: int, workers: int,
+                      cache: Optional[ResultCache]) -> Dict[str, Any]:
+    return {
+        "jobs": jobs,
+        "workers": workers,
+        "cache": cache.stats.to_dict() if cache is not None else None,
+    }
+
+
 def run_campaign(
     graph: SystemGraph,
     *,
@@ -311,25 +396,57 @@ def run_campaign(
     monitors: bool = True,
     telemetry=None,
     faults: Optional[Sequence[FaultSpec]] = None,
+    jobs: int = 1,
+    graph_ref: Optional[GraphRef] = None,
+    cache: Optional[ResultCache] = None,
 ) -> CampaignReport:
-    """Full campaign on the scalar LID engine (token-level, monitored)."""
+    """Full campaign on the scalar LID engine (token-level, monitored).
+
+    ``jobs`` fans the independent experiments across worker processes
+    via :func:`repro.exec.map_deterministic`; the report is
+    byte-identical for every value (see ``docs/parallelism.md``).  With
+    ``jobs > 1`` the graph must be reachable from workers: pass a
+    *graph_ref* (any graph with lambdas is unpicklable), or rely on the
+    automatic :meth:`GraphRef.from_graph` capture for plain graphs.
+    ``cache`` skips the fault-free golden simulation on repeat runs.
+    """
     if faults is None:
         faults = generate_faults(
             graph, variant=variant, classes=classes, cycles=cycles,
             window=window, exhaustive=exhaustive, samples=samples,
             seed=seed)
-    golden = GoldenRun.capture(graph, variant, cycles)
-    results = [
-        run_experiment(graph, spec, golden, variant=variant,
-                       strict=strict, monitors=monitors,
-                       telemetry=telemetry)
-        for spec in faults
-    ]
+    golden = _cached_golden(graph, variant, cycles, seed, cache)
+
+    workers = 1
+    if jobs > 1 and len(faults) > 1:
+        ref = graph_ref if graph_ref is not None \
+            else GraphRef.from_graph(graph)
+        collect = telemetry is not None and telemetry.metrics is not None
+        ctx = _WorkerContext(ref, golden, variant, strict, monitors,
+                             collect)
+        workers = min(jobs, len(faults))
+        pairs = map_deterministic(
+            functools.partial(_experiment_worker, ctx), faults, jobs)
+        results = [result for result, _snapshot in pairs]
+        if collect:
+            # Canonical-order merge: counters add, gauges last-write-
+            # wins, histograms add — exactly the serial accumulation.
+            for _result, snapshot in pairs:
+                if snapshot:
+                    telemetry.metrics.merge_snapshot(snapshot)
+    else:
+        results = [
+            run_experiment(graph, spec, golden, variant=variant,
+                           strict=strict, monitors=monitors,
+                           telemetry=telemetry)
+            for spec in faults
+        ]
     report = CampaignReport(
         topology=graph.name, variant=str(variant), engine="lid",
         backend="scalar", cycles=cycles, seed=seed,
         classes=tuple(classes), exhaustive=exhaustive, samples=samples,
-        window=window, strict=strict, results=results)
+        window=window, strict=strict, results=results,
+        execution=_execution_header(jobs, workers, cache))
     _record_verdicts(telemetry, report)
     return report
 
@@ -396,6 +513,8 @@ def skeleton_campaign(
     backend: str = "auto",
     telemetry=None,
     faults: Optional[Sequence[FaultSpec]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> CampaignReport:
     """Batched campaign on the skeleton engine.
 
@@ -403,6 +522,28 @@ def skeleton_campaign(
     :func:`repro.skeleton.backend.select` batch (plus a golden column
     0); the whole campaign is two ``run_cycles`` calls.  Faults that
     are not boundary control faults are reported as ``skipped``.
+
+    ``jobs`` is accepted for CLI symmetry and recorded in the
+    execution header, but the engine itself is already data-parallel:
+    the whole campaign is one vectorized batch, so there is nothing
+    left to fan across processes.  ``cache`` is likewise recorded; the
+    golden run here is column 0 of the same batch, not a separate
+    simulation to skip.
+
+    Payload corruption on a *sink-boundary* channel rides the same
+    batch instead of falling back to the scalar LID engine: a payload
+    fault never perturbs the valid/stop dynamics, so its verdict is
+    decided entirely by the golden column — the corrupted slot is
+    consumed iff the sink accepts (valid and not stopped) during an
+    active fault cycle, which classifies the fault as
+    ``silent-corruption``; otherwise the producer re-presents the
+    clean held value next cycle and the fault is ``masked``.  This
+    mirrors the LID injector exactly (it corrupts the wire only while
+    the presented token is valid, and the sink samples only on
+    accept), and verdict parity with :func:`run_campaign` is pinned in
+    the conformance suite.  Source-boundary payload faults stay
+    ``skipped``: their corrupted token takes a topology-dependent path
+    through the pearls that a data-free engine cannot follow.
 
     Skeleton sources advance a script *phase* only when unstopped, so a
     source-side fault at cycle ``c`` perturbs the c-th *presented* slot
@@ -438,12 +579,15 @@ def skeleton_campaign(
     baseline_source = {n.name: (True,) * cycles for n in graph.sources()}
 
     expressible: List[Tuple[FaultSpec, Dict, Dict]] = []
+    payload_specs: List[Tuple[FaultSpec, str]] = []
     skipped: List[Dict[str, Any]] = []
     noop: List[FaultSpec] = []
     for spec in faults:
         sink = sink_channels.get(spec.target)
         source = source_channels.get(spec.target)
-        if spec.kind in _SINK_KINDS and sink is not None:
+        if spec.kind == "payload" and sink is not None:
+            payload_specs.append((spec, sink))
+        elif spec.kind in _SINK_KINDS and sink is not None:
             pattern = _pattern_for(spec, baseline_sink[sink])
             if pattern is None:
                 noop.append(spec)
@@ -475,7 +619,7 @@ def skeleton_campaign(
     ]
 
     backend_name = "scalar"
-    if expressible:
+    if expressible or payload_specs:
         source_patterns = [dict(baseline_source)] + [
             src for _spec, src, _snk in expressible]
         sink_patterns = [dict(baseline_sink)] + [
@@ -518,6 +662,28 @@ def skeleton_campaign(
             results.append(ExperimentResult(spec, verdict, detail,
                                             True, 0))
 
+        if payload_specs:
+            # Payload corruption is control-transparent: classify it
+            # from the golden column's per-cycle accepts (column 0).
+            accept_hist = handle.accept_history()
+            sink_index = {name: i
+                          for i, name in enumerate(handle.sink_names)}
+            for spec, sink_name in payload_specs:
+                accepts_at = accept_hist[:, sink_index[sink_name], 0]
+                hits = [c for c in range(cycles)
+                        if spec.active(c) and accepts_at[c]]
+                if hits:
+                    verdict = "silent-corruption"
+                    detail = (f"sink {sink_name!r} consumed a corrupted "
+                              f"payload at cycle {hits[0]}")
+                else:
+                    verdict = "masked"
+                    detail = ("corrupted slot never consumed (void or "
+                              "back-pressured throughout the fault "
+                              "window)")
+                results.append(ExperimentResult(spec, verdict, detail,
+                                                bool(hits), len(hits)))
+
     # Restore the deterministic fault-list order for the report.
     order = {id(spec): i for i, spec in enumerate(faults)}
     results.sort(key=lambda r: order[id(r.spec)])
@@ -526,6 +692,7 @@ def skeleton_campaign(
         topology=graph.name, variant=str(variant), engine="skeleton",
         backend=backend_name, cycles=cycles, seed=seed,
         classes=tuple(classes), exhaustive=exhaustive, samples=samples,
-        window=window, strict=False, results=results, skipped=skipped)
+        window=window, strict=False, results=results, skipped=skipped,
+        execution=_execution_header(jobs, 1, cache))
     _record_verdicts(telemetry, report)
     return report

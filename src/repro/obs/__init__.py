@@ -40,6 +40,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     flatten_snapshot,
+    merge_snapshots,
 )
 from .profiler import Profiler
 
@@ -98,6 +99,7 @@ __all__ = [
     "Telemetry",
     "export_stream",
     "flatten_snapshot",
+    "merge_snapshots",
     "read_jsonl",
     "to_chrome_trace",
     "write_chrome_trace",

@@ -152,6 +152,21 @@ class MetricsRegistry:
         self._metrics.clear()
 
 
+def merge_snapshots(snapshots) -> Dict[str, Dict[str, Any]]:
+    """Fold an ordered sequence of snapshots into one canonical snapshot.
+
+    Counters and histograms are additive; gauges take the last write —
+    exactly what :meth:`MetricsRegistry.merge_snapshot` does, applied in
+    sequence order.  The parallel execution layer merges per-worker
+    snapshots in canonical unit order with this helper, which is what
+    keeps ``--metrics-out`` byte-identical to a serial run.
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge_snapshot(snapshot)
+    return registry.snapshot()
+
+
 def flatten_snapshot(snapshot: Dict[str, Dict[str, Any]],
                      prefix: Optional[str] = None) -> Dict[str, Any]:
     """Reduce a snapshot to scalar key/value pairs (for tables/JSON).

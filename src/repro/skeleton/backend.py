@@ -93,6 +93,15 @@ class _Backend:
         """(n_sinks, batch) cumulative sink acceptance counts."""
         raise NotImplementedError
 
+    def accept_history(self):
+        """(cycles, n_sinks, batch) boolean per-cycle acceptance.
+
+        Cycle-resolved form of :meth:`accept_counts`; the payload-fault
+        classification of :func:`repro.inject.campaign.
+        skeleton_campaign` reads the golden column from it.
+        """
+        raise NotImplementedError
+
     def stop_assertion_counts(self):
         """(batch,) cumulative asserted-stop-wire counts."""
         raise NotImplementedError
@@ -171,6 +180,18 @@ class ScalarBackend(_Backend):
                     counts[j, i] += accepted
         return counts
 
+    def accept_history(self):
+        import numpy as np
+
+        cycles = len(self.sims[0].accept_history) if self.sims else 0
+        history = np.zeros((cycles, len(self.sink_names), self.batch),
+                           dtype=bool)
+        for i, sim in enumerate(self.sims):
+            for cycle, accepts in enumerate(sim.accept_history):
+                for j, accepted in enumerate(accepts):
+                    history[cycle, j, i] = accepted
+        return history
+
     def stop_assertion_counts(self):
         import numpy as np
 
@@ -213,6 +234,9 @@ class VectorizedBackend(_Backend):
 
     def accept_counts(self):
         return self.sim.sink_accepted.copy()
+
+    def accept_history(self):
+        return self.sim.accept_history()
 
     def stop_assertion_counts(self):
         return self.sim.stop_assertions_total.copy()

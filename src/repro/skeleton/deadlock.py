@@ -64,12 +64,47 @@ class DeadlockVerdict:
                 and not self.inconclusive)
 
 
+def _probe(args) -> tuple:
+    """Run one fixpoint probe inside a worker process.
+
+    Returns the picklable pair ``("ok", SkeletonResult)`` or
+    ``("timeout", None)`` — a raised :class:`PeriodicityTimeout` means
+    different things for the two probes, so the *caller* owns that
+    interpretation, not the worker.
+    """
+    graph_ref, variant, fixpoint, max_cycles, sources, sinks = args
+    from ..errors import PeriodicityTimeout
+
+    sim = SkeletonSim(
+        graph_ref.materialize(),
+        variant=variant,
+        fixpoint=fixpoint,
+        source_patterns=sources,
+        sink_patterns=sinks,
+    )
+    try:
+        return ("ok", sim.run(max_cycles=max_cycles))
+    except PeriodicityTimeout:
+        return ("timeout", None)
+
+
+def _pattern_key(patterns) -> tuple:
+    return tuple(sorted(
+        (name, tuple(bool(b) for b in bits))
+        for name, bits in (patterns or {}).items()
+    ))
+
+
 def check_deadlock(
     graph: SystemGraph,
     variant: ProtocolVariant = DEFAULT_VARIANT,
     max_cycles: int = 10_000,
     source_patterns: Optional[Dict[str, Sequence[bool]]] = None,
     sink_patterns: Optional[Dict[str, Sequence[bool]]] = None,
+    *,
+    jobs: int = 1,
+    graph_ref=None,
+    cache=None,
 ) -> DeadlockVerdict:
     """Simulate the skeleton until periodicity and classify liveness.
 
@@ -77,8 +112,34 @@ def check_deadlock(
     ``inconclusive`` (not a raised :class:`TimeoutError`): callers get a
     one-line diagnostic in ``detail`` and can retry with a larger
     budget.
+
+    ``jobs > 1`` runs the optimistic and pessimistic probes in separate
+    worker processes when the stop network may be ambiguous (the only
+    case that needs both); the verdict is identical to the serial one
+    for any ``jobs`` value.  The graph must be rebuildable inside the
+    workers — pass *graph_ref* (a :class:`repro.exec.GraphRef`) for
+    graphs holding unpicklable pearls/streams; without one the check
+    silently falls back to serial probing, which returns the same
+    verdict.  *cache* (a :class:`repro.exec.ResultCache`) memoises the
+    whole verdict keyed on graph fingerprint, variant, cycle budget and
+    script patterns.
     """
-    from ..errors import PeriodicityTimeout
+    from ..errors import ExecutionError, PeriodicityTimeout
+    from ..exec import GraphRef, graph_fingerprint, map_deterministic
+
+    key = None
+    if cache is not None:
+        key = cache.key(
+            "deadlock", graph_fingerprint(graph), variant, max_cycles,
+            _pattern_key(source_patterns), _pattern_key(sink_patterns))
+        hit = cache.get(key)
+        if isinstance(hit, DeadlockVerdict):
+            return hit
+
+    def _done(verdict: DeadlockVerdict) -> DeadlockVerdict:
+        if cache is not None:
+            cache.put(key, verdict)
+        return verdict
 
     optimistic_sim = SkeletonSim(
         graph,
@@ -87,10 +148,37 @@ def check_deadlock(
         source_patterns=source_patterns,
         sink_patterns=sink_patterns,
     )
-    try:
-        optimistic = optimistic_sim.run(max_cycles=max_cycles)
-    except PeriodicityTimeout:
-        return DeadlockVerdict(
+    # Ambiguity potential is a static topology property, so whether the
+    # pessimistic probe will be needed is known before running anything
+    # — that is what makes speculative parallel probing exact.
+    needs_pessimistic = optimistic_sim._may_be_ambiguous
+    opt_status = pess_status = None
+    optimistic = pessimistic = None
+
+    ref = graph_ref
+    if jobs > 1 and needs_pessimistic and ref is None:
+        try:
+            ref = GraphRef.from_graph(graph)
+        except ExecutionError:
+            ref = None  # unpicklable graph: probe serially below
+
+    if jobs > 1 and needs_pessimistic and ref is not None:
+        probes = [
+            (ref, variant, mode, max_cycles,
+             source_patterns, sink_patterns)
+            for mode in ("least", "greatest")
+        ]
+        (opt_status, optimistic), (pess_status, pessimistic) = (
+            map_deterministic(_probe, probes, jobs=2))
+    else:
+        try:
+            optimistic = optimistic_sim.run(max_cycles=max_cycles)
+            opt_status = "ok"
+        except PeriodicityTimeout:
+            opt_status = "timeout"
+
+    if opt_status == "timeout":
+        return _done(DeadlockVerdict(
             deadlocked=False,
             potential=False,
             transient=-1,
@@ -101,9 +189,8 @@ def check_deadlock(
                 f"extinguish"
             ),
             inconclusive=True,
-        )
+        ))
 
-    pessimistic = None
     potential = optimistic.potential
     detail = ""
     if optimistic.deadlocked:
@@ -111,24 +198,32 @@ def check_deadlock(
             f"hard deadlock: periodic window of {optimistic.period} cycles "
             f"after cycle {optimistic.transient} contains no shell firing"
         )
-    elif potential:
+        # The serial path never probes past a hard deadlock; discard a
+        # speculative pessimistic result to keep verdicts identical.
+        pessimistic = None
+        pess_status = None
+    if not optimistic.deadlocked and potential:
         detail = (
             f"stop network ambiguous from cycle "
             f"{optimistic.potential_deadlock_cycle}: least and greatest "
             f"fixpoints disagree (combinational stop cycle is active)"
         )
-    if optimistic_sim._may_be_ambiguous and not optimistic.deadlocked:
-        pessimistic_sim = SkeletonSim(
-            graph,
-            variant=variant,
-            fixpoint="greatest",
-            source_patterns=source_patterns,
-            sink_patterns=sink_patterns,
-        )
-        try:
-            pessimistic = pessimistic_sim.run(max_cycles=max_cycles)
-        except PeriodicityTimeout:
-            return DeadlockVerdict(
+    if needs_pessimistic and not optimistic.deadlocked:
+        if pess_status is None:
+            pessimistic_sim = SkeletonSim(
+                graph,
+                variant=variant,
+                fixpoint="greatest",
+                source_patterns=source_patterns,
+                sink_patterns=sink_patterns,
+            )
+            try:
+                pessimistic = pessimistic_sim.run(max_cycles=max_cycles)
+                pess_status = "ok"
+            except PeriodicityTimeout:
+                pess_status = "timeout"
+        if pess_status == "timeout":
+            return _done(DeadlockVerdict(
                 deadlocked=False,
                 potential=potential,
                 transient=optimistic.transient,
@@ -139,7 +234,7 @@ def check_deadlock(
                 ),
                 optimistic=optimistic,
                 inconclusive=True,
-            )
+            ))
         if pessimistic.deadlocked and not potential:
             potential = True
             detail = (
@@ -147,7 +242,7 @@ def check_deadlock(
                 "optimistic one runs: hazardous combinational stop cycle"
             )
 
-    return DeadlockVerdict(
+    return _done(DeadlockVerdict(
         deadlocked=optimistic.deadlocked,
         potential=potential,
         transient=optimistic.transient,
@@ -155,7 +250,7 @@ def check_deadlock(
         detail=detail or "live: periodic regime fires every shell",
         optimistic=optimistic,
         pessimistic=pessimistic,
-    )
+    ))
 
 
 def is_deadlock_free_class(graph: SystemGraph) -> Optional[str]:

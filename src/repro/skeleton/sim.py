@@ -109,6 +109,10 @@ class SkeletonSim:
             graph = desugar_queues(graph)
         self.graph = graph
         self.variant = variant
+        # The variant is immutable for the lifetime of the simulator;
+        # pre-binding the flag keeps the per-shell, per-settle-pass
+        # attribute chase out of the hot loops.
+        self._is_casu = variant.discards_void_stops
         self.fixpoint = fixpoint
         self.detect_ambiguity = detect_ambiguity
         # Telemetry is opt-in; the flags below keep the per-cycle cost
@@ -249,6 +253,41 @@ class SkeletonSim:
             rs_id for rs_id, kind in enumerate(self.rs_kinds)
             if kind == _RS_HALF
         ]
+        # Everything below is invariant after construction; resolving
+        # it once keeps the per-cycle loops free of repeated kind
+        # dispatch and attribute chases (these loops dominate the
+        # skeleton profile on long runs).
+        self._full_fixed_hops = [
+            (rs_id, self.rs_in_hop[rs_id])
+            for rs_id, kind in enumerate(self.rs_kinds)
+            if kind == _RS_FULL
+        ]
+        self._halfreg_fixed_hops = [
+            (rs_id, self.rs_in_hop[rs_id])
+            for rs_id, kind in enumerate(self.rs_kinds)
+            if kind == _RS_HALF_REG
+        ]
+        self._sink_fixed_hops = [
+            (sink_id, hop_in)
+            for sink_id, hop_in in enumerate(self.sink_in_hop)
+            if hop_in is not None
+        ]
+        self._half_inout = [
+            (rs_id, self.rs_in_hop[rs_id], self.rs_out_hop[rs_id])
+            for rs_id in self._transparent_half_ids
+        ]
+        self._rs_inout = [
+            (rs_id, kind, self.rs_in_hop[rs_id], self.rs_out_hop[rs_id])
+            for rs_id, kind in enumerate(self.rs_kinds)
+        ]
+        self._shell_out_pairs = [
+            [(hop_out, self.hops[hop_out].producer_edge)
+             for hop_out in outs]
+            for outs in self.shell_out_hops
+        ]
+        self._hop_internal = [
+            h.consumer_kind in (_SHELL, _RS_HALF) for h in self.hops
+        ]
 
     # -- state ---------------------------------------------------------------
 
@@ -337,41 +376,45 @@ class SkeletonSim:
     def _settle_stops(self, valid: List[bool], mode: str) -> List[bool]:
         """Fixpoint of the monotone stop equations (least or greatest)."""
         pessimistic = mode == "greatest"
-        stop = [pessimistic] * len(self.hops)
+        n_hops = len(self.hops)
+        stop = [pessimistic] * n_hops
         # Registered / scripted stops are fixed regardless of mode.
-        fixed = [False] * len(self.hops)
-        for rs_id, kind in enumerate(self.rs_kinds):
-            hop_in = self.rs_in_hop[rs_id]
-            if kind == _RS_FULL:
-                stop[hop_in] = self.rs_stop_reg[rs_id]
-                fixed[hop_in] = True
-            elif kind == _RS_HALF_REG:
-                stop[hop_in] = self.rs_main[rs_id]
-                fixed[hop_in] = True
-        for sink_id, hop_in in enumerate(self.sink_in_hop):
-            if hop_in is None:
-                continue
-            if self._sink_override is not None:
-                stop[hop_in] = self._sink_override[sink_id]
-            else:
-                pattern = self.sink_pattern[sink_id]
-                stop[hop_in] = pattern[self.cycle % len(pattern)]
+        fixed = [False] * n_hops
+        rs_stop_reg = self.rs_stop_reg
+        rs_main = self.rs_main
+        for rs_id, hop_in in self._full_fixed_hops:
+            stop[hop_in] = rs_stop_reg[rs_id]
             fixed[hop_in] = True
+        for rs_id, hop_in in self._halfreg_fixed_hops:
+            stop[hop_in] = rs_main[rs_id]
+            fixed[hop_in] = True
+        sink_override = self._sink_override
+        if sink_override is not None:
+            for sink_id, hop_in in self._sink_fixed_hops:
+                stop[hop_in] = sink_override[sink_id]
+                fixed[hop_in] = True
+        else:
+            cycle = self.cycle
+            sink_pattern = self.sink_pattern
+            for sink_id, hop_in in self._sink_fixed_hops:
+                pattern = sink_pattern[sink_id]
+                stop[hop_in] = pattern[cycle % len(pattern)]
+                fixed[hop_in] = True
 
         changed = True
-        guard = len(self.hops) + len(self.shell_names) + 2
-        is_casu = self.variant.discards_void_stops
-        half_ids = self._transparent_half_ids
+        guard = n_hops + len(self.shell_names) + 2
+        is_casu = self._is_casu
+        half_inout = self._half_inout
+        shell_in_hops = self.shell_in_hops
+        shell_fire = self._shell_fire
         n_shells = len(self.shell_names)
         while changed and guard > 0:
             changed = False
             guard -= 1
             # Transparent half relay stations.
-            for rs_id in half_ids:
-                hop_in = self.rs_in_hop[rs_id]
-                hop_out = self.rs_out_hop[rs_id]
+            for rs_id, hop_in, hop_out in half_inout:
                 if is_casu:
-                    value = stop[hop_out] and self.rs_main[rs_id]
+                    value = stop[hop_out] and rs_main[rs_id]
                 else:
                     value = stop[hop_out]
                 if stop[hop_in] != value and not fixed[hop_in]:
@@ -379,9 +422,8 @@ class SkeletonSim:
                     changed = True
             # Shells: stall propagates from outputs to all inputs.
             for shell_id in range(n_shells):
-                fire = self._shell_fire(shell_id, valid, stop)
-                stalled = not fire
-                for hop_in in self.shell_in_hops[shell_id]:
+                stalled = not shell_fire(shell_id, valid, stop)
+                for hop_in in shell_in_hops[shell_id]:
                     value = stalled and (valid[hop_in] or not is_casu)
                     if stop[hop_in] != value and not fixed[hop_in]:
                         stop[hop_in] = value
@@ -392,44 +434,42 @@ class SkeletonSim:
         for hop_in in self.shell_in_hops[shell_id]:
             if not valid[hop_in]:
                 return False
-        is_casu = self.variant.discards_void_stops
+        is_casu = self._is_casu
         shell_reg = self.shell_reg
-        hops = self.hops
-        for hop_out in self.shell_out_hops[shell_id]:
-            if stop[hop_out] and (
-                    shell_reg[hops[hop_out].producer_edge]
-                    or not is_casu):
+        for hop_out, reg in self._shell_out_pairs[shell_id]:
+            if stop[hop_out] and (shell_reg[reg] or not is_casu):
                 return False
         return True
 
     def _apply_edge(self, valid: List[bool], stop: List[bool],
                     fires: Tuple[bool, ...]) -> None:
         """Register updates (mirror repro.lid semantics exactly)."""
-        new_shell_reg = list(self.shell_reg)
+        shell_reg = self.shell_reg
+        new_shell_reg = list(shell_reg)
+        shell_out_pairs = self._shell_out_pairs
         for shell_id, fired in enumerate(fires):
-            for hop_out in self.shell_out_hops[shell_id]:
-                reg = self.hops[hop_out].producer_edge
+            for hop_out, reg in shell_out_pairs[shell_id]:
                 if fired:
                     new_shell_reg[reg] = True
                 else:
-                    held = self.shell_reg[reg] and stop[hop_out]
-                    new_shell_reg[reg] = held
+                    new_shell_reg[reg] = shell_reg[reg] and stop[hop_out]
 
-        new_main = list(self.rs_main)
-        new_aux = list(self.rs_aux)
-        new_stop_reg = list(self.rs_stop_reg)
-        for rs_id, kind in enumerate(self.rs_kinds):
-            hop_in = self.rs_in_hop[rs_id]
-            hop_out = self.rs_out_hop[rs_id]
+        rs_main = self.rs_main
+        rs_aux = self.rs_aux
+        rs_stop_reg = self.rs_stop_reg
+        new_main = list(rs_main)
+        new_aux = list(rs_aux)
+        new_stop_reg = list(rs_stop_reg)
+        slot_consumed = self.variant.slot_consumed
+        for rs_id, kind, hop_in, hop_out in self._rs_inout:
             stop_in = stop[hop_out]
             incoming = valid[hop_in]
             if kind == _RS_FULL:
-                accepted = incoming and not self.rs_stop_reg[rs_id]
-                consumed = self.variant.slot_consumed(
-                    self.rs_main[rs_id], stop_in)
-                if self.rs_aux[rs_id]:
+                accepted = incoming and not rs_stop_reg[rs_id]
+                consumed = slot_consumed(rs_main[rs_id], stop_in)
+                if rs_aux[rs_id]:
                     if consumed:
-                        new_main[rs_id] = self.rs_aux[rs_id]
+                        new_main[rs_id] = rs_aux[rs_id]
                         new_aux[rs_id] = False
                         new_stop_reg[rs_id] = False
                 elif consumed:
@@ -439,8 +479,7 @@ class SkeletonSim:
                     new_aux[rs_id] = True
                     new_stop_reg[rs_id] = True
             else:  # half variants share the single-register update
-                consumed = self.variant.slot_consumed(
-                    self.rs_main[rs_id], stop_in)
+                consumed = slot_consumed(rs_main[rs_id], stop_in)
                 accepted = incoming and not stop[hop_in]
                 if consumed:
                     new_main[rs_id] = accepted
@@ -463,16 +502,21 @@ class SkeletonSim:
                         "fixpoint", "ambiguous", self.cycle)
 
         collect = self._metrics_on
+        hop_stall = self.hop_stall_cycles
+        hop_internal = self._hop_internal
+        stops = voids = internal = 0
         for hop_id, asserted in enumerate(stop):
             if asserted:
-                self.stop_assertions_total += 1
+                stops += 1
                 if collect:
-                    self.hop_stall_cycles[hop_id] += 1
+                    hop_stall[hop_id] += 1
                 if not valid[hop_id]:
-                    self.stops_on_voids_total += 1
-                    if self.hops[hop_id].consumer_kind in (_SHELL,
-                                                           _RS_HALF):
-                        self.internal_stops_on_voids_total += 1
+                    voids += 1
+                    if hop_internal[hop_id]:
+                        internal += 1
+        self.stop_assertions_total += stops
+        self.stops_on_voids_total += voids
+        self.internal_stops_on_voids_total += internal
 
         fires = tuple(
             self._shell_fire(i, valid, stop)

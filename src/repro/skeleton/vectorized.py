@@ -716,6 +716,13 @@ class BatchSkeletonSim:
             for i, name in enumerate(self.sink_names)
         }
 
+    def accept_history(self) -> np.ndarray:
+        """(cycles, n_sinks, batch) boolean acceptance history."""
+        if not self._accept_history:
+            return np.zeros((0, len(self.sink_names), self.batch),
+                            dtype=bool)
+        return np.stack(self._accept_history, axis=0)
+
     def stalled_instances(self, threshold: float = 1e-9) -> List[int]:
         """Instances in which some shell never fires (deadlock sweep)."""
         rates = self.shell_fired / max(self.cycle, 1)

@@ -1,0 +1,105 @@
+"""jobs-invariance of the analysis layer: sweeps, liveness, benches.
+
+Every entry point that accepts ``jobs`` must return exactly what the
+serial path returns — parallelism is a wall-clock knob, nothing else.
+"""
+
+import filecmp
+import os
+
+from repro.analysis.report import analyze
+from repro.analysis.sweep import (
+    imbalance_series,
+    loop_series,
+    transient_series,
+)
+from repro.analysis.throughput import throughput_sweep
+from repro.exec import GraphRef, ResultCache
+from repro.graph import figure2, pipeline, ring
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import check_deadlock
+
+
+class TestSeriesJobsInvariance:
+    def test_loop_series(self):
+        assert loop_series(jobs=3).points == loop_series().points
+
+    def test_imbalance_series(self):
+        assert imbalance_series(jobs=2).points == imbalance_series().points
+
+    def test_transient_series(self):
+        assert transient_series(jobs=2).points == transient_series().points
+
+
+class TestThroughputSweepJobs:
+    def test_chunked_sweep_matches_serial(self):
+        graph = pipeline(3, relays_per_hop=1)
+        patterns = [{"out": tuple(i < k for i in range(6))}
+                    for k in range(6)]
+        serial = throughput_sweep(graph, sink_patterns=patterns)
+        parallel = throughput_sweep(graph, sink_patterns=patterns, jobs=3)
+        assert parallel == serial
+
+    def test_explicit_graph_ref(self):
+        graph = pipeline(3, relays_per_hop=1)
+        patterns = [{"out": (True,)}, {"out": (False,)}]
+        ref = GraphRef.from_spec("pipeline:stages=3,relays=1")
+        assert (throughput_sweep(graph, sink_patterns=patterns, jobs=2,
+                                 graph_ref=ref)
+                == throughput_sweep(graph, sink_patterns=patterns))
+
+
+class TestDeadlockJobs:
+    # The one topology class that actually runs both probes: a half
+    # relay station on a loop (ambiguous stop network possible).
+    def _graph(self):
+        return ring(2, relays_per_arc=[["half"], ["full"]])
+
+    def test_parallel_probes_match_serial(self):
+        for variant in (ProtocolVariant.CASU, ProtocolVariant.CARLONI):
+            serial = check_deadlock(self._graph(), variant=variant)
+            parallel = check_deadlock(self._graph(), variant=variant,
+                                      jobs=2)
+            assert parallel == serial
+
+    def test_unambiguous_graph_stays_serial_and_agrees(self):
+        serial = check_deadlock(figure2())
+        assert check_deadlock(figure2(), jobs=4) == serial
+
+    def test_verdict_cache_hits_and_agrees(self):
+        cache = ResultCache.memory()
+        first = check_deadlock(self._graph(), cache=cache)
+        assert cache.stats.to_dict() == {"hits": 0, "misses": 1}
+        second = check_deadlock(self._graph(), cache=cache)
+        assert cache.stats.hits == 1
+        assert second == first
+
+    def test_analyze_forwards_jobs(self):
+        serial = analyze(figure2())
+        parallel = analyze(figure2(), jobs=2,
+                           graph_ref=GraphRef.from_spec("figure2"))
+        assert parallel == serial
+
+
+class TestWriteResultsJobs:
+    def test_artifact_files_identical(self, tmp_path):
+        from repro.bench.runner import write_results
+
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        serial_paths = write_results(str(serial_dir))
+        parallel_paths = write_results(str(parallel_dir), jobs=2)
+        serial_names = sorted(os.path.basename(p) for p in serial_paths)
+        parallel_names = sorted(os.path.basename(p)
+                                for p in parallel_paths)
+        assert serial_names == parallel_names
+        # Tables must match byte-for-byte; JSON records differ only in
+        # measured wall seconds, so compare just the .txt artifacts.
+        # EXP-D2's table embeds wall-clock timings (it is a speed
+        # benchmark), so it is nondeterministic even serial-vs-serial.
+        tables = [n for n in serial_names
+                  if n.endswith(".txt") and n != "EXP-D2.txt"]
+        assert tables
+        match, mismatch, errors = filecmp.cmpfiles(
+            str(serial_dir), str(parallel_dir), tables, shallow=False)
+        assert not mismatch and not errors

@@ -42,3 +42,14 @@ def assert_latency_equivalent(system, cycles, sinks=None):
 def pipe():
     """A small ready-made pipeline system (not yet run)."""
     return build_pipeline()
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the golden-run disk cache out of the user's home directory.
+
+    ``repro-lid inject`` defaults to an on-disk cache; tests must stay
+    hermetic, so every test gets a throwaway cache directory unless it
+    points somewhere explicitly.
+    """
+    monkeypatch.setenv("REPRO_LID_CACHE_DIR", str(tmp_path / "lid-cache"))

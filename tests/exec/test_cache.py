@@ -1,0 +1,138 @@
+"""Tests for the content-addressed result cache and graph fingerprint."""
+
+import os
+
+import pytest
+
+from repro.exec import (
+    GraphRef,
+    ResultCache,
+    atomic_write_bytes,
+    default_cache_dir,
+    graph_fingerprint,
+)
+from repro.graph import figure2, ring
+
+
+class TestResultCache:
+    def test_memory_hit_and_miss_counters(self):
+        cache = ResultCache.memory()
+        key = cache.key("golden", "abc", 100)
+        assert cache.get(key) is None
+        cache.put(key, {"period": 5})
+        assert cache.get(key) == {"period": 5}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_disk_roundtrip_across_instances(self, tmp_path):
+        directory = str(tmp_path / "cache")
+        first = ResultCache.disk(directory)
+        key = first.key("golden", "fingerprint", 200)
+        first.put(key, [1, 2, 3])
+        # A fresh instance (fresh process, conceptually) reads the disk
+        # layer and promotes the entry into its memory layer.
+        second = ResultCache.disk(directory)
+        assert second.get(key) == [1, 2, 3]
+        assert second.stats.hits == 1
+        assert second.get(key) == [1, 2, 3]  # now served from memory
+
+    def test_cached_none_counts_as_hit(self, tmp_path):
+        cache = ResultCache.disk(str(tmp_path / "cache"))
+        key = cache.key("maybe")
+        cache.put(key, None)
+        fresh = ResultCache.disk(str(tmp_path / "cache"))
+        assert fresh.get(key) is None
+        assert fresh.stats.hits == 1 and fresh.stats.misses == 0
+
+    def test_poisoned_entry_warns_misses_and_unlinks(self, tmp_path,
+                                                    capsys):
+        directory = str(tmp_path / "cache")
+        cache = ResultCache.disk(directory)
+        key = cache.key("golden")
+        cache.put(key, {"big": list(range(100))})
+        path = cache._path(key)
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])  # truncate: torn write sim
+
+        fresh = ResultCache.disk(directory)
+        assert fresh.get(key) is None
+        assert fresh.stats.misses == 1
+        assert "poisoned cache entry" in capsys.readouterr().err
+        assert not os.path.exists(path)
+        # A subsequent read is a clean (silent) miss, not a re-warning.
+        again = ResultCache.disk(directory)
+        assert again.get(key) is None
+        assert "poisoned" not in capsys.readouterr().err
+
+    def test_unwritable_directory_degrades_to_memory(self, tmp_path,
+                                                     capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        cache = ResultCache(directory=str(blocker / "cache"))
+        key = cache.key("x")
+        cache.put(key, 41)
+        assert "continuing without the disk layer" in (
+            capsys.readouterr().err)
+        assert cache.get(key) == 41  # memory layer still works
+        cache.put(cache.key("y"), 42)  # second put warns at most once
+        assert "continuing" not in capsys.readouterr().err
+
+    def test_key_depends_on_parts(self):
+        cache = ResultCache.memory()
+        assert cache.key("golden", 1) != cache.key("golden", 2)
+        assert cache.key("golden", 1) == cache.key("golden", 1)
+
+    def test_default_dir_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_LID_CACHE_DIR", str(tmp_path / "env"))
+        assert default_cache_dir() == str(tmp_path / "env")
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces(self, tmp_path):
+        path = str(tmp_path / "sub" / "file.bin")
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two")
+        assert open(path, "rb").read() == b"two"
+        # No stray temp files left behind.
+        assert os.listdir(os.path.dirname(path)) == ["file.bin"]
+
+
+class TestGraphFingerprint:
+    def test_deterministic_across_builds(self):
+        assert graph_fingerprint(figure2()) == graph_fingerprint(figure2())
+
+    def test_structure_sensitive(self):
+        assert (graph_fingerprint(ring(2, relays_per_arc=1))
+                != graph_fingerprint(ring(2, relays_per_arc=2)))
+        assert (graph_fingerprint(figure2())
+                != graph_fingerprint(ring(2, relays_per_arc=1)))
+
+
+class TestGraphRef:
+    def test_spec_ref_materializes_and_memoizes(self):
+        ref = GraphRef.from_spec("ring:shells=2,relays=2")
+        graph = ref.materialize()
+        assert ref.materialize() is graph  # per-process memo
+        assert graph_fingerprint(graph) == graph_fingerprint(
+            ring(2, relays_per_arc=2))
+
+    def test_factory_ref(self):
+        ref = GraphRef.from_factory("repro.graph:figure2")
+        assert graph_fingerprint(ref.materialize()) == graph_fingerprint(
+            figure2())
+
+    def test_picklable_graph_roundtrips_by_value(self):
+        ref = GraphRef.from_graph(figure2())
+        assert graph_fingerprint(ref.materialize()) == graph_fingerprint(
+            figure2())
+
+    def test_unpicklable_graph_gets_actionable_error(self):
+        from repro.errors import ExecutionError
+
+        graph = figure2()
+        sink = next(n for n in graph.nodes
+                    if graph.nodes[n].kind == "sink")
+        object.__setattr__(graph.nodes[sink], "stop_script",
+                           lambda c: False)
+        with pytest.raises(ExecutionError, match="from_spec"):
+            GraphRef.from_graph(graph)
