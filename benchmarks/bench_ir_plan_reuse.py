@@ -1,0 +1,130 @@
+"""BENCH: one lowered plan per campaign — the IR memo pays its way.
+
+Before the canonical IR existed, every per-fault experiment in a
+campaign re-walked the topology from scratch (lid elaboration, the
+skeleton engines and the analysis walkers each had their own private
+walk).  Now every construction path consumes ``repro.ir.lower(graph)``,
+which is memoized per graph object, so a campaign lowers its topology
+once and the remaining experiments hit the memo.
+
+This bench runs the EXP-R1-shaped campaign (48 sampled stop/void
+faults on the figure2 feedback loop) and checks the contract from two
+sides:
+
+* **counters** — ``repro.ir.STATS`` must show a handful of distinct
+  lowerings (the shared plan, not one per fault) and at least one memo
+  hit per fault;
+* **wall clock** — the cost of re-lowering a fresh copy of the graph
+  once per fault (the pre-IR behaviour, measured directly) is reported
+  as a share of the campaign wall; with the memo the campaign itself
+  pays that cost roughly once.
+
+It also re-asserts the EXP-M1 scalar floor through the IR path: a
+``SkeletonSim`` built from an explicit ``LoweredSystem`` must still
+clear half the pinned pre-refactor figure2 throughput, so the single
+construction path cannot quietly tax the hot loop.  Emits
+``BENCH_EXP-IR1-plan-reuse.json``.
+"""
+
+from time import perf_counter
+
+from repro.bench.tables import format_table
+from repro.graph import figure2
+from repro.inject import run_campaign
+from repro.ir import STATS, lower
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton.sim import SkeletonSim
+
+CYCLES = 100
+SAMPLES = 48
+SEED = 7
+CLASSES = ("stop", "void")
+
+# EXP-M1's pinned pre-refactor figure2 throughput (cycles/s) on the
+# dev container; the IR path must clear the same halved floor.
+M1_FIGURE2_BEFORE = 139_574
+M1_CYCLES = 4000
+M1_ROUNDS = 3
+
+
+def _campaign():
+    graph = figure2()
+    return run_campaign(
+        graph, variant=ProtocolVariant.CASU, classes=CLASSES,
+        cycles=CYCLES, samples=SAMPLES, seed=SEED, strict=True)
+
+
+def _ir_throughput() -> float:
+    """Best-of-rounds scalar throughput, built from a LoweredSystem."""
+    best = 0.0
+    for _ in range(M1_ROUNDS):
+        sim = SkeletonSim(lower(figure2()))
+        started = perf_counter()
+        for _ in range(M1_CYCLES):
+            sim.step()
+        elapsed = perf_counter() - started
+        best = max(best, M1_CYCLES / elapsed)
+    return best
+
+
+def test_bench_ir_plan_reuse(benchmark, emit):
+    # -- campaign with the shared plan ------------------------------
+    STATS.reset()
+    started = perf_counter()
+    report = _campaign()
+    campaign_wall = perf_counter() - started
+    lowerings, memo_hits = STATS.lowerings, STATS.memo_hits
+    benchmark.pedantic(_campaign, rounds=1, iterations=1)
+
+    faults = len(report.results)
+    assert faults >= SAMPLES
+    # The plan is shared: a handful of distinct lowerings (the
+    # campaign topology and its derived views), not one per fault...
+    assert lowerings <= 4, (
+        f"campaign lowered the topology {lowerings} times for "
+        f"{faults} faults: the shared-plan contract regressed")
+    # ...and the per-fault construction paths hit the memo.
+    assert memo_hits >= faults, (
+        f"only {memo_hits} memo hits across {faults} faults: "
+        f"per-fault paths are not reusing the lowered plan")
+
+    # -- what re-lowering per fault would have cost -----------------
+    started = perf_counter()
+    for _ in range(faults):
+        lower(figure2().copy())  # fresh object: memo cannot help
+    relower_wall = perf_counter() - started
+    build_share = relower_wall / campaign_wall
+
+    # -- EXP-M1 floor through the IR construction path --------------
+    rate = _ir_throughput()
+    floor = M1_FIGURE2_BEFORE / 2
+    assert rate >= floor, (
+        f"figure2 via LoweredSystem fell to {rate:,.0f} cycles/s, "
+        f"below the {floor:,.0f} EXP-M1 regression floor")
+
+    rows = [
+        ("campaign wall", f"{campaign_wall:.3f}s"),
+        ("distinct lowerings", str(lowerings)),
+        ("memo hits", str(memo_hits)),
+        (f"re-lowering x{faults} (pre-IR cost)", f"{relower_wall:.3f}s"),
+        ("avoided build share", f"{build_share:.1%}"),
+        ("figure2 via IR", f"{rate:,.0f} cycles/s"),
+        ("EXP-M1 floor", f"{floor:,.0f} cycles/s"),
+    ]
+    table = format_table(
+        ("quantity", "value"),
+        rows,
+        title=f"IR plan reuse on the EXP-R1 campaign shape "
+              f"({faults} faults, {CYCLES} cycles, seed {SEED}): "
+              f"one lowered plan, memo-served per fault",
+    )
+    emit("EXP-IR1-plan-reuse", table, rows=rows,
+         wall_seconds=campaign_wall + relower_wall,
+         params={"cycles": CYCLES, "samples": SAMPLES, "seed": SEED,
+                 "classes": list(CLASSES), "topology": "figure2",
+                 "m1_floor_cycles_per_s": floor},
+         counters={"faults": faults,
+                   "lowerings": lowerings,
+                   "memo_hits": memo_hits,
+                   "build_share_x10000": int(build_share * 10_000),
+                   "ir_cycles_per_s": int(rate)})

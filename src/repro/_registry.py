@@ -1,0 +1,59 @@
+"""Service registry: the one sanctioned inversion point between layers.
+
+The layering contract (enforced by ``tools/check_layering.py``) says
+``repro.graph`` and ``repro.ir`` never import ``repro.lid``,
+``repro.skeleton`` or ``repro.cli`` — the topology/IR layer must stay
+buildable and analyzable without pulling in any simulation backend.
+Two operations genuinely need to call *upward* anyway:
+
+* ``LoweredSystem.elaborate`` builds a :class:`repro.lid.system.LidSystem`;
+* ``repro.graph.transform.cure_deadlock`` consults the skeleton
+  deadlock checker to decide whether a cure is needed;
+* ``repro.graph.floorplan.apply_floorplan`` measures the annotated
+  graph's throughput with the skeleton engine for its report.
+
+Both go through this registry: a string key mapped to a
+``"module:attr"`` target resolved lazily via :mod:`importlib`.  The
+defaults below are the only upward edges in the codebase; tests (or an
+embedding application) can :func:`register` substitutes — e.g. a stub
+checker — without monkeypatching modules.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, Union
+
+#: Default service targets.  Keep this table tiny: every entry is an
+#: upward call that the layering lint would otherwise reject, and each
+#: one must be justified in docs/ir.md.
+_DEFAULTS: Dict[str, str] = {
+    "lid.build_system": "repro.lid.elaborate:build_system",
+    "skeleton.check_deadlock": "repro.skeleton.deadlock:check_deadlock",
+    "skeleton.system_throughput": "repro.skeleton.fast:system_throughput",
+}
+
+_OVERRIDES: Dict[str, Union[str, Callable[..., Any]]] = {}
+
+
+def register(key: str, target: Union[str, Callable[..., Any]]) -> None:
+    """Override a service: *target* is a callable or ``"module:attr"``."""
+    _OVERRIDES[key] = target
+
+
+def unregister(key: str) -> None:
+    """Drop an override, restoring the default target."""
+    _OVERRIDES.pop(key, None)
+
+
+def resolve(key: str) -> Callable[..., Any]:
+    """Return the callable registered (or defaulted) under *key*."""
+    target = _OVERRIDES.get(key, _DEFAULTS.get(key))
+    if target is None:
+        raise KeyError(
+            f"no service registered under {key!r} "
+            f"(known: {sorted(_DEFAULTS)})")
+    if callable(target):
+        return target
+    module_name, _, attr = target.partition(":")
+    return getattr(importlib.import_module(module_name), attr)

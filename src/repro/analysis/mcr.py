@@ -39,6 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..errors import AnalysisError
 from ..graph.model import SystemGraph
+from ..ir import LoweredSystem, lower
 
 #: Slot parameters per element kind: (capacity, initial tokens, reverse delay)
 _SLOT_PARAMS = {
@@ -74,7 +75,7 @@ class McrResult:
         return f"McrResult({self.throughput}, cycle={self.critical_cycle})"
 
 
-def _build_slot_graph(graph: SystemGraph):
+def _build_slot_graph(low: LoweredSystem):
     """Expand to an event graph; returns (names, arcs, big).
 
     Nodes are *transitions*: one per shell firing, one per relay-station
@@ -96,16 +97,16 @@ def _build_slot_graph(graph: SystemGraph):
         names.append(name)
         return len(names) - 1
 
-    for node in graph.nodes.values():
+    for node in low.nodes:
         node_index[node.name] = new_transition(node.name)
 
     # Places: (from_transition, to_transition, tokens, capacity, rev_delay)
     places: List[Tuple[int, int, int, Optional[int], int]] = []
 
-    for edge_idx, edge in enumerate(graph.edges):
-        src_node = graph.nodes[edge.src]
-        dst_node = graph.nodes[edge.dst]
-        prev = node_index[edge.src]
+    for edge in low.edges:
+        src_node = low.nodes[edge.src]
+        dst_node = low.nodes[edge.dst]
+        prev = node_index[edge.src_name]
         # The producer's own storage: a shell output register (cap 1,
         # one initial token, combinational stop) or the source's
         # always-full supply (unbounded).
@@ -114,13 +115,14 @@ def _build_slot_graph(graph: SystemGraph):
         else:
             pending = (1, None, 0)
         for pos, spec in enumerate(edge.relays):
-            rs = new_transition(f"{edge.src}->{edge.dst}.rs{pos}[{edge_idx}]")
+            rs = new_transition(
+                f"{edge.src_name}->{edge.dst_name}.rs{pos}[{edge.index}]")
             tokens, cap, rev = pending
             places.append((prev, rs, tokens, cap, rev))
             cap2, tokens2, rev2 = _SLOT_PARAMS[spec]
             pending = (tokens2, cap2, rev2)
             prev = rs
-        dst = node_index[edge.dst]
+        dst = node_index[edge.dst_name]
         tokens, cap, rev = pending
         if dst_node.kind == "sink":
             cap = None  # an unscripted sink always consumes
@@ -197,11 +199,9 @@ def min_cycle_ratio_throughput(graph: SystemGraph) -> McrResult:
     names the storage slots on the binding loop (empty when throughput
     is 1, i.e. no cycle binds).
     """
-    if any(n.queue_depth is not None for n in graph.nodes.values()):
-        from ..graph.transform import desugar_queues
-
-        graph = desugar_queues(graph)
-    names, arcs, big = _build_slot_graph(graph)
+    low = (graph if isinstance(graph, LoweredSystem)
+           else lower(graph)).skeleton_view()
+    names, arcs, big = _build_slot_graph(low)
     n = len(names)
     if not arcs:
         return McrResult(Fraction(1), [])

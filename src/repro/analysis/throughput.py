@@ -31,6 +31,12 @@ import networkx as nx
 
 from ..errors import AnalysisError
 from ..graph.model import SystemGraph
+from ..ir import LoweredSystem, lower
+
+
+def _as_lowered(graph: "SystemGraph | LoweredSystem") -> LoweredSystem:
+    """Every analysis entry point accepts a graph or its lowering."""
+    return graph if isinstance(graph, LoweredSystem) else lower(graph)
 
 
 def loop_throughput(shells: int, relays: int) -> Fraction:
@@ -57,10 +63,11 @@ def tree_throughput(graph: SystemGraph) -> Fraction:
     A tree here means: acyclic and no reconvergence (at most one simple
     path between any ordered node pair).
     """
-    if not graph.is_feedforward():
-        raise AnalysisError(f"{graph.name} has loops; not a tree")
-    if reconvergence_pairs(graph):
-        raise AnalysisError(f"{graph.name} has reconvergent paths; not a tree")
+    low = _as_lowered(graph)
+    if not low.is_feedforward():
+        raise AnalysisError(f"{low.name} has loops; not a tree")
+    if reconvergence_pairs(low):
+        raise AnalysisError(f"{low.name} has reconvergent paths; not a tree")
     return Fraction(1)
 
 
@@ -73,18 +80,18 @@ def reconvergence_pairs(graph: SystemGraph) -> List[Tuple[str, str]]:
     Only shells/sources qualify as divergence points and only shells as
     joins (a sink has a single input channel).
     """
-    g = nx.DiGraph()
-    g.add_nodes_from(graph.nodes)
-    for edge in graph.edges:
-        g.add_edge(edge.src, edge.dst)
+    low = _as_lowered(graph)
+    g = low.block_digraph()
     pairs: List[Tuple[str, str]] = []
-    for div in graph.nodes:
-        if graph.nodes[div].kind == "sink":
+    for div_node in low.nodes:
+        if div_node.kind == "sink":
             continue
-        for join in graph.nodes:
-            if join == div or graph.nodes[join].kind != "shell":
+        div = div_node.name
+        for join_node in low.nodes:
+            join = join_node.name
+            if join == div or join_node.kind != "shell":
                 continue
-            if len(graph.in_edges(join)) < 2:
+            if len(low.in_edges(join)) < 2:
                 continue
             try:
                 paths = list(nx.node_disjoint_paths(g, div, join))
@@ -95,11 +102,11 @@ def reconvergence_pairs(graph: SystemGraph) -> List[Tuple[str, str]]:
     return pairs
 
 
-def _path_relay_count(graph: SystemGraph, path: Sequence[str]) -> int:
+def _path_relay_count(low: LoweredSystem, path: Sequence[str]) -> int:
     total = 0
     for a, b in zip(path, path[1:]):
-        candidates = [e.relay_count for e in graph.edges
-                      if e.src == a and e.dst == b]
+        candidates = [e.relay_count for e in low.edges
+                      if e.src_name == a and e.dst_name == b]
         if not candidates:
             raise AnalysisError(f"no edge {a!r}->{b!r} on path")
         total += min(candidates)
@@ -118,10 +125,8 @@ def analyze_reconvergence(
     two branches the extreme pair (most vs fewest relay stations)
     determines the throughput.
     """
-    g = nx.DiGraph()
-    g.add_nodes_from(graph.nodes)
-    for edge in graph.edges:
-        g.add_edge(edge.src, edge.dst)
+    low = _as_lowered(graph)
+    g = low.block_digraph()
     try:
         paths = list(nx.node_disjoint_paths(g, divergence, join))
     except nx.NetworkXNoPath:
@@ -131,7 +136,7 @@ def analyze_reconvergence(
             f"{divergence!r} -> {join!r} is not reconvergent "
             f"(only {len(paths)} disjoint path)"
         )
-    counted = [( _path_relay_count(graph, p), p) for p in paths]
+    counted = [( _path_relay_count(low, p), p) for p in paths]
     # Tie-break equal relay counts by path length so the branch with
     # more shells is treated as the long one (m is well defined; T is
     # unaffected since i = 0 on ties).
@@ -143,7 +148,7 @@ def analyze_reconvergence(
     # branches, plus the output registers of the shells feeding the long
     # branch (divergence node included when it is a shell, join excluded).
     shells_on_long = sum(
-        1 for name in long_path[:-1] if graph.nodes[name].kind == "shell"
+        1 for name in long_path[:-1] if low.node(name).kind == "shell"
     )
     m = long_relays + short_relays + shells_on_long
     return imbalance, m, reconvergent_throughput(imbalance, m)
@@ -151,9 +156,10 @@ def analyze_reconvergence(
 
 def analyze_loops(graph: SystemGraph) -> Dict[Tuple[str, ...], Fraction]:
     """S/(S+R) for every simple cycle of the block graph."""
+    low = _as_lowered(graph)
     result: Dict[Tuple[str, ...], Fraction] = {}
-    for cycle in graph.shell_cycles():
-        shells, relays = graph.loop_census(cycle)
+    for cycle in low.shell_cycles():
+        shells, relays = low.loop_census(cycle)
         result[tuple(cycle)] = loop_throughput(shells, relays)
     return result
 
@@ -206,8 +212,10 @@ def throughput_sweep(
 
         ref = graph_ref
         if ref is None:
+            src_graph = (graph.graph if isinstance(graph, LoweredSystem)
+                         else graph)
             try:
-                ref = GraphRef.from_graph(graph)
+                ref = GraphRef.from_graph(src_graph)
             except ExecutionError:
                 ref = None
         paired_sources = None

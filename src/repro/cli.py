@@ -30,79 +30,17 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict
 
 from .analysis import analyze
 from .bench.runner import EXPERIMENTS, run_all, run_figure1, run_figure2
-from .graph import SystemGraph, figure1, figure2, pipeline, reconvergent, ring, tree
+from .graph.specs import parse_topology
 from .lid.variant import ProtocolVariant
 from .skeleton import check_deadlock
 
-
-def _parse_topology(spec: str, seed: int = 0) -> SystemGraph:
-    name, _sep, args_text = spec.partition(":")
-    params: Dict[str, str] = {}
-    if args_text:
-        for item in args_text.split(","):
-            key, _eq, value = item.partition("=")
-            params[key.strip()] = value.strip()
-    if name == "figure1":
-        return figure1()
-    if name in ("figure2", "feedback"):
-        return figure2(int(params.get("relays", 1)))
-    if name == "ring":
-        return ring(int(params.get("shells", 2)),
-                    relays_per_arc=int(params.get("relays", 1)))
-    if name == "tree":
-        return tree(int(params.get("depth", 3)),
-                    relays_per_hop=int(params.get("relays", 1)))
-    if name == "pipeline":
-        return pipeline(int(params.get("stages", 3)),
-                        relays_per_hop=int(params.get("relays", 1)))
-    if name == "reconvergent":
-        long_relays = tuple(
-            int(x) for x in params.get("long", "1+1").split("+"))
-        return reconvergent(long_relays=long_relays,
-                            short_relays=int(params.get("short", 1)))
-    if name == "composed":
-        from .graph import composed
-
-        return composed(
-            reconv_imbalance=int(params.get("imbalance", 1)),
-            loop_relays=int(params.get("loop_relays", 2)))
-    if name == "self_loop":
-        from .graph import self_loop
-
-        return self_loop(relays=int(params.get("relays", 1)))
-    if name == "butterfly":
-        from .graph import butterfly_network
-
-        return butterfly_network(
-            lanes=int(params.get("lanes", 8)),
-            relays_per_hop=int(params.get("relays", 1)))
-    if name == "dag":
-        from .graph import random_dag
-
-        return random_dag(
-            seed,
-            shells=int(params.get("shells", 6)),
-            max_fanin=int(params.get("fanin", 2)),
-            max_relays=int(params.get("relays", 3)),
-            half_probability=float(params.get("half", 0.0)))
-    if name == "loopy":
-        from .graph import random_loopy
-
-        return random_loopy(
-            seed,
-            shells=int(params.get("shells", 5)),
-            extra_back_edges=int(params.get("chords", 1)),
-            max_relays=int(params.get("relays", 2)),
-            half_probability=float(params.get("half", 0.0)))
-    raise SystemExit(
-        f"unknown topology {name!r} (choices: figure1, figure2, "
-        f"feedback, ring, tree, pipeline, reconvergent, composed, "
-        f"self_loop, butterfly, dag, loopy)"
-    )
+#: Backward-compatible alias — the spec parser moved to
+#: :mod:`repro.graph.specs` so non-CLI consumers (GraphRef
+#: materialization, scripts) don't import argparse machinery.
+_parse_topology = parse_topology
 
 
 def _variant(text: str) -> ProtocolVariant:

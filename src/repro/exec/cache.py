@@ -6,12 +6,15 @@ re-ran the skeleton to periodicity.  Those results are pure functions
 of ``(graph, variant, cycles, seed)``, so they are cached here,
 content-addressed:
 
-* the **graph fingerprint** (:func:`graph_fingerprint`) hashes the
-  structure (nodes, kinds, queue depths, edges, relay chains) plus the
+* the **graph fingerprint** (:func:`graph_fingerprint`) combines the
+  canonical IR structural fingerprint
+  (:func:`repro.ir.structural_fingerprint` — nodes, kinds, queue
+  depths, edges, relay chains, in sorted canonical order) with the
   *behaviour* of the attached callables — code objects of pearl
   factories and stream factories, and the sampled output bits of every
   sink stop script over the run length.  Editing a stop script or
-  swapping a pearl changes the key; renaming a file does not;
+  swapping a pearl changes the key; renaming a file, reordering
+  declarations or re-building the same topology from scratch does not;
 * the **key** additionally folds in the cache schema version and the
   git revision of the package, so entries never survive a code change
   that could alter simulation semantics (invalidation is by
@@ -40,7 +43,9 @@ from typing import Any, Callable, Optional
 from ..graph.model import SystemGraph
 
 #: Bump to orphan every existing entry (format or semantics change).
-CACHE_SCHEMA = "repro-lid-cache/v1"
+#: v2: graph fingerprints switched from ad-hoc structure hashing to the
+#: canonical IR structural fingerprint (repro-ir/v1).
+CACHE_SCHEMA = "repro-lid-cache/v2"
 
 #: Sentinel distinguishing "cached None" from "not cached".
 _MISS = object()
@@ -104,17 +109,23 @@ def _callable_fingerprint(fn: Optional[Callable]) -> str:
 def graph_fingerprint(graph: SystemGraph, cycles: int = 256) -> str:
     """sha256 of the graph's structure and attached behaviour.
 
-    *cycles* bounds the sampling of sink stop scripts — callers should
-    pass at least the run length they are caching for, so that two
-    scripts differing only beyond the sampled horizon cannot share a
-    key for a run that would tell them apart.
+    Structure comes from the canonical IR fingerprint
+    (:func:`repro.ir.structural_fingerprint`): declaration order and
+    pickle bytes do not participate, so two independently built
+    identical topologies share a key.  Behaviour is layered on top per
+    node in sorted-name order: pearl/stream factory code hashes and
+    sampled sink stop-script bits.  *cycles* bounds the script
+    sampling — callers should pass at least the run length they are
+    caching for, so that two scripts differing only beyond the sampled
+    horizon cannot share a key for a run that would tell them apart.
     """
+    from ..ir import lower
+
+    lowered = lower(graph)
     hasher = hashlib.sha256()
-    hasher.update(graph.name.encode())
-    for name in sorted(graph.nodes):
-        node = graph.nodes[name]
-        hasher.update(
-            f"|node:{name}:{node.kind}:{node.queue_depth}".encode())
+    hasher.update(lowered.fingerprint.encode())
+    for node in sorted(lowered.nodes, key=lambda n: n.name):
+        hasher.update(f"|node:{node.name}".encode())
         hasher.update(_callable_fingerprint(node.pearl_factory).encode())
         hasher.update(_callable_fingerprint(node.stream_factory).encode())
         if node.stop_script is not None:
@@ -124,10 +135,6 @@ def graph_fingerprint(graph: SystemGraph, cycles: int = 256) -> str:
             hasher.update(f"|script:{bits}".encode())
         else:
             hasher.update(b"|script:none")
-    for edge in graph.edges:
-        hasher.update(
-            f"|edge:{edge.src}>{edge.dst}:{edge.src_port}:"
-            f"{edge.dst_port}:{','.join(edge.relays)}".encode())
     return hasher.hexdigest()
 
 

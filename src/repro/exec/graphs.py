@@ -6,8 +6,8 @@ object itself often cannot cross a process boundary.  A
 :class:`GraphRef` is the picklable *recipe* instead of the dish; each
 worker process rebuilds (and memoizes) the graph from it:
 
-* ``from_spec("ring:shells=3,relays=2", seed=7)`` — a CLI topology
-  spec string, rebuilt via :func:`repro.cli._parse_topology` (the
+* ``from_spec("ring:shells=3,relays=2", seed=7)`` — a topology spec
+  string, rebuilt via :func:`repro.graph.specs.parse_topology` (the
   normal route for everything launched from ``repro-lid``);
 * ``from_factory("repro.graph:figure2", relays_per_arc=2)`` — a
   module-level factory plus keyword arguments;
@@ -15,6 +15,13 @@ worker process rebuilds (and memoizes) the graph from it:
   be picklable (no lambdas); raises
   :class:`~repro.errors.ExecutionError` with a pointer to the other
   two constructors when they are not.
+
+By-value refs carry the behavioural graph fingerprint
+(:func:`repro.exec.cache.graph_fingerprint`, built on the canonical IR
+structural fingerprint) and compare equal by it — two independently
+pickled but structurally and behaviourally identical graphs are the
+same reference, share the worker-side memo, and hit the same cache
+entries.  Pickle bytes never participate in identity.
 
 Rebuilding is deterministic (topology factories are pure functions of
 their arguments plus the seed), so every worker sees the same graph
@@ -36,19 +43,41 @@ from ..graph.model import SystemGraph
 _MATERIALIZED: Dict["GraphRef", SystemGraph] = {}
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, eq=False)
 class GraphRef:
-    """Picklable recipe for rebuilding a system graph in a worker."""
+    """Picklable recipe for rebuilding a system graph in a worker.
+
+    Identity (``__eq__``/``__hash__``) covers the recipe — spec, seed,
+    factory, kwargs and the content fingerprint — but *not* the pickle
+    payload bytes, which vary with declaration order and memo state.
+    """
 
     spec: Optional[str] = None
     seed: int = 0
     factory: Optional[str] = None
     kwargs: Tuple[Tuple[str, Any], ...] = ()
     payload: Optional[bytes] = None
+    #: Behavioural fingerprint of by-value graphs (see
+    #: :func:`repro.exec.cache.graph_fingerprint`); ``None`` for
+    #: spec/factory refs, whose identity is the recipe itself.
+    fingerprint: Optional[str] = None
+
+    def _identity(self) -> Tuple:
+        content = self.fingerprint if self.fingerprint is not None \
+            else self.payload
+        return (self.spec, self.seed, self.factory, self.kwargs, content)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GraphRef):
+            return NotImplemented
+        return self._identity() == other._identity()
+
+    def __hash__(self) -> int:
+        return hash(self._identity())
 
     @classmethod
     def from_spec(cls, spec: str, seed: int = 0) -> "GraphRef":
-        """Reference a CLI topology spec (``"figure2"``, ``"dag:..."``)."""
+        """Reference a topology spec string (``"figure2"``, ``"dag:..."``)."""
         return cls(spec=spec, seed=seed)
 
     @classmethod
@@ -72,7 +101,9 @@ class GraphRef:
                 f"graph {graph.name!r} is not picklable ({exc}); pass a "
                 f"GraphRef.from_spec(...) or GraphRef.from_factory(...) "
                 f"so worker processes can rebuild it") from exc
-        return cls(payload=payload)
+        from .cache import graph_fingerprint
+
+        return cls(payload=payload, fingerprint=graph_fingerprint(graph))
 
     def materialize(self) -> SystemGraph:
         """Build (or fetch the memoized) graph in this process."""
@@ -80,9 +111,9 @@ class GraphRef:
         if graph is not None:
             return graph
         if self.spec is not None:
-            from ..cli import _parse_topology
+            from ..graph.specs import parse_topology
 
-            graph = _parse_topology(self.spec, seed=self.seed)
+            graph = parse_topology(self.spec, seed=self.seed)
         elif self.factory is not None:
             from .pool import resolve_callable
 

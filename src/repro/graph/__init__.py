@@ -13,6 +13,7 @@ from .floorplan import (
 from .io import PEARL_REGISTRY, from_dict, load_graph, pearl_spec, save_graph, to_dict
 from .model import Edge, Node, SystemGraph
 from .random_gen import random_dag, random_loopy, random_suite
+from .specs import TOPOLOGY_CHOICES, parse_topology
 from .topologies import (
     butterfly_network,
     composed,
@@ -40,6 +41,7 @@ __all__ = [
     "PEARL_REGISTRY",
     "Placement",
     "SystemGraph",
+    "TOPOLOGY_CHOICES",
     "apply_floorplan",
     "butterfly_network",
     "composed",
@@ -56,6 +58,7 @@ __all__ = [
     "layered_placement",
     "load_graph",
     "loop_with_tail",
+    "parse_topology",
     "pearl_spec",
     "pipeline",
     "promote_half_relays",

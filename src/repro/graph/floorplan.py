@@ -143,8 +143,9 @@ def apply_floorplan(
     throughput loss (loops are never padded).  Returns the annotated
     graph plus the accounting.
     """
-    from ..skeleton import system_throughput
+    from .._registry import resolve
 
+    system_throughput = resolve("skeleton.system_throughput")
     placement.require(graph)
     annotated = graph.copy(name or f"{graph.name}_placed")
     lengths: Dict[Tuple[str, str], float] = {}

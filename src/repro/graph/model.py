@@ -32,6 +32,34 @@ RelaySpec = str
 
 VALID_RELAY_SPECS = ("full", "half", "half-registered")
 
+#: Which protocol variants support each relay spec (by enum value).
+#: Today both variants implement all three stations; the table exists
+#: so the single validation point below can name the supporting
+#: variants in its error, and so a future variant with a narrower
+#: station set only has to edit one row.
+RELAY_SPEC_SUPPORT = {
+    "full": ("carloni", "casu"),
+    "half": ("carloni", "casu"),
+    "half-registered": ("carloni", "casu"),
+}
+
+
+def validate_relay_spec(spec: str, where: Optional[str] = None) -> str:
+    """The one relay-spec validity check (graph, IR and lid all call it).
+
+    Raises :class:`~repro.errors.StructuralError` naming the offending
+    spec, the location (*where*, e.g. ``"edge A->B"``) and the valid
+    specs with the variants that support them.
+    """
+    if spec in VALID_RELAY_SPECS:
+        return spec
+    choices = "; ".join(
+        f"{valid} [variants: {', '.join(RELAY_SPEC_SUPPORT[valid])}]"
+        for valid in VALID_RELAY_SPECS)
+    location = f" on {where}" if where else ""
+    raise StructuralError(
+        f"unknown relay spec {spec!r}{location} (valid specs: {choices})")
+
 
 @dataclasses.dataclass
 class Node:
@@ -76,8 +104,7 @@ class Edge:
     def __post_init__(self):
         self.relays = tuple(self.relays)
         for spec in self.relays:
-            if spec not in VALID_RELAY_SPECS:
-                raise StructuralError(f"unknown relay spec {spec!r}")
+            validate_relay_spec(spec, where=f"edge {self.src}->{self.dst}")
 
     @property
     def relay_count(self) -> int:
@@ -186,14 +213,18 @@ class SystemGraph:
 
         These are the paper's "loops of shells and relay stations"; the
         feedback-throughput formula and the deadlock criteria quantify
-        over them.
+        over them.  Delegates to the memoized lowering, so repeated
+        analysis passes share one walk.
         """
-        return [list(c) for c in nx.simple_cycles(nx.DiGraph(
-            (e.src, e.dst) for e in self.edges))]
+        from ..ir import lower
+
+        return lower(self).shell_cycles()
 
     def is_feedforward(self) -> bool:
         """True when the block graph is acyclic (tree or reconvergent)."""
-        return not self.shell_cycles()
+        from ..ir import lower
+
+        return lower(self).is_feedforward()
 
     def loop_census(self, cycle: Sequence[str]) -> Tuple[int, int]:
         """``(S, R)`` for one cycle: shells and relay stations on it.
@@ -203,20 +234,9 @@ class SystemGraph:
         fewest relay stations is counted (the protocol's tokens can take
         any of them; the analysis formulas use per-loop counts).
         """
-        shells = sum(1 for n in cycle if self.nodes[n].kind == "shell")
-        relays = 0
-        for i, name in enumerate(cycle):
-            nxt = cycle[(i + 1) % len(cycle)]
-            candidates = [
-                e.relay_count for e in self.edges
-                if e.src == name and e.dst == nxt
-            ]
-            if not candidates:
-                raise StructuralError(
-                    f"no edge {name!r} -> {nxt!r} along claimed cycle"
-                )
-            relays += min(candidates)
-        return shells, relays
+        from ..ir import lower
+
+        return lower(self).loop_census(cycle)
 
     def validate(self) -> None:
         """Structural sanity: ports exist, shells fully connected."""
@@ -264,38 +284,21 @@ class SystemGraph:
         """Build a runnable :class:`~repro.lid.system.LidSystem`.
 
         Every call produces a fresh system with fresh pearls, so graphs
-        double as reusable experiment specifications.
+        double as reusable experiment specifications.  Construction
+        goes through the canonical lowering
+        (:func:`repro.ir.lower`), like every other backend.
         """
-        from ..lid.system import LidSystem
-        from ..lid.variant import DEFAULT_VARIANT
+        from ..ir import lower
 
-        system = LidSystem(self.name, variant=variant or DEFAULT_VARIANT)
-        built: Dict[str, Any] = {}
-        for node in self.nodes.values():
-            if node.kind == "shell":
-                if node.queue_depth is not None:
-                    built[node.name] = system.add_queued_shell(
-                        node.name, node.pearl_factory(),
-                        queue_depth=node.queue_depth)
-                else:
-                    built[node.name] = system.add_shell(
-                        node.name, node.pearl_factory())
-            elif node.kind == "source":
-                stream = node.stream_factory if node.stream_factory else None
-                built[node.name] = system.add_source(node.name, stream=stream)
-            else:
-                built[node.name] = system.add_sink(
-                    node.name, stop_script=node.stop_script)
-        for edge in self.edges:
-            system.connect(
-                built[edge.src],
-                built[edge.dst],
-                producer_port=edge.src_port,
-                consumer_port=edge.dst_port,
-                relays=list(edge.relays),
-            )
-        system.finalize(strict=strict)
-        return system
+        return lower(self).elaborate(variant=variant, strict=strict)
+
+    def __getstate__(self):
+        # The lowering memo (repro.ir.lower) must not travel with
+        # pickled graphs: it holds derived tables and lazy caches that
+        # would bloat GraphRef payloads; workers re-lower on demand.
+        state = self.__dict__.copy()
+        state.pop("_lowered_cache", None)
+        return state
 
     def copy(self, name: Optional[str] = None) -> "SystemGraph":
         """Shallow-copy the topology (factories are shared)."""

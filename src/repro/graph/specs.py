@@ -1,0 +1,96 @@
+"""Textual topology specs: ``name[:key=value,...]`` -> SystemGraph.
+
+The spec grammar the CLI exposes (``repro-lid analyze figure2:relays=3``)
+also names graphs in :class:`repro.exec.graphs.GraphRef` payloads, so
+parsing lives here in the topology layer — ``repro.exec`` materializes
+refs without importing the CLI, and scripts can build graphs from the
+same strings the command line accepts.
+
+Examples: ``ring:shells=3,relays=2``, ``reconvergent:long=2+1,short=1``,
+``dag:shells=6,half=0.25`` (seeded via the *seed* argument).
+``feedback`` is an alias for the paper's Figure 2 loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .model import SystemGraph
+from .topologies import figure1, figure2, pipeline, reconvergent, ring, tree
+
+TOPOLOGY_CHOICES = (
+    "figure1", "figure2", "feedback", "ring", "tree", "pipeline",
+    "reconvergent", "composed", "self_loop", "butterfly", "dag", "loopy",
+)
+
+
+def parse_topology(spec: str, seed: int = 0) -> SystemGraph:
+    """Build the graph a ``name[:key=value,...]`` spec describes.
+
+    *seed* feeds the randomized families (``dag:``/``loopy:``).  Unknown
+    names raise ``SystemExit`` with the full choice list — the CLI
+    relies on this as its argument diagnostic.
+    """
+    name, _sep, args_text = spec.partition(":")
+    params: Dict[str, str] = {}
+    if args_text:
+        for item in args_text.split(","):
+            key, _eq, value = item.partition("=")
+            params[key.strip()] = value.strip()
+    if name == "figure1":
+        return figure1()
+    if name in ("figure2", "feedback"):
+        return figure2(int(params.get("relays", 1)))
+    if name == "ring":
+        return ring(int(params.get("shells", 2)),
+                    relays_per_arc=int(params.get("relays", 1)))
+    if name == "tree":
+        return tree(int(params.get("depth", 3)),
+                    relays_per_hop=int(params.get("relays", 1)))
+    if name == "pipeline":
+        return pipeline(int(params.get("stages", 3)),
+                        relays_per_hop=int(params.get("relays", 1)))
+    if name == "reconvergent":
+        long_relays = tuple(
+            int(x) for x in params.get("long", "1+1").split("+"))
+        return reconvergent(long_relays=long_relays,
+                            short_relays=int(params.get("short", 1)))
+    if name == "composed":
+        from .topologies import composed
+
+        return composed(
+            reconv_imbalance=int(params.get("imbalance", 1)),
+            loop_relays=int(params.get("loop_relays", 2)))
+    if name == "self_loop":
+        from .topologies import self_loop
+
+        return self_loop(relays=int(params.get("relays", 1)))
+    if name == "butterfly":
+        from .topologies import butterfly_network
+
+        return butterfly_network(
+            lanes=int(params.get("lanes", 8)),
+            relays_per_hop=int(params.get("relays", 1)))
+    if name == "dag":
+        from .random_gen import random_dag
+
+        return random_dag(
+            seed,
+            shells=int(params.get("shells", 6)),
+            max_fanin=int(params.get("fanin", 2)),
+            max_relays=int(params.get("relays", 3)),
+            half_probability=float(params.get("half", 0.0)))
+    if name == "loopy":
+        from .random_gen import random_loopy
+
+        return random_loopy(
+            seed,
+            shells=int(params.get("shells", 5)),
+            extra_back_edges=int(params.get("chords", 1)),
+            max_relays=int(params.get("relays", 2)),
+            half_probability=float(params.get("half", 0.0)))
+    raise SystemExit(
+        f"unknown topology {name!r} (choices: figure1, figure2, "
+        f"feedback, ring, tree, pipeline, reconvergent, composed, "
+        f"self_loop, butterfly, dag, loopy)"
+    )

@@ -155,8 +155,9 @@ def cure_deadlock(
     the paper notes many hazardous-looking systems never actually inject
     their deadlock, so the cure is applied only when needed.
     """
-    from ..skeleton.deadlock import check_deadlock
+    from .._registry import resolve
 
+    check_deadlock = resolve("skeleton.check_deadlock")
     verdict = check_deadlock(graph, max_cycles=max_cycles)
     if not verdict.deadlocked and not verdict.potential:
         return graph, []

@@ -409,7 +409,16 @@ def run_campaign(
     *graph_ref* (any graph with lambdas is unpicklable), or rely on the
     automatic :meth:`GraphRef.from_graph` capture for plain graphs.
     ``cache`` skips the fault-free golden simulation on repeat runs.
+
+    The whole campaign shares one lowered plan: fault generation, the
+    golden run and every experiment elaborate from the memoized
+    :func:`repro.ir.lower` tables instead of re-walking the graph per
+    fault (workers re-lower once per process — the memo deliberately
+    does not travel inside GraphRef pickles).
     """
+    from ..ir import lower
+
+    lower(graph)  # prime the shared plan before any fan-out
     if faults is None:
         faults = generate_faults(
             graph, variant=variant, classes=classes, cycles=cycles,
@@ -559,9 +568,15 @@ def skeleton_campaign(
     wedges the skeleton (the sink really stops consuming) but shows up
     as duplication on the LID engine (the sink re-reads the held
     token); both are faithful readings of the same physical fault.
+
+    The fault batch consumes one lowered plan: every column of the
+    :func:`~repro.skeleton.backend.select` batch reads the same
+    memoized :func:`repro.ir.lower` tables.
     """
+    from ..ir import lower
     from ..skeleton.backend import select
 
+    lower(graph)  # prime the shared plan for the whole batch
     if faults is None:
         faults = generate_faults(
             graph, variant=variant, classes=classes, cycles=cycles,

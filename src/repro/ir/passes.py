@@ -1,0 +1,221 @@
+"""Pass pipeline: graph transforms as named, auditable passes.
+
+The transforms in :mod:`repro.graph.transform` (path equalization,
+relay insertion, half-relay promotion, queue desugaring, deadlock
+cures) are pure ``graph -> graph`` functions.  A :class:`PassPipeline`
+runs a sequence of them as **named passes** and records, for each one,
+the structural fingerprint before and after — an audit log that says
+exactly which pass changed the design and how to reproduce the chain.
+
+With telemetry attached, each pass also emits one ``("pass", <name>)``
+event carrying the fingerprints, so transform activity lands in the
+same stream as simulation events (see docs/ir.md).
+
+Example::
+
+    pipeline = PassPipeline([equalize_pass(), cure_deadlock_pass()])
+    cured = pipeline.run(graph)
+    for record in pipeline.audit_log:
+        print(record.name, record.changed, record.detail)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..graph.model import SystemGraph
+from .lowering import lower
+
+__all__ = [
+    "Pass",
+    "PassRecord",
+    "PassPipeline",
+    "equalize_pass",
+    "desugar_queues_pass",
+    "promote_half_relays_pass",
+    "insert_relay_pass",
+    "cure_deadlock_pass",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PassRecord:
+    """One audit-log entry: what a pass did to the design."""
+
+    name: str
+    before_fingerprint: str
+    after_fingerprint: str
+    changed: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class Pass:
+    """One named graph -> graph rewrite.
+
+    Subclasses (or :func:`function_pass` wrappers) implement
+    :meth:`apply`; it must be pure — return a new graph (or the input
+    unchanged) and never mutate its argument.  ``detail()`` may return
+    a one-line human note about the last application.
+    """
+
+    name = "pass"
+
+    def apply(self, graph: SystemGraph) -> SystemGraph:
+        raise NotImplementedError
+
+    def detail(self) -> str:
+        return ""
+
+
+class _FunctionPass(Pass):
+    def __init__(self, name: str,
+                 fn: Callable[[SystemGraph], SystemGraph],
+                 detail: str = ""):
+        self.name = name
+        self._fn = fn
+        self._detail = detail
+
+    def apply(self, graph: SystemGraph) -> SystemGraph:
+        return self._fn(graph)
+
+    def detail(self) -> str:
+        return self._detail
+
+
+class PassPipeline:
+    """Run passes in order, keeping a fingerprinted audit log.
+
+    *telemetry* is an optional :class:`repro.obs.Telemetry` bundle;
+    when events are enabled each pass emits one ``("pass", <name>)``
+    event (the "cycle" slot carries the pass sequence number).
+    """
+
+    def __init__(self,
+                 passes: Sequence[Union[Pass, Callable]] = (),
+                 telemetry=None):
+        self.passes: List[Pass] = []
+        self.telemetry = telemetry
+        self.audit_log: List[PassRecord] = []
+        for entry in passes:
+            self.add(entry)
+
+    def add(self, entry: Union[Pass, Callable],
+            name: Optional[str] = None) -> "PassPipeline":
+        """Append a pass (or wrap a bare ``graph -> graph`` callable)."""
+        if isinstance(entry, Pass):
+            self.passes.append(entry)
+        else:
+            self.passes.append(_FunctionPass(
+                name or getattr(entry, "__name__", "pass"), entry))
+        return self
+
+    def run(self, graph: SystemGraph) -> SystemGraph:
+        """Apply every pass in order; returns the final graph.
+
+        The audit log is reset per run; read it from
+        :attr:`audit_log` (one :class:`PassRecord` per pass, in
+        order).
+        """
+        self.audit_log = []
+        events = (self.telemetry.events
+                  if self.telemetry is not None
+                  and self.telemetry.events is not None else None)
+        metrics = (self.telemetry.metrics
+                   if self.telemetry is not None
+                   and self.telemetry.metrics is not None else None)
+        current = graph
+        for seq, pass_ in enumerate(self.passes):
+            before = lower(current).fingerprint
+            current = pass_.apply(current)
+            after = lower(current).fingerprint
+            record = PassRecord(
+                name=pass_.name,
+                before_fingerprint=before,
+                after_fingerprint=after,
+                changed=before != after,
+                detail=pass_.detail(),
+            )
+            self.audit_log.append(record)
+            if events is not None:
+                events.emit("pass", pass_.name, seq,
+                            graph=current.name,
+                            before=before[:12], after=after[:12],
+                            changed=record.changed)
+            if metrics is not None:
+                metrics.counter("ir/passes/run").inc()
+                if record.changed:
+                    metrics.counter("ir/passes/changed").inc()
+        return current
+
+
+# -- stock passes (wrapping repro.graph.transform) -----------------------
+
+
+def equalize_pass(name: Optional[str] = None) -> Pass:
+    """Path-equalization pass (:func:`repro.graph.equalize.equalize`)."""
+    from ..graph.equalize import equalize
+
+    return _FunctionPass("equalize", lambda g: equalize(g, name=name))
+
+
+def desugar_queues_pass() -> Pass:
+    """Rewrite queued shells as relay-station chains."""
+    from ..graph.transform import desugar_queues
+
+    def _apply(graph: SystemGraph) -> SystemGraph:
+        if any(n.queue_depth is not None for n in graph.nodes.values()):
+            return desugar_queues(graph)
+        return graph
+
+    return _FunctionPass("desugar-queues", _apply)
+
+
+def promote_half_relays_pass(only_loops: bool = True) -> Pass:
+    """Replace half relay stations with full ones (the paper's cure)."""
+    from ..graph.transform import promote_half_relays
+
+    scope = "loops" if only_loops else "all"
+    return _FunctionPass(
+        f"promote-half-relays[{scope}]",
+        lambda g: promote_half_relays(g, only_loops=only_loops))
+
+
+def insert_relay_pass(src: str, dst: str, spec: str = "full",
+                      position: int = 0) -> Pass:
+    """Insert one relay station on the edge *src* -> *dst*."""
+    from ..graph.transform import insert_relay
+
+    return _FunctionPass(
+        f"insert-relay[{src}->{dst}:{spec}@{position}]",
+        lambda g: insert_relay(g, src, dst, spec=spec, position=position))
+
+
+class _CureDeadlockPass(Pass):
+    name = "cure-deadlock"
+
+    def __init__(self, max_cycles: int = 10_000):
+        self.max_cycles = max_cycles
+        self.promotions: List = []
+
+    def apply(self, graph: SystemGraph) -> SystemGraph:
+        from ..graph.transform import cure_deadlock
+
+        cured, self.promotions = cure_deadlock(
+            graph, max_cycles=self.max_cycles)
+        return cured
+
+    def detail(self) -> str:
+        if not self.promotions:
+            return "already live; no promotion needed"
+        stations = ", ".join(
+            f"{src}->{dst}@{pos}" for src, dst, pos in self.promotions)
+        return f"promoted {stations}"
+
+
+def cure_deadlock_pass(max_cycles: int = 10_000) -> Pass:
+    """Promote loop-resident half stations until the skeleton runs clean."""
+    return _CureDeadlockPass(max_cycles=max_cycles)

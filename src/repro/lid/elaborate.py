@@ -1,0 +1,62 @@
+"""Build a :class:`LidSystem` from a canonical lowering.
+
+This is the lid construction path of the IR layer diagram (docs/ir.md):
+``SystemGraph -> lower() -> LoweredSystem -> build_system -> LidSystem``.
+The node/edge walk that used to live in ``SystemGraph.elaborate`` now
+consumes the lowered tables; it is registered in :mod:`repro._registry`
+under ``"lid.build_system"`` so the IR layer can invoke it without
+importing this package.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from .system import LidSystem
+from .variant import DEFAULT_VARIANT
+
+
+def build_system(lowered, variant=None, strict: bool = True) -> LidSystem:
+    """Elaborate a :class:`~repro.ir.LoweredSystem` into a live system.
+
+    Pearls and streams come fresh from their factories on every call,
+    so one lowering elaborates any number of independent systems
+    (different variants, repeated fault-injection runs).  Queued shells
+    are built natively — this path uses the original node tables, not
+    the skeleton view's relay-station desugaring.
+    """
+    variant = variant or DEFAULT_VARIANT
+    unsupported = lowered.unsupported_specs(variant)
+    if unsupported:
+        from ..errors import StructuralError
+
+        raise StructuralError(
+            f"{lowered.name}: relay specs {unsupported} are not "
+            f"supported by variant {variant.value!r}")
+    system = LidSystem(lowered.name, variant=variant)
+    built: Dict[str, Any] = {}
+    for node in lowered.nodes:
+        if node.kind == "shell":
+            if node.queue_depth is not None:
+                built[node.name] = system.add_queued_shell(
+                    node.name, node.pearl_factory(),
+                    queue_depth=node.queue_depth)
+            else:
+                built[node.name] = system.add_shell(
+                    node.name, node.pearl_factory())
+        elif node.kind == "source":
+            stream = node.stream_factory if node.stream_factory else None
+            built[node.name] = system.add_source(node.name, stream=stream)
+        else:
+            built[node.name] = system.add_sink(
+                node.name, stop_script=node.stop_script)
+    for edge in lowered.edges:
+        system.connect(
+            built[edge.src_name],
+            built[edge.dst_name],
+            producer_port=edge.src_port,
+            consumer_port=edge.dst_port,
+            relays=list(edge.relays),
+        )
+    system.finalize(strict=strict)
+    return system

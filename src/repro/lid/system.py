@@ -108,6 +108,9 @@ class LidSystem:
             relay = HalfRelayStation(name, variant=self.variant,
                                      registered_stop=True)
         else:
+            from ..graph.model import validate_relay_spec
+
+            validate_relay_spec(spec, where=f"relay {name}")  # raises
             raise StructuralError(f"unknown relay spec {spec!r}")
         self.relays[name] = relay
         self.sim.add_component(relay)

@@ -29,27 +29,23 @@ from fractions import Fraction
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.model import SystemGraph
+from ..ir import (
+    RS_FULL,
+    RS_HALF,
+    RS_HALF_REG,
+    SHELL,
+    SINK,
+    SRC,
+    LoweredSystem,
+    lower,
+)
 from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
 
 # Element kind tags (kept as small ints for compact state tuples).
-_SRC, _SHELL, _SINK, _RS_FULL, _RS_HALF, _RS_HALF_REG = range(6)
-
-_RS_KIND = {
-    "full": _RS_FULL,
-    "half": _RS_HALF,
-    "half-registered": _RS_HALF_REG,
-}
-
-
-@dataclasses.dataclass
-class _Hop:
-    """One producer->consumer wire segment of an expanded channel."""
-
-    producer_kind: int
-    producer_id: int      # index into the kind-specific table
-    producer_edge: int    # for shells: which out-register (edge index)
-    consumer_kind: int
-    consumer_id: int
+# Canonically defined by repro.ir; the historical underscore aliases
+# stay because the vectorized engine and older call sites import them.
+_SRC, _SHELL, _SINK, _RS_FULL, _RS_HALF, _RS_HALF_REG = (
+    SRC, SHELL, SINK, RS_FULL, RS_HALF, RS_HALF_REG)
 
 
 @dataclasses.dataclass
@@ -91,7 +87,7 @@ class SkeletonSim:
 
     def __init__(
         self,
-        graph: SystemGraph,
+        graph: "SystemGraph | LoweredSystem",
         variant: ProtocolVariant = DEFAULT_VARIANT,
         fixpoint: str = "least",
         source_patterns: Optional[Dict[str, Sequence[bool]]] = None,
@@ -101,13 +97,14 @@ class SkeletonSim:
     ):
         if fixpoint not in ("least", "greatest"):
             raise ValueError("fixpoint must be 'least' or 'greatest'")
-        if any(n.queue_depth is not None for n in graph.nodes.values()):
-            # Queued shells are modelled via their relay-station
-            # desugaring (see repro.graph.transform.desugar_queues).
-            from ..graph.transform import desugar_queues
-
-            graph = desugar_queues(graph)
-        self.graph = graph
+        # One canonical construction path: lower the graph (memoized
+        # per graph object) and simulate its skeleton view — queued
+        # shells are modelled via their relay-station desugaring (see
+        # repro.graph.transform.desugar_queues).  A pre-lowered
+        # LoweredSystem is accepted directly (campaigns share one).
+        lowered = graph if isinstance(graph, LoweredSystem) else lower(graph)
+        self.lowered = lowered.skeleton_view()
+        self.graph = self.lowered.graph
         self.variant = variant
         # The variant is immutable for the lifetime of the simulator;
         # pre-binding the flag keeps the per-shell, per-settle-pass
@@ -128,13 +125,13 @@ class SkeletonSim:
     # -- construction -------------------------------------------------------
 
     def _build(self, source_patterns, sink_patterns) -> None:
-        g = self.graph
-        self.shell_names = [n.name for n in g.shells()]
-        self.source_names = [n.name for n in g.sources()]
-        self.sink_names = [n.name for n in g.sinks()]
-        shell_index = {n: i for i, n in enumerate(self.shell_names)}
-        source_index = {n: i for i, n in enumerate(self.source_names)}
-        sink_index = {n: i for i, n in enumerate(self.sink_names)}
+        # All wiring tables come from the canonical lowering; this
+        # method only binds the environment scripts and derives the
+        # flat dispatch tables for the hot loops.
+        low = self.lowered
+        self.shell_names = list(low.shell_names)
+        self.source_names = list(low.source_names)
+        self.sink_names = list(low.sink_names)
 
         self.src_pattern: List[Tuple[bool, ...]] = [
             tuple(bool(b) for b in source_patterns.get(n, (True,)))
@@ -147,96 +144,29 @@ class SkeletonSim:
         lengths = [len(p) for p in self.sink_pattern] or [1]
         self.sink_phase_mod = math.lcm(*lengths)
 
-        self.rs_kinds: List[int] = []
-        self.rs_names: List[str] = []
-        self.hops: List[_Hop] = []
+        self.rs_kinds: List[int] = [r.tag for r in low.relays]
+        self.rs_names: List[str] = list(low.relay_names)
+        self.hops = list(low.hops)
         # One stable name per hop (wire segment), e.g. "A->B[0]"; used
         # as the channel key in telemetry metric paths and trace events.
-        self.hop_names: List[str] = []
-        self._hop_name_seen: Dict[str, int] = {}
-        # Per shell: list of input hop ids / output hop ids (with their
-        # owning out-register edge index).
-        self.shell_in_hops: List[List[int]] = [[] for _ in self.shell_names]
-        self.shell_out_hops: List[List[int]] = [[] for _ in self.shell_names]
-        self.src_out_hops: List[List[int]] = [[] for _ in self.source_names]
-        self.sink_in_hop: List[Optional[int]] = [None] * len(self.sink_names)
-        self.rs_in_hop: List[int] = []
-        self.rs_out_hop: List[int] = []
+        self.hop_names: List[str] = list(low.hop_names)
+        self.shell_in_hops: List[List[int]] = [
+            list(x) for x in low.shell_in_hops]
+        self.shell_out_hops: List[List[int]] = [
+            list(x) for x in low.shell_out_hops]
+        self.src_out_hops: List[List[int]] = [
+            list(x) for x in low.source_out_hops]
+        self.sink_in_hop: List[Optional[int]] = list(low.sink_in_hop)
+        self.rs_in_hop: List[int] = list(low.relay_in_hop)
+        self.rs_out_hop: List[int] = list(low.relay_out_hop)
         # Shell out registers: one bit per edge; register id -> shell id.
-        self.shell_reg_owner: List[int] = []
-
-        def _attach_producer(ref, hop_id: int) -> None:
-            kind, ident = ref
-            if kind == _SRC:
-                self.src_out_hops[ident].append(hop_id)
-            elif kind == _SHELL:
-                self.shell_out_hops[ident].append(hop_id)
-            else:
-                self.rs_out_hop[ident] = hop_id
-
-        def _attach_consumer(ref, hop_id: int) -> None:
-            kind, ident = ref
-            if kind == _SHELL:
-                self.shell_in_hops[ident].append(hop_id)
-            elif kind == _SINK:
-                self.sink_in_hop[ident] = hop_id
-            else:
-                self.rs_in_hop[ident] = hop_id
-
-        for edge in g.edges:
-            src_node = g.nodes[edge.src]
-            dst_node = g.nodes[edge.dst]
-            if src_node.kind == "shell":
-                reg_id = len(self.shell_reg_owner)
-                self.shell_reg_owner.append(shell_index[edge.src])
-                producer_ref = (_SHELL, shell_index[edge.src])
-                producer_edge = reg_id
-            else:
-                producer_ref = (_SRC, source_index[edge.src])
-                producer_edge = -1
-
-            chain: List[int] = []
-            for pos, spec in enumerate(edge.relays):
-                rs_id = len(self.rs_kinds)
-                self.rs_kinds.append(_RS_KIND[spec])
-                self.rs_names.append(f"{edge.src}->{edge.dst}.rs{pos}")
-                self.rs_in_hop.append(-1)
-                self.rs_out_hop.append(-1)
-                chain.append(rs_id)
-
-            if dst_node.kind == "shell":
-                dst_ref = (_SHELL, shell_index[edge.dst])
-            else:
-                dst_ref = (_SINK, sink_index[edge.dst])
-
-            producers = [producer_ref] + [
-                (self.rs_kinds[rs], rs) for rs in chain
-            ]
-            consumers = [(self.rs_kinds[rs], rs) for rs in chain] + [dst_ref]
-            for seg, (p_ref, c_ref) in enumerate(zip(producers, consumers)):
-                hop_id = len(self.hops)
-                edge_reg = producer_edge if seg == 0 else -1
-                self.hops.append(
-                    _Hop(p_ref[0], p_ref[1], edge_reg, c_ref[0], c_ref[1])
-                )
-                name = f"{edge.src}->{edge.dst}[{seg}]"
-                dup = self._hop_name_seen.get(name, 0)
-                self._hop_name_seen[name] = dup + 1
-                if dup:
-                    name = f"{name}~{dup}"
-                self.hop_names.append(name)
-                _attach_producer(p_ref, hop_id)
-                _attach_consumer(c_ref, hop_id)
+        self.shell_reg_owner: List[int] = [
+            shell for shell, _edge in low.shell_regs]
 
         # The stop network can only have multiple fixpoints when a
         # combinational cycle exists, which requires a transparent half
         # relay station or a direct shell-to-shell hop somewhere.
-        self._may_be_ambiguous = any(
-            k == _RS_HALF for k in self.rs_kinds
-        ) or any(
-            h.producer_kind == _SHELL and h.consumer_kind == _SHELL
-            for h in self.hops
-        )
+        self._may_be_ambiguous = low.may_be_ambiguous
 
         # Flat dispatch tables for the hot per-cycle loops.
         self._src_hops: List[Tuple[int, int]] = []
@@ -246,7 +176,7 @@ class SkeletonSim:
             if hop.producer_kind == _SRC:
                 self._src_hops.append((hop_id, hop.producer_id))
             elif hop.producer_kind == _SHELL:
-                self._shellreg_hops.append((hop_id, hop.producer_edge))
+                self._shellreg_hops.append((hop_id, hop.producer_reg))
             else:
                 self._rs_hops.append((hop_id, hop.producer_id))
         self._transparent_half_ids = [
@@ -281,7 +211,7 @@ class SkeletonSim:
             for rs_id, kind in enumerate(self.rs_kinds)
         ]
         self._shell_out_pairs = [
-            [(hop_out, self.hops[hop_out].producer_edge)
+            [(hop_out, self.hops[hop_out].producer_reg)
              for hop_out in outs]
             for outs in self.shell_out_hops
         ]

@@ -35,15 +35,17 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..graph.model import SystemGraph
-from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
-from .sim import (
-    SkeletonResult,
-    SkeletonSim,
-    _RS_FULL,
-    _RS_HALF,
-    _RS_HALF_REG,
-    _SHELL,
+from ..ir import (
+    RS_FULL as _RS_FULL,
+    RS_HALF as _RS_HALF,
+    RS_HALF_REG as _RS_HALF_REG,
+    SHELL as _SHELL,
+    SRC as _SRC,
+    LoweredSystem,
+    lower,
 )
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .sim import SkeletonResult
 
 PatternMap = Mapping[str, Sequence[bool]]
 
@@ -145,7 +147,6 @@ class BatchSkeletonSim:
         if self.batch == 0:
             raise ValueError("need at least one instance")
 
-        self.graph = graph
         self.variant = variant
         self.fixpoint = fixpoint
         self.detect_ambiguity = detect_ambiguity
@@ -159,15 +160,15 @@ class BatchSkeletonSim:
         self._events_on = (telemetry is not None
                            and telemetry.events is not None)
 
-        # Reuse the scalar builder for the wiring tables (this also
-        # desugars queued shells, exactly as the scalar engine does).
-        self._scalar = SkeletonSim(graph, variant=variant,
-                                   fixpoint=fixpoint,
-                                   detect_ambiguity=False)
-        s = self._scalar
-        self.shell_names = s.shell_names
-        self.source_names = s.source_names
-        self.sink_names = s.sink_names
+        # Wiring tables come from the same canonical lowering the
+        # scalar engine consumes (the skeleton view desugars queued
+        # shells exactly as the scalar engine does).
+        lowered = graph if isinstance(graph, LoweredSystem) else lower(graph)
+        self.lowered = lowered.skeleton_view()
+        self.graph = self.lowered.graph
+        self.shell_names = list(self.lowered.shell_names)
+        self.source_names = list(self.lowered.source_names)
+        self.sink_names = list(self.lowered.sink_names)
         self._build_tables()
         self._build_scripts(source_patterns, sink_patterns)
         self.reset()
@@ -175,44 +176,49 @@ class BatchSkeletonSim:
     # -- construction -------------------------------------------------------
 
     def _build_tables(self) -> None:
-        s = self._scalar
-        n_hops = len(s.hops)
+        low = self.lowered
+        n_hops = len(low.hops)
         self._n_hops = n_hops
         self._is_casu = self.variant.discards_void_stops
-        self._guard = n_hops + len(s.shell_names) + 2
+        self._guard = n_hops + len(self.shell_names) + 2
+        self._may_be_ambiguous = low.may_be_ambiguous
 
         # Hops driven by each producer class.
+        src_hops = [(h.index, h.producer_id) for h in low.hops
+                    if h.producer_kind == _SRC]
+        rs_hops = [(h.index, h.producer_id) for h in low.hops
+                   if h.producer_kind not in (_SRC, _SHELL)]
         self._src_hop_ids = np.array(
-            [h for h, _src in s._src_hops], dtype=np.intp)
+            [h for h, _src in src_hops], dtype=np.intp)
         self._src_hop_owner = np.array(
-            [src for _h, src in s._src_hops], dtype=np.intp)
+            [src for _h, src in src_hops], dtype=np.intp)
         self._rs_drive_hops = np.array(
-            [h for h, _rs in s._rs_hops], dtype=np.intp)
+            [h for h, _rs in rs_hops], dtype=np.intp)
         self._rs_drive_ids = np.array(
-            [rs for _h, rs in s._rs_hops], dtype=np.intp)
+            [rs for _h, rs in rs_hops], dtype=np.intp)
         # Shell out-register <-> hop bijection (one register per edge).
-        n_regs = len(s.shell_reg_owner)
+        n_regs = len(low.shell_regs)
         self._n_regs = n_regs
         self._reg_hop = np.zeros(n_regs, dtype=np.intp)
         self._reg_owner = np.zeros(n_regs, dtype=np.intp)
-        for hop_id, hop in enumerate(s.hops):
+        for hop in low.hops:
             if hop.producer_kind == _SHELL:
-                self._reg_hop[hop.producer_edge] = hop_id
-                self._reg_owner[hop.producer_edge] = hop.producer_id
+                self._reg_hop[hop.producer_reg] = hop.index
+                self._reg_owner[hop.producer_reg] = hop.producer_id
 
         # Ragged shell port lists, flattened for segmented reductions.
-        self._sh_in = _Segments(s.shell_in_hops)
-        self._sh_out = _Segments(s.shell_out_hops)
+        self._sh_in = _Segments(low.shell_in_hops)
+        self._sh_out = _Segments(low.shell_out_hops)
         self._sh_out_reg = np.array(
-            [s.hops[h].producer_edge for h in self._sh_out.flat],
+            [low.hops[h].producer_reg for h in self._sh_out.flat],
             dtype=np.intp)
-        self._src_out = _Segments(s.src_out_hops)
+        self._src_out = _Segments(low.source_out_hops)
 
         # Relay stations by kind.
-        kinds = np.array(s.rs_kinds, dtype=np.intp)
+        kinds = np.array([r.tag for r in low.relays], dtype=np.intp)
         self._n_rs = len(kinds)
-        self._rs_in = np.array(s.rs_in_hop, dtype=np.intp)
-        self._rs_out = np.array(s.rs_out_hop, dtype=np.intp)
+        self._rs_in = np.array(low.relay_in_hop, dtype=np.intp)
+        self._rs_out = np.array(low.relay_out_hop, dtype=np.intp)
         self._rs_is_full = kinds == _RS_FULL
         self._full_ids = np.nonzero(kinds == _RS_FULL)[0]
         self._half_ids = np.nonzero(kinds == _RS_HALF)[0]
@@ -224,7 +230,7 @@ class BatchSkeletonSim:
         self._cols = np.arange(self.batch)
 
         # Sinks (some graphs may have unconnected sinks -> None hop).
-        pairs = [(k, h) for k, h in enumerate(s.sink_in_hop)
+        pairs = [(k, h) for k, h in enumerate(low.sink_in_hop)
                  if h is not None]
         self._sink_ids = np.array([k for k, _h in pairs], dtype=np.intp)
         self._sink_hops = np.array([h for _k, h in pairs], dtype=np.intp)
@@ -232,7 +238,7 @@ class BatchSkeletonSim:
         # "Internal" consumers for the stop-locality counters: shells
         # and transparent half stations (scalar semantics).
         self._internal_hops = np.array(
-            [h_id for h_id, h in enumerate(s.hops)
+            [h.index for h in low.hops
              if h.consumer_kind in (_SHELL, _RS_HALF)], dtype=np.intp)
 
         # Without transparent half stations or direct shell-to-shell
@@ -241,7 +247,7 @@ class BatchSkeletonSim:
         # stops only, so a single settle pass is exact and the two
         # fixpoints coincide (same criterion as the scalar engine's
         # ambiguity analysis).
-        self._single_pass = not s._may_be_ambiguous
+        self._single_pass = not low.may_be_ambiguous
         self._all_full = bool(self._rs_is_full.all())
 
     def _build_scripts(self, source_patterns, sink_patterns) -> None:
@@ -502,7 +508,7 @@ class BatchSkeletonSim:
         """Advance all instances one cycle; returns (fires, accepts)."""
         valid = self._forward_valids()
         stop, fires = self._settle_stops(valid, self.fixpoint)
-        if self.detect_ambiguity and self._scalar._may_be_ambiguous:
+        if self.detect_ambiguity and self._may_be_ambiguous:
             other = "greatest" if self.fixpoint == "least" else "least"
             alt, _alt_fires = self._settle_stops(valid, other)
             differs = np.any(alt != stop, axis=0)
@@ -680,13 +686,13 @@ class BatchSkeletonSim:
         registry.counter("skeleton/fixpoint/ambiguous").inc(
             len(self.ambiguous_cycles[instance]))
         if self._metrics_on:
-            hop_names = self._scalar.hop_names
+            hop_names = self.lowered.hop_names
             for hop_id in range(self._n_hops):
                 registry.counter(
                     f"skeleton/channel/{hop_names[hop_id]}"
                     f"/stall_cycles").inc(
                         int(self.hop_stall_cycles[hop_id, instance]))
-            rs_names = self._scalar.rs_names
+            rs_names = self.lowered.relay_names
             for rs_id in range(self._n_rs):
                 hist = registry.histogram(
                     f"skeleton/relay/{rs_names[rs_id]}/occupancy")

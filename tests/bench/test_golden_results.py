@@ -13,14 +13,17 @@ either engine shows up as a mismatch against the checked-in files:
   measurement.
 """
 
+import dataclasses
 import os
 import re
 
 import pytest
 
+from repro.bench import workloads
 from repro.graph import pipeline
+from repro.ir import lower
 from repro.lid.variant import DEFAULT_VARIANT, ProtocolVariant
-from repro.skeleton import select
+from repro.skeleton import SkeletonSim, check_deadlock, select
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
                            "benchmarks", "results")
@@ -126,3 +129,74 @@ class TestSkeletonCostGolden:
             assert skeleton_s < full_s, (
                 f"{name}: skeleton {skeleton_s * 1e3:.1f} ms not under "
                 f"full sim {full_s * 1e3:.1f} ms")
+
+
+def _all_workload_graphs():
+    """(label, graph) for every topology the experiment benches use."""
+    cases = [("figure1", workloads.figure1_workload()),
+             ("figure2", workloads.figure2_workload())]
+    cases += [(f"ring_s{s}_r{r}", g)
+              for s, r, g in workloads.ring_sweep()]
+    cases += [(f"reconv_{i}", g)
+              for i, (_a, _b, g) in
+              enumerate(workloads.reconvergent_sweep())]
+    cases += [(g.name, g) for _d, _r, g in workloads.tree_sweep()]
+    cases += [(f"composed_{i}", g)
+              for i, (_label, g) in
+              enumerate(workloads.composition_cases())]
+    cases += [(f"deadlock_{i}_{g.name}", g)
+              for i, (_cls, _exp, g) in
+              enumerate(workloads.deadlock_suite())]
+    cases += [(g.name, g)
+              for g in workloads.pipeline_scaling(sizes=(4, 16))]
+    return cases
+
+
+class TestLoweringParity:
+    """The IR path is bit-invisible on every bench workload.
+
+    Simulating from an explicit :class:`repro.ir.LoweredSystem` must
+    produce byte-identical results, verdicts and metrics snapshots to
+    simulating from the source graph — on both engines — for every
+    topology family the experiment benches quantify over (including
+    the deadlock suite and the composed systems).
+    """
+
+    @pytest.mark.parametrize(
+        "label,graph", _all_workload_graphs(),
+        ids=[label for label, _g in _all_workload_graphs()])
+    def test_scalar_results_bit_identical(self, label, graph):
+        via_graph = SkeletonSim(graph, detect_ambiguity=True)
+        via_ir = SkeletonSim(lower(graph), detect_ambiguity=True)
+        a = via_graph.run(max_cycles=5_000)
+        b = via_ir.run(max_cycles=5_000)
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+        assert via_graph.metrics_snapshot() == via_ir.metrics_snapshot()
+
+    @pytest.mark.parametrize(
+        "label,graph", _all_workload_graphs(),
+        ids=[label for label, _g in _all_workload_graphs()])
+    def test_vectorized_results_bit_identical(self, label, graph):
+        bp = [None, {name: (False, True)
+                     for name in lower(graph).sink_names}]
+        via_graph = select(graph, DEFAULT_VARIANT, sink_patterns=bp,
+                           backend="vectorized")
+        via_ir = select(lower(graph), DEFAULT_VARIANT,
+                        sink_patterns=bp, backend="vectorized")
+        results_a = via_graph.run(max_cycles=5_000)
+        results_b = via_ir.run(max_cycles=5_000)
+        for a, b in zip(results_a, results_b):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+        assert via_graph.metrics_snapshots() == \
+            via_ir.metrics_snapshots()
+
+    @pytest.mark.parametrize(
+        "label,graph",
+        [(f"{cls}/{g.name}", g)
+         for cls, _exp, g in workloads.deadlock_suite()],
+        ids=[f"{i}_{g.name}" for i, (_c, _e, g) in
+             enumerate(workloads.deadlock_suite())])
+    def test_deadlock_verdicts_identical(self, label, graph):
+        a = check_deadlock(graph)
+        b = check_deadlock(lower(graph))
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)

@@ -101,11 +101,58 @@ class TestGraphFingerprint:
     def test_deterministic_across_builds(self):
         assert graph_fingerprint(figure2()) == graph_fingerprint(figure2())
 
+    def test_independent_builds_hit_the_same_cache_entry(self):
+        """Content addressing: two separately constructed but identical
+        graphs must map to one cache entry — the fingerprint derives
+        from the canonical IR, not from pickle bytes or object ids."""
+        cache = ResultCache.memory()
+        key_a = cache.key("golden", graph_fingerprint(figure2()), 100)
+        cache.put(key_a, {"period": 2})
+        key_b = cache.key("golden", graph_fingerprint(figure2()), 100)
+        assert key_b == key_a
+        assert cache.get(key_b) == {"period": 2}
+        assert cache.stats.hits == 1
+
+    def test_declaration_order_does_not_change_the_key(self):
+        from repro.graph.model import SystemGraph
+        from repro.pearls import Identity
+
+        def build(order):
+            graph = SystemGraph("g")
+            adders = {
+                "src": lambda: graph.add_source("src"),
+                "a": lambda: graph.add_shell("a", Identity),
+                "out": lambda: graph.add_sink("out"),
+            }
+            for name in order:
+                adders[name]()
+            graph.add_edge("src", "a")
+            graph.add_edge("a", "out", relays=1)
+            return graph
+
+        assert graph_fingerprint(build(["src", "a", "out"])) == \
+            graph_fingerprint(build(["out", "a", "src"]))
+
+    def test_stop_scripts_participate(self):
+        plain = figure2()
+        scripted = figure2()
+        sink = next(n for n in scripted.nodes
+                    if scripted.nodes[n].kind == "sink")
+        object.__setattr__(scripted.nodes[sink], "stop_script",
+                           lambda c: c % 2 == 0)
+        assert graph_fingerprint(plain) != graph_fingerprint(scripted)
+
     def test_structure_sensitive(self):
         assert (graph_fingerprint(ring(2, relays_per_arc=1))
                 != graph_fingerprint(ring(2, relays_per_arc=2)))
         assert (graph_fingerprint(figure2())
-                != graph_fingerprint(ring(2, relays_per_arc=1)))
+                != graph_fingerprint(ring(3, relays_per_arc=1)))
+
+    def test_structurally_identical_graphs_alias(self):
+        # figure2 *is* a 2-ring with one relay per arc; only the
+        # display name differs, and names are labels, not structure.
+        assert (graph_fingerprint(figure2())
+                == graph_fingerprint(ring(2, relays_per_arc=1)))
 
 
 class TestGraphRef:
@@ -125,6 +172,24 @@ class TestGraphRef:
         ref = GraphRef.from_graph(figure2())
         assert graph_fingerprint(ref.materialize()) == graph_fingerprint(
             figure2())
+
+    def test_by_value_refs_compare_by_fingerprint_not_bytes(self):
+        """Two refs wrapping independently built identical graphs are
+        equal (and hash equal) even though their pickle payloads may
+        differ byte-for-byte."""
+        ref_a = GraphRef.from_graph(figure2())
+        ref_b = GraphRef.from_graph(figure2())
+        assert ref_a == ref_b
+        assert hash(ref_a) == hash(ref_b)
+        assert len({ref_a, ref_b}) == 1
+        # Different structures stay distinct.
+        ref_c = GraphRef.from_graph(ring(2, relays_per_arc=2))
+        assert ref_a != ref_c
+
+    def test_equal_by_value_refs_share_the_materialize_memo(self):
+        ref_a = GraphRef.from_graph(figure2())
+        ref_b = GraphRef.from_graph(figure2())
+        assert ref_a.materialize() is ref_b.materialize()
 
     def test_unpicklable_graph_gets_actionable_error(self):
         from repro.errors import ExecutionError

@@ -1,0 +1,244 @@
+"""The canonical lowering: tables, fingerprints, memoization, validation."""
+
+import pickle
+
+import pytest
+
+from repro.errors import StructuralError
+from repro.graph import figure1, figure2, ring
+from repro.graph.model import Edge, SystemGraph
+from repro.ir import (
+    RS_FULL,
+    RS_HALF,
+    SHELL,
+    SINK,
+    SRC,
+    STATS,
+    LoweredSystem,
+    lower,
+    structural_fingerprint,
+)
+from repro.lid.variant import ProtocolVariant
+from repro.pearls import Identity
+
+
+def _two_shell_loop(name="loop"):
+    graph = SystemGraph(name)
+    graph.add_source("src")
+    graph.add_shell("a", lambda: Identity())
+    graph.add_shell("b", lambda: Identity())
+    graph.add_sink("out")
+    graph.add_edge("src", "a")
+    graph.add_edge("a", "b", relays=1)
+    graph.add_edge("b", "a", relays=1)
+    graph.add_edge("b", "out")
+    return graph
+
+
+class TestTables:
+    def test_node_and_edge_tables_mirror_the_graph(self):
+        graph = _two_shell_loop()
+        low = lower(graph)
+        assert [n.name for n in low.nodes] == ["src", "a", "b", "out"]
+        assert low.shell_names == ("a", "b")
+        assert low.source_names == ("src",)
+        assert low.sink_names == ("out",)
+        assert [(e.src_name, e.dst_name) for e in low.edges] == [
+            ("src", "a"), ("a", "b"), ("b", "a"), ("b", "out")]
+        # Node indices resolve through the edge table.
+        for edge in low.edges:
+            assert low.nodes[edge.src].name == edge.src_name
+            assert low.nodes[edge.dst].name == edge.dst_name
+
+    def test_relay_chain_expansion_names_and_hops(self):
+        low = lower(figure2(2))  # two-shell loop, 2 relays per arc
+        assert low.relay_count() == 4
+        assert all(r.tag == RS_FULL for r in low.relays)
+        # Historical naming contract: "src->dst.rs<pos>" / "src->dst[seg]".
+        for relay in low.relays:
+            edge = low.edges[relay.edge]
+            assert relay.name == \
+                f"{edge.src_name}->{edge.dst_name}.rs{relay.pos}"
+        for hop in low.hops:
+            edge = low.edges[hop.edge]
+            assert hop.name.startswith(
+                f"{edge.src_name}->{edge.dst_name}[")
+        # A chain of R relays splits its edge into R+1 hops.
+        for edge in low.edges:
+            hops = [h for h in low.hops if h.edge == edge.index]
+            assert len(hops) == edge.relay_count + 1
+
+    def test_hop_endpoint_kinds(self):
+        low = lower(_two_shell_loop())
+        first = [h for h in low.hops if h.edge == 0]
+        assert first[0].producer_kind == SRC
+        assert first[0].consumer_kind == SHELL
+        last = [h for h in low.hops if h.edge == 3]
+        assert last[0].producer_kind == SHELL
+        assert last[0].consumer_kind == SINK
+
+    def test_shell_registers_one_per_driven_edge(self):
+        low = lower(_two_shell_loop())
+        # a drives a->b; b drives b->a and b->out.
+        assert low.shell_regs == ((0, 1), (1, 2), (1, 3))
+        for hop in low.hops:
+            if hop.producer_kind == SHELL and hop.seg == 0:
+                assert hop.producer_reg >= 0
+            else:
+                assert hop.producer_reg == -1 or hop.seg == 0
+
+    def test_capability_flags(self):
+        full = lower(figure2(1))
+        assert full.all_full_relays
+        assert not full.has_queued_shells
+        assert "relay-full" in full.requirements
+
+        hazard = ring(2, relays_per_arc=[["half"], ["full"]])
+        low = lower(hazard)
+        assert low.may_be_ambiguous
+        assert not low.all_full_relays
+        assert {"relay-half", "relay-full"} <= low.requirements
+
+    def test_lower_is_idempotent_on_a_lowering(self):
+        low = lower(figure1())
+        assert lower(low) is low
+
+    def test_skeleton_view_desugars_queued_shells(self):
+        graph = SystemGraph("queued")
+        graph.add_source("src")
+        graph.add_queued_shell("q", lambda: Identity(),
+                               queue_depth=2)
+        graph.add_sink("out")
+        graph.add_edge("src", "q")
+        graph.add_edge("q", "out")
+        low = lower(graph)
+        assert low.has_queued_shells
+        view = low.skeleton_view()
+        assert view is not low
+        assert not view.has_queued_shells
+        assert view is low.skeleton_view()  # cached
+        # Queue-free systems are their own skeleton view.
+        plain = lower(figure1())
+        assert plain.skeleton_view() is plain
+
+
+class TestFingerprint:
+    def test_identical_independent_builds_share_a_fingerprint(self):
+        assert structural_fingerprint(_two_shell_loop()) == \
+            structural_fingerprint(_two_shell_loop())
+
+    def test_declaration_order_does_not_matter(self):
+        a = _two_shell_loop()
+        b = SystemGraph("loop")
+        b.add_sink("out")
+        b.add_shell("b", lambda: Identity())
+        b.add_shell("a", lambda: Identity())
+        b.add_source("src")
+        b.add_edge("b", "out")
+        b.add_edge("b", "a", relays=1)
+        b.add_edge("a", "b", relays=1)
+        b.add_edge("src", "a")
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+
+    def test_structure_changes_change_the_fingerprint(self):
+        base = structural_fingerprint(_two_shell_loop())
+        extra = _two_shell_loop()
+        extra.edges[1].relays = ("full", "full")
+        assert structural_fingerprint(extra) != base
+        half = _two_shell_loop()
+        half.edges[1].relays = ("half",)
+        assert structural_fingerprint(half) != base
+
+    def test_callables_and_graph_name_do_not_participate(self):
+        a = _two_shell_loop()
+        b = _two_shell_loop(name="other-label")
+        b.nodes["a"].pearl_factory = Identity
+        assert structural_fingerprint(a) == structural_fingerprint(b)
+
+
+class TestMemoization:
+    def test_repeat_lowering_is_a_memo_hit(self):
+        graph = figure2()
+        STATS.reset()
+        first = lower(graph)
+        assert STATS.lowerings == 1
+        assert lower(graph) is first
+        assert STATS.memo_hits == 1
+
+    def test_in_place_mutation_invalidates_the_memo(self):
+        graph = figure2()
+        first = lower(graph)
+        graph.edges[0].relays = graph.edges[0].relays + ("full",)
+        second = lower(graph)
+        assert second is not first
+        assert second.fingerprint != first.fingerprint
+
+    def test_memo_does_not_travel_in_pickles(self):
+        graph = _two_shell_loop()
+        graph.nodes["a"].pearl_factory = Identity
+        graph.nodes["b"].pearl_factory = Identity
+        lower(graph)
+        assert hasattr(graph, "_lowered_cache")
+        clone = pickle.loads(pickle.dumps(graph))
+        assert not hasattr(clone, "_lowered_cache")
+        assert lower(clone).fingerprint == lower(graph).fingerprint
+
+
+class TestRelaySpecValidation:
+    def test_edge_constructor_rejects_unknown_specs(self):
+        with pytest.raises(StructuralError) as err:
+            Edge("a", "b", relays=("bogus",))
+        message = str(err.value)
+        assert "bogus" in message
+        assert "edge a->b" in message
+        assert "variants: carloni, casu" in message
+
+    def test_lower_catches_in_place_chain_edits(self):
+        graph = figure2()
+        graph.edges[0].relays = ("sideways",)
+        with pytest.raises(StructuralError) as err:
+            lower(graph)
+        message = str(err.value)
+        assert "sideways" in message
+        assert f"edge {graph.edges[0].src}->{graph.edges[0].dst}" \
+            in message
+        # Every valid spec is listed with its supporting variants.
+        for spec in ("full", "half", "half-registered"):
+            assert spec in message
+
+    def test_unsupported_spec_elaboration_names_the_variants(self,
+                                                             monkeypatch):
+        from repro.graph import model
+
+        monkeypatch.setitem(model.RELAY_SPEC_SUPPORT, "half",
+                            ("carloni",))
+        graph = ring(2, relays_per_arc=[["half"], ["full"]])
+        low = lower(graph)
+        assert low.unsupported_specs(ProtocolVariant.CASU) == ["half"]
+        assert low.unsupported_specs(ProtocolVariant.CARLONI) == []
+        with pytest.raises(StructuralError) as err:
+            low.elaborate(variant=ProtocolVariant.CASU, strict=False)
+        assert "half" in str(err.value)
+        assert "casu" in str(err.value)
+
+
+class TestRegistry:
+    def test_unknown_service_key_lists_known_keys(self):
+        from repro._registry import resolve
+
+        with pytest.raises(KeyError) as err:
+            resolve("no.such.service")
+        assert "lid.build_system" in str(err.value)
+
+    def test_override_and_restore(self):
+        from repro._registry import register, resolve, unregister
+
+        marker = object()
+        register("skeleton.check_deadlock", lambda *a, **k: marker)
+        try:
+            assert resolve("skeleton.check_deadlock")() is marker
+        finally:
+            unregister("skeleton.check_deadlock")
+        from repro.skeleton.deadlock import check_deadlock
+
+        assert resolve("skeleton.check_deadlock") is check_deadlock

@@ -1,0 +1,65 @@
+"""The layering lint: the tree is clean and the lint can actually see.
+
+The second half matters as much as the first: a lint that silently
+fails to resolve relative or function-level imports would report the
+tree clean forever, so the detection machinery gets its own tests.
+"""
+
+import importlib.util
+import os
+import textwrap
+
+REPO_ROOT = os.path.join(os.path.dirname(__file__), "..", "..")
+TOOL_PATH = os.path.abspath(
+    os.path.join(REPO_ROOT, "tools", "check_layering.py"))
+
+spec = importlib.util.spec_from_file_location("check_layering", TOOL_PATH)
+check_layering = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_layering)
+
+
+class TestRepoIsClean:
+    def test_no_violations_in_src(self):
+        assert check_layering.check() == []
+
+
+class TestResolution:
+    def test_relative_import_resolution(self):
+        resolve = check_layering._resolve_relative
+        assert resolve("repro.graph.model", 1, "topologies") == \
+            "repro.graph.topologies"
+        assert resolve("repro.graph.model", 2, "ir") == "repro.ir"
+        assert resolve("repro.graph.model", 2, "") == "repro"
+
+    def test_prefix_matching_is_component_wise(self):
+        matches = check_layering._matches
+        assert matches("repro.cli", "repro.cli")
+        assert matches("repro.cli.main", "repro.cli")
+        assert not matches("repro.client", "repro.cli")
+
+
+class TestDetection:
+    def _imports_of(self, tmp_path, module, source):
+        path = tmp_path / "mod.py"
+        path.write_text(textwrap.dedent(source))
+        return {name for _line, name in
+                check_layering._imports(str(path), module)}
+
+    def test_sees_function_level_and_relative_imports(self, tmp_path):
+        found = self._imports_of(tmp_path, "repro.graph.transform", """\
+            from ..skeleton import deadlock
+
+            def late():
+                from repro.cli import main
+                import repro.lid.elaborate
+            """)
+        assert "repro.skeleton" in found
+        assert "repro.skeleton.deadlock" in found
+        assert "repro.cli.main" in found
+        assert "repro.lid.elaborate" in found
+
+    def test_from_dot_import_submodule(self, tmp_path):
+        # "from . import skeleton" pulls in the sibling submodule.
+        found = self._imports_of(tmp_path, "repro.graph.model",
+                                 "from .. import skeleton\n")
+        assert "repro.skeleton" in found
