@@ -149,9 +149,12 @@ def main(argv=None) -> int:
                                "valid/stop-only engine (boundary "
                                "control faults)")
     p_inject.add_argument("--backend",
-                          choices=["auto", "scalar", "vectorized"],
+                          choices=["auto", "scalar", "vectorized",
+                                   "bitsim"],
                           default="auto",
-                          help="skeleton engine backend")
+                          help="skeleton engine backend (bitsim: "
+                               "bit-parallel planes, ~64 faults per "
+                               "word-level run)")
     p_inject.add_argument("--strict", action="store_true",
                           help="arm the strict stop-shape monitor "
                                "(detects stops landing on voids under "
@@ -472,7 +475,7 @@ def _inject(args) -> int:
     try:
         if args.engine == "skeleton":
             report = skeleton_campaign(graph, backend=args.backend,
-                                       **common)
+                                       strict=args.strict, **common)
         else:
             report = run_campaign(
                 graph, strict=args.strict,

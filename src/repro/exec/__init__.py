@@ -30,6 +30,7 @@ from .pool import (
     WorkUnit,
     chunk_units,
     map_deterministic,
+    plane_chunks,
     resolve_callable,
     run_unit,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "default_cache_dir",
     "graph_fingerprint",
     "map_deterministic",
+    "plane_chunks",
     "resolve_callable",
     "run_unit",
 ]

@@ -33,8 +33,11 @@ input channel, valid faults on a source's output channel) the campaign
 can also run on the skeleton engine (:func:`skeleton_campaign`): every
 experiment becomes one *column* of a batched
 :func:`repro.skeleton.backend.select` run, with the fault expressed as
-a per-cycle script pattern.  The skeleton carries no payloads, so its
-verdict vocabulary is the masked / deadlock / timeout subset.
+a per-cycle script pattern.  With sink-boundary payload faults
+(classified from the golden column) and ``strict`` stop-shape
+detection, the skeleton path witnesses all five verdict classes;
+``backend="bitsim"`` additionally packs the columns into bit planes —
+one word-level run per ~64 experiments.
 """
 
 from __future__ import annotations
@@ -51,7 +54,7 @@ from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
 from .faults import FaultSpec, generate_faults
 from .injector import FaultInjector
 
-SCHEMA = "repro-inject-campaign/v1"
+SCHEMA = "repro-inject-campaign/v2"
 
 #: The five verdict classes, in report order.
 VERDICTS = ("detected", "silent-corruption", "masked", "deadlock",
@@ -225,10 +228,13 @@ class CampaignReport:
     strict: bool
     results: List[ExperimentResult]
     skipped: List[Dict[str, Any]] = dataclasses.field(default_factory=list)
-    #: Audit header for parallel/cached runs: ``jobs``, ``workers`` and
-    #: cache hit/miss counts (sorted keys, no wall times).  Excluded
-    #: from the default payload so reports stay byte-identical across
-    #: ``--jobs`` values — the determinism contract of
+    #: Audit header for parallel/cached runs: ``backend``, ``jobs``,
+    #: ``workers`` and cache hit/miss counts (sorted keys, no wall
+    #: times).  Excluded from the default payload so reports stay
+    #: byte-identical across ``--jobs`` values **and across simulation
+    #: backends** (schema v2 moved ``backend`` here from the payload
+    #: body: the engines are bit-exact, so which one produced a report
+    #: is provenance, not content) — the determinism contract of
     #: ``docs/parallelism.md``; pass ``execution=True`` to include it.
     execution: Optional[Dict[str, Any]] = None
 
@@ -252,7 +258,6 @@ class CampaignReport:
             "topology": self.topology,
             "variant": self.variant,
             "engine": self.engine,
-            "backend": self.backend,
             "cycles": self.cycles,
             "tail_window": tail_window(self.cycles),
             "seed": self.seed,
@@ -373,9 +378,10 @@ def _cached_golden(
     return golden
 
 
-def _execution_header(jobs: int, workers: int,
+def _execution_header(backend: str, jobs: int, workers: int,
                       cache: Optional[ResultCache]) -> Dict[str, Any]:
     return {
+        "backend": backend,
         "jobs": jobs,
         "workers": workers,
         "cache": cache.stats.to_dict() if cache is not None else None,
@@ -455,7 +461,7 @@ def run_campaign(
         backend="scalar", cycles=cycles, seed=seed,
         classes=tuple(classes), exhaustive=exhaustive, samples=samples,
         window=window, strict=strict, results=results,
-        execution=_execution_header(jobs, workers, cache))
+        execution=_execution_header("scalar", jobs, workers, cache))
     _record_verdicts(telemetry, report)
     return report
 
@@ -485,23 +491,35 @@ def _pattern_for(spec: FaultSpec,
                  baseline: Sequence[bool]) -> Optional[Tuple[bool, ...]]:
     """Faulted per-cycle script, or None when the fault is a no-op
     against the unfaulted *baseline* script."""
-    pattern = list(baseline)
+    baseline = tuple(baseline)
+    start = spec.cycle
+    stop = len(baseline) if spec.stuck else min(
+        len(baseline), start + spec.duration)
+    if start >= stop:
+        return None
+    window = list(baseline[start:stop])
     changed = False
-    for cycle in range(len(pattern)):
-        if not spec.active(cycle):
-            continue
-        if spec.kind == "stop-glitch":
-            value = not pattern[cycle]
-        elif spec.kind == "delayed-stop":
-            value = pattern[cycle - 1] if cycle else False
-        elif spec.kind in ("stop-stuck-1", "valid-stuck-1"):
-            value = True
-        else:  # stop-stuck-0, void-glitch, valid-stuck-0
-            value = False
-        if pattern[cycle] != value:
-            pattern[cycle] = value
-            changed = True
-    return tuple(pattern) if changed else None
+    if spec.kind == "stop-glitch":
+        window = [not v for v in window]
+        changed = True
+    elif spec.kind == "delayed-stop":
+        # The delayed value propagates through the window: each faulted
+        # cycle replays the (already faulted) previous cycle, so the
+        # whole window holds the value entering it.
+        held = bool(baseline[start - 1]) if start else False
+        for i, value in enumerate(window):
+            if bool(value) != held:
+                window[i] = held
+                changed = True
+    else:
+        forced = spec.kind in ("stop-stuck-1", "valid-stuck-1")
+        for i, value in enumerate(window):
+            if bool(value) != forced:
+                window[i] = forced
+                changed = True
+    if not changed:
+        return None
+    return baseline[:start] + tuple(window) + baseline[stop:]
 
 
 _SINK_KINDS = ("stop-stuck-1", "stop-stuck-0", "stop-glitch",
@@ -520,6 +538,7 @@ def skeleton_campaign(
     samples: int = 64,
     seed: int = 0,
     backend: str = "auto",
+    strict: bool = False,
     telemetry=None,
     faults: Optional[Sequence[FaultSpec]] = None,
     jobs: int = 1,
@@ -531,6 +550,22 @@ def skeleton_campaign(
     :func:`repro.skeleton.backend.select` batch (plus a golden column
     0); the whole campaign is two ``run_cycles`` calls.  Faults that
     are not boundary control faults are reported as ``skipped``.
+
+    ``backend="bitsim"`` packs the same columns into bit planes of
+    Python integers instead (one experiment per bit): the fault list is
+    chunked into word-sized groups by :func:`repro.exec.plane_chunks`,
+    each group carrying its own golden plane 0.  Every group replays
+    identical golden dynamics, so classification — and therefore the
+    report bytes — is independent of the chunking and of the backend.
+
+    ``strict`` arms the skeleton analogue of the LID strict stop-shape
+    monitor: under a variant that discards void stops (the paper's
+    refinement), a column whose cumulative stop-on-void count exceeds
+    the golden column's saw a protocol-illegal stop land on a void
+    token — the fault is classified ``detected`` (highest verdict
+    priority) instead of masked/deadlock/timeout.  Validity-blind
+    variants have no such invariant, so ``strict`` is a no-op there,
+    exactly as the LID monitor never trips under ``CARLONI``.
 
     ``jobs`` is accepted for CLI symmetry and recorded in the
     execution header, but the engine itself is already data-parallel:
@@ -634,59 +669,89 @@ def skeleton_campaign(
     ]
 
     backend_name = "scalar"
+    strict_detect = strict and variant.discards_void_stops
     if expressible or payload_specs:
-        source_patterns = [dict(baseline_source)] + [
-            src for _spec, src, _snk in expressible]
-        sink_patterns = [dict(baseline_sink)] + [
-            snk for _spec, _src, snk in expressible]
-        handle = select(
-            graph, variant=variant, batch=len(expressible) + 1,
-            source_patterns=source_patterns, sink_patterns=sink_patterns,
-            detect_ambiguity=False, backend=backend,
-            telemetry=telemetry)
-        backend_name = handle.name
-        tail = tail_window(cycles)
-        handle.run_cycles(cycles - tail)
-        head_fires = handle.fire_counts()
-        handle.run_cycles(tail)
-        fires = handle.fire_counts()
-        accepts = handle.accept_counts()
-        tail_fires = fires - head_fires
+        # The bit-plane engine is fastest at machine-word batches, so
+        # chunk the fault list into word-sized plane groups (each with
+        # its own golden plane 0 — identical dynamics in every group,
+        # so the classification cannot depend on the chunking).  The
+        # other backends take the whole list as one batch.
+        if backend == "bitsim" and expressible:
+            from ..exec import plane_chunks
 
-        golden_fires = [int(x) for x in fires[:, 0]]
-        golden_accepts = [int(x) for x in accepts[:, 0]]
-        golden_tail = int(tail_fires[:, 0].sum())
-        for column, (spec, _src, _snk) in enumerate(expressible,
-                                                    start=1):
-            col_fires = [int(x) for x in fires[:, column]]
-            col_accepts = [int(x) for x in accepts[:, column]]
-            col_tail = int(tail_fires[:, column].sum())
-            if col_fires == golden_fires and col_accepts == golden_accepts:
-                verdict, detail = "masked", (
-                    "fire and accept counts match the golden column")
-            elif col_tail == 0 and golden_tail > 0:
-                verdict, detail = "deadlock", (
-                    f"no shell fired in the tail window (golden fired "
-                    f"{golden_tail} times)")
-            else:
-                verdict, detail = "timeout", (
-                    f"activity diverged from golden "
-                    f"(fires {sum(col_fires)} vs {sum(golden_fires)}, "
-                    f"accepts {sum(col_accepts)} vs "
-                    f"{sum(golden_accepts)}); shells still live")
-            results.append(ExperimentResult(spec, verdict, detail,
-                                            True, 0))
+            groups = plane_chunks(expressible)
+        else:
+            groups = [expressible]
+        accept_hist = None
+        sink_index: Dict[str, int] = {}
+        tail = tail_window(cycles)
+        for group in groups:
+            source_patterns = [dict(baseline_source)] + [
+                src for _spec, src, _snk in group]
+            sink_patterns = [dict(baseline_sink)] + [
+                snk for _spec, _src, snk in group]
+            handle = select(
+                graph, variant=variant, batch=len(group) + 1,
+                source_patterns=source_patterns,
+                sink_patterns=sink_patterns,
+                detect_ambiguity=False, backend=backend,
+                telemetry=telemetry)
+            backend_name = handle.name
+            handle.run_cycles(cycles - tail)
+            head_fires = handle.fire_counts()
+            handle.run_cycles(tail)
+            fires = handle.fire_counts()
+            accepts = handle.accept_counts()
+            tail_fires = fires - head_fires
+            voids = handle.void_stop_counts()
+
+            golden_fires = [int(x) for x in fires[:, 0]]
+            golden_accepts = [int(x) for x in accepts[:, 0]]
+            golden_tail = int(tail_fires[:, 0].sum())
+            golden_voids = int(voids[0])
+            for column, (spec, _src, _snk) in enumerate(group, start=1):
+                col_fires = [int(x) for x in fires[:, column]]
+                col_accepts = [int(x) for x in accepts[:, column]]
+                col_tail = int(tail_fires[:, column].sum())
+                col_voids = int(voids[column])
+                if strict_detect and col_voids > golden_voids:
+                    verdict, detail = "detected", (
+                        f"strict stop-shape monitor: "
+                        f"{col_voids - golden_voids} stop(s) landed on "
+                        f"void tokens beyond the golden run")
+                elif (col_fires == golden_fires
+                        and col_accepts == golden_accepts):
+                    verdict, detail = "masked", (
+                        "fire and accept counts match the golden column")
+                elif col_tail == 0 and golden_tail > 0:
+                    verdict, detail = "deadlock", (
+                        f"no shell fired in the tail window (golden "
+                        f"fired {golden_tail} times)")
+                else:
+                    verdict, detail = "timeout", (
+                        f"activity diverged from golden "
+                        f"(fires {sum(col_fires)} vs "
+                        f"{sum(golden_fires)}, "
+                        f"accepts {sum(col_accepts)} vs "
+                        f"{sum(golden_accepts)}); shells still live")
+                results.append(ExperimentResult(spec, verdict, detail,
+                                                True, 0))
+            if accept_hist is None:
+                # Golden accepts are identical in every group; keep the
+                # first group's history for payload classification.
+                accept_hist = handle.accept_history()
+                sink_index = {name: i
+                              for i, name in enumerate(handle.sink_names)}
 
         if payload_specs:
             # Payload corruption is control-transparent: classify it
             # from the golden column's per-cycle accepts (column 0).
-            accept_hist = handle.accept_history()
-            sink_index = {name: i
-                          for i, name in enumerate(handle.sink_names)}
             for spec, sink_name in payload_specs:
                 accepts_at = accept_hist[:, sink_index[sink_name], 0]
-                hits = [c for c in range(cycles)
-                        if spec.active(c) and accepts_at[c]]
+                stop_at = cycles if spec.stuck else min(
+                    cycles, spec.cycle + spec.duration)
+                hits = [c for c in range(spec.cycle, stop_at)
+                        if accepts_at[c]]
                 if hits:
                     verdict = "silent-corruption"
                     detail = (f"sink {sink_name!r} consumed a corrupted "
@@ -707,7 +772,7 @@ def skeleton_campaign(
         topology=graph.name, variant=str(variant), engine="skeleton",
         backend=backend_name, cycles=cycles, seed=seed,
         classes=tuple(classes), exhaustive=exhaustive, samples=samples,
-        window=window, strict=False, results=results, skipped=skipped,
-        execution=_execution_header(jobs, 1, cache))
+        window=window, strict=strict, results=results, skipped=skipped,
+        execution=_execution_header(backend_name, jobs, 1, cache))
     _record_verdicts(telemetry, report)
     return report

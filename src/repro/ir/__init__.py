@@ -32,6 +32,7 @@ from .lowering import (
     lower,
     structural_fingerprint,
 )
+from .planes import pack_planes, plane_words, unpack_planes
 from .passes import (
     Pass,
     PassPipeline,
@@ -66,6 +67,9 @@ __all__ = [
     "equalize_pass",
     "insert_relay_pass",
     "lower",
+    "pack_planes",
+    "plane_words",
     "promote_half_relays_pass",
     "structural_fingerprint",
+    "unpack_planes",
 ]

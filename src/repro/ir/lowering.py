@@ -374,10 +374,20 @@ def _fingerprint(nodes: Tuple[IRNode, ...],
 
 
 def _structure_signature(graph: SystemGraph) -> Tuple:
-    """Cheap O(V+E) identity guard for the per-graph memo."""
+    """Cheap O(V+E) identity guard for the per-graph memo.
+
+    Behavioural callables participate (by identity): the lowered
+    :class:`IRNode` tables capture ``pearl_factory``/``stream_factory``/
+    ``stop_script``, so swapping one in place must invalidate the memo
+    exactly like an ``edge.relays`` edit — otherwise a later
+    ``elaborate()`` builds endpoints from stale callables.  The
+    *structural* fingerprint deliberately keeps excluding them (see
+    :func:`structural_fingerprint`).
+    """
     return (
         graph.name,
-        tuple((n.name, n.kind, n.queue_depth)
+        tuple((n.name, n.kind, n.queue_depth, n.pearl_factory,
+               n.stream_factory, n.stop_script)
               for n in graph.nodes.values()),
         tuple((e.src, e.dst, e.src_port, e.dst_port, tuple(e.relays))
               for e in graph.edges),

@@ -56,7 +56,8 @@ class ProtocolVariant(enum.Enum):
         ``repro.skeleton.backend.select`` checks these against what an
         engine implements instead of hard-coding variant lists.
         """
-        tags = {"skeleton-scalar", "skeleton-vectorized"}
+        tags = {"skeleton-scalar", "skeleton-vectorized",
+                "skeleton-bitsim"}
         if self.discards_void_stops:
             tags.add("discards-void-stops")
         return frozenset(tags)

@@ -1,11 +1,14 @@
 """Skeleton (valid/stop-only) simulation, periodicity and deadlock tools."""
 
 from .backend import (
+    BitplaneBackend,
     ScalarBackend,
     VectorizedBackend,
+    bitsim_supported,
     select,
     vectorized_supported,
 )
+from .bitsim import BitplaneSkeletonSim
 from .deadlock import DeadlockVerdict, check_deadlock, is_deadlock_free_class
 from .fast import CostComparison, compare_cost, measure_throughput, system_throughput
 from .periodicity import (
@@ -19,12 +22,15 @@ from .vectorized import BatchSkeletonSim
 
 __all__ = [
     "BatchSkeletonSim",
+    "BitplaneBackend",
+    "BitplaneSkeletonSim",
     "CostComparison",
     "DeadlockVerdict",
     "ScalarBackend",
     "SkeletonResult",
     "SkeletonSim",
     "VectorizedBackend",
+    "bitsim_supported",
     "check_deadlock",
     "compare_cost",
     "detect_period",

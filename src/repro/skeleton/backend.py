@@ -1,17 +1,20 @@
 """Unified backend selection for skeleton simulation.
 
-Two engines implement the exact same valid/stop semantics:
+Three engines implement the exact same valid/stop semantics:
 
 * :class:`~repro.skeleton.sim.SkeletonSim` — the scalar reference,
   one Python object per instance;
 * :class:`~repro.skeleton.vectorized.BatchSkeletonSim` — numpy
-  bit-matrix state, all instances of a sweep as columns.
+  bit-matrix state, all instances of a sweep as columns;
+* :class:`~repro.skeleton.bitsim.BitplaneSkeletonSim` — SBFI-style
+  bit planes, one experiment per bit of a Python integer (the
+  fault-campaign engine).
 
 :func:`select` hides the choice: callers describe *what* to simulate
 (a topology, a protocol variant, and one script set per instance) and
 get back a handle with a backend-independent interface.  The
 differential conformance suite (``tests/skeleton/
-test_backend_conformance.py``) is the contract that keeps the two
+test_backend_conformance.py``) is the contract that keeps the
 engines interchangeable — any future engine must join that suite
 before :func:`select` may return it.
 
@@ -19,7 +22,10 @@ Selection policy: the vectorized engine is used whenever numpy is
 importable, the variant advertises the ``skeleton-vectorized``
 capability (see :attr:`ProtocolVariant.capabilities`) and the sweep is
 wider than one instance; otherwise the scalar engine is fanned out.
-``backend="scalar"``/``"vectorized"`` forces the choice.
+``backend="scalar"``/``"vectorized"``/``"bitsim"`` forces the choice —
+the bit-plane engine is opt-in (campaigns pick it explicitly; it wins
+when the batch is many scripts over one topology, the fault-campaign
+shape, but has no numpy-style per-column vector accessors).
 """
 
 from __future__ import annotations
@@ -42,6 +48,24 @@ def vectorized_supported(graph: SystemGraph,
     """
     if "skeleton-vectorized" not in variant.capabilities:
         return False, f"variant {variant} lacks 'skeleton-vectorized'"
+    try:
+        import numpy  # noqa: F401
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        return False, "numpy is not importable"
+    return True, ""
+
+
+def bitsim_supported(graph: SystemGraph,
+                     variant: ProtocolVariant) -> Tuple[bool, str]:
+    """Can the bit-plane engine run this (graph, variant)?
+
+    Returns ``(supported, reason)``; *reason* explains a refusal.  The
+    engine's state is plain Python integers, but the boundary accessors
+    (``accept_history`` et al.) return numpy arrays to stay
+    interchangeable with the other backends.
+    """
+    if "skeleton-bitsim" not in variant.capabilities:
+        return False, f"variant {variant} lacks 'skeleton-bitsim'"
     try:
         import numpy  # noqa: F401
     except ImportError:  # pragma: no cover - numpy is a hard dep
@@ -72,9 +96,9 @@ def _infer_batch(batch: Optional[int], *pattern_seqs: Patterns) -> int:
 
 
 class _Backend:
-    """Backend-independent interface shared by both handles."""
+    """Backend-independent interface shared by all handles."""
 
-    #: "scalar" or "vectorized"
+    #: "scalar", "vectorized" or "bitsim"
     name: str
 
     def run(self, max_cycles: int = 10_000) -> List[SkeletonResult]:
@@ -104,6 +128,16 @@ class _Backend:
 
     def stop_assertion_counts(self):
         """(batch,) cumulative asserted-stop-wire counts."""
+        raise NotImplementedError
+
+    def void_stop_counts(self):
+        """(batch,) cumulative stops asserted on **void** tokens.
+
+        The paper-claim locality counter; strict fault campaigns use
+        the per-column excess over the golden column as the "detected"
+        signal (the refined protocol's stop-shape monitor raises on
+        stop-on-void).
+        """
         raise NotImplementedError
 
     def metrics_snapshots(self) -> List[Dict]:
@@ -198,6 +232,12 @@ class ScalarBackend(_Backend):
         return np.array([sim.stop_assertions_total for sim in self.sims],
                         dtype=np.int64)
 
+    def void_stop_counts(self):
+        import numpy as np
+
+        return np.array([sim.stops_on_voids_total for sim in self.sims],
+                        dtype=np.int64)
+
     def metrics_snapshots(self) -> List[Dict]:
         return [sim.metrics_snapshot() for sim in self.sims]
 
@@ -241,6 +281,75 @@ class VectorizedBackend(_Backend):
     def stop_assertion_counts(self):
         return self.sim.stop_assertions_total.copy()
 
+    def void_stop_counts(self):
+        return self.sim.stops_on_voids_total.copy()
+
+    def metrics_snapshots(self) -> List[Dict]:
+        return [self.sim.metrics_snapshot(i) for i in range(self.batch)]
+
+
+class BitplaneBackend(_Backend):
+    """A :class:`BitplaneSkeletonSim` behind the shared interface.
+
+    State lives in Python integers (bit *p* = instance *p*); the
+    accessors below unpack the vertical counters into the same numpy
+    shapes the other backends return, so callers never see the plane
+    layout.
+    """
+
+    name = "bitsim"
+
+    def __init__(self, graph: SystemGraph, variant: ProtocolVariant,
+                 source_patterns: List[Dict], sink_patterns: List[Dict],
+                 fixpoint: str, detect_ambiguity: bool,
+                 telemetry=None):
+        from .bitsim import BitplaneSkeletonSim
+
+        self.graph = graph
+        self.batch = len(sink_patterns)
+        self.sim = BitplaneSkeletonSim(
+            graph, sink_patterns, source_patterns=source_patterns,
+            variant=variant, fixpoint=fixpoint,
+            detect_ambiguity=detect_ambiguity, telemetry=telemetry)
+        self.shell_names = self.sim.shell_names
+        self.source_names = self.sim.source_names
+        self.sink_names = self.sim.sink_names
+
+    def run(self, max_cycles: int = 10_000) -> List[SkeletonResult]:
+        return self.sim.run_to_period(max_cycles=max_cycles)
+
+    def run_cycles(self, cycles: int) -> None:
+        self.sim.run(cycles)
+
+    def fire_counts(self):
+        import numpy as np
+
+        return np.array(
+            [ctr.values(self.batch) for ctr in self.sim.shell_fired],
+            dtype=np.int64).reshape(len(self.shell_names), self.batch)
+
+    def accept_counts(self):
+        import numpy as np
+
+        return np.array(
+            [ctr.values(self.batch) for ctr in self.sim.sink_accepted],
+            dtype=np.int64).reshape(len(self.sink_names), self.batch)
+
+    def accept_history(self):
+        return self.sim.accept_history()
+
+    def stop_assertion_counts(self):
+        import numpy as np
+
+        return np.array(self.sim.stop_assertions.values(self.batch),
+                        dtype=np.int64)
+
+    def void_stop_counts(self):
+        import numpy as np
+
+        return np.array(self.sim.stops_on_voids.values(self.batch),
+                        dtype=np.int64)
+
     def metrics_snapshots(self) -> List[Dict]:
         return [self.sim.metrics_snapshot(i) for i in range(self.batch)]
 
@@ -270,7 +379,8 @@ def select(
         Either one mapping (applied to every instance) or one mapping
         per instance — the sweep dimensions.
     backend:
-        ``"auto"`` (default policy), ``"scalar"`` or ``"vectorized"``.
+        ``"auto"`` (default policy), ``"scalar"``, ``"vectorized"``
+        or ``"bitsim"`` (opt-in bit-plane engine; never auto-picked).
     telemetry:
         Optional :class:`repro.obs.Telemetry` bundle.  Metric
         accumulation is per-instance on either engine; event streams
@@ -279,7 +389,7 @@ def select(
     Returns a handle with ``run()`` / ``run_cycles()`` / count accessors
     that behave identically regardless of the engine chosen.
     """
-    if backend not in ("auto", "scalar", "vectorized"):
+    if backend not in ("auto", "scalar", "vectorized", "bitsim"):
         raise ValueError(f"unknown backend {backend!r}")
     width = _infer_batch(batch, source_patterns, sink_patterns)
     if width < 1:
@@ -287,11 +397,18 @@ def select(
     sources = _normalize(source_patterns, width)
     sinks = _normalize(sink_patterns, width)
 
-    supported, reason = vectorized_supported(graph, variant)
-    if backend == "vectorized" and not supported:
-        raise ValueError(f"vectorized backend unavailable: {reason}")
-    use_vectorized = (backend == "vectorized"
-                      or (backend == "auto" and supported and width > 1))
-    cls = VectorizedBackend if use_vectorized else ScalarBackend
+    if backend == "bitsim":
+        supported, reason = bitsim_supported(graph, variant)
+        if not supported:
+            raise ValueError(f"bitsim backend unavailable: {reason}")
+        cls = BitplaneBackend
+    else:
+        supported, reason = vectorized_supported(graph, variant)
+        if backend == "vectorized" and not supported:
+            raise ValueError(f"vectorized backend unavailable: {reason}")
+        use_vectorized = (backend == "vectorized"
+                          or (backend == "auto" and supported
+                              and width > 1))
+        cls = VectorizedBackend if use_vectorized else ScalarBackend
     return cls(graph, variant, sources, sinks, fixpoint, detect_ambiguity,
                telemetry=telemetry)

@@ -1,0 +1,676 @@
+"""Bit-parallel (SBFI-style) batch skeleton simulation.
+
+The valid/stop skeleton is a pure boolean transition system, so a
+whole fault campaign fits the classic single-bit-fault-injection trick:
+pack one independent experiment per **bit plane** of a Python integer
+and advance every plane with one bitwise AND/OR/NOT expression per
+signal per cycle.  An EXP-R1-style campaign of N boundary faults turns
+from N scalar simulations into ~N/64 engine runs (``repro.exec.
+plane_chunks`` keeps batches word-sized; the engine itself accepts
+arbitrary plane counts — Python integers are arbitrary-width).
+
+Layout (see :mod:`repro.ir.planes` for the packing helpers):
+
+* every hop valid, hop stop and protocol register is **one int** whose
+  bit *p* is that signal's value in experiment plane *p*;
+* plane 0 is conventionally the golden (fault-free) run of a campaign
+  batch; verdicts are extracted per plane against it;
+* per-plane counters (stop assertions, stops-on-voids, fires, accepts)
+  are **vertical counters** — bit-sliced binary counters whose slice
+  *i* holds bit *i* of every plane's count, so one ripple-carry ``add``
+  per word keeps exact per-plane totals without a per-plane loop.
+
+Bit-exactness against :class:`~repro.skeleton.sim.SkeletonSim` is the
+contract: per plane, every update below evaluates the same monotone
+equations in the same order as the scalar engine (a bitwise
+Gauss-Seidel pass is the scalar pass applied to all planes at once, and
+chaotic iteration of a monotone system from the same start converges to
+the same least/greatest fixpoint), so registers, wires and counters
+match cycle by cycle.  The three-way differential suite in
+``tests/skeleton/test_backend_conformance.py`` enforces it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..graph.model import SystemGraph
+from ..ir import (
+    RS_FULL as _RS_FULL,
+    RS_HALF as _RS_HALF,
+    RS_HALF_REG as _RS_HALF_REG,
+    SHELL as _SHELL,
+    SRC as _SRC,
+    LoweredSystem,
+    lower,
+    pack_planes,
+)
+from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
+from .sim import SkeletonResult
+
+PatternMap = Mapping[str, Sequence[bool]]
+
+__all__ = ["BitplaneSkeletonSim", "_VerticalCounter"]
+
+
+class _VerticalCounter:
+    """Bit-sliced per-plane counter (SBFI "vertical counter").
+
+    ``slices[i]`` holds bit *i* of every plane's count.  ``add(word)``
+    increments exactly the planes whose bit is set in *word* via a
+    ripple carry across the slices — amortized O(1) integer ops per
+    add (the classic binary-counter argument), never a per-plane loop.
+    """
+
+    __slots__ = ("slices",)
+
+    def __init__(self):
+        self.slices: List[int] = []
+
+    def add(self, word: int) -> None:
+        slices = self.slices
+        for i in range(len(slices)):
+            if not word:
+                return
+            carry = slices[i] & word
+            slices[i] ^= word
+            word = carry
+        if word:
+            slices.append(word)
+
+    def value(self, plane: int) -> int:
+        total = 0
+        for i, word in enumerate(self.slices):
+            if (word >> plane) & 1:
+                total += 1 << i
+        return total
+
+    def values(self, planes: int) -> List[int]:
+        return [self.value(p) for p in range(planes)]
+
+
+class BitplaneSkeletonSim:
+    """Simulate *batch* skeleton instances packed into bit planes.
+
+    Same constructor surface as :class:`~repro.skeleton.vectorized.
+    BatchSkeletonSim`: one sink/source script mapping per plane, both
+    protocol variants, every relay-station kind, least/greatest
+    fixpoints and ambiguity detection.
+    """
+
+    def __init__(
+        self,
+        graph: "SystemGraph | LoweredSystem",
+        sink_patterns: Optional[Sequence[PatternMap]] = None,
+        *,
+        source_patterns: Optional[Sequence[PatternMap]] = None,
+        batch: Optional[int] = None,
+        variant: ProtocolVariant = DEFAULT_VARIANT,
+        fixpoint: str = "least",
+        detect_ambiguity: bool = True,
+        telemetry=None,
+    ):
+        if fixpoint not in ("least", "greatest"):
+            raise ValueError("fixpoint must be 'least' or 'greatest'")
+        widths = {len(seq) for seq in (sink_patterns, source_patterns)
+                  if seq is not None}
+        if batch is not None:
+            widths.add(batch)
+        if len(widths) > 1:
+            raise ValueError(f"inconsistent batch widths: {sorted(widths)}")
+        if not widths:
+            raise ValueError("need sink_patterns, source_patterns or batch")
+        self.batch = widths.pop()
+        if self.batch == 0:
+            raise ValueError("need at least one instance")
+
+        self.variant = variant
+        self.fixpoint = fixpoint
+        self.detect_ambiguity = detect_ambiguity
+        self.telemetry = telemetry
+        self._metrics_on = (telemetry is not None
+                            and telemetry.metrics is not None)
+        self._events_on = (telemetry is not None
+                           and telemetry.events is not None)
+
+        lowered = graph if isinstance(graph, LoweredSystem) else lower(graph)
+        self.lowered = lowered.skeleton_view()
+        self.graph = self.lowered.graph
+        self.shell_names = list(self.lowered.shell_names)
+        self.source_names = list(self.lowered.source_names)
+        self.sink_names = list(self.lowered.sink_names)
+        self._build_tables()
+        self._build_scripts(source_patterns, sink_patterns)
+        self.reset()
+
+    # -- construction -------------------------------------------------------
+
+    def _build_tables(self) -> None:
+        low = self.lowered
+        self._n_hops = len(low.hops)
+        self._n_shells = len(self.shell_names)
+        self._is_casu = self.variant.discards_void_stops
+        self._guard = self._n_hops + self._n_shells + 2
+        self._may_be_ambiguous = low.may_be_ambiguous
+        self._mask = (1 << self.batch) - 1
+
+        self.shell_in_hops = [list(x) for x in low.shell_in_hops]
+        self.src_out_hops = [list(x) for x in low.source_out_hops]
+        self.sink_in_hop = list(low.sink_in_hop)
+        rs_kinds = [r.tag for r in low.relays]
+        self._n_rs = len(rs_kinds)
+        rs_in = list(low.relay_in_hop)
+        rs_out = list(low.relay_out_hop)
+
+        # Same flat dispatch tables as the scalar engine.
+        self._src_hops = [(h.index, h.producer_id) for h in low.hops
+                          if h.producer_kind == _SRC]
+        self._shellreg_hops = [(h.index, h.producer_reg) for h in low.hops
+                               if h.producer_kind == _SHELL]
+        self._rs_hops = [(h.index, h.producer_id) for h in low.hops
+                         if h.producer_kind not in (_SRC, _SHELL)]
+        self._full_fixed_hops = [
+            (rs_id, rs_in[rs_id]) for rs_id, kind in enumerate(rs_kinds)
+            if kind == _RS_FULL]
+        self._halfreg_fixed_hops = [
+            (rs_id, rs_in[rs_id]) for rs_id, kind in enumerate(rs_kinds)
+            if kind == _RS_HALF_REG]
+        self._sink_fixed_hops = [
+            (sink_id, hop_in)
+            for sink_id, hop_in in enumerate(self.sink_in_hop)
+            if hop_in is not None]
+        self._half_inout = [
+            (rs_id, rs_in[rs_id], rs_out[rs_id])
+            for rs_id, kind in enumerate(rs_kinds) if kind == _RS_HALF]
+        self._rs_inout = [
+            (rs_id, kind, rs_in[rs_id], rs_out[rs_id])
+            for rs_id, kind in enumerate(rs_kinds)]
+        self._shell_out_pairs = [
+            [(hop_out, low.hops[hop_out].producer_reg)
+             for hop_out in outs]
+            for outs in low.shell_out_hops]
+        self._n_regs = len(low.shell_regs)
+        self._internal_hops = [
+            h.index for h in low.hops
+            if h.consumer_kind in (_SHELL, _RS_HALF)]
+
+    def _build_scripts(self, source_patterns, sink_patterns) -> None:
+        b = self.batch
+
+        def _patterns(names, per_instance, default):
+            """Per name: one script tuple per plane (validated)."""
+            known = set(names)
+            instances = ([(m or {}) for m in per_instance]
+                         if per_instance is not None else [{}] * b)
+            for mapping in instances:
+                for name in mapping:
+                    if name not in known:
+                        raise ValueError(f"unknown script target {name!r}")
+            table = []
+            for name in names:
+                planes = []
+                for mapping in instances:
+                    pattern = mapping.get(name)
+                    if pattern is None:
+                        planes.append(default)
+                    else:
+                        # Truthiness is all packing ever reads, so a
+                        # plain tuple() keeps campaign-sized batches
+                        # from paying a per-element bool() pass.
+                        pattern = tuple(pattern)
+                        if not pattern:
+                            raise ValueError("empty script pattern")
+                        planes.append(pattern)
+                table.append(planes)
+            return table
+
+        self._src_pats = _patterns(self.source_names, source_patterns,
+                                   (True,))
+        self._sink_pats = _patterns(self.sink_names, sink_patterns,
+                                    (False,))
+
+        # Constant-source fast path: a length-1 pattern never advances
+        # its phase, so the presented word is a compile-time constant.
+        self._src_const: List[Optional[int]] = []
+        for planes in self._src_pats:
+            if all(len(p) == 1 for p in planes):
+                self._src_const.append(
+                    pack_planes([p[0] for p in planes]))
+            else:
+                self._src_const.append(None)
+
+        # Sink stops are cycle-indexed: expand each sink's per-plane
+        # schedule to one plane word per cycle over the lcm span (the
+        # vectorized engine's gather, done once).  Fall back to a
+        # per-cycle pack when the lcm is unreasonable.
+        self._sink_sched: List[Optional[List[int]]] = []
+        for planes in self._sink_pats:
+            span = math.lcm(*(len(p) for p in planes))
+            if span <= 4096:
+                self._sink_sched.append([
+                    pack_planes([p[c % len(p)] for p in planes])
+                    for c in range(span)])
+            else:
+                self._sink_sched.append(None)
+
+        # Per-plane sink phase modulus (mirrors scalar sink_phase_mod).
+        self._sink_mod = [
+            math.lcm(*(len(planes[p]) for planes in self._sink_pats))
+            if self._sink_pats else 1
+            for p in range(b)]
+
+    # -- state --------------------------------------------------------------
+
+    def reset(self) -> None:
+        b = self.batch
+        self.cycle = 0
+        # Shell out registers start VALID (paper footnote 1); relay
+        # stations start VOID — identical to the scalar engine.
+        self.shell_reg = [self._mask] * self._n_regs
+        self.rs_main = [0] * self._n_rs
+        self.rs_aux = [0] * self._n_rs
+        self.rs_stop_reg = [0] * self._n_rs
+        self.src_phase = [[0] * b for _ in self.source_names]
+        self.ambiguous_cycles: List[List[int]] = [[] for _ in range(b)]
+        self._fire_history: List[List[int]] = []
+        self._accept_history: List[List[int]] = []
+        self.shell_fired = [_VerticalCounter() for _ in self.shell_names]
+        self.sink_accepted = [_VerticalCounter() for _ in self.sink_names]
+        self.stop_assertions = _VerticalCounter()
+        self.stops_on_voids = _VerticalCounter()
+        self.internal_stops_on_voids = _VerticalCounter()
+        # Telemetry accumulators (updated only when metrics are on).
+        self.hop_stall_cycles = [_VerticalCounter()
+                                 for _ in range(self._n_hops)]
+        self.rs_occupancy_counts = [
+            [_VerticalCounter() for _level in range(3)]
+            for _ in range(self._n_rs)]
+
+    def state_keys(self) -> List[Tuple]:
+        """One hashable snapshot per plane (mirrors scalar state())."""
+        words = (self.shell_reg + self.rs_main + self.rs_aux
+                 + self.rs_stop_reg)
+        cycle = self.cycle
+        keys = []
+        for p in range(self.batch):
+            packed = 0
+            for word in words:
+                packed = (packed << 1) | ((word >> p) & 1)
+            keys.append((
+                packed,
+                tuple(phase[p] for phase in self.src_phase),
+                cycle % self._sink_mod[p],
+            ))
+        return keys
+
+    # -- per-cycle evaluation ------------------------------------------------
+
+    def _presented_words(self) -> List[int]:
+        presented = []
+        for j, planes in enumerate(self._src_pats):
+            const = self._src_const[j]
+            if const is not None:
+                presented.append(const)
+                continue
+            phases = self.src_phase[j]
+            word = 0
+            for p, pattern in enumerate(planes):
+                if pattern[phases[p] % len(pattern)]:
+                    word |= 1 << p
+            presented.append(word)
+        return presented
+
+    def _sink_stop_word(self, sink_id: int) -> int:
+        sched = self._sink_sched[sink_id]
+        if sched is not None:
+            return sched[self.cycle % len(sched)]
+        cycle = self.cycle
+        word = 0
+        for p, pattern in enumerate(self._sink_pats[sink_id]):
+            if pattern[cycle % len(pattern)]:
+                word |= 1 << p
+        return word
+
+    def _forward_valids(self, presented: List[int]) -> List[int]:
+        valid = [0] * self._n_hops
+        for hop_id, src_id in self._src_hops:
+            valid[hop_id] = presented[src_id]
+        shell_reg = self.shell_reg
+        for hop_id, reg in self._shellreg_hops:
+            valid[hop_id] = shell_reg[reg]
+        rs_main = self.rs_main
+        for hop_id, rs_id in self._rs_hops:
+            valid[hop_id] = rs_main[rs_id]
+        return valid
+
+    def _shell_fire_word(self, shell_id: int, valid: List[int],
+                         stop: List[int]) -> int:
+        word = self._mask
+        for hop_in in self.shell_in_hops[shell_id]:
+            word &= valid[hop_in]
+        if not word:
+            return 0
+        shell_reg = self.shell_reg
+        if self._is_casu:
+            for hop_out, reg in self._shell_out_pairs[shell_id]:
+                word &= ~(stop[hop_out] & shell_reg[reg])
+        else:
+            for hop_out, _reg in self._shell_out_pairs[shell_id]:
+                word &= ~stop[hop_out]
+        return word
+
+    def _settle_stops(self, valid: List[int], mode: str) -> List[int]:
+        """Per-plane fixpoint of the monotone stop equations.
+
+        The scalar engine's in-place (Gauss-Seidel) pass, on plane
+        words: every plane sees exactly the scalar update sequence, so
+        each converges to the same least/greatest fixpoint within the
+        same guard; planes that converge early are at a fixpoint and
+        extra passes leave them unchanged.
+        """
+        mask = self._mask
+        stop = [mask if mode == "greatest" else 0] * self._n_hops
+        # Registered / scripted stops are fixed regardless of mode.
+        rs_stop_reg = self.rs_stop_reg
+        rs_main = self.rs_main
+        for rs_id, hop_in in self._full_fixed_hops:
+            stop[hop_in] = rs_stop_reg[rs_id]
+        for rs_id, hop_in in self._halfreg_fixed_hops:
+            stop[hop_in] = rs_main[rs_id]
+        for sink_id, hop_in in self._sink_fixed_hops:
+            stop[hop_in] = self._sink_stop_word(sink_id)
+
+        changed = True
+        guard = self._guard
+        is_casu = self._is_casu
+        half_inout = self._half_inout
+        shell_in_hops = self.shell_in_hops
+        shell_fire = self._shell_fire_word
+        n_shells = self._n_shells
+        while changed and guard > 0:
+            changed = False
+            guard -= 1
+            # Transparent half relay stations.
+            for rs_id, hop_in, hop_out in half_inout:
+                if is_casu:
+                    value = stop[hop_out] & rs_main[rs_id]
+                else:
+                    value = stop[hop_out]
+                if stop[hop_in] != value:
+                    stop[hop_in] = value
+                    changed = True
+            # Shells: stall propagates from outputs to all inputs.
+            for shell_id in range(n_shells):
+                stalled = shell_fire(shell_id, valid, stop) ^ mask
+                for hop_in in shell_in_hops[shell_id]:
+                    value = stalled & valid[hop_in] if is_casu else stalled
+                    if stop[hop_in] != value:
+                        stop[hop_in] = value
+                        changed = True
+        return stop
+
+    def _apply_edge(self, valid: List[int], stop: List[int],
+                    fires: List[int]) -> None:
+        """Register updates (mirror SkeletonSim._apply_edge per plane)."""
+        shell_reg = self.shell_reg
+        for shell_id, fire in enumerate(fires):
+            for hop_out, reg in self._shell_out_pairs[shell_id]:
+                # fired -> True; else held = reg and stop.
+                shell_reg[reg] = fire | (shell_reg[reg] & stop[hop_out])
+
+        mask = self._mask
+        rs_main = self.rs_main
+        rs_aux = self.rs_aux
+        rs_stop_reg = self.rs_stop_reg
+        for rs_id, kind, hop_in, hop_out in self._rs_inout:
+            stop_in = stop[hop_out]
+            incoming = valid[hop_in]
+            main = rs_main[rs_id]
+            # slot_consumed(main, stop_in) per plane, both variants.
+            consumed = (~main | ~stop_in) & mask
+            not_consumed = consumed ^ mask
+            if kind == _RS_FULL:
+                aux = rs_aux[rs_id]
+                stop_reg = rs_stop_reg[rs_id]
+                accepted = incoming & ~stop_reg
+                queued = aux | accepted
+                rs_main[rs_id] = (consumed & queued) | (not_consumed & main)
+                rs_aux[rs_id] = not_consumed & queued
+                rs_stop_reg[rs_id] = not_consumed & (
+                    stop_reg | (accepted & ~aux))
+            else:  # half variants share the single-register update
+                accepted = incoming & ~stop[hop_in]
+                rs_main[rs_id] = ((consumed & accepted)
+                                  | (not_consumed & main))
+
+    def step(self) -> Tuple[List[int], List[int]]:
+        """Advance all planes one cycle; returns (fire, accept) words."""
+        presented = self._presented_words()
+        valid = self._forward_valids(presented)
+        stop = self._settle_stops(valid, self.fixpoint)
+        if self.detect_ambiguity and self._may_be_ambiguous:
+            other = "greatest" if self.fixpoint == "least" else "least"
+            alt = self._settle_stops(valid, other)
+            differs = 0
+            for a, s in zip(alt, stop):
+                differs |= a ^ s
+            if differs:
+                cycle = self.cycle
+                for p in range(self.batch):
+                    if (differs >> p) & 1:
+                        self.ambiguous_cycles[p].append(cycle)
+                if self._events_on:
+                    self.telemetry.events.emit(
+                        "fixpoint", "ambiguous", cycle,
+                        instances=[p for p in range(self.batch)
+                                   if (differs >> p) & 1])
+
+        collect = self._metrics_on
+        mask = self._mask
+        stop_ctr = self.stop_assertions
+        void_ctr = self.stops_on_voids
+        stall_ctrs = self.hop_stall_cycles
+        for hop_id, word in enumerate(stop):
+            if word:
+                stop_ctr.add(word)
+                void_ctr.add(word & ~valid[hop_id] & mask)
+            if collect:
+                stall_ctrs[hop_id].add(word)
+        internal_ctr = self.internal_stops_on_voids
+        for hop_id in self._internal_hops:
+            word = stop[hop_id] & ~valid[hop_id] & mask
+            if word:
+                internal_ctr.add(word)
+
+        fires = [self._shell_fire_word(i, valid, stop)
+                 for i in range(self._n_shells)]
+        accepts = [
+            (valid[hop] & ~stop[hop] & mask) if hop is not None else 0
+            for hop in self.sink_in_hop
+        ]
+
+        self._apply_edge(valid, stop, fires)
+
+        if collect:
+            for rs_id in range(self._n_rs):
+                main = self.rs_main[rs_id]
+                aux = self.rs_aux[rs_id]
+                counters = self.rs_occupancy_counts[rs_id]
+                counters[0].add(~(main | aux) & mask)
+                counters[1].add(main ^ aux)
+                counters[2].add(main & aux)
+        if self._events_on:
+            # Aggregate (batch-wide) per-cycle counts, as the
+            # vectorized engine does.
+            events = self.telemetry.events
+            events.emit("token", "fire", self.cycle,
+                        count=sum(w.bit_count() for w in fires),
+                        instances=self.batch)
+            accepted_total = sum(w.bit_count() for w in accepts)
+            if accepted_total:
+                events.emit("token", "accept", self.cycle,
+                            count=accepted_total)
+            stalled_total = sum(w.bit_count() for w in stop)
+            if stalled_total:
+                events.emit("stall", "assert", self.cycle,
+                            count=stalled_total)
+
+        # Source phase advance: a presented-but-held token freezes the
+        # phase (the environment must re-present it next cycle).
+        for src_id, planes in enumerate(self._src_pats):
+            if self._src_const[src_id] is not None:
+                continue  # length-1 patterns never move their phase
+            held = 0
+            for hop in self.src_out_hops[src_id]:
+                held |= stop[hop]
+            advance = ~(presented[src_id] & held) & mask
+            phases = self.src_phase[src_id]
+            for p in range(self.batch):
+                if (advance >> p) & 1:
+                    phases[p] = (phases[p] + 1) % len(planes[p])
+
+        for ctr, word in zip(self.shell_fired, fires):
+            ctr.add(word)
+        for ctr, word in zip(self.sink_accepted, accepts):
+            ctr.add(word)
+        self._fire_history.append(fires)
+        self._accept_history.append(accepts)
+        self.cycle += 1
+        return fires, accepts
+
+    def run(self, cycles: int) -> None:
+        """Step all planes a fixed number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_to_period(self, max_cycles: int = 10_000) \
+            -> List[SkeletonResult]:
+        """Simulate until every plane is periodic; one result each."""
+        b = self.batch
+        seen: List[Dict[Tuple, int]] = [dict() for _ in range(b)]
+        transient: List[Optional[int]] = [None] * b
+        period: List[Optional[int]] = [None] * b
+        for p, key in enumerate(self.state_keys()):
+            seen[p][key] = 0
+        pending = set(range(b))
+        for _ in range(max_cycles):
+            if not pending:
+                break
+            self.step()
+            keys = self.state_keys()
+            for p in list(pending):
+                key = keys[p]
+                hit = seen[p].get(key)
+                if hit is not None:
+                    transient[p] = hit
+                    period[p] = self.cycle - hit
+                    pending.discard(p)
+                else:
+                    seen[p][key] = self.cycle
+        if pending:
+            raise TimeoutError(
+                f"{self.graph.name}: instances {sorted(pending)} not "
+                f"periodic within {max_cycles} cycles "
+                f"(state space larger than expected)")
+
+        results = []
+        for p in range(b):
+            lo, hi = transient[p], transient[p] + period[p]
+            shell_fires = {
+                name: sum((self._fire_history[c][j] >> p) & 1
+                          for c in range(lo, hi))
+                for j, name in enumerate(self.shell_names)
+            }
+            sink_accepts = {
+                name: sum((self._accept_history[c][j] >> p) & 1
+                          for c in range(lo, hi))
+                for j, name in enumerate(self.sink_names)
+            }
+            deadlocked = bool(self.shell_names) and all(
+                count == 0 for count in shell_fires.values())
+            ambiguous = self.ambiguous_cycles[p]
+            results.append(SkeletonResult(
+                transient=transient[p],
+                period=period[p],
+                shell_fires=shell_fires,
+                sink_accepts=sink_accepts,
+                cycles_run=self.cycle,
+                deadlocked=deadlocked,
+                potential_deadlock_cycle=(ambiguous[0] if ambiguous
+                                          else None),
+            ))
+        return results
+
+    # -- per-plane extraction ------------------------------------------------
+
+    def fire_count(self, shell: int, plane: int) -> int:
+        return self.shell_fired[shell].value(plane)
+
+    def accept_count(self, sink: int, plane: int) -> int:
+        return self.sink_accepted[sink].value(plane)
+
+    def accept_history(self):
+        """(cycles, n_sinks, batch) boolean acceptance history."""
+        import numpy as np
+
+        history = np.zeros(
+            (len(self._accept_history), len(self.sink_names), self.batch),
+            dtype=bool)
+        for c, words in enumerate(self._accept_history):
+            for j, word in enumerate(words):
+                if word:
+                    for p in range(self.batch):
+                        history[c, j, p] = (word >> p) & 1
+        return history
+
+    # -- telemetry ----------------------------------------------------------
+
+    def metrics_snapshot(self, instance: int = 0) -> Dict[str, Dict]:
+        """Canonical metrics snapshot for one plane.
+
+        Bit-identical to :meth:`SkeletonSim.metrics_snapshot` with the
+        same scripts (the conformance suite asserts this).
+        """
+        from ..obs import MetricsRegistry
+
+        if not 0 <= instance < self.batch:
+            raise IndexError(
+                f"instance {instance} out of range for batch "
+                f"{self.batch}")
+        registry = MetricsRegistry()
+        cycles = self.cycle
+        registry.counter("skeleton/cycles").inc(cycles)
+        for i, name in enumerate(self.shell_names):
+            fires = self.shell_fired[i].value(instance)
+            registry.counter(f"skeleton/shell/{name}/fires").inc(fires)
+            registry.gauge(f"skeleton/shell/{name}/fire_rate").set(
+                fires / cycles if cycles else 0.0)
+        for i, name in enumerate(self.sink_names):
+            registry.counter(f"skeleton/sink/{name}/accepts").inc(
+                self.sink_accepted[i].value(instance))
+        registry.counter("skeleton/stop/assertions").inc(
+            self.stop_assertions.value(instance))
+        registry.counter("skeleton/stop/on_voids").inc(
+            self.stops_on_voids.value(instance))
+        registry.counter("skeleton/stop/on_voids_internal").inc(
+            self.internal_stops_on_voids.value(instance))
+        registry.counter("skeleton/fixpoint/ambiguous").inc(
+            len(self.ambiguous_cycles[instance]))
+        if self._metrics_on:
+            hop_names = self.lowered.hop_names
+            for hop_id in range(self._n_hops):
+                registry.counter(
+                    f"skeleton/channel/{hop_names[hop_id]}"
+                    f"/stall_cycles").inc(
+                        self.hop_stall_cycles[hop_id].value(instance))
+            rs_names = self.lowered.relay_names
+            for rs_id in range(self._n_rs):
+                hist = registry.histogram(
+                    f"skeleton/relay/{rs_names[rs_id]}/occupancy")
+                for level in range(3):
+                    count = self.rs_occupancy_counts[rs_id][level] \
+                        .value(instance)
+                    if count:
+                        hist.observe(level, count)
+        return registry.snapshot()

@@ -30,6 +30,7 @@ fixpoint as the scalar engine's in-place iteration.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -288,9 +289,12 @@ class BatchSkeletonSim:
         # schedule can be expanded to a (lcm, b) table indexed by
         # ``cycle % lcm`` — one gather per sink per cycle instead of a
         # 2-d fancy index.  Fall back when the lcm is unreasonable.
+        # lcm in Python ints: np.lcm over int64 silently overflows for
+        # big pattern-length mixes (the scalar engine's math.lcm is
+        # arbitrary-precision, and the state-key modulus must match it).
         self._sink_sched: List[Optional[np.ndarray]] = []
         for k in range(len(self.sink_names)):
-            span = int(np.lcm.reduce(self._sink_len[k]))
+            span = math.lcm(*(int(x) for x in self._sink_len[k]))
             if span <= 4096:
                 rows = np.arange(span)[:, None] % self._sink_len[k]
                 self._sink_sched.append(
@@ -300,10 +304,13 @@ class BatchSkeletonSim:
 
         # Per-instance sink phase modulus (scalar: lcm of that
         # instance's sink pattern lengths; 1 when there are none).
-        mods = np.ones(b, dtype=np.int64)
-        for lengths in self._sink_len:
-            mods = np.lcm(mods, lengths)
-        self._sink_mod = mods
+        # Python ints again — the lcm of one instance's lengths can
+        # exceed int64 even though ``cycle % mod`` never does.
+        self._sink_mod = [
+            math.lcm(*(int(lengths[i]) for lengths in self._sink_len))
+            if self._sink_len else 1
+            for i in range(b)
+        ]
         self._src_len_mat = (np.stack(self._src_len)
                              if self._src_len
                              else np.zeros((0, b), dtype=np.int64))
@@ -352,12 +359,13 @@ class BatchSkeletonSim:
         stacked = np.concatenate([a for a in bits if a.size] or
                                  [np.zeros((1, b), dtype=bool)], axis=0)
         packed = np.packbits(stacked, axis=0)
-        phase_mod = (self.cycle % self._sink_mod).astype(np.int64)
+        cycle = self.cycle
         keys = []
         for i in range(b):
             keys.append(packed[:, i].tobytes()
                         + self.src_phase[:, i].tobytes()
-                        + int(phase_mod[i]).to_bytes(8, "little"))
+                        + (cycle % self._sink_mod[i]).to_bytes(
+                            8, "little"))
         return keys
 
     # -- per-cycle evaluation ------------------------------------------------

@@ -24,7 +24,7 @@ class TestInjectCommand:
         assert main(argv + ["-o", str(second)]) == 0
         assert first.read_bytes() == second.read_bytes()
         payload = json.loads(first.read_text())
-        assert payload["schema"] == "repro-inject-campaign/v1"
+        assert payload["schema"] == "repro-inject-campaign/v2"
         assert payload["seed"] == 7
         assert len(payload["experiments"]) == payload["samples"] == 64
         capsys.readouterr()
@@ -77,6 +77,19 @@ class TestInjectCommand:
         payload = json.loads(capsys.readouterr().out)
         assert payload["strict"] is True
         assert payload["summary"]["detected"] > 0
+
+    def test_bitsim_backend_bytes_match_scalar(self, tmp_path, capsys):
+        argv = ["inject", "--engine", "skeleton", "--topology",
+                "feedback", "--faults", "stop,void", "--cycles", "100",
+                "--samples", "48", "--seed", "7", "--format", "json"]
+        bitsim = tmp_path / "bitsim.json"
+        scalar = tmp_path / "scalar.json"
+        assert main(argv + ["--backend", "bitsim",
+                            "-o", str(bitsim)]) == 0
+        assert main(argv + ["--backend", "scalar",
+                            "-o", str(scalar)]) == 0
+        assert bitsim.read_bytes() == scalar.read_bytes()
+        capsys.readouterr()
 
     def test_window_flag(self, capsys):
         assert main(["inject", "--smoke", "--window", "8:16",

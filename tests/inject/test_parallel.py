@@ -88,7 +88,8 @@ class TestSkeletonParallelContract:
         assert parallel.to_json() == serial.to_json()
         # The batched engine is the parallelism; jobs is recorded for
         # the audit header but the engine stays single-process.
-        assert parallel.execution == {"jobs": 4, "workers": 1,
+        assert parallel.execution == {"backend": "vectorized",
+                                      "jobs": 4, "workers": 1,
                                       "cache": None}
 
 

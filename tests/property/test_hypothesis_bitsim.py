@@ -1,0 +1,151 @@
+"""Property-based tests for the bit-plane (SBFI) skeleton engine.
+
+Two layers are fuzzed: the plane packing helpers in ``repro.ir.planes``
+(round-trips for arbitrary plane counts, including batches that do not
+fill — or that straddle — a 64-bit machine word), and the engine itself
+(random topologies and scripts, locked step by step against the scalar
+reference).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ir import pack_planes, plane_words, unpack_planes
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import BitplaneSkeletonSim, SkeletonSim
+
+pytestmark = pytest.mark.slow
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+stop_patterns = st.lists(st.booleans(), min_size=1, max_size=5).map(tuple)
+source_patterns = st.lists(st.booleans(), min_size=1, max_size=4).map(
+    lambda bits: tuple(bits) if any(bits) else (True,))
+
+# Plane counts around the machine-word boundary: sub-word, exactly one
+# word, and multi-word batches must all round-trip.
+plane_counts = st.one_of(st.integers(1, 80),
+                         st.sampled_from([63, 64, 65, 127, 128, 129]))
+
+
+@given(bits=st.lists(st.booleans(), min_size=1, max_size=200))
+@settings(**SETTINGS)
+def test_pack_unpack_round_trip(bits):
+    word = pack_planes(bits)
+    assert unpack_planes(word, len(bits)) == tuple(bits)
+    # The packed word never exceeds the batch width.
+    assert word < (1 << len(bits))
+
+
+@given(planes=plane_counts, data=st.data())
+@settings(**SETTINGS)
+def test_unpack_ignores_bits_beyond_batch(planes, data):
+    bits = data.draw(st.lists(st.booleans(), min_size=planes,
+                              max_size=planes))
+    garbage = data.draw(st.integers(0, (1 << 16) - 1))
+    word = pack_planes(bits) | (garbage << planes)
+    assert unpack_planes(word, planes) == tuple(bits)
+
+
+@given(planes=plane_counts, signals=st.integers(0, 12), data=st.data())
+@settings(**SETTINGS)
+def test_plane_words_transposes_columns(planes, signals, data):
+    columns = [
+        data.draw(st.lists(st.booleans(), min_size=signals,
+                           max_size=signals))
+        for _ in range(planes)
+    ]
+    words = plane_words(columns)
+    assert len(words) == signals
+    for i in range(signals):
+        assert unpack_planes(words[i], planes) \
+            == tuple(col[i] for col in columns)
+
+
+def test_plane_words_rejects_ragged_columns():
+    with pytest.raises(ValueError, match="equal length"):
+        plane_words([[True, False], [True]])
+
+
+def test_unpack_rejects_negative_words():
+    with pytest.raises(ValueError, match="unsigned"):
+        unpack_planes(-1, 4)
+
+
+def _random_graph(seed, loopy):
+    from repro.graph import random_dag
+    from repro.graph.random_gen import random_loopy
+
+    if loopy:
+        return random_loopy(seed=seed, shells=3)
+    return random_dag(seed, shells=4, half_probability=0.3)
+
+
+@given(seed=st.integers(0, 5_000), loopy=st.booleans(),
+       variant=st.sampled_from(list(ProtocolVariant)),
+       data=st.data())
+@settings(**SETTINGS)
+def test_bitsim_lockstep_with_scalar_on_random_topologies(
+        seed, loopy, variant, data):
+    """Per-cycle fires, accepts and counters equal per plane."""
+    graph = _random_graph(seed, loopy)
+    sinks = [n.name for n in graph.sinks()]
+    sources = [n.name for n in graph.sources()]
+    batch = data.draw(st.integers(1, 5))
+    sink_maps = [
+        {name: data.draw(stop_patterns) for name in sinks}
+        for _ in range(batch)
+    ]
+    source_maps = [
+        {name: data.draw(source_patterns) for name in sources}
+        for _ in range(batch)
+    ]
+    bit = BitplaneSkeletonSim(graph, sink_maps,
+                              source_patterns=source_maps,
+                              variant=variant)
+    scalars = [
+        SkeletonSim(graph, variant=variant,
+                    sink_patterns=sink_maps[p],
+                    source_patterns=source_maps[p])
+        for p in range(batch)
+    ]
+    for cycle in range(60):
+        fire_words, accept_words = bit.step()
+        for p, scalar in enumerate(scalars):
+            fires, accepts = scalar.step()
+            assert tuple(bool((w >> p) & 1) for w in fire_words) \
+                == fires, (cycle, p)
+            assert tuple(bool((w >> p) & 1) for w in accept_words) \
+                == accepts, (cycle, p)
+    for p, scalar in enumerate(scalars):
+        assert bit.stop_assertions.value(p) \
+            == scalar.stop_assertions_total, p
+        assert bit.stops_on_voids.value(p) \
+            == scalar.stops_on_voids_total, p
+        assert bit.internal_stops_on_voids.value(p) \
+            == scalar.internal_stops_on_voids_total, p
+        assert bit.ambiguous_cycles[p] == scalar.ambiguous_cycles, p
+
+
+@given(pattern=stop_patterns)
+@settings(**SETTINGS)
+def test_wide_plane_batch_accept_counts(pattern):
+    """A batch wider than one machine word stays exact per plane."""
+    from repro.graph import pipeline
+
+    graph = pipeline(3, relays_per_hop=2)
+    cycles = 100
+    batch = 70  # straddles the 64-bit word boundary
+    bit = BitplaneSkeletonSim(graph, [{"out": pattern}] * batch)
+    bit.run(cycles)
+    scalar = SkeletonSim(graph, sink_patterns={"out": pattern})
+    accepted = 0
+    for _ in range(cycles):
+        _f, acc = scalar.step()
+        accepted += sum(acc)
+    for p in range(batch):
+        assert bit.sink_accepted[0].value(p) == accepted, p

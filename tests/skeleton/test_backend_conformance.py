@@ -1,31 +1,70 @@
-"""Differential conformance: vectorized backend vs scalar reference.
+"""Differential conformance: every batch backend vs scalar reference.
 
-The vectorized engine's contract is **bit-exactness**: for every
-instance of a batch, every register, wire, firing decision and
-instrumentation counter must equal a scalar :class:`SkeletonSim` run
-with the same scripts, cycle by cycle.  This suite drives both engines
-in lockstep over the full feature matrix — protocol variants x relay
-kinds x fixpoints x scripted sources/sinks — and through the unified
-``repro.skeleton.backend.select`` API.
+Each batch engine's contract is **bit-exactness**: for every instance
+of a batch, every register, wire, firing decision and instrumentation
+counter must equal a scalar :class:`SkeletonSim` run with the same
+scripts, cycle by cycle.  This suite drives the engines in lockstep
+over the full feature matrix — protocol variants x relay kinds x
+fixpoints x scripted sources/sinks — through the raw engine classes,
+the unified ``repro.skeleton.backend.select`` API, and a sweep over
+every benchmark workload topology.
+
+Registering a new backend is one edit: add its ``select()`` name to
+``BACKENDS`` and teach the two column adapters (`_column_bits`,
+`_column_counters`) how to read a column of its state.  Every test
+here parametrizes over that list, so the new engine inherits the whole
+contract.
 """
 
 import numpy as np
 import pytest
 
+from repro.bench import workloads
 from repro.graph import figure1, figure2, pipeline, ring, tree
 from repro.graph.random_gen import random_dag, random_loopy
 from repro.lid.variant import ProtocolVariant
 from repro.obs import Telemetry
 from repro.skeleton import (
     BatchSkeletonSim,
+    BitplaneBackend,
+    BitplaneSkeletonSim,
     ScalarBackend,
     SkeletonSim,
     VectorizedBackend,
+    bitsim_supported,
     select,
     vectorized_supported,
 )
 
 VARIANTS = [ProtocolVariant.CASU, ProtocolVariant.CARLONI]
+
+#: Every name ``select()`` accepts; the single registration point for
+#: the differential harness.
+BACKENDS = ["scalar", "vectorized", "bitsim"]
+
+#: The batch engines, lockstep-compared against the scalar reference.
+BATCH_ENGINES = {
+    "vectorized": BatchSkeletonSim,
+    "bitsim": BitplaneSkeletonSim,
+}
+
+
+def _column_bits(sim, values, column):
+    """One instance's bools from a batch engine's per-signal state."""
+    if isinstance(sim, BitplaneSkeletonSim):
+        return tuple(bool((word >> column) & 1) for word in values)
+    return tuple(bool(x) for x in np.asarray(values)[:, column])
+
+
+def _column_counters(sim, column):
+    """(assertions, on-voids, internal on-voids) for one instance."""
+    if isinstance(sim, BitplaneSkeletonSim):
+        return (sim.stop_assertions.value(column),
+                sim.stops_on_voids.value(column),
+                sim.internal_stops_on_voids.value(column))
+    return (int(sim.stop_assertions_total[column]),
+            int(sim.stops_on_voids_total[column]),
+            int(sim.internal_stops_on_voids_total[column]))
 
 
 def _all_relays(graph, kind):
@@ -65,48 +104,48 @@ def _scripts_for(graph):
     return combos
 
 
-def _lockstep(graph, variant, fixpoint, sink_map, source_map,
+def _lockstep(graph, variant, fixpoint, sink_map, source_map, backend,
               cycles=60):
-    """Drive both engines and compare all observable state per cycle."""
+    """Drive scalar and one batch engine; compare all state per cycle."""
     scalar = SkeletonSim(graph, sink_patterns=sink_map,
                          source_patterns=source_map, variant=variant,
                          fixpoint=fixpoint,
                          telemetry=Telemetry.metrics_only())
-    batch = BatchSkeletonSim(graph, [sink_map],
-                             source_patterns=[source_map],
-                             variant=variant, fixpoint=fixpoint,
-                             telemetry=Telemetry.metrics_only())
+    batch = BATCH_ENGINES[backend](
+        graph, [sink_map], source_patterns=[source_map],
+        variant=variant, fixpoint=fixpoint,
+        telemetry=Telemetry.metrics_only())
     for cycle in range(cycles):
         s_fires, s_accepts = scalar.step()
         b_fires, b_accepts = batch.step()
-        ctx = (graph.name, variant.name, fixpoint, cycle)
-        assert tuple(b_fires[:, 0]) == s_fires, ("fires", ctx)
-        assert tuple(b_accepts[:, 0]) == s_accepts, ("accepts", ctx)
-        assert np.array_equal(batch.shell_reg[:, 0],
-                              np.array(scalar.shell_reg)), ("reg", ctx)
-        assert np.array_equal(batch.rs_main[:, 0],
-                              np.array(scalar.rs_main)), ("main", ctx)
-        assert np.array_equal(batch.rs_aux[:, 0],
-                              np.array(scalar.rs_aux)), ("aux", ctx)
-        assert np.array_equal(
-            batch.rs_stop_reg[:, 0],
-            np.array(scalar.rs_stop_reg)), ("stop_reg", ctx)
-        assert (int(batch.stop_assertions_total[0])
-                == scalar.stop_assertions_total), ("assertions", ctx)
-        assert (int(batch.stops_on_voids_total[0])
-                == scalar.stops_on_voids_total), ("voids", ctx)
-        assert (int(batch.internal_stops_on_voids_total[0])
-                == scalar.internal_stops_on_voids_total), \
-            ("internal voids", ctx)
+        ctx = (backend, graph.name, variant.name, fixpoint, cycle)
+        assert _column_bits(batch, b_fires, 0) == s_fires, \
+            ("fires", ctx)
+        assert _column_bits(batch, b_accepts, 0) == s_accepts, \
+            ("accepts", ctx)
+        assert _column_bits(batch, batch.shell_reg, 0) \
+            == tuple(scalar.shell_reg), ("reg", ctx)
+        assert _column_bits(batch, batch.rs_main, 0) \
+            == tuple(scalar.rs_main), ("main", ctx)
+        assert _column_bits(batch, batch.rs_aux, 0) \
+            == tuple(scalar.rs_aux), ("aux", ctx)
+        assert _column_bits(batch, batch.rs_stop_reg, 0) \
+            == tuple(scalar.rs_stop_reg), ("stop_reg", ctx)
+        assert _column_counters(batch, 0) == (
+            scalar.stop_assertions_total,
+            scalar.stops_on_voids_total,
+            scalar.internal_stops_on_voids_total), ("counters", ctx)
     assert batch.ambiguous_cycles[0] == scalar.ambiguous_cycles, \
-        (graph.name, variant.name, fixpoint)
+        (backend, graph.name, variant.name, fixpoint)
     # Telemetry parity: the canonical metric snapshots (counters,
     # gauges and occupancy histograms) must be equal dicts — not
     # merely close; same keys, same integers, same derived floats.
     assert batch.metrics_snapshot(0) == scalar.metrics_snapshot(), \
-        ("metrics", graph.name, variant.name, fixpoint)
+        ("metrics", backend, graph.name, variant.name, fixpoint)
 
 
+@pytest.mark.parametrize("backend", list(BATCH_ENGINES),
+                         ids=list(BATCH_ENGINES))
 class TestLockstepMatrix:
     """Registers, wires and counters identical, cycle by cycle."""
 
@@ -114,32 +153,56 @@ class TestLockstepMatrix:
                              ids=lambda g: g.name)
     @pytest.mark.parametrize("variant", VARIANTS,
                              ids=lambda v: v.name.lower())
-    def test_least_fixpoint(self, graph, variant):
+    def test_least_fixpoint(self, graph, variant, backend):
         for sink_map, source_map in _scripts_for(graph):
-            _lockstep(graph, variant, "least", sink_map, source_map)
+            _lockstep(graph, variant, "least", sink_map, source_map,
+                      backend)
 
     @pytest.mark.parametrize("variant", VARIANTS,
                              ids=lambda v: v.name.lower())
-    def test_greatest_fixpoint_on_ambiguous_graphs(self, variant):
+    def test_greatest_fixpoint_on_ambiguous_graphs(self, variant,
+                                                   backend):
         """Latch-up semantics must also match where fixpoints differ."""
         for graph in (_all_relays(pipeline(3), "half"),
                       ring(2, relays_per_arc=[["half"], ["half"]])):
             for sink_map, source_map in _scripts_for(graph):
                 _lockstep(graph, variant, "greatest", sink_map,
-                          source_map)
+                          source_map, backend)
+
+    def test_wide_batch_matches_scalar_columns(self, backend):
+        """Many instances at once (bitsim: several machine words)."""
+        graph = figure2()
+        sinks = [n.name for n in graph.sinks()]
+        sink_maps = [{sinks[0]: ((False,) * i + (True,) + (False,) * 3)}
+                     for i in range(70)]
+        batch = BATCH_ENGINES[backend](graph, sink_maps)
+        for _ in range(40):
+            batch.step()
+        for column in (0, 1, 63, 64, 69):
+            scalar = SkeletonSim(graph, sink_patterns=sink_maps[column])
+            for _ in range(40):
+                scalar.step()
+            assert _column_counters(batch, column) == (
+                scalar.stop_assertions_total,
+                scalar.stops_on_voids_total,
+                scalar.internal_stops_on_voids_total), column
+            assert batch.metrics_snapshot(column) \
+                == scalar.metrics_snapshot(), column
 
 
+@pytest.mark.parametrize("backend", list(BATCH_ENGINES),
+                         ids=list(BATCH_ENGINES))
 class TestRunToPeriod:
     """Transient/period extraction must agree with SkeletonSim.run()."""
 
     @pytest.mark.parametrize("graph", _graph_matrix(),
                              ids=lambda g: g.name)
-    def test_periodicity_matches(self, graph):
+    def test_periodicity_matches(self, graph, backend):
         combos = _scripts_for(graph)
         sink_patterns = [sk for sk, _so in combos]
         source_patterns = [so for _sk, so in combos]
-        batch = BatchSkeletonSim(graph, sink_patterns,
-                                 source_patterns=source_patterns)
+        batch = BATCH_ENGINES[backend](
+            graph, sink_patterns, source_patterns=source_patterns)
         results = batch.run_to_period()
         for (sink_map, source_map), result in zip(combos, results):
             ref = SkeletonSim(graph, sink_patterns=sink_map,
@@ -164,9 +227,13 @@ class TestBackendApi:
                           ScalarBackend)
         assert isinstance(select(graph, batch=1, backend="vectorized"),
                           VectorizedBackend)
+        # The bit-plane engine is opt-in only: "auto" never picks it.
+        assert isinstance(select(graph, batch=4, backend="bitsim"),
+                          BitplaneBackend)
+        assert isinstance(select(graph, batch=64), VectorizedBackend)
 
-    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
-    def test_unknown_script_target_rejected_by_both(self, backend):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_unknown_script_target_rejected_by_all(self, backend):
         """Input validation must not depend on the engine picked."""
         with pytest.raises(ValueError, match="unknown script target"):
             select(pipeline(2), sink_patterns=[{"nope": (True,)}],
@@ -176,9 +243,9 @@ class TestBackendApi:
                    backend=backend)
 
     def test_supported_reports_capability(self):
-        ok, reason = vectorized_supported(pipeline(2),
-                                          ProtocolVariant.CASU)
-        assert ok, reason
+        for probe in (vectorized_supported, bitsim_supported):
+            ok, reason = probe(pipeline(2), ProtocolVariant.CASU)
+            assert ok, (probe.__name__, reason)
 
     @pytest.mark.parametrize("variant", VARIANTS,
                              ids=lambda v: v.name.lower())
@@ -187,7 +254,7 @@ class TestBackendApi:
         patterns = [{}, {"out": (False, True)},
                     {"out": (False, False, True)}]
         counts = {}
-        for backend in ("scalar", "vectorized"):
+        for backend in BACKENDS:
             handle = select(graph, variant, sink_patterns=patterns,
                             backend=backend)
             results = handle.run()
@@ -200,17 +267,73 @@ class TestBackendApi:
                 np.asarray(handle2.fire_counts()).tolist(),
                 np.asarray(handle2.accept_counts()).tolist(),
                 np.asarray(handle2.stop_assertion_counts()).tolist(),
+                np.asarray(handle2.void_stop_counts()).tolist(),
             )
-        assert counts["scalar"] == counts["vectorized"]
+        for backend in BACKENDS[1:]:
+            assert counts[backend] == counts["scalar"], backend
 
-    def test_scripted_sources_through_select(self):
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_scripted_sources_through_select(self, backend):
         graph = pipeline(2)
-        handle = select(graph, batch=2,
+        handle = select(graph, batch=2, backend=backend,
                         source_patterns=[{}, {"src": (True, False)}])
         results = handle.run()
         rates = [r.shell_fires["S0"] / r.period for r in results]
         assert rates[0] == 1
         assert rates[1] == 0.5
+
+
+def _bench_graphs():
+    """Every benchmark workload topology, as (id, graph) pairs."""
+    cases = [("figure1", workloads.figure1_workload()),
+             ("figure2", workloads.figure2_workload())]
+    cases += [(g.name, g) for _s, _r, g in workloads.ring_sweep()]
+    cases += [(g.name, g) for _i, _m, g in workloads.reconvergent_sweep()]
+    cases += [(g.name, g) for _d, _r, g in workloads.tree_sweep()]
+    cases += [(f"comp_{i}", g)
+              for i, (_label, g) in enumerate(workloads.composition_cases())]
+    cases += [(g.name, g) for _c, _e, g in workloads.deadlock_suite()]
+    cases += [(g.name, g) for g in workloads.pipeline_scaling((4, 16))]
+    return cases
+
+
+class TestBenchWorkloadSweep:
+    """Every bench workload topology, every variant, every backend.
+
+    The speedup and campaign benchmarks trust whichever backend they
+    run on; this sweep is the license: fixed-cycle runs must agree on
+    firing/acceptance counts, the stop-locality counters and the full
+    metrics snapshot, for every workload the bench suite can generate.
+    (Periodicity agreement is covered per relay-kind by
+    TestRunToPeriod; fixed-cycle counters keep this sweep fast.)
+    """
+
+    @pytest.mark.parametrize("graph", [g for _id, g in _bench_graphs()],
+                             ids=[i for i, _g in _bench_graphs()])
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: v.name.lower())
+    def test_counters_and_metrics_agree(self, graph, variant):
+        combos = _scripts_for(graph)
+        sink_patterns = [sk for sk, _so in combos]
+        source_patterns = [so for _sk, so in combos]
+        observed = {}
+        for backend in BACKENDS:
+            handle = select(graph, variant,
+                            sink_patterns=sink_patterns,
+                            source_patterns=source_patterns,
+                            backend=backend,
+                            telemetry=Telemetry.metrics_only())
+            handle.run_cycles(48)
+            observed[backend] = (
+                np.asarray(handle.fire_counts()).tolist(),
+                np.asarray(handle.accept_counts()).tolist(),
+                np.asarray(handle.stop_assertion_counts()).tolist(),
+                np.asarray(handle.void_stop_counts()).tolist(),
+                handle.metrics_snapshots(),
+            )
+        for backend in BACKENDS[1:]:
+            assert observed[backend] == observed["scalar"], \
+                (backend, graph.name, variant.name)
 
 
 class TestMetricsParity:
@@ -225,7 +348,7 @@ class TestMetricsParity:
         sink_patterns = [sk for sk, _so in combos]
         source_patterns = [so for _sk, so in combos]
         snapshots = {}
-        for backend in ("scalar", "vectorized"):
+        for backend in BACKENDS:
             handle = select(graph, variant,
                             sink_patterns=sink_patterns,
                             source_patterns=source_patterns,
@@ -233,7 +356,9 @@ class TestMetricsParity:
                             telemetry=Telemetry.metrics_only())
             handle.run_cycles(80)
             snapshots[backend] = handle.metrics_snapshots()
-        assert snapshots["scalar"] == snapshots["vectorized"], graph.name
+        for backend in BACKENDS[1:]:
+            assert snapshots[backend] == snapshots["scalar"], \
+                (backend, graph.name)
 
     def test_snapshot_without_telemetry_keeps_core_counters(self):
         """Even uninstrumented runs expose the cheap counters."""
@@ -275,21 +400,34 @@ class TestInjectCampaignParity:
         graph = figure2()
         kwargs = dict(variant=variant, classes=("stop", "void"),
                       cycles=64, samples=24, seed=11)
-        scalar = skeleton_campaign(graph, backend="scalar", **kwargs)
-        vector = skeleton_campaign(graph, backend="vectorized",
-                                   **kwargs)
-        assert scalar.backend == "scalar"
-        assert vector.backend == "vectorized"
-        scalar_verdicts = [(r.spec.label(), r.verdict)
-                           for r in scalar.results]
-        vector_verdicts = [(r.spec.label(), r.verdict)
-                           for r in vector.results]
-        assert scalar_verdicts == vector_verdicts
-        assert scalar.skipped == vector.skipped
-        # The full JSON payloads differ only in the backend field.
-        a, b = scalar.to_payload(), vector.to_payload()
-        a.pop("backend"), b.pop("backend")
-        assert a == b
+        reports = {backend: skeleton_campaign(graph, backend=backend,
+                                              **kwargs)
+                   for backend in BACKENDS}
+        assert reports["scalar"].backend == "scalar"
+        assert reports["vectorized"].backend == "vectorized"
+        assert reports["bitsim"].backend == "bitsim"
+        baseline = reports["scalar"]
+        for backend in BACKENDS[1:]:
+            report = reports[backend]
+            assert ([(r.spec.label(), r.verdict)
+                     for r in report.results]
+                    == [(r.spec.label(), r.verdict)
+                        for r in baseline.results]), backend
+            assert report.skipped == baseline.skipped, backend
+            # Schema v2: the backend lives in the execution header, so
+            # the default payload — and therefore the JSON bytes — is
+            # identical across backends.
+            assert report.to_payload() == baseline.to_payload(), backend
+            assert report.to_json() == baseline.to_json(), backend
+
+    def test_execution_header_carries_backend(self):
+        from repro.inject import skeleton_campaign
+
+        report = skeleton_campaign(figure2(), cycles=64, samples=8,
+                                   seed=3, backend="bitsim")
+        payload = report.to_payload(execution=True)
+        assert payload["execution"]["backend"] == "bitsim"
+        assert "backend" not in report.to_payload()
 
     def test_engines_model_the_fault_at_different_points(self):
         """The two engines express the *same spec* at different points,
