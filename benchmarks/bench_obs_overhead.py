@@ -1,0 +1,85 @@
+"""EXP-O2: cross-run observability overhead on a fault campaign.
+
+The run ledger and live progress reporting are side channels: they must
+not noticeably tax the campaign they observe.  The bound mirrors
+EXP-O1's telemetry contract — a campaign with ledger append + progress
+reporting enabled must stay within **1.5x** of the bare campaign.  CI
+reads the emitted ``BENCH_EXP-O2-obs-overhead.json`` and fails
+(non-blocking) if ``overhead_ratio`` exceeds the bound.
+"""
+
+import io
+import os
+import tempfile
+from time import perf_counter
+
+from repro.bench.tables import format_table
+from repro.graph import figure2
+from repro.inject import run_campaign
+from repro.obs import ProgressReporter, append_record, make_record
+
+CYCLES = 64
+SAMPLES = 24
+BOUND = 1.5
+
+
+def _campaign(progress=None):
+    graph = figure2()
+    report = run_campaign(graph, cycles=CYCLES, samples=SAMPLES, seed=0,
+                          progress=progress)
+    return graph, report
+
+
+def _run_disabled():
+    started = perf_counter()
+    _campaign()
+    return perf_counter() - started
+
+
+def _run_enabled(ledger_path):
+    started = perf_counter()
+    progress = ProgressReporter(0, "bench", out=io.StringIO(),
+                                interval=0.0)
+    _graph, report = _campaign(progress=progress)
+    append_record(ledger_path, make_record(
+        "inject-campaign",
+        topology="feedback",
+        fingerprint="bench",
+        variant="casu",
+        params={"cycles": CYCLES, "samples": SAMPLES, "seed": 0},
+        verdict=dict(report.counts()),
+        git_rev="bench",
+        meta={"wall_seconds": perf_counter() - started}))
+    return perf_counter() - started
+
+
+def test_bench_obs_overhead(benchmark, emit):
+    fd, ledger_path = tempfile.mkstemp(suffix=".jsonl")
+    os.close(fd)
+    os.unlink(ledger_path)
+    try:
+        disabled = min(_run_disabled() for _ in range(3))
+        enabled = min(_run_enabled(ledger_path) for _ in range(3))
+    finally:
+        if os.path.exists(ledger_path):
+            os.unlink(ledger_path)
+    ratio = enabled / disabled if disabled else float("inf")
+    benchmark.pedantic(_run_disabled, rounds=1, iterations=1)
+    rows = [
+        ("disabled", f"{disabled * 1e3:.2f} ms", "1.00x"),
+        ("enabled (ledger+progress)", f"{enabled * 1e3:.2f} ms",
+         f"{ratio:.2f}x"),
+    ]
+    table = format_table(
+        ("observability", f"wall ({SAMPLES}-fault campaign)",
+         "vs disabled"),
+        rows,
+        title=f"Run-ledger + progress overhead on a figure2 fault "
+              f"campaign (bound: enabled <= {BOUND}x disabled)",
+    )
+    emit("EXP-O2-obs-overhead", table, rows=rows,
+         wall_seconds=disabled + enabled,
+         params={"cycles": CYCLES, "samples": SAMPLES, "bound": BOUND},
+         counters={"disabled_seconds": disabled,
+                   "enabled_seconds": enabled,
+                   "overhead_ratio": ratio})

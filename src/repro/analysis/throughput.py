@@ -183,6 +183,7 @@ def throughput_sweep(
     *,
     jobs: int = 1,
     graph_ref=None,
+    progress=None,
 ) -> List[Dict[str, Fraction]]:
     """Exact steady-state rates for a whole scenario sweep at once.
 
@@ -200,6 +201,11 @@ def throughput_sweep(
     Pass *graph_ref* when the graph itself does not pickle; without one
     an unpicklable graph silently degrades to the serial path, which
     returns the same list.
+
+    *progress* (a :class:`repro.obs.ProgressReporter`) is advanced as
+    instances are classified — per instance on the serial path, per
+    completed worker chunk on the parallel one.  It never affects the
+    returned rates.
     """
     from ..lid.variant import DEFAULT_VARIANT
     from ..skeleton.backend import select
@@ -232,15 +238,25 @@ def throughput_sweep(
                     if paired_sources is not None else source_patterns)
                 work.append((ref, [sinks[i] for i in idx_chunk],
                              chunk_sources, variant, max_cycles, backend))
-            parts = map_deterministic(_sweep_chunk, work, jobs=jobs)
+            if progress is not None:
+                # The parallel unit of completion is one worker chunk
+                # of instances, not a single instance.
+                progress.set_total(len(work))
+            parts = map_deterministic(_sweep_chunk, work, jobs=jobs,
+                                      progress=progress)
+            if progress is not None:
+                progress.finish()
             return [rates for part in parts for rates in part]
 
     handle = select(graph, variant or DEFAULT_VARIANT,
                     source_patterns=source_patterns,
                     sink_patterns=sink_patterns,
                     detect_ambiguity=False, backend=backend)
+    results = handle.run(max_cycles=max_cycles)
+    if progress is not None:
+        progress.set_total(len(results))
     sweeps: List[Dict[str, Fraction]] = []
-    for result in handle.run(max_cycles=max_cycles):
+    for result in results:
         rates: Dict[str, Fraction] = {}
         for name, fires in result.shell_fires.items():
             rates[name] = (Fraction(fires, result.period)
@@ -249,6 +265,10 @@ def throughput_sweep(
             rates[name] = (Fraction(accepts, result.period)
                            if result.period else Fraction(0))
         sweeps.append(rates)
+        if progress is not None:
+            progress.advance(1)
+    if progress is not None:
+        progress.finish()
     return sweeps
 
 

@@ -718,7 +718,8 @@ def _run_experiment(exp_id: str) -> Tuple[str, str, list, float]:
     return exp_id, table, rows, perf_counter() - started
 
 
-def write_results(directory: str, jobs: int = 1) -> List[str]:
+def write_results(directory: str, jobs: int = 1, *,
+                  ledger: str = None, progress=None) -> List[str]:
     """Run every experiment, writing one table file per id.
 
     Each experiment also gets a machine-readable ``BENCH_<id>.json``
@@ -731,14 +732,24 @@ def write_results(directory: str, jobs: int = 1) -> List[str]:
     files are still written in registry order by this process, so the
     tables and rows are identical to a serial run (wall times in the
     JSON records are measured per experiment and vary either way).
+
+    *ledger* appends one ``repro-obs-ledger/v1`` record per experiment
+    to that JSONL path (kind ``bench``, row count in the verdict, wall
+    time in the non-canonical meta); *progress* (a
+    :class:`repro.obs.ProgressReporter`) tracks experiment completion.
     """
     import os
 
     from ..exec import map_deterministic
 
     os.makedirs(directory, exist_ok=True)
+    experiment_ids = list(EXPERIMENTS)
+    if progress is not None:
+        progress.set_total(len(experiment_ids))
     outcomes = map_deterministic(
-        _run_experiment, list(EXPERIMENTS), jobs=jobs)
+        _run_experiment, experiment_ids, jobs=jobs, progress=progress)
+    if progress is not None:
+        progress.finish()
     paths: List[str] = []
     for exp_id, table, rows, wall in outcomes:
         description = EXPERIMENTS[exp_id][0]
@@ -747,4 +758,13 @@ def write_results(directory: str, jobs: int = 1) -> List[str]:
         paths.append(path)
         record = experiment_record(exp_id, wall_seconds=wall, rows=rows)
         paths.append(write_record(directory, record))
+        if ledger:
+            from ..obs import append_record, make_record
+
+            append_record(ledger, make_record(
+                "bench",
+                params={"experiment": exp_id},
+                verdict={"rows": len(rows)},
+                meta={"wall_seconds": wall, "jobs": jobs,
+                      "directory": directory}))
     return paths

@@ -14,8 +14,17 @@ Subcommands:
   trace viewable in Perfetto / ``chrome://tracing``;
 * ``profile``   — run with the phase profiler on; print wall time per
   scheduler phase, cycles/sec and events/sec;
+* ``obs``       — cross-run observability: ``ls``/``show``/``diff``
+  over the persistent run ledger, ``regress`` over bench records and
+  ledger trajectories;
 * ``export``    — emit a topology as DOT or JSON, or a protocol block
   as VHDL.
+
+``inject``, ``deadlock``, ``reproduce`` and ``series`` accept
+``--ledger [FILE]`` to append a content-addressed run record (see
+``docs/observability.md``); ``inject`` and ``reproduce`` accept
+``--progress`` for a live stderr status line (stdout bytes are
+untouched either way).
 
 Topology arguments take the form ``name[:key=value,...]``, e.g.
 ``ring:shells=3,relays=2`` or ``reconvergent:long=2+1,short=1``.
@@ -70,6 +79,17 @@ def main(argv=None) -> int:
         help="worker processes for independent simulation units "
              "(default 1 = serial; output is byte-identical for any "
              "value, see docs/parallelism.md)")
+    ledger_parent = argparse.ArgumentParser(add_help=False)
+    ledger_parent.add_argument(
+        "--ledger", nargs="?", const="", default=None, metavar="FILE",
+        help="append a content-addressed run record to this JSONL "
+             "ledger (bare --ledger uses $REPRO_LID_LEDGER or "
+             "~/.cache/repro-lid/ledger.jsonl)")
+    progress_parent = argparse.ArgumentParser(add_help=False)
+    progress_parent.add_argument(
+        "--progress", action="store_true",
+        help="live progress line on stderr (done/total, cache hits, "
+             "ETA); stdout bytes are unchanged")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_analyze = sub.add_parser("analyze",
@@ -93,7 +113,8 @@ def main(argv=None) -> int:
                    help="run the safety-property campaign")
 
     p_repro = sub.add_parser("reproduce",
-                             parents=[seed_parent, jobs_parent],
+                             parents=[seed_parent, jobs_parent,
+                                      ledger_parent, progress_parent],
                              help="regenerate all paper artifacts")
     p_repro.add_argument("--experiment", choices=sorted(EXPERIMENTS),
                          help="run a single experiment id")
@@ -110,7 +131,8 @@ def main(argv=None) -> int:
                    help="print the Figure 2 sweep")
 
     p_dead = sub.add_parser("deadlock",
-                          parents=[seed_parent, jobs_parent],
+                          parents=[seed_parent, jobs_parent,
+                                   ledger_parent],
                           help="skeleton liveness check")
     p_dead.add_argument("topology")
     p_dead.add_argument("--variant", type=_variant,
@@ -119,9 +141,14 @@ def main(argv=None) -> int:
     p_dead.add_argument("--max-cycles", type=int, default=10_000,
                         help="cycle budget for reaching the periodic "
                              "regime; an inconclusive verdict exits 2")
+    p_dead.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="instrument the liveness probes and write "
+                             "their metrics snapshot as JSON (forces "
+                             "serial probing)")
 
     p_inject = sub.add_parser(
-        "inject", parents=[seed_parent, jobs_parent],
+        "inject", parents=[seed_parent, jobs_parent, ledger_parent,
+                           progress_parent],
         help="fault-injection campaign with verdict classification")
     p_inject.add_argument("--topology", default="feedback",
                           help="topology spec (default: feedback, the "
@@ -169,6 +196,10 @@ def main(argv=None) -> int:
     p_inject.add_argument("--metrics-out", default=None, metavar="FILE",
                           help="write campaign verdict metrics as a "
                                "JSON metrics snapshot")
+    p_inject.add_argument("--trace-out", default=None, metavar="FILE",
+                          help="write one merged Chrome trace: parent "
+                               "events plus a (pid, tid) lane per "
+                               "worker chunk under --jobs")
     p_inject.add_argument("--no-cache", action="store_true",
                           help="disable the on-disk golden-run cache")
     p_inject.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -230,11 +261,53 @@ def main(argv=None) -> int:
                          choices=list(ProtocolVariant))
 
     p_series = sub.add_parser(
-        "series", parents=[seed_parent], help="emit a figure-style data series as CSV")
+        "series", parents=[seed_parent, ledger_parent],
+        help="emit a figure-style data series as CSV")
     from .analysis.sweep import SERIES_GENERATORS
 
     p_series.add_argument("which", choices=sorted(SERIES_GENERATORS))
     p_series.add_argument("--output", "-o", default=None)
+
+    p_obs = sub.add_parser(
+        "obs", help="cross-run observability: run ledger & regression "
+                    "tracking")
+    p_obs.add_argument("--ledger", default=None, metavar="FILE",
+                       help="ledger file (default: $REPRO_LID_LEDGER "
+                            "or ~/.cache/repro-lid/ledger.jsonl)")
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    obs_sub.add_parser("ls", help="summary table of the run ledger")
+    p_obs_show = obs_sub.add_parser(
+        "show", help="print one ledger record (@index or run-id prefix)")
+    p_obs_show.add_argument("ref")
+    p_obs_show.add_argument("--canonical", action="store_true",
+                            help="print only the canonical payload "
+                                 "line (the byte-deterministic part; "
+                                 "what CI cmp-compares)")
+    p_obs_diff = obs_sub.add_parser(
+        "diff", help="verdict/timing/attribution delta of two records")
+    p_obs_diff.add_argument("a")
+    p_obs_diff.add_argument("b")
+    p_obs_regress = obs_sub.add_parser(
+        "regress", help="flag wall-time / rate regressions across "
+                        "bench records and ledger trajectory; exits 1 "
+                        "on regression")
+    p_obs_regress.add_argument("--bench", action="append", default=[],
+                               metavar="DIR",
+                               help="BENCH_*.json directory; pass "
+                                    "repeatedly, oldest first (each "
+                                    "directory is one trajectory "
+                                    "position)")
+    p_obs_regress.add_argument("--threshold", type=float, default=1.5,
+                               help="tolerated slowdown ratio "
+                                    "(default 1.5)")
+    p_obs_regress.add_argument("--baseline",
+                               choices=["first", "best"],
+                               default="first",
+                               help="compare the newest point against "
+                                    "the first or the best prior point")
+    p_obs_regress.add_argument("--no-ledger", action="store_true",
+                               help="ignore the ledger; scan only "
+                                    "--bench directories")
 
     p_export = sub.add_parser("export", parents=[seed_parent],
                             help="export artifacts")
@@ -289,18 +362,7 @@ def main(argv=None) -> int:
         table, _rows = run_figure2()
         print(table)
     elif args.command == "deadlock":
-        from .exec import GraphRef
-
-        graph = _parse_topology(args.topology, seed=args.seed)
-        verdict = check_deadlock(graph, variant=args.variant,
-                                 max_cycles=args.max_cycles,
-                                 jobs=args.jobs,
-                                 graph_ref=GraphRef.from_spec(
-                                     args.topology, seed=args.seed))
-        print(verdict.detail)
-        if verdict.inconclusive:
-            return 2
-        return 0 if verdict.live else 1
+        return _deadlock(args)
     elif args.command == "inject":
         return _inject(args)
     elif args.command == "stats":
@@ -329,15 +391,29 @@ def main(argv=None) -> int:
                   f"{result.stuck_state}")
         return 0 if result.live else 1
     elif args.command == "series":
+        from time import perf_counter
+
         from .analysis.sweep import SERIES_GENERATORS
 
+        started = perf_counter()
         series = SERIES_GENERATORS[args.which]()
         text = series.to_csv()
+        wall = perf_counter() - started
         if args.output:
             with open(args.output, "w", encoding="utf-8") as fh:
                 fh.write(text)
         else:
             print(text, end="")
+        if args.ledger is not None:
+            from .obs import make_record
+
+            _ledger_note(args.ledger, make_record(
+                "series",
+                params={"which": args.which},
+                verdict={"lines": len(text.splitlines())},
+                meta={"wall_seconds": round(wall, 6)}))
+    elif args.command == "obs":
+        return _obs(args)
     elif args.command == "export":
         text = _export(args)
         if args.output:
@@ -346,6 +422,138 @@ def main(argv=None) -> int:
         else:
             print(text)
     return 0
+
+
+def _ledger_note(ledger_arg: str, record) -> None:
+    """Append *record* and confirm on stderr (stdout stays canonical).
+
+    ``--ledger`` without a file argument parses to ``""`` — the
+    sentinel for "use the default ledger path".
+    """
+    from .obs import append_record, default_ledger_path
+
+    path = ledger_arg or default_ledger_path()
+    run_id = append_record(path, record)
+    print(f"ledger: appended {record['payload']['kind']} {run_id} "
+          f"to {path}", file=sys.stderr)
+
+
+def _deadlock(args) -> int:
+    """``deadlock``: liveness check + optional metrics/ledger record."""
+    from time import perf_counter
+
+    from .exec import GraphRef
+
+    graph = _parse_topology(args.topology, seed=args.seed)
+    telemetry = None
+    if args.metrics_out:
+        from .obs import Telemetry
+
+        telemetry = Telemetry.metrics_only()
+    started = perf_counter()
+    verdict = check_deadlock(graph, variant=args.variant,
+                             max_cycles=args.max_cycles,
+                             jobs=args.jobs,
+                             graph_ref=GraphRef.from_spec(
+                                 args.topology, seed=args.seed),
+                             telemetry=telemetry)
+    wall = perf_counter() - started
+    print(verdict.detail)
+    if args.metrics_out:
+        import json
+
+        from .bench.runner import git_rev
+
+        payload = {
+            "schema": "repro-metrics/v1",
+            "topology": args.topology,
+            "variant": str(args.variant),
+            "max_cycles": args.max_cycles,
+            "git_rev": git_rev(),
+            "metrics": telemetry.metrics.snapshot(),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.metrics_out}")
+    if args.ledger is not None:
+        from .exec import graph_fingerprint
+        from .obs import make_record
+
+        _ledger_note(args.ledger, make_record(
+            "deadlock-check",
+            topology=args.topology,
+            fingerprint=graph_fingerprint(graph),
+            variant=str(args.variant),
+            params={"max_cycles": args.max_cycles, "seed": args.seed},
+            verdict={
+                "deadlocked": verdict.deadlocked,
+                "potential": verdict.potential,
+                "inconclusive": verdict.inconclusive,
+                "transient": verdict.transient,
+                "period": verdict.period,
+            },
+            metrics=(telemetry.metrics.snapshot()
+                     if telemetry is not None else None),
+            meta={"wall_seconds": round(wall, 6), "jobs": args.jobs}))
+    if verdict.inconclusive:
+        return 2
+    return 0 if verdict.live else 1
+
+
+def _obs(args) -> int:
+    """``obs``: ls / show / diff over the ledger, plus ``regress``."""
+    import json
+
+    from .obs import (
+        bench_trend,
+        default_ledger_path,
+        diff_records,
+        find_regressions,
+        format_report,
+        ledger_trend,
+        read_ledger,
+        resolve_record,
+    )
+    from .obs.ledger import canonical_payload_bytes, format_diff, format_ls
+
+    path = args.ledger or default_ledger_path()
+    if args.obs_command == "ls":
+        records = read_ledger(path)
+        if not records:
+            print(f"ledger {path} is empty")
+            return 0
+        print(format_ls(records))
+        return 0
+    if args.obs_command == "show":
+        try:
+            _index, record = resolve_record(read_ledger(path), args.ref)
+        except ValueError as exc:
+            raise SystemExit(f"repro-lid obs show: {exc}")
+        if args.canonical:
+            sys.stdout.buffer.write(canonical_payload_bytes(record))
+            sys.stdout.buffer.flush()
+        else:
+            print(json.dumps(record, indent=2, sort_keys=True))
+        return 0
+    if args.obs_command == "diff":
+        records = read_ledger(path)
+        try:
+            _ia, record_a = resolve_record(records, args.a)
+            _ib, record_b = resolve_record(records, args.b)
+        except ValueError as exc:
+            raise SystemExit(f"repro-lid obs diff: {exc}")
+        print(format_diff(diff_records(record_a, record_b)))
+        return 0
+    # regress: bench directories are explicit trajectory positions,
+    # the ledger contributes per-span wall-time history.
+    points = list(bench_trend(args.bench)) if args.bench else []
+    if not args.no_ledger:
+        points.extend(ledger_trend(read_ledger(path)))
+    regressions = find_regressions(points, threshold=args.threshold,
+                                   baseline=args.baseline)
+    print(format_report(regressions, threshold=args.threshold))
+    return 1 if regressions else 0
 
 
 def _run_instrumented(graph, variant, cycles, telemetry):
@@ -393,6 +601,7 @@ def _reproduce(args) -> None:
 
     from .bench.runner import git_rev
 
+    overall_started = perf_counter()
     registry = None
     if args.metrics_out:
         from .obs import MetricsRegistry
@@ -405,16 +614,32 @@ def _reproduce(args) -> None:
         registry.gauge(f"bench/{exp_id}/wall_seconds").set(wall)
         registry.counter(f"bench/{exp_id}/rows").inc(n_rows)
 
+    ledger_path = None
+    if args.ledger is not None:
+        from .obs import default_ledger_path
+
+        ledger_path = args.ledger or default_ledger_path()
+    progress = None
+    if args.progress:
+        from .obs import ProgressReporter
+
+        progress = ProgressReporter(0, label="reproduce")
+
     if args.output:
         from .bench.runner import write_results
 
-        for path in write_results(args.output, jobs=args.jobs):
+        for path in write_results(args.output, jobs=args.jobs,
+                                  ledger=ledger_path,
+                                  progress=progress):
             print(f"wrote {path}")
             if registry is not None and path.endswith(".json"):
                 with open(path, encoding="utf-8") as fh:
                     rec = json.load(fh)
                 record(rec["bench"], rec["wall_seconds"],
                        rec["counters"].get("rows", 0))
+        if ledger_path:
+            print(f"ledger: appended bench records to {ledger_path}",
+                  file=sys.stderr)
     elif args.experiment:
         description, runner = EXPERIMENTS[args.experiment]
         started = perf_counter()
@@ -444,10 +669,21 @@ def _reproduce(args) -> None:
             fh.write("\n")
         print(f"wrote {args.metrics_out}")
 
+    if ledger_path and not args.output:
+        from .obs import make_record
+
+        _ledger_note(args.ledger, make_record(
+            "reproduce",
+            params={"experiment": args.experiment or "all"},
+            meta={"wall_seconds":
+                  round(perf_counter() - overall_started, 6),
+                  "jobs": args.jobs}))
+
 
 def _inject(args) -> int:
     """``inject``: run a fault campaign and emit the report."""
     import json
+    from time import perf_counter
 
     from .bench.runner import git_rev
     from .errors import InjectionError
@@ -465,13 +701,55 @@ def _inject(args) -> int:
         window = (int(lo), int(hi))
     classes = tuple(
         item.strip() for item in args.faults.split(",") if item.strip())
-    telemetry = Telemetry.metrics_only() if args.metrics_out else None
+    telemetry = None
+    if args.metrics_out or args.trace_out:
+        from .obs import EventStream, MetricsRegistry, Profiler
+
+        telemetry = Telemetry(
+            events=EventStream() if args.trace_out else None,
+            metrics=MetricsRegistry() if args.metrics_out else None,
+            profiler=Profiler() if args.trace_out else None)
     cache = None if args.no_cache else ResultCache.disk(args.cache_dir)
+
+    # The jobs count stays out of the canonical params: a serial and a
+    # --jobs N run of the same campaign must share span and run ids.
+    params = {
+        "engine": args.engine,
+        "backend": args.backend,
+        "cycles": cycles,
+        "samples": samples,
+        "seed": args.seed,
+        "classes": list(classes),
+        "exhaustive": bool(exhaustive),
+        "window": list(window) if window else None,
+        "strict": bool(args.strict),
+    }
+    fingerprint = span = trace = None
+    if args.ledger is not None or args.trace_out:
+        from .exec import graph_fingerprint
+        from .obs import span_id
+
+        fingerprint = graph_fingerprint(graph)
+        span = span_id("inject-campaign", fingerprint,
+                       str(args.variant), params)
+    if args.trace_out:
+        from .exec import TraceCollection
+
+        trace = TraceCollection(run_id=span)
+    progress = None
+    if args.progress:
+        from .obs import ProgressReporter
+
+        progress = ProgressReporter(
+            0, label="inject",
+            stream=telemetry.events if telemetry is not None else None,
+            cache=cache.stats if cache is not None else None)
 
     common = dict(variant=args.variant, classes=classes, cycles=cycles,
                   window=window, exhaustive=exhaustive, samples=samples,
                   seed=args.seed, telemetry=telemetry, jobs=args.jobs,
-                  cache=cache)
+                  cache=cache, progress=progress, trace=trace)
+    started = perf_counter()
     try:
         if args.engine == "skeleton":
             report = skeleton_campaign(graph, backend=args.backend,
@@ -484,6 +762,7 @@ def _inject(args) -> int:
                 **common)
     except InjectionError as exc:
         raise SystemExit(f"repro-lid inject: {exc}")
+    wall = perf_counter() - started
 
     if args.format == "json":
         text = report.to_json()
@@ -518,6 +797,37 @@ def _inject(args) -> int:
             json.dump(payload, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.metrics_out}")
+
+    if args.trace_out:
+        from .obs import write_merged_chrome_trace
+
+        merged = write_merged_chrome_trace(
+            telemetry.events, trace.traces if trace is not None else (),
+            args.trace_out, profiler=telemetry.profiler, run_id=span)
+        other = merged.get("otherData", {})
+        print(f"wrote {args.trace_out}: merged trace, "
+              f"{other.get('worker_lanes', 0)} worker lane(s), "
+              f"{other.get('emitted', 0)} events emitted, "
+              f"{other.get('dropped', 0)} dropped")
+
+    if args.ledger is not None:
+        from .obs import make_record
+
+        execution = report.execution or {}
+        meta = {"wall_seconds": round(wall, 6), "jobs": args.jobs}
+        if execution.get("cache") is not None:
+            meta["cache"] = execution["cache"]
+        _ledger_note(args.ledger, make_record(
+            "inject-campaign",
+            topology=args.topology,
+            fingerprint=fingerprint,
+            variant=str(args.variant),
+            params=params,
+            verdict=dict(report.counts()),
+            metrics=(telemetry.metrics.snapshot()
+                     if telemetry is not None
+                     and telemetry.metrics is not None else None),
+            meta=meta))
     return 0
 
 
@@ -547,6 +857,10 @@ def _trace(args) -> int:
               f"cycles {first}..{last}")
     else:
         export_stream(stream, _sys.stdout, args.format)
+    if stream.dropped:
+        print(f"warning: dropped={stream.dropped} of {stream.emitted} "
+              f"events (ring capacity {stream.capacity}; oldest "
+              f"evicted first)", file=_sys.stderr)
     return 0
 
 

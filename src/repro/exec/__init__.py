@@ -27,12 +27,15 @@ from .cache import (
 )
 from .graphs import GraphRef
 from .pool import (
+    TraceCollection,
+    WorkerTrace,
     WorkUnit,
     chunk_units,
     map_deterministic,
     plane_chunks,
     resolve_callable,
     run_unit,
+    worker_telemetry,
 )
 
 __all__ = [
@@ -40,7 +43,9 @@ __all__ = [
     "CacheStats",
     "GraphRef",
     "ResultCache",
+    "TraceCollection",
     "WorkUnit",
+    "WorkerTrace",
     "atomic_write_bytes",
     "chunk_units",
     "default_cache_dir",
@@ -49,4 +54,5 @@ __all__ = [
     "plane_chunks",
     "resolve_callable",
     "run_unit",
+    "worker_telemetry",
 ]

@@ -24,6 +24,23 @@ How that is achieved:
 ``functools.partial`` of module-level functions, frozen dataclasses).
 For callables that must be named across the process boundary there is
 the :class:`WorkUnit` indirection: ``"module:qualname"`` plus args.
+
+**Worker tracing** (``trace=``): a :class:`TraceCollection` threads a
+run/span id through the fan-out; each chunk then runs with a fresh
+worker-local :class:`~repro.obs.Telemetry` (events + profiler) that
+unit functions can reach via :func:`worker_telemetry`, and the
+recorded events/phases travel back as picklable :class:`WorkerTrace`
+records — one per chunk, in deterministic chunk order — ready for
+:func:`repro.obs.exporters.merged_chrome_trace`.  Tracing never
+touches the unit *results*, so the byte-determinism contract is
+unchanged.
+
+**Live progress** (``progress=``): a
+:class:`~repro.obs.progress.ProgressReporter` is advanced as units
+complete — per unit on the serial path, per finished chunk (in
+wall-clock completion order, via future callbacks) on the parallel
+path.  Progress is pure driver-side side channel output; results and
+their order are unaffected.
 """
 
 from __future__ import annotations
@@ -31,14 +48,109 @@ from __future__ import annotations
 import dataclasses
 import importlib
 import math
-from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+import os
+from typing import (Any, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
 
 from ..errors import ExecutionError, WorkerCrashError
+
+#: Worker-process-local telemetry installed by :func:`_run_chunk_traced`
+#: for the duration of one chunk; ``None`` outside traced chunks.
+_WORKER_TELEMETRY: Any = None
+
+
+def worker_telemetry():
+    """The chunk-local :class:`~repro.obs.Telemetry`, if tracing is on.
+
+    Unit functions running under a traced ``map_deterministic`` call
+    this to emit events / profile phases into the worker's lane of the
+    merged trace.  Returns ``None`` on untraced runs (including every
+    serial run — the caller's own telemetry covers those).
+    """
+    return _WORKER_TELEMETRY
 
 
 def _run_chunk(fn: Callable[[Any], Any], chunk: Sequence[Any]) -> List[Any]:
     """Worker-side body: apply *fn* to one contiguous chunk, in order."""
     return [fn(unit) for unit in chunk]
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerTrace:
+    """Picklable record of one traced chunk's telemetry.
+
+    ``events`` holds the worker's retained events as plain dicts
+    (:meth:`~repro.obs.events.Event.to_dict` renderings, emission
+    order preserved); ``emitted`` / ``dropped`` carry the ring-buffer
+    accounting so drops survive the merge; ``phases`` is the worker
+    profiler's ``(name, calls, seconds)`` table.
+    """
+
+    chunk_index: int
+    pid: int
+    run_id: Optional[str]
+    units: int
+    events: Tuple[Dict[str, Any], ...]
+    emitted: int
+    dropped: int
+    phases: Tuple[Tuple[str, int, float], ...]
+
+
+@dataclasses.dataclass
+class TraceCollection:
+    """Parent-side accumulator for :class:`WorkerTrace` records.
+
+    Created by the driver (one per traced run, carrying the run/span
+    id), filled by ``map_deterministic`` in chunk-submission order.
+    """
+
+    run_id: Optional[str] = None
+    traces: List[WorkerTrace] = dataclasses.field(default_factory=list)
+
+    @property
+    def dropped(self) -> int:
+        return sum(trace.dropped for trace in self.traces)
+
+    @property
+    def emitted(self) -> int:
+        return sum(trace.emitted for trace in self.traces)
+
+
+def _run_chunk_traced(
+    fn: Callable[[Any], Any],
+    chunk: Sequence[Any],
+    chunk_index: int,
+    run_id: Optional[str],
+    capacity: Optional[int],
+) -> Tuple[List[Any], WorkerTrace]:
+    """Worker-side body of a traced chunk.
+
+    Installs a fresh chunk-local telemetry bundle (events + profiler)
+    behind :func:`worker_telemetry`, runs the chunk, and ships the
+    recorded telemetry home as a picklable :class:`WorkerTrace`.
+    """
+    global _WORKER_TELEMETRY
+    from ..obs import EventStream, Profiler, Telemetry
+
+    telemetry = Telemetry(events=EventStream(capacity=capacity),
+                          profiler=Profiler())
+    _WORKER_TELEMETRY = telemetry
+    try:
+        results = [fn(unit) for unit in chunk]
+    finally:
+        _WORKER_TELEMETRY = None
+    stream = telemetry.events
+    trace = WorkerTrace(
+        chunk_index=chunk_index,
+        pid=os.getpid(),
+        run_id=run_id,
+        units=len(chunk),
+        events=tuple(event.to_dict() for event in stream.events()),
+        emitted=stream.emitted,
+        dropped=stream.dropped,
+        phases=tuple(telemetry.profiler.phases()),
+    )
+    return results, trace
 
 
 def chunk_units(units: Sequence[Any], jobs: int,
@@ -82,16 +194,30 @@ def map_deterministic(
     jobs: int = 1,
     *,
     chunk_size: Optional[int] = None,
+    trace: Optional[TraceCollection] = None,
+    trace_capacity: Optional[int] = None,
+    progress=None,
 ) -> List[Any]:
     """``[fn(u) for u in units]``, fanned across *jobs* processes.
 
     ``jobs <= 1`` (the default) runs serially in-process — no pool, no
     pickling, no spawn cost; this is also the reference semantics the
     parallel path must reproduce byte-for-byte.
+
+    *trace* collects per-chunk worker telemetry (see module docstring);
+    it is only populated on the parallel path — serial runs have no
+    worker lanes, the caller's own telemetry already sees everything.
+    *progress* is a :class:`~repro.obs.progress.ProgressReporter`
+    advanced as units complete.  Neither affects results or ordering.
     """
     units = list(units)
     if jobs is None or jobs <= 1 or len(units) <= 1:
-        return [fn(unit) for unit in units]
+        results = []
+        for unit in units:
+            results.append(fn(unit))
+            if progress is not None:
+                progress.advance(1)
+        return results
 
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
@@ -101,10 +227,30 @@ def map_deterministic(
     results: List[Any] = []
     try:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = [pool.submit(_run_chunk, fn, chunk)
-                       for chunk in chunks]
+            if trace is not None:
+                futures = [
+                    pool.submit(_run_chunk_traced, fn, chunk, index,
+                                trace.run_id, trace_capacity)
+                    for index, chunk in enumerate(chunks)
+                ]
+            else:
+                futures = [pool.submit(_run_chunk, fn, chunk)
+                           for chunk in chunks]
+            if progress is not None:
+                # Completion callbacks fire in wall-clock order — fine
+                # for a stderr side channel; the *results* below are
+                # still drained in submission order.
+                for future, chunk in zip(futures, chunks):
+                    future.add_done_callback(
+                        lambda _f, n=len(chunk): progress.advance(n))
             for future in futures:
-                results.extend(future.result())
+                outcome = future.result()
+                if trace is not None:
+                    chunk_results, worker_trace = outcome
+                    results.extend(chunk_results)
+                    trace.traces.append(worker_trace)
+                else:
+                    results.extend(outcome)
     except BrokenProcessPool as exc:
         raise WorkerCrashError(
             f"a worker process died while mapping {len(units)} units "

@@ -342,18 +342,38 @@ def _experiment_worker(
     the parent carries a metrics registry) so the parent can merge the
     per-worker registries in canonical order — the serial-equivalence
     guarantee for ``--metrics-out``.
-    """
-    telemetry = None
-    if ctx.collect_metrics:
-        from ..obs import Telemetry
 
-        telemetry = Telemetry.metrics_only()
+    Under a traced fan-out (``map_deterministic(trace=...)``) the
+    chunk-local :func:`repro.exec.worker_telemetry` bundle supplies the
+    event stream and profiler, so every experiment's simulation events
+    land in this worker's lane of the merged Chrome trace.  Metrics
+    stay per-experiment regardless: the parent merges the returned
+    snapshots in submission order, which keeps ``--metrics-out`` equal
+    to the serial run whether or not tracing is on.
+    """
+    from ..exec import worker_telemetry
+
+    chunk_telemetry = worker_telemetry()
+    telemetry = None
+    if ctx.collect_metrics or chunk_telemetry is not None:
+        from ..obs import MetricsRegistry, Telemetry
+
+        telemetry = Telemetry(
+            events=(chunk_telemetry.events
+                    if chunk_telemetry is not None else None),
+            metrics=MetricsRegistry() if ctx.collect_metrics else None,
+            profiler=(chunk_telemetry.profiler
+                      if chunk_telemetry is not None else None))
+        if telemetry.events is not None:
+            telemetry.events.emit("run", "experiment", 0,
+                                  label=spec.label())
     result = run_experiment(
         ctx.graph_ref.materialize(), spec, ctx.golden,
         variant=ctx.variant, strict=ctx.strict, monitors=ctx.monitors,
         telemetry=telemetry)
     snapshot = (telemetry.metrics.snapshot()
-                if telemetry is not None else None)
+                if telemetry is not None and telemetry.metrics is not None
+                else None)
     return result, snapshot
 
 
@@ -405,6 +425,8 @@ def run_campaign(
     jobs: int = 1,
     graph_ref: Optional[GraphRef] = None,
     cache: Optional[ResultCache] = None,
+    progress=None,
+    trace=None,
 ) -> CampaignReport:
     """Full campaign on the scalar LID engine (token-level, monitored).
 
@@ -421,6 +443,12 @@ def run_campaign(
     :func:`repro.ir.lower` tables instead of re-walking the graph per
     fault (workers re-lower once per process — the memo deliberately
     does not travel inside GraphRef pickles).
+
+    *progress* (a :class:`repro.obs.ProgressReporter`) is advanced as
+    experiments complete; *trace* (a :class:`repro.exec.TraceCollection`)
+    collects per-worker event/profiler lanes on the parallel path.
+    Both are side channels: the report bytes are identical with or
+    without them.
     """
     from ..ir import lower
 
@@ -432,6 +460,8 @@ def run_campaign(
             seed=seed)
     golden = _cached_golden(graph, variant, cycles, seed, cache)
 
+    if progress is not None:
+        progress.set_total(len(faults))
     workers = 1
     if jobs > 1 and len(faults) > 1:
         ref = graph_ref if graph_ref is not None \
@@ -441,7 +471,8 @@ def run_campaign(
                              collect)
         workers = min(jobs, len(faults))
         pairs = map_deterministic(
-            functools.partial(_experiment_worker, ctx), faults, jobs)
+            functools.partial(_experiment_worker, ctx), faults, jobs,
+            trace=trace, progress=progress)
         results = [result for result, _snapshot in pairs]
         if collect:
             # Canonical-order merge: counters add, gauges last-write-
@@ -450,12 +481,16 @@ def run_campaign(
                 if snapshot:
                     telemetry.metrics.merge_snapshot(snapshot)
     else:
-        results = [
-            run_experiment(graph, spec, golden, variant=variant,
-                           strict=strict, monitors=monitors,
-                           telemetry=telemetry)
-            for spec in faults
-        ]
+        results = []
+        for spec in faults:
+            results.append(
+                run_experiment(graph, spec, golden, variant=variant,
+                               strict=strict, monitors=monitors,
+                               telemetry=telemetry))
+            if progress is not None:
+                progress.advance(1)
+    if progress is not None:
+        progress.finish()
     report = CampaignReport(
         topology=graph.name, variant=str(variant), engine="lid",
         backend="scalar", cycles=cycles, seed=seed,
@@ -543,6 +578,8 @@ def skeleton_campaign(
     faults: Optional[Sequence[FaultSpec]] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    progress=None,
+    trace=None,
 ) -> CampaignReport:
     """Batched campaign on the skeleton engine.
 
@@ -572,7 +609,11 @@ def skeleton_campaign(
     the whole campaign is one vectorized batch, so there is nothing
     left to fan across processes.  ``cache`` is likewise recorded; the
     golden run here is column 0 of the same batch, not a separate
-    simulation to skip.
+    simulation to skip.  ``trace`` is accepted for symmetry too — with
+    no process fan-out there are no worker lanes to collect, and the
+    *telemetry* passthrough already captures the batch's events.
+    ``progress`` advances per plane group (the engine's unit of
+    forward progress) and per classified payload fault.
 
     Payload corruption on a *sink-boundary* channel rides the same
     batch instead of falling back to the scalar LID engine: a payload
@@ -682,6 +723,8 @@ def skeleton_campaign(
             groups = plane_chunks(expressible)
         else:
             groups = [expressible]
+        if progress is not None:
+            progress.set_total(len(expressible) + len(payload_specs))
         accept_hist = None
         sink_index: Dict[str, int] = {}
         tail = tail_window(cycles)
@@ -736,6 +779,8 @@ def skeleton_campaign(
                         f"{sum(golden_accepts)}); shells still live")
                 results.append(ExperimentResult(spec, verdict, detail,
                                                 True, 0))
+            if progress is not None:
+                progress.advance(len(group))
             if accept_hist is None:
                 # Golden accepts are identical in every group; keep the
                 # first group's history for payload classification.
@@ -763,6 +808,10 @@ def skeleton_campaign(
                               "window)")
                 results.append(ExperimentResult(spec, verdict, detail,
                                                 bool(hits), len(hits)))
+                if progress is not None:
+                    progress.advance(1)
+    if progress is not None:
+        progress.finish()
 
     # Restore the deterministic fault-list order for the report.
     order = {id(spec): i for i, spec in enumerate(faults)}

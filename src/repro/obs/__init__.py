@@ -29,10 +29,23 @@ from typing import Optional
 from .events import CATEGORIES, DEFAULT_CAPACITY, Event, EventStream
 from .exporters import (
     export_stream,
+    merged_chrome_trace,
     read_jsonl,
     to_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_merged_chrome_trace,
+)
+from .ledger import (
+    LEDGER_SCHEMA,
+    append_record,
+    canonical_payload_bytes,
+    default_ledger_path,
+    diff_records,
+    make_record,
+    read_ledger,
+    resolve_record,
+    span_id,
 )
 from .metrics import (
     Counter,
@@ -43,6 +56,15 @@ from .metrics import (
     merge_snapshots,
 )
 from .profiler import Profiler
+from .progress import ProgressReporter
+from .regress import (
+    Regression,
+    TrendPoint,
+    bench_trend,
+    find_regressions,
+    format_report,
+    ledger_trend,
+)
 
 
 class Telemetry:
@@ -94,14 +116,32 @@ __all__ = [
     "EventStream",
     "Gauge",
     "Histogram",
+    "LEDGER_SCHEMA",
     "MetricsRegistry",
     "Profiler",
+    "ProgressReporter",
+    "Regression",
     "Telemetry",
+    "TrendPoint",
+    "append_record",
+    "bench_trend",
+    "canonical_payload_bytes",
+    "default_ledger_path",
+    "diff_records",
     "export_stream",
+    "find_regressions",
     "flatten_snapshot",
+    "format_report",
+    "ledger_trend",
+    "make_record",
     "merge_snapshots",
+    "merged_chrome_trace",
     "read_jsonl",
+    "read_ledger",
+    "resolve_record",
+    "span_id",
     "to_chrome_trace",
     "write_chrome_trace",
     "write_jsonl",
+    "write_merged_chrome_trace",
 ]

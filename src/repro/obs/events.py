@@ -31,6 +31,10 @@ fixpoint   ambiguous          the stop network admitted more than one
                               fixpoint this cycle (potential deadlock)
 phase      <phase name>       a profiler phase completed (``seconds``)
 run        start, end         run-level markers (parameters as fields)
+exec       progress           live driver-side execution status
+                              (``done``, ``total``, ``cache_hits``,
+                              ``eta_seconds``) — wall-clock paced, so
+                              never part of canonical payloads
 ========== ================== ==========================================
 """
 
@@ -42,7 +46,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 #: Known event categories (exporters accept unknown ones, this is the
 #: documented vocabulary used by the built-in instrumentation).
 CATEGORIES = ("token", "stall", "relay", "monitor", "inject", "fixpoint",
-              "phase", "run")
+              "phase", "run", "exec")
 
 #: Default ring capacity: enough for ~100 cycles of a dense mid-size
 #: system without unbounded growth on long runs.
@@ -138,6 +142,23 @@ class EventStream:
     def events(self) -> List[Event]:
         """Snapshot of the retained events, oldest first."""
         return list(self._events)
+
+    def absorb(self, events: "Iterator[Event] | List[Event]",
+               emitted: Optional[int] = None) -> int:
+        """Merge already-recorded *events* (e.g. from a worker stream).
+
+        *emitted* credits the source stream's total emission count so
+        :attr:`dropped` keeps accounting for events the *source* ring
+        already lost — the merge must not silently launder drops.  When
+        omitted, only the absorbed events are credited.  Returns the
+        number of events absorbed.
+        """
+        count = 0
+        for event in events:
+            self._events.append(event)
+            count += 1
+        self.emitted += emitted if emitted is not None else count
+        return count
 
     def clear(self) -> None:
         self._events.clear()

@@ -32,9 +32,14 @@ _CATEGORY_TIDS = {
     "fixpoint": 5,
     "run": 6,
     "phase": 7,
+    "exec": 9,
 }
 _OTHER_TID = 15
 _PROFILER_TID = 8
+
+#: Worker lanes in merged traces start here: ``tid = 1000 + chunk``,
+#: far above the per-category tids so the two namespaces cannot clash.
+_WORKER_TID_BASE = 1000
 
 
 def _open(target: PathOrFile, write: bool):
@@ -47,7 +52,16 @@ def _open(target: PathOrFile, write: bool):
 
 
 def write_jsonl(events: Iterable[Event], target: PathOrFile) -> int:
-    """Write events as JSON Lines; returns the number written."""
+    """Write events as JSON Lines; returns the number written.
+
+    When *events* is an :class:`EventStream` (rather than a bare
+    iterable), a trailing ``{"meta": "eventstream", ...}`` record is
+    appended carrying the stream's ``emitted``/``dropped``/``retained``
+    accounting — ring-buffer truncation used to be silent in the
+    export.  The returned count covers events only, and
+    :func:`read_jsonl` skips meta records, so the event round-trip is
+    unchanged.
+    """
     fh, owned = _open(target, write=True)
     count = 0
     try:
@@ -55,6 +69,14 @@ def write_jsonl(events: Iterable[Event], target: PathOrFile) -> int:
             fh.write(json.dumps(event.to_dict(), sort_keys=True))
             fh.write("\n")
             count += 1
+        if isinstance(events, EventStream):
+            fh.write(json.dumps({
+                "meta": "eventstream",
+                "emitted": events.emitted,
+                "dropped": events.dropped,
+                "retained": len(events),
+            }, sort_keys=True))
+            fh.write("\n")
     finally:
         if owned:
             fh.close()
@@ -62,14 +84,23 @@ def write_jsonl(events: Iterable[Event], target: PathOrFile) -> int:
 
 
 def read_jsonl(target: PathOrFile) -> List[Event]:
-    """Parse a JSONL trace back into :class:`Event` records."""
+    """Parse a JSONL trace back into :class:`Event` records.
+
+    Trailing ``{"meta": ...}`` accounting records (see
+    :func:`write_jsonl`) are skipped: the function returns events only,
+    so ``read_jsonl(write_jsonl(stream)) == stream.events()`` holds.
+    """
     fh, owned = _open(target, write=False)
     try:
         events = []
         for line in fh:
             line = line.strip()
-            if line:
-                events.append(Event.from_dict(json.loads(line)))
+            if not line:
+                continue
+            record = json.loads(line)
+            if "meta" in record and "cycle" not in record:
+                continue
+            events.append(Event.from_dict(record))
         return events
     finally:
         if owned:
@@ -91,7 +122,12 @@ def to_chrome_trace(
     become one ``ph="X"`` slice each (duration = accumulated seconds)
     laid end to end on a separate track, so relative phase cost is
     visible at a glance.
+
+    When *events* is an :class:`EventStream`, its ``emitted`` /
+    ``dropped`` accounting is surfaced in ``otherData`` so ring-buffer
+    truncation is visible in the trace viewer.
     """
+    stream = events if isinstance(events, EventStream) else None
     trace_events: List[Dict[str, Any]] = [{
         "name": "process_name",
         "ph": "M",
@@ -137,11 +173,133 @@ def to_chrome_trace(
             "tid": tid,
             "args": {"name": label},
         })
+    other_data: Dict[str, Any] = {"timebase": "1 simulation cycle = 1 us"}
+    if stream is not None:
+        other_data["emitted"] = stream.emitted
+        other_data["dropped"] = stream.dropped
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
-        "otherData": {"timebase": "1 simulation cycle = 1 us"},
+        "otherData": other_data,
     }
+
+
+# -- merged worker traces ------------------------------------------------
+
+
+def merged_chrome_trace(
+    parent: Optional[EventStream],
+    traces: Iterable[Any],
+    profiler: Optional[Profiler] = None,
+    process_name: str = "repro-lid",
+    run_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One Chrome trace from a parent stream plus worker chunk traces.
+
+    The parent's events (and optional profiler) render exactly as in
+    :func:`to_chrome_trace` on ``pid 0``; every
+    :class:`repro.exec.pool.WorkerTrace` becomes its own **lane** — the
+    ``(pid, tid)`` pair of the worker process id and
+    ``1000 + chunk_index`` — with ``process_name`` / ``thread_name``
+    metadata events naming it.  Chunk indices are deterministic (they
+    follow the submission order of ``map_deterministic``), so with 4+
+    chunks a ``--jobs 4`` campaign always yields 4+ distinct lanes even
+    if a fast worker served several chunks.
+
+    Event order within a lane is the worker's emission order (the trace
+    carries the events as recorded, never re-sorted), and drop
+    accounting survives the merge: ``otherData["dropped"]`` is the
+    parent's drops plus every worker's.
+    """
+    payload = (to_chrome_trace(parent, profiler=profiler,
+                               process_name=process_name)
+               if parent is not None
+               else to_chrome_trace((), profiler=profiler,
+                                    process_name=process_name))
+    trace_events = payload["traceEvents"]
+    emitted = parent.emitted if parent is not None else 0
+    dropped = parent.dropped if parent is not None else 0
+    lanes = 0
+    pids = set()
+    for trace in sorted(traces, key=lambda t: t.chunk_index):
+        tid = _WORKER_TID_BASE + trace.chunk_index
+        pid = trace.pid
+        lanes += 1
+        pids.add(pid)
+        emitted += trace.emitted
+        dropped += trace.dropped
+        if pid not in (e["pid"] for e in trace_events
+                       if e.get("ph") == "M"
+                       and e["name"] == "process_name"):
+            trace_events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"{process_name} worker pid={pid}"},
+            })
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"chunk {trace.chunk_index} "
+                             f"({trace.units} unit(s))"},
+        })
+        for record in trace.events:
+            trace_events.append({
+                "name": f"{record['category']}:{record['name']}",
+                "cat": record["category"],
+                "ph": "i",
+                "s": "t",
+                "ts": float(record["cycle"]),
+                "pid": pid,
+                "tid": tid,
+                "args": {k: v for k, v in record.items()
+                         if k not in ("cycle", "category", "name")},
+            })
+        cursor = 0.0
+        for name, calls, seconds in trace.phases:
+            duration_us = seconds * 1e6
+            trace_events.append({
+                "name": name,
+                "cat": "profiler",
+                "ph": "X",
+                "ts": cursor,
+                "dur": duration_us,
+                "pid": pid,
+                "tid": tid,
+                "args": {"calls": calls, "seconds": seconds},
+            })
+            cursor += duration_us
+    payload["otherData"]["emitted"] = emitted
+    payload["otherData"]["dropped"] = dropped
+    payload["otherData"]["worker_lanes"] = lanes
+    payload["otherData"]["worker_pids"] = len(pids)
+    if run_id is not None:
+        payload["otherData"]["run_id"] = run_id
+    return payload
+
+
+def write_merged_chrome_trace(
+    parent: Optional[EventStream],
+    traces: Iterable[Any],
+    target: PathOrFile,
+    profiler: Optional[Profiler] = None,
+    process_name: str = "repro-lid",
+    run_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Serialize :func:`merged_chrome_trace` to *target*."""
+    payload = merged_chrome_trace(parent, traces, profiler=profiler,
+                                  process_name=process_name,
+                                  run_id=run_id)
+    fh, owned = _open(target, write=True)
+    try:
+        json.dump(payload, fh, sort_keys=True)
+    finally:
+        if owned:
+            fh.close()
+    return payload
 
 
 def write_chrome_trace(

@@ -1,0 +1,323 @@
+"""Persistent run ledger: schema-versioned, content-addressed records.
+
+Telemetry from :mod:`repro.obs` dies with the process; the ledger is
+the durable half.  Every campaign, deadlock check, throughput sweep and
+bench run can append one **run record** to an append-only JSONL file:
+
+* the **canonical payload** — kind, topology, IR fingerprint, variant,
+  parameters, git revision, PassPipeline audit, verdict summary and a
+  digest of the metrics snapshot — is deterministic: the same run
+  (serial or ``--jobs N``) produces byte-identical canonical payloads,
+  so two ledger lines from identical runs ``cmp`` equal after
+  :func:`canonical_payload_bytes` extraction;
+* the **run id** is content-addressed: the sha256 of the canonical
+  payload bytes.  Identical runs share an id; any divergence in the key
+  components (fingerprint, params, git rev, verdict) changes it;
+* **meta** carries everything wall-clock-bound — timestamps, wall
+  seconds, per-phase profiler timings, jobs/worker/cache audit — and is
+  deliberately *excluded* from the id and the canonical bytes.
+
+Writes reuse the atomic-replace discipline of ``repro.bench`` /
+``repro.exec.cache`` (``mkstemp`` + ``os.replace``, whole-file
+rewrite), so a reader polling the ledger never sees a torn line; reads
+are tolerant — an unparsable or wrong-schema line is a warning and a
+skip, never a crash.
+
+``repro-lid obs`` (ls / show / diff / regress) is the CLI over this
+module; ``docs/observability.md`` documents the record schema.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Bump on any change to the canonical payload layout.
+LEDGER_SCHEMA = "repro-obs-ledger/v1"
+
+#: Payload fields that participate in cache/identity attribution: when
+#: two records diverge, ``diff_records`` names which of these moved.
+KEY_COMPONENTS = ("kind", "topology", "fingerprint", "variant",
+                  "params", "git_rev", "passes")
+
+
+def default_ledger_path() -> str:
+    """``$REPRO_LID_LEDGER`` or ``~/.cache/repro-lid/ledger.jsonl``."""
+    override = os.environ.get("REPRO_LID_LEDGER")
+    if override:
+        return override
+    return os.path.join(os.path.expanduser("~"), ".cache", "repro-lid",
+                        "ledger.jsonl")
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, compact separators, ASCII."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      ensure_ascii=True)
+
+
+def payload_digest(obj: Any) -> str:
+    """sha256 hex of the canonical JSON rendering of *obj*."""
+    return hashlib.sha256(canonical_json(obj).encode()).hexdigest()
+
+
+def canonical_payload_bytes(record: Dict[str, Any]) -> bytes:
+    """The byte-deterministic part of a record (one JSON line).
+
+    Two runs of the same campaign — serial or parallel, cold or warm
+    cache — yield ``cmp``-equal canonical bytes; this is what the CI
+    obs-smoke step compares.
+    """
+    return (canonical_json(record.get("payload", {})) + "\n").encode()
+
+
+def span_id(kind: str, fingerprint: Optional[str], variant: Optional[str],
+            params: Optional[Dict[str, Any]]) -> str:
+    """Pre-run identity of a unit of work (kind + design + config).
+
+    Deterministic *before* the run finishes — campaigns propagate it to
+    workers as the trace/run correlation id, and regression tracking
+    groups ledger records by it (same work, different commits/times).
+    """
+    return payload_digest({
+        "kind": kind,
+        "fingerprint": fingerprint,
+        "variant": variant,
+        "params": params or {},
+    })[:12]
+
+
+def make_record(
+    kind: str,
+    *,
+    topology: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+    variant: Optional[str] = None,
+    params: Optional[Dict[str, Any]] = None,
+    verdict: Optional[Dict[str, Any]] = None,
+    passes: Iterable[Any] = (),
+    metrics: Optional[Dict[str, Any]] = None,
+    git_rev: Optional[str] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Build one ledger record; the run id is content-addressed.
+
+    *passes* accepts :class:`repro.ir.passes.PassRecord` objects or
+    plain dicts (the audit log of any PassPipeline that shaped the
+    design before the run).  *metrics* is a
+    :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`; only its
+    digest enters the payload, keeping ledger lines small while still
+    detecting any metric divergence between runs.
+    """
+    if git_rev is None:
+        from ..bench.runner import git_rev as _git_rev
+
+        git_rev = _git_rev()
+    audit = [p.to_dict() if hasattr(p, "to_dict") else dict(p)
+             for p in passes]
+    payload: Dict[str, Any] = {
+        "kind": kind,
+        "topology": topology,
+        "fingerprint": fingerprint,
+        "variant": variant,
+        "params": dict(params or {}),
+        "git_rev": git_rev,
+        "passes": audit,
+        "verdict": dict(verdict or {}),
+        "metrics_digest": (payload_digest(metrics)
+                           if metrics is not None else None),
+        "span": span_id(kind, fingerprint, variant, params),
+    }
+    return {
+        "schema": LEDGER_SCHEMA,
+        "run_id": payload_digest(payload)[:16],
+        "payload": payload,
+        "meta": dict(meta or {}),
+    }
+
+
+def append_record(path: str, record: Dict[str, Any]) -> str:
+    """Append *record* to the JSONL ledger at *path* atomically.
+
+    The whole file is rewritten through ``mkstemp`` + ``os.replace``
+    (the :func:`repro.exec.cache.atomic_write_bytes` discipline): a
+    concurrent reader sees either the old complete ledger or the new
+    one, never a torn trailing line.  Returns the record's run id.
+    """
+    from ..exec.cache import atomic_write_bytes
+
+    line = (json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n").encode()
+    existing = b""
+    try:
+        with open(path, "rb") as fh:
+            existing = fh.read()
+    except FileNotFoundError:
+        pass
+    if existing and not existing.endswith(b"\n"):
+        existing += b"\n"
+    atomic_write_bytes(path, existing + line)
+    return record["run_id"]
+
+
+def read_ledger(path: str) -> List[Dict[str, Any]]:
+    """Every well-formed record in *path*, in append order.
+
+    Tolerant like :func:`repro.bench.runner.read_records`: a corrupt or
+    wrong-schema line is skipped with a warning on stderr — one bad
+    line must not take down a dashboard reading hundreds.
+    """
+    records: List[Dict[str, Any]] = []
+    try:
+        fh = open(path, encoding="utf-8")
+    except FileNotFoundError:
+        return records
+    with fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                print(f"warning: skipping unparsable ledger line "
+                      f"{path}:{lineno}: {exc}", file=sys.stderr)
+                continue
+            if not isinstance(record, dict) \
+                    or record.get("schema") != LEDGER_SCHEMA:
+                print(f"warning: skipping {path}:{lineno}: not a "
+                      f"{LEDGER_SCHEMA} record", file=sys.stderr)
+                continue
+            records.append(record)
+    return records
+
+
+def resolve_record(records: List[Dict[str, Any]],
+                   ref: str) -> Tuple[int, Dict[str, Any]]:
+    """Find one record by ``@index`` (append order, negatives OK) or by
+    a run-id prefix; raises :class:`ValueError` on miss or ambiguity.
+
+    A run-id prefix matching several *identical* ids (the same run
+    recorded twice) resolves to the latest occurrence — re-running a
+    deterministic campaign appends a duplicate id by design.
+    """
+    if not records:
+        raise ValueError("ledger is empty")
+    if ref.startswith("@"):
+        try:
+            index = int(ref[1:])
+        except ValueError:
+            raise ValueError(f"bad ledger index {ref!r}") from None
+        try:
+            record = records[index]
+        except IndexError:
+            raise ValueError(
+                f"ledger index {ref} out of range "
+                f"({len(records)} records)") from None
+        return (index if index >= 0 else len(records) + index), record
+    matches = [(i, r) for i, r in enumerate(records)
+               if r.get("run_id", "").startswith(ref)]
+    if not matches:
+        raise ValueError(f"no ledger record matches {ref!r}")
+    distinct = {r["run_id"] for _i, r in matches}
+    if len(distinct) > 1:
+        raise ValueError(
+            f"{ref!r} is ambiguous: matches "
+            + ", ".join(sorted(distinct)))
+    return matches[-1]
+
+
+def diff_records(a: Dict[str, Any],
+                 b: Dict[str, Any]) -> Dict[str, Any]:
+    """Structured delta between two run records.
+
+    ``identical`` is true iff the canonical payloads are byte-equal.
+    ``attribution`` names which key components diverged (fingerprint vs
+    params vs git rev ...), ``verdict`` lists per-class count deltas
+    and ``timing`` the wall/cache meta deltas — the question the diff
+    answers is "same run, or what changed, and did it cost anything".
+    """
+    pa, pb = a.get("payload", {}), b.get("payload", {})
+    attribution = [component for component in KEY_COMPONENTS
+                   if pa.get(component) != pb.get(component)]
+    verdict_delta: Dict[str, Tuple[Any, Any]] = {}
+    va, vb = pa.get("verdict", {}) or {}, pb.get("verdict", {}) or {}
+    for key in sorted(set(va) | set(vb)):
+        if va.get(key) != vb.get(key):
+            verdict_delta[key] = (va.get(key), vb.get(key))
+    if pa.get("metrics_digest") != pb.get("metrics_digest"):
+        verdict_delta["metrics_digest"] = (pa.get("metrics_digest"),
+                                           pb.get("metrics_digest"))
+    timing: Dict[str, Any] = {}
+    ma, mb = a.get("meta", {}) or {}, b.get("meta", {}) or {}
+    wa, wb = ma.get("wall_seconds"), mb.get("wall_seconds")
+    if isinstance(wa, (int, float)) and isinstance(wb, (int, float)):
+        timing["wall_seconds"] = (wa, wb)
+        if wa:
+            timing["wall_ratio"] = wb / wa
+    ca, cb = ma.get("cache"), mb.get("cache")
+    if ca != cb:
+        timing["cache"] = (ca, cb)
+    return {
+        "identical": canonical_payload_bytes(a) ==
+        canonical_payload_bytes(b),
+        "run_ids": (a.get("run_id"), b.get("run_id")),
+        "attribution": attribution,
+        "verdict": verdict_delta,
+        "timing": timing,
+    }
+
+
+def format_diff(diff: Dict[str, Any]) -> str:
+    """Human rendering of :func:`diff_records` (the ``obs diff`` CLI)."""
+    lines = [f"runs: {diff['run_ids'][0]} vs {diff['run_ids'][1]}"]
+    if diff["identical"]:
+        lines.append("no deltas: canonical payloads are byte-identical")
+    else:
+        lines.append("diverged components: "
+                     + (", ".join(diff["attribution"]) or "verdict only"))
+        for key, (va, vb) in sorted(diff["verdict"].items()):
+            lines.append(f"  verdict {key}: {va!r} -> {vb!r}")
+    timing = diff["timing"]
+    if "wall_seconds" in timing:
+        wa, wb = timing["wall_seconds"]
+        ratio = (f" ({timing['wall_ratio']:.2f}x)"
+                 if "wall_ratio" in timing else "")
+        lines.append(f"wall: {wa:.3f}s -> {wb:.3f}s{ratio}")
+    if "cache" in timing:
+        ca, cb = timing["cache"]
+        lines.append(f"cache: {ca} -> {cb}")
+    return "\n".join(lines)
+
+
+def format_ls(records: List[Dict[str, Any]]) -> str:
+    """Summary table of a ledger (the ``obs ls`` CLI)."""
+    from ..bench.tables import format_table
+
+    rows = []
+    for index, record in enumerate(records):
+        payload = record.get("payload", {})
+        meta = record.get("meta", {}) or {}
+        verdict = payload.get("verdict", {}) or {}
+        summary = " ".join(f"{k}={v}" for k, v in sorted(verdict.items())
+                           if isinstance(v, (int, str, bool)))
+        wall = meta.get("wall_seconds")
+        rows.append((
+            f"@{index}",
+            record.get("run_id", "?"),
+            payload.get("kind", "?"),
+            payload.get("topology") or "-",
+            payload.get("variant") or "-",
+            (payload.get("fingerprint") or "-")[:12],
+            f"{wall:.3f}s" if isinstance(wall, (int, float)) else "-",
+            summary[:48] or "-",
+        ))
+    return format_table(
+        ("#", "run id", "kind", "topology", "variant", "fingerprint",
+         "wall", "verdict"),
+        rows,
+        title=f"run ledger: {len(records)} record(s)",
+    )

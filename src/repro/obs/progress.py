@@ -1,0 +1,137 @@
+"""Live progress over the telemetry event stream.
+
+Campaigns, deadlock probes and sweeps fan work out through
+``map_deterministic``; until now the only signal that anything was
+happening was the final report.  :class:`ProgressReporter` sits on the
+driver side of the pool, is advanced once per completed unit (serial
+loop or future-drain callback), and
+
+* emits periodic ``exec/progress`` events into an
+  :class:`~repro.obs.events.EventStream` (done/total, cache hits, ETA)
+  for exporters and dashboards, and
+* renders a rate-limited status line to *out* (stderr by default).
+
+Everything here is strictly off the stdout path: reports stay
+byte-identical whether progress is on or off, which is why the CLI
+flag is ``--progress`` (stderr) and off by default.
+
+Completion order under ``--jobs N`` is wall-clock dependent, so
+progress events are inherently non-deterministic; they are emitted
+under the ``exec`` category and never enter canonical report or ledger
+payloads.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Any, Optional, TextIO
+
+from .events import EventStream
+
+#: Minimum seconds between rendered lines / emitted events.
+DEFAULT_INTERVAL = 0.25
+
+
+class ProgressReporter:
+    """Track done/total work units; emit events and a stderr line.
+
+    Thread-safe: ``advance`` may be called from executor waiter
+    threads.  *cache* is an optional :class:`repro.exec.cache.CacheStats`
+    read live so the line shows how much work the golden-run cache is
+    absorbing.
+    """
+
+    def __init__(
+        self,
+        total: int,
+        label: str = "campaign",
+        *,
+        stream: Optional[EventStream] = None,
+        cache: Optional[Any] = None,
+        out: Optional[TextIO] = None,
+        interval: float = DEFAULT_INTERVAL,
+    ) -> None:
+        self.total = max(int(total), 0)
+        self.label = label
+        self.stream = stream
+        self.cache = cache
+        self.out = out if out is not None else sys.stderr
+        self.interval = interval
+        self.done = 0
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._last_render = 0.0
+        self._finished = False
+
+    # -- accounting ----------------------------------------------------
+
+    def set_total(self, total: int) -> None:
+        with self._lock:
+            self.total = max(int(total), 0)
+
+    def advance(self, n: int = 1) -> None:
+        """Record *n* completed units; render if the interval elapsed."""
+        with self._lock:
+            self.done += n
+            now = time.monotonic()
+            force = self.done >= self.total
+            if not force and now - self._last_render < self.interval:
+                return
+            self._last_render = now
+            self._tick(now)
+
+    def finish(self) -> None:
+        """Force a final render + event (idempotent)."""
+        with self._lock:
+            if self._finished:
+                return
+            self._finished = True
+            self._tick(time.monotonic(), final=True)
+            if self.out is not None and self.out.isatty():
+                self.out.write("\n")
+                self.out.flush()
+
+    # -- rendering (lock held) -----------------------------------------
+
+    def _cache_hits(self) -> Optional[int]:
+        if self.cache is None:
+            return None
+        hits = getattr(self.cache, "hits", None)
+        return hits if isinstance(hits, int) else None
+
+    def _eta(self, now: float) -> Optional[float]:
+        if not self.done or self.done >= self.total:
+            return None
+        elapsed = now - self._started
+        return elapsed / self.done * (self.total - self.done)
+
+    def _tick(self, now: float, final: bool = False) -> None:
+        hits = self._cache_hits()
+        eta = self._eta(now)
+        if self.stream is not None:
+            fields = {"done": self.done, "total": self.total,
+                      "label": self.label}
+            if hits is not None:
+                fields["cache_hits"] = hits
+            if eta is not None:
+                fields["eta_seconds"] = round(eta, 3)
+            self.stream.emit("exec", "progress", 0, **fields)
+        if self.out is None:
+            return
+        percent = (100.0 * self.done / self.total) if self.total else 100.0
+        parts = [f"{self.label}: {self.done}/{self.total}",
+                 f"({percent:.0f}%)"]
+        if hits is not None:
+            parts.append(f"cache-hits={hits}")
+        if eta is not None:
+            parts.append(f"eta={eta:.1f}s")
+        if final:
+            parts.append(f"elapsed={now - self._started:.1f}s")
+        line = " ".join(parts)
+        if self.out.isatty():
+            self.out.write("\r\x1b[K" + line)
+        else:
+            self.out.write(line + "\n")
+        self.out.flush()

@@ -1,0 +1,188 @@
+"""Performance-regression tracking over bench records and the ledger.
+
+Two trajectory sources feed the same detector:
+
+* **bench records** — directories of ``BENCH_*.json``
+  (``repro-bench-record/v1``), one directory per trajectory position
+  (e.g. CI artifacts from successive commits);
+* **the run ledger** — successive records of the same span
+  (kind + fingerprint + variant + params) carry ``meta.wall_seconds``
+  across commits.
+
+Each source yields :class:`TrendPoint` series keyed by
+``(label, metric)``.  :func:`find_regressions` compares the newest
+point of each series against a baseline (first or best prior point)
+and flags moves beyond a threshold ratio, honouring metric direction:
+wall/seconds metrics regress *upward*, rate metrics (``cycles/s``,
+``*_per_sec``, ``speedup``) regress *downward*.
+
+``repro-lid obs regress`` is the CLI; it exits 1 iff any regression is
+flagged, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default tolerated ratio before a move counts as a regression.
+DEFAULT_THRESHOLD = 1.5
+
+_LOWER_BETTER_HINTS = ("seconds", "wall", "time", "latency", "overhead")
+_HIGHER_BETTER_HINTS = ("per_sec", "per_second", "cycles_per_sec", "rate",
+                        "speedup", "throughput", "hits")
+
+
+def metric_direction(metric: str) -> Optional[str]:
+    """``"lower"``/``"higher"``-is-better, or None if undecidable."""
+    name = metric.lower()
+    # Rate hints win when both match (e.g. "wall_cycles_per_sec").
+    if any(h in name for h in _HIGHER_BETTER_HINTS):
+        return "higher"
+    if any(h in name for h in _LOWER_BETTER_HINTS):
+        return "lower"
+    return None
+
+
+@dataclass(frozen=True)
+class TrendPoint:
+    """One observation of one metric at one trajectory position."""
+
+    label: str          # series identity, e.g. bench id or ledger span
+    metric: str         # e.g. "wall_seconds", "cycles_per_sec"
+    value: float
+    source: str         # file / ledger ref the value came from
+    position: int       # 0-based trajectory index (older = smaller)
+
+
+@dataclass(frozen=True)
+class Regression:
+    """A flagged move of one series beyond the threshold."""
+
+    label: str
+    metric: str
+    direction: str              # "lower" or "higher" (what better means)
+    baseline_value: float
+    baseline_source: str
+    current_value: float
+    current_source: str
+    ratio: float                # slowdown factor, always >= 1 when flagged
+
+    def describe(self) -> str:
+        arrow = ("rose" if self.direction == "lower" else "fell")
+        return (f"{self.label} {self.metric} {arrow} "
+                f"{self.baseline_value:.6g} -> {self.current_value:.6g} "
+                f"({self.ratio:.2f}x, baseline {self.baseline_source})")
+
+
+def bench_trend(directories: Sequence[str]) -> List[TrendPoint]:
+    """Trajectory points from ``BENCH_*.json`` directories, in order.
+
+    Each directory is one trajectory position.  Every record
+    contributes its ``wall_seconds`` plus any numeric counters.
+    Reading is tolerant (``read_records`` skips bad files).
+    """
+    from ..bench.runner import read_records
+
+    points: List[TrendPoint] = []
+    for position, directory in enumerate(directories):
+        for record in read_records(directory):
+            name = record.get("bench", "?")
+            source = os.path.join(directory, f"BENCH_{name}.json")
+            wall = record.get("wall_seconds")
+            if isinstance(wall, (int, float)):
+                points.append(TrendPoint(name, "wall_seconds",
+                                         float(wall), source, position))
+            counters = record.get("counters") or {}
+            for metric in sorted(counters):
+                value = counters[metric]
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    points.append(TrendPoint(name, metric, float(value),
+                                             source, position))
+    return points
+
+
+def ledger_trend(records: Sequence[Dict[str, Any]]) -> List[TrendPoint]:
+    """Trajectory points from ledger records, grouped by span.
+
+    Successive records of the same span (same kind + design + params)
+    form one series; ``meta.wall_seconds`` is the tracked metric.
+    Trajectory position is the per-span occurrence index, so ledgers
+    mixing many spans still compare like with like.
+    """
+    points: List[TrendPoint] = []
+    occurrence: Dict[str, int] = {}
+    for index, record in enumerate(records):
+        payload = record.get("payload", {}) or {}
+        meta = record.get("meta", {}) or {}
+        span = payload.get("span")
+        wall = meta.get("wall_seconds")
+        if span is None or not isinstance(wall, (int, float)):
+            continue
+        label = f"{payload.get('kind', '?')}:{span}"
+        position = occurrence.get(label, 0)
+        occurrence[label] = position + 1
+        points.append(TrendPoint(label, "wall_seconds", float(wall),
+                                 f"@{index}", position))
+    return points
+
+
+def find_regressions(
+    points: Iterable[TrendPoint],
+    *,
+    threshold: float = DEFAULT_THRESHOLD,
+    baseline: str = "first",
+) -> List[Regression]:
+    """Flag series whose newest point regressed beyond *threshold*.
+
+    *baseline* is ``"first"`` (oldest point) or ``"best"`` (best prior
+    point — strictest).  Series with a single point, unknown metric
+    direction, or a non-positive baseline are skipped.
+    """
+    if baseline not in ("first", "best"):
+        raise ValueError(f"baseline must be 'first' or 'best', "
+                         f"not {baseline!r}")
+    series: Dict[Tuple[str, str], List[TrendPoint]] = {}
+    for point in points:
+        series.setdefault((point.label, point.metric), []).append(point)
+    regressions: List[Regression] = []
+    for (label, metric) in sorted(series):
+        trajectory = sorted(series[(label, metric)],
+                            key=lambda p: p.position)
+        if len(trajectory) < 2:
+            continue
+        direction = metric_direction(metric)
+        if direction is None:
+            continue
+        current = trajectory[-1]
+        prior = trajectory[:-1]
+        if baseline == "first":
+            base = prior[0]
+        else:
+            base = (min(prior, key=lambda p: p.value)
+                    if direction == "lower"
+                    else max(prior, key=lambda p: p.value))
+        if base.value <= 0 or current.value <= 0:
+            continue
+        ratio = (current.value / base.value if direction == "lower"
+                 else base.value / current.value)
+        if ratio > threshold:
+            regressions.append(Regression(
+                label=label, metric=metric, direction=direction,
+                baseline_value=base.value, baseline_source=base.source,
+                current_value=current.value, current_source=current.source,
+                ratio=ratio))
+    return regressions
+
+
+def format_report(regressions: Sequence[Regression],
+                  *, threshold: float = DEFAULT_THRESHOLD) -> str:
+    """Human rendering for ``obs regress``."""
+    if not regressions:
+        return f"no regressions beyond {threshold:.2f}x"
+    lines = [f"{len(regressions)} regression(s) beyond {threshold:.2f}x:"]
+    for regression in regressions:
+        lines.append("  " + regression.describe())
+    return "\n".join(lines)

@@ -88,6 +88,21 @@ def _probe(args) -> tuple:
         return ("timeout", None)
 
 
+def _merge_probe_metrics(telemetry, probe: str, sim: SkeletonSim) -> None:
+    """Fold one probe's metrics snapshot into the caller's registry.
+
+    Each probe gets its own ``deadlock/<probe>/`` namespace so the
+    optimistic and pessimistic passes never double-count each other's
+    skeleton counters.
+    """
+    if telemetry is None or telemetry.metrics is None:
+        return
+    snapshot = sim.metrics_snapshot()
+    telemetry.metrics.merge_snapshot(
+        {f"deadlock/{probe}/{name}": record
+         for name, record in snapshot.items()})
+
+
 def _pattern_key(patterns) -> tuple:
     return tuple(sorted(
         (name, tuple(bool(b) for b in bits))
@@ -105,6 +120,7 @@ def check_deadlock(
     jobs: int = 1,
     graph_ref=None,
     cache=None,
+    telemetry=None,
 ) -> DeadlockVerdict:
     """Simulate the skeleton until periodicity and classify liveness.
 
@@ -112,6 +128,11 @@ def check_deadlock(
     ``inconclusive`` (not a raised :class:`TimeoutError`): callers get a
     one-line diagnostic in ``detail`` and can retry with a larger
     budget.
+
+    *telemetry* (a :class:`repro.obs.Telemetry`) instruments the
+    probes; because worker processes cannot write into the caller's
+    registries, a telemetry-carrying check always probes serially —
+    the verdict is identical either way, only the wall clock differs.
 
     ``jobs > 1`` runs the optimistic and pessimistic probes in separate
     worker processes when the stop network may be ambiguous (the only
@@ -147,6 +168,7 @@ def check_deadlock(
         fixpoint="least",
         source_patterns=source_patterns,
         sink_patterns=sink_patterns,
+        telemetry=telemetry,
     )
     # Ambiguity potential is a static topology property, so whether the
     # pessimistic probe will be needed is known before running anything
@@ -155,14 +177,18 @@ def check_deadlock(
     opt_status = pess_status = None
     optimistic = pessimistic = None
 
+    # Telemetry registries live in this process; speculative worker
+    # probes could not report into them, so instrumented checks always
+    # probe serially (the verdict is jobs-invariant anyway).
+    parallel_ok = jobs > 1 and needs_pessimistic and telemetry is None
     ref = graph_ref
-    if jobs > 1 and needs_pessimistic and ref is None:
+    if parallel_ok and ref is None:
         try:
             ref = GraphRef.from_graph(graph)
         except ExecutionError:
             ref = None  # unpicklable graph: probe serially below
 
-    if jobs > 1 and needs_pessimistic and ref is not None:
+    if parallel_ok and ref is not None:
         probes = [
             (ref, variant, mode, max_cycles,
              source_patterns, sink_patterns)
@@ -176,6 +202,7 @@ def check_deadlock(
             opt_status = "ok"
         except PeriodicityTimeout:
             opt_status = "timeout"
+        _merge_probe_metrics(telemetry, "optimistic", optimistic_sim)
 
     if opt_status == "timeout":
         return _done(DeadlockVerdict(
@@ -216,12 +243,15 @@ def check_deadlock(
                 fixpoint="greatest",
                 source_patterns=source_patterns,
                 sink_patterns=sink_patterns,
+                telemetry=telemetry,
             )
             try:
                 pessimistic = pessimistic_sim.run(max_cycles=max_cycles)
                 pess_status = "ok"
             except PeriodicityTimeout:
                 pess_status = "timeout"
+            _merge_probe_metrics(telemetry, "pessimistic",
+                                 pessimistic_sim)
         if pess_status == "timeout":
             return _done(DeadlockVerdict(
                 deadlocked=False,

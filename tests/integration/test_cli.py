@@ -145,7 +145,12 @@ class TestObservabilityCommands:
         import json
 
         lines = [json.loads(line) for line in out.splitlines() if line]
-        assert lines and all("cycle" in record for record in lines)
+        assert lines
+        # The last line is the eventstream meta record (drop counts);
+        # every line before it is a flat event with a cycle stamp.
+        assert lines[-1]["meta"] == "eventstream"
+        assert lines[-1]["dropped"] == 0
+        assert all("cycle" in record for record in lines[:-1])
 
     def test_profile_table(self, capsys):
         assert main(["profile", "figure1", "--cycles", "50"]) == 0

@@ -46,11 +46,43 @@ class TestJsonl:
         write_jsonl(_stream(), path)
         with open(path, encoding="utf-8") as fh:
             lines = [json.loads(line) for line in fh if line.strip()]
-        assert len(lines) == 4
-        for record in lines:
+        # 4 events + the trailing eventstream meta record.
+        assert len(lines) == 5
+        for record in lines[:-1]:
             assert {"cycle", "category", "name"} <= set(record)
             assert all(not isinstance(v, (dict, list))
                        for v in record.values())
+
+    def test_trailing_meta_record(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(_stream(), path)
+        with open(path, encoding="utf-8") as fh:
+            last = json.loads(fh.readlines()[-1])
+        assert last == {"meta": "eventstream", "emitted": 4,
+                        "dropped": 0, "retained": 4}
+
+    def test_meta_record_reports_drops(self, tmp_path):
+        stream = EventStream(capacity=2)
+        for cycle in range(5):
+            stream.emit("token", "fire", cycle)
+        path = str(tmp_path / "trace.jsonl")
+        assert write_jsonl(stream, path) == 2
+        with open(path, encoding="utf-8") as fh:
+            last = json.loads(fh.readlines()[-1])
+        assert last["emitted"] == 5
+        assert last["dropped"] == 3
+        assert last["retained"] == 2
+
+    def test_round_trip_non_ascii(self, tmp_path):
+        stream = EventStream()
+        stream.emit("token", "fire", 0, block="ψ-shell",
+                    note="naïve→café")
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(stream, path)
+        events = read_jsonl(path)
+        assert events == stream.events()
+        assert events[0].fields["block"] == "ψ-shell"
+        assert events[0].fields["note"] == "naïve→café"
 
 
 class TestChromeTrace:
@@ -92,6 +124,27 @@ class TestChromeTrace:
         with open(path, encoding="utf-8") as fh:
             payload = json.load(fh)
         assert payload["traceEvents"]
+
+    def test_empty_stream_is_valid_trace(self, tmp_path):
+        """An empty EventStream still exports a loadable Chrome trace."""
+        stream = EventStream()
+        payload = to_chrome_trace(stream)
+        assert set(payload) == {"traceEvents", "displayTimeUnit",
+                                "otherData"}
+        assert not [e for e in payload["traceEvents"]
+                    if e.get("ph") == "i"]
+        assert payload["otherData"]["emitted"] == 0
+        assert payload["otherData"]["dropped"] == 0
+        path = str(tmp_path / "empty.json")
+        write_chrome_trace(stream, path)
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh)["displayTimeUnit"] == "ms"
+
+    def test_stream_counts_in_other_data(self):
+        stream = _stream()
+        payload = to_chrome_trace(stream)
+        assert payload["otherData"]["emitted"] == 4
+        assert payload["otherData"]["dropped"] == 0
 
 
 class TestExportStream:

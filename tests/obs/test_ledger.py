@@ -1,0 +1,200 @@
+"""Run-ledger tests: content addressing, atomic append, diff/resolve."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    LEDGER_SCHEMA,
+    append_record,
+    canonical_payload_bytes,
+    default_ledger_path,
+    diff_records,
+    make_record,
+    read_ledger,
+    resolve_record,
+    span_id,
+)
+from repro.obs.ledger import format_diff, format_ls
+
+
+def _record(**overrides):
+    kwargs = dict(
+        topology="feedback",
+        fingerprint="abc123",
+        variant="casu",
+        params={"cycles": 64, "seed": 0},
+        verdict={"masked": 7, "deadlock": 1},
+        git_rev="deadbeef",
+        meta={"wall_seconds": 0.25, "jobs": 1},
+    )
+    kwargs.update(overrides)
+    return make_record("inject-campaign", **kwargs)
+
+
+class TestContentAddressing:
+    def test_identical_runs_share_run_id_and_bytes(self):
+        a, b = _record(), _record()
+        assert a["run_id"] == b["run_id"]
+        assert canonical_payload_bytes(a) == canonical_payload_bytes(b)
+
+    def test_meta_is_excluded_from_identity(self):
+        fast = _record(meta={"wall_seconds": 0.01, "jobs": 1})
+        slow = _record(meta={"wall_seconds": 9.99, "jobs": 8})
+        assert fast["run_id"] == slow["run_id"]
+        assert canonical_payload_bytes(fast) == canonical_payload_bytes(slow)
+
+    def test_any_key_component_changes_the_id(self):
+        base = _record()
+        assert _record(params={"cycles": 65, "seed": 0})["run_id"] \
+            != base["run_id"]
+        assert _record(git_rev="cafebabe")["run_id"] != base["run_id"]
+        assert _record(fingerprint="fff")["run_id"] != base["run_id"]
+
+    def test_span_is_pre_run_deterministic(self):
+        # span depends on kind + design + params only — not on verdict.
+        a = _record(verdict={"masked": 12})
+        b = _record(verdict={"deadlock": 12})
+        assert a["payload"]["span"] == b["payload"]["span"]
+        assert a["payload"]["span"] == span_id(
+            "inject-campaign", "abc123", "casu",
+            {"cycles": 64, "seed": 0})
+
+    def test_canonical_bytes_are_one_ascii_json_line(self):
+        data = canonical_payload_bytes(_record())
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert json.loads(data)["kind"] == "inject-campaign"
+
+    def test_schema_stamp(self):
+        assert _record()["schema"] == LEDGER_SCHEMA
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        first = _record()
+        second = _record(params={"cycles": 128, "seed": 0})
+        assert append_record(path, first) == first["run_id"]
+        assert append_record(path, second) == second["run_id"]
+        records = read_ledger(path)
+        assert [r["run_id"] for r in records] \
+            == [first["run_id"], second["run_id"]]
+        assert records[0]["payload"] == first["payload"]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_ledger(str(tmp_path / "absent.jsonl")) == []
+
+    def test_corrupt_line_is_skipped_with_warning(self, tmp_path, capsys):
+        path = str(tmp_path / "ledger.jsonl")
+        append_record(path, _record())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json\n")
+            fh.write('{"schema": "other/v1"}\n')
+        append_record(path, _record(params={"cycles": 1}))
+        records = read_ledger(path)
+        assert len(records) == 2
+        err = capsys.readouterr().err
+        assert "skipping unparsable ledger line" in err
+        assert "not a repro-obs-ledger/v1 record" in err
+
+    def test_append_repairs_missing_trailing_newline(self, tmp_path):
+        path = str(tmp_path / "ledger.jsonl")
+        append_record(path, _record())
+        with open(path, "rb+") as fh:
+            fh.seek(-1, 2)
+            fh.truncate()
+        append_record(path, _record(params={"cycles": 1}))
+        assert len(read_ledger(path)) == 2
+
+    def test_default_path_env_override(self, monkeypatch, tmp_path):
+        target = str(tmp_path / "env-ledger.jsonl")
+        monkeypatch.setenv("REPRO_LID_LEDGER", target)
+        assert default_ledger_path() == target
+        monkeypatch.delenv("REPRO_LID_LEDGER")
+        assert default_ledger_path().endswith("ledger.jsonl")
+
+
+class TestResolve:
+    def _ledger(self):
+        return [_record(),
+                _record(params={"cycles": 128, "seed": 0}),
+                _record()]
+
+    def test_by_index(self):
+        records = self._ledger()
+        assert resolve_record(records, "@0")[1] is records[0]
+        assert resolve_record(records, "@-1")[1] is records[2]
+        index, _ = resolve_record(records, "@-1")
+        assert index == 2
+
+    def test_by_prefix_resolves_duplicates_to_latest(self):
+        records = self._ledger()
+        prefix = records[0]["run_id"][:8]
+        index, record = resolve_record(records, prefix)
+        # records[0] and records[2] share the id; latest wins.
+        assert index == 2
+        assert record["run_id"] == records[0]["run_id"]
+
+    def test_errors(self):
+        records = self._ledger()
+        with pytest.raises(ValueError, match="out of range"):
+            resolve_record(records, "@9")
+        with pytest.raises(ValueError, match="bad ledger index"):
+            resolve_record(records, "@x")
+        with pytest.raises(ValueError, match="no ledger record"):
+            resolve_record(records, "zzzz")
+        with pytest.raises(ValueError, match="empty"):
+            resolve_record([], "@0")
+        # A prefix matching two *distinct* ids is ambiguous.
+        with pytest.raises(ValueError, match="ambiguous"):
+            resolve_record(records, "")
+
+
+class TestDiff:
+    def test_identical(self):
+        diff = diff_records(_record(), _record())
+        assert diff["identical"]
+        assert diff["attribution"] == []
+        assert diff["verdict"] == {}
+        text = format_diff(diff)
+        assert "no deltas" in text
+
+    def test_attribution_and_verdict_delta(self):
+        a = _record()
+        b = _record(params={"cycles": 128, "seed": 0},
+                    verdict={"masked": 5, "deadlock": 3})
+        diff = diff_records(a, b)
+        assert not diff["identical"]
+        assert diff["attribution"] == ["params"]
+        assert diff["verdict"]["masked"] == (7, 5)
+        assert diff["verdict"]["deadlock"] == (1, 3)
+        text = format_diff(diff)
+        assert "params" in text
+        assert "masked" in text
+
+    def test_timing_delta(self):
+        a = _record(meta={"wall_seconds": 0.5, "jobs": 1})
+        b = _record(meta={"wall_seconds": 1.0, "jobs": 4,
+                          "cache": {"hits": 3, "misses": 0}})
+        timing = diff_records(a, b)["timing"]
+        assert timing["wall_seconds"] == (0.5, 1.0)
+        assert timing["wall_ratio"] == pytest.approx(2.0)
+        assert timing["cache"] == (None, {"hits": 3, "misses": 0})
+
+    def test_metrics_digest_divergence_is_reported(self):
+        a = _record(metrics={"m": {"type": "counter", "value": 1}})
+        b = _record(metrics={"m": {"type": "counter", "value": 2}})
+        diff = diff_records(a, b)
+        assert not diff["identical"]
+        assert "metrics_digest" in diff["verdict"]
+
+
+class TestFormatLs:
+    def test_table_lists_every_record(self):
+        records = [_record(), _record(params={"cycles": 128, "seed": 0})]
+        text = format_ls(records)
+        assert "2 record(s)" in text
+        assert "@0" in text and "@1" in text
+        assert records[0]["run_id"] in text
+        assert "inject-campaign" in text

@@ -1,0 +1,208 @@
+"""End-to-end CLI tests for cross-run observability.
+
+Drives ``repro-lid`` through :func:`repro.cli.main` with the ledger
+redirected into a temp directory: campaign runs append records, the
+``obs`` subcommand reads them back, and the byte-determinism contract
+(serial vs ``--jobs N`` canonical payloads) is checked at the same
+level the CI obs-smoke step checks it.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import canonical_payload_bytes, make_record, read_ledger
+from repro.obs.ledger import append_record
+
+
+@pytest.fixture()
+def ledger(tmp_path, monkeypatch):
+    path = tmp_path / "ledger.jsonl"
+    monkeypatch.setenv("REPRO_LID_LEDGER", str(path))
+    return path
+
+
+def _smoke(*extra):
+    return main(["inject", "--smoke", "--no-cache", *extra])
+
+
+class TestLedgerAppend:
+    def test_inject_appends_and_notes_on_stderr(self, ledger, capsys):
+        assert _smoke("--ledger") == 0
+        records = read_ledger(str(ledger))
+        assert len(records) == 1
+        payload = records[0]["payload"]
+        assert payload["kind"] == "inject-campaign"
+        assert payload["topology"] == "feedback"
+        assert payload["verdict"]
+        assert "jobs" not in payload["params"]
+        assert records[0]["meta"]["jobs"] == 1
+        assert records[0]["meta"]["wall_seconds"] > 0
+        captured = capsys.readouterr()
+        assert "ledger: appended inject-campaign" in captured.err
+        assert "ledger" not in captured.out
+
+    def test_serial_and_parallel_payloads_are_byte_identical(
+            self, ledger, capsys):
+        assert _smoke("--ledger") == 0
+        assert _smoke("--ledger", "--jobs", "2") == 0
+        first, second = read_ledger(str(ledger))
+        assert canonical_payload_bytes(first) \
+            == canonical_payload_bytes(second)
+        assert first["run_id"] == second["run_id"]
+        assert second["meta"]["jobs"] == 2
+
+    def test_stdout_is_unchanged_by_ledger_and_progress(
+            self, ledger, capsys):
+        assert _smoke() == 0
+        plain = capsys.readouterr().out
+        assert _smoke("--ledger", "--progress") == 0
+        assert capsys.readouterr().out == plain
+
+    def test_explicit_ledger_file_wins_over_env(self, ledger, tmp_path,
+                                                capsys):
+        other = tmp_path / "other.jsonl"
+        assert _smoke("--ledger", str(other)) == 0
+        assert not ledger.exists()
+        assert len(read_ledger(str(other))) == 1
+
+    def test_deadlock_record_and_metrics_out(self, ledger, tmp_path,
+                                             capsys):
+        metrics = tmp_path / "dm.json"
+        assert main(["deadlock", "feedback", "--ledger",
+                     "--metrics-out", str(metrics)]) == 0
+        record, = read_ledger(str(ledger))
+        assert record["payload"]["kind"] == "deadlock-check"
+        assert record["payload"]["verdict"]["deadlocked"] is False
+        assert record["payload"]["metrics_digest"]
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["schema"] == "repro-metrics/v1"
+        assert any(name.startswith("deadlock/optimistic/")
+                   for name in snapshot["metrics"])
+
+    def test_series_record(self, ledger, capsys):
+        assert main(["series", "loop", "--ledger"]) == 0
+        record, = read_ledger(str(ledger))
+        assert record["payload"]["kind"] == "series"
+        assert record["payload"]["params"]["which"] == "loop"
+        assert record["payload"]["verdict"]["lines"] > 0
+
+
+class TestTraceOut:
+    def test_parallel_campaign_exports_worker_lanes(self, tmp_path,
+                                                    capsys):
+        trace = tmp_path / "trace.json"
+        assert _smoke("--jobs", "2", "--trace-out", str(trace)) == 0
+        payload = json.loads(trace.read_text())
+        other = payload["otherData"]
+        assert other["worker_lanes"] >= 2
+        assert other["run_id"]
+        lanes = {(e["pid"], e["tid"]) for e in payload["traceEvents"]
+                 if e.get("ph") == "i" and e["tid"] >= 1000}
+        assert len(lanes) == other["worker_lanes"]
+        assert "worker lane(s)" in capsys.readouterr().out
+
+    def test_serial_campaign_trace_has_parent_lane_only(self, tmp_path,
+                                                        capsys):
+        trace = tmp_path / "trace.json"
+        assert _smoke("--trace-out", str(trace)) == 0
+        payload = json.loads(trace.read_text())
+        assert payload["otherData"]["worker_lanes"] == 0
+        assert payload["otherData"]["emitted"] > 0
+
+
+class TestObsCommands:
+    def _seed_two_runs(self, ledger):
+        assert _smoke("--ledger") == 0
+        assert _smoke("--ledger", "--jobs", "2") == 0
+
+    def test_ls(self, ledger, capsys):
+        self._seed_two_runs(ledger)
+        capsys.readouterr()
+        assert main(["obs", "ls"]) == 0
+        out = capsys.readouterr().out
+        assert "run ledger: 2 record(s)" in out
+        assert "@0" in out and "@1" in out
+
+    def test_ls_empty(self, ledger, capsys):
+        assert main(["obs", "ls"]) == 0
+        assert "is empty" in capsys.readouterr().out
+
+    def test_show_canonical_matches_ledger_bytes(self, ledger, capsys):
+        self._seed_two_runs(ledger)
+        capsys.readouterr()
+        assert main(["obs", "show", "@0", "--canonical"]) == 0
+        first = capsys.readouterr().out
+        assert main(["obs", "show", "@1", "--canonical"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        record = read_ledger(str(ledger))[0]
+        assert first.encode() == canonical_payload_bytes(record)
+
+    def test_show_full_record(self, ledger, capsys):
+        self._seed_two_runs(ledger)
+        capsys.readouterr()
+        assert main(["obs", "show", "@-1"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["payload"]["kind"] == "inject-campaign"
+        assert record["meta"]["jobs"] == 2
+
+    def test_show_bad_ref_exits_with_message(self, ledger):
+        self._seed_two_runs(ledger)
+        with pytest.raises(SystemExit, match="no ledger record"):
+            main(["obs", "show", "zzzz"])
+
+    def test_diff_identical_runs(self, ledger, capsys):
+        self._seed_two_runs(ledger)
+        capsys.readouterr()
+        assert main(["obs", "diff", "@0", "@1"]) == 0
+        out = capsys.readouterr().out
+        assert "no deltas: canonical payloads are byte-identical" in out
+
+    def test_diff_divergent_runs(self, ledger, capsys):
+        assert _smoke("--ledger") == 0
+        assert main(["inject", "--smoke", "--no-cache", "--ledger",
+                     "--seed", "7"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "diff", "@0", "@1"]) == 0
+        out = capsys.readouterr().out
+        assert "diverged components" in out
+        assert "params" in out
+
+
+class TestObsRegress:
+    def _append(self, ledger, wall, cycles=64):
+        append_record(str(ledger), make_record(
+            "inject-campaign", fingerprint="f", variant="casu",
+            params={"cycles": cycles}, git_rev="r",
+            meta={"wall_seconds": wall}))
+
+    def test_two_x_slowdown_exits_one(self, ledger, capsys):
+        self._append(ledger, 1.0)
+        self._append(ledger, 2.0)
+        assert main(["obs", "regress"]) == 1
+        out = capsys.readouterr().out
+        assert "regression(s) beyond 1.50x" in out
+
+    def test_clean_trajectory_exits_zero(self, ledger, capsys):
+        self._append(ledger, 1.0)
+        self._append(ledger, 1.2)
+        assert main(["obs", "regress"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_threshold_is_honoured(self, ledger, capsys):
+        self._append(ledger, 1.0)
+        self._append(ledger, 2.0)
+        assert main(["obs", "regress", "--threshold", "3.0"]) == 0
+
+    def test_bench_directories(self, ledger, tmp_path, capsys):
+        from repro.bench.runner import experiment_record, write_record
+
+        old, new = tmp_path / "old", tmp_path / "new"
+        for directory, wall in ((old, 1.0), (new, 2.5)):
+            write_record(str(directory), experiment_record(
+                "EXP-X", wall_seconds=wall))
+        assert main(["obs", "regress", "--no-ledger",
+                     "--bench", str(old), "--bench", str(new)]) == 1
+        assert "EXP-X wall_seconds rose" in capsys.readouterr().out

@@ -1,0 +1,114 @@
+"""ProgressReporter tests: accounting, events, rendering discipline."""
+
+import io
+
+from repro.obs import EventStream, ProgressReporter
+
+
+class _Stats:
+    def __init__(self, hits):
+        self.hits = hits
+
+
+def _reporter(total=4, **kwargs):
+    kwargs.setdefault("out", io.StringIO())
+    kwargs.setdefault("interval", 0.0)
+    return ProgressReporter(total, "test", **kwargs)
+
+
+class TestAccounting:
+    def test_advance_and_finish(self):
+        out = io.StringIO()
+        reporter = _reporter(total=3, out=out)
+        reporter.advance()
+        reporter.advance(2)
+        reporter.finish()
+        text = out.getvalue()
+        assert "test: 3/3" in text
+        assert "(100%)" in text
+        assert "elapsed=" in text
+
+    def test_set_total_rescales(self):
+        out = io.StringIO()
+        reporter = _reporter(total=0, out=out)
+        reporter.set_total(10)
+        reporter.advance(5)
+        assert "5/10" in out.getvalue()
+        assert "(50%)" in out.getvalue()
+
+    def test_finish_is_idempotent(self):
+        out = io.StringIO()
+        reporter = _reporter(total=1, out=out)
+        reporter.advance()
+        reporter.finish()
+        once = out.getvalue()
+        reporter.finish()
+        assert out.getvalue() == once
+
+    def test_zero_total_does_not_divide(self):
+        reporter = _reporter(total=0)
+        reporter.finish()  # no ZeroDivisionError
+
+
+class TestEvents:
+    def test_progress_events_enter_the_stream(self):
+        stream = EventStream()
+        reporter = _reporter(total=2, stream=stream)
+        reporter.advance()
+        reporter.advance()
+        reporter.finish()
+        events = [e for e in stream.events()
+                  if e.category == "exec" and e.name == "progress"]
+        assert events
+        last = events[-1]
+        assert last.fields["done"] == 2
+        assert last.fields["total"] == 2
+        assert last.fields["label"] == "test"
+
+    def test_cache_hits_are_reported(self):
+        stream = EventStream()
+        out = io.StringIO()
+        reporter = _reporter(total=1, stream=stream, out=out,
+                             cache=_Stats(hits=7))
+        reporter.advance()
+        assert "cache-hits=7" in out.getvalue()
+        event = [e for e in stream.events() if e.name == "progress"][-1]
+        assert event.fields["cache_hits"] == 7
+
+    def test_eta_appears_mid_run_only(self):
+        stream = EventStream()
+        reporter = _reporter(total=4, stream=stream)
+        reporter.advance()  # 1/4: eta defined
+        mid = [e for e in stream.events() if e.name == "progress"][-1]
+        assert "eta_seconds" in mid.fields
+        reporter.advance(3)  # 4/4: no eta
+        done = [e for e in stream.events() if e.name == "progress"][-1]
+        assert "eta_seconds" not in done.fields
+
+
+class TestRendering:
+    def test_interval_rate_limits_lines(self):
+        out = io.StringIO()
+        reporter = _reporter(total=100, out=out, interval=3600.0)
+        for _ in range(50):
+            reporter.advance()
+        # At most the initial tick renders inside a huge interval.
+        assert len(out.getvalue().splitlines()) <= 1
+        reporter.advance(50)  # done >= total forces a render
+        assert "100/100" in out.getvalue()
+
+    def test_non_tty_renders_whole_lines(self):
+        out = io.StringIO()
+        reporter = _reporter(total=1, out=out)
+        reporter.advance()
+        assert out.getvalue().endswith("\n")
+        assert "\r" not in out.getvalue()
+
+    def test_disabled_out_only_emits_events(self):
+        stream = EventStream()
+        reporter = ProgressReporter(1, "quiet", stream=stream,
+                                    interval=0.0)
+        reporter.out = None  # events-only mode (no rendering target)
+        reporter.advance()
+        reporter.finish()
+        assert [e for e in stream.events() if e.name == "progress"]

@@ -1,0 +1,155 @@
+"""Regression-detector tests: trends, directions, baselines."""
+
+import pytest
+
+from repro.bench.runner import experiment_record, write_record
+from repro.obs import (
+    TrendPoint,
+    bench_trend,
+    find_regressions,
+    format_report,
+    ledger_trend,
+    make_record,
+)
+from repro.obs.regress import metric_direction
+
+
+class TestMetricDirection:
+    def test_lower_is_better(self):
+        assert metric_direction("wall_seconds") == "lower"
+        assert metric_direction("overhead_ratio") == "lower"
+        assert metric_direction("latency_us") == "lower"
+
+    def test_higher_is_better(self):
+        assert metric_direction("cycles_per_sec") == "higher"
+        assert metric_direction("speedup") == "higher"
+        assert metric_direction("cache_hits") == "higher"
+
+    def test_rate_hint_wins_over_time_hint(self):
+        assert metric_direction("wall_cycles_per_sec") == "higher"
+
+    def test_unknown(self):
+        assert metric_direction("rows") is None
+
+
+def _point(label, metric, value, position):
+    return TrendPoint(label, metric, value, f"src@{position}", position)
+
+
+class TestFindRegressions:
+    def test_slowdown_is_flagged(self):
+        points = [_point("b", "wall_seconds", 1.0, 0),
+                  _point("b", "wall_seconds", 2.1, 1)]
+        found = find_regressions(points, threshold=1.5)
+        assert len(found) == 1
+        regression = found[0]
+        assert regression.label == "b"
+        assert regression.ratio == pytest.approx(2.1)
+        assert "rose" in regression.describe()
+
+    def test_within_threshold_is_clean(self):
+        points = [_point("b", "wall_seconds", 1.0, 0),
+                  _point("b", "wall_seconds", 1.4, 1)]
+        assert find_regressions(points, threshold=1.5) == []
+
+    def test_rate_drop_is_flagged(self):
+        points = [_point("b", "cycles_per_sec", 100.0, 0),
+                  _point("b", "cycles_per_sec", 40.0, 1)]
+        found = find_regressions(points, threshold=1.5)
+        assert len(found) == 1
+        assert found[0].ratio == pytest.approx(2.5)
+        assert "fell" in found[0].describe()
+
+    def test_best_baseline_is_stricter_than_first(self):
+        points = [_point("b", "wall_seconds", 2.0, 0),
+                  _point("b", "wall_seconds", 1.0, 1),
+                  _point("b", "wall_seconds", 2.2, 2)]
+        assert find_regressions(points, baseline="first") == []
+        best = find_regressions(points, baseline="best")
+        assert len(best) == 1
+        assert best[0].baseline_value == pytest.approx(1.0)
+
+    def test_single_point_and_unknown_metric_skipped(self):
+        points = [_point("b", "wall_seconds", 1.0, 0),
+                  _point("b", "rows", 10, 0),
+                  _point("b", "rows", 100, 1)]
+        assert find_regressions(points) == []
+
+    def test_bad_baseline_raises(self):
+        with pytest.raises(ValueError, match="first.*best"):
+            find_regressions([], baseline="median")
+
+    def test_improvement_is_not_flagged(self):
+        points = [_point("b", "wall_seconds", 2.0, 0),
+                  _point("b", "wall_seconds", 0.5, 1)]
+        assert find_regressions(points) == []
+
+
+class TestBenchTrend:
+    def _write(self, directory, exp_id, wall, counters=None):
+        record = experiment_record(exp_id, wall_seconds=wall,
+                                   counters=counters or {})
+        write_record(str(directory), record)
+
+    def test_directories_are_trajectory_positions(self, tmp_path):
+        old, new = tmp_path / "old", tmp_path / "new"
+        self._write(old, "EXP-X", 1.0, {"cycles_per_sec": 100.0})
+        self._write(new, "EXP-X", 2.5, {"cycles_per_sec": 40.0})
+        points = bench_trend([str(old), str(new)])
+        walls = [p for p in points if p.metric == "wall_seconds"]
+        assert [p.position for p in walls] == [0, 1]
+        assert [p.value for p in walls] == [1.0, 2.5]
+        # Both the slowdown and the rate drop are flagged.
+        found = find_regressions(points, threshold=1.5)
+        assert {(r.label, r.metric) for r in found} == {
+            ("EXP-X", "wall_seconds"), ("EXP-X", "cycles_per_sec")}
+
+    def test_clean_trajectory_passes(self, tmp_path):
+        old, new = tmp_path / "old", tmp_path / "new"
+        self._write(old, "EXP-X", 1.0)
+        self._write(new, "EXP-X", 1.1)
+        points = bench_trend([str(old), str(new)])
+        assert find_regressions(points, threshold=1.5) == []
+
+    def test_boolean_counters_are_ignored(self, tmp_path):
+        directory = tmp_path / "d"
+        self._write(directory, "EXP-X", 1.0, {"ok": True})
+        points = bench_trend([str(directory)])
+        assert all(p.metric != "ok" for p in points)
+
+
+class TestLedgerTrend:
+    def _ledger_record(self, cycles, wall):
+        return make_record(
+            "inject-campaign", fingerprint="f", variant="casu",
+            params={"cycles": cycles}, git_rev="r",
+            meta={"wall_seconds": wall})
+
+    def test_same_span_forms_one_series(self):
+        records = [self._ledger_record(64, 1.0),
+                   self._ledger_record(128, 5.0),   # different span
+                   self._ledger_record(64, 2.5)]
+        points = ledger_trend(records)
+        series = {p.label for p in points}
+        assert len(series) == 2
+        found = find_regressions(points, threshold=1.5)
+        assert len(found) == 1
+        assert found[0].ratio == pytest.approx(2.5)
+
+    def test_records_without_wall_are_skipped(self):
+        record = self._ledger_record(64, 1.0)
+        record["meta"] = {}
+        assert ledger_trend([record]) == []
+
+
+class TestFormatReport:
+    def test_clean(self):
+        assert "no regressions beyond 1.50x" \
+            in format_report([], threshold=1.5)
+
+    def test_flagged(self):
+        points = [_point("b", "wall_seconds", 1.0, 0),
+                  _point("b", "wall_seconds", 3.0, 1)]
+        report = format_report(find_regressions(points), threshold=1.5)
+        assert "1 regression(s) beyond 1.50x" in report
+        assert "b wall_seconds rose" in report

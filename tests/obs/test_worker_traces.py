@@ -1,0 +1,181 @@
+"""Worker trace merging: pool fan-out -> per-lane Chrome trace.
+
+The contract under test: a traced ``map_deterministic`` run returns
+byte-identical results to an untraced one, ships each chunk's telemetry
+home as a :class:`WorkerTrace`, and the merged Chrome trace renders one
+``(pid, tid)`` lane per chunk with event order and drop accounting
+preserved.
+"""
+
+import json
+
+import pytest
+
+from repro.exec import TraceCollection, map_deterministic, worker_telemetry
+from repro.exec.pool import WorkerTrace
+from repro.obs import (
+    EventStream,
+    merged_chrome_trace,
+    write_merged_chrome_trace,
+)
+
+def _traced_unit(n):
+    """Module-level (picklable) unit that reports into its worker lane."""
+    telemetry = worker_telemetry()
+    if telemetry is not None:
+        telemetry.events.emit("exec", "unit-start", n, unit=n)
+        telemetry.events.emit("exec", "unit-end", n + 1, unit=n)
+        telemetry.profiler.add("work", 0.001)
+    return n * 2
+
+
+class TestTracedFanOut:
+    def test_results_match_serial_and_lanes_are_collected(self):
+        units = list(range(16))
+        trace = TraceCollection(run_id="span-abc")
+        results = map_deterministic(_traced_unit, units, jobs=4,
+                                    trace=trace)
+        assert results == [n * 2 for n in units]
+        # 16 units at jobs=4 -> chunk size 1 -> 16 chunks.
+        assert len(trace.traces) == 16
+        assert [t.chunk_index for t in trace.traces] == list(range(16))
+        for worker_trace in trace.traces:
+            assert worker_trace.run_id == "span-abc"
+            assert worker_trace.units == 1
+            assert worker_trace.emitted == 2
+            assert worker_trace.dropped == 0
+        assert trace.emitted == 32
+        assert trace.dropped == 0
+
+    def test_serial_path_collects_no_lanes(self):
+        trace = TraceCollection(run_id="span-abc")
+        results = map_deterministic(_traced_unit, [1, 2, 3], jobs=1,
+                                    trace=trace)
+        assert results == [2, 4, 6]
+        assert trace.traces == []
+
+    def test_worker_telemetry_is_none_outside_traced_chunks(self):
+        assert worker_telemetry() is None
+
+    def test_trace_capacity_bounds_worker_streams(self):
+        units = list(range(8))
+        trace = TraceCollection()
+        map_deterministic(_traced_unit, units, jobs=2, trace=trace,
+                          trace_capacity=1, chunk_size=4)
+        for worker_trace in trace.traces:
+            assert worker_trace.emitted == 8  # 2 events x 4 units
+            assert worker_trace.dropped == 7
+            assert len(worker_trace.events) == 1
+
+
+def _fake_trace(chunk_index, pid, events=(), dropped=0, phases=()):
+    return WorkerTrace(
+        chunk_index=chunk_index, pid=pid, run_id="span-abc",
+        units=len(events) or 1,
+        events=tuple(events),
+        emitted=len(events) + dropped,
+        dropped=dropped,
+        phases=tuple(phases))
+
+
+def _event(cycle, name, **fields):
+    return dict({"cycle": cycle, "category": "exec", "name": name},
+                **fields)
+
+
+class TestMergedChromeTrace:
+    def test_four_jobs_yield_four_plus_lanes(self):
+        units = list(range(16))
+        trace = TraceCollection(run_id="span-abc")
+        parent = EventStream()
+        parent.emit("run", "start", 0)
+        map_deterministic(_traced_unit, units, jobs=4, trace=trace)
+        payload = merged_chrome_trace(parent, trace.traces,
+                                      run_id=trace.run_id)
+        other = payload["otherData"]
+        assert other["worker_lanes"] >= 4
+        assert other["run_id"] == "span-abc"
+        lanes = {(e["pid"], e["tid"]) for e in payload["traceEvents"]
+                 if e.get("ph") == "i" and e["tid"] >= 1000}
+        assert len(lanes) >= 4
+        # Every lane is named by pid/tid metadata.
+        named = {(e["pid"], e["tid"]) for e in payload["traceEvents"]
+                 if e.get("ph") == "M" and e["name"] == "thread_name"
+                 and e["tid"] >= 1000}
+        assert lanes <= named
+
+    def test_per_lane_event_order_is_preserved(self):
+        events_a = [_event(5, "late"), _event(1, "early"),
+                    _event(9, "last")]
+        events_b = [_event(2, "b0"), _event(3, "b1")]
+        payload = merged_chrome_trace(
+            None,
+            [_fake_trace(1, pid=222, events=events_b),
+             _fake_trace(0, pid=111, events=events_a)])
+        lane_a = [e["name"] for e in payload["traceEvents"]
+                  if e.get("ph") == "i" and e["tid"] == 1000]
+        lane_b = [e["name"] for e in payload["traceEvents"]
+                  if e.get("ph") == "i" and e["tid"] == 1001]
+        # Emission order survives the merge — never re-sorted by ts —
+        # and chunk 0 renders before chunk 1 regardless of input order.
+        assert lane_a == ["exec:late", "exec:early", "exec:last"]
+        assert lane_b == ["exec:b0", "exec:b1"]
+
+    def test_drop_accounting_survives_the_merge(self):
+        parent = EventStream(capacity=1)
+        parent.emit("run", "start", 0)
+        parent.emit("run", "end", 1)  # evicts the first
+        payload = merged_chrome_trace(
+            parent,
+            [_fake_trace(0, pid=111, events=[_event(0, "x")], dropped=3)])
+        other = payload["otherData"]
+        assert other["dropped"] == 1 + 3
+        assert other["emitted"] == 2 + 4
+
+    def test_empty_parent_and_no_traces_is_valid(self):
+        payload = merged_chrome_trace(None, [])
+        assert payload["otherData"]["worker_lanes"] == 0
+        assert payload["otherData"]["emitted"] == 0
+        assert payload["traceEvents"]  # process_name metadata only
+
+    def test_worker_phases_render_as_slices(self):
+        payload = merged_chrome_trace(
+            None,
+            [_fake_trace(0, pid=111, events=[_event(0, "x")],
+                         phases=[("work", 4, 0.002)])])
+        slices = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert len(slices) == 1
+        assert slices[0]["name"] == "work"
+        assert slices[0]["dur"] == pytest.approx(2000.0)
+        assert slices[0]["tid"] == 1000
+
+    def test_write_round_trips_as_json(self, tmp_path):
+        path = str(tmp_path / "merged.json")
+        write_merged_chrome_trace(
+            None, [_fake_trace(0, pid=111, events=[_event(0, "x")])],
+            path, run_id="span-abc")
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["otherData"]["run_id"] == "span-abc"
+        assert payload["otherData"]["worker_lanes"] == 1
+
+
+class TestAbsorb:
+    def test_absorb_merges_events_and_counts(self):
+        target = EventStream()
+        target.emit("run", "start", 0)
+        source = EventStream()
+        source.emit("exec", "unit", 1)
+        source.emit("exec", "unit", 2)
+        assert target.absorb(source.events()) == 2
+        assert len(target) == 3
+        assert target.emitted == 3
+
+    def test_absorb_with_explicit_emitted_preserves_drops(self):
+        target = EventStream()
+        source = EventStream(capacity=1)
+        source.emit("exec", "unit", 1)
+        source.emit("exec", "unit", 2)  # drops the first
+        target.absorb(source.events(), emitted=source.emitted)
+        assert len(target) == 1
+        assert target.emitted == 2
