@@ -145,6 +145,10 @@ def main(argv=None) -> int:
                         help="instrument the liveness probes and write "
                              "their metrics snapshot as JSON (forces "
                              "serial probing)")
+    p_dead.add_argument("--backend", choices=["scalar", "codegen"],
+                        default="scalar",
+                        help="probe engine (codegen: per-topology "
+                             "compiled cycle functions, same verdict)")
 
     p_inject = sub.add_parser(
         "inject", parents=[seed_parent, jobs_parent, ledger_parent,
@@ -177,11 +181,12 @@ def main(argv=None) -> int:
                                "control faults)")
     p_inject.add_argument("--backend",
                           choices=["auto", "scalar", "vectorized",
-                                   "bitsim"],
+                                   "bitsim", "codegen"],
                           default="auto",
                           help="skeleton engine backend (bitsim: "
                                "bit-parallel planes, ~64 faults per "
-                               "word-level run)")
+                               "word-level run; codegen: per-topology "
+                               "compiled cycle functions)")
     p_inject.add_argument("--strict", action="store_true",
                           help="arm the strict stop-shape monitor "
                                "(detects stops landing on voids under "
@@ -456,7 +461,8 @@ def _deadlock(args) -> int:
                              jobs=args.jobs,
                              graph_ref=GraphRef.from_spec(
                                  args.topology, seed=args.seed),
-                             telemetry=telemetry)
+                             telemetry=telemetry,
+                             backend=args.backend)
     wall = perf_counter() - started
     print(verdict.detail)
     if args.metrics_out:

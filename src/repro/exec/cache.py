@@ -32,6 +32,7 @@ twice.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import hashlib
 import os
@@ -140,33 +141,59 @@ def graph_fingerprint(graph: SystemGraph, cycles: int = 256) -> str:
 
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss counters — surfaced in campaign execution headers."""
+    """Hit/miss/eviction counters — surfaced in campaign headers."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     def to_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses}
+        return {"hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions}
+
+
+#: Default memory-layer bound.  Generous — a campaign touches a handful
+#: of golden runs and verdicts per topology — but finite, so a
+#: long-lived process sweeping thousands of graphs no longer grows its
+#: cache without limit.  Disk entries are never evicted: an evicted key
+#: with a disk layer is re-promoted on the next ``get``.
+DEFAULT_MEMORY_ENTRIES = 4096
 
 
 class ResultCache:
-    """Two-level (memory + optional disk) content-addressed store."""
+    """Two-level (memory + optional disk) content-addressed store.
 
-    def __init__(self, directory: Optional[str] = None):
+    The memory layer is LRU-bounded to *maxsize* entries (``None`` for
+    the old unbounded behaviour); evictions only forget the in-process
+    copy — values stored with a disk layer survive and reload on demand.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 maxsize: Optional[int] = DEFAULT_MEMORY_ENTRIES):
+        if maxsize is not None and maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1 or None, "
+                             f"got {maxsize!r}")
         self.directory = directory
+        self.maxsize = maxsize
         self.stats = CacheStats()
-        self._memory: dict = {}
+        self._memory: "collections.OrderedDict[str, Any]" = \
+            collections.OrderedDict()
         self._disk_broken = False
 
     @classmethod
-    def disk(cls, directory: Optional[str] = None) -> "ResultCache":
+    def disk(cls, directory: Optional[str] = None,
+             maxsize: Optional[int] = DEFAULT_MEMORY_ENTRIES
+             ) -> "ResultCache":
         """Cache backed by the default (or given) on-disk directory."""
-        return cls(directory=directory or default_cache_dir())
+        return cls(directory=directory or default_cache_dir(),
+                   maxsize=maxsize)
 
     @classmethod
-    def memory(cls) -> "ResultCache":
+    def memory(cls,
+               maxsize: Optional[int] = DEFAULT_MEMORY_ENTRIES
+               ) -> "ResultCache":
         """In-process cache only (tests, one-shot programs)."""
-        return cls(directory=None)
+        return cls(directory=None, maxsize=maxsize)
 
     def key(self, *parts: Any) -> str:
         """Canonical key: schema + git rev + the caller's parts."""
@@ -179,10 +206,20 @@ class ResultCache:
     def _path(self, key: str) -> str:
         return os.path.join(self.directory, f"{key}.pkl")
 
+    def _remember(self, key: str, value: Any) -> None:
+        """Insert into the memory layer, evicting LRU past *maxsize*."""
+        self._memory[key] = value
+        self._memory.move_to_end(key)
+        if self.maxsize is not None:
+            while len(self._memory) > self.maxsize:
+                self._memory.popitem(last=False)
+                self.stats.evictions += 1
+
     def get(self, key: str) -> Any:
         """Cached value or ``None``; counts a hit or a miss."""
         if key in self._memory:
             self.stats.hits += 1
+            self._memory.move_to_end(key)
             return self._memory[key]
         value = _MISS
         if self.directory is not None and not self._disk_broken:
@@ -203,12 +240,12 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        self._memory[key] = value
+        self._remember(key, value)
         return value
 
     def put(self, key: str, value: Any) -> None:
         """Store under *key*; disk failures degrade to memory-only."""
-        self._memory[key] = value
+        self._remember(key, value)
         if self.directory is None or self._disk_broken:
             return
         try:

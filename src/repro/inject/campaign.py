@@ -595,6 +595,11 @@ def skeleton_campaign(
     identical golden dynamics, so classification — and therefore the
     report bytes — is independent of the chunking and of the backend.
 
+    ``backend="codegen"`` runs each column on a per-topology compiled
+    cycle function (:mod:`repro.skeleton.codegen`); the columns stay
+    per-instance simulators, only the inner loop changes, so the report
+    bytes again match the scalar ones exactly.
+
     ``strict`` arms the skeleton analogue of the LID strict stop-shape
     monitor: under a variant that discards void stops (the paper's
     refinement), a column whose cumulative stop-on-void count exceeds

@@ -57,7 +57,7 @@ class ProtocolVariant(enum.Enum):
         engine implements instead of hard-coding variant lists.
         """
         tags = {"skeleton-scalar", "skeleton-vectorized",
-                "skeleton-bitsim"}
+                "skeleton-bitsim", "skeleton-codegen"}
         if self.discards_void_stops:
             tags.add("discards-void-stops")
         return frozenset(tags)

@@ -17,11 +17,11 @@ bench run can append one **run record** to an append-only JSONL file:
   seconds, per-phase profiler timings, jobs/worker/cache audit — and is
   deliberately *excluded* from the id and the canonical bytes.
 
-Writes reuse the atomic-replace discipline of ``repro.bench`` /
-``repro.exec.cache`` (``mkstemp`` + ``os.replace``, whole-file
-rewrite), so a reader polling the ledger never sees a torn line; reads
-are tolerant — an unparsable or wrong-schema line is a warning and a
-skip, never a crash.
+Writes go through a single ``O_APPEND``-mode ``write()`` per record —
+POSIX serialises append-mode writes to a regular file, so concurrent
+appenders (parallel ``--ledger`` campaigns) interleave whole lines and
+never lose each other's records.  Reads are tolerant — an unparsable
+or wrong-schema line is a warning and a skip, never a crash.
 
 ``repro-lid obs`` (ls / show / diff / regress) is the CLI over this
 module; ``docs/observability.md`` documents the record schema.
@@ -140,26 +140,40 @@ def make_record(
 
 
 def append_record(path: str, record: Dict[str, Any]) -> str:
-    """Append *record* to the JSONL ledger at *path* atomically.
+    """Append *record* to the JSONL ledger at *path*.
 
-    The whole file is rewritten through ``mkstemp`` + ``os.replace``
-    (the :func:`repro.exec.cache.atomic_write_bytes` discipline): a
-    concurrent reader sees either the old complete ledger or the new
-    one, never a torn trailing line.  Returns the record's run id.
+    One newline-terminated line lands via a single ``write()`` on an
+    ``O_APPEND`` descriptor.  POSIX serialises append-mode writes to a
+    regular file, so any number of concurrent appenders (parallel
+    ``--ledger`` campaigns) interleave whole records without losing
+    any — the earlier read-rewrite implementation raced here and
+    silently dropped lines.  The append is O(record), not O(ledger).
+
+    If the existing tail lost its newline (a writer killed mid-write),
+    one is prefixed so this record still starts on a fresh line; the
+    tolerant reader then skips only the torn fragment.  Returns the
+    record's run id.
     """
-    from ..exec.cache import atomic_write_bytes
-
     line = (json.dumps(record, sort_keys=True, separators=(",", ":"))
             + "\n").encode()
-    existing = b""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
     try:
-        with open(path, "rb") as fh:
-            existing = fh.read()
-    except FileNotFoundError:
-        pass
-    if existing and not existing.endswith(b"\n"):
-        existing += b"\n"
-    atomic_write_bytes(path, existing + line)
+        try:
+            with open(path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                torn = fh.read(1) != b"\n"
+        except OSError:
+            torn = False  # empty file: nothing to repair
+        if torn:
+            # A concurrent proper append always ends in a newline, so a
+            # racing writer can at worst turn this repair into a blank
+            # line — which the reader skips.
+            line = b"\n" + line
+        os.write(fd, line)
+    finally:
+        os.close(fd)
     return record["run_id"]
 
 

@@ -2,13 +2,16 @@
 
 from .backend import (
     BitplaneBackend,
+    CodegenBackend,
     ScalarBackend,
     VectorizedBackend,
     bitsim_supported,
+    codegen_supported,
     select,
     vectorized_supported,
 )
 from .bitsim import BitplaneSkeletonSim
+from .codegen import CodegenSkeletonSim
 from .deadlock import DeadlockVerdict, check_deadlock, is_deadlock_free_class
 from .fast import CostComparison, compare_cost, measure_throughput, system_throughput
 from .periodicity import (
@@ -24,6 +27,8 @@ __all__ = [
     "BatchSkeletonSim",
     "BitplaneBackend",
     "BitplaneSkeletonSim",
+    "CodegenBackend",
+    "CodegenSkeletonSim",
     "CostComparison",
     "DeadlockVerdict",
     "ScalarBackend",
@@ -32,6 +37,7 @@ __all__ = [
     "VectorizedBackend",
     "bitsim_supported",
     "check_deadlock",
+    "codegen_supported",
     "compare_cost",
     "detect_period",
     "is_deadlock_free_class",

@@ -1,6 +1,6 @@
 """Unified backend selection for skeleton simulation.
 
-Three engines implement the exact same valid/stop semantics:
+Four engines implement the exact same valid/stop semantics:
 
 * :class:`~repro.skeleton.sim.SkeletonSim` — the scalar reference,
   one Python object per instance;
@@ -8,7 +8,10 @@ Three engines implement the exact same valid/stop semantics:
   bit-matrix state, all instances of a sweep as columns;
 * :class:`~repro.skeleton.bitsim.BitplaneSkeletonSim` — SBFI-style
   bit planes, one experiment per bit of a Python integer (the
-  fault-campaign engine).
+  fault-campaign engine);
+* :class:`~repro.skeleton.codegen.CodegenSkeletonSim` — per-topology
+  compiled straight-line Python (one ``compile()`` per structural
+  fingerprint, reused across every instance and run).
 
 :func:`select` hides the choice: callers describe *what* to simulate
 (a topology, a protocol variant, and one script set per instance) and
@@ -22,10 +25,11 @@ Selection policy: the vectorized engine is used whenever numpy is
 importable, the variant advertises the ``skeleton-vectorized``
 capability (see :attr:`ProtocolVariant.capabilities`) and the sweep is
 wider than one instance; otherwise the scalar engine is fanned out.
-``backend="scalar"``/``"vectorized"``/``"bitsim"`` forces the choice —
-the bit-plane engine is opt-in (campaigns pick it explicitly; it wins
-when the batch is many scripts over one topology, the fault-campaign
-shape, but has no numpy-style per-column vector accessors).
+``backend="scalar"``/``"vectorized"``/``"bitsim"``/``"codegen"``
+forces the choice — the bit-plane and codegen engines are opt-in
+(campaigns pick them explicitly; bitsim wins when the batch is many
+scripts over one topology, codegen when the same topology is stepped
+for many cycles or many runs and the one-time compile amortizes).
 """
 
 from __future__ import annotations
@@ -70,6 +74,20 @@ def bitsim_supported(graph: SystemGraph,
         import numpy  # noqa: F401
     except ImportError:  # pragma: no cover - numpy is a hard dep
         return False, "numpy is not importable"
+    return True, ""
+
+
+def codegen_supported(graph: SystemGraph,
+                      variant: ProtocolVariant) -> Tuple[bool, str]:
+    """Can the compiled-codegen engine run this (graph, variant)?
+
+    Returns ``(supported, reason)``; *reason* explains a refusal.  The
+    engine itself is pure Python (no numpy in the hot path), but the
+    unified handle's count accessors are inherited from the scalar
+    backend and return numpy arrays like every other backend.
+    """
+    if "skeleton-codegen" not in variant.capabilities:
+        return False, f"variant {variant} lacks 'skeleton-codegen'"
     return True, ""
 
 
@@ -154,18 +172,23 @@ class ScalarBackend(_Backend):
 
     name = "scalar"
 
+    def _sim_class(self):
+        """The per-instance simulator class (codegen overrides this)."""
+        return SkeletonSim
+
     def __init__(self, graph: SystemGraph, variant: ProtocolVariant,
                  source_patterns: List[Dict], sink_patterns: List[Dict],
                  fixpoint: str, detect_ambiguity: bool,
                  telemetry=None):
         self.graph = graph
         self.batch = len(sink_patterns)
+        sim_class = self._sim_class()
         self.sims = [
-            SkeletonSim(graph, variant=variant, fixpoint=fixpoint,
-                        source_patterns=source_patterns[i],
-                        sink_patterns=sink_patterns[i],
-                        detect_ambiguity=detect_ambiguity,
-                        telemetry=telemetry)
+            sim_class(graph, variant=variant, fixpoint=fixpoint,
+                      source_patterns=source_patterns[i],
+                      sink_patterns=sink_patterns[i],
+                      detect_ambiguity=detect_ambiguity,
+                      telemetry=telemetry)
             for i in range(self.batch)
         ]
         first = self.sims[0]
@@ -240,6 +263,28 @@ class ScalarBackend(_Backend):
 
     def metrics_snapshots(self) -> List[Dict]:
         return [sim.metrics_snapshot() for sim in self.sims]
+
+
+class CodegenBackend(ScalarBackend):
+    """One compiled :class:`CodegenSkeletonSim` per instance.
+
+    Everything except simulator construction and the batched
+    ``run_cycles`` fast path is inherited from the scalar handle — the
+    codegen simulator subclasses the scalar one, so every accessor
+    reads the same state layout.  All instances of a batch share one
+    compiled plan (they share topology, variant and options).
+    """
+
+    name = "codegen"
+
+    def _sim_class(self):
+        from .codegen import CodegenSkeletonSim
+
+        return CodegenSkeletonSim
+
+    def run_cycles(self, cycles: int) -> None:
+        for sim in self.sims:
+            sim.run_cycles(cycles)
 
 
 class VectorizedBackend(_Backend):
@@ -379,8 +424,11 @@ def select(
         Either one mapping (applied to every instance) or one mapping
         per instance — the sweep dimensions.
     backend:
-        ``"auto"`` (default policy), ``"scalar"``, ``"vectorized"``
-        or ``"bitsim"`` (opt-in bit-plane engine; never auto-picked).
+        ``"auto"`` (default policy), ``"scalar"``, ``"vectorized"``,
+        ``"bitsim"`` (opt-in bit-plane engine; never auto-picked) or
+        ``"codegen"`` (opt-in compiled engine; never auto-picked —
+        the compile cost only pays off over many cycles or runs, a
+        judgement left to the caller).
     telemetry:
         Optional :class:`repro.obs.Telemetry` bundle.  Metric
         accumulation is per-instance on either engine; event streams
@@ -389,7 +437,8 @@ def select(
     Returns a handle with ``run()`` / ``run_cycles()`` / count accessors
     that behave identically regardless of the engine chosen.
     """
-    if backend not in ("auto", "scalar", "vectorized", "bitsim"):
+    if backend not in ("auto", "scalar", "vectorized", "bitsim",
+                       "codegen"):
         raise ValueError(f"unknown backend {backend!r}")
     width = _infer_batch(batch, source_patterns, sink_patterns)
     if width < 1:
@@ -402,6 +451,11 @@ def select(
         if not supported:
             raise ValueError(f"bitsim backend unavailable: {reason}")
         cls = BitplaneBackend
+    elif backend == "codegen":
+        supported, reason = codegen_supported(graph, variant)
+        if not supported:
+            raise ValueError(f"codegen backend unavailable: {reason}")
+        cls = CodegenBackend
     else:
         supported, reason = vectorized_supported(graph, variant)
         if backend == "vectorized" and not supported:

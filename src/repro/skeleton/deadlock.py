@@ -64,6 +64,24 @@ class DeadlockVerdict:
                 and not self.inconclusive)
 
 
+def _sim_class(backend: str):
+    """Map a deadlock ``backend`` name to its simulator class.
+
+    Only the per-instance engines make sense here (the probes are
+    single simulators run to periodicity); the compiled engine is
+    opt-in like everywhere else.
+    """
+    if backend == "codegen":
+        from .codegen import CodegenSkeletonSim
+
+        return CodegenSkeletonSim
+    if backend != "scalar":
+        raise ValueError(
+            f"unknown deadlock backend {backend!r} "
+            "(expected 'scalar' or 'codegen')")
+    return SkeletonSim
+
+
 def _probe(args) -> tuple:
     """Run one fixpoint probe inside a worker process.
 
@@ -72,10 +90,11 @@ def _probe(args) -> tuple:
     different things for the two probes, so the *caller* owns that
     interpretation, not the worker.
     """
-    graph_ref, variant, fixpoint, max_cycles, sources, sinks = args
+    graph_ref, variant, fixpoint, max_cycles, sources, sinks, backend \
+        = args
     from ..errors import PeriodicityTimeout
 
-    sim = SkeletonSim(
+    sim = _sim_class(backend)(
         graph_ref.materialize(),
         variant=variant,
         fixpoint=fixpoint,
@@ -121,6 +140,7 @@ def check_deadlock(
     graph_ref=None,
     cache=None,
     telemetry=None,
+    backend: str = "scalar",
 ) -> DeadlockVerdict:
     """Simulate the skeleton until periodicity and classify liveness.
 
@@ -143,10 +163,17 @@ def check_deadlock(
     silently falls back to serial probing, which returns the same
     verdict.  *cache* (a :class:`repro.exec.ResultCache`) memoises the
     whole verdict keyed on graph fingerprint, variant, cycle budget and
-    script patterns.
+    script patterns — *backend* is deliberately absent from the key:
+    the engines are bit-exact, so a verdict computed by one serves all.
+
+    *backend* picks the probe engine: ``"scalar"`` (default) or
+    ``"codegen"`` (compiled per-topology cycle functions — same
+    verdict, less wall clock on long transients).
     """
     from ..errors import ExecutionError, PeriodicityTimeout
     from ..exec import GraphRef, graph_fingerprint, map_deterministic
+
+    sim_class = _sim_class(backend)
 
     key = None
     if cache is not None:
@@ -162,7 +189,7 @@ def check_deadlock(
             cache.put(key, verdict)
         return verdict
 
-    optimistic_sim = SkeletonSim(
+    optimistic_sim = sim_class(
         graph,
         variant=variant,
         fixpoint="least",
@@ -191,7 +218,7 @@ def check_deadlock(
     if parallel_ok and ref is not None:
         probes = [
             (ref, variant, mode, max_cycles,
-             source_patterns, sink_patterns)
+             source_patterns, sink_patterns, backend)
             for mode in ("least", "greatest")
         ]
         (opt_status, optimistic), (pess_status, pessimistic) = (
@@ -237,7 +264,7 @@ def check_deadlock(
         )
     if needs_pessimistic and not optimistic.deadlocked:
         if pess_status is None:
-            pessimistic_sim = SkeletonSim(
+            pessimistic_sim = sim_class(
                 graph,
                 variant=variant,
                 fixpoint="greatest",

@@ -69,7 +69,8 @@ class TestDeadlockJobs:
     def test_verdict_cache_hits_and_agrees(self):
         cache = ResultCache.memory()
         first = check_deadlock(self._graph(), cache=cache)
-        assert cache.stats.to_dict() == {"hits": 0, "misses": 1}
+        assert cache.stats.to_dict() == {"hits": 0, "misses": 1,
+                                         "evictions": 0}
         second = check_deadlock(self._graph(), cache=cache)
         assert cache.stats.hits == 1
         assert second == first

@@ -23,6 +23,46 @@ class TestResultCache:
         assert cache.get(key) == {"period": 5}
         assert cache.stats.hits == 1 and cache.stats.misses == 1
 
+    def test_memory_layer_is_lru_bounded(self):
+        cache = ResultCache.memory(maxsize=2)
+        keys = [cache.key("entry", i) for i in range(3)]
+        cache.put(keys[0], "a")
+        cache.put(keys[1], "b")
+        assert cache.get(keys[0]) == "a"  # refresh: 0 is now newest
+        cache.put(keys[2], "c")  # evicts 1, the least recently used
+        assert cache.stats.evictions == 1
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) == "a"
+        assert cache.get(keys[2]) == "c"
+
+    def test_maxsize_none_is_unbounded(self):
+        cache = ResultCache.memory(maxsize=None)
+        keys = [cache.key("entry", i) for i in range(100)]
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+        assert all(cache.get(key) == i for i, key in enumerate(keys))
+        assert cache.stats.evictions == 0
+
+    def test_maxsize_must_be_positive_or_none(self):
+        with pytest.raises(ValueError, match="maxsize"):
+            ResultCache.memory(maxsize=0)
+
+    def test_eviction_with_disk_layer_repromotes(self, tmp_path):
+        cache = ResultCache.disk(str(tmp_path / "cache"), maxsize=1)
+        k1, k2 = cache.key("one"), cache.key("two")
+        cache.put(k1, [1])
+        cache.put(k2, [2])  # evicts k1 from memory, not from disk
+        assert cache.stats.evictions == 1
+        assert cache.get(k1) == [1]  # reloaded from disk
+        assert cache.stats.hits == 1
+
+    def test_stats_dict_exposes_evictions(self):
+        cache = ResultCache.memory(maxsize=1)
+        cache.put(cache.key("a"), 1)
+        cache.put(cache.key("b"), 2)
+        assert cache.stats.to_dict() == {
+            "hits": 0, "misses": 0, "evictions": 1}
+
     def test_disk_roundtrip_across_instances(self, tmp_path):
         directory = str(tmp_path / "cache")
         first = ResultCache.disk(directory)

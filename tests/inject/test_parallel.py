@@ -46,7 +46,8 @@ class TestJobsInvariance:
         report = _campaign(jobs=3, cache=ResultCache.memory())
         assert report.execution["jobs"] == 3
         assert report.execution["workers"] == 3
-        assert report.execution["cache"] == {"hits": 0, "misses": 1}
+        assert report.execution["cache"] == {"hits": 0, "misses": 1,
+                                             "evictions": 0}
         # Default payload excludes the header (jobs-invariance)...
         assert "execution" not in report.to_payload()
         # ...and the audit opt-in includes it.
@@ -63,7 +64,8 @@ class TestGoldenRunCache:
     def test_second_campaign_hits_and_agrees(self):
         cache = ResultCache.memory()
         first = _campaign(cache=cache)
-        assert cache.stats.to_dict() == {"hits": 0, "misses": 1}
+        assert cache.stats.to_dict() == {"hits": 0, "misses": 1,
+                                         "evictions": 0}
         second = _campaign(cache=cache)
         assert cache.stats.hits == 1
         assert second.to_json() == first.to_json()

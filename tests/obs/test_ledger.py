@@ -1,6 +1,7 @@
 """Run-ledger tests: content addressing, atomic append, diff/resolve."""
 
 import json
+import multiprocessing
 
 import pytest
 
@@ -107,12 +108,67 @@ class TestAppendAndRead:
         append_record(path, _record(params={"cycles": 1}))
         assert len(read_ledger(path)) == 2
 
+    def test_append_is_constant_in_ledger_size(self, tmp_path):
+        # Regression: the old implementation re-read the whole file per
+        # append; a record landing must not depend on what is already
+        # there — a deliberately corrupt (non-JSON) prefix still takes
+        # appends, and the prefix bytes are untouched afterwards.
+        path = str(tmp_path / "ledger.jsonl")
+        prefix = b"\x00garbage that json would reject\n"
+        with open(path, "wb") as fh:
+            fh.write(prefix)
+        append_record(path, _record())
+        with open(path, "rb") as fh:
+            assert fh.read(len(prefix)) == prefix
+        assert len(read_ledger(path)) == 1
+
     def test_default_path_env_override(self, monkeypatch, tmp_path):
         target = str(tmp_path / "env-ledger.jsonl")
         monkeypatch.setenv("REPRO_LID_LEDGER", target)
         assert default_ledger_path() == target
         monkeypatch.delenv("REPRO_LID_LEDGER")
         assert default_ledger_path().endswith("ledger.jsonl")
+
+
+def _append_worker(path, worker, count, barrier):
+    """Append *count* distinct records, starting in lockstep."""
+    barrier.wait()
+    for i in range(count):
+        record = _record(params={"cycles": 64, "seed": 0,
+                                 "worker": worker, "i": i})
+        append_record(path, record)
+
+
+class TestConcurrentAppend:
+    def test_parallel_appenders_lose_no_records(self, tmp_path):
+        # Regression: append_record used to read the whole ledger and
+        # atomic-replace it with old+line, so two concurrent appenders
+        # could both read the same base and one overwrote the other's
+        # record.  With O_APPEND single-write appends every record must
+        # survive, whatever the interleaving.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:
+            pytest.skip("fork start method unavailable")
+        path = str(tmp_path / "ledger.jsonl")
+        workers, per_worker = 4, 25
+        barrier = ctx.Barrier(workers)
+        procs = [
+            ctx.Process(target=_append_worker,
+                        args=(path, w, per_worker, barrier))
+            for w in range(workers)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        records = read_ledger(path)
+        assert len(records) == workers * per_worker
+        seen = {(r["payload"]["params"]["worker"],
+                 r["payload"]["params"]["i"]) for r in records}
+        assert seen == {(w, i) for w in range(workers)
+                        for i in range(per_worker)}
 
 
 class TestResolve:

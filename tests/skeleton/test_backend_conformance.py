@@ -28,10 +28,13 @@ from repro.skeleton import (
     BatchSkeletonSim,
     BitplaneBackend,
     BitplaneSkeletonSim,
+    CodegenBackend,
+    CodegenSkeletonSim,
     ScalarBackend,
     SkeletonSim,
     VectorizedBackend,
     bitsim_supported,
+    codegen_supported,
     select,
     vectorized_supported,
 )
@@ -40,7 +43,7 @@ VARIANTS = [ProtocolVariant.CASU, ProtocolVariant.CARLONI]
 
 #: Every name ``select()`` accepts; the single registration point for
 #: the differential harness.
-BACKENDS = ["scalar", "vectorized", "bitsim"]
+BACKENDS = ["scalar", "vectorized", "bitsim", "codegen"]
 
 #: The batch engines, lockstep-compared against the scalar reference.
 BATCH_ENGINES = {
@@ -216,6 +219,76 @@ class TestRunToPeriod:
                     == ref.potential_deadlock_cycle), graph.name
 
 
+def _codegen_lockstep(graph, variant, fixpoint, sink_map, source_map,
+                      cycles=60):
+    """Compiled vs scalar: full state, every cycle, then batched."""
+    scalar = SkeletonSim(graph, sink_patterns=sink_map,
+                         source_patterns=source_map, variant=variant,
+                         fixpoint=fixpoint,
+                         telemetry=Telemetry.metrics_only())
+    compiled = CodegenSkeletonSim(
+        graph, sink_patterns=sink_map, source_patterns=source_map,
+        variant=variant, fixpoint=fixpoint,
+        telemetry=Telemetry.metrics_only())
+    ctx = (graph.name, variant.name, fixpoint)
+    for cycle in range(cycles):
+        assert compiled.step() == scalar.step(), ("fires", ctx, cycle)
+        assert compiled.state() == scalar.state(), ("state", ctx, cycle)
+    assert compiled.ambiguous_cycles == scalar.ambiguous_cycles, ctx
+    assert compiled.metrics_snapshot() == scalar.metrics_snapshot(), ctx
+    # The batched entry point (run_cycles keeps state in locals) must
+    # land on the same state as per-cycle stepping, across a split.
+    batched = CodegenSkeletonSim(
+        graph, sink_patterns=sink_map, source_patterns=source_map,
+        variant=variant, fixpoint=fixpoint,
+        telemetry=Telemetry.metrics_only())
+    batched.run_cycles(cycles // 2)
+    batched.run_cycles(cycles - cycles // 2)
+    assert batched.state() == scalar.state(), ("batched state", ctx)
+    assert batched.fire_history == scalar.fire_history, ctx
+    assert batched.accept_history == scalar.accept_history, ctx
+    assert batched.ambiguous_cycles == scalar.ambiguous_cycles, ctx
+    assert batched.metrics_snapshot() == scalar.metrics_snapshot(), ctx
+
+
+class TestCodegenLockstep:
+    """The compiled engine is a per-instance engine: compare its whole
+    inherited state against the scalar reference, cycle by cycle, on
+    both entry points (``step`` and the batched ``run_cycles``)."""
+
+    @pytest.mark.parametrize("graph", _graph_matrix(),
+                             ids=lambda g: g.name)
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: v.name.lower())
+    def test_least_fixpoint(self, graph, variant):
+        for sink_map, source_map in _scripts_for(graph):
+            _codegen_lockstep(graph, variant, "least", sink_map,
+                              source_map)
+
+    @pytest.mark.parametrize("variant", VARIANTS,
+                             ids=lambda v: v.name.lower())
+    def test_greatest_fixpoint_on_ambiguous_graphs(self, variant):
+        for graph in (_all_relays(pipeline(3), "half"),
+                      ring(2, relays_per_arc=[["half"], ["half"]])):
+            for sink_map, source_map in _scripts_for(graph):
+                _codegen_lockstep(graph, variant, "greatest", sink_map,
+                                  source_map)
+
+    @pytest.mark.parametrize("graph", _graph_matrix(),
+                             ids=lambda g: g.name)
+    def test_run_to_periodicity_matches(self, graph):
+        for sink_map, source_map in _scripts_for(graph):
+            ref = SkeletonSim(graph, sink_patterns=sink_map,
+                              source_patterns=source_map).run()
+            got = CodegenSkeletonSim(graph, sink_patterns=sink_map,
+                                     source_patterns=source_map).run()
+            for field in ("transient", "period", "shell_fires",
+                          "sink_accepts", "deadlocked",
+                          "potential_deadlock_cycle"):
+                assert getattr(got, field) == getattr(ref, field), \
+                    (graph.name, field)
+
+
 class TestBackendApi:
     """select() must hide the engine choice without changing results."""
 
@@ -231,6 +304,12 @@ class TestBackendApi:
         assert isinstance(select(graph, batch=4, backend="bitsim"),
                           BitplaneBackend)
         assert isinstance(select(graph, batch=64), VectorizedBackend)
+        # So is the compiled engine — explicit request only, any batch.
+        for batch in (1, 4):
+            handle = select(graph, batch=batch, backend="codegen")
+            assert isinstance(handle, CodegenBackend)
+            assert handle.name == "codegen"
+        assert not isinstance(select(graph, batch=1), CodegenBackend)
 
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_unknown_script_target_rejected_by_all(self, backend):
@@ -243,7 +322,8 @@ class TestBackendApi:
                    backend=backend)
 
     def test_supported_reports_capability(self):
-        for probe in (vectorized_supported, bitsim_supported):
+        for probe in (vectorized_supported, bitsim_supported,
+                      codegen_supported):
             ok, reason = probe(pipeline(2), ProtocolVariant.CASU)
             assert ok, (probe.__name__, reason)
 
@@ -406,6 +486,7 @@ class TestInjectCampaignParity:
         assert reports["scalar"].backend == "scalar"
         assert reports["vectorized"].backend == "vectorized"
         assert reports["bitsim"].backend == "bitsim"
+        assert reports["codegen"].backend == "codegen"
         baseline = reports["scalar"]
         for backend in BACKENDS[1:]:
             report = reports[backend]

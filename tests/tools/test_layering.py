@@ -63,3 +63,41 @@ class TestDetection:
         found = self._imports_of(tmp_path, "repro.graph.model",
                                  "from .. import skeleton\n")
         assert "repro.skeleton" in found
+
+
+class TestCodegenRule:
+    """codegen may consume repro.ir and repro.exec.cache — nothing else
+    from the layers around it; the lint must catch a deliberate slip."""
+
+    def _violations(self, tmp_path, source):
+        path = tmp_path / "codegen.py"
+        path.write_text(textwrap.dedent(source))
+        return check_layering.check_file(str(path),
+                                         "repro.skeleton.codegen")
+
+    def test_allowed_imports_are_clean(self, tmp_path):
+        assert self._violations(tmp_path, """\
+            from ..ir import LoweredSystem
+            from .sim import SkeletonSim
+            from repro.exec.cache import ResultCache
+            """) == []
+
+    def test_lid_import_is_flagged(self, tmp_path):
+        found = self._violations(tmp_path, """\
+            def late():
+                from repro.lid.variant import DEFAULT_VARIANT
+            """)
+        assert len(found) >= 1
+        assert "repro.lid" in found[0]
+
+    def test_exec_outside_cache_is_flagged(self, tmp_path):
+        found = self._violations(tmp_path,
+                                 "from repro.exec.pool import "
+                                 "map_deterministic\n")
+        assert found and "repro.exec" in found[0]
+
+    def test_shipped_codegen_module_is_clean(self):
+        src = os.path.join(REPO_ROOT, "src", "repro", "skeleton",
+                           "codegen.py")
+        assert check_layering.check_file(
+            src, "repro.skeleton.codegen") == []

@@ -15,7 +15,15 @@ the *forbidden prefixes*):
   ``repro.skeleton`` or ``repro.cli`` — lowerings reach backends only
   through the string-keyed :mod:`repro._registry` service locator;
 * ``repro.exec`` must not import ``repro.cli`` — workers materialize
-  :class:`~repro.exec.graphs.GraphRef` via ``repro.graph.specs``.
+  :class:`~repro.exec.graphs.GraphRef` via ``repro.graph.specs``;
+* ``repro.skeleton.codegen`` consumes only ``repro.ir`` (its input is
+  a :class:`~repro.ir.LoweredSystem`) and ``repro.exec.cache`` (the
+  optional compile-cache disk layer, duck-typed) besides its own
+  package — not ``repro.lid`` (the variant is duck-typed), not the
+  rest of ``repro.exec``, and nothing above.
+
+A rule may carve out *allowed* sub-prefixes of a forbidden prefix
+(e.g. ``repro.exec.cache`` inside a forbidden ``repro.exec``).
 
 The walk covers *every* ``import``/``from ... import`` statement in the
 AST — module level, function level, ``TYPE_CHECKING`` blocks — because
@@ -36,11 +44,16 @@ from typing import Iterator, List, Tuple
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src")
 
-#: (source module prefix, forbidden module prefixes)
-RULES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
-    ("repro.graph", ("repro.lid", "repro.skeleton", "repro.cli")),
-    ("repro.ir", ("repro.lid", "repro.skeleton", "repro.cli")),
-    ("repro.exec", ("repro.cli",)),
+#: (source module prefix, forbidden module prefixes, allowed
+#: sub-prefixes that override a forbidden match)
+RULES: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...] = (
+    ("repro.graph", ("repro.lid", "repro.skeleton", "repro.cli"), ()),
+    ("repro.ir", ("repro.lid", "repro.skeleton", "repro.cli"), ()),
+    ("repro.exec", ("repro.cli",), ()),
+    ("repro.skeleton.codegen",
+     ("repro.lid", "repro.exec", "repro.inject", "repro.obs",
+      "repro.analysis", "repro.bench", "repro.cli"),
+     ("repro.exec.cache",)),
 )
 
 
@@ -87,6 +100,28 @@ def _matches(module: str, prefix: str) -> bool:
     return module == prefix or module.startswith(prefix + ".")
 
 
+def check_file(path: str, module: str) -> List[str]:
+    """Violations in one module (empty when no rule matches it)."""
+    violations: List[str] = []
+    active = [(forbidden, allowed)
+              for source, forbidden, allowed in RULES
+              if _matches(module, source)]
+    if not active:
+        return violations
+    for lineno, imported in _imports(path, module):
+        for forbidden, allowed in active:
+            if any(_matches(imported, p) for p in allowed):
+                continue
+            hits = [p for p in forbidden if _matches(imported, p)]
+            for prefix in hits:
+                rel = os.path.relpath(path, REPO_ROOT)
+                violations.append(
+                    f"{rel}:{lineno}: {module} imports "
+                    f"{imported} (layer {prefix} is above it; "
+                    f"use repro._registry)")
+    return violations
+
+
 def check() -> List[str]:
     violations: List[str] = []
     for dirpath, _dirnames, filenames in sorted(os.walk(SRC_ROOT)):
@@ -94,20 +129,7 @@ def check() -> List[str]:
             if not filename.endswith(".py"):
                 continue
             path = os.path.join(dirpath, filename)
-            module = _module_name(path)
-            active = [forbidden for source, forbidden in RULES
-                      if _matches(module, source)]
-            if not active:
-                continue
-            for lineno, imported in _imports(path, module):
-                for forbidden in active:
-                    hits = [p for p in forbidden if _matches(imported, p)]
-                    for prefix in hits:
-                        rel = os.path.relpath(path, REPO_ROOT)
-                        violations.append(
-                            f"{rel}:{lineno}: {module} imports "
-                            f"{imported} (layer {prefix} is above it; "
-                            f"use repro._registry)")
+            violations.extend(check_file(path, _module_name(path)))
     return sorted(set(violations))
 
 
