@@ -1,0 +1,169 @@
+"""EXP-S1: campaign-service throughput — cache-first serving pays.
+
+The campaign service's performance claim is layered, and each layer is
+asserted where the hardware allows:
+
+* **warm >> cold**: once a manifest's response is in the shared
+  content-addressed cache, serving it again is a pure cache read on
+  the event loop — no worker, no simulation.  Steady-state warm
+  throughput must be at least 10x the cold (execute-every-request)
+  rate on any machine;
+* **coalescing**: K concurrent identical cold requests cost one
+  execution (asserted exactly, any core count);
+* **scaling**: concurrent *distinct* cold manifests spread across a
+  4-worker pool must beat serial submission by >= 2x — asserted only
+  when the machine actually has >= 4 cores (CI containers often
+  expose 1; the numbers are still recorded there).
+
+Emits ``BENCH_EXP-S1.json`` with cold/warm rates, the coalescing
+tally and the scaling ratio, mirrored into the ``obs regress`` scan.
+"""
+
+import http.client
+import json
+import os
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+from repro.bench.tables import format_table
+from repro.serve import CampaignScheduler, start_in_thread
+
+MIN_WARM_OVER_COLD = 10.0
+MIN_SCALING = 2.0
+SCALING_WORKERS = 4
+COLD_MANIFESTS = 4
+WARM_ROUNDS = 200
+
+
+def _post(port, body):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=300)
+    try:
+        conn.request("POST", "/v1/run", body=json.dumps(body))
+        response = conn.getresponse()
+        payload = response.read()
+        return response.status, dict(response.getheaders()), payload
+    finally:
+        conn.close()
+
+
+def _manifest(seed):
+    # Heavier than --smoke so the cold (execute) rate sits well below
+    # the warm (cache-read) rate on any hardware.
+    return {"kind": "campaign", "cycles": 256, "samples": 24,
+            "format": "json", "seed": seed}
+
+
+def _serve_rates(tmp):
+    """Cold rate, warm rate and coalescing tally on one thread-mode
+    server (same event-loop path production uses)."""
+    scheduler = CampaignScheduler(mode="thread", jobs=2,
+                                  cache_dir=os.path.join(tmp, "cache"))
+    handle = start_in_thread(scheduler, port=0)
+    try:
+        # Cold: every request executes a fresh golden simulation.
+        started = perf_counter()
+        for seed in range(COLD_MANIFESTS):
+            status, headers, _body = _post(handle.port, _manifest(seed))
+            assert status == 200 and headers["X-Repro-Cache"] == "miss"
+        cold_wall = perf_counter() - started
+        cold_rate = COLD_MANIFESTS / cold_wall
+
+        # Warm: identical manifests come straight from the cache.
+        started = perf_counter()
+        for i in range(WARM_ROUNDS):
+            status, headers, _body = _post(
+                handle.port, _manifest(i % COLD_MANIFESTS))
+            assert status == 200 and headers["X-Repro-Cache"] == "hit"
+        warm_wall = perf_counter() - started
+        warm_rate = WARM_ROUNDS / warm_wall
+
+        # Coalescing: K concurrent identical cold requests, one run.
+        fresh = _manifest(COLD_MANIFESTS + 1)
+        executed_before = scheduler.stats.executed
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(
+                lambda _: _post(handle.port, fresh), range(6)))
+        assert {status for status, _h, _b in results} == {200}
+        assert len({body for _s, _h, body in results}) == 1
+        coalesced_runs = scheduler.stats.executed - executed_before
+        assert coalesced_runs == 1, (
+            f"6 concurrent identical manifests cost "
+            f"{coalesced_runs} executions (expected 1)")
+        return cold_rate, warm_rate
+    finally:
+        handle.stop()
+
+
+def _scaling_ratio(tmp):
+    """Serial vs concurrent wall time for distinct cold manifests on a
+    4-worker process pool."""
+    scheduler = CampaignScheduler(
+        mode="process", jobs=SCALING_WORKERS,
+        cache_dir=os.path.join(tmp, "scaling-cache"))
+    handle = start_in_thread(scheduler, port=0)
+    try:
+        # Warm the pool (fork + first-touch costs stay out of timing).
+        _post(handle.port, _manifest(100))
+
+        serial_seeds = range(200, 200 + SCALING_WORKERS)
+        started = perf_counter()
+        for seed in serial_seeds:
+            status, _h, _b = _post(handle.port, _manifest(seed))
+            assert status == 200
+        serial_wall = perf_counter() - started
+
+        concurrent_seeds = range(300, 300 + SCALING_WORKERS)
+        started = perf_counter()
+        with ThreadPoolExecutor(max_workers=SCALING_WORKERS) as pool:
+            statuses = list(pool.map(
+                lambda seed: _post(handle.port, _manifest(seed))[0],
+                concurrent_seeds))
+        concurrent_wall = perf_counter() - started
+        assert statuses == [200] * SCALING_WORKERS
+        return serial_wall / concurrent_wall, serial_wall, \
+            concurrent_wall
+    finally:
+        handle.stop()
+
+
+def test_bench_serve_throughput(benchmark, emit):
+    cores = os.cpu_count() or 1
+    total_started = perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_rate, warm_rate = _serve_rates(tmp)
+        scaling, serial_wall, concurrent_wall = _scaling_ratio(tmp)
+    warm_over_cold = warm_rate / cold_rate
+    assert warm_over_cold >= MIN_WARM_OVER_COLD, (
+        f"warm cache-hit serving only reached {warm_over_cold:.1f}x "
+        f"the cold rate (expected >= {MIN_WARM_OVER_COLD:.0f}x)")
+    if cores >= SCALING_WORKERS:
+        assert scaling >= MIN_SCALING, (
+            f"{SCALING_WORKERS} concurrent distinct manifests only "
+            f"reached {scaling:.2f}x over serial on {cores} cores "
+            f"(expected >= {MIN_SCALING:.0f}x)")
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    rows = [
+        ("cold execute", f"{cold_rate:.1f} req/s", "1.0x"),
+        ("warm cache hit", f"{warm_rate:.1f} req/s",
+         f"{warm_over_cold:.1f}x"),
+        (f"{SCALING_WORKERS}-way distinct",
+         f"{serial_wall:.2f}s -> {concurrent_wall:.2f}s",
+         f"{scaling:.2f}x" + ("" if cores >= SCALING_WORKERS
+                              else f" (unasserted: {cores} core(s))")),
+    ]
+    table = format_table(
+        ("phase", "rate / wall", "ratio"), rows,
+        title=f"EXP-S1: campaign service throughput ({cores} core(s))")
+    emit("EXP-S1", table, rows=rows,
+         wall_seconds=perf_counter() - total_started,
+         params={"cold_manifests": COLD_MANIFESTS,
+                 "warm_rounds": WARM_ROUNDS,
+                 "scaling_workers": SCALING_WORKERS,
+                 "cores": cores},
+         counters={"cold_req_per_s": round(cold_rate, 2),
+                   "warm_req_per_s": round(warm_rate, 2),
+                   "warm_over_cold_x": round(warm_over_cold, 2),
+                   "scaling_x": round(scaling, 2)})

@@ -56,6 +56,54 @@ def _variant(text: str) -> ProtocolVariant:
     return ProtocolVariant(text)
 
 
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (e.g. ``--jobs``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, "
+                                         f"got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _fault_spec(text: str) -> str:
+    """Argparse type for ``--faults``: validate every class/kind name
+    up front so a typo exits 2 with one line instead of surfacing as an
+    InjectionError mid-campaign."""
+    classes = tuple(item.strip() for item in text.split(",")
+                    if item.strip())
+    if not classes:
+        raise argparse.ArgumentTypeError(
+            "expected a comma-separated list of fault classes")
+    from .errors import InjectionError
+    from .inject.faults import resolve_classes
+
+    try:
+        resolve_classes(classes)
+    except InjectionError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return text
+
+
+def _window_spec(text: str) -> str:
+    """Argparse type for ``--window LO:HI``: malformed bounds exit 2
+    with one line instead of a ValueError traceback."""
+    lo_text, sep, hi_text = text.partition(":")
+    if not sep:
+        raise argparse.ArgumentTypeError(f"expected LO:HI, got {text!r}")
+    try:
+        lo, hi = int(lo_text), int(hi_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"window bounds must be integers, got {text!r}")
+    if lo < 0 or hi <= lo:
+        raise argparse.ArgumentTypeError(
+            f"need 0 <= LO < HI, got [{lo}, {hi})")
+    return text
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lid",
@@ -75,7 +123,7 @@ def main(argv=None) -> int:
                              help=argparse.SUPPRESS)
     jobs_parent = argparse.ArgumentParser(add_help=False)
     jobs_parent.add_argument(
-        "--jobs", "-j", type=int, default=1, metavar="N",
+        "--jobs", "-j", type=_positive_int, default=1, metavar="N",
         help="worker processes for independent simulation units "
              "(default 1 = serial; output is byte-identical for any "
              "value, see docs/parallelism.md)")
@@ -161,6 +209,7 @@ def main(argv=None) -> int:
                           default=ProtocolVariant.CASU,
                           choices=list(ProtocolVariant))
     p_inject.add_argument("--faults", default="stop,void",
+                          type=_fault_spec,
                           help="comma-separated fault classes or kinds "
                                "(see repro.inject.FAULT_CLASSES)")
     p_inject.add_argument("--cycles", type=int, default=200,
@@ -172,6 +221,7 @@ def main(argv=None) -> int:
                           help="run every kind x target x cycle of the "
                                "window instead of sampling")
     p_inject.add_argument("--window", default=None, metavar="LO:HI",
+                          type=_window_spec,
                           help="restrict injection cycles to [LO, HI)")
     p_inject.add_argument("--engine", choices=["lid", "skeleton"],
                           default="lid",
@@ -272,6 +322,76 @@ def main(argv=None) -> int:
 
     p_series.add_argument("which", choices=sorted(SERIES_GENERATORS))
     p_series.add_argument("--output", "-o", default=None)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the campaign service: an asyncio HTTP/JSON front end "
+             "with a shared result cache, request coalescing and a "
+             "persistent worker pool (see docs/serving.md)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8377,
+                         help="listen port (0 = ephemeral; the bound "
+                              "port is announced on stderr)")
+    p_serve.add_argument("--jobs", "-j", type=_positive_int, default=1,
+                         metavar="N",
+                         help="persistent worker pool size for cold "
+                              "manifests")
+    p_serve.add_argument("--mode", choices=["process", "thread"],
+                         default="process",
+                         help="worker pool flavor (thread: in-process, "
+                              "for tests and low-latency smoke runs)")
+    p_serve.add_argument("--queue-depth", type=_positive_int, default=8,
+                         metavar="N",
+                         help="max outstanding uncoalesced runs before "
+                              "503 backpressure (default 8)")
+    p_serve.add_argument("--rate", type=float, default=0.0,
+                         metavar="R",
+                         help="per-client token-bucket refill rate in "
+                              "requests/second (default 0 = unlimited)")
+    p_serve.add_argument("--burst", type=float, default=None,
+                         metavar="B",
+                         help="token-bucket capacity (default: "
+                              "max(2*RATE, 1))")
+    p_serve.add_argument("--ledger", nargs="?", const="", default=None,
+                         metavar="FILE",
+                         help="append a run record for every executed "
+                              "manifest (bare --ledger uses the "
+                              "default ledger path)")
+    p_serve.add_argument("--no-cache", action="store_true",
+                         help="disable the shared response/golden-run "
+                              "cache (every request executes)")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: "
+                              "$REPRO_LID_CACHE_DIR or "
+                              "~/.cache/repro-lid)")
+
+    p_client = sub.add_parser(
+        "client",
+        help="talk to a running campaign service: POST a manifest "
+             "(optionally N concurrent copies), or query "
+             "health/stats")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=8377)
+    p_client.add_argument("--manifest", default=None, metavar="FILE",
+                          help="manifest JSON file ('-' = stdin)")
+    p_client.add_argument("--concurrency", type=_positive_int, default=1,
+                          metavar="N",
+                          help="POST the same manifest N times "
+                               "concurrently; all responses must be "
+                               "byte-identical (coalescing check)")
+    p_client.add_argument("--stream", action="store_true",
+                          help="request NDJSON progress streaming; "
+                               "progress lines go to stderr, the "
+                               "report body to stdout/--output")
+    p_client.add_argument("--health", action="store_true",
+                          help="GET /healthz and exit")
+    p_client.add_argument("--stats", action="store_true",
+                          help="GET /v1/stats and exit")
+    p_client.add_argument("--timeout", type=float, default=600.0,
+                          help="socket timeout in seconds")
+    p_client.add_argument("--output", "-o", default=None,
+                          help="write the response body here "
+                               "(default: stdout)")
 
     p_obs = sub.add_parser(
         "obs", help="cross-run observability: run ledger & regression "
@@ -417,6 +537,10 @@ def main(argv=None) -> int:
                 params={"which": args.which},
                 verdict={"lines": len(text.splitlines())},
                 meta={"wall_seconds": round(wall, 6)}))
+    elif args.command == "serve":
+        return _serve(args)
+    elif args.command == "client":
+        return _client(args)
     elif args.command == "obs":
         return _obs(args)
     elif args.command == "export":
@@ -505,6 +629,159 @@ def _deadlock(args) -> int:
     if verdict.inconclusive:
         return 2
     return 0 if verdict.live else 1
+
+
+def _serve(args) -> int:
+    """``serve``: run the campaign service in the foreground."""
+    from .serve import CampaignScheduler, CampaignServer, run_server
+
+    ledger = None
+    if args.ledger is not None:
+        from .obs import default_ledger_path
+
+        ledger = args.ledger or default_ledger_path()
+    scheduler = CampaignScheduler(
+        jobs=args.jobs, mode=args.mode, queue_depth=args.queue_depth,
+        use_cache=not args.no_cache, cache_dir=args.cache_dir,
+        ledger=ledger)
+    server = CampaignServer(scheduler, host=args.host, port=args.port,
+                            rate=args.rate, burst=args.burst)
+
+    def announce(srv) -> None:
+        print(f"repro-lid serve: listening on "
+              f"http://{srv.host}:{srv.port} "
+              f"({args.mode} pool, jobs={args.jobs}, "
+              f"queue-depth={args.queue_depth})", file=sys.stderr)
+
+    return run_server(server, announce=announce)
+
+
+def _client(args) -> int:
+    """``client``: POST a manifest (or query health/stats)."""
+    import http.client
+    import json
+
+    def request(method: str, path: str, body=None, headers=None):
+        conn = http.client.HTTPConnection(args.host, args.port,
+                                          timeout=args.timeout)
+        try:
+            conn.request(method, path, body=body, headers=headers or {})
+            response = conn.getresponse()
+            return (response.status, dict(response.getheaders()),
+                    response.read())
+        finally:
+            conn.close()
+
+    def emit(body: bytes) -> None:
+        if args.output:
+            with open(args.output, "wb") as fh:
+                fh.write(body)
+            print(f"wrote {args.output} ({len(body)} bytes)",
+                  file=sys.stderr)
+        else:
+            sys.stdout.buffer.write(body)
+            sys.stdout.buffer.flush()
+
+    if args.health or args.stats:
+        path = "/healthz" if args.health else "/v1/stats"
+        status, _headers, body = request("GET", path)
+        emit(body)
+        return 0 if status == 200 else 1
+
+    if not args.manifest:
+        raise SystemExit("repro-lid client: --manifest FILE required "
+                         "(or use --health/--stats)")
+    if args.manifest == "-":
+        manifest_text = sys.stdin.read()
+    else:
+        with open(args.manifest, "r", encoding="utf-8") as fh:
+            manifest_text = fh.read()
+    try:
+        payload = json.loads(manifest_text)
+    except ValueError as exc:
+        raise SystemExit(f"repro-lid client: bad manifest JSON: {exc}")
+
+    if args.stream:
+        return _client_stream(args, payload)
+
+    body_bytes = json.dumps(payload).encode()
+    headers = {"Content-Type": "application/json"}
+
+    def post(_index: int):
+        return request("POST", "/v1/run", body=body_bytes,
+                       headers=headers)
+
+    if args.concurrency == 1:
+        results = [post(0)]
+    else:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=args.concurrency) as pool:
+            results = list(pool.map(post, range(args.concurrency)))
+
+    status0, headers0, body0 = results[0]
+    distinct = {(status, body) for status, _h, body in results}
+    if len(distinct) != 1:
+        raise SystemExit(
+            f"repro-lid client: {len(distinct)} distinct responses "
+            f"from {args.concurrency} identical requests — the "
+            f"service broke its determinism contract")
+    sources = [h.get("X-Repro-Cache", "?") for _s, h, _b in results]
+    from collections import Counter
+
+    tally = "  ".join(f"{name}={count}" for name, count
+                      in sorted(Counter(sources).items()))
+    print(f"client: {args.concurrency} request(s), status {status0}, "
+          f"{tally}", file=sys.stderr)
+    emit(body0)
+    if status0 != 200:
+        return 1
+    return int(headers0.get("X-Repro-Exit", "0") or 0)
+
+
+def _client_stream(args, payload) -> int:
+    """NDJSON streaming client: progress to stderr, body to stdout."""
+    import http.client
+    import json
+
+    payload = dict(payload, stream=True)
+    conn = http.client.HTTPConnection(args.host, args.port,
+                                      timeout=args.timeout)
+    try:
+        conn.request("POST", "/v1/run", body=json.dumps(payload),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        if response.status != 200:
+            sys.stderr.write(response.read().decode("utf-8",
+                                                    "replace"))
+            return 1
+        exit_code = 1
+        for raw in response:
+            line = raw.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("event") == "result":
+                body = event["body"].encode()
+                if args.output:
+                    with open(args.output, "wb") as fh:
+                        fh.write(body)
+                else:
+                    sys.stdout.buffer.write(body)
+                    sys.stdout.buffer.flush()
+                print(f"client: {event.get('cache')} run "
+                      f"{event.get('run_id')}", file=sys.stderr)
+                exit_code = int(event.get("exit_code", 0))
+            elif event.get("event") == "error":
+                print(f"client: error: {event.get('message')}",
+                      file=sys.stderr)
+                exit_code = 1
+            else:
+                print(f"progress: {event.get('done')}/"
+                      f"{event.get('total')}", file=sys.stderr)
+        return exit_code
+    finally:
+        conn.close()
 
 
 def _obs(args) -> int:

@@ -11,7 +11,10 @@ probes use every core **without changing a single output byte**:
   unpicklable) :class:`~repro.graph.model.SystemGraph` inside workers;
 * :class:`ResultCache` / :func:`graph_fingerprint` — content-addressed
   golden-run and periodicity cache (memory + optional disk layer under
-  ``~/.cache/repro-lid/``).
+  ``~/.cache/repro-lid/``, byte-budgeted by an mtime-ordered GC);
+* :class:`SingleFlight` — keyed in-flight coalescing: concurrent
+  callers computing the same key share one execution (the campaign
+  service's thundering-herd guard).
 
 The determinism contract and the cache layout are documented in
 ``docs/parallelism.md``.
@@ -19,12 +22,15 @@ The determinism contract and the cache layout are documented in
 
 from .cache import (
     CACHE_SCHEMA,
+    DEFAULT_CACHE_MAX_BYTES,
     CacheStats,
     ResultCache,
     atomic_write_bytes,
+    cache_max_bytes,
     default_cache_dir,
     graph_fingerprint,
 )
+from .flight import SingleFlight
 from .graphs import GraphRef
 from .pool import (
     TraceCollection,
@@ -41,12 +47,15 @@ from .pool import (
 __all__ = [
     "CACHE_SCHEMA",
     "CacheStats",
+    "DEFAULT_CACHE_MAX_BYTES",
     "GraphRef",
     "ResultCache",
+    "SingleFlight",
     "TraceCollection",
     "WorkUnit",
     "WorkerTrace",
     "atomic_write_bytes",
+    "cache_max_bytes",
     "chunk_units",
     "default_cache_dir",
     "graph_fingerprint",

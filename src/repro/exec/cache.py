@@ -39,7 +39,7 @@ import os
 import pickle
 import sys
 import tempfile
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from ..graph.model import SystemGraph
 
@@ -141,15 +141,63 @@ def graph_fingerprint(graph: SystemGraph, cycles: int = 256) -> str:
 
 @dataclasses.dataclass
 class CacheStats:
-    """Hit/miss/eviction counters — surfaced in campaign headers."""
+    """Hit/miss/eviction counters — surfaced in campaign headers.
+
+    ``coalesced`` counts callers that shared an in-flight computation
+    instead of re-running it (single-flight request coalescing, see
+    :mod:`repro.exec.flight`); ``gc_files`` / ``gc_bytes`` account for
+    disk entries reclaimed by :meth:`ResultCache.gc`.  The newer
+    counters appear in :meth:`to_dict` only when nonzero, so reports
+    from flows that never coalesce or collect stay byte-stable.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    coalesced: int = 0
+    gc_files: int = 0
+    gc_bytes: int = 0
 
     def to_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses,
-                "evictions": self.evictions}
+        stats = {"hits": self.hits, "misses": self.misses,
+                 "evictions": self.evictions}
+        if self.coalesced:
+            stats["coalesced"] = self.coalesced
+        if self.gc_files or self.gc_bytes:
+            stats["gc_files"] = self.gc_files
+            stats["gc_bytes"] = self.gc_bytes
+        return stats
+
+
+#: Default disk-layer byte budget for :meth:`ResultCache.gc` — generous
+#: (a golden-run entry is a few KiB, so this holds hundreds of
+#: thousands of runs) but finite: a long-running campaign server keeps
+#: appending entries forever and must not fill the disk.  Override
+#: with ``$REPRO_LID_CACHE_MAX_BYTES``; ``0`` disables collection.
+DEFAULT_CACHE_MAX_BYTES = 2 * 1024 ** 3
+
+#: Run a GC sweep every this many disk writes (plus one at
+#: :meth:`ResultCache.disk` construction when a budget is configured).
+GC_WRITE_INTERVAL = 64
+
+
+def cache_max_bytes() -> int:
+    """Disk budget: ``$REPRO_LID_CACHE_MAX_BYTES`` or the default.
+
+    A non-positive or malformed value disables GC (returns 0) — an
+    operator who sets the variable to ``0`` is explicitly asking for
+    the old unbounded behaviour.
+    """
+    text = os.environ.get("REPRO_LID_CACHE_MAX_BYTES")
+    if text is None:
+        return DEFAULT_CACHE_MAX_BYTES
+    try:
+        value = int(text)
+    except ValueError:
+        print(f"warning: ignoring malformed "
+              f"REPRO_LID_CACHE_MAX_BYTES={text!r}", file=sys.stderr)
+        return DEFAULT_CACHE_MAX_BYTES
+    return max(value, 0)
 
 
 #: Default memory-layer bound.  Generous — a campaign touches a handful
@@ -169,24 +217,28 @@ class ResultCache:
     """
 
     def __init__(self, directory: Optional[str] = None,
-                 maxsize: Optional[int] = DEFAULT_MEMORY_ENTRIES):
+                 maxsize: Optional[int] = DEFAULT_MEMORY_ENTRIES,
+                 max_bytes: Optional[int] = None):
         if maxsize is not None and maxsize < 1:
             raise ValueError(f"maxsize must be >= 1 or None, "
                              f"got {maxsize!r}")
         self.directory = directory
         self.maxsize = maxsize
+        self.max_bytes = (cache_max_bytes() if max_bytes is None
+                          else max(int(max_bytes), 0))
         self.stats = CacheStats()
         self._memory: "collections.OrderedDict[str, Any]" = \
             collections.OrderedDict()
         self._disk_broken = False
+        self._disk_writes = 0
 
     @classmethod
     def disk(cls, directory: Optional[str] = None,
-             maxsize: Optional[int] = DEFAULT_MEMORY_ENTRIES
-             ) -> "ResultCache":
+             maxsize: Optional[int] = DEFAULT_MEMORY_ENTRIES,
+             max_bytes: Optional[int] = None) -> "ResultCache":
         """Cache backed by the default (or given) on-disk directory."""
         return cls(directory=directory or default_cache_dir(),
-                   maxsize=maxsize)
+                   maxsize=maxsize, max_bytes=max_bytes)
 
     @classmethod
     def memory(cls,
@@ -244,7 +296,13 @@ class ResultCache:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store under *key*; disk failures degrade to memory-only."""
+        """Store under *key*; disk failures degrade to memory-only.
+
+        Every :data:`GC_WRITE_INTERVAL`-th disk write triggers a
+        :meth:`gc` sweep so a long-running process (the campaign
+        server) keeps the disk layer inside its byte budget without any
+        external cron.
+        """
         self._remember(key, value)
         if self.directory is None or self._disk_broken:
             return
@@ -257,3 +315,73 @@ class ResultCache:
             print(f"warning: cache directory {self.directory!r} is not "
                   f"writable ({exc}); continuing without the disk layer",
                   file=sys.stderr)
+            return
+        self._disk_writes += 1
+        if self.max_bytes and self._disk_writes % GC_WRITE_INTERVAL == 0:
+            self.gc()
+
+    def disk_usage(self) -> int:
+        """Total bytes of cache entries currently on disk."""
+        if self.directory is None:
+            return 0
+        total = 0
+        try:
+            with os.scandir(self.directory) as entries:
+                for entry in entries:
+                    if entry.name.endswith(".pkl") and entry.is_file():
+                        try:
+                            total += entry.stat().st_size
+                        except OSError:
+                            pass
+        except OSError:
+            return 0
+        return total
+
+    def gc(self, max_bytes: Optional[int] = None) -> Tuple[int, int]:
+        """Trim the disk layer to *max_bytes* (default: the configured
+        budget), oldest entries first.
+
+        Entries are ranked by mtime — ``atomic_write_bytes`` stamps a
+        fresh mtime on every put, so recency of *writing* is the
+        eviction order (the memory LRU in front of the disk keeps hot
+        reads cheap regardless).  Returns ``(files_removed,
+        bytes_freed)`` and accumulates both into :attr:`stats`.
+        Concurrent removals (another process collecting the same
+        directory) are tolerated: a vanished file is simply not counted.
+        """
+        budget = self.max_bytes if max_bytes is None else max(
+            int(max_bytes), 0)
+        if self.directory is None or not budget:
+            return (0, 0)
+        entries = []
+        try:
+            with os.scandir(self.directory) as scan:
+                for entry in scan:
+                    if not entry.name.endswith(".pkl") \
+                            or not entry.is_file():
+                        continue
+                    try:
+                        stat = entry.stat()
+                    except OSError:
+                        continue
+                    entries.append((stat.st_mtime, stat.st_size,
+                                    entry.path))
+        except OSError:
+            return (0, 0)
+        total = sum(size for _mtime, size, _path in entries)
+        if total <= budget:
+            return (0, 0)
+        removed = freed = 0
+        for _mtime, size, path in sorted(entries):
+            if total <= budget:
+                break
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+            freed += size
+        self.stats.gc_files += removed
+        self.stats.gc_bytes += freed
+        return (removed, freed)

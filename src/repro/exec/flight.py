@@ -1,0 +1,93 @@
+"""Single-flight execution: coalesce concurrent identical work.
+
+The campaign service (and any other concurrent front end over the
+content-addressed :class:`~repro.exec.cache.ResultCache`) has a classic
+thundering-herd hole: two requests for the same ``fingerprint x params``
+arriving while the result is *in flight* both miss the cache and both
+run the simulation.  :class:`SingleFlight` closes it — the first caller
+for a key becomes the **leader** and computes; every concurrent caller
+for the same key becomes a **follower** and blocks until the leader
+finishes, then shares the leader's result (or its exception).
+
+Guarantees:
+
+* at most one execution per key is in flight at any moment;
+* followers never observe a torn result — they wake only after the
+  leader has published value-or-exception;
+* the key is retired when the flight lands, so a *later* caller starts
+  a fresh flight (single-flight is not a cache; pair it with one);
+* exceptions propagate to the leader and every follower of that flight,
+  and do not poison subsequent flights for the key.
+
+This is the synchronous (thread) half; the asyncio front end in
+:mod:`repro.serve.coalesce` implements the same contract with keyed
+futures on the event loop.  Coalesced calls are counted through the
+optional *stats* hook (any object with a ``coalesced`` int attribute,
+e.g. :class:`~repro.exec.cache.CacheStats`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional, Tuple
+
+
+class _Flight:
+    """One in-flight computation: a latch plus its outcome."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SingleFlight:
+    """Thread-safe keyed coalescing map (Go ``singleflight`` shape)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: Dict[Any, _Flight] = {}
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed (for stats pages)."""
+        with self._lock:
+            return len(self._flights)
+
+    def do(self, key: Any, fn: Callable[[], Any], *,
+           stats: Any = None) -> Tuple[Any, bool]:
+        """Run ``fn()`` once per concurrent burst of *key*.
+
+        Returns ``(value, leader)`` — *leader* is True for the caller
+        that actually executed *fn*.  Followers block until the
+        leader's flight lands, then share its value or re-raise its
+        exception.  *stats.coalesced* (when given) is incremented once
+        per follower.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            leader = flight is None
+            if leader:
+                flight = _Flight()
+                self._flights[key] = flight
+            elif stats is not None:
+                stats.coalesced += 1
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            # Retire the key *before* releasing the followers: a caller
+            # arriving after the latch opens must start a fresh flight,
+            # never join a landed one.
+            with self._lock:
+                self._flights.pop(key, None)
+            flight.done.set()
+        return flight.value, True

@@ -211,15 +211,31 @@ def read_ledger(path: str) -> List[Dict[str, Any]]:
 
 def resolve_record(records: List[Dict[str, Any]],
                    ref: str) -> Tuple[int, Dict[str, Any]]:
-    """Find one record by ``@index`` (append order, negatives OK) or by
-    a run-id prefix; raises :class:`ValueError` on miss or ambiguity.
+    """Find one record by ``@index`` (append order, negatives OK), by a
+    run-id prefix, or by ``span:PREFIX[@OCC]``; raises
+    :class:`ValueError` on miss or ambiguity.
 
     A run-id prefix matching several *identical* ids (the same run
     recorded twice) resolves to the latest occurrence — re-running a
     deterministic campaign appends a duplicate id by design.
+
+    ``span:PREFIX`` resolves to the **newest** record of the span whose
+    id starts with ``PREFIX`` (``@span:PREFIX`` is accepted too, and
+    ``span:PREFIX:latest`` spells the default out loud).  ``@OCC``
+    indexes the span's occurrences in append order (``@-2`` = the
+    previous run of the same work), so a served campaign is diffable
+    against its offline CLI twin without hand-copying run ids:
+    ``obs diff span:PREFIX@-2 span:PREFIX``.
     """
     if not records:
         raise ValueError("ledger is empty")
+    span_ref = None
+    if ref.startswith("span:"):
+        span_ref = ref[len("span:"):]
+    elif ref.startswith("@span:"):
+        span_ref = ref[len("@span:"):]
+    if span_ref is not None:
+        return _resolve_span(records, ref, span_ref)
     if ref.startswith("@"):
         try:
             index = int(ref[1:])
@@ -242,6 +258,39 @@ def resolve_record(records: List[Dict[str, Any]],
             f"{ref!r} is ambiguous: matches "
             + ", ".join(sorted(distinct)))
     return matches[-1]
+
+
+def _resolve_span(records: List[Dict[str, Any]], ref: str,
+                  span_ref: str) -> Tuple[int, Dict[str, Any]]:
+    """``span:PREFIX[@OCC]`` -> one record (newest occurrence default)."""
+    occurrence = -1
+    prefix, at, occ_text = span_ref.partition("@")
+    if at:
+        try:
+            occurrence = int(occ_text)
+        except ValueError:
+            raise ValueError(
+                f"bad span occurrence {occ_text!r} in {ref!r}") from None
+    if prefix.endswith(":latest"):
+        prefix = prefix[:-len(":latest")]
+    if not prefix:
+        raise ValueError(f"empty span prefix in {ref!r}")
+    matches = [(i, r) for i, r in enumerate(records)
+               if str(r.get("payload", {}).get("span", ""))
+               .startswith(prefix)]
+    if not matches:
+        raise ValueError(f"no ledger record's span matches {ref!r}")
+    distinct = {r["payload"]["span"] for _i, r in matches}
+    if len(distinct) > 1:
+        raise ValueError(
+            f"span prefix {prefix!r} is ambiguous: matches "
+            + ", ".join(sorted(distinct)))
+    try:
+        return matches[occurrence]
+    except IndexError:
+        raise ValueError(
+            f"span {prefix!r} has only {len(matches)} occurrence(s); "
+            f"{ref!r} is out of range") from None
 
 
 def diff_records(a: Dict[str, Any],
@@ -326,12 +375,13 @@ def format_ls(records: List[Dict[str, Any]]) -> str:
             payload.get("topology") or "-",
             payload.get("variant") or "-",
             (payload.get("fingerprint") or "-")[:12],
+            payload.get("span") or "-",
             f"{wall:.3f}s" if isinstance(wall, (int, float)) else "-",
             summary[:48] or "-",
         ))
     return format_table(
         ("#", "run id", "kind", "topology", "variant", "fingerprint",
-         "wall", "verdict"),
+         "span", "wall", "verdict"),
         rows,
         title=f"run ledger: {len(records)} record(s)",
     )

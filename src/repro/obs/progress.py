@@ -26,7 +26,7 @@ from __future__ import annotations
 import sys
 import threading
 import time
-from typing import Any, Optional, TextIO
+from typing import Any, Callable, Dict, Optional, TextIO
 
 from .events import EventStream
 
@@ -41,6 +41,14 @@ class ProgressReporter:
     threads.  *cache* is an optional :class:`repro.exec.cache.CacheStats`
     read live so the line shows how much work the golden-run cache is
     absorbing.
+
+    *on_event* fans each rendered tick out to an arbitrary consumer as
+    a plain dict (the same fields the ``exec/progress`` event carries,
+    plus ``final``) — the campaign service uses this to stream NDJSON
+    progress lines to HTTP clients without touching stderr or the
+    event stream.  The callback runs with the reporter's lock held, so
+    it must be quick and must not call back into the reporter; hand
+    the dict off (queue put, ``loop.call_soon_threadsafe``) and return.
     """
 
     def __init__(
@@ -52,6 +60,7 @@ class ProgressReporter:
         cache: Optional[Any] = None,
         out: Optional[TextIO] = None,
         interval: float = DEFAULT_INTERVAL,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
     ) -> None:
         self.total = max(int(total), 0)
         self.label = label
@@ -59,6 +68,7 @@ class ProgressReporter:
         self.cache = cache
         self.out = out if out is not None else sys.stderr
         self.interval = interval
+        self.on_event = on_event
         self.done = 0
         self._lock = threading.Lock()
         self._started = time.monotonic()
@@ -110,14 +120,17 @@ class ProgressReporter:
     def _tick(self, now: float, final: bool = False) -> None:
         hits = self._cache_hits()
         eta = self._eta(now)
-        if self.stream is not None:
+        if self.stream is not None or self.on_event is not None:
             fields = {"done": self.done, "total": self.total,
                       "label": self.label}
             if hits is not None:
                 fields["cache_hits"] = hits
             if eta is not None:
                 fields["eta_seconds"] = round(eta, 3)
-            self.stream.emit("exec", "progress", 0, **fields)
+            if self.stream is not None:
+                self.stream.emit("exec", "progress", 0, **fields)
+            if self.on_event is not None:
+                self.on_event(dict(fields, final=final))
         if self.out is None:
             return
         percent = (100.0 * self.done / self.total) if self.total else 100.0

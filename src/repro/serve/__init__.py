@@ -1,0 +1,59 @@
+"""Campaign service: HTTP/JSON front end over the campaign engines.
+
+``repro.serve`` turns the toolkit into a long-lived, cache-first
+execution service (``repro-lid serve``): clients POST campaign
+manifests; a scheduler funnels each request through the shared
+content-addressed :class:`~repro.exec.ResultCache`, collapses
+concurrent identical requests onto a single golden run
+(:class:`AsyncSingleFlight`), applies token-bucket rate limiting and
+bounded-queue backpressure, and shards cold work across a persistent
+worker pool.  Served responses are byte-identical to the offline CLI
+(`docs/serving.md` states the exact contract) and served runs land in
+the same run ledger with the same content-addressed ids.
+
+Layering: ``repro.serve`` sits above the engines and ``repro.exec`` /
+``repro.obs`` and must never import ``repro.cli`` (enforced by
+``tools/check_layering.py``); the CLI imports *this* package.
+"""
+
+from .app import (
+    CampaignServer,
+    ServerHandle,
+    run_server,
+    start_in_thread,
+)
+from .coalesce import AsyncSingleFlight
+from .dispatch import (
+    DispatchError,
+    ServeOutcome,
+    execute_manifest,
+    manifest_fingerprint,
+)
+from .manifest import Manifest, ManifestError
+from .ratelimit import RateLimiter, TokenBucket
+from .scheduler import (
+    DEFAULT_QUEUE_DEPTH,
+    CampaignScheduler,
+    ServeRejected,
+    ServeStats,
+)
+
+__all__ = [
+    "AsyncSingleFlight",
+    "CampaignScheduler",
+    "CampaignServer",
+    "DEFAULT_QUEUE_DEPTH",
+    "DispatchError",
+    "Manifest",
+    "ManifestError",
+    "RateLimiter",
+    "ServeOutcome",
+    "ServeRejected",
+    "ServeStats",
+    "ServerHandle",
+    "TokenBucket",
+    "execute_manifest",
+    "manifest_fingerprint",
+    "run_server",
+    "start_in_thread",
+]

@@ -1,0 +1,85 @@
+"""Per-client token-bucket rate limiting for the campaign service.
+
+A classic token bucket: each client key (peer address, or the
+``X-Repro-Client`` header when present — useful behind a proxy) owns a
+bucket holding up to *burst* tokens that refills continuously at *rate*
+tokens/second.  Each request spends one token; an empty bucket means
+HTTP 429 with a ``Retry-After`` hint of one refill interval.
+
+The bucket map is LRU-bounded so an open service cannot be grown
+without limit by spraying distinct client keys; evicting a stale
+client merely hands it a fresh (full) bucket on return, which errs on
+the side of admitting traffic.
+
+``rate <= 0`` disables limiting entirely (the default: the service is
+a localhost lab tool first).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Hashable, Optional
+
+#: Default ceiling on distinct per-client buckets kept live.
+DEFAULT_MAX_CLIENTS = 1024
+
+
+class TokenBucket:
+    """One client's budget: capacity *burst*, refill *rate*/second."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated")
+
+    def __init__(self, rate: float, burst: float,
+                 now: Optional[float] = None) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self.updated = time.monotonic() if now is None else now
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        """Spend one token if available; refill lazily on each call."""
+        if now is None:
+            now = time.monotonic()
+        elapsed = max(now - self.updated, 0.0)
+        self.updated = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class RateLimiter:
+    """LRU-bounded map of client key -> :class:`TokenBucket`."""
+
+    def __init__(self, rate: float, burst: Optional[float] = None,
+                 max_clients: int = DEFAULT_MAX_CLIENTS) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(
+            2.0 * self.rate, 1.0)
+        self.max_clients = max(int(max_clients), 1)
+        self._buckets: "OrderedDict[Hashable, TokenBucket]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def allow(self, client: Hashable,
+              now: Optional[float] = None) -> bool:
+        """True if *client* may proceed (always true when disabled)."""
+        if not self.enabled:
+            return True
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self.rate, self.burst, now)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self.max_clients:
+                self._buckets.popitem(last=False)
+        else:
+            self._buckets.move_to_end(client)
+        return bucket.allow(now)
+
+    def retry_after(self) -> float:
+        """Seconds until one token exists again (the 429 hint)."""
+        return 1.0 / self.rate if self.rate > 0 else 0.0

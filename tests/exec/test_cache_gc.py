@@ -1,0 +1,143 @@
+"""Disk-layer garbage collection of the result cache (satellite of the
+campaign-service PR): mtime-ordered eviction under a byte budget."""
+
+import os
+
+import pytest
+
+from repro.exec import ResultCache, cache_max_bytes
+from repro.exec.cache import DEFAULT_CACHE_MAX_BYTES, GC_WRITE_INTERVAL
+
+
+def fill(cache, n, size=1000, start=0):
+    """Write n entries of roughly *size* bytes each, oldest first."""
+    for i in range(start, start + n):
+        cache.put(cache.key("gc-test", i), b"x" * size)
+
+
+def entry_files(directory):
+    return sorted(f for f in os.listdir(directory)
+                  if f.endswith(".pkl"))
+
+
+class TestBudgetEnv:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LID_CACHE_MAX_BYTES", raising=False)
+        assert cache_max_bytes() == DEFAULT_CACHE_MAX_BYTES
+
+    def test_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LID_CACHE_MAX_BYTES", "12345")
+        assert cache_max_bytes() == 12345
+
+    def test_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LID_CACHE_MAX_BYTES", "0")
+        assert cache_max_bytes() == 0
+
+    def test_negative_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LID_CACHE_MAX_BYTES", "-5")
+        assert cache_max_bytes() == 0
+
+    def test_malformed_warns_and_defaults(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_LID_CACHE_MAX_BYTES", "lots")
+        assert cache_max_bytes() == DEFAULT_CACHE_MAX_BYTES
+        assert "REPRO_LID_CACHE_MAX_BYTES" in capsys.readouterr().err
+
+    def test_constructor_reads_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LID_CACHE_MAX_BYTES", "777")
+        cache = ResultCache.disk(str(tmp_path))
+        assert cache.max_bytes == 777
+
+    def test_explicit_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LID_CACHE_MAX_BYTES", "777")
+        cache = ResultCache.disk(str(tmp_path), max_bytes=555)
+        assert cache.max_bytes == 555
+
+
+class TestGc:
+    def test_under_budget_is_a_no_op(self, tmp_path):
+        cache = ResultCache.disk(str(tmp_path), max_bytes=10**9)
+        fill(cache, 5)
+        assert cache.gc() == (0, 0)
+        assert len(entry_files(tmp_path)) == 5
+        assert cache.stats.to_dict().get("gc_files") is None
+
+    def test_trims_oldest_first(self, tmp_path):
+        cache = ResultCache.disk(str(tmp_path), max_bytes=0)
+        fill(cache, 6)
+        files = entry_files(tmp_path)
+        assert len(files) == 6
+        # Age the first three entries far into the past.
+        old = {cache._path(cache.key("gc-test", i)) for i in range(3)}
+        for i, path in enumerate(sorted(old)):
+            os.utime(path, (1000 + i, 1000 + i))
+        usage = cache.disk_usage()
+        per_entry = usage // 6
+        removed, freed = cache.gc(max_bytes=usage - 3 * per_entry + 1)
+        assert removed == 3
+        survivors = {os.path.join(str(tmp_path), f)
+                     for f in entry_files(tmp_path)}
+        assert survivors.isdisjoint(old), "oldest entries evicted"
+        assert cache.disk_usage() <= usage - 3 * per_entry + 1
+        assert freed == usage - cache.disk_usage()
+
+    def test_stats_accumulate_and_surface(self, tmp_path):
+        cache = ResultCache.disk(str(tmp_path), max_bytes=0)
+        fill(cache, 4)
+        removed, freed = cache.gc(max_bytes=1)
+        assert removed == 4 and freed > 0
+        stats = cache.stats.to_dict()
+        assert stats["gc_files"] == 4
+        assert stats["gc_bytes"] == freed
+
+    def test_stats_absent_when_clean(self, tmp_path):
+        cache = ResultCache.disk(str(tmp_path))
+        fill(cache, 2)
+        cache.get(cache.key("gc-test", 0))
+        assert set(cache.stats.to_dict()) == {"hits", "misses",
+                                              "evictions"}
+
+    def test_disabled_budget_never_collects(self, tmp_path):
+        cache = ResultCache.disk(str(tmp_path), max_bytes=0)
+        fill(cache, GC_WRITE_INTERVAL + 5, size=10_000)
+        assert cache.gc() == (0, 0)
+        assert len(entry_files(tmp_path)) == GC_WRITE_INTERVAL + 5
+
+    def test_put_triggers_periodic_gc(self, tmp_path):
+        """Every GC_WRITE_INTERVAL-th disk write sweeps the directory
+        back inside the budget without an explicit gc() call."""
+        cache = ResultCache.disk(str(tmp_path), max_bytes=20_000)
+        fill(cache, GC_WRITE_INTERVAL, size=1000)
+        usage = cache.disk_usage()
+        assert usage <= 20_000
+        assert cache.stats.gc_files > 0
+        assert len(entry_files(tmp_path)) < GC_WRITE_INTERVAL
+
+    def test_memory_only_cache_ignores_gc(self):
+        cache = ResultCache.memory()
+        cache.put("k", "v")
+        assert cache.gc(max_bytes=1) == (0, 0)
+        assert cache.disk_usage() == 0
+
+    def test_evicted_entry_is_a_clean_miss(self, tmp_path):
+        cache = ResultCache.disk(str(tmp_path), max_bytes=0, maxsize=1)
+        fill(cache, 3)
+        cache.gc(max_bytes=1)
+        # Memory LRU (maxsize=1) also forgot the early keys: a read of
+        # an evicted entry is a miss, not an error.
+        assert cache.get(cache.key("gc-test", 0)) is None
+
+    def test_vanished_file_tolerated(self, tmp_path, monkeypatch):
+        cache = ResultCache.disk(str(tmp_path), max_bytes=0)
+        fill(cache, 3)
+        victim = entry_files(tmp_path)[0]
+
+        real_unlink = os.unlink
+
+        def racing_unlink(path, *args, **kwargs):
+            if os.path.basename(path) == victim:
+                raise OSError("vanished")
+            return real_unlink(path, *args, **kwargs)
+
+        monkeypatch.setattr(os, "unlink", racing_unlink)
+        removed, _freed = cache.gc(max_bytes=1)
+        assert removed == 2, "the vanished file is skipped, not fatal"

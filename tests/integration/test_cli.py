@@ -232,3 +232,38 @@ class TestExport:
     def test_dot_requires_topology(self):
         with pytest.raises(SystemExit):
             main(["export", "dot"])
+
+
+class TestArgparseValidation:
+    """Malformed flag values must exit 2 with a one-line argparse
+    diagnostic, not surface as tracebacks mid-campaign."""
+
+    @pytest.mark.parametrize("argv", [
+        ["inject", "--smoke", "--jobs", "0"],
+        ["inject", "--smoke", "--jobs", "-3"],
+        ["inject", "--smoke", "--jobs", "many"],
+        ["inject", "--smoke", "--faults", "bogus"],
+        ["inject", "--smoke", "--faults", ","],
+        ["inject", "--smoke", "--window", "abc"],
+        ["inject", "--smoke", "--window", "9:3"],
+        ["inject", "--smoke", "--window", "-1:5"],
+        ["inject", "--smoke", "--window", "a:b"],
+        ["deadlock", "figure2", "--jobs", "0"],
+        ["serve", "--jobs", "0"],
+        ["serve", "--queue-depth", "0"],
+        ["client", "--concurrency", "0"],
+    ])
+    def test_bad_flag_exits_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_valid_faults_and_window_still_parse(self, capsys):
+        assert main(["inject", "--smoke", "--faults", "stop,void",
+                     "--window", "10:20", "--format", "json"]) == 0
+
+    def test_client_requires_manifest(self):
+        with pytest.raises(SystemExit, match="--manifest"):
+            main(["client", "--port", "1"])

@@ -207,6 +207,69 @@ class TestResolve:
             resolve_record(records, "")
 
 
+class TestResolveBySpan:
+    """``span:PREFIX[@OCC]`` refs: diff a served run against its
+    offline CLI twin without copying run ids by hand."""
+
+    def _ledger(self):
+        # Three runs of one span interleaved with one other span.
+        return [_record(),                                   # span A, occ 0
+                _record(params={"cycles": 128, "seed": 0}),  # span B
+                _record(meta={"jobs": 4}),                   # span A, occ 1
+                _record(meta={"jobs": 8})]                   # span A, occ 2
+
+    def test_newest_occurrence_is_the_default(self):
+        records = self._ledger()
+        span = records[0]["payload"]["span"]
+        index, record = resolve_record(records, f"span:{span}")
+        assert index == 3
+        assert record is records[3]
+
+    def test_latest_suffix_spells_the_default(self):
+        records = self._ledger()
+        span = records[0]["payload"]["span"]
+        assert resolve_record(records, f"span:{span}:latest")[0] == 3
+        assert resolve_record(records, f"@span:{span}")[0] == 3
+
+    def test_occurrence_indexing(self):
+        records = self._ledger()
+        span = records[0]["payload"]["span"]
+        assert resolve_record(records, f"span:{span}@0")[0] == 0
+        assert resolve_record(records, f"span:{span}@-2")[0] == 2
+        assert resolve_record(records, f"span:{span}@1")[0] == 2
+
+    def test_span_prefix_matches(self):
+        records = self._ledger()
+        span = records[0]["payload"]["span"]
+        assert resolve_record(records, f"span:{span[:6]}")[0] == 3
+
+    def test_errors(self):
+        records = self._ledger()
+        span_a = records[0]["payload"]["span"]
+        with pytest.raises(ValueError, match="no ledger record's span"):
+            resolve_record(records, "span:zzzz")
+        with pytest.raises(ValueError, match="out of range"):
+            resolve_record(records, f"span:{span_a}@7")
+        with pytest.raises(ValueError, match="bad span occurrence"):
+            resolve_record(records, f"span:{span_a}@x")
+        with pytest.raises(ValueError, match="empty span prefix"):
+            resolve_record(records, "span:")
+
+    def test_prefix_spanning_two_spans_is_ambiguous(self):
+        fake = [{"run_id": "r1", "payload": {"span": "aaa1"}},
+                {"run_id": "r2", "payload": {"span": "aaa2"}}]
+        with pytest.raises(ValueError, match="ambiguous"):
+            resolve_record(fake, "span:aaa")
+
+    def test_ls_shows_the_span_column(self):
+        records = self._ledger()
+        table = format_ls(records)
+        header = next(line for line in table.splitlines()
+                      if "run id" in line)
+        assert "span" in header
+        assert records[0]["payload"]["span"] in table
+
+
 class TestDiff:
     def test_identical(self):
         diff = diff_records(_record(), _record())

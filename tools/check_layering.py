@@ -16,6 +16,9 @@ the *forbidden prefixes*):
   through the string-keyed :mod:`repro._registry` service locator;
 * ``repro.exec`` must not import ``repro.cli`` — workers materialize
   :class:`~repro.exec.graphs.GraphRef` via ``repro.graph.specs``;
+* ``repro.serve`` must not import ``repro.cli`` — the campaign service
+  replicates CLI semantics through the same engine entry points, never
+  by calling back into the argparse frontend;
 * ``repro.skeleton.codegen`` consumes only ``repro.ir`` (its input is
   a :class:`~repro.ir.LoweredSystem`) and ``repro.exec.cache`` (the
   optional compile-cache disk layer, duck-typed) besides its own
@@ -50,6 +53,7 @@ RULES: Tuple[Tuple[str, Tuple[str, ...], Tuple[str, ...]], ...] = (
     ("repro.graph", ("repro.lid", "repro.skeleton", "repro.cli"), ()),
     ("repro.ir", ("repro.lid", "repro.skeleton", "repro.cli"), ()),
     ("repro.exec", ("repro.cli",), ()),
+    ("repro.serve", ("repro.cli",), ()),
     ("repro.skeleton.codegen",
      ("repro.lid", "repro.exec", "repro.inject", "repro.obs",
       "repro.analysis", "repro.bench", "repro.cli"),
