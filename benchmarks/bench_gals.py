@@ -1,0 +1,105 @@
+"""BENCH EXP-G1: GALS mixed-rate engines — scalar vs vectorized.
+
+The GALS extension adds a firing-schedule gate and bridge occupancy
+updates to both skeleton engines.  This bench pins two facts on the
+canonical two-domain ring (``gals_ring(rates=(1, 1/2),
+shells_per_domain=2)``, where the static formula is exact at 1/2):
+
+* **throughput model**: ``static_system_throughput`` and the simulated
+  steady state agree exactly (the bench aborts on any drift — this is
+  the EXP-G1 correctness anchor, not just a speed number);
+* **engine cost**: per-instance cycle rate of the scalar engine vs the
+  vectorized engine at batch width 32.  The vectorized engine amortises
+  the schedule gate across the batch, so its per-instance rate must not
+  fall below the scalar rate (floor 1.0x after noise margin).
+
+Emits ``BENCH_EXP-G1-gals.json`` whose counters
+(``scalar_cycles_per_sec``, ``vectorized_cycles_per_sec_per_instance``,
+``speedup``) feed the ``obs regress`` trajectory scan alongside the
+other engine benches.
+"""
+
+from fractions import Fraction
+from time import perf_counter
+
+from repro.analysis import simulated_throughput, static_system_throughput
+from repro.bench.tables import format_table
+from repro.graph import gals_ring
+from repro.skeleton import BatchSkeletonSim, SkeletonSim
+
+CYCLES = 2000
+ROUNDS = 3
+BATCH = 32
+
+#: Keep a generous margin: CI machines are noisy, and the point is to
+#: catch the vectorized path degenerating to a per-instance loop.
+SPEEDUP_FLOOR = 1.0
+
+
+def _graph():
+    return gals_ring(rates=(Fraction(1), Fraction(1, 2)),
+                     shells_per_domain=2)
+
+
+def _scalar_rate() -> float:
+    best = 0.0
+    for _ in range(ROUNDS):
+        sim = SkeletonSim(_graph(), detect_ambiguity=False)
+        started = perf_counter()
+        for _ in range(CYCLES):
+            sim.step()
+        best = max(best, CYCLES / (perf_counter() - started))
+    return best
+
+
+def _vectorized_rate() -> float:
+    """Per-instance cycles/s at batch width BATCH."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        sim = BatchSkeletonSim(_graph(), [{} for _ in range(BATCH)],
+                               detect_ambiguity=False)
+        started = perf_counter()
+        sim.run(CYCLES)
+        best = max(best, CYCLES * BATCH / (perf_counter() - started))
+    return best
+
+
+def test_bench_gals_engines(benchmark, emit):
+    graph = _graph()
+    formula = static_system_throughput(graph)
+    simulated = simulated_throughput(graph)
+    assert formula == simulated == Fraction(1, 2), (
+        f"EXP-G1 anchor drifted: formula={formula} simulated={simulated}"
+        " (expected exactly 1/2 on the two-domain ring)")
+
+    started = perf_counter()
+    scalar = _scalar_rate()
+    vectorized = _vectorized_rate()
+    wall = perf_counter() - started
+    benchmark.pedantic(_scalar_rate, rounds=1, iterations=1)
+
+    speedup = vectorized / scalar
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized GALS engine fell to {speedup:.2f}x the scalar "
+        f"per-instance rate (floor {SPEEDUP_FLOOR}x): batching no "
+        "longer amortises the firing-schedule gate")
+
+    rows = [
+        ("scalar", 1, f"{scalar:,.0f}", "1.00"),
+        ("vectorized", BATCH, f"{vectorized:,.0f}", f"{speedup:.2f}"),
+    ]
+    table = format_table(
+        ("backend", "batch", "inst-cycles/s", "speedup"),
+        rows,
+        title=(f"EXP-G1: GALS two-domain ring (rates 1, 1/2; "
+               f"throughput exactly {formula})"),
+    )
+    emit("EXP-G1-gals", table, rows=rows,
+         wall_seconds=wall,
+         params={"topology": "gals-ring:rates=1+1/2,shells=2",
+                 "cycles": CYCLES, "batch": BATCH,
+                 "throughput": str(formula)},
+         counters={"scalar_cycles_per_sec": round(scalar),
+                   "vectorized_cycles_per_sec_per_instance":
+                       round(vectorized),
+                   "speedup": round(speedup, 3)})

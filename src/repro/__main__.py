@@ -1,0 +1,9 @@
+"""``python -m repro`` — the ``repro-lid`` CLI without the console
+script, for environments where only the package is importable."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

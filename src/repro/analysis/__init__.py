@@ -21,10 +21,12 @@ from .sweep import (
 from .throughput import (
     analyze_loops,
     analyze_reconvergence,
+    domain_rate_bound,
     effective_throughput,
     loop_throughput,
     reconvergence_pairs,
     reconvergent_throughput,
+    simulated_throughput,
     static_system_throughput,
     throughput_sweep,
     tree_throughput,
@@ -48,6 +50,7 @@ __all__ = [
     "analyze_transient",
     "backpressure_series",
     "classify",
+    "domain_rate_bound",
     "effective_throughput",
     "first_full_speed_cycle",
     "free_slack",
@@ -61,6 +64,7 @@ __all__ = [
     "pareto_relay_throughput",
     "reconvergence_pairs",
     "reconvergent_throughput",
+    "simulated_throughput",
     "static_system_throughput",
     "stop_activity_series",
     "throughput_sweep",

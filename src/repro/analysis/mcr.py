@@ -201,6 +201,16 @@ def min_cycle_ratio_throughput(graph: SystemGraph) -> McrResult:
     """
     low = (graph if isinstance(graph, LoweredSystem)
            else lower(graph)).skeleton_view()
+    if not low.single_clock:
+        raise AnalysisError(
+            f"{low.name}: minimum-cycle-ratio analysis models "
+            f"single-clock systems only (capability flags: "
+            f"single_clock={low.single_clock}, "
+            f"has_bridges={low.has_bridges}) — the marked-graph "
+            "expansion has no notion of firing schedules; use "
+            "repro.analysis.static_system_throughput for the certified "
+            "GALS bound or repro.analysis.simulated_throughput for "
+            "exact mixed-rate values")
     names, arcs, big = _build_slot_graph(low)
     n = len(names)
     if not arcs:

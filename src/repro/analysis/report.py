@@ -90,12 +90,19 @@ def classify(graph: SystemGraph) -> str:
     loops = graph.shell_cycles()
     pairs = reconvergence_pairs(graph)
     if loops and pairs:
-        return "feed-forward combination of self-interacting loops"
-    if loops:
-        return "feedback"
-    if pairs:
-        return "reconvergent feed-forward"
-    return "tree / pipeline (feed-forward)"
+        base = "feed-forward combination of self-interacting loops"
+    elif loops:
+        base = "feedback"
+    elif pairs:
+        base = "reconvergent feed-forward"
+    else:
+        base = "tree / pipeline (feed-forward)"
+    if not graph.is_single_clock():
+        from ..ir import lower
+
+        # The lowering keeps only the domains that actually host nodes.
+        return f"GALS ({len(lower(graph).domains)} clock domains) {base}"
+    return base
 
 
 def analyze(
@@ -125,7 +132,15 @@ def analyze(
             continue
         recon.append((div, join, i, m, rate))
 
-    mcr = min_cycle_ratio_throughput(graph)
+    if graph.is_single_clock():
+        mcr = min_cycle_ratio_throughput(graph)
+        mcr_throughput, critical_cycle = mcr.throughput, mcr.critical_cycle
+    else:
+        # The marked-graph model has no firing schedules; report the
+        # certified GALS bound in the MCR slot (exact for feed-forward
+        # compositions, upper bound for cyclic ones).
+        mcr_throughput = static_system_throughput(graph)
+        critical_cycle = []
     sim = SkeletonSim(graph, variant=variant)
     result = sim.run(max_cycles=max_cycles)
     verdict = check_deadlock(graph, variant=variant, max_cycles=max_cycles,
@@ -144,8 +159,8 @@ def analyze(
         loops=loops,
         reconvergences=recon,
         static_throughput=static_system_throughput(graph),
-        mcr_throughput=mcr.throughput,
-        critical_cycle=mcr.critical_cycle,
+        mcr_throughput=mcr_throughput,
+        critical_cycle=critical_cycle,
         simulated_throughput=result.min_shell_throughput(),
         transient=result.transient,
         period=result.period,

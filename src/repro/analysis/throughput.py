@@ -20,6 +20,26 @@ simulation by the EXP-T benches:
 The general case (arbitrary compositions) is handled by
 :mod:`repro.analysis.mcr`; the formulas here are the fast paths and the
 paper-faithful statements.
+
+**Mixed-rate (GALS) extension.**  With rational clock domains the
+single-clock formulas gain a rate cap: no element can fire faster than
+its domain ticks, so system throughput (measured in base-clock cycles)
+is bounded by ``min_d rate_d``.  For *feed-forward* GALS compositions
+whose bridges all have depth >= 2 the bound is exact — the slowest
+domain drains the bridges feeding it and back-pressure throttles every
+faster domain down to it.  A **depth-1 bridge** adds its own certified
+cap of 1/2: with a single slot, a read (needs occupancy 1) and a write
+(needs occupancy 0) can never share a cycle, so transfers strictly
+alternate — the bisynchronous analogue of the paper's half-relay
+penalty.  For *cyclic* GALS compositions no closed form exists: the
+steady state locks onto an alignment of the domain firing schedules
+around the loop, producing rates (e.g. 5/18, 13/30) that depend on the
+schedule phases, not just on slot counts.
+:func:`static_system_throughput` therefore returns the certified upper
+bound ``min(min_d rate_d, 1/2 if any depth-1 bridge, min over loops
+S/(S+R))`` for GALS graphs, and :func:`simulated_throughput` gives the
+exact value the paper's way — by running the cheap skeleton to its
+periodic regime.
 """
 
 from __future__ import annotations
@@ -37,6 +57,20 @@ from ..ir import LoweredSystem, lower
 def _as_lowered(graph: "SystemGraph | LoweredSystem") -> LoweredSystem:
     """Every analysis entry point accepts a graph or its lowering."""
     return graph if isinstance(graph, LoweredSystem) else lower(graph)
+
+
+def domain_rate_bound(graph: "SystemGraph | LoweredSystem") -> Fraction:
+    """``min_d rate_d`` — the clock-rate cap on system throughput.
+
+    Every shell firing needs its domain enabled, so no sustained rate
+    can exceed the slowest domain's rate.  Single-clock systems (no
+    declared domains, or all at rate 1) return 1, leaving the
+    single-clock formulas unchanged.
+    """
+    low = _as_lowered(graph)
+    if not low.domains:
+        return Fraction(1)
+    return min(Fraction(d.rate) for d in low.domains)
 
 
 def loop_throughput(shells: int, relays: int) -> Fraction:
@@ -297,18 +331,60 @@ def static_system_throughput(graph: SystemGraph) -> Fraction:
     """Best static estimate from the paper's closed-form results.
 
     The minimum over all feedback loops and all reconvergent pairs,
-    capped at 1.  (The exact general answer — including interactions
-    between sub-topologies — comes from :func:`repro.analysis.mcr.
+    capped at the domain-rate bound (1 for single-clock systems).  (The
+    exact general answer — including interactions between
+    sub-topologies — comes from :func:`repro.analysis.mcr.
     min_cycle_ratio_throughput`; the paper proves the slowest
     sub-topology dominates, which the EXP-T5 bench verifies.)
+
+    For multi-clock (GALS) graphs the returned value is **exact for
+    feed-forward compositions with bridge depths >= 2** and a
+    **certified upper bound otherwise** — the S/(S+R) loop term ignores
+    firing-schedule alignment and bridge latency, both of which can
+    only slow a loop down, and a depth-1 bridge contributes its
+    alternation cap of 1/2 (single-slot reads and writes exclude each
+    other; schedule misalignment can push the true rate below even
+    that).  The reconvergence formula is skipped for GALS graphs for
+    the same reason; dropping an upper-bound term keeps the minimum an
+    upper bound.  Use :func:`simulated_throughput` for exact mixed-rate
+    values.
     """
-    best = Fraction(1)
-    for _cycle, rate in analyze_loops(graph).items():
+    low = _as_lowered(graph)
+    best = domain_rate_bound(low)
+    if any(bridge.depth == 1 for bridge in low.bridges):
+        best = min(best, Fraction(1, 2))
+    for _cycle, rate in analyze_loops(low).items():
         best = min(best, rate)
-    for div, join in reconvergence_pairs(graph):
-        try:
-            _i, _m, rate = analyze_reconvergence(graph, div, join)
-        except AnalysisError:
-            continue
-        best = min(best, rate)
+    if low.single_clock:
+        for div, join in reconvergence_pairs(low):
+            try:
+                _i, _m, rate = analyze_reconvergence(low, div, join)
+            except AnalysisError:
+                continue
+            best = min(best, rate)
     return best
+
+
+def simulated_throughput(
+    graph: SystemGraph,
+    variant=None,
+    max_cycles: int = 10_000,
+    backend: str = "auto",
+) -> Fraction:
+    """Exact steady-state system throughput from skeleton simulation.
+
+    Runs the valid/stop skeleton to its periodic regime and returns the
+    minimum sustained rate over every shell and sink, as an exact
+    fraction of base-clock cycles.  This is the paper's own answer to
+    topologies outside the closed forms — and for GALS compositions,
+    where loop throughput depends on firing-schedule alignment, it is
+    the only exact one.  Always agrees with
+    :func:`static_system_throughput` on single-clock systems and on
+    feed-forward GALS chains; on cyclic GALS graphs it refines the
+    static upper bound to the true locked rate.
+    """
+    rates = throughput_sweep(graph, variant=variant,
+                             max_cycles=max_cycles, backend=backend)[0]
+    if not rates:
+        raise AnalysisError(f"{graph.name}: no shells or sinks to rate")
+    return min(rates.values())

@@ -104,12 +104,27 @@ def _window_spec(text: str) -> str:
     return text
 
 
+def _version_string() -> str:
+    """``<version> (git <rev>)`` — the one version line, shared by
+    ``repro-lid --version`` and ``python -m repro --version``."""
+    from ._version import __version__
+    from .bench.runner import git_rev
+
+    rev = git_rev()
+    suffix = f" (git {rev})" if rev != "unknown" else ""
+    return f"{__version__}{suffix}"
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-lid",
         description="Latency-insensitive protocol toolkit "
                     "(Casu & Macchiarulo, DATE 2004 reproduction)",
     )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {_version_string()}",
+        help="print version and git revision, then exit")
     parser.add_argument(
         "--seed", type=int, default=0,
         help="global seed for every randomized consumer (dag:/loopy: "
@@ -580,13 +595,18 @@ def _deadlock(args) -> int:
 
         telemetry = Telemetry.metrics_only()
     started = perf_counter()
-    verdict = check_deadlock(graph, variant=args.variant,
-                             max_cycles=args.max_cycles,
-                             jobs=args.jobs,
-                             graph_ref=GraphRef.from_spec(
-                                 args.topology, seed=args.seed),
-                             telemetry=telemetry,
-                             backend=args.backend)
+    try:
+        verdict = check_deadlock(graph, variant=args.variant,
+                                 max_cycles=args.max_cycles,
+                                 jobs=args.jobs,
+                                 graph_ref=GraphRef.from_spec(
+                                     args.topology, seed=args.seed),
+                                 telemetry=telemetry,
+                                 backend=args.backend)
+    except ValueError as exc:
+        # Capability refusal (e.g. codegen on a GALS graph): a
+        # one-line diagnostic, not a traceback.
+        raise SystemExit(f"repro-lid deadlock: {exc}")
     wall = perf_counter() - started
     print(verdict.detail)
     if args.metrics_out:

@@ -34,7 +34,7 @@ from ..pearls import (
     Subtractor,
     Toggle,
 )
-from .model import SystemGraph
+from .model import DEFAULT_DOMAIN, BridgeSpec, SystemGraph
 
 #: Built-in pearls addressable by name in serialized graphs.
 PEARL_REGISTRY: Dict[str, Callable] = {
@@ -76,6 +76,8 @@ def to_dict(graph: SystemGraph) -> Dict[str, Any]:
         entry: Dict[str, Any] = {"name": node.name, "kind": node.kind}
         if node.queue_depth is not None:
             entry["queue_depth"] = node.queue_depth
+        if node.domain != DEFAULT_DOMAIN:
+            entry["domain"] = node.domain
         if node.kind == "shell":
             factory = node.pearl_factory
             name = getattr(factory, "pearl_name", None)
@@ -89,15 +91,25 @@ def to_dict(graph: SystemGraph) -> Dict[str, Any]:
             else:
                 entry["pearl"] = None  # custom factory: re-register
         nodes.append(entry)
-    edges = [
-        {
+    edges = []
+    for e in graph.edges:
+        entry = {
             "src": e.src, "dst": e.dst,
             "src_port": e.src_port, "dst_port": e.dst_port,
             "relays": list(e.relays),
         }
-        for e in graph.edges
-    ]
-    return {"name": graph.name, "nodes": nodes, "edges": edges}
+        if e.bridge is not None:
+            entry["bridge"] = {"depth": e.bridge.depth}
+        edges.append(entry)
+    payload = {"name": graph.name, "nodes": nodes, "edges": edges}
+    extra_domains = {
+        name: [rate.numerator, rate.denominator]
+        for name, rate in graph.domains.items()
+        if name != DEFAULT_DOMAIN
+    }
+    if extra_domains:
+        payload["domains"] = extra_domains
+    return payload
 
 
 def from_dict(data: Dict[str, Any],
@@ -110,12 +122,16 @@ def from_dict(data: Dict[str, Any],
     """
     registry = registry or {}
     graph = SystemGraph(data.get("name", "loaded"))
+    for name, rate in data.get("domains", {}).items():
+        graph.add_domain(name, tuple(rate) if isinstance(rate, list)
+                         else rate)
     for node in data["nodes"]:
         kind = node["kind"]
+        domain = node.get("domain", DEFAULT_DOMAIN)
         if kind == "source":
-            graph.add_source(node["name"])
+            graph.add_source(node["name"], domain=domain)
         elif kind == "sink":
-            graph.add_sink(node["name"])
+            graph.add_sink(node["name"], domain=domain)
         elif kind == "shell":
             pearl = node.get("pearl")
             if pearl is not None:
@@ -131,17 +147,20 @@ def from_dict(data: Dict[str, Any],
             depth = node.get("queue_depth")
             if depth is not None:
                 graph.add_queued_shell(node["name"], factory,
-                                       queue_depth=depth)
+                                       queue_depth=depth, domain=domain)
             else:
-                graph.add_shell(node["name"], factory)
+                graph.add_shell(node["name"], factory, domain=domain)
         else:
             raise StructuralError(f"unknown node kind {kind!r}")
     for edge in data["edges"]:
+        bridge = edge.get("bridge")
         graph.add_edge(
             edge["src"], edge["dst"],
             relays=tuple(edge.get("relays", ())),
             src_port=edge.get("src_port"),
             dst_port=edge.get("dst_port"),
+            bridge=BridgeSpec(depth=bridge["depth"])
+            if bridge is not None else None,
         )
     return graph
 

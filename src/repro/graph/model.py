@@ -21,7 +21,8 @@ with fresh pearl state each time.
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from fractions import Fraction
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import networkx as nx
 
@@ -29,6 +30,36 @@ from ..errors import StructuralError
 
 #: Relay chain entry: "full", "half", or "half-registered".
 RelaySpec = str
+
+#: Every node lives in a clock domain; this is the implicit default
+#: (rate 1/1), which keeps pre-GALS graphs — and their fingerprints —
+#: byte-identical.
+DEFAULT_DOMAIN = "core"
+
+
+def as_rate(rate: Union[Fraction, int, str, Tuple[int, int]],
+            where: Optional[str] = None) -> Fraction:
+    """Normalize a clock rate to an exact ``Fraction`` in ``(0, 1]``.
+
+    Accepts a ``Fraction``, an ``int``, a ``"p/q"`` string, or a
+    ``(p, q)`` pair.  Rates are relative to the base (fastest) clock,
+    so ``Fraction(1)`` is full speed and ``Fraction(1, 2)`` ticks every
+    other base cycle.
+    """
+    location = f" for {where}" if where else ""
+    try:
+        if isinstance(rate, tuple):
+            value = Fraction(*rate)
+        else:
+            value = Fraction(rate)
+    except (ValueError, ZeroDivisionError, TypeError) as exc:
+        raise StructuralError(
+            f"bad clock rate {rate!r}{location}: {exc}")
+    if not 0 < value <= 1:
+        raise StructuralError(
+            f"clock rate {rate!r}{location} out of range: rates are "
+            f"relative to the base clock and must satisfy 0 < rate <= 1")
+    return value
 
 VALID_RELAY_SPECS = ("full", "half", "half-registered")
 
@@ -61,6 +92,52 @@ def validate_relay_spec(spec: str, where: Optional[str] = None) -> str:
         f"unknown relay spec {spec!r}{location} (valid specs: {choices})")
 
 
+@dataclasses.dataclass(frozen=True)
+class BridgeSpec:
+    """Parameters of one bisynchronous-FIFO clock-domain bridge.
+
+    ``depth`` is the FIFO capacity in tokens.  ``write_rate`` /
+    ``read_rate`` are the clock rates of the producer / consumer sides;
+    they default to the rates of the domains the edge connects and are
+    filled in (and cross-checked) by :meth:`SystemGraph.add_edge`.
+    """
+
+    depth: int = 2
+    write_rate: Optional[Fraction] = None
+    read_rate: Optional[Fraction] = None
+
+
+def validate_bridge_spec(spec: Union[BridgeSpec, int],
+                         where: Optional[str] = None) -> BridgeSpec:
+    """The one bridge-spec validity check (graph and IR both call it).
+
+    Mirrors :func:`validate_relay_spec`: raises
+    :class:`~repro.errors.StructuralError` naming the offending
+    parameter and the location.  An ``int`` is shorthand for
+    ``BridgeSpec(depth=n)``.
+    """
+    location = f" on {where}" if where else ""
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        spec = BridgeSpec(depth=spec)
+    if not isinstance(spec, BridgeSpec):
+        raise StructuralError(
+            f"bad bridge spec {spec!r}{location} (expected a BridgeSpec "
+            f"or an int FIFO depth)")
+    if not isinstance(spec.depth, int) or spec.depth < 1:
+        raise StructuralError(
+            f"bridge depth must be an int >= 1, got "
+            f"{spec.depth!r}{location}")
+    normalized = {}
+    for label in ("write_rate", "read_rate"):
+        rate = getattr(spec, label)
+        if rate is not None:
+            normalized[label] = as_rate(
+                rate, where=f"bridge {label}{location}")
+    if normalized:
+        spec = dataclasses.replace(spec, **normalized)
+    return spec
+
+
 @dataclasses.dataclass
 class Node:
     """One block of the system graph.
@@ -76,6 +153,7 @@ class Node:
     stream_factory: Optional[Callable[[], Any]] = None
     stop_script: Optional[Callable[[int], bool]] = None
     queue_depth: Optional[int] = None
+    domain: str = DEFAULT_DOMAIN
 
     def __post_init__(self):
         if self.kind not in ("shell", "source", "sink"):
@@ -100,11 +178,15 @@ class Edge:
     src_port: Optional[str] = None
     dst_port: Optional[str] = None
     relays: Tuple[RelaySpec, ...] = ()
+    bridge: Optional[BridgeSpec] = None
 
     def __post_init__(self):
         self.relays = tuple(self.relays)
         for spec in self.relays:
             validate_relay_spec(spec, where=f"edge {self.src}->{self.dst}")
+        if self.bridge is not None:
+            self.bridge = validate_bridge_spec(
+                self.bridge, where=f"edge {self.src}->{self.dst}")
 
     @property
     def relay_count(self) -> int:
@@ -121,28 +203,72 @@ class SystemGraph:
         self.name = name
         self.nodes: Dict[str, Node] = {}
         self.edges: List[Edge] = []
+        #: Clock domains by name; every graph starts with the implicit
+        #: base-rate default domain.
+        self.domains: Dict[str, Fraction] = {DEFAULT_DOMAIN: Fraction(1)}
 
     # -- construction ------------------------------------------------------
 
-    def add_shell(self, name: str, pearl_factory: Callable[[], Any]) -> Node:
-        return self._add_node(Node(name, "shell", pearl_factory=pearl_factory))
+    def add_domain(self, name: str, rate) -> Fraction:
+        """Register clock domain *name* at rational *rate* (≤ 1).
+
+        Re-registering an existing domain with the same rate is a
+        no-op; a different rate is an error.  Nodes join a domain via
+        the ``domain=`` argument of the add_* builders.
+        """
+        value = as_rate(rate, where=f"domain {name!r}")
+        existing = self.domains.get(name)
+        if existing is not None and existing != value:
+            raise StructuralError(
+                f"domain {name!r} already registered at rate {existing} "
+                f"(got {value})")
+        self.domains[name] = value
+        return value
+
+    def domain_rate(self, node_name: str) -> Fraction:
+        """The clock rate of the domain *node_name* lives in."""
+        return self.domains[self.nodes[node_name].domain]
+
+    def is_single_clock(self) -> bool:
+        """True when every node runs at base rate and no edge bridges."""
+        return (all(self.domains[n.domain] == 1
+                    for n in self.nodes.values())
+                and all(e.bridge is None for e in self.edges))
+
+    def add_shell(self, name: str, pearl_factory: Callable[[], Any],
+                  domain: str = DEFAULT_DOMAIN) -> Node:
+        return self._add_node(Node(name, "shell",
+                                   pearl_factory=pearl_factory,
+                                   domain=domain))
 
     def add_queued_shell(self, name: str,
                          pearl_factory: Callable[[], Any],
-                         queue_depth: int = 2) -> Node:
+                         queue_depth: int = 2,
+                         domain: str = DEFAULT_DOMAIN) -> Node:
         return self._add_node(Node(name, "shell",
                                    pearl_factory=pearl_factory,
-                                   queue_depth=queue_depth))
+                                   queue_depth=queue_depth,
+                                   domain=domain))
 
-    def add_source(self, name: str, stream_factory=None) -> Node:
-        return self._add_node(Node(name, "source", stream_factory=stream_factory))
+    def add_source(self, name: str, stream_factory=None,
+                   domain: str = DEFAULT_DOMAIN) -> Node:
+        return self._add_node(Node(name, "source",
+                                   stream_factory=stream_factory,
+                                   domain=domain))
 
-    def add_sink(self, name: str, stop_script=None) -> Node:
-        return self._add_node(Node(name, "sink", stop_script=stop_script))
+    def add_sink(self, name: str, stop_script=None,
+                 domain: str = DEFAULT_DOMAIN) -> Node:
+        return self._add_node(Node(name, "sink", stop_script=stop_script,
+                                   domain=domain))
 
     def _add_node(self, node: Node) -> Node:
         if node.name in self.nodes:
             raise StructuralError(f"duplicate node name {node.name!r}")
+        if node.domain not in self.domains:
+            raise StructuralError(
+                f"{node.name!r}: unknown clock domain {node.domain!r} "
+                f"(registered: {sorted(self.domains)}; use "
+                f"add_domain(name, rate) first)")
         self.nodes[node.name] = node
         return node
 
@@ -153,11 +279,15 @@ class SystemGraph:
         relays: Iterable[RelaySpec] | int = (),
         src_port: Optional[str] = None,
         dst_port: Optional[str] = None,
+        bridge: Optional[Union[BridgeSpec, int]] = None,
     ) -> Edge:
         """Connect *src* to *dst* with the given relay chain.
 
         *relays* may be an integer (that many full relay stations) or an
-        explicit spec sequence, producer side first.
+        explicit spec sequence, producer side first.  An edge whose
+        endpoints live in different clock domains must carry a
+        *bridge* — a :class:`BridgeSpec` (or an int FIFO depth); the
+        bridge sits after the relay chain, directly before *dst*.
         """
         for name in (src, dst):
             if name not in self.nodes:
@@ -168,7 +298,34 @@ class SystemGraph:
             raise StructuralError(f"source {dst!r} cannot consume")
         if isinstance(relays, int):
             relays = ("full",) * relays
-        edge = Edge(src, dst, src_port, dst_port, tuple(relays))
+        src_dom = self.nodes[src].domain
+        dst_dom = self.nodes[dst].domain
+        where = f"edge {src}->{dst}"
+        if src_dom != dst_dom:
+            if bridge is None:
+                raise StructuralError(
+                    f"{where} crosses clock domains {src_dom!r} "
+                    f"(rate {self.domains[src_dom]}) -> {dst_dom!r} "
+                    f"(rate {self.domains[dst_dom]}) and must carry a "
+                    f"bisynchronous FIFO bridge: pass "
+                    f"bridge=BridgeSpec(depth=...) or bridge=<depth>")
+            bridge = validate_bridge_spec(bridge, where=where)
+            for label, dom in (("write_rate", src_dom),
+                               ("read_rate", dst_dom)):
+                given = getattr(bridge, label)
+                if given is not None and given != self.domains[dom]:
+                    raise StructuralError(
+                        f"{where}: bridge {label} {given} contradicts "
+                        f"domain {dom!r} rate {self.domains[dom]}")
+            bridge = dataclasses.replace(
+                bridge, write_rate=self.domains[src_dom],
+                read_rate=self.domains[dst_dom])
+        elif bridge is not None:
+            raise StructuralError(
+                f"{where} stays inside clock domain {src_dom!r}; "
+                f"bridges belong only on domain-crossing edges")
+        edge = Edge(src, dst, src_port, dst_port, tuple(relays),
+                    bridge=bridge)
         self.edges.append(edge)
         return edge
 
@@ -303,6 +460,7 @@ class SystemGraph:
     def copy(self, name: Optional[str] = None) -> "SystemGraph":
         """Shallow-copy the topology (factories are shared)."""
         dup = SystemGraph(name or self.name)
+        dup.domains = dict(self.domains)
         for node in self.nodes.values():
             dup._add_node(dataclasses.replace(node))
         for edge in self.edges:

@@ -21,7 +21,14 @@ from .topologies import figure1, figure2, pipeline, reconvergent, ring, tree
 TOPOLOGY_CHOICES = (
     "figure1", "figure2", "feedback", "ring", "tree", "pipeline",
     "reconvergent", "composed", "self_loop", "butterfly", "dag", "loopy",
+    "gals-chain", "gals-ring",
 )
+
+
+def _parse_rates(text: str) -> tuple:
+    """``"1+1/2+1/3"`` -> rate strings (``+`` separates; ``,`` is taken
+    by the spec grammar's parameter separator)."""
+    return tuple(part.strip() for part in text.split("+") if part.strip())
 
 
 def parse_topology(spec: str, seed: int = 0) -> SystemGraph:
@@ -89,8 +96,23 @@ def parse_topology(spec: str, seed: int = 0) -> SystemGraph:
             extra_back_edges=int(params.get("chords", 1)),
             max_relays=int(params.get("relays", 2)),
             half_probability=float(params.get("half", 0.0)))
+    if name == "gals-chain":
+        from .topologies import gals_chain
+
+        return gals_chain(
+            rates=_parse_rates(params.get("rates", "1+1/2")),
+            stages_per_domain=int(params.get("stages", 1)),
+            depth=int(params.get("depth", 2)),
+            relays_per_hop=int(params.get("relays", 0)))
+    if name == "gals-ring":
+        from .topologies import gals_ring
+
+        return gals_ring(
+            rates=_parse_rates(params.get("rates", "1+1/2")),
+            shells_per_domain=int(params.get("shells", 1)),
+            depth=int(params.get("depth", 2)),
+            relays_per_arc=int(params.get("relays", 0)))
     raise SystemExit(
-        f"unknown topology {name!r} (choices: figure1, figure2, "
-        f"feedback, ring, tree, pipeline, reconvergent, composed, "
-        f"self_loop, butterfly, dag, loopy)"
+        f"unknown topology {name!r} (choices: "
+        + ", ".join(TOPOLOGY_CHOICES) + ")"
     )

@@ -14,7 +14,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 
 from ..errors import StructuralError
 from ..pearls.arithmetic import Adder, Identity
-from .model import RelaySpec, SystemGraph
+from .model import BridgeSpec, RelaySpec, SystemGraph, as_rate
 
 
 def _fulls(n: int) -> tuple:
@@ -309,4 +309,89 @@ def composed(
     g.add_edge("L", "L", relays=loop_relays, src_port="out",
                dst_port="loop_in")
     g.add_edge("L", "out", src_port="out")
+    return g
+
+
+def _gals_domains(g: SystemGraph, rates: Sequence) -> List[str]:
+    """Register one domain per rate, named ``D0..Dk``, and return names."""
+    if len(rates) < 2:
+        raise StructuralError("gals topologies need at least two domains")
+    names = []
+    for k, rate in enumerate(rates):
+        name = f"D{k}"
+        g.add_domain(name, as_rate(rate, where=f"domain {name}"))
+        names.append(name)
+    return names
+
+
+def gals_chain(
+    rates: Sequence = ("1", "1/2"),
+    stages_per_domain: int = 1,
+    depth: int = 2,
+    relays_per_hop: int = 0,
+    pearl_factory: Callable = Identity,
+) -> SystemGraph:
+    """A pipeline crossing one clock domain per entry of *rates*.
+
+    ``src`` and the first shells run in domain ``D0``; each subsequent
+    domain is entered through a bisynchronous FIFO bridge of capacity
+    *depth*; the sink lives in the last domain.  Feed-forward, so the
+    mixed-rate throughput formula predicts ``min(rates)``.
+    """
+    if stages_per_domain < 1:
+        raise StructuralError("gals_chain needs stages_per_domain >= 1")
+    g = SystemGraph(f"gals_chain{len(rates)}x{stages_per_domain}")
+    domains = _gals_domains(g, rates)
+    g.add_source("src", domain=domains[0])
+    prev, prev_k = "src", 0
+    for k, domain in enumerate(domains):
+        for i in range(stages_per_domain):
+            name = f"S{k}_{i}"
+            g.add_shell(name, pearl_factory, domain=domain)
+            if prev_k != k:
+                g.add_edge(prev, name, relays=relays_per_hop,
+                           bridge=BridgeSpec(depth=depth))
+            else:
+                g.add_edge(prev, name, relays=relays_per_hop)
+            prev, prev_k = name, k
+    g.add_sink("out", domain=domains[-1])
+    g.add_edge(prev, "out")
+    return g
+
+
+def gals_ring(
+    rates: Sequence = ("1", "1/2"),
+    shells_per_domain: int = 1,
+    depth: int = 2,
+    relays_per_arc: int = 0,
+    pearl_factory: Callable = Identity,
+    tap_sink: bool = True,
+) -> SystemGraph:
+    """A feedback loop whose arcs cross clock domains through bridges.
+
+    One group of *shells_per_domain* shells per rate; consecutive
+    groups are joined by bisynchronous FIFO bridges of capacity
+    *depth*, and the loop closes back into ``D0`` through a final
+    bridge.  The domain-crossing analogue of :func:`ring`/``figure2``.
+    """
+    if shells_per_domain < 1:
+        raise StructuralError("gals_ring needs shells_per_domain >= 1")
+    g = SystemGraph(f"gals_ring{len(rates)}x{shells_per_domain}")
+    domains = _gals_domains(g, rates)
+    members: List[tuple] = []
+    for k, domain in enumerate(domains):
+        for i in range(shells_per_domain):
+            name = f"S{k}_{i}"
+            g.add_shell(name, pearl_factory, domain=domain)
+            members.append((name, k))
+    for idx, (name, k) in enumerate(members):
+        nxt, nxt_k = members[(idx + 1) % len(members)]
+        if nxt_k != k:
+            g.add_edge(name, nxt, relays=relays_per_arc,
+                       bridge=BridgeSpec(depth=depth))
+        else:
+            g.add_edge(name, nxt, relays=relays_per_arc)
+    if tap_sink:
+        g.add_sink("out", domain=domains[0])
+        g.add_edge(members[0][0], "out")
     return g

@@ -452,7 +452,14 @@ def run_campaign(
     """
     from ..ir import lower
 
-    lower(graph)  # prime the shared plan before any fan-out
+    low = lower(graph)  # prime the shared plan before any fan-out
+    if not low.single_clock:
+        raise InjectionError(
+            f"{graph.name}: the token-level LID engine models "
+            f"single-clock systems only (capability flags: "
+            f"single_clock={low.single_clock}, "
+            f"has_bridges={low.has_bridges}); run GALS campaigns on "
+            "the skeleton engine (repro-lid inject --engine skeleton)")
     if faults is None:
         faults = generate_faults(
             graph, variant=variant, classes=classes, cycles=cycles,
@@ -513,7 +520,24 @@ def endpoint_scripts(
     sink back-pressure script; a valid fault on the channel leaving a
     source is a perturbed source availability script.  Faults anywhere
     else need wire-level access the skeleton does not expose.
+
+    Multi-clock graphs resolve through the skeleton lowering's hop
+    names instead of the (single-clock-only) LID elaboration — the same
+    names :func:`repro.inject.faults.enumerate_targets` hands out for
+    GALS graphs, so the generated fault lists resolve here exactly.
     """
+    from ..ir import SINK, SRC, lower
+
+    low = lower(graph)
+    if not low.single_clock:
+        sink_channels = {
+            hop.name: low.edges[hop.edge].dst_name
+            for hop in low.hops if hop.consumer_kind == SINK}
+        source_channels = {
+            hop.name: low.edges[hop.edge].src_name
+            for hop in low.hops if hop.producer_kind == SRC}
+        return sink_channels, source_channels
+
     system = graph.elaborate(variant=variant)
     sink_channels = {sink.input.name: name
                      for name, sink in system.sinks.items()}
@@ -650,14 +674,27 @@ def skeleton_campaign(
     as duplication on the LID engine (the sink re-reads the held
     token); both are faithful readings of the same physical fault.
 
+    CDC faults (``bridge-overflow`` / ``bridge-underflow``) ride the
+    same batch on GALS graphs: each becomes a column with the baseline
+    scripts plus an armed occupancy poke
+    (:meth:`~repro.skeleton.backend._Backend.poke_bridge`) on its
+    bridge — a ±1 nudge per active cycle, clamped to ``[0, depth]``,
+    modelling a synchronizer resolving a cycle early (phantom write)
+    or late (lost token).  Verdicts come from the same
+    golden-column comparison; a nudge absorbed by clamping (overflow
+    on a full bridge, underflow on an empty one) classifies
+    ``masked`` exactly like a no-op script fault.
+
     The fault batch consumes one lowered plan: every column of the
     :func:`~repro.skeleton.backend.select` batch reads the same
     memoized :func:`repro.ir.lower` tables.
     """
     from ..ir import lower
     from ..skeleton.backend import select
+    from .faults import BRIDGE_KINDS
 
-    lower(graph)  # prime the shared plan for the whole batch
+    low = lower(graph)  # prime the shared plan for the whole batch
+    bridge_names = set(low.bridge_names)
     if faults is None:
         faults = generate_faults(
             graph, variant=variant, classes=classes, cycles=cycles,
@@ -678,10 +715,28 @@ def skeleton_campaign(
     payload_specs: List[Tuple[FaultSpec, str]] = []
     skipped: List[Dict[str, Any]] = []
     noop: List[FaultSpec] = []
+    #: id(spec) -> (bridge, cycle, delta, active-cycle count) for the
+    #: CDC columns; armed on the handle right after select().
+    bridge_pokes: Dict[int, Tuple[str, int, int, int]] = {}
     for spec in faults:
         sink = sink_channels.get(spec.target)
         source = source_channels.get(spec.target)
-        if spec.kind == "payload" and sink is not None:
+        if spec.kind in BRIDGE_KINDS:
+            if spec.target not in bridge_names:
+                skipped.append({
+                    "fault": spec.to_dict(),
+                    "label": spec.label(),
+                    "reason": f"no bridge named {spec.target!r} in "
+                              f"{graph.name!r}",
+                })
+                continue
+            delta = 1 if spec.kind == "bridge-overflow" else -1
+            span = cycles - spec.cycle if spec.stuck else spec.duration
+            bridge_pokes[id(spec)] = (
+                spec.target, spec.cycle, delta, max(span, 0))
+            expressible.append(
+                (spec, dict(baseline_source), dict(baseline_sink)))
+        elif spec.kind == "payload" and sink is not None:
             payload_specs.append((spec, sink))
         elif spec.kind in _SINK_KINDS and sink is not None:
             pattern = _pattern_for(spec, baseline_sink[sink])
@@ -745,6 +800,12 @@ def skeleton_campaign(
                 detect_ambiguity=False, backend=backend,
                 telemetry=telemetry)
             backend_name = handle.name
+            for column, (spec, _src, _snk) in enumerate(group, start=1):
+                poke = bridge_pokes.get(id(spec))
+                if poke is not None:
+                    bridge, at, delta, span = poke
+                    handle.poke_bridge(column, bridge, at, delta,
+                                       duration=span)
             handle.run_cycles(cycles - tail)
             head_fires = handle.fire_counts()
             handle.run_cycles(tail)

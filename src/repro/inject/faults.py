@@ -33,6 +33,20 @@ State faults (applied after the clock edge, visible next cycle):
 * ``shell-corrupt`` — a shell's valid output registers flip payload
   bits.
 
+CDC faults (GALS systems only; applied after the clock edge to a
+bisynchronous bridge's occupancy counter):
+
+* ``bridge-overflow`` — a phantom write: the write-pointer
+  synchronizer resolves a cycle early and the occupancy gains a token
+  that was never produced (clamped at the bridge depth);
+* ``bridge-underflow`` — a lost token: the read-pointer synchronizer
+  resolves a cycle late and the occupancy drops a token that was never
+  consumed (clamped at zero).
+
+These target the ``<src>-><dst>.bridge`` names of the lowered IR and
+only the skeleton campaign can run them — the token-level LID engine
+refuses multi-clock graphs outright.
+
 Fault lists are generated either exhaustively (every kind x target x
 cycle of a window — the DAVOS-style systematic fault list) or by
 seeded-random sampling of that space; both orders are deterministic, so
@@ -56,7 +70,8 @@ WIRE_KINDS = (
     "void-glitch", "valid-stuck-0", "valid-stuck-1", "payload",
 )
 STATE_KINDS = ("relay-drop", "relay-duplicate", "shell-corrupt")
-ALL_KINDS = WIRE_KINDS + STATE_KINDS
+BRIDGE_KINDS = ("bridge-overflow", "bridge-underflow")
+ALL_KINDS = WIRE_KINDS + STATE_KINDS + BRIDGE_KINDS
 
 #: CLI-facing fault classes -> concrete kinds.  ``--faults stop,void``
 #: selects the stop-wire and void-wire models the paper reasons about.
@@ -69,6 +84,7 @@ FAULT_CLASSES: Dict[str, Tuple[str, ...]] = {
     "duplicate": ("relay-duplicate",),
     "delayed-stop": ("delayed-stop",),
     "shell": ("shell-corrupt",),
+    "cdc": BRIDGE_KINDS,
 }
 
 #: Kinds that touch only valid/stop wires (no payloads) — the subset a
@@ -106,7 +122,11 @@ class FaultSpec:
 
     @property
     def phase(self) -> str:
-        """Scheduler injection phase this fault uses."""
+        """Scheduler injection phase this fault uses.
+
+        Bridge (CDC) faults count as state faults: the occupancy nudge
+        lands after the clock edge and is visible next cycle.
+        """
         return "wire" if self.kind in WIRE_KINDS else "state"
 
     @property
@@ -171,18 +191,43 @@ class TargetSet:
     relays: Tuple[str, ...]          # all relay stations (drop)
     full_relays: Tuple[str, ...]     # two-register stations (duplicate)
     shells: Tuple[str, ...]
+    bridges: Tuple[str, ...] = ()    # bisynchronous bridges (CDC)
 
 
 def enumerate_targets(
     graph: SystemGraph,
     variant: ProtocolVariant = DEFAULT_VARIANT,
 ) -> TargetSet:
-    """Elaborate *graph* once to discover its injectable names.
+    """Discover *graph*'s injectable names, once.
 
-    Elaboration is deterministic (same graph -> same channel and relay
+    Single-clock graphs elaborate to the token-level system;
+    elaboration is deterministic (same graph -> same channel and relay
     names), so the probe system can be thrown away: the names resolve
     identically on every per-experiment elaboration.
+
+    Multi-clock (GALS) graphs cannot elaborate — the LID engine is
+    single-clock — so their names come from the skeleton lowering
+    instead: boundary hops as channels (the only skeleton-expressible
+    wire targets anyway), relay and shell names, and the bridges.  The
+    two name spaces intentionally differ (``#N`` channel suffixes vs
+    ``[seg]`` hop suffixes); each campaign engine resolves the set it
+    generated.
     """
+    from ..ir import SINK, SRC, lower
+
+    low = lower(graph)
+    if not low.single_clock:
+        return TargetSet(
+            channels=tuple(
+                hop.name for hop in low.hops
+                if hop.producer_kind == SRC or hop.consumer_kind == SINK),
+            relays=tuple(r.name for r in low.relays),
+            full_relays=tuple(
+                r.name for r in low.relays if r.spec == "full"),
+            shells=tuple(low.nodes[i].name for i in low.shell_ids),
+            bridges=low.bridge_names,
+        )
+
     from ..lid.relay import RelayStation
 
     system = graph.elaborate(variant=variant)
@@ -200,6 +245,8 @@ def enumerate_targets(
 def _targets_for(kind: str, targets: TargetSet) -> Tuple[str, ...]:
     if kind in WIRE_KINDS:
         return targets.channels
+    if kind in BRIDGE_KINDS:
+        return targets.bridges
     if kind == "relay-drop":
         return targets.relays
     if kind == "relay-duplicate":

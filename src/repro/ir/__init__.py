@@ -15,6 +15,7 @@ lid objects go through :mod:`repro._registry`.  See docs/ir.md.
 """
 
 from .lowering import (
+    RS_BRIDGE,
     RS_FULL,
     RS_HALF,
     RS_HALF_REG,
@@ -23,12 +24,15 @@ from .lowering import (
     SINK,
     SRC,
     STATS,
+    IRBridge,
+    IRDomain,
     IREdge,
     IRHop,
     IRNode,
     IRRelay,
     LoweredSystem,
     LowerStats,
+    firing_schedule,
     lower,
     structural_fingerprint,
 )
@@ -45,6 +49,8 @@ from .passes import (
 )
 
 __all__ = [
+    "IRBridge",
+    "IRDomain",
     "IREdge",
     "IRHop",
     "IRNode",
@@ -54,6 +60,7 @@ __all__ = [
     "Pass",
     "PassPipeline",
     "PassRecord",
+    "RS_BRIDGE",
     "RS_FULL",
     "RS_HALF",
     "RS_HALF_REG",
@@ -65,6 +72,7 @@ __all__ = [
     "cure_deadlock_pass",
     "desugar_queues_pass",
     "equalize_pass",
+    "firing_schedule",
     "insert_relay_pass",
     "lower",
     "pack_planes",

@@ -30,10 +30,17 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import math
+from fractions import Fraction
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..errors import StructuralError
-from ..graph.model import SystemGraph, validate_relay_spec
+from ..graph.model import (
+    DEFAULT_DOMAIN,
+    SystemGraph,
+    validate_bridge_spec,
+    validate_relay_spec,
+)
 
 __all__ = [
     "SRC",
@@ -42,14 +49,18 @@ __all__ = [
     "RS_FULL",
     "RS_HALF",
     "RS_HALF_REG",
+    "RS_BRIDGE",
     "RS_KIND_TAG",
     "IRNode",
     "IREdge",
     "IRRelay",
     "IRHop",
+    "IRDomain",
+    "IRBridge",
     "LoweredSystem",
     "LowerStats",
     "STATS",
+    "firing_schedule",
     "lower",
     "structural_fingerprint",
 ]
@@ -57,13 +68,29 @@ __all__ = [
 #: Element kind tags, kept as small ints for compact state tuples.
 #: The numbering is part of the conformance contract: the skeleton
 #: engines store these in their dispatch tables and state snapshots.
-SRC, SHELL, SINK, RS_FULL, RS_HALF, RS_HALF_REG = range(6)
+#: ``RS_BRIDGE`` is the bisynchronous-FIFO clock-domain bridge — a
+#: relay-like hop element that appears only on domain-crossing edges.
+SRC, SHELL, SINK, RS_FULL, RS_HALF, RS_HALF_REG, RS_BRIDGE = range(7)
 
 RS_KIND_TAG = {
     "full": RS_FULL,
     "half": RS_HALF,
     "half-registered": RS_HALF_REG,
 }
+
+
+def firing_schedule(rate: Fraction, hyperperiod: int) -> Tuple[bool, ...]:
+    """Which base cycles a domain at *rate* ticks on, over *hyperperiod*.
+
+    A domain at rate ``p/q`` is enabled on base cycle ``c`` iff
+    ``floor((c+1)*p/q) > floor(c*p/q)`` — the canonical evenly-spread
+    rational schedule (``q`` must divide *hyperperiod*).  Rate 1 is
+    enabled everywhere, so single-clock systems degenerate exactly to
+    the pre-GALS semantics.
+    """
+    p, q = rate.numerator, rate.denominator
+    return tuple(
+        ((c + 1) * p) // q > (c * p) // q for c in range(hyperperiod))
 
 #: Version tag folded into every structural fingerprint.  Bump when the
 #: canonical serialization below changes meaning.
@@ -121,6 +148,8 @@ class IREdge:
     src_port: Optional[str]
     dst_port: Optional[str]
     relays: Tuple[str, ...]
+    #: Bridge-table index for domain-crossing edges, else ``None``.
+    bridge: Optional[int] = None
 
     @property
     def relay_count(self) -> int:
@@ -158,6 +187,39 @@ class IRHop:
     producer_reg: int
     consumer_kind: int
     consumer_id: int
+
+
+@dataclasses.dataclass(frozen=True)
+class IRDomain:
+    """One clock domain: a rational rate and its firing schedule.
+
+    ``schedule`` spans the system hyperperiod (lcm of all rate
+    denominators); ``schedule[c % hyperperiod]`` says whether the
+    domain ticks on base cycle ``c``.
+    """
+
+    index: int
+    name: str
+    rate: Fraction
+    schedule: Tuple[bool, ...]
+
+
+@dataclasses.dataclass(frozen=True)
+class IRBridge:
+    """One expanded bisynchronous-FIFO bridge on a domain-crossing edge.
+
+    The bridge is the last element of the edge's hop chain (after any
+    relay stations, directly before the consumer).  Its write port is
+    clocked by ``src_domain``, its read port by ``dst_domain``
+    (domain-table indices).
+    """
+
+    index: int
+    edge: int          # IREdge index
+    depth: int
+    src_domain: int
+    dst_domain: int
+    name: str          # "A->B.bridge" — telemetry / fault-target key
 
 
 @dataclasses.dataclass(frozen=True)
@@ -206,6 +268,24 @@ class LoweredSystem:
     requirements: frozenset
     #: Canonical content-addressed structural fingerprint (hex sha256).
     fingerprint: str
+    # -- GALS clock-domain tables (degenerate for single-clock graphs) --
+    #: Clock domains in first-use order; ``domains[0]`` need not be the
+    #: default domain.
+    domains: Tuple[IRDomain, ...] = ()
+    #: Domain-table index per node-table index.
+    node_domain: Tuple[int, ...] = ()
+    #: lcm of all domain-rate denominators (1 for single-clock).
+    hyperperiod: int = 1
+    #: Expanded bisynchronous-FIFO bridges, one per crossing edge.
+    bridges: Tuple[IRBridge, ...] = ()
+    bridge_names: Tuple[str, ...] = ()
+    #: Hop feeding each bridge's write port / driven by its read port.
+    bridge_in_hop: Tuple[int, ...] = ()
+    bridge_out_hop: Tuple[int, ...] = ()
+    #: Capability flags backends key on: ``single_clock`` (every domain
+    #: at base rate, no bridges) and ``has_bridges``.
+    single_clock: bool = True
+    has_bridges: bool = False
 
     # -- derived views (lazy, cached) -----------------------------------
 
@@ -311,6 +391,14 @@ class LoweredSystem:
         Resolved through :mod:`repro._registry` — the IR layer never
         imports the lid layer (see docs/ir.md on layering).
         """
+        if self.has_bridges or not self.single_clock:
+            raise StructuralError(
+                f"{self.name}: lid elaboration models single-clock "
+                f"systems only (single_clock={self.single_clock}, "
+                f"has_bridges={self.has_bridges}); GALS graphs run on "
+                f"the skeleton engines — use "
+                f"repro.skeleton.select(graph, backend='scalar'|"
+                f"'vectorized')")
         from .._registry import resolve
 
         return resolve("lid.build_system")(
@@ -353,7 +441,16 @@ def structural_fingerprint(graph: SystemGraph) -> str:
 
 
 def _fingerprint(nodes: Tuple[IRNode, ...],
-                 edges: Tuple[IREdge, ...]) -> str:
+                 edges: Tuple[IREdge, ...],
+                 domain_entries: Tuple[str, ...] = (),
+                 bridge_entries: Tuple[str, ...] = ()) -> str:
+    """Canonical sha256; GALS entries are appended only when present.
+
+    ``domain_entries``/``bridge_entries`` are empty for single-clock
+    graphs, so every pre-GALS fingerprint — and with it the exec cache
+    keys and GraphRef identities — stays byte-identical under the
+    unchanged ``repro-ir/v1`` tag.
+    """
     hasher = hashlib.sha256()
     hasher.update(IR_FINGERPRINT_VERSION.encode())
     for node in sorted(nodes, key=lambda n: n.name):
@@ -367,6 +464,10 @@ def _fingerprint(nodes: Tuple[IRNode, ...],
             f"|edge:{edge.src_name}[{edge.src_port}]->"
             f"{edge.dst_name}[{edge.dst_port}]:"
             f"{','.join(edge.relays)}".encode())
+    for entry in sorted(domain_entries):
+        hasher.update(entry.encode())
+    for entry in sorted(bridge_entries):
+        hasher.update(entry.encode())
     return hasher.hexdigest()
 
 
@@ -386,10 +487,13 @@ def _structure_signature(graph: SystemGraph) -> Tuple:
     """
     return (
         graph.name,
+        tuple(sorted(getattr(graph, "domains", {}).items())),
         tuple((n.name, n.kind, n.queue_depth, n.pearl_factory,
-               n.stream_factory, n.stop_script)
+               n.stream_factory, n.stop_script,
+               getattr(n, "domain", DEFAULT_DOMAIN))
               for n in graph.nodes.values()),
-        tuple((e.src, e.dst, e.src_port, e.dst_port, tuple(e.relays))
+        tuple((e.src, e.dst, e.src_port, e.dst_port, tuple(e.relays),
+               getattr(e, "bridge", None))
               for e in graph.edges),
     )
 
@@ -425,6 +529,33 @@ def _lower_uncached(graph: SystemGraph) -> LoweredSystem:
         for i, n in enumerate(graph.nodes.values())
     )
     node_index = {n.name: n.index for n in nodes}
+
+    # Clock-domain tables.  Domains enter in node first-use order;
+    # graphs (or pickles) predating the GALS layer default everything
+    # to the base-rate domain, making all of this degenerate.
+    graph_domains = getattr(graph, "domains", None) or {}
+    node_domain_names = [
+        getattr(n, "domain", DEFAULT_DOMAIN)
+        for n in graph.nodes.values()
+    ]
+    domain_order: List[str] = []
+    for dom in node_domain_names:
+        if dom not in domain_order:
+            domain_order.append(dom)
+    if not domain_order:
+        domain_order = [DEFAULT_DOMAIN]
+    rates = {
+        dom: Fraction(graph_domains.get(dom, Fraction(1)))
+        for dom in domain_order
+    }
+    hyperperiod = math.lcm(
+        *(rates[dom].denominator for dom in domain_order))
+    domains = tuple(
+        IRDomain(i, dom, rates[dom],
+                 firing_schedule(rates[dom], hyperperiod))
+        for i, dom in enumerate(domain_order))
+    domain_ord = {dom: i for i, dom in enumerate(domain_order)}
+    node_domain = tuple(domain_ord[dom] for dom in node_domain_names)
     shell_ids = tuple(n.index for n in nodes if n.kind == "shell")
     source_ids = tuple(n.index for n in nodes if n.kind == "source")
     sink_ids = tuple(n.index for n in nodes if n.kind == "sink")
@@ -443,6 +574,9 @@ def _lower_uncached(graph: SystemGraph) -> LoweredSystem:
     relay_in: List[int] = []
     relay_out: List[int] = []
     shell_regs: List[Tuple[int, int]] = []
+    bridges: List[IRBridge] = []
+    bridge_in: List[int] = []
+    bridge_out: List[int] = []
 
     # The expansion below mirrors the historical scalar builder walk
     # exactly (edge list order, chain order, naming) — bit-exactness of
@@ -456,10 +590,38 @@ def _lower_uncached(graph: SystemGraph) -> LoweredSystem:
             # (transform passes, tests) land here first.
             validate_relay_spec(
                 spec, where=f"edge {edge.src}->{edge.dst}")
+
+        # Bridge validation mirrors the relay-spec discipline: edge
+        # construction checks at build time, this catches in-place
+        # domain/bridge edits.
+        where = f"edge {edge.src}->{edge.dst}"
+        src_dom = domain_ord[node_domain_names[node_index[edge.src]]]
+        dst_dom = domain_ord[node_domain_names[node_index[edge.dst]]]
+        bridge_spec = getattr(edge, "bridge", None)
+        bridge_id: Optional[int] = None
+        if bridge_spec is not None:
+            bridge_spec = validate_bridge_spec(bridge_spec, where=where)
+            if src_dom == dst_dom:
+                raise StructuralError(
+                    f"{where} stays inside clock domain "
+                    f"{domains[src_dom].name!r}; bridges belong only "
+                    f"on domain-crossing edges")
+            bridge_id = len(bridges)
+            bridges.append(IRBridge(
+                bridge_id, e_idx, bridge_spec.depth, src_dom, dst_dom,
+                f"{edge.src}->{edge.dst}.bridge"))
+            bridge_in.append(-1)
+            bridge_out.append(-1)
+        elif src_dom != dst_dom:
+            raise StructuralError(
+                f"{where} crosses clock domains "
+                f"{domains[src_dom].name!r} -> {domains[dst_dom].name!r} "
+                f"without a bisynchronous FIFO bridge (set edge.bridge "
+                f"or rebuild via add_edge(..., bridge=...))")
         edges.append(IREdge(
             e_idx, node_index[edge.src], node_index[edge.dst],
             edge.src, edge.dst, edge.src_port, edge.dst_port,
-            tuple(edge.relays)))
+            tuple(edge.relays), bridge=bridge_id))
 
         if src_node.kind == "shell":
             reg_id = len(shell_regs)
@@ -485,8 +647,12 @@ def _lower_uncached(graph: SystemGraph) -> LoweredSystem:
         else:
             dst_ref = (SINK, sink_ord[edge.dst])
 
-        producers = [producer_ref] + [(relays[r].tag, r) for r in chain]
-        consumers = [(relays[r].tag, r) for r in chain] + [dst_ref]
+        bridge_ref = ([(RS_BRIDGE, bridge_id)]
+                      if bridge_id is not None else [])
+        producers = ([producer_ref] + [(relays[r].tag, r) for r in chain]
+                     + bridge_ref)
+        consumers = ([(relays[r].tag, r) for r in chain] + bridge_ref
+                     + [dst_ref])
         for seg, ((p_kind, p_id), (c_kind, c_id)) in enumerate(
                 zip(producers, consumers)):
             hop_id = len(hops)
@@ -502,12 +668,16 @@ def _lower_uncached(graph: SystemGraph) -> LoweredSystem:
                 source_out[p_id].append(hop_id)
             elif p_kind == SHELL:
                 shell_out[p_id].append(hop_id)
+            elif p_kind == RS_BRIDGE:
+                bridge_out[p_id] = hop_id
             else:
                 relay_out[p_id] = hop_id
             if c_kind == SHELL:
                 shell_in[c_id].append(hop_id)
             elif c_kind == SINK:
                 sink_in[c_id] = hop_id
+            elif c_kind == RS_BRIDGE:
+                bridge_in[c_id] = hop_id
             else:
                 relay_in[c_id] = hop_id
 
@@ -522,6 +692,19 @@ def _lower_uncached(graph: SystemGraph) -> LoweredSystem:
 
     edges_t = tuple(edges)
     nodes_t = nodes
+    single_clock = (not bridges
+                    and all(d.rate == 1 for d in domains))
+    domain_entries = tuple(
+        f"|domain:{nodes[i].name}:{domains[node_domain[i]].name}:"
+        f"{domains[node_domain[i]].rate}"
+        for i in range(len(nodes))
+        if domains[node_domain[i]].name != DEFAULT_DOMAIN)
+    bridge_entries = tuple(
+        f"|bridge:{e.src_name}[{e.src_port}]->"
+        f"{e.dst_name}[{e.dst_port}]:{bridges[e.bridge].depth}:"
+        f"{domains[bridges[e.bridge].src_domain].rate}->"
+        f"{domains[bridges[e.bridge].dst_domain].rate}"
+        for e in edges_t if e.bridge is not None)
     return LoweredSystem(
         name=graph.name,
         graph=graph,
@@ -548,5 +731,15 @@ def _lower_uncached(graph: SystemGraph) -> LoweredSystem:
         all_full_relays=all(r.tag == RS_FULL for r in relays),
         has_queued_shells=has_queues,
         requirements=requirements,
-        fingerprint=_fingerprint(nodes_t, edges_t),
+        fingerprint=_fingerprint(nodes_t, edges_t,
+                                 domain_entries, bridge_entries),
+        domains=domains,
+        node_domain=node_domain,
+        hyperperiod=hyperperiod,
+        bridges=tuple(bridges),
+        bridge_names=tuple(b.name for b in bridges),
+        bridge_in_hop=tuple(bridge_in),
+        bridge_out_hop=tuple(bridge_out),
+        single_clock=single_clock,
+        has_bridges=bool(bridges),
     )

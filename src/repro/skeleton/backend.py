@@ -37,11 +37,35 @@ from __future__ import annotations
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..graph.model import SystemGraph
+from ..ir import LoweredSystem, lower
 from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
 from .sim import SkeletonResult, SkeletonSim
 
 PatternMap = Mapping[str, Sequence[bool]]
 Patterns = Union[None, PatternMap, Sequence[Optional[PatternMap]]]
+
+#: Every name :func:`select` accepts for ``backend=``.
+BACKEND_CHOICES = ("auto", "scalar", "vectorized", "bitsim", "codegen")
+
+
+def _single_clock_reason(graph, engine: str) -> str:
+    """Refusal message for an engine without multi-clock support.
+
+    Names the specific capability flags that failed so callers can see
+    exactly why the lowering was rejected (the GALS capability
+    contract: ``single_clock`` / ``has_bridges`` on the lowered IR).
+    """
+    lowered = graph if isinstance(graph, LoweredSystem) else lower(graph)
+    return (f"graph {lowered.name!r} is multi-clock "
+            f"(capability flags: single_clock={lowered.single_clock}, "
+            f"has_bridges={lowered.has_bridges}) and the {engine} "
+            f"engine requires single_clock=True; use the scalar or "
+            f"vectorized engine for GALS workloads")
+
+
+def _is_single_clock(graph) -> bool:
+    lowered = graph if isinstance(graph, LoweredSystem) else lower(graph)
+    return lowered.single_clock
 
 
 def vectorized_supported(graph: SystemGraph,
@@ -51,7 +75,8 @@ def vectorized_supported(graph: SystemGraph,
     Returns ``(supported, reason)``; *reason* explains a refusal.
     """
     if "skeleton-vectorized" not in variant.capabilities:
-        return False, f"variant {variant} lacks 'skeleton-vectorized'"
+        return False, (f"variant {variant} lacks the "
+                       f"'skeleton-vectorized' capability")
     try:
         import numpy  # noqa: F401
     except ImportError:  # pragma: no cover - numpy is a hard dep
@@ -69,11 +94,14 @@ def bitsim_supported(graph: SystemGraph,
     interchangeable with the other backends.
     """
     if "skeleton-bitsim" not in variant.capabilities:
-        return False, f"variant {variant} lacks 'skeleton-bitsim'"
+        return False, (f"variant {variant} lacks the "
+                       f"'skeleton-bitsim' capability")
     try:
         import numpy  # noqa: F401
     except ImportError:  # pragma: no cover - numpy is a hard dep
         return False, "numpy is not importable"
+    if not _is_single_clock(graph):
+        return False, _single_clock_reason(graph, "bitsim")
     return True, ""
 
 
@@ -87,8 +115,28 @@ def codegen_supported(graph: SystemGraph,
     backend and return numpy arrays like every other backend.
     """
     if "skeleton-codegen" not in variant.capabilities:
-        return False, f"variant {variant} lacks 'skeleton-codegen'"
+        return False, (f"variant {variant} lacks the "
+                       f"'skeleton-codegen' capability")
+    if not _is_single_clock(graph):
+        return False, _single_clock_reason(graph, "codegen")
     return True, ""
+
+
+def available_backends(graph: SystemGraph,
+                       variant: ProtocolVariant) -> Tuple[str, ...]:
+    """The backend names able to run this (graph, variant) right now.
+
+    The scalar reference engine supports everything; the rest are
+    probed through their ``*_supported`` predicates.  Used by
+    :func:`select` to make refusal messages actionable.
+    """
+    names = ["scalar"]
+    for name, probe in (("vectorized", vectorized_supported),
+                        ("bitsim", bitsim_supported),
+                        ("codegen", codegen_supported)):
+        if probe(graph, variant)[0]:
+            names.append(name)
+    return tuple(names)
 
 
 def _normalize(patterns: Patterns, batch: int) -> List[Dict]:
@@ -165,6 +213,19 @@ class _Backend:
         asserts scalar and vectorized snapshots are equal dicts.
         """
         raise NotImplementedError
+
+    def poke_bridge(self, instance: int, bridge, cycle: int,
+                    delta: int, duration: int = 1) -> None:
+        """Schedule a bridge occupancy perturbation for one instance.
+
+        The CDC fault models of GALS campaigns: *delta* of ``+1`` is a
+        bridge overflow (phantom write), ``-1`` an underflow (lost
+        token); applied after the normal update on each cycle in
+        ``[cycle, cycle + duration)``, clamped to ``[0, depth]``.  Only
+        the scalar and vectorized engines model bridges.
+        """
+        raise NotImplementedError(
+            f"{self.name} backend does not model bridges")
 
 
 class ScalarBackend(_Backend):
@@ -264,6 +325,11 @@ class ScalarBackend(_Backend):
     def metrics_snapshots(self) -> List[Dict]:
         return [sim.metrics_snapshot() for sim in self.sims]
 
+    def poke_bridge(self, instance: int, bridge, cycle: int,
+                    delta: int, duration: int = 1) -> None:
+        self.sims[instance].poke_bridge(bridge, cycle, delta,
+                                        duration=duration)
+
 
 class CodegenBackend(ScalarBackend):
     """One compiled :class:`CodegenSkeletonSim` per instance.
@@ -331,6 +397,11 @@ class VectorizedBackend(_Backend):
 
     def metrics_snapshots(self) -> List[Dict]:
         return [self.sim.metrics_snapshot(i) for i in range(self.batch)]
+
+    def poke_bridge(self, instance: int, bridge, cycle: int,
+                    delta: int, duration: int = 1) -> None:
+        self.sim.poke_bridge(instance, bridge, cycle, delta,
+                             duration=duration)
 
 
 class BitplaneBackend(_Backend):
@@ -437,29 +508,38 @@ def select(
     Returns a handle with ``run()`` / ``run_cycles()`` / count accessors
     that behave identically regardless of the engine chosen.
     """
-    if backend not in ("auto", "scalar", "vectorized", "bitsim",
-                       "codegen"):
-        raise ValueError(f"unknown backend {backend!r}")
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(
+            f"unknown backend {backend!r}; available backends for "
+            f"this graph/variant: "
+            + ", ".join(available_backends(graph, variant))
+            + " (or 'auto')")
     width = _infer_batch(batch, source_patterns, sink_patterns)
     if width < 1:
         raise ValueError("need at least one instance")
     sources = _normalize(source_patterns, width)
     sinks = _normalize(sink_patterns, width)
 
+    def _unavailable(name: str, reason: str) -> ValueError:
+        return ValueError(
+            f"{name} backend unavailable: {reason}; available "
+            f"backends: "
+            + ", ".join(available_backends(graph, variant)))
+
     if backend == "bitsim":
         supported, reason = bitsim_supported(graph, variant)
         if not supported:
-            raise ValueError(f"bitsim backend unavailable: {reason}")
+            raise _unavailable("bitsim", reason)
         cls = BitplaneBackend
     elif backend == "codegen":
         supported, reason = codegen_supported(graph, variant)
         if not supported:
-            raise ValueError(f"codegen backend unavailable: {reason}")
+            raise _unavailable("codegen", reason)
         cls = CodegenBackend
     else:
         supported, reason = vectorized_supported(graph, variant)
         if backend == "vectorized" and not supported:
-            raise ValueError(f"vectorized backend unavailable: {reason}")
+            raise _unavailable("vectorized", reason)
         use_vectorized = (backend == "vectorized"
                           or (backend == "auto" and supported
                               and width > 1))

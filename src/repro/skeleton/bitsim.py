@@ -136,6 +136,15 @@ class BitplaneSkeletonSim:
 
         lowered = graph if isinstance(graph, LoweredSystem) else lower(graph)
         self.lowered = lowered.skeleton_view()
+        if not self.lowered.single_clock:
+            from ..errors import StructuralError
+
+            raise StructuralError(
+                f"{self.lowered.name}: the bitsim engine models "
+                f"single-clock systems only (capability flags: "
+                f"single_clock={self.lowered.single_clock}, "
+                f"has_bridges={self.lowered.has_bridges}); use the "
+                f"scalar or vectorized engine for GALS workloads")
         self.graph = self.lowered.graph
         self.shell_names = list(self.lowered.shell_names)
         self.source_names = list(self.lowered.source_names)

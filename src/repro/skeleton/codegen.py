@@ -579,6 +579,15 @@ class CodegenSkeletonSim(SkeletonSim):
         if variant is not None:
             kwargs["variant"] = variant
         super().__init__(graph, **kwargs)
+        if not self.lowered.single_clock:
+            from ..errors import StructuralError
+
+            raise StructuralError(
+                f"{self.lowered.name}: the codegen engine models "
+                f"single-clock systems only (capability flags: "
+                f"single_clock={self.lowered.single_clock}, "
+                f"has_bridges={self.lowered.has_bridges}); use the "
+                f"scalar or vectorized engine for GALS workloads")
         self._plan = plan_for(
             self.lowered,
             self.variant,

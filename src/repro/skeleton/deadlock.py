@@ -174,6 +174,13 @@ def check_deadlock(
     from ..exec import GraphRef, graph_fingerprint, map_deterministic
 
     sim_class = _sim_class(backend)
+    if backend == "codegen":
+        # Fail fast, before any probe (possibly a worker process) trips
+        # over the compiled engine's single-clock constructor guard.
+        from .backend import _is_single_clock, _single_clock_reason
+
+        if not _is_single_clock(graph):
+            raise ValueError(_single_clock_reason(graph, "codegen"))
 
     key = None
     if cache is not None:

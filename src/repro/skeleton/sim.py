@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graph.model import SystemGraph
 from ..ir import (
+    RS_BRIDGE,
     RS_FULL,
     RS_HALF,
     RS_HALF_REG,
@@ -44,8 +45,8 @@ from ..lid.variant import DEFAULT_VARIANT, ProtocolVariant
 # Element kind tags (kept as small ints for compact state tuples).
 # Canonically defined by repro.ir; the historical underscore aliases
 # stay because the vectorized engine and older call sites import them.
-_SRC, _SHELL, _SINK, _RS_FULL, _RS_HALF, _RS_HALF_REG = (
-    SRC, SHELL, SINK, RS_FULL, RS_HALF, RS_HALF_REG)
+_SRC, _SHELL, _SINK, _RS_FULL, _RS_HALF, _RS_HALF_REG, _RS_BRIDGE = (
+    SRC, SHELL, SINK, RS_FULL, RS_HALF, RS_HALF_REG, RS_BRIDGE)
 
 
 @dataclasses.dataclass
@@ -144,6 +145,43 @@ class SkeletonSim:
         lengths = [len(p) for p in self.sink_pattern] or [1]
         self.sink_phase_mod = math.lcm(*lengths)
 
+        # -- GALS clock-domain tables --------------------------------
+        # ``_gals`` keeps every hot loop on the exact pre-refactor path
+        # for single-clock systems; the tables below are only consulted
+        # (and only built) for genuinely multi-rate lowerings.
+        self._gals = not low.single_clock
+        self.hyperperiod = low.hyperperiod
+        self.bridge_names: List[str] = list(low.bridge_names)
+        self.bridge_depths: List[int] = [b.depth for b in low.bridges]
+        self.bridge_in_hop: List[int] = list(low.bridge_in_hop)
+        self.bridge_out_hop: List[int] = list(low.bridge_out_hop)
+        if self._gals:
+            schedules = [d.schedule for d in low.domains]
+            node_dom = low.node_domain
+            self._shell_sched = [
+                schedules[node_dom[i]] for i in low.shell_ids]
+            self._src_sched = [
+                schedules[node_dom[i]] for i in low.source_ids]
+            self._sink_sched = [
+                schedules[node_dom[i]] for i in low.sink_ids]
+            # Relay stations on a bridged edge sit on the producer side
+            # of the crossing: they are clocked by the edge's source
+            # domain.  Bridges write in the source domain and read in
+            # the destination domain.
+            edge_src_dom = [node_dom[e.src] for e in low.edges]
+            self._rs_sched = [
+                schedules[edge_src_dom[r.edge]] for r in low.relays]
+            self._bridge_wsched = [
+                schedules[b.src_domain] for b in low.bridges]
+            self._bridge_rsched = [
+                schedules[b.dst_domain] for b in low.bridges]
+        else:
+            self._shell_sched = self._src_sched = self._sink_sched = []
+            self._rs_sched = []
+            self._bridge_wsched = self._bridge_rsched = []
+        # Period of the environment/schedule phase folded into state().
+        self._phase_mod = math.lcm(self.sink_phase_mod, self.hyperperiod)
+
         self.rs_kinds: List[int] = [r.tag for r in low.relays]
         self.rs_names: List[str] = list(low.relay_names)
         self.hops = list(low.hops)
@@ -172,11 +210,14 @@ class SkeletonSim:
         self._src_hops: List[Tuple[int, int]] = []
         self._shellreg_hops: List[Tuple[int, int]] = []
         self._rs_hops: List[Tuple[int, int]] = []
+        self._bridge_hops: List[Tuple[int, int]] = []
         for hop_id, hop in enumerate(self.hops):
             if hop.producer_kind == _SRC:
                 self._src_hops.append((hop_id, hop.producer_id))
             elif hop.producer_kind == _SHELL:
                 self._shellreg_hops.append((hop_id, hop.producer_reg))
+            elif hop.producer_kind == _RS_BRIDGE:
+                self._bridge_hops.append((hop_id, hop.producer_id))
             else:
                 self._rs_hops.append((hop_id, hop.producer_id))
         self._transparent_half_ids = [
@@ -201,6 +242,10 @@ class SkeletonSim:
             (sink_id, hop_in)
             for sink_id, hop_in in enumerate(self.sink_in_hop)
             if hop_in is not None
+        ]
+        self._bridge_fixed_hops = [
+            (b_id, hop_in)
+            for b_id, hop_in in enumerate(self.bridge_in_hop)
         ]
         self._half_inout = [
             (rs_id, self.rs_in_hop[rs_id], self.rs_out_hop[rs_id])
@@ -231,6 +276,10 @@ class SkeletonSim:
         self.rs_main = [False] * len(self.rs_kinds)
         self.rs_aux = [False] * len(self.rs_kinds)
         self.rs_stop_reg = [False] * len(self.rs_kinds)
+        # Bisynchronous-FIFO bridges start empty.
+        self.bridge_occ = [0] * len(self.bridge_depths)
+        # Scheduled occupancy perturbations (see poke_bridge).
+        self._bridge_pokes: List[Tuple[int, int, int, int]] = []
         self.src_phase = [0] * len(self.source_names)
         self.fire_history: List[Tuple[bool, ...]] = []
         self.accept_history: List[Tuple[bool, ...]] = []
@@ -250,16 +299,25 @@ class SkeletonSim:
         # distribution ({0,1,2} -> cycles).  See metrics_snapshot().
         self.hop_stall_cycles = [0] * len(self.hops)
         self.rs_occupancy_counts = [[0, 0, 0] for _ in self.rs_kinds]
+        self.bridge_occupancy_counts = [
+            [0] * (depth + 1) for depth in self.bridge_depths]
 
     def state(self) -> Tuple:
-        """Hashable snapshot of all registers and script phases."""
+        """Hashable snapshot of all registers and script phases.
+
+        The phase term folds the sink-script period together with the
+        clock-domain hyperperiod so periodicity detection sees the full
+        environment/schedule state (both are 1 for unscripted
+        single-clock systems).
+        """
         return (
             tuple(self.shell_reg),
             tuple(self.rs_main),
             tuple(self.rs_aux),
             tuple(self.rs_stop_reg),
+            tuple(self.bridge_occ),
             tuple(self.src_phase),
-            self.cycle % self.sink_phase_mod,
+            self.cycle % self._phase_mod,
         )
 
     def register_state(self) -> Tuple:
@@ -273,15 +331,41 @@ class SkeletonSim:
             tuple(self.rs_main),
             tuple(self.rs_aux),
             tuple(self.rs_stop_reg),
+            tuple(self.bridge_occ),
         )
 
     def set_register_state(self, state: Tuple) -> None:
         """Restore a snapshot produced by :meth:`register_state`."""
-        shell_reg, rs_main, rs_aux, rs_stop = state
+        shell_reg, rs_main, rs_aux, rs_stop, bridge_occ = state
         self.shell_reg = list(shell_reg)
         self.rs_main = list(rs_main)
         self.rs_aux = list(rs_aux)
         self.rs_stop_reg = list(rs_stop)
+        self.bridge_occ = list(bridge_occ)
+
+    def poke_bridge(self, bridge, cycle: int, delta: int,
+                    duration: int = 1) -> None:
+        """Schedule a bridge occupancy perturbation (fault injection).
+
+        On each cycle in ``[cycle, cycle + duration)`` the bridge's
+        occupancy is nudged by *delta* after the normal update, clamped
+        to ``[0, depth]`` — the over-/underflow fault models of the
+        clock-domain-crossing campaigns.  *bridge* is a bridge name
+        (see ``bridge_names``) or table index.
+        """
+        if isinstance(bridge, str):
+            try:
+                b_id = self.bridge_names.index(bridge)
+            except ValueError:
+                raise KeyError(
+                    f"no bridge named {bridge!r} "
+                    f"(bridges: {self.bridge_names})") from None
+        else:
+            b_id = bridge
+            if not 0 <= b_id < len(self.bridge_depths):
+                raise KeyError(f"no bridge with index {b_id}")
+        self._bridge_pokes.append(
+            (b_id, cycle, cycle + duration, delta))
 
     # -- per-cycle evaluation ----------------------------------------------
 
@@ -295,12 +379,23 @@ class SkeletonSim:
                 pattern = self.src_pattern[src_id]
                 valid[hop_id] = pattern[self.src_phase[src_id]
                                         % len(pattern)]
+        if self._gals:
+            # A source in a domain that does not tick this base cycle
+            # presents void (its phase is frozen in step()).
+            phase = self.cycle % self.hyperperiod
+            for hop_id, src_id in self._src_hops:
+                if not self._src_sched[src_id][phase]:
+                    valid[hop_id] = False
         shell_reg = self.shell_reg
         for hop_id, reg in self._shellreg_hops:
             valid[hop_id] = shell_reg[reg]
         rs_main = self.rs_main
         for hop_id, rs_id in self._rs_hops:
             valid[hop_id] = rs_main[rs_id]
+        # A bridge presents its head-of-FIFO: valid iff non-empty.
+        bridge_occ = self.bridge_occ
+        for hop_id, b_id in self._bridge_hops:
+            valid[hop_id] = bridge_occ[b_id] > 0
         return valid
 
     def _settle_stops(self, valid: List[bool], mode: str) -> List[bool]:
@@ -329,6 +424,21 @@ class SkeletonSim:
             for sink_id, hop_in in self._sink_fixed_hops:
                 pattern = sink_pattern[sink_id]
                 stop[hop_in] = pattern[cycle % len(pattern)]
+                fixed[hop_in] = True
+        if self._gals:
+            # A sink whose domain does not tick this base cycle cannot
+            # accept: it asserts stop unconditionally.  The bridge
+            # write port asserts stop while the FIFO is full —
+            # registered (state-derived), hence fixed during settle.
+            phase = self.cycle % self.hyperperiod
+            for sink_id, hop_in in self._sink_fixed_hops:
+                if not self._sink_sched[sink_id][phase]:
+                    stop[hop_in] = True
+                    fixed[hop_in] = True
+            bridge_occ = self.bridge_occ
+            bridge_depths = self.bridge_depths
+            for b_id, hop_in in self._bridge_fixed_hops:
+                stop[hop_in] = bridge_occ[b_id] >= bridge_depths[b_id]
                 fixed[hop_in] = True
 
         changed = True
@@ -361,6 +471,9 @@ class SkeletonSim:
         return stop
 
     def _shell_fire(self, shell_id: int, valid, stop) -> bool:
+        if self._gals and not self._shell_sched[shell_id][
+                self.cycle % self.hyperperiod]:
+            return False
         for hop_in in self.shell_in_hops[shell_id]:
             if not valid[hop_in]:
                 return False
@@ -373,11 +486,21 @@ class SkeletonSim:
 
     def _apply_edge(self, valid: List[bool], stop: List[bool],
                     fires: Tuple[bool, ...]) -> None:
-        """Register updates (mirror repro.lid semantics exactly)."""
+        """Register updates (mirror repro.lid semantics exactly).
+
+        In GALS mode an element whose clock domain does not tick this
+        base cycle holds all of its registers; bridge occupancies move
+        by (write in the source domain) minus (read in the destination
+        domain), each gated on its own port's schedule.
+        """
+        gals = self._gals
+        phase = self.cycle % self.hyperperiod if gals else 0
         shell_reg = self.shell_reg
         new_shell_reg = list(shell_reg)
         shell_out_pairs = self._shell_out_pairs
         for shell_id, fired in enumerate(fires):
+            if gals and not self._shell_sched[shell_id][phase]:
+                continue
             for hop_out, reg in shell_out_pairs[shell_id]:
                 if fired:
                     new_shell_reg[reg] = True
@@ -392,6 +515,8 @@ class SkeletonSim:
         new_stop_reg = list(rs_stop_reg)
         slot_consumed = self.variant.slot_consumed
         for rs_id, kind, hop_in, hop_out in self._rs_inout:
+            if gals and not self._rs_sched[rs_id][phase]:
+                continue
             stop_in = stop[hop_out]
             incoming = valid[hop_in]
             if kind == _RS_FULL:
@@ -417,6 +542,26 @@ class SkeletonSim:
         self.rs_main = new_main
         self.rs_aux = new_aux
         self.rs_stop_reg = new_stop_reg
+
+        if gals:
+            bridge_occ = self.bridge_occ
+            bridge_depths = self.bridge_depths
+            for b_id in range(len(bridge_occ)):
+                occ = bridge_occ[b_id]
+                wrote = (self._bridge_wsched[b_id][phase]
+                         and valid[self.bridge_in_hop[b_id]]
+                         and occ < bridge_depths[b_id])
+                read = (self._bridge_rsched[b_id][phase]
+                        and occ > 0
+                        and not stop[self.bridge_out_hop[b_id]])
+                bridge_occ[b_id] = occ + wrote - read
+            if self._bridge_pokes:
+                cycle = self.cycle
+                for b_id, lo, hi, delta in self._bridge_pokes:
+                    if lo <= cycle < hi:
+                        nudged = bridge_occ[b_id] + delta
+                        depth = bridge_depths[b_id]
+                        bridge_occ[b_id] = min(max(nudged, 0), depth)
 
     def step(self) -> Tuple[Tuple[bool, ...], Tuple[bool, ...]]:
         """Advance one cycle; returns (shell fires, sink accepts)."""
@@ -465,6 +610,9 @@ class SkeletonSim:
             for rs_id in range(len(self.rs_kinds)):
                 occupancy[rs_id][int(rs_main[rs_id])
                                  + int(rs_aux[rs_id])] += 1
+            bridge_counts = self.bridge_occupancy_counts
+            for b_id, occ in enumerate(self.bridge_occ):
+                bridge_counts[b_id][occ] += 1
         if self._events_on:
             events = self.telemetry.events
             cycle = self.cycle
@@ -482,7 +630,11 @@ class SkeletonSim:
                                 channel=self.hop_names[hop_id],
                                 valid=valid[hop_id])
 
+        gals = self._gals
+        phase = (self.cycle % self.hyperperiod) if gals else 0
         for src_id in range(len(self.source_names)):
+            if gals and not self._src_sched[src_id][phase]:
+                continue  # domain does not tick: pattern phase frozen
             pattern = self.src_pattern[src_id]
             presented = pattern[self.src_phase[src_id] % len(pattern)]
             held = False
@@ -586,6 +738,13 @@ class SkeletonSim:
             for rs_id, counts in enumerate(self.rs_occupancy_counts):
                 hist = registry.histogram(
                     f"skeleton/relay/{self.rs_names[rs_id]}/occupancy")
+                for level, count in enumerate(counts):
+                    if count:
+                        hist.observe(level, count)
+            for b_id, counts in enumerate(self.bridge_occupancy_counts):
+                hist = registry.histogram(
+                    f"skeleton/bridge/{self.bridge_names[b_id]}"
+                    f"/occupancy")
                 for level, count in enumerate(counts):
                     if count:
                         hist.observe(level, count)

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..graph.model import SystemGraph
 from ..ir import (
+    RS_BRIDGE as _RS_BRIDGE,
     RS_FULL as _RS_FULL,
     RS_HALF as _RS_HALF,
     RS_HALF_REG as _RS_HALF_REG,
@@ -188,7 +189,9 @@ class BatchSkeletonSim:
         src_hops = [(h.index, h.producer_id) for h in low.hops
                     if h.producer_kind == _SRC]
         rs_hops = [(h.index, h.producer_id) for h in low.hops
-                   if h.producer_kind not in (_SRC, _SHELL)]
+                   if h.producer_kind not in (_SRC, _SHELL, _RS_BRIDGE)]
+        bridge_hops = [(h.index, h.producer_id) for h in low.hops
+                       if h.producer_kind == _RS_BRIDGE]
         self._src_hop_ids = np.array(
             [h for h, _src in src_hops], dtype=np.intp)
         self._src_hop_owner = np.array(
@@ -197,6 +200,10 @@ class BatchSkeletonSim:
             [h for h, _rs in rs_hops], dtype=np.intp)
         self._rs_drive_ids = np.array(
             [rs for _h, rs in rs_hops], dtype=np.intp)
+        self._bridge_drive_hops = np.array(
+            [h for h, _b in bridge_hops], dtype=np.intp)
+        self._bridge_drive_ids = np.array(
+            [bid for _h, bid in bridge_hops], dtype=np.intp)
         # Shell out-register <-> hop bijection (one register per edge).
         n_regs = len(low.shell_regs)
         self._n_regs = n_regs
@@ -247,9 +254,50 @@ class BatchSkeletonSim:
         # shell's stall is a function of fixed (registered/scripted)
         # stops only, so a single settle pass is exact and the two
         # fixpoints coincide (same criterion as the scalar engine's
-        # ambiguity analysis).
+        # ambiguity analysis).  Bridge stops are state-derived (fixed
+        # during settle), so bridges never add combinational chains.
         self._single_pass = not low.may_be_ambiguous
         self._all_full = bool(self._rs_is_full.all())
+
+        # -- GALS clock-domain tables --------------------------------
+        # ``_gals`` keeps the hot loops on the exact pre-refactor path
+        # for single-clock systems; enablement masks are row-indexed by
+        # ``cycle % hyperperiod`` (one (H, n) bool matrix per element
+        # class), matching the scalar engine's per-element schedules.
+        self._gals = not low.single_clock
+        self._hyperperiod = low.hyperperiod
+        self._n_bridges = len(low.bridges)
+        self._bridge_depth = np.array(
+            [br.depth for br in low.bridges], dtype=np.int64)
+        self._bridge_in = np.array(low.bridge_in_hop, dtype=np.intp)
+        self._bridge_out = np.array(low.bridge_out_hop, dtype=np.intp)
+        if self._gals:
+            schedules = [d.schedule for d in low.domains]
+            node_dom = low.node_domain
+            hp = self._hyperperiod
+
+            def _mask(ids):
+                return np.array(
+                    [[schedules[node_dom[i]][c] for i in ids]
+                     for c in range(hp)], dtype=bool)
+
+            self._shell_en = _mask(low.shell_ids)
+            self._src_en = _mask(low.source_ids)
+            self._sink_en = _mask(low.sink_ids)
+            # Relays are clocked by their edge's source (write-side)
+            # domain; bridges write in the source domain and read in
+            # the destination domain.
+            edge_src_dom = [node_dom[e.src] for e in low.edges]
+            self._rs_en = np.array(
+                [[schedules[edge_src_dom[r.edge]][c]
+                  for r in low.relays]
+                 for c in range(hp)], dtype=bool)
+            self._bridge_wen = np.array(
+                [[schedules[br.src_domain][c] for br in low.bridges]
+                 for c in range(hp)], dtype=bool)
+            self._bridge_ren = np.array(
+                [[schedules[br.dst_domain][c] for br in low.bridges]
+                 for c in range(hp)], dtype=bool)
 
     def _build_scripts(self, source_patterns, sink_patterns) -> None:
         b = self.batch
@@ -311,6 +359,12 @@ class BatchSkeletonSim:
             if self._sink_len else 1
             for i in range(b)
         ]
+        # State-key phase modulus folds the clock-domain hyperperiod in
+        # exactly as the scalar engine's state() does (1 when
+        # single-clock, so keys are unchanged for pre-GALS workloads).
+        self._key_mod = [
+            math.lcm(mod, self._hyperperiod) for mod in self._sink_mod
+        ]
         self._src_len_mat = (np.stack(self._src_len)
                              if self._src_len
                              else np.zeros((0, b), dtype=np.int64))
@@ -326,6 +380,10 @@ class BatchSkeletonSim:
         self.rs_main = np.zeros((self._n_rs, b), dtype=bool)
         self.rs_aux = np.zeros((self._n_rs, b), dtype=bool)
         self.rs_stop_reg = np.zeros((self._n_rs, b), dtype=bool)
+        # Bisynchronous-FIFO bridges start empty.
+        self.bridge_occ = np.zeros((self._n_bridges, b), dtype=np.int64)
+        # Scheduled occupancy perturbations (see poke_bridge).
+        self._bridge_pokes: List[Tuple[int, int, int, int, int]] = []
         self.src_phase = np.zeros((len(self.source_names), b),
                                   dtype=np.int64)
         self.shell_fired = np.zeros((len(self.shell_names), b),
@@ -341,6 +399,10 @@ class BatchSkeletonSim:
                                          dtype=np.int64)
         self.rs_occupancy_counts = np.zeros((3, self._n_rs, b),
                                             dtype=np.int64)
+        max_depth = (int(self._bridge_depth.max())
+                     if self._n_bridges else 0)
+        self.bridge_occupancy_counts = np.zeros(
+            (max_depth + 1, self._n_bridges, b), dtype=np.int64)
         self.ambiguous_cycles: List[List[int]] = [[] for _ in range(b)]
         self._fire_history: List[np.ndarray] = []
         self._accept_history: List[np.ndarray] = []
@@ -363,10 +425,39 @@ class BatchSkeletonSim:
         keys = []
         for i in range(b):
             keys.append(packed[:, i].tobytes()
+                        + self.bridge_occ[:, i].tobytes()
                         + self.src_phase[:, i].tobytes()
-                        + (cycle % self._sink_mod[i]).to_bytes(
+                        + (cycle % self._key_mod[i]).to_bytes(
                             8, "little"))
         return keys
+
+    def poke_bridge(self, instance: int, bridge, cycle: int,
+                    delta: int, duration: int = 1) -> None:
+        """Schedule a bridge occupancy perturbation for one column.
+
+        Mirrors :meth:`SkeletonSim.poke_bridge` with an explicit
+        *instance* (batch column): on each cycle in ``[cycle, cycle +
+        duration)`` the bridge's occupancy in that column is nudged by
+        *delta* after the normal update, clamped to ``[0, depth]``.
+        """
+        if not 0 <= instance < self.batch:
+            raise IndexError(
+                f"instance {instance} out of range for batch "
+                f"{self.batch}")
+        names = list(self.lowered.bridge_names)
+        if isinstance(bridge, str):
+            try:
+                b_id = names.index(bridge)
+            except ValueError:
+                raise KeyError(
+                    f"no bridge named {bridge!r} "
+                    f"(bridges: {names})") from None
+        else:
+            b_id = bridge
+            if not 0 <= b_id < self._n_bridges:
+                raise KeyError(f"no bridge with index {b_id}")
+        self._bridge_pokes.append(
+            (b_id, instance, cycle, cycle + duration, delta))
 
     # -- per-cycle evaluation ------------------------------------------------
 
@@ -379,6 +470,11 @@ class BatchSkeletonSim:
                 # Phases are kept in range by the advance in step().
                 presented[j] = self._src_tab[j][self.src_phase[j],
                                                 self._cols]
+            if self._gals:
+                # A source in a domain that does not tick this base
+                # cycle presents void (its phase is frozen in step()).
+                presented &= self._src_en[
+                    self.cycle % self._hyperperiod][:, None]
             self._presented = presented
             valid[self._src_hop_ids] = presented[self._src_hop_owner]
         else:
@@ -387,6 +483,10 @@ class BatchSkeletonSim:
             valid[self._reg_hop] = self.shell_reg
         if len(self._rs_drive_hops):
             valid[self._rs_drive_hops] = self.rs_main[self._rs_drive_ids]
+        if len(self._bridge_drive_hops):
+            # A bridge presents its head-of-FIFO: valid iff non-empty.
+            valid[self._bridge_drive_hops] = (
+                self.bridge_occ[self._bridge_drive_ids] > 0)
         return valid
 
     def _shell_fires(self, valid: np.ndarray,
@@ -401,7 +501,13 @@ class BatchSkeletonSim:
             blocked_bits = stop[self._sh_out.flat]
         blocked = self._sh_out.reduce(np.logical_or, blocked_bits,
                                       False)
-        return in_ok & ~blocked
+        fires = in_ok & ~blocked
+        if self._gals:
+            # A shell whose domain does not tick this base cycle is
+            # stalled (cannot fire), exactly like the scalar engine.
+            fires &= self._shell_en[
+                self.cycle % self._hyperperiod][:, None]
+        return fires
 
     def _settle_stops(self, valid: np.ndarray,
                       mode: str) -> Tuple[np.ndarray, np.ndarray]:
@@ -425,6 +531,18 @@ class BatchSkeletonSim:
                 else:
                     row = self.cycle % self._sink_len[k]
                     stop[hop] = self._sink_tab[k][row, self._cols]
+        if self._gals:
+            # A sink whose domain does not tick cannot accept: it
+            # asserts stop unconditionally.  The bridge write port
+            # asserts stop while the FIFO is full — state-derived,
+            # hence fixed during settle (like registered stops).
+            sink_en = self._sink_en[self.cycle % self._hyperperiod]
+            for k, hop in zip(self._sink_ids, self._sink_hops):
+                if not sink_en[k]:
+                    stop[hop] = True
+            if self._n_bridges:
+                stop[self._bridge_in] = (
+                    self.bridge_occ >= self._bridge_depth[:, None])
 
         if self._single_pass:
             # No combinational stop chains: every shell out-hop stop is
@@ -473,18 +591,30 @@ class BatchSkeletonSim:
 
     def _apply_edge(self, valid: np.ndarray, stop: np.ndarray,
                     fires: np.ndarray) -> None:
-        """Register updates (mirror SkeletonSim._apply_edge exactly)."""
+        """Register updates (mirror SkeletonSim._apply_edge exactly).
+
+        In GALS mode an element whose clock domain does not tick this
+        base cycle holds all of its registers; bridge occupancies move
+        by (write in the source domain) minus (read in the destination
+        domain), each gated on its own port's schedule.
+        """
+        gals = self._gals
+        phase = self.cycle % self._hyperperiod if gals else 0
         if self._n_regs:
             fired = fires[self._reg_owner]
             held = self.shell_reg & stop[self._reg_hop]
-            self.shell_reg = fired | (~fired & held)
+            new_reg = fired | (~fired & held)
+            if gals:
+                en = self._shell_en[phase][self._reg_owner][:, None]
+                new_reg = np.where(en, new_reg, self.shell_reg)
+            self.shell_reg = new_reg
 
         if self._n_rs:
             stop_out = stop[self._rs_out]
             incoming = valid[self._rs_in]
             consumed = ~self.rs_main | ~stop_out
             aux = self.rs_aux
-            if self._all_full:
+            if self._all_full and not gals:
                 accepted = incoming & ~self.rs_stop_reg
                 queued = aux | accepted
                 not_consumed = ~consumed
@@ -492,25 +622,51 @@ class BatchSkeletonSim:
                 self.rs_aux = not_consumed & queued
                 self.rs_stop_reg = not_consumed & (
                     self.rs_stop_reg | (~aux & accepted))
-                return
-            # Full stations: two slots plus a registered stop.
-            accepted_full = incoming & ~self.rs_stop_reg
-            new_main_full = np.where(
-                consumed, np.where(aux, True, accepted_full),
-                self.rs_main)
-            new_aux_full = ~consumed & (aux | accepted_full)
-            new_stop_full = ~consumed & (
-                self.rs_stop_reg | (~aux & accepted_full))
-            # Half stations (transparent or registered): one slot.
-            accepted_half = incoming & ~stop[self._rs_in]
-            new_main_half = np.where(consumed, accepted_half,
-                                     self.rs_main)
-            is_full = self._rs_is_full[:, None]
-            self.rs_main = np.where(is_full, new_main_full,
+            else:
+                # Full stations: two slots plus a registered stop.
+                accepted_full = incoming & ~self.rs_stop_reg
+                new_main_full = np.where(
+                    consumed, np.where(aux, True, accepted_full),
+                    self.rs_main)
+                new_aux_full = ~consumed & (aux | accepted_full)
+                new_stop_full = ~consumed & (
+                    self.rs_stop_reg | (~aux & accepted_full))
+                # Half stations (transparent or registered): one slot.
+                accepted_half = incoming & ~stop[self._rs_in]
+                new_main_half = np.where(consumed, accepted_half,
+                                         self.rs_main)
+                is_full = self._rs_is_full[:, None]
+                new_main = np.where(is_full, new_main_full,
                                     new_main_half)
-            self.rs_aux = np.where(is_full, new_aux_full, aux)
-            self.rs_stop_reg = np.where(is_full, new_stop_full,
-                                        self.rs_stop_reg)
+                new_aux = np.where(is_full, new_aux_full, aux)
+                new_stop = np.where(is_full, new_stop_full,
+                                    self.rs_stop_reg)
+                if gals:
+                    en = self._rs_en[phase][:, None]
+                    new_main = np.where(en, new_main, self.rs_main)
+                    new_aux = np.where(en, new_aux, self.rs_aux)
+                    new_stop = np.where(en, new_stop, self.rs_stop_reg)
+                self.rs_main = new_main
+                self.rs_aux = new_aux
+                self.rs_stop_reg = new_stop
+
+        if self._n_bridges:
+            occ = self.bridge_occ
+            wrote = (self._bridge_wen[phase][:, None]
+                     & valid[self._bridge_in]
+                     & (occ < self._bridge_depth[:, None]))
+            read = (self._bridge_ren[phase][:, None]
+                    & (occ > 0)
+                    & ~stop[self._bridge_out])
+            self.bridge_occ = occ + wrote - read
+            if self._bridge_pokes:
+                cycle = self.cycle
+                for b_id, col, lo, hi, delta in self._bridge_pokes:
+                    if lo <= cycle < hi:
+                        nudged = int(self.bridge_occ[b_id, col]) + delta
+                        depth = int(self._bridge_depth[b_id])
+                        self.bridge_occ[b_id, col] = min(
+                            max(nudged, 0), depth)
 
     def step(self) -> Tuple[np.ndarray, np.ndarray]:
         """Advance all instances one cycle; returns (fires, accepts)."""
@@ -551,9 +707,15 @@ class BatchSkeletonSim:
             held_any = self._src_out.reduce(
                 np.logical_or, stop[self._src_out.flat], False)
             held = self._presented & held_any
+            advance = ~held
+            if self._gals:
+                # A source whose domain does not tick keeps its
+                # pattern phase frozen (scalar semantics).
+                advance &= self._src_en[
+                    self.cycle % self._hyperperiod][:, None]
             self.src_phase = np.where(
-                held, self.src_phase,
-                (self.src_phase + 1) % self._src_len_mat)
+                advance, (self.src_phase + 1) % self._src_len_mat,
+                self.src_phase)
 
         self.shell_fired += fires
         self.sink_accepted += accepts
@@ -565,6 +727,10 @@ class BatchSkeletonSim:
                          + self.rs_aux.astype(np.int8))
             for level in range(3):
                 self.rs_occupancy_counts[level] += occupancy == level
+        if self._metrics_on and self._n_bridges:
+            for level in range(self.bridge_occupancy_counts.shape[0]):
+                self.bridge_occupancy_counts[level] += (
+                    self.bridge_occ == level)
         if self._events_on:
             # Aggregate (batch-wide) per-cycle counts; per-instance
             # event streams come from the scalar engine.
@@ -707,6 +873,15 @@ class BatchSkeletonSim:
                 for level in range(3):
                     count = int(
                         self.rs_occupancy_counts[level, rs_id, instance])
+                    if count:
+                        hist.observe(level, count)
+            bridge_names = self.lowered.bridge_names
+            for b_id in range(self._n_bridges):
+                hist = registry.histogram(
+                    f"skeleton/bridge/{bridge_names[b_id]}/occupancy")
+                for level in range(int(self._bridge_depth[b_id]) + 1):
+                    count = int(self.bridge_occupancy_counts[
+                        level, b_id, instance])
                     if count:
                         hist.observe(level, count)
         return registry.snapshot()

@@ -1,0 +1,135 @@
+"""Mixed-rate throughput: formula-vs-simulation agreement.
+
+The GALS extension's contract: ``static_system_throughput`` is exact
+on feed-forward mixed-rate compositions (the slowest domain throttles
+everything through bridge back-pressure) and a certified upper bound
+on cyclic ones (schedule alignment can only slow a loop down);
+``simulated_throughput`` is the exact oracle either way.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis import (
+    analyze,
+    classify,
+    domain_rate_bound,
+    min_cycle_ratio_throughput,
+    simulated_throughput,
+    static_system_throughput,
+)
+from repro.errors import AnalysisError
+from repro.graph import parse_topology
+
+#: Feed-forward mixed-rate topologies where the formula is exact.
+EXACT_CASES = [
+    ("gals-chain:rates=1+1/2", Fraction(1, 2)),            # 2:1
+    ("gals-chain:rates=1+2/3,stages=2", Fraction(2, 3)),   # 3:2
+    ("gals-chain:rates=1+1/2+1/3", Fraction(1, 3)),        # 3 domains
+    ("gals-chain:rates=1+1/2,relays=2", Fraction(1, 2)),
+    ("gals-chain:rates=3/4+1/2+1/4,stages=2", Fraction(1, 4)),
+    # Cyclic, but empirically locked exactly at the rate cap.
+    ("gals-ring:rates=1+1/2,shells=2", Fraction(1, 2)),
+]
+
+#: Cyclic mixed-rate topologies: formula is a strict upper bound
+#: (schedule-alignment locking runs below the slot-count ceiling).
+BOUND_CASES = [
+    "gals-ring:rates=1+1/2,shells=1",
+    "gals-ring:rates=1+2/3,shells=2",
+    "gals-ring:rates=1+1/2,shells=1,relays=1",
+    "gals-ring:rates=3/4+2/3+1/2,shells=1",
+]
+
+
+class TestFormulaVsSimulation:
+    @pytest.mark.parametrize("spec,expected", EXACT_CASES)
+    def test_exact_agreement(self, spec, expected):
+        graph = parse_topology(spec)
+        assert static_system_throughput(graph) == expected
+        assert simulated_throughput(graph) == expected
+
+    @pytest.mark.parametrize("spec", BOUND_CASES)
+    def test_certified_upper_bound(self, spec):
+        graph = parse_topology(spec)
+        bound = static_system_throughput(graph)
+        exact = simulated_throughput(graph)
+        assert exact <= bound
+        assert exact > 0
+
+    def test_depth_one_bridge_alternation(self):
+        """A single-slot bridge halves same-rate transfers: its read
+        (occupancy 1) and write (occupancy 0) exclude each other."""
+        graph = parse_topology("gals-chain:rates=1+1,depth=1")
+        assert static_system_throughput(graph) == Fraction(1, 2)
+        assert simulated_throughput(graph) == Fraction(1, 2)
+        deep = parse_topology("gals-chain:rates=1+1,depth=2")
+        assert simulated_throughput(deep) == Fraction(1)
+
+    def test_known_locked_rates(self):
+        """Pin the empirically observed schedule-locking rates."""
+        assert simulated_throughput(
+            parse_topology("gals-ring:rates=1+1/2,shells=1")) \
+            == Fraction(1, 3)
+        assert simulated_throughput(
+            parse_topology("gals-ring:rates=1+1/2,shells=1,relays=1")) \
+            == Fraction(1, 4)
+        assert simulated_throughput(
+            parse_topology("gals-ring:rates=1+2/3,shells=2")) \
+            == Fraction(8, 15)
+
+
+class TestDomainRateBound:
+    def test_single_clock_is_one(self):
+        assert domain_rate_bound(parse_topology("figure2:relays=1")) == 1
+
+    def test_min_over_domains(self):
+        graph = parse_topology("gals-chain:rates=1+1/2+1/3")
+        assert domain_rate_bound(graph) == Fraction(1, 3)
+
+    def test_caps_loop_formula(self):
+        """A slow loop dominates a fast rate cap and vice versa."""
+        slow_loop = parse_topology("gals-ring:rates=1+2/3,shells=1,relays=3")
+        # loop S/(S+R): 2 shells, 3 relays per arc x 2 arcs -> 2/8
+        assert static_system_throughput(slow_loop) == Fraction(1, 4)
+        slow_clock = parse_topology("gals-ring:rates=1+1/3,shells=2")
+        # loop S/(S+R) = 4/4 = 1 > rate cap 1/3
+        assert static_system_throughput(slow_clock) == Fraction(1, 3)
+
+
+class TestSingleClockUnchanged:
+    @pytest.mark.parametrize("spec,expected", [
+        ("figure2:relays=2", Fraction(1, 3)),
+        ("pipeline:stages=3", Fraction(1)),
+        ("ring:shells=3,relays=1", Fraction(1, 2)),
+    ])
+    def test_formulas(self, spec, expected):
+        graph = parse_topology(spec)
+        assert static_system_throughput(graph) == expected
+        assert min_cycle_ratio_throughput(graph).throughput == expected
+        assert simulated_throughput(graph) == expected
+
+
+class TestMcrGuard:
+    def test_refuses_gals(self):
+        graph = parse_topology("gals-chain:rates=1+1/2")
+        with pytest.raises(AnalysisError) as err:
+            min_cycle_ratio_throughput(graph)
+        message = str(err.value)
+        assert "single_clock=False" in message
+        assert "simulated_throughput" in message
+
+
+class TestGalsReport:
+    def test_analyze_runs_on_gals(self):
+        graph = parse_topology("gals-ring:rates=1+1/2,shells=2")
+        report = analyze(graph, max_cycles=5_000)
+        assert report.topology_class.startswith("GALS (2 clock domains)")
+        assert report.mcr_throughput == Fraction(1, 2)
+        assert report.simulated_throughput == Fraction(1, 2)
+        assert "live" in report.deadlock_verdict
+        assert report.render()
+
+    def test_classify_single_clock_unchanged(self):
+        assert classify(parse_topology("figure2:relays=1")) == "feedback"

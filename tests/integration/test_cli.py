@@ -108,6 +108,58 @@ class TestCommands:
             main([])
 
 
+class TestVersionFlag:
+    def test_version_exits_zero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro-lid ")
+        assert "1." in out  # semantic version present
+
+    def test_version_string_has_git_rev(self):
+        from repro.cli import _version_string
+
+        text = _version_string()
+        # In a git checkout the revision rides along; elsewhere the
+        # bare version must still render.
+        assert text
+        assert "\n" not in text
+
+
+class TestGalsCommands:
+    RING = "gals-ring:rates=1+1/2,shells=2"
+
+    def test_analyze_gals(self, capsys):
+        assert main(["analyze", "gals-chain:rates=1+1/2"]) == 0
+        out = capsys.readouterr().out
+        assert "GALS (2 clock domains)" in out
+        assert "1/2" in out
+
+    def test_deadlock_gals(self, capsys):
+        assert main(["deadlock", self.RING]) == 0
+        assert "live" in capsys.readouterr().out
+
+    def test_deadlock_gals_codegen_refused(self):
+        with pytest.raises(SystemExit, match="single_clock"):
+            main(["deadlock", self.RING, "--backend", "codegen"])
+
+    def test_inject_skeleton_cdc(self, capsys):
+        assert main(["inject", "--smoke", "--topology", self.RING,
+                     "--engine", "skeleton", "--faults", "cdc",
+                     "--format", "json", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert '"bridge-overflow"' in out or '"bridge-underflow"' in out
+
+    def test_inject_lid_engine_refuses_gals(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["inject", "--smoke", "--topology", self.RING,
+                  "--no-cache"])
+        message = str(excinfo.value.code)
+        assert "single-clock" in message
+        assert "--engine skeleton" in message
+
+
 class TestObservabilityCommands:
     def test_trace_jsonl(self, tmp_path, capsys):
         from repro.obs import read_jsonl

@@ -1,0 +1,125 @@
+"""Property-based fuzzing of random rational clock rates.
+
+Random GALS topologies (chain and ring families, random rational
+rates, random bridge depths) checked against the scalar reference:
+
+* the vectorized engine reproduces scalar firing counts, sink accepts
+  and bridge occupancy exactly;
+* feed-forward chains sustain exactly ``min_d rate_d``;
+* the static GALS bound always dominates the simulated rate.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import simulated_throughput, static_system_throughput
+from repro.graph import gals_chain, gals_ring
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import BatchSkeletonSim, SkeletonSim
+
+pytestmark = pytest.mark.slow
+
+SETTINGS = dict(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Rational rates with small denominators (hyperperiod stays modest).
+rates = st.builds(
+    Fraction,
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=1, max_value=5),
+).map(lambda f: min(f, Fraction(1)))
+
+rate_lists = st.lists(rates, min_size=2, max_size=3)
+variants = st.sampled_from([ProtocolVariant.CASU,
+                            ProtocolVariant.CARLONI])
+
+
+def _scalar_run(graph, variant, cycles):
+    sim = SkeletonSim(graph, variant=variant, detect_ambiguity=False)
+    fires = [0] * len(sim.shell_names)
+    accepted = 0
+    for _ in range(cycles):
+        f, acc = sim.step()
+        for i, fired in enumerate(f):
+            fires[i] += fired
+        accepted += sum(acc)
+    return sim, fires, accepted
+
+
+@given(rate_list=rate_lists, depth=st.integers(1, 3), variant=variants)
+@settings(**SETTINGS)
+def test_vectorized_matches_scalar_on_random_chains(rate_list, depth,
+                                                    variant):
+    graph = gals_chain(rates=rate_list, depth=depth)
+    cycles = 90
+    scalar, fires, accepted = _scalar_run(graph, variant, cycles)
+    batch = BatchSkeletonSim(graph, [{}], variant=variant,
+                             detect_ambiguity=False)
+    batch.run(cycles)
+    for i, name in enumerate(scalar.shell_names):
+        j = batch.shell_names.index(name)
+        assert int(batch.shell_fired[j][0]) == fires[i], name
+    assert int(batch.sink_accepted.sum()) == accepted
+    assert tuple(int(batch.bridge_occ[b][0])
+                 for b in range(len(scalar.bridge_occ))) \
+        == tuple(scalar.bridge_occ)
+
+
+@given(rate_list=rate_lists, shells=st.integers(1, 2),
+       depth=st.integers(1, 3), variant=variants)
+@settings(**SETTINGS)
+def test_vectorized_matches_scalar_on_random_rings(rate_list, shells,
+                                                   depth, variant):
+    graph = gals_ring(rates=rate_list, shells_per_domain=shells,
+                      depth=depth)
+    cycles = 90
+    scalar, fires, accepted = _scalar_run(graph, variant, cycles)
+    batch = BatchSkeletonSim(graph, [{}], variant=variant,
+                             detect_ambiguity=False)
+    batch.run(cycles)
+    for i, name in enumerate(scalar.shell_names):
+        j = batch.shell_names.index(name)
+        assert int(batch.shell_fired[j][0]) == fires[i], name
+    assert int(batch.sink_accepted.sum()) == accepted
+
+
+@given(rate_list=rate_lists, depth=st.integers(2, 3))
+@settings(**SETTINGS)
+def test_chain_throughput_is_min_rate(rate_list, depth):
+    """Feed-forward GALS with depth >= 2 bridges: formula is exact.
+
+    Depth-1 bridges are excluded by construction: a single-slot bridge
+    cannot read and write in the same cycle, so transfers alternate
+    and the rate drops below ``min_d rate_d`` (caught by this very
+    fuzz test; pinned in ``test_depth_one_bridge_bound``).
+    """
+    graph = gals_chain(rates=rate_list, depth=depth)
+    expected = min(rate_list)
+    assert static_system_throughput(graph) == expected
+    assert simulated_throughput(graph) == expected
+
+
+@given(rate_list=rate_lists)
+@settings(**SETTINGS)
+def test_depth_one_bridge_bound(rate_list):
+    """Depth-1 bridges: the alternation cap 1/2 still dominates."""
+    graph = gals_chain(rates=rate_list, depth=1)
+    bound = static_system_throughput(graph)
+    exact = simulated_throughput(graph)
+    assert bound == min(min(rate_list), Fraction(1, 2))
+    assert Fraction(0) < exact <= bound
+
+
+@given(rate_list=rate_lists, shells=st.integers(1, 2))
+@settings(**SETTINGS)
+def test_ring_bound_dominates_simulation(rate_list, shells):
+    """Cyclic GALS: the static bound is never violated."""
+    graph = gals_ring(rates=rate_list, shells_per_domain=shells)
+    bound = static_system_throughput(graph)
+    exact = simulated_throughput(graph)
+    assert Fraction(0) < exact <= bound

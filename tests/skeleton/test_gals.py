@@ -1,0 +1,219 @@
+"""GALS multi-clock skeleton semantics, backend gating and bridges.
+
+The differential-conformance extension for mixed-rate systems: the
+scalar and vectorized engines must agree bit-exactly on every GALS
+topology (firing decisions, bridge occupancy, registers, steady-state
+structure), the single-clock-only engines must refuse GALS lowerings
+through the capability flags, and ``select()`` must turn every refusal
+into an actionable message.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import StructuralError
+from repro.graph import gals_chain, gals_ring, parse_topology
+from repro.ir import lower
+from repro.lid.variant import ProtocolVariant
+from repro.skeleton import (
+    BatchSkeletonSim,
+    BitplaneSkeletonSim,
+    CodegenSkeletonSim,
+    SkeletonSim,
+    bitsim_supported,
+    check_deadlock,
+    codegen_supported,
+    select,
+)
+from repro.skeleton.backend import available_backends
+
+VARIANTS = [ProtocolVariant.CASU, ProtocolVariant.CARLONI]
+
+GALS_SPECS = [
+    "gals-chain:rates=1+1/2",
+    "gals-chain:rates=1+1/2+1/3,stages=2",
+    "gals-chain:rates=1+2/3,relays=1",
+    "gals-ring:rates=1+1/2,shells=1",
+    "gals-ring:rates=1+1/2,shells=2,depth=3",
+    "gals-ring:rates=1+2/3,shells=2,relays=1",
+    "gals-ring:rates=3/4+2/3+1/2,shells=1",
+]
+
+
+class TestMixedRateDifferential:
+    @pytest.mark.parametrize("spec", GALS_SPECS)
+    @pytest.mark.parametrize("variant", VARIANTS)
+    def test_scalar_vs_vectorized_bit_exact(self, spec, variant):
+        graph = parse_topology(spec)
+        scalar = SkeletonSim(graph, variant=variant,
+                             detect_ambiguity=False)
+        batch = BatchSkeletonSim(graph, [{}], variant=variant,
+                                 detect_ambiguity=False)
+        cycles = 160
+        fires = [0] * len(scalar.shell_names)
+        accepted = 0
+        for _ in range(cycles):
+            f, acc = scalar.step()
+            for i, fired in enumerate(f):
+                fires[i] += fired
+            accepted += sum(acc)
+        batch.run(cycles)
+        for i, name in enumerate(scalar.shell_names):
+            j = batch.shell_names.index(name)
+            assert int(batch.shell_fired[j][0]) == fires[i], name
+        assert int(batch.sink_accepted.sum()) == accepted
+        assert tuple(int(batch.bridge_occ[b][0])
+                     for b in range(len(scalar.bridge_occ))) \
+            == tuple(scalar.bridge_occ)
+
+    @pytest.mark.parametrize("spec", GALS_SPECS[:4])
+    def test_steady_state_structure_matches(self, spec):
+        graph = parse_topology(spec)
+        ref = SkeletonSim(graph, detect_ambiguity=False).run()
+        result = BatchSkeletonSim(graph, [{}],
+                                  detect_ambiguity=False).run_to_period()[0]
+        assert (result.transient, result.period) == (ref.transient,
+                                                     ref.period)
+        assert result.shell_fires == ref.shell_fires
+
+    def test_deterministic_rerun(self):
+        graph = parse_topology("gals-ring:rates=1+1/2,shells=2")
+        first = SkeletonSim(graph, detect_ambiguity=False).run()
+        second = SkeletonSim(graph, detect_ambiguity=False).run()
+        assert first.shell_fires == second.shell_fires
+        assert (first.transient, first.period) == (second.transient,
+                                                   second.period)
+
+
+class TestSchedules:
+    def test_chain_throttles_to_slowest_domain(self):
+        graph = gals_chain(rates=(Fraction(1), Fraction(1, 2)))
+        result = SkeletonSim(graph, detect_ambiguity=False).run()
+        for fires in result.shell_fires.values():
+            assert Fraction(fires, result.period) == Fraction(1, 2)
+
+    def test_rate_one_domains_match_default_clock(self):
+        """All-rate-1 GALS degenerates to the single-clock dynamics."""
+        graph = gals_chain(rates=(Fraction(1), Fraction(1)))
+        low = lower(graph)
+        assert not low.single_clock  # bridges still present
+        result = SkeletonSim(graph, detect_ambiguity=False).run()
+        for fires in result.shell_fires.values():
+            assert Fraction(fires, result.period) == 1
+
+
+class TestBridges:
+    def test_occupancy_bounded_by_depth(self):
+        graph = gals_ring(rates=(Fraction(1), Fraction(1, 2)),
+                          shells_per_domain=2, depth=2)
+        sim = SkeletonSim(graph, detect_ambiguity=False)
+        for _ in range(300):
+            sim.step()
+            for occ, depth in zip(sim.bridge_occ, sim.bridge_depths):
+                assert 0 <= occ <= depth
+
+    def test_poke_clamps_and_matches_vectorized(self):
+        graph = parse_topology("gals-ring:rates=1+1/2,shells=2,depth=2")
+        scalar = SkeletonSim(graph, detect_ambiguity=False)
+        batch = BatchSkeletonSim(graph, [{}], detect_ambiguity=False)
+        name = scalar.bridge_names[0]
+        for sim_poke in (lambda c, d: scalar.poke_bridge(name, c, d),
+                         lambda c, d: batch.poke_bridge(0, name, c, d)):
+            sim_poke(10, -1)
+            sim_poke(11, +1)
+            sim_poke(12, +5)   # clamped at depth
+            sim_poke(13, -5)   # clamped at zero
+        for cycle in range(60):
+            scalar.step()
+            batch.step()
+            got = tuple(int(batch.bridge_occ[b][0])
+                        for b in range(len(scalar.bridge_occ)))
+            assert got == tuple(scalar.bridge_occ), cycle
+
+    def test_poke_unknown_bridge_raises(self):
+        graph = parse_topology("gals-chain:rates=1+1/2")
+        sim = SkeletonSim(graph, detect_ambiguity=False)
+        with pytest.raises(KeyError):
+            sim.poke_bridge("no-such-bridge", 0, 1)
+
+
+class TestCapabilityGating:
+    def test_lowering_flags(self):
+        low = lower(parse_topology("gals-chain:rates=1+1/2"))
+        assert not low.single_clock
+        assert low.has_bridges
+        single = lower(parse_topology("pipeline:stages=2"))
+        assert single.single_clock
+        assert not single.has_bridges
+
+    @pytest.mark.parametrize("probe", [bitsim_supported,
+                                       codegen_supported])
+    def test_supported_probes_refuse_gals(self, probe):
+        graph = parse_topology("gals-chain:rates=1+1/2")
+        ok, reason = probe(graph, ProtocolVariant.CASU)
+        assert not ok
+        assert "single_clock=False" in reason
+        assert "has_bridges=True" in reason
+
+    def test_available_backends(self):
+        gals = parse_topology("gals-ring:rates=1+1/2,shells=2")
+        assert available_backends(gals, ProtocolVariant.CASU) \
+            == ("scalar", "vectorized")
+        single = parse_topology("figure2:relays=1")
+        assert "bitsim" in available_backends(single,
+                                              ProtocolVariant.CASU)
+
+    @pytest.mark.parametrize("backend", ["bitsim", "codegen"])
+    def test_select_refusal_is_actionable(self, backend):
+        graph = parse_topology("gals-chain:rates=1+1/2")
+        with pytest.raises(ValueError) as err:
+            select(graph, backend=backend)
+        message = str(err.value)
+        assert "single_clock" in message
+        assert "available backends: scalar, vectorized" in message
+
+    def test_select_unknown_backend_enumerates(self):
+        graph = parse_topology("gals-chain:rates=1+1/2")
+        with pytest.raises(ValueError) as err:
+            select(graph, backend="warp")
+        assert "scalar, vectorized" in str(err.value)
+
+    def test_select_auto_falls_back_cleanly(self):
+        graph = parse_topology("gals-chain:rates=1+1/2")
+        # Single instance: the scalar reference wins; wide batches go
+        # vectorized — never bitsim/codegen, which lack GALS support.
+        assert select(graph).name == "scalar"
+        assert select(graph, batch=4).name == "vectorized"
+
+    def test_bitsim_constructor_refuses_gals(self):
+        graph = parse_topology("gals-chain:rates=1+1/2")
+        with pytest.raises(StructuralError) as err:
+            BitplaneSkeletonSim(graph, batch=1)
+        assert "single_clock" in str(err.value)
+
+    def test_codegen_constructor_refuses_gals(self):
+        graph = parse_topology("gals-chain:rates=1+1/2")
+        with pytest.raises(StructuralError) as err:
+            CodegenSkeletonSim(graph)
+        assert "single_clock" in str(err.value)
+
+
+class TestGalsDeadlock:
+    def test_ring_is_live(self):
+        graph = parse_topology("gals-ring:rates=1+1/2,shells=2")
+        verdict = check_deadlock(graph, max_cycles=5_000)
+        assert verdict.live
+
+    def test_codegen_backend_fails_fast(self):
+        graph = parse_topology("gals-ring:rates=1+1/2,shells=2")
+        with pytest.raises(ValueError) as err:
+            check_deadlock(graph, backend="codegen")
+        assert "single_clock" in str(err.value)
+
+    def test_verdict_deterministic(self):
+        graph = parse_topology("gals-ring:rates=1+2/3,shells=2")
+        a = check_deadlock(graph, max_cycles=5_000)
+        b = check_deadlock(graph, max_cycles=5_000)
+        assert (a.deadlocked, a.potential, a.transient, a.period) \
+            == (b.deadlocked, b.potential, b.transient, b.period)
